@@ -1,0 +1,110 @@
+// Google-benchmark microbenchmarks of the kernel's hot paths: event-queue
+// operations, two-stage scheduling, clock ticks, structured clone. These
+// measure *host* C++ time (not simulated time) — the cost of running the
+// kernel machinery itself.
+#include <benchmark/benchmark.h>
+
+#include "kernel/kernel.h"
+#include "runtime/js_value.h"
+
+namespace {
+
+using namespace jsk::kernel;
+namespace rt = jsk::rt;
+
+void bm_event_queue_push_pop(benchmark::State& state)
+{
+    const std::int64_t n = state.range(0);
+    std::uint64_t id = 1;
+    for (auto _ : state) {
+        event_queue q;
+        for (std::int64_t i = 0; i < n; ++i) {
+            kevent ev;
+            ev.id = id++;
+            ev.predicted_time = static_cast<ktime>((i * 37) % 1000);
+            ev.status = kevent_status::ready;
+            q.push(std::move(ev));
+        }
+        while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+    }
+    state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(bm_event_queue_push_pop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void bm_event_queue_lookup(benchmark::State& state)
+{
+    event_queue q;
+    for (std::uint64_t i = 1; i <= 4096; ++i) {
+        kevent ev;
+        ev.id = i;
+        ev.predicted_time = static_cast<ktime>(i);
+        q.push(std::move(ev));
+    }
+    std::uint64_t i = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(q.lookup(i % 4096 + 1));
+        ++i;
+    }
+}
+BENCHMARK(bm_event_queue_lookup);
+
+void bm_kclock_tick(benchmark::State& state)
+{
+    kclock clock;
+    for (auto _ : state) {
+        clock.tick();
+        benchmark::DoNotOptimize(clock.display());
+    }
+}
+BENCHMARK(bm_kclock_tick);
+
+void bm_scheduler_register_confirm(benchmark::State& state)
+{
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::boot(b);
+    for (auto _ : state) {
+        state.PauseTiming();
+        // Registration/confirmation must run inside a simulated task.
+        state.ResumeTiming();
+        b.main().post_task(0, [&] {
+            const auto id = k->sched().register_event(kevent_type::generic, 1.0, "bench");
+            k->sched().confirm(id);
+        });
+        b.run();
+    }
+}
+BENCHMARK(bm_scheduler_register_confirm);
+
+void bm_structured_clone(benchmark::State& state)
+{
+    rt::js_object obj;
+    for (int i = 0; i < 32; ++i) {
+        obj["k" + std::to_string(i)] = rt::js_value{static_cast<double>(i)};
+    }
+    const rt::js_value value{obj};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rt::structured_clone(value));
+    }
+}
+BENCHMARK(bm_structured_clone);
+
+void bm_simulation_task_throughput(benchmark::State& state)
+{
+    for (auto _ : state) {
+        jsk::sim::simulation sim;
+        const auto t = sim.create_thread("bench");
+        int remaining = 10'000;
+        std::function<void()> loop = [&] {
+            sim.consume(100);
+            if (--remaining > 0) sim.post(t, sim.now(), loop);
+        };
+        sim.post(t, 0, loop);
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(bm_simulation_task_throughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

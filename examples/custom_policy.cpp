@@ -1,0 +1,78 @@
+// Writing your own JSKernel security policy.
+//
+// Policies hook the kernel's interposition points (§II-B3). This example
+// adds a site-specific policy that (a) blocks worker fetches to a denylisted
+// origin and (b) redacts a token from worker error messages — composed with
+// the stock policies.
+#include <cstdio>
+
+#include "kernel/kernel.h"
+#include "runtime/browser.h"
+
+using namespace jsk;
+namespace sim = jsk::sim;
+
+namespace {
+
+/// A custom policy: deny fetches to tracker origins and scrub error text.
+class tracker_block_policy final : public kernel::policy {
+public:
+    const char* name() const override { return "tracker-block"; }
+
+    bool on_fetch(kernel::kernel&, const std::string& url) override
+    {
+        const bool blocked = url.rfind("https://tracker.example/", 0) == 0;
+        if (blocked) std::printf("  [policy] blocked fetch to %s\n", url.c_str());
+        return blocked;
+    }
+
+    std::string on_worker_error(kernel::kernel&, const std::string& raw) override
+    {
+        std::string msg = raw;
+        const std::string token = "secret-token";
+        if (const auto pos = msg.find(token); pos != std::string::npos) {
+            msg.replace(pos, token.size(), "[redacted]");
+        }
+        return msg;
+    }
+};
+
+}  // namespace
+
+int main()
+{
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::kernel::boot(b);
+    k->add_policy(std::make_unique<tracker_block_policy>());
+
+    b.net().serve(rt::resource{"https://tracker.example/beacon", "https://tracker.example",
+                               rt::resource_kind::data, 128, 0, 0, 0});
+    b.net().serve(rt::resource{"https://app.example/config", "https://app.example",
+                               rt::resource_kind::data, 256, 0, 0, 0});
+    b.set_page_origin("https://app.example");
+
+    std::printf("=== custom policy demo ===\n");
+    b.main().post_task(0, [&b] {
+        auto& apis = b.main().apis();
+        apis.fetch(
+            "https://tracker.example/beacon", {},
+            [](const rt::fetch_result&) { std::printf("  tracker beacon SENT (bad!)\n"); },
+            [](const rt::fetch_result& r) {
+                std::printf("  tracker beacon failed: %s\n", r.error.c_str());
+            });
+        apis.fetch(
+            "https://app.example/config", {},
+            [](const rt::fetch_result& r) {
+                std::printf("  app config loaded: %zu bytes\n", r.bytes);
+            },
+            nullptr);
+    });
+    b.run();
+
+    std::printf("installed policies:\n");
+    for (const auto& p : k->policies()) {
+        std::printf("  - %-26s %s\n", p->name(),
+                    p->cve()[0] ? p->cve() : "(site-specific)");
+    }
+    return 0;
+}

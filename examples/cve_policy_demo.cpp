@@ -1,0 +1,79 @@
+// Listing 2 + Listing 4 end-to-end: the CVE-2018-5092 use-after-free.
+//
+// Trigger condition (three interleaved JavaScript functions across threads):
+//   1. a fetch starts in a worker,
+//   2. the worker is falsely terminated, freeing the in-flight request,
+//   3. page teardown sends an abort signal to the freed request.
+//
+// On the vulnerable engine the monitor fires; with JSKernel installed the
+// thread manager's termination handshake (the kernel half of the Listing-4
+// policy) keeps the kernel worker alive until the fetch settles, so the
+// freed-request state never exists.
+#include <cstdio>
+
+#include "kernel/kernel.h"
+#include "runtime/browser.h"
+#include "runtime/vuln.h"
+
+using namespace jsk;
+namespace sim = jsk::sim;
+
+namespace {
+
+bool run_exploit(bool with_kernel)
+{
+    rt::browser b(rt::chrome_profile());
+    rt::vuln_registry vulns(b.bus());
+    std::unique_ptr<kernel::kernel> k;
+    if (with_kernel) k = kernel::kernel::boot(b);
+
+    b.net().serve(rt::resource{"https://attacker.example/fetchedfile0.html",
+                               "https://attacker.example", rt::resource_kind::data, 100'000,
+                               0, 0, 0});
+
+    // worker.js (Listing 2 lines 1-6): fetch with an abort signal.
+    b.register_worker_script("worker.js", [](rt::context& ctx) {
+        rt::abort_controller ctl;
+        rt::fetch_options opts;
+        opts.signal = ctl.signal;
+        ctx.apis().fetch(
+            "https://attacker.example/fetchedfile0.html", opts,
+            [](const rt::fetch_result&) { std::printf("    worker: fetch resolved\n"); },
+            [](const rt::fetch_result&) { std::printf("    worker: fetch aborted\n"); });
+    });
+
+    // Main script (Listing 2 lines 7-11): spawn, falsely terminate, reload.
+    b.main().post_task(0, [&b] {
+        auto w = b.main().apis().create_worker("worker.js");
+        b.main().apis().set_timeout(
+            [w] {
+                std::printf("    main: terminating worker (fetch still in flight)\n");
+                w->terminate();
+            },
+            5 * sim::ms);
+        b.main().apis().set_timeout(
+            [&b] {
+                std::printf("    main: reloading (teardown aborts all fetches)\n");
+                b.main().apis().reload();
+            },
+            10 * sim::ms);
+    });
+    b.run_until(10 * sim::sec);
+
+    const auto* monitor = vulns.find("CVE-2018-5092");
+    return monitor != nullptr && monitor->triggered();
+}
+
+}  // namespace
+
+int main()
+{
+    std::printf("=== CVE-2018-5092: use-after-free via fetch/terminate/abort ===\n\n");
+    std::printf("[plain chrome]\n");
+    const bool plain = run_exploit(false);
+    std::printf("  use-after-free triggered: %s\n\n", plain ? "YES (exploitable)" : "no");
+    std::printf("[chrome + jskernel]\n");
+    const bool kernel = run_exploit(true);
+    std::printf("  use-after-free triggered: %s\n", kernel ? "YES" : "no (defended)");
+    return plain && !kernel ? 0 : 1;
+}

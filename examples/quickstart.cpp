@@ -1,0 +1,74 @@
+// Quickstart: boot a simulated browser, install JSKernel, and watch the
+// kernel schedule ordinary page activity.
+//
+//   $ ./examples/quickstart
+//
+// The demo runs the same little page twice — once on the plain browser, once
+// with the kernel installed — and prints what the page observes. Note how
+// under JSKernel performance.now() reports kernel time (ticks), not physical
+// time, while the page's behaviour (timer order, fetch results) is unchanged.
+#include <cstdio>
+
+#include "kernel/kernel.h"
+#include "runtime/browser.h"
+
+using namespace jsk;
+namespace sim = jsk::sim;
+
+namespace {
+
+void run_page(rt::browser& b, const char* label)
+{
+    b.net().serve(rt::resource{"https://app.example/data.json", "https://app.example",
+                               rt::resource_kind::data, 24'000, 0, 0, 0});
+    b.set_page_origin("https://app.example");
+
+    std::printf("--- %s ---\n", label);
+    b.main().post_task(0, [&b] {
+        auto& apis = b.main().apis();
+        std::printf("  page start: performance.now() = %.3f ms\n", apis.performance_now());
+
+        apis.set_timeout(
+            [&b] {
+                std::printf("  timer A (10 ms) fired at now()=%.3f\n",
+                            b.main().apis().performance_now());
+            },
+            10 * sim::ms);
+        apis.set_timeout(
+            [&b] {
+                std::printf("  timer B (5 ms) fired at now()=%.3f\n",
+                            b.main().apis().performance_now());
+            },
+            5 * sim::ms);
+
+        apis.fetch(
+            "https://app.example/data.json", {},
+            [&b](const rt::fetch_result& r) {
+                std::printf("  fetch resolved: %zu bytes, now()=%.3f\n", r.bytes,
+                            b.main().apis().performance_now());
+            },
+            nullptr);
+    });
+    b.run();
+    std::printf("  (physical simulated time elapsed: %.3f ms)\n\n",
+                sim::to_ms(b.sim().now()));
+}
+
+}  // namespace
+
+int main()
+{
+    {
+        rt::browser plain(rt::chrome_profile());
+        run_page(plain, "plain chrome");
+    }
+    {
+        rt::browser protected_browser(rt::chrome_profile());
+        auto kernel = kernel::kernel::boot(protected_browser);
+        run_page(protected_browser, "chrome + jskernel");
+        std::printf("kernel stats: %llu API calls interposed, %llu events dispatched\n",
+                    static_cast<unsigned long long>(kernel->api_calls()),
+                    static_cast<unsigned long long>(kernel->events_dispatched()));
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Listing 1 end-to-end: the worker-postMessage implicit clock.
+//
+// A worker floods postMessage while the main thread waits for a secret
+// operation (here: a cross-origin resource whose server think-time is the
+// secret). The adversary counts onmessage deliveries between start and
+// completion — a clock no API redefinition can remove, because it is the
+// *interleaving* of two functions across threads.
+//
+// Run it and compare: on the plain browser the count tracks the secret; with
+// JSKernel installed the count is identical for both secrets.
+#include <cstdio>
+
+#include "kernel/kernel.h"
+#include "runtime/browser.h"
+
+using namespace jsk;
+namespace sim = jsk::sim;
+
+namespace {
+
+int measure_secret(bool with_kernel, sim::time_ns secret)
+{
+    rt::browser b(rt::chrome_profile());
+    std::unique_ptr<kernel::kernel> k;
+    if (with_kernel) k = kernel::kernel::boot(b);
+
+    b.net().serve(rt::resource{"https://victim.example/op", "https://victim.example",
+                               rt::resource_kind::data, 512, 0, 0, secret});
+
+    // worker.js (Listing 1 lines 1-5): for(i=0..BIG) postMessage(i)
+    b.register_worker_script("worker.js", [](rt::context& ctx) {
+        ctx.apis().set_interval(
+            [&ctx] { ctx.apis().post_message_to_parent(rt::js_value{1}, {}); },
+            1 * sim::ms);
+    });
+
+    auto count = std::make_shared<int>(0);
+    auto during = std::make_shared<int>(-1);
+    b.main().post_task(0, [&b, count, during] {
+        auto w = b.main().apis().create_worker("worker.js");
+        w->set_onmessage([count](const rt::message_event&) { ++*count; });
+        // Main script (Listing 1 lines 6-14): run the secret operation and
+        // count ticks until it completes.
+        b.main().apis().fetch(
+            "https://victim.example/op", {},
+            [during, count, w](const rt::fetch_result&) {
+                *during = *count;
+                w->terminate();
+            },
+            nullptr);
+    });
+    b.run_until(10 * sim::sec);
+    return *during;
+}
+
+}  // namespace
+
+int main()
+{
+    std::printf("=== Listing 1: worker postMessage as an implicit clock ===\n\n");
+    for (const bool with_kernel : {false, true}) {
+        const int fast = measure_secret(with_kernel, 20 * sim::ms);
+        const int slow = measure_secret(with_kernel, 200 * sim::ms);
+        std::printf("%-18s onmessage count: secret=20ms -> %3d   secret=200ms -> %3d   %s\n",
+                    with_kernel ? "chrome+jskernel:" : "plain chrome:", fast, slow,
+                    fast == slow ? "(indistinguishable — defended)"
+                                 : "(leaks the secret!)");
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Attack framework: one implementation per row of Table I.
+//
+// Timing attacks measure a two-valued secret through an implicit clock over
+// repeated trials; the adversary's distinguishing power is the nearest-mean
+// classification accuracy over the two measurement samples. CVE attacks run
+// the documented exploit sequence and check the trigger state machine.
+//
+// An attack is *prevented* when the accuracy stays below the threshold
+// (timing) or the trigger never fires (CVE).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "defenses/defense.h"
+#include "runtime/browser.h"
+
+namespace jsk::attacks {
+
+struct run_config {
+    rt::browser_profile profile = rt::chrome_profile();
+    defenses::defense_id defense = defenses::defense_id::legacy;
+    int trials = 9;
+    std::uint64_t seed = 1;
+    double accuracy_threshold = 0.75;
+};
+
+struct attack_outcome {
+    std::string attack;
+    std::string defense;
+    bool is_cve = false;
+    std::vector<double> secret_a;  // per-trial measurements, secret variant A
+    std::vector<double> secret_b;  // per-trial measurements, secret variant B
+    double accuracy = 0.5;
+    bool cve_triggered = false;
+    bool prevented = false;
+};
+
+class attack {
+public:
+    virtual ~attack() = default;
+    [[nodiscard]] virtual std::string name() const = 0;
+    /// Table I grouping: "setTimeout clock", "rAF clock" or "cve".
+    [[nodiscard]] virtual std::string family() const = 0;
+    virtual attack_outcome run(const run_config& config) = 0;
+};
+
+/// Base for timing rows: runs `measure` once per fresh browser+defense and
+/// classifies the two samples.
+class timing_attack : public attack {
+public:
+    attack_outcome run(const run_config& config) final;
+
+protected:
+    /// One measurement of the given secret variant on a fresh browser (the
+    /// defense is already installed). Larger usually means slower.
+    virtual double measure(rt::browser& b, bool secret_b) = 0;
+};
+
+/// Base for CVE rows: runs `exploit` on a fresh browser+defense with the
+/// vulnerability monitors attached.
+class cve_attack : public attack {
+public:
+    explicit cve_attack(std::string cve_id) : cve_id_(std::move(cve_id)) {}
+    [[nodiscard]] std::string family() const final { return "cve"; }
+    [[nodiscard]] std::string name() const final { return cve_id_; }
+    attack_outcome run(const run_config& config) final;
+
+protected:
+    virtual void exploit(rt::browser& b) = 0;
+
+private:
+    std::string cve_id_;
+};
+
+/// Every Table I row, in paper order (10 timing rows + 12 CVE rows).
+std::vector<std::unique_ptr<attack>> all_attacks();
+
+}  // namespace jsk::attacks

@@ -1,0 +1,124 @@
+// Concrete attack classes (internal header shared by the per-family
+// translation units, the registry, and the benchmark harnesses — some
+// benches need direct access to parameterized measurements, e.g. Figure 2's
+// size sweep or Table II's raw values).
+#pragma once
+
+#include "attacks/attack.h"
+#include "workloads/sites.h"
+
+namespace jsk::attacks {
+
+// --- setTimeout-clock family (timing_attacks.cpp) ---
+
+class cache_attack final : public timing_attack {
+public:
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string family() const override;
+
+protected:
+    double measure(rt::browser& b, bool secret_b) override;
+};
+
+class script_parsing final : public timing_attack {
+public:
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string family() const override;
+    /// Figure 2: reported parsing time for an arbitrary file size, in ticks.
+    double measure_size(rt::browser& b, std::size_t bytes);
+
+protected:
+    double measure(rt::browser& b, bool secret_b) override;
+};
+
+class image_decoding final : public timing_attack {
+public:
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string family() const override;
+
+protected:
+    double measure(rt::browser& b, bool secret_b) override;
+};
+
+class clock_edge final : public timing_attack {
+public:
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string family() const override;
+
+protected:
+    double measure(rt::browser& b, bool secret_b) override;
+};
+
+// --- rAF/animation-clock family (raf_attacks.cpp) ---
+
+class history_sniffing final : public timing_attack {
+public:
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string family() const override;
+
+protected:
+    double measure(rt::browser& b, bool secret_b) override;
+};
+
+class svg_filtering final : public timing_attack {
+public:
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string family() const override;
+    /// Table II: averaged measured image-load (frame) time in reported ms.
+    double measure_resolution(rt::browser& b, std::uint32_t dim);
+
+protected:
+    double measure(rt::browser& b, bool secret_b) override;
+};
+
+class floating_point final : public timing_attack {
+public:
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string family() const override;
+
+protected:
+    double measure(rt::browser& b, bool secret_b) override;
+};
+
+class loopscan final : public timing_attack {
+public:
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string family() const override;
+    /// Table II: maximum measured event interval (reported ms) while the
+    /// given victim profile runs.
+    double max_event_interval(rt::browser& b, const workloads::event_profile& victim);
+
+protected:
+    double measure(rt::browser& b, bool secret_b) override;
+};
+
+class css_animation final : public timing_attack {
+public:
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string family() const override;
+
+protected:
+    double measure(rt::browser& b, bool secret_b) override;
+};
+
+class video_vtt final : public timing_attack {
+public:
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::string family() const override;
+
+protected:
+    double measure(rt::browser& b, bool secret_b) override;
+};
+
+// --- CVE exploits (cve_attacks.cpp) ---
+
+/// Exploit driver type: runs the documented trigger sequence on a prepared
+/// browser.
+std::vector<std::unique_ptr<attack>> all_cve_attacks();
+
+/// Ablation hook: run every CVE exploit against a kernel configured with
+/// `opts` (instead of the default jskernel defense) and return how many
+/// triggered.
+int run_cve_suite_with_kernel(const jsk::kernel::kernel_options& opts);
+
+}  // namespace jsk::attacks

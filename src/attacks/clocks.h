@@ -1,0 +1,30 @@
+// Implicit-clock measurement helpers shared by the timing attacks.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "runtime/browser.h"
+
+namespace jsk::attacks {
+
+/// An async operation the adversary measures: it receives a `done` callback
+/// it must invoke (from inside the browser) on completion.
+using async_op = std::function<void(rt::browser& b, std::function<void()> done)>;
+
+/// Count setTimeout(0)-chain ticks between starting `op` and its completion
+/// (the van-Goethem pattern). Runs the browser; returns the tick count.
+double count_timeout_ticks_during(rt::browser& b, const async_op& op);
+
+/// Poll performance.now() in chunked loops (64 polls per chunk) until `op`
+/// completes; return the number of polls (clock-edge pattern, §IV-A4).
+double count_now_polls_during(rt::browser& b, const async_op& op);
+
+/// Observe `frames` animation-frame timestamps while `on_frame(i)` injects
+/// per-frame work; return the mean timestamp delta in reported ms.
+double mean_raf_interval(rt::browser& b, int frames, const std::function<void(int)>& on_frame);
+
+/// Count media cue events between starting `op` and its completion.
+double count_video_cues_during(rt::browser& b, const async_op& op);
+
+}  // namespace jsk::attacks

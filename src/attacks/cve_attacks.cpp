@@ -1,0 +1,213 @@
+// The twelve CVE rows of Table I: exploit drivers encoding the documented
+// trigger sequences (§IV-B). Each driver is written against the interposable
+// API surface, exactly as page JavaScript would be.
+#include "attacks/attacks_impl.h"
+
+#include "runtime/vuln.h"
+
+namespace jsk::attacks {
+
+namespace sim = jsk::sim;
+
+namespace {
+
+using exploit_fn = void (*)(rt::browser&);
+
+class scripted_cve final : public cve_attack {
+public:
+    scripted_cve(std::string id, exploit_fn fn) : cve_attack(std::move(id)), fn_(fn) {}
+
+protected:
+    void exploit(rt::browser& b) override { fn_(b); }
+
+private:
+    exploit_fn fn_;
+};
+
+void exploit_2018_5092(rt::browser& b)
+{
+    // Listing 2: fetch in a worker + false termination + abort on teardown.
+    b.net().serve(rt::resource{"https://attacker.example/fetchedfile0.html",
+                               "https://attacker.example", rt::resource_kind::data, 100'000,
+                               0, 0, 0});
+    b.register_worker_script("uaf-worker.js", [](rt::context& ctx) {
+        rt::abort_controller ctl;
+        rt::fetch_options opts;
+        opts.signal = ctl.signal;
+        ctx.apis().fetch("https://attacker.example/fetchedfile0.html", opts, nullptr,
+                         nullptr);
+    });
+    b.main().post_task(0, [&b] {
+        auto w = b.main().apis().create_worker("uaf-worker.js");
+        b.main().apis().set_timeout([w] { w->terminate(); }, 5 * sim::ms);
+        b.main().apis().set_timeout([&b] { b.main().apis().reload(); }, 10 * sim::ms);
+    });
+}
+
+void exploit_2017_7843(rt::browser& b)
+{
+    b.set_private_browsing(true);
+    b.main().post_task(0, [&b] {
+        b.main().apis().indexeddb_put("fingerprint-db", "uid", rt::js_value{"track-me"});
+        (void)b.main().apis().indexeddb_get("fingerprint-db", "uid");
+    });
+    // End the private session after the page settled.
+    b.main().post_task(50 * sim::ms, [&b] { b.end_private_session(); });
+}
+
+void exploit_2015_7215(rt::browser& b)
+{
+    b.set_page_origin("https://attacker.example");
+    b.register_worker_script("prober.js", [](rt::context& ctx) {
+        ctx.apis().import_scripts({"https://victim.example/302-redirect-target"});
+    });
+    b.main().post_task(0, [&b] { b.main().apis().create_worker("prober.js"); });
+}
+
+void exploit_2014_3194(rt::browser& b)
+{
+    b.register_worker_script("sink.js", [](rt::context& ctx) {
+        ctx.apis().set_self_onmessage([](const rt::message_event&) {});
+    });
+    b.main().post_task(0, [&b] {
+        auto w = b.main().apis().create_worker("sink.js");
+        b.main().apis().set_timeout(
+            [w] {
+                w->post_message(rt::js_value{"in-flight"});
+                w->terminate();  // race the delivery
+            },
+            5 * sim::ms);
+    });
+}
+
+void exploit_2014_1719(rt::browser& b)
+{
+    b.register_worker_script("cruncher.js",
+                             [](rt::context& ctx) { ctx.consume(200 * sim::ms); });
+    b.main().post_task(0, [&b] {
+        auto w = b.main().apis().create_worker("cruncher.js");
+        b.main().apis().set_timeout([w] { w->terminate(); }, 50 * sim::ms);
+    });
+}
+
+void exploit_2014_1488(rt::browser& b)
+{
+    b.register_worker_script("asm-transfer.js", [](rt::context& ctx) {
+        auto buf = std::make_shared<rt::array_buffer>();
+        buf->data.assign(4'096, 0xab);
+        ctx.apis().post_message_to_parent(rt::js_value{buf}, {buf});
+        ctx.apis().close_self();  // tear down before delivery
+    });
+    b.main().post_task(0, [&b] {
+        auto w = b.main().apis().create_worker("asm-transfer.js");
+        w->set_onmessage([](const rt::message_event&) {});
+    });
+}
+
+void exploit_2014_1487(rt::browser& b)
+{
+    b.set_page_origin("https://attacker.example");
+    b.main().post_task(0, [&b] {
+        auto w = b.main().apis().create_worker("https://victim.example/private.js");
+        w->set_onerror([](const std::string&) {});
+    });
+}
+
+void exploit_2013_6646(rt::browser& b)
+{
+    b.register_worker_script("chatty.js", [](rt::context& ctx) {
+        for (int i = 0; i < 24; ++i) ctx.apis().post_message_to_parent(rt::js_value{i}, {});
+    });
+    b.main().post_task(0, [&b] {
+        auto w = b.main().apis().create_worker("chatty.js");
+        w->set_onmessage([&b](const rt::message_event&) { b.main().apis().reload(); });
+    });
+}
+
+void exploit_2013_5602(rt::browser& b)
+{
+    b.register_worker_script("sink.js", [](rt::context&) {});
+    b.main().post_task(0, [&b] {
+        auto w = b.main().apis().create_worker("sink.js");
+        w->set_onmessage(nullptr);  // the null-handler assignment
+    });
+}
+
+void exploit_2013_1714(rt::browser& b)
+{
+    b.set_page_origin("https://attacker.example");
+    b.net().serve(rt::resource{"https://victim.example/mailbox", "https://victim.example",
+                               rt::resource_kind::data, 4'096, 0, 0, 0});
+    b.register_worker_script("sop-bypass.js", [](rt::context& ctx) {
+        ctx.apis().xhr("https://victim.example/mailbox", [](const rt::fetch_result&) {});
+    });
+    b.main().post_task(0, [&b] { b.main().apis().create_worker("sop-bypass.js"); });
+}
+
+void exploit_2011_1190(rt::browser& b)
+{
+    b.set_page_origin("https://attacker.example");
+    b.net().serve(rt::resource{"https://victim.example/internal-lib.js",
+                               "https://victim.example", rt::resource_kind::script, 9'000, 0,
+                               0, 0});
+    b.register_worker_script("source-steal.js", [](rt::context& ctx) {
+        ctx.apis().import_scripts({"https://victim.example/internal-lib.js"});
+    });
+    b.main().post_task(0, [&b] { b.main().apis().create_worker("source-steal.js"); });
+}
+
+void exploit_2010_4576(rt::browser& b)
+{
+    b.register_worker_script("quit.js", [](rt::context& ctx) { ctx.apis().close_self(); });
+    b.main().post_task(0, [&b] {
+        auto w = b.main().apis().create_worker("quit.js");
+        b.main().apis().set_timeout([w] { w->terminate(); }, 50 * sim::ms);
+    });
+}
+
+constexpr std::pair<const char*, exploit_fn> cve_table[] = {
+    {"CVE-2018-5092", exploit_2018_5092}, {"CVE-2017-7843", exploit_2017_7843},
+    {"CVE-2015-7215", exploit_2015_7215}, {"CVE-2014-3194", exploit_2014_3194},
+    {"CVE-2014-1719", exploit_2014_1719}, {"CVE-2014-1488", exploit_2014_1488},
+    {"CVE-2014-1487", exploit_2014_1487}, {"CVE-2013-6646", exploit_2013_6646},
+    {"CVE-2013-5602", exploit_2013_5602}, {"CVE-2013-1714", exploit_2013_1714},
+    {"CVE-2011-1190", exploit_2011_1190}, {"CVE-2010-4576", exploit_2010_4576},
+};
+
+}  // namespace
+
+int run_cve_suite_with_kernel(const jsk::kernel::kernel_options& opts)
+{
+    int triggered = 0;
+    for (const auto& [id, fn] : cve_table) {
+        rt::browser b(rt::chrome_profile(), 17);
+        rt::vuln_registry vulns(b.bus());
+        auto def = defenses::make_jskernel_defense(opts);
+        def->install(b);
+        fn(b);
+        b.run_until(60 * sim::sec);
+        const rt::cve_monitor* monitor = vulns.find(id);
+        if (monitor != nullptr && monitor->triggered()) ++triggered;
+    }
+    return triggered;
+}
+
+std::vector<std::unique_ptr<attack>> all_cve_attacks()
+{
+    std::vector<std::unique_ptr<attack>> out;
+    out.push_back(std::make_unique<scripted_cve>("CVE-2018-5092", exploit_2018_5092));
+    out.push_back(std::make_unique<scripted_cve>("CVE-2017-7843", exploit_2017_7843));
+    out.push_back(std::make_unique<scripted_cve>("CVE-2015-7215", exploit_2015_7215));
+    out.push_back(std::make_unique<scripted_cve>("CVE-2014-3194", exploit_2014_3194));
+    out.push_back(std::make_unique<scripted_cve>("CVE-2014-1719", exploit_2014_1719));
+    out.push_back(std::make_unique<scripted_cve>("CVE-2014-1488", exploit_2014_1488));
+    out.push_back(std::make_unique<scripted_cve>("CVE-2014-1487", exploit_2014_1487));
+    out.push_back(std::make_unique<scripted_cve>("CVE-2013-6646", exploit_2013_6646));
+    out.push_back(std::make_unique<scripted_cve>("CVE-2013-5602", exploit_2013_5602));
+    out.push_back(std::make_unique<scripted_cve>("CVE-2013-1714", exploit_2013_1714));
+    out.push_back(std::make_unique<scripted_cve>("CVE-2011-1190", exploit_2011_1190));
+    out.push_back(std::make_unique<scripted_cve>("CVE-2010-4576", exploit_2010_4576));
+    return out;
+}
+
+}  // namespace jsk::attacks

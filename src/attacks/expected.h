@@ -1,0 +1,52 @@
+// The expected Table I prevention matrix.
+//
+// The ✓/✗ glyphs of Table I did not survive in our copy of the paper, so the
+// matrix is reconstructed from the prose of §IV (see DESIGN.md). It serves
+// two purposes: the integration tests assert the simulation reproduces it,
+// and bench_table1 prints measured-vs-expected.
+#pragma once
+
+#include <string>
+
+#include "defenses/defense.h"
+
+namespace jsk::attacks {
+
+/// True when `defense` is expected to prevent `attack_name` (Table I row
+/// labels / CVE ids as produced by all_attacks()).
+inline bool expected_prevented(const std::string& attack_name,
+                               defenses::defense_id defense)
+{
+    using defenses::defense_id;
+    const bool is_cve = attack_name.rfind("CVE-", 0) == 0;
+
+    switch (defense) {
+        case defense_id::jskernel:
+            return true;  // §IV: JSKernel defends every row
+        case defense_id::legacy:
+        case defense_id::tor_browser:
+            return false;  // no row defended
+        case defense_id::deterfox:
+            // Determinism covers the DOM-based / cache rows (§IV-A1 prose:
+            // "...except for JSKERNEL and DeterFox"); nothing else.
+            return attack_name == "Cache Attack" || attack_name == "Script Parsing" ||
+                   attack_name == "Image Decoding";
+        case defense_id::fuzzyfox:
+            // "Fuzzyfox does defend against the clock edge attack as claimed."
+            return attack_name == "Clock Edge";
+        case defense_id::chrome_zero:
+            // Chrome Zero's 100 µs fuzzy clock cannot hide a secret of its
+            // own grain size, so every implicit-clock row stays exploitable.
+            // The worker polyfill removes the engine-level worker races (at
+            // the price of true parallelism) but not the storage/error-
+            // message leaks.
+            if (!is_cve) return false;
+            return attack_name == "CVE-2018-5092" || attack_name == "CVE-2014-3194" ||
+                   attack_name == "CVE-2014-1719" || attack_name == "CVE-2014-1488" ||
+                   attack_name == "CVE-2013-6646" || attack_name == "CVE-2010-4576" ||
+                   attack_name == "CVE-2013-1714" || attack_name == "CVE-2013-5602";
+    }
+    return false;
+}
+
+}  // namespace jsk::attacks

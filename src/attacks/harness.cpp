@@ -1,0 +1,47 @@
+#include "attacks/attack.h"
+
+#include "runtime/vuln.h"
+#include "sim/stats.h"
+
+namespace jsk::attacks {
+
+attack_outcome timing_attack::run(const run_config& config)
+{
+    attack_outcome out;
+    out.attack = name();
+    out.defense = defenses::to_string(config.defense);
+    for (int trial = 0; trial < config.trials; ++trial) {
+        for (const bool variant : {false, true}) {
+            rt::browser b(config.profile,
+                          config.seed + static_cast<std::uint64_t>(trial) * 2 + variant);
+            auto def = defenses::make_defense(
+                config.defense, config.seed + 1'000 + static_cast<std::uint64_t>(trial));
+            def->install(b);
+            const double m = measure(b, variant);
+            (variant ? out.secret_b : out.secret_a).push_back(m);
+        }
+    }
+    out.accuracy = sim::classification_accuracy(out.secret_a, out.secret_b);
+    out.prevented = out.accuracy < config.accuracy_threshold;
+    return out;
+}
+
+attack_outcome cve_attack::run(const run_config& config)
+{
+    attack_outcome out;
+    out.attack = name();
+    out.defense = defenses::to_string(config.defense);
+    out.is_cve = true;
+    rt::browser b(config.profile, config.seed);
+    rt::vuln_registry vulns(b.bus());
+    auto def = defenses::make_defense(config.defense, config.seed);
+    def->install(b);
+    exploit(b);
+    b.run_until(60 * sim::sec);
+    const rt::cve_monitor* monitor = vulns.find(cve_id_);
+    out.cve_triggered = monitor != nullptr && monitor->triggered();
+    out.prevented = !out.cve_triggered;
+    return out;
+}
+
+}  // namespace jsk::attacks

@@ -1,0 +1,25 @@
+#include "attacks/attacks_impl.h"
+
+namespace jsk::attacks {
+
+std::vector<std::unique_ptr<attack>> all_attacks()
+{
+    std::vector<std::unique_ptr<attack>> out;
+    // Table I order: setTimeout-clock rows...
+    out.push_back(std::make_unique<cache_attack>());
+    out.push_back(std::make_unique<script_parsing>());
+    out.push_back(std::make_unique<image_decoding>());
+    out.push_back(std::make_unique<clock_edge>());
+    // ...rAF/animation rows...
+    out.push_back(std::make_unique<history_sniffing>());
+    out.push_back(std::make_unique<svg_filtering>());
+    out.push_back(std::make_unique<floating_point>());
+    out.push_back(std::make_unique<loopscan>());
+    out.push_back(std::make_unique<css_animation>());
+    out.push_back(std::make_unique<video_vtt>());
+    // ...and the CVE rows.
+    for (auto& cve : all_cve_attacks()) out.push_back(std::move(cve));
+    return out;
+}
+
+}  // namespace jsk::attacks

@@ -1,0 +1,142 @@
+// The "setTimeout as the implicit clock" rows of Table I: cache attack [7],
+// script parsing [8], image decoding [8], clock edge [6].
+#include "attacks/attacks_impl.h"
+#include "attacks/clocks.h"
+
+namespace jsk::attacks {
+
+namespace sim = jsk::sim;
+
+// --- cache attack [7]: cached vs flushed access latency --------------------------
+
+std::string cache_attack::name() const { return "Cache Attack"; }
+std::string cache_attack::family() const { return "setTimeout clock"; }
+
+double cache_attack::measure(rt::browser& b, bool secret_b)
+{
+    const std::string url = "https://victim.example/shared-asset";
+    b.net().serve(rt::resource{url, "https://victim.example", rt::resource_kind::data,
+                               262'144, 0, 0, 0});
+    if (!secret_b) b.net().prime_cache(url);  // A: content still cached
+    return count_timeout_ticks_during(b, [url](rt::browser& bb, std::function<void()> done) {
+        bb.main().apis().fetch(
+            url, {}, [done](const rt::fetch_result&) { done(); },
+            [done](const rt::fetch_result&) { done(); });
+    });
+}
+
+// --- script parsing [8]: cross-origin resource size via parse time ----------------
+
+std::string script_parsing::name() const { return "Script Parsing"; }
+std::string script_parsing::family() const { return "setTimeout clock"; }
+
+double script_parsing::measure_size(rt::browser& b, std::size_t bytes)
+{
+    const std::string url = "https://victim.example/resource.js";
+    b.net().serve(rt::resource{url, "https://victim.example", rt::resource_kind::script,
+                               bytes, 0, 0, 0});
+    // Uncached: the adversary measures the full download+parse duration
+    // (a synchronous parse alone would block the implicit clock entirely).
+    return count_timeout_ticks_during(b, [url](rt::browser& bb, std::function<void()> done) {
+        auto& apis = bb.main().apis();
+        auto script = apis.create_element("script");
+        script->set_attribute_raw("src", url);
+        script->onload = done;
+        script->onerror = [done](const std::string&) { done(); };
+        apis.append_child(bb.doc().root(), script);
+    });
+}
+
+double script_parsing::measure(rt::browser& b, bool secret_b)
+{
+    return measure_size(b, secret_b ? 5'000'000 : 1'000'000);
+}
+
+// --- image decoding [8] -------------------------------------------------------------
+
+std::string image_decoding::name() const { return "Image Decoding"; }
+std::string image_decoding::family() const { return "setTimeout clock"; }
+
+double image_decoding::measure(rt::browser& b, bool secret_b)
+{
+    const std::string url = "https://victim.example/avatar.png";
+    const std::uint32_t dim = secret_b ? 2048 : 256;
+    b.net().serve(rt::resource{url, "https://victim.example", rt::resource_kind::image,
+                               static_cast<std::size_t>(dim) * dim / 4, dim, dim, 0});
+    return count_timeout_ticks_during(b, [url](rt::browser& bb, std::function<void()> done) {
+        auto& apis = bb.main().apis();
+        auto img = apis.create_element("img");
+        img->set_attribute_raw("src", url);
+        img->onload = done;
+        img->onerror = [done](const std::string&) { done(); };
+        apis.append_child(bb.doc().root(), img);
+    });
+}
+
+// --- clock edge [6]: performance.now polling builds a fine clock --------------------
+
+std::string clock_edge::name() const { return "Clock Edge"; }
+std::string clock_edge::family() const { return "setTimeout clock"; }
+
+double clock_edge::measure(rt::browser& b, bool secret_b)
+{
+    // §IV-A4: measure a *cheap* synchronous operation by interpolating
+    // within one tick of the coarse explicit clock. The adversary (i) counts
+    // polls per clock edge to calibrate, (ii) aligns to an edge, (iii) runs
+    // the secret op, (iv) counts polls to the next edge; the deficit is the
+    // op's duration in poll units.
+    const sim::time_ns secret = secret_b ? 100 * sim::us : 20 * sim::us;
+    double estimated_ms = 0.0;
+    rt::browser* bp = &b;
+    b.main().post_task(0, [bp, secret, &estimated_ms] {
+        auto& apis = bp->main().apis();
+        const sim::time_ns op_cost = bp->profile().cheap_op_cost;
+        constexpr long max_polls = 6'000'000;  // safety bound
+        long safety = max_polls;
+        const auto poll = [&]() -> double {
+            bp->main().consume(op_cost);
+            --safety;
+            return apis.performance_now();
+        };
+        const auto next_edge = [&](double from) -> double {
+            double cur = from;
+            while (cur == from && safety > 0) cur = poll();
+            return cur;
+        };
+        // Calibration: average polls per edge over several edges.
+        double edge_value = next_edge(poll());
+        long calib_polls = 0;
+        double calib_start = edge_value;
+        const int calib_edges = 2;
+        for (int e = 0; e < calib_edges && safety > 0; ++e) {
+            const double base = edge_value;
+            while (edge_value == base && safety > 0) {
+                edge_value = poll();
+                ++calib_polls;
+            }
+        }
+        const double polls_per_edge =
+            std::max(1.0, static_cast<double>(calib_polls) / calib_edges);
+        const double edge_ms =
+            std::max(1e-9, (edge_value - calib_start) / calib_edges);
+        // Align to an edge, run the secret op, count polls to the next edge.
+        const double aligned = next_edge(edge_value);
+        bp->main().consume(secret);
+        double cur = aligned;
+        long q = 0;
+        while (cur == aligned && safety > 0) {
+            cur = poll();
+            ++q;
+        }
+        // Poll deficit -> estimated duration (modulo full edges, which the
+        // adversary recovers by also diffing the displayed values).
+        const double whole_edges = std::max(0.0, (cur - aligned) / edge_ms - 1.0);
+        estimated_ms =
+            whole_edges * edge_ms +
+            (1.0 - static_cast<double>(q) / polls_per_edge) * edge_ms;
+    });
+    b.run();
+    return estimated_ms;
+}
+
+}  // namespace jsk::attacks

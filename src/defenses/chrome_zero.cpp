@@ -1,0 +1,81 @@
+#include "defenses/defenses_impl.h"
+
+#include <cmath>
+
+namespace jsk::defenses {
+
+std::string chrome_zero_defense::name() const { return "chrome-zero"; }
+
+void chrome_zero_defense::install(rt::browser& b)
+{
+    // 1. Polyfill workers: the non-parallel replacement of the real Worker —
+    //    the functionality price the paper calls out (§IV-B).
+    b.set_polyfill_workers(true);
+
+    // 2. Reduced clock precision with fuzz.
+    auto& apis = b.main().apis();
+    auto* rng = &rng_;
+    auto native_now = apis.performance_now;
+    auto native_date = apis.date_now;
+    const double grain_ms = sim::to_ms(clock_grain_);
+    apis.performance_now = [rng, native_now, grain_ms] {
+        const double t = std::floor(native_now() / grain_ms) * grain_ms;
+        return t - rng->next_double() * grain_ms;
+    };
+    apis.date_now = [native_date] { return std::floor(native_date() / 100.0) * 100.0; };
+
+    // 3. Every redefined API pays the wrapper cost (closure + policy lookup);
+    //    Chrome Zero's per-call overhead is visibly larger than JSKernel's
+    //    (Figure 3 / Dromaeo).
+    rt::context* ctx = &b.main();
+    const sim::time_ns cost = wrapper_cost_;
+    const auto charge = [ctx, cost] { ctx->consume(cost); };
+
+    auto native_set_timeout = apis.set_timeout;
+    apis.set_timeout = [charge, native_set_timeout](rt::timer_cb cb, sim::time_ns delay) {
+        charge();
+        return native_set_timeout(std::move(cb), delay);
+    };
+    auto native_clear_timeout = apis.clear_timeout;
+    apis.clear_timeout = [charge, native_clear_timeout](std::int64_t id) {
+        charge();
+        native_clear_timeout(id);
+    };
+    auto native_raf = apis.request_animation_frame;
+    apis.request_animation_frame = [charge, native_raf](rt::frame_cb cb) {
+        charge();
+        return native_raf(std::move(cb));
+    };
+    auto native_fetch = apis.fetch;
+    apis.fetch = [charge, native_fetch](const std::string& url, rt::fetch_options options,
+                                        rt::fetch_cb then, rt::fetch_cb fail) {
+        charge();
+        native_fetch(url, std::move(options), std::move(then), std::move(fail));
+    };
+    auto native_get_attr = apis.get_attribute;
+    apis.get_attribute = [charge, native_get_attr](const rt::element_ptr& el,
+                                                   const std::string& name) {
+        charge();
+        return native_get_attr(el, name);
+    };
+    auto native_set_attr = apis.set_attribute;
+    apis.set_attribute = [charge, native_set_attr](const rt::element_ptr& el,
+                                                   const std::string& name,
+                                                   const std::string& value) {
+        charge();
+        native_set_attr(el, name, value);
+    };
+    auto native_create_worker = apis.create_worker;
+    apis.create_worker = [charge, native_create_worker](const std::string& src) {
+        charge();
+        return native_create_worker(src);
+    };
+    auto native_append = apis.append_child;
+    apis.append_child = [charge, native_append](const rt::element_ptr& parent,
+                                                const rt::element_ptr& child) {
+        charge();
+        native_append(parent, child);
+    };
+}
+
+}  // namespace jsk::defenses

@@ -1,0 +1,51 @@
+// The defense comparators of Table I.
+//
+// Each defense mutates a freshly constructed browser the way the real system
+// would: Fuzzyfox and Tor patch clocks/event pacing, DeterFox imposes
+// deterministic cross-origin load delivery, Chrome Zero redefines APIs and
+// polyfills workers, JSKernel boots the kernel. "Legacy" is the unmodified
+// browser (the Chrome/Firefox/Edge columns — pick via browser_profile).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "runtime/browser.h"
+
+namespace jsk::defenses {
+
+enum class defense_id {
+    legacy,
+    fuzzyfox,
+    deterfox,
+    tor_browser,
+    chrome_zero,
+    jskernel,
+};
+
+class defense {
+public:
+    virtual ~defense() = default;
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Install onto a fresh browser. Must run before any page activity; a
+    /// defense may keep per-browser state alive inside itself, so keep the
+    /// defense object alive as long as the browser.
+    virtual void install(rt::browser& b) = 0;
+};
+
+/// All columns of Table I, in paper order.
+std::vector<defense_id> all_defense_ids();
+
+std::string to_string(defense_id id);
+
+/// `seed` feeds the randomized defenses (Fuzzyfox, Chrome Zero's fuzz).
+std::unique_ptr<defense> make_defense(defense_id id, std::uint64_t seed = 7);
+
+/// JSKernel with explicit kernel options (ablations).
+std::unique_ptr<defense> make_jskernel_defense(jsk::kernel::kernel_options opts);
+
+}  // namespace jsk::defenses

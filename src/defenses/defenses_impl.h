@@ -1,0 +1,92 @@
+// Concrete defense implementations (internal header shared by the per-
+// defense translation units and the registry).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "defenses/defense.h"
+#include "kernel/kernel.h"
+#include "sim/rng.h"
+
+namespace jsk::defenses {
+
+class legacy_defense final : public defense {
+public:
+    [[nodiscard]] std::string name() const override;
+    void install(rt::browser& b) override;
+};
+
+/// Fuzzyfox (Kohlbrenner & Shacham): fuzz the pace of the event loop with
+/// randomized pause time, and degrade explicit clocks to a fuzzy 100 ms grid.
+class fuzzyfox_defense final : public defense {
+public:
+    explicit fuzzyfox_defense(std::uint64_t seed) : rng_(seed) {}
+    [[nodiscard]] std::string name() const override;
+    void install(rt::browser& b) override;
+
+private:
+    sim::rng rng_;
+    sim::time_ns max_pause_ = 8 * sim::ms;  // per-task pause fuzz
+    sim::time_ns clock_grain_ = 1 * sim::ms;  // fuzzy-clock grain (with backdate)
+};
+
+/// DeterFox (Cao et al.): deterministic cross-origin interaction. Simplified
+/// faithful mechanism: while a cross-origin resource load is in flight, timer
+/// callbacks are stalled, so an implicit setTimeout clock observes a
+/// load-size-independent tick count. rAF, the physical clock and the event
+/// loop are untouched (its Table I profile).
+class deterfox_defense final : public defense {
+public:
+    [[nodiscard]] std::string name() const override;
+    void install(rt::browser& b) override;
+
+private:
+    struct state {
+        int cross_origin_inflight = 0;
+        std::vector<rt::timer_cb> stalled;
+    };
+    std::shared_ptr<state> state_ = std::make_shared<state>();
+};
+
+/// Tor Browser: 100 ms clamped explicit clocks; nothing else.
+class tor_defense final : public defense {
+public:
+    [[nodiscard]] std::string name() const override;
+    void install(rt::browser& b) override;
+
+private:
+    sim::time_ns clock_grain_ = 100 * sim::ms;
+};
+
+/// Chrome Zero (Schwarz et al., "JavaScript Zero"): extension-level API
+/// redefinition — reduced clock precision with fuzz, a non-parallel polyfill
+/// worker implementation, and a per-call wrapper cost noticeably higher than
+/// JSKernel's (Figure 3).
+class chrome_zero_defense final : public defense {
+public:
+    explicit chrome_zero_defense(std::uint64_t seed) : rng_(seed) {}
+    [[nodiscard]] std::string name() const override;
+    void install(rt::browser& b) override;
+
+private:
+    sim::rng rng_;
+    sim::time_ns clock_grain_ = 100 * sim::us;
+    sim::time_ns wrapper_cost_ = 2 * sim::us;
+};
+
+/// JSKernel: boots the kernel (owning it for the browser's lifetime).
+class jskernel_defense final : public defense {
+public:
+    explicit jskernel_defense(jsk::kernel::kernel_options opts = {}) : opts_(opts) {}
+    [[nodiscard]] std::string name() const override;
+    void install(rt::browser& b) override;
+
+    [[nodiscard]] jsk::kernel::kernel* installed_kernel() { return kernel_.get(); }
+
+private:
+    jsk::kernel::kernel_options opts_;
+    std::unique_ptr<jsk::kernel::kernel> kernel_;
+};
+
+}  // namespace jsk::defenses

@@ -1,0 +1,85 @@
+#include "defenses/defenses_impl.h"
+
+namespace jsk::defenses {
+
+std::string deterfox_defense::name() const { return "deterfox"; }
+
+void deterfox_defense::install(rt::browser& b)
+{
+    auto st = state_;
+    auto& apis = b.main().apis();
+
+    auto native_set_timeout = apis.set_timeout;
+    auto native_fetch = apis.fetch;
+    auto native_append = apis.append_child;
+    rt::browser* browser = &b;
+
+    // Timer callbacks stall while cross-origin loads are in flight; they are
+    // released in order once the reference frame quiesces.
+    apis.set_timeout = [st, native_set_timeout](rt::timer_cb cb, sim::time_ns delay) {
+        return native_set_timeout(
+            [st, cb = std::move(cb)] {
+                if (st->cross_origin_inflight > 0) {
+                    st->stalled.push_back(cb);
+                    return;
+                }
+                cb();
+            },
+            delay);
+    };
+
+    const auto release_if_quiescent = [st, native_set_timeout] {
+        if (st->cross_origin_inflight > 0) return;
+        auto stalled = std::move(st->stalled);
+        st->stalled.clear();
+        for (auto& cb : stalled) native_set_timeout(cb, 0);
+    };
+
+    apis.fetch = [st, native_fetch, browser, release_if_quiescent](
+                     const std::string& url, rt::fetch_options options, rt::fetch_cb then,
+                     rt::fetch_cb fail) {
+        const rt::resource* res = browser->net().find(url);
+        const bool cross = res != nullptr && res->origin != browser->page_origin();
+        if (cross) ++st->cross_origin_inflight;
+        auto wrap = [st, cross, release_if_quiescent](rt::fetch_cb inner) -> rt::fetch_cb {
+            if (!inner && !cross) return inner;
+            return [st, cross, release_if_quiescent, inner](const rt::fetch_result& r) {
+                if (cross) {
+                    --st->cross_origin_inflight;
+                    release_if_quiescent();
+                }
+                if (inner) inner(r);
+            };
+        };
+        native_fetch(url, std::move(options), wrap(std::move(then)), wrap(std::move(fail)));
+    };
+
+    apis.append_child = [st, native_append, browser, release_if_quiescent](
+                            const rt::element_ptr& parent, const rt::element_ptr& child) {
+        const std::string src = child->attribute("src");
+        const std::string& tag = child->tag();
+        if ((tag == "script" || tag == "img") && !src.empty()) {
+            const rt::resource* res = browser->net().find(src);
+            const bool cross = res == nullptr || res->origin != browser->page_origin();
+            if (cross) {
+                ++st->cross_origin_inflight;
+                auto user_onload = child->onload;
+                auto user_onerror = child->onerror;
+                child->onload = [st, release_if_quiescent, user_onload] {
+                    --st->cross_origin_inflight;
+                    release_if_quiescent();
+                    if (user_onload) user_onload();
+                };
+                child->onerror = [st, release_if_quiescent,
+                                  user_onerror](const std::string& e) {
+                    --st->cross_origin_inflight;
+                    release_if_quiescent();
+                    if (user_onerror) user_onerror(e);
+                };
+            }
+        }
+        native_append(parent, child);
+    };
+}
+
+}  // namespace jsk::defenses

@@ -1,0 +1,36 @@
+#include "defenses/defenses_impl.h"
+
+#include <cmath>
+
+namespace jsk::defenses {
+
+std::string fuzzyfox_defense::name() const { return "fuzzyfox"; }
+
+void fuzzyfox_defense::install(rt::browser& b)
+{
+    // 1. Fuzz the event loop: every macrotask picks up a random pause.
+    auto* rng = &rng_;
+    const sim::time_ns max_pause = max_pause_;
+    b.set_task_delay_hook([rng, max_pause](sim::time_ns delay, const std::string&) {
+        return delay + rng->uniform(0, max_pause);
+    });
+
+    // 2. Degrade explicit clocks to a fuzzy grid: quantized, with a fresh
+    //    random backdate per reading so edges carry no information (this is
+    //    what breaks clock-edge calibration).
+    auto& apis = b.main().apis();
+    auto native_now = apis.performance_now;  // backup copies
+    auto native_date = apis.date_now;
+    const double grain_ms = sim::to_ms(clock_grain_);
+    apis.performance_now = [rng, native_now, grain_ms] {
+        const double t = native_now();
+        const double quantized = std::floor(t / grain_ms) * grain_ms;
+        return quantized - rng->next_double() * grain_ms;
+    };
+    apis.date_now = [rng, native_date, grain_ms] {
+        const double t = native_date();
+        return std::floor(t / grain_ms) * grain_ms - rng->next_double() * grain_ms;
+    };
+}
+
+}  // namespace jsk::defenses

@@ -1,0 +1,12 @@
+#include "defenses/defenses_impl.h"
+
+namespace jsk::defenses {
+
+std::string jskernel_defense::name() const { return "jskernel"; }
+
+void jskernel_defense::install(rt::browser& b)
+{
+    kernel_ = jsk::kernel::kernel::boot(b, opts_);
+}
+
+}  // namespace jsk::defenses

@@ -1,0 +1,12 @@
+// Legacy browsers (Chrome / Firefox / Edge columns): no defense installed.
+// The per-browser differences come from the browser_profile the harness
+// constructs the browser with.
+#include "defenses/defenses_impl.h"
+
+namespace jsk::defenses {
+
+std::string legacy_defense::name() const { return "legacy"; }
+
+void legacy_defense::install(rt::browser&) {}
+
+}  // namespace jsk::defenses

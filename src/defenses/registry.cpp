@@ -1,0 +1,44 @@
+#include "defenses/defenses_impl.h"
+
+#include <stdexcept>
+
+namespace jsk::defenses {
+
+std::vector<defense_id> all_defense_ids()
+{
+    return {defense_id::legacy,      defense_id::fuzzyfox,    defense_id::deterfox,
+            defense_id::tor_browser, defense_id::chrome_zero, defense_id::jskernel};
+}
+
+std::string to_string(defense_id id)
+{
+    switch (id) {
+        case defense_id::legacy: return "legacy";
+        case defense_id::fuzzyfox: return "fuzzyfox";
+        case defense_id::deterfox: return "deterfox";
+        case defense_id::tor_browser: return "tor-browser";
+        case defense_id::chrome_zero: return "chrome-zero";
+        case defense_id::jskernel: return "jskernel";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<defense> make_defense(defense_id id, std::uint64_t seed)
+{
+    switch (id) {
+        case defense_id::legacy: return std::make_unique<legacy_defense>();
+        case defense_id::fuzzyfox: return std::make_unique<fuzzyfox_defense>(seed);
+        case defense_id::deterfox: return std::make_unique<deterfox_defense>();
+        case defense_id::tor_browser: return std::make_unique<tor_defense>();
+        case defense_id::chrome_zero: return std::make_unique<chrome_zero_defense>(seed);
+        case defense_id::jskernel: return std::make_unique<jskernel_defense>();
+    }
+    throw std::invalid_argument("unknown defense id");
+}
+
+std::unique_ptr<defense> make_jskernel_defense(jsk::kernel::kernel_options opts)
+{
+    return std::make_unique<jskernel_defense>(opts);
+}
+
+}  // namespace jsk::defenses

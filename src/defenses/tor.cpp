@@ -1,0 +1,23 @@
+#include "defenses/defenses_impl.h"
+
+#include <cmath>
+
+namespace jsk::defenses {
+
+std::string tor_defense::name() const { return "tor-browser"; }
+
+void tor_defense::install(rt::browser& b)
+{
+    auto& apis = b.main().apis();
+    auto native_now = apis.performance_now;
+    auto native_date = apis.date_now;
+    const double grain_ms = sim::to_ms(clock_grain_);
+    apis.performance_now = [native_now, grain_ms] {
+        return std::floor(native_now() / grain_ms) * grain_ms;
+    };
+    apis.date_now = [native_date, grain_ms] {
+        return std::floor(native_date() / grain_ms) * grain_ms;
+    };
+}
+
+}  // namespace jsk::defenses

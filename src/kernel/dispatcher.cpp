@@ -1,0 +1,49 @@
+#include "kernel/dispatcher.h"
+
+#include <utility>
+
+#include "kernel/kernel.h"
+
+namespace jsk::kernel {
+
+void dispatcher::pump()
+{
+    if (dispatch_scheduled_) return;  // the running dispatch task re-pumps
+    event_queue& q = k_->queue();
+    // Discard cancelled heads eagerly (§III-D3).
+    while (kevent* head = q.top()) {
+        if (head->status != kevent_status::cancelled) break;
+        q.pop();
+    }
+    kevent* head = q.top();
+    if (head == nullptr || head->status != kevent_status::ready) return;  // pending: wait
+
+    // One ready event per macrotask. The head is re-examined when the task
+    // actually runs: an event registered later in the current task with an
+    // earlier predicted time must dispatch first.
+    dispatch_scheduled_ = true;
+    k_->ctx().post_task(
+        0,
+        [this] {
+            dispatch_scheduled_ = false;
+            event_queue& queue = k_->queue();
+            while (kevent* h = queue.top()) {
+                if (h->status == kevent_status::cancelled) {
+                    queue.pop();
+                    continue;
+                }
+                if (h->status != kevent_status::ready) return;
+                kevent ev = queue.pop();
+                k_->clock().tick_to(ev.predicted_time);
+                k_->dispatch_journal().record(ev);
+                ++dispatched_;
+                if (ev.callback) ev.callback();
+                k_->after_dispatch();  // worker kernels certify their horizon
+                pump();                // next event gets its own macrotask
+                return;
+            }
+        },
+        "kdispatch");
+}
+
+}  // namespace jsk::kernel

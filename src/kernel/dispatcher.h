@@ -1,0 +1,40 @@
+// The kernel dispatcher (§III-D3): an event loop that drains the event queue
+// strictly in predicted-time order.
+//
+//  * ready head  -> advance the kernel clock to its predicted time and run
+//                   the callback as a fresh macrotask;
+//  * pending head-> wait (nothing later may overtake it, even if confirmed);
+//  * cancelled   -> discard.
+//
+// The pending-head wait is the heart of the defense: an attacker counting
+// events between two observations counts positions on the predicted timeline,
+// which the secret cannot influence.
+#pragma once
+
+#include <cstdint>
+
+namespace jsk::kernel {
+
+class kernel;
+
+class dispatcher {
+public:
+    explicit dispatcher(kernel& k) : k_(&k) {}
+
+    /// Dispatch as far as the queue allows. Called after every registration,
+    /// confirmation and cancellation. One event is dispatched per macrotask;
+    /// the dispatch task re-pumps.
+    void pump();
+
+    [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+    /// True while a dispatch macrotask is queued but has not run yet.
+    [[nodiscard]] bool dispatch_in_flight() const { return dispatch_scheduled_; }
+
+private:
+    kernel* k_;
+    bool dispatch_scheduled_ = false;
+    std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace jsk::kernel

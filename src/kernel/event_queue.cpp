@@ -1,0 +1,50 @@
+#include "kernel/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace jsk::kernel {
+
+void event_queue::push(kevent event)
+{
+    if (index_.contains(event.id)) {
+        throw std::invalid_argument("event_queue::push: duplicate event id");
+    }
+    const key k{event.predicted_time, event.id};
+    index_.emplace(event.id, k);
+    order_.emplace(k, std::move(event));
+}
+
+kevent* event_queue::top()
+{
+    if (order_.empty()) return nullptr;
+    return &order_.begin()->second;
+}
+
+kevent event_queue::pop()
+{
+    if (order_.empty()) throw std::logic_error("event_queue::pop: empty queue");
+    auto it = order_.begin();
+    kevent out = std::move(it->second);
+    index_.erase(out.id);
+    order_.erase(it);
+    return out;
+}
+
+bool event_queue::remove(std::uint64_t id)
+{
+    auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+}
+
+kevent* event_queue::lookup(std::uint64_t id)
+{
+    auto it = index_.find(id);
+    if (it == index_.end()) return nullptr;
+    return &order_.at(it->second);
+}
+
+}  // namespace jsk::kernel

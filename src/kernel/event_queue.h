@@ -1,0 +1,89 @@
+// The kernel event queue (§III-C1): events ordered by predicted time, with
+// the push / pop / top / remove / lookup API the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "kernel/kevent.h"
+
+namespace jsk::kernel {
+
+/// Priority queue keyed by (predicted_time, id). The id tiebreak makes
+/// same-instant events dispatch in registration order, which keeps the whole
+/// timeline deterministic.
+class event_queue {
+public:
+    /// Insert an event. Throws std::invalid_argument on duplicate id.
+    void push(kevent event);
+
+    /// The event with the smallest predictedTime, without removing it.
+    /// nullptr when empty.
+    [[nodiscard]] kevent* top();
+
+    /// Remove and return the event with the smallest predictedTime.
+    /// Throws std::logic_error when empty.
+    kevent pop();
+
+    /// Remove an event by id regardless of its predictedTime (§III-C1).
+    /// Returns true if it was present.
+    bool remove(std::uint64_t id);
+
+    /// Find an event by id; nullptr when absent.
+    [[nodiscard]] kevent* lookup(std::uint64_t id);
+
+    [[nodiscard]] bool empty() const { return order_.empty(); }
+    [[nodiscard]] std::size_t size() const { return order_.size(); }
+
+    /// Mark every queued event cancelled (worker shutdown: user-observable
+    /// events must stop). The dispatcher discards them on its next pass.
+    void cancel_all()
+    {
+        for (auto& [k, ev] : order_) {
+            ev.status = kevent_status::cancelled;
+            ev.callback = nullptr;
+        }
+    }
+
+    /// Move a live event to a new predicted time (channel-guard advances).
+    /// Returns false if the id is unknown.
+    bool update_predicted(std::uint64_t id, ktime predicted)
+    {
+        auto it = index_.find(id);
+        if (it == index_.end()) return false;
+        auto node = order_.extract(it->second);
+        node.mapped().predicted_time = predicted;
+        node.key() = key{predicted, id};
+        it->second = node.key();
+        order_.insert(std::move(node));
+        return true;
+    }
+
+    /// Predicted time of the earliest non-cancelled event; negative when the
+    /// queue holds none (the worker-side horizon computation).
+    [[nodiscard]] ktime next_pending_time() const
+    {
+        for (const auto& [k, ev] : order_) {
+            if (ev.status != kevent_status::cancelled) return ev.predicted_time;
+        }
+        return -1.0;
+    }
+
+private:
+    struct key {
+        ktime predicted;
+        std::uint64_t id;
+        bool operator<(const key& other) const
+        {
+            if (predicted != other.predicted) return predicted < other.predicted;
+            return id < other.id;
+        }
+    };
+
+    std::map<key, kevent> order_;
+    std::unordered_map<std::uint64_t, key> index_;
+};
+
+}  // namespace jsk::kernel

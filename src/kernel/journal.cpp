@@ -1,0 +1,33 @@
+#include "kernel/journal.h"
+
+#include <sstream>
+
+namespace jsk::kernel {
+
+std::string journal::to_json() const
+{
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const auto& e = entries_[i];
+        os << "  {\"seq\": " << e.seq << ", \"event\": " << e.event_id << ", \"type\": \""
+           << to_string(e.type) << "\", \"predicted\": " << e.predicted_time
+           << ", \"label\": \"" << e.label << "\"}";
+        if (i + 1 < entries_.size()) os << ",";
+        os << "\n";
+    }
+    os << "]";
+    return os.str();
+}
+
+std::size_t journal::first_divergence(const journal& other) const
+{
+    const std::size_t n = std::min(entries_.size(), other.entries_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!(entries_[i] == other.entries_[i])) return i;
+    }
+    if (entries_.size() != other.entries_.size()) return n;
+    return npos;
+}
+
+}  // namespace jsk::kernel

@@ -1,0 +1,65 @@
+// The kernel journal: an append-only record of every dispatched kernel event.
+//
+// Determinism is JSKernel's core claim; the journal makes it *checkable*.
+// Two runs of the same program must produce identical journals — regardless
+// of physical timing, cost models, or secrets. Tests compare journals across
+// perturbed runs; operators can dump one as JSON to diff timelines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/kevent.h"
+
+namespace jsk::kernel {
+
+struct journal_entry {
+    std::uint64_t seq = 0;        // dispatch order
+    std::uint64_t event_id = 0;   // scheduler id (diagnostic only: ids are
+                                  // assigned at registration, which for
+                                  // confirmed-at-arrival events is physical)
+    kevent_type type = kevent_type::generic;
+    ktime predicted_time = 0.0;   // the slot it dispatched into
+    std::string label;
+
+    /// Timeline equality deliberately ignores event_id (see above).
+    bool operator==(const journal_entry& other) const
+    {
+        return seq == other.seq && type == other.type &&
+               predicted_time == other.predicted_time && label == other.label;
+    }
+};
+
+class journal {
+public:
+    void record(const kevent& ev)
+    {
+        entries_.push_back(
+            journal_entry{next_seq_++, ev.id, ev.type, ev.predicted_time, ev.label});
+    }
+
+    [[nodiscard]] const std::vector<journal_entry>& entries() const { return entries_; }
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    void clear()
+    {
+        entries_.clear();
+        next_seq_ = 0;
+    }
+
+    /// Deterministic JSON dump (one object per line inside an array).
+    [[nodiscard]] std::string to_json() const;
+
+    /// Identical timelines? (The determinism check used by tests.)
+    bool operator==(const journal& other) const { return entries_ == other.entries_; }
+
+    /// First index where two journals diverge, or npos when equal/prefix.
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    [[nodiscard]] std::size_t first_divergence(const journal& other) const;
+
+private:
+    std::vector<journal_entry> entries_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace jsk::kernel

@@ -1,0 +1,191 @@
+#include "kernel/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace jsk::kernel::json {
+
+namespace {
+
+class parser {
+public:
+    explicit parser(const std::string& text) : text_(text) {}
+
+    value parse_document()
+    {
+        skip_ws();
+        value v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after JSON value");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const { throw parse_error(what, pos_); }
+
+    void skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char peek() const
+    {
+        if (pos_ >= text_.size()) throw parse_error("unexpected end of input", pos_);
+        return text_[pos_];
+    }
+
+    char next()
+    {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void expect(char c)
+    {
+        if (next() != c) {
+            --pos_;
+            fail(std::string("expected '") + c + "'");
+        }
+    }
+
+    bool consume_literal(const char* literal)
+    {
+        const std::size_t len = std::char_traits<char>::length(literal);
+        if (text_.compare(pos_, len, literal) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    value parse_value()
+    {
+        skip_ws();
+        const char c = peek();
+        switch (c) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return value{parse_string()};
+            case 't':
+                if (consume_literal("true")) return value{true};
+                fail("invalid literal");
+            case 'f':
+                if (consume_literal("false")) return value{false};
+                fail("invalid literal");
+            case 'n':
+                if (consume_literal("null")) return value{nullptr};
+                fail("invalid literal");
+            default: return parse_number();
+        }
+    }
+
+    value parse_object()
+    {
+        expect('{');
+        object out;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return value{std::move(out)};
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            value v = parse_value();
+            if (out.contains(key)) fail("duplicate key: " + key);
+            out.emplace(std::move(key), std::move(v));
+            skip_ws();
+            const char c = next();
+            if (c == '}') break;
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or '}' in object");
+            }
+        }
+        return value{std::move(out)};
+    }
+
+    value parse_array()
+    {
+        expect('[');
+        array out;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return value{std::move(out)};
+        }
+        while (true) {
+            out.push_back(parse_value());
+            skip_ws();
+            const char c = next();
+            if (c == ']') break;
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or ']' in array");
+            }
+        }
+        return value{std::move(out)};
+    }
+
+    std::string parse_string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            const char c = next();
+            if (c == '"') break;
+            if (c == '\\') {
+                const char esc = next();
+                switch (esc) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'n': out += '\n'; break;
+                    case 't': out += '\t'; break;
+                    case 'r': out += '\r'; break;
+                    case 'b': out += '\b'; break;
+                    case 'f': out += '\f'; break;
+                    default: fail("unsupported escape sequence");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    value parse_number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+            fail("invalid number");
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') fail("invalid number: " + token);
+        return value{d};
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+value parse(const std::string& text) { return parser(text).parse_document(); }
+
+}  // namespace jsk::kernel::json

@@ -1,0 +1,48 @@
+// The kernel clock (§III-C2): a counter that ticks on certain information —
+// here, interposed API calls and event dispatches — and *displays* the
+// current kernel time when a kernel function asks.
+//
+// Crucially, the clock never reads physical time. performance.now and rAF
+// timestamps under JSKernel show this counter, so the interval between two
+// observable readings is determined by the number of API calls and dispatched
+// events, not by how long anything physically took (the §IV-A4 argument
+// against clock-edge attacks).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "kernel/kevent.h"
+
+namespace jsk::kernel {
+
+class kclock {
+public:
+    /// `tick_ms` is the kernel time granted per tick (per interposed API
+    /// call); dispatches advance the clock to the event's predicted time.
+    explicit kclock(ktime tick_ms = 0.05) : tick_ms_(tick_ms) {}
+
+    /// Ticking API: advance by n ticks.
+    void tick(std::uint64_t n = 1)
+    {
+        ticks_ += n;
+        now_ += static_cast<ktime>(n) * tick_ms_;
+    }
+
+    /// Ticking API: advance *to* a specific kernel time (dispatch advances
+    /// to the event's predicted time; never moves backwards).
+    void tick_to(ktime t) { now_ = std::max(now_, t); }
+
+    /// Displaying API: the current kernel time in kernel milliseconds.
+    [[nodiscard]] ktime display() const { return now_; }
+
+    [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+    [[nodiscard]] ktime tick_length() const { return tick_ms_; }
+
+private:
+    ktime tick_ms_;
+    ktime now_ = 0.0;
+    std::uint64_t ticks_ = 0;
+};
+
+}  // namespace jsk::kernel

@@ -1,0 +1,775 @@
+#include "kernel/kernel.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace jsk::kernel {
+
+std::unique_ptr<kernel> kernel::boot(rt::browser& b, kernel_options opts)
+{
+    auto k = std::make_unique<kernel>(b.main(), opts, role::main, nullptr);
+    // The extension also scrubs error text on native paths it does not fully
+    // mediate (worker spawn failures) — §IV-B, CVE-2014-1487.
+    kernel* raw = k.get();
+    b.set_error_sanitizer([raw](const std::string& msg) {
+        return raw->policy_sanitize_error(msg);
+    });
+    return k;
+}
+
+kernel::kernel(rt::context& ctx, kernel_options opts, role r, kernel* parent)
+    : ctx_(&ctx),
+      opts_(opts),
+      role_(r),
+      parent_(parent),
+      natives_(ctx.apis()),  // private copies, taken before replacement
+      clock_(opts.tick_ms),
+      prediction_(make_prediction(opts.fuzzy_prediction, opts.fuzz_seed)),
+      sched_(*this),
+      disp_(*this),
+      threads_(*this)
+{
+    prediction_->intervals = opts.intervals;
+    if (opts.enable_cve_policies) {
+        for (auto& p : default_policies()) policies_.push_back(std::move(p));
+    }
+    install();
+}
+
+kernel::~kernel() = default;
+
+kernel& kernel::adopt_child(std::unique_ptr<kernel> child)
+{
+    children_.push_back(std::move(child));
+    return *children_.back();
+}
+
+// --- policy consultation -----------------------------------------------------
+// A policy installed on the main kernel governs the whole kernel, worker and
+// frame kernels included (§II-B policies have per-thread sections; one
+// document covers all threads) — consultation walks up the parent chain.
+
+bool kernel::policy_block_fetch(const std::string& url)
+{
+    for (kernel* k = this; k != nullptr; k = k->parent_) {
+        for (auto& p : k->policies_) {
+            if (p->on_fetch(*this, url)) return true;
+        }
+    }
+    return false;
+}
+
+bool kernel::policy_block_xhr(const std::string& url, bool cross_origin)
+{
+    for (kernel* k = this; k != nullptr; k = k->parent_) {
+        for (auto& p : k->policies_) {
+            if (p->on_xhr(*this, url, cross_origin)) return true;
+        }
+    }
+    return false;
+}
+
+bool kernel::policy_mediate_import(const std::string& url, bool cross_origin)
+{
+    for (kernel* k = this; k != nullptr; k = k->parent_) {
+        for (auto& p : k->policies_) {
+            if (p->on_import(*this, url, cross_origin)) return true;
+        }
+    }
+    return false;
+}
+
+bool kernel::policy_deny_idb(bool private_mode)
+{
+    for (kernel* k = this; k != nullptr; k = k->parent_) {
+        for (auto& p : k->policies_) {
+            if (p->on_indexeddb(*this, private_mode)) return true;
+        }
+    }
+    return false;
+}
+
+bool kernel::policy_reject_onmessage(bool valid)
+{
+    for (kernel* k = this; k != nullptr; k = k->parent_) {
+        for (auto& p : k->policies_) {
+            if (p->on_onmessage_assign(*this, valid)) return true;
+        }
+    }
+    return false;
+}
+
+std::string kernel::policy_sanitize_error(const std::string& raw)
+{
+    std::string msg = raw;
+    for (kernel* k = this; k != nullptr; k = k->parent_) {
+        for (auto& p : k->policies_) msg = p->on_worker_error(*this, msg);
+    }
+    return msg;
+}
+
+// --- installation -------------------------------------------------------------
+
+void kernel::install()
+{
+    auto& apis = ctx_->apis();
+
+    apis.set_timeout = [this](rt::timer_cb cb, sim::time_ns delay) {
+        return k_set_timeout(std::move(cb), delay);
+    };
+    apis.clear_timeout = [this](std::int64_t id) { k_clear_timeout(id); };
+    apis.set_interval = [this](rt::timer_cb cb, sim::time_ns period) {
+        return k_set_interval(std::move(cb), period);
+    };
+    apis.clear_interval = [this](std::int64_t id) { k_clear_interval(id); };
+    apis.performance_now = [this] { return k_performance_now(); };
+    apis.date_now = [this] { return k_date_now(); };
+    apis.fetch = [this](const std::string& url, rt::fetch_options options, rt::fetch_cb then,
+                        rt::fetch_cb fail) {
+        k_fetch(url, std::move(options), std::move(then), std::move(fail));
+    };
+    apis.abort_fetch = [this](const rt::abort_signal& signal) { k_abort_fetch(signal); };
+    apis.xhr = [this](const std::string& url, rt::fetch_cb done) {
+        k_xhr(url, std::move(done));
+    };
+    apis.indexeddb_put = [this](const std::string& db, const std::string& key,
+                                rt::js_value value) {
+        return k_indexeddb_put(db, key, std::move(value));
+    };
+    apis.indexeddb_get = [this](const std::string& db, const std::string& key) {
+        return k_indexeddb_get(db, key);
+    };
+    apis.sab_load = [this](const rt::shared_buffer_ptr& buf, std::size_t index) {
+        return k_sab_load(buf, index);
+    };
+    apis.sab_store = [this](const rt::shared_buffer_ptr& buf, std::size_t index,
+                            double value) { k_sab_store(buf, index, value); };
+
+    if (role_ == role::main) {
+        apis.request_animation_frame = [this](rt::frame_cb cb) {
+            return k_request_animation_frame(std::move(cb));
+        };
+        apis.cancel_animation_frame = [this](std::int64_t id) {
+            k_cancel_animation_frame(id);
+        };
+        apis.create_worker = [this](const std::string& src) { return k_create_worker(src); };
+        apis.create_iframe = [this](const std::string& name) { return k_create_iframe(name); };
+        apis.reload = [this] { k_reload(); };
+        apis.append_child = [this](const rt::element_ptr& parent,
+                                   const rt::element_ptr& child) {
+            k_append_child(parent, child);
+        };
+        apis.get_attribute = [this](const rt::element_ptr& el, const std::string& name) {
+            return k_get_attribute(el, name);
+        };
+        apis.set_attribute = [this](const rt::element_ptr& el, const std::string& name,
+                                    const std::string& value) {
+            k_set_attribute(el, name, value);
+        };
+        apis.set_cue_callback = [this](const rt::element_ptr& el, rt::timer_cb cb) {
+            k_set_cue_callback(el, std::move(cb));
+        };
+    } else {
+        // Worker scope: route the channel through the kernel overlay.
+        natives_.set_self_onmessage(
+            [this](const rt::message_event& event) { on_parent_message(event); });
+        apis.set_self_onmessage = [this](rt::message_cb cb) {
+            k_set_self_onmessage(std::move(cb));
+        };
+        apis.post_message_to_parent = [this](rt::js_value data, rt::transfer_list transfer) {
+            k_post_message_to_parent(std::move(data), std::move(transfer));
+        };
+        apis.close_self = [this] { k_close_self(); };
+        apis.import_scripts = [this](const std::vector<std::string>& urls) {
+            k_import_scripts(urls);
+        };
+        self_onmessage_base_ = clock_.display();
+    }
+
+    // The kernel's traps are non-configurable (§III-B): adversarial
+    // redefinition attempts fail from here on.
+    ctx_->lock_traps();
+}
+
+// --- shared helpers ----------------------------------------------------------
+
+namespace {
+/// Wrap a user message payload in the channel overlay (§III-E2).
+rt::js_value wrap_user(rt::js_value data)
+{
+    return rt::make_object({{"__jsk", "user"}, {"data", std::move(data)}});
+}
+
+rt::js_value wrap_sys(const std::string& cmd, rt::js_value payload)
+{
+    return rt::make_object({{"__jsk", "sys"}, {"cmd", cmd}, {"payload", std::move(payload)}});
+}
+}  // namespace
+
+bool kernel::is_cross_origin(const std::string& url) const
+{
+    const rt::resource* res = ctx_->owner().net().find(url);
+    return res != nullptr && res->origin != ctx_->origin();
+}
+
+// --- timers -------------------------------------------------------------------
+
+std::int64_t kernel::k_set_timeout(rt::timer_cb cb, sim::time_ns delay)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    const ktime hint = sim::to_ms(delay);
+    const std::uint64_t event = sched_.register_event(
+        kevent_type::timeout, hint, "timeout",
+        [this, cb = std::move(cb)] {
+            if (!user_closed_ && cb) cb();
+        });
+    const std::int64_t native =
+        natives_.set_timeout([this, event] { sched_.confirm(event); }, delay);
+    const std::int64_t id = next_timer_id_++;
+    timers_.emplace(id, timer_binding{event, native});
+    return id;
+}
+
+void kernel::k_clear_timeout(std::int64_t id)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    auto it = timers_.find(id);
+    if (it == timers_.end()) return;
+    natives_.clear_timeout(it->second.native);
+    sched_.cancel(it->second.event);
+    timers_.erase(it);
+}
+
+std::int64_t kernel::k_set_interval(rt::timer_cb cb, sim::time_ns period)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    const std::int64_t id = next_timer_id_++;
+    const ktime period_ms = std::max(sim::to_ms(period), opts_.intervals.timeout_min);
+    interval_binding binding;
+    binding.base = clock_.display();
+    binding.period_ms = period_ms;
+    binding.cb = std::move(cb);
+    // Two-stage per tick (§III-D1): the *next* tick is always registered
+    // pending ahead of time, so nothing predicted after it can dispatch
+    // before the tick confirms — ticks can never be reordered against other
+    // events by physical arrival.
+    binding.pending_event = sched_.register_at(
+        kevent_type::interval_tick, binding.base + period_ms, "interval",
+        [this, id] {
+            auto it2 = intervals_.find(id);
+            if (!user_closed_ && it2 != intervals_.end() && it2->second.cb) it2->second.cb();
+        });
+    binding.live_events.push_back(binding.pending_event);
+    binding.native = natives_.set_interval(
+        [this, id] {
+            auto it = intervals_.find(id);
+            if (it == intervals_.end()) return;
+            auto& bind = it->second;
+            sched_.confirm(bind.pending_event);
+            ++bind.seq;
+            const ktime next = prediction_->sequence_predict(bind.base, bind.seq + 1,
+                                                             bind.period_ms);
+            bind.pending_event = sched_.register_at(
+                kevent_type::interval_tick, next, "interval", [this, id] {
+                    auto it2 = intervals_.find(id);
+                    if (!user_closed_ && it2 != intervals_.end() && it2->second.cb) {
+                        it2->second.cb();
+                    }
+                });
+            bind.live_events.push_back(bind.pending_event);
+        },
+        period);
+    intervals_.emplace(id, std::move(binding));
+    return id;
+}
+
+void kernel::k_clear_interval(std::int64_t id)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    auto it = intervals_.find(id);
+    if (it == intervals_.end()) return;
+    natives_.clear_interval(it->second.native);
+    // Cancel every tick that has not dispatched yet — including ticks that
+    // already confirmed while the dispatcher lagged behind the native timer
+    // (dispatching them would make the tick count physically dependent).
+    for (const std::uint64_t ev : it->second.live_events) sched_.cancel(ev);
+    intervals_.erase(it);
+}
+
+// --- animation & clocks --------------------------------------------------------
+
+std::int64_t kernel::k_request_animation_frame(rt::frame_cb cb)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    const std::uint64_t event =
+        sched_.register_event(kevent_type::animation_frame, 0, "raf");
+    kevent* ev = queue_.lookup(event);
+    const ktime timestamp = ev->predicted_time;  // kernel time shown to the callback
+    ev->callback = [this, cb = std::move(cb), timestamp] {
+        if (!user_closed_ && cb) cb(timestamp);
+    };
+    const std::int64_t native =
+        natives_.request_animation_frame([this, event](double) { sched_.confirm(event); });
+    const std::int64_t id = next_raf_id_++;
+    rafs_.emplace(id, timer_binding{event, native});
+    return id;
+}
+
+void kernel::k_cancel_animation_frame(std::int64_t id)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    auto it = rafs_.find(id);
+    if (it == rafs_.end()) return;
+    natives_.cancel_animation_frame(it->second.native);
+    sched_.cancel(it->second.event);
+    rafs_.erase(it);
+}
+
+double kernel::k_performance_now()
+{
+    ++api_calls_;
+    clock_.tick();  // the clock ticks on API calls, never on physical time
+    charge_interpose();
+    return clock_.display();
+}
+
+double kernel::k_date_now()
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    return opts_.date_epoch_ms + std::floor(clock_.display());
+}
+
+// --- workers --------------------------------------------------------------------
+
+rt::worker_ptr kernel::k_create_worker(const std::string& src)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    if (role_ != role::main) {
+        throw std::logic_error("jskernel: nested workers are not supported");
+    }
+    return threads_.create_user_thread(src);
+}
+
+rt::context* kernel::k_create_iframe(const std::string& name)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    // Section VI(iii): the kernel is injected into every new JavaScript
+    // context, iframes included, before any frame script runs.
+    rt::context* frame = natives_.create_iframe(name);
+    adopt_child(std::make_unique<kernel>(*frame, opts_, role::main, this));
+    return frame;
+}
+
+void kernel::k_post_message_to_parent(rt::js_value data, rt::transfer_list transfer)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    if (user_closed_) return;
+    natives_.post_message_to_parent(wrap_user(std::move(data)), std::move(transfer));
+}
+
+void kernel::k_set_self_onmessage(rt::message_cb cb)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    user_self_onmessage_ = std::move(cb);
+}
+
+void kernel::k_close_self()
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    if (user_closed_) return;
+    enter_user_closed();
+    send_sys_to_parent("self-closed");
+}
+
+void kernel::k_import_scripts(const std::vector<std::string>& urls)
+{
+    for (const auto& url : urls) {
+        ++api_calls_;
+        clock_.tick();
+        charge_interpose();
+        const rt::resource* res = ctx_->owner().net().find(url);
+        const bool risky = res == nullptr || res->origin != ctx_->origin();
+        if (policy_mediate_import(url, risky)) {
+            // Kernel-mediated import: no native error objects, no source
+            // exposure (CVE-2015-7215, CVE-2011-1190).
+            if (res == nullptr || res->kind != rt::resource_kind::script) {
+                send_sys_to_parent("worker-error", rt::js_value{"Script error."});
+                continue;
+            }
+            ctx_->consume(ctx_->owner().net().request_latency(url));
+            ctx_->consume(static_cast<sim::time_ns>(
+                static_cast<double>(res->bytes) * ctx_->owner().profile().parse_ns_per_byte));
+            if (const auto* body = ctx_->owner().find_worker_script(url)) (*body)(*ctx_);
+            continue;
+        }
+        natives_.import_scripts({url});
+    }
+}
+
+// --- network ----------------------------------------------------------------------
+
+void kernel::k_fetch(const std::string& url, rt::fetch_options options, rt::fetch_cb then,
+                     rt::fetch_cb fail)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    if (policy_block_fetch(url)) {
+        const ktime predicted =
+            prediction_->predict(clock_, kevent_type::fetch_fail, 0);
+        sched_.register_ready(
+            kevent_type::fetch_fail, predicted,
+            [this, fail, url] {
+                if (!user_closed_ && fail) {
+                    fail(rt::fetch_result{false, false, url, "blocked by kernel policy", 0});
+                }
+            },
+            "fetch-blocked");
+        return;
+    }
+    const std::uint64_t event =
+        sched_.register_event(kevent_type::fetch_then, 0, "fetch:" + url);
+    ++outstanding_fetches_;
+    natives_.fetch(
+        url, std::move(options),
+        [this, event, then](const rt::fetch_result& result) {
+            --outstanding_fetches_;
+            if (user_closed_) {
+                sched_.cancel(event);
+            } else {
+                sched_.confirm(event, [this, then, result] {
+                    if (!user_closed_ && then) then(result);
+                });
+            }
+            maybe_signal_drained();
+        },
+        [this, event, fail](const rt::fetch_result& result) {
+            --outstanding_fetches_;
+            if (user_closed_) {
+                sched_.cancel(event);
+            } else {
+                sched_.confirm(event, [this, fail, result] {
+                    if (!user_closed_ && fail) fail(result);
+                });
+            }
+            maybe_signal_drained();
+        });
+}
+
+void kernel::k_abort_fetch(const rt::abort_signal& signal)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    // Safe: the termination protocol guarantees no fetch record is ever
+    // freed, so the abort cannot hit freed memory (CVE-2018-5092).
+    natives_.abort_fetch(signal);
+}
+
+void kernel::k_xhr(const std::string& url, rt::fetch_cb done)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    const bool cross = is_cross_origin(url);
+    if (role_ == role::worker && policy_block_xhr(url, cross)) {
+        const ktime predicted = prediction_->predict(clock_, kevent_type::xhr_done, 0);
+        sched_.register_ready(
+            kevent_type::xhr_done, predicted,
+            [this, done, url] {
+                if (!user_closed_ && done) {
+                    done(rt::fetch_result{false, false, url, "blocked by kernel policy", 0});
+                }
+            },
+            "xhr-blocked");
+        return;
+    }
+    const std::uint64_t event = sched_.register_event(kevent_type::xhr_done, 0, "xhr:" + url);
+    natives_.xhr(url, [this, event, done](const rt::fetch_result& result) {
+        sched_.confirm(event, [this, done, result] {
+            if (!user_closed_ && done) done(result);
+        });
+    });
+}
+
+void kernel::k_reload()
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    threads_.flush_all_then([this] {
+        // Channels are drained and children idle: tear workers down cleanly,
+        // then run the native reload (CVE-2013-6646, CVE-2018-5092).
+        for (const auto& kt : threads_.threads()) {
+            if (!kt->native_terminated && kt->native) {
+                kt->native->terminate();
+                kt->native_terminated = true;
+                kt->status = "closed";
+                kt->user_alive = false;
+            }
+        }
+        natives_.reload();
+    });
+}
+
+// --- DOM -----------------------------------------------------------------------------
+
+void kernel::k_append_child(const rt::element_ptr& parent, const rt::element_ptr& child)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    const std::string src = child->attribute("src");
+    const std::string& tag = child->tag();
+    if ((tag == "script" || tag == "img") && !src.empty()) {
+        // The load outcome becomes a kernel event: the scheduler holds both
+        // possible callbacks; confirmation picks the one that fired (§III-D1).
+        auto user_onload = child->onload;
+        auto user_onerror = child->onerror;
+        const std::uint64_t event =
+            sched_.register_event(kevent_type::load, 0, "load:" + src);
+        child->onload = [this, event, user_onload] {
+            sched_.confirm(event, [this, user_onload] {
+                if (!user_closed_ && user_onload) user_onload();
+            });
+        };
+        child->onerror = [this, event, user_onerror](const std::string& raw) {
+            const std::string msg = policy_sanitize_error(raw);
+            sched_.confirm(event, [this, user_onerror, msg] {
+                if (!user_closed_ && user_onerror) user_onerror(msg);
+            });
+        };
+    }
+    natives_.append_child(parent, child);
+}
+
+std::string kernel::k_get_attribute(const rt::element_ptr& el, const std::string& name)
+{
+    ++api_calls_;
+    clock_.tick();
+    ctx_->consume(opts_.interpose_cost + opts_.dom_interpose_cost);
+    if (name == "animation-progress" && el->has_attribute("animation-total-frames")) {
+        // Animation progress is rendering state driven by physical frame
+        // timing — an implicit clock [12]. The kernel virtualizes reads: the
+        // value advances with kernel time from the first read, so jank caused
+        // by secret-dependent paint work is unobservable.
+        auto [it, inserted] = anim_reads_.try_emplace(el.get(), clock_.display());
+        const double total_frames =
+            std::stod(natives_.get_attribute(el, "animation-total-frames"));
+        const double duration = total_frames * opts_.intervals.animation_frame;
+        const double progress =
+            duration <= 0.0
+                ? 1.0
+                : std::min(1.0, (clock_.display() - it->second) / duration);
+        return std::to_string(progress);
+    }
+    return natives_.get_attribute(el, name);
+}
+
+void kernel::k_set_attribute(const rt::element_ptr& el, const std::string& name,
+                             const std::string& value)
+{
+    ++api_calls_;
+    clock_.tick();
+    ctx_->consume(opts_.interpose_cost + opts_.dom_interpose_cost);
+    natives_.set_attribute(el, name, value);
+}
+
+void kernel::k_set_cue_callback(const rt::element_ptr& el, rt::timer_cb cb)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    cues_[el.get()] = cue_binding{clock_.display(), 0};
+    natives_.set_cue_callback(el, [this, raw = el.get(), cb = std::move(cb)] {
+        auto& binding = cues_[raw];
+        ++binding.seq;
+        const ktime predicted = prediction_->sequence_predict(
+            binding.base, binding.seq, opts_.intervals.video_cue);
+        sched_.register_ready(
+            kevent_type::video_cue, predicted,
+            [this, cb] {
+                if (!user_closed_ && cb) cb();
+            },
+            "cue");
+    });
+}
+
+// --- shared memory ---------------------------------------------------------------------
+// §III-E2: every SharedArrayBuffer access is redirected to the kernel. A
+// free-running cross-thread counter is the finest timer the web platform
+// offers [12]; no quantisation of *when* you read can hide *what* you read,
+// because the value itself encodes physical time. The kernel therefore gives
+// SAB acquire-at-message semantics: reads observe a kernel shadow that only
+// this kernel's own stores update — cross-thread values must travel through
+// postMessage, which the kernel schedules deterministically. (Browsers of
+// the paper's era disabled SAB outright post-Spectre; this keeps same-thread
+// uses working instead.)
+
+std::vector<double>& kernel::sab_shadow(const rt::shared_buffer_ptr& buf)
+{
+    auto [it, inserted] = sab_shadow_.try_emplace(buf.get());
+    if (inserted) it->second.assign(buf->slots.size(), 0.0);
+    if (it->second.size() < buf->slots.size()) it->second.resize(buf->slots.size(), 0.0);
+    return it->second;
+}
+
+double kernel::k_sab_load(const rt::shared_buffer_ptr& buf, std::size_t index)
+{
+    ++api_calls_;
+    clock_.tick();  // every access is a kernel-mediated, clock-ticking event
+    charge_interpose();
+    if (!buf || index >= buf->slots.size()) {
+        throw std::out_of_range("SharedArrayBuffer read out of range");
+    }
+    return sab_shadow(buf)[index];
+}
+
+void kernel::k_sab_store(const rt::shared_buffer_ptr& buf, std::size_t index, double value)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    if (buf && index < buf->slots.size()) sab_shadow(buf)[index] = value;
+    // Mirror into the real buffer so non-kernel observers keep working.
+    natives_.sab_store(buf, index, value);
+}
+
+// --- storage ------------------------------------------------------------------------------
+
+bool kernel::k_indexeddb_put(const std::string& db, const std::string& key, rt::js_value value)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    if (policy_deny_idb(ctx_->owner().private_browsing())) return false;
+    return natives_.indexeddb_put(db, key, std::move(value));
+}
+
+rt::js_value kernel::k_indexeddb_get(const std::string& db, const std::string& key)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    if (policy_deny_idb(ctx_->owner().private_browsing())) return rt::js_value{};
+    return natives_.indexeddb_get(db, key);
+}
+
+// --- worker-side kernel plumbing --------------------------------------------------------------
+
+void kernel::on_parent_message(const rt::message_event& event)
+{
+    const rt::js_value type = event.data.get("__jsk");
+    if (!type.is_string()) return;  // unknown traffic: drop
+    if (type.as_string() == "sys") {
+        const std::string cmd = event.data.get("cmd").as_string();
+        if (cmd == "prepare-terminate") {
+            enter_user_closed();
+            awaiting_ready_to_die = true;
+            maybe_signal_drained();
+        } else if (cmd == "flush") {
+            awaiting_flush_ack = true;
+            maybe_signal_drained();
+        }
+        return;
+    }
+    if (type.as_string() == "user") {
+        if (user_closed_) return;
+        ++self_onmessage_seq_;
+        const ktime predicted = prediction_->sequence_predict(
+            self_onmessage_base_, self_onmessage_seq_, opts_.intervals.onmessage);
+        sched_.register_ready(
+            kevent_type::self_onmessage, predicted,
+            [this, data = event.data.get("data"), origin = event.origin] {
+                if (!user_closed_ && user_self_onmessage_) {
+                    user_self_onmessage_(rt::message_event{data, origin, false});
+                }
+            },
+            "self.onmessage");
+    }
+}
+
+void kernel::send_sys_to_parent(const std::string& cmd, rt::js_value payload)
+{
+    natives_.post_message_to_parent(wrap_sys(cmd, std::move(payload)), {});
+}
+
+void kernel::enter_user_closed()
+{
+    if (user_closed_) return;
+    user_closed_ = true;
+    // User-observable events stop immediately.
+    queue_.cancel_all();
+    for (const auto& [id, binding] : timers_) natives_.clear_timeout(binding.native);
+    timers_.clear();
+    for (const auto& [id, binding] : intervals_) natives_.clear_interval(binding.native);
+    intervals_.clear();
+    disp_.pump();  // discard the cancelled backlog
+}
+
+void kernel::send_horizon()
+{
+    if (role_ != role::worker || user_closed_) return;
+    // Earliest kernel time a user send could still happen: the next queued
+    // event (user code only runs inside dispatched events). An empty queue
+    // with no outstanding fetch means "reactive only" (-1): the parent may
+    // run free until it sends us something.
+    ktime horizon = queue_.next_pending_time();
+    if (outstanding_fetches_ > 0 && horizon < 0) {
+        horizon = clock_.display() + prediction_->intervals.fetch;
+    }
+    // The certificate also states how many user messages this kernel has
+    // seen; the parent ignores a stale "reactive only" cert that crossed
+    // with a message still in flight.
+    if (horizon == last_horizon_sent_ && self_onmessage_seq_ == last_horizon_seen_) return;
+    last_horizon_sent_ = horizon;
+    last_horizon_seen_ = self_onmessage_seq_;
+    send_sys_to_parent("horizon",
+                       rt::make_object({{"t", horizon},
+                                        {"seen", static_cast<double>(self_onmessage_seq_)}}));
+}
+
+void kernel::after_dispatch()
+{
+    if (role_ == role::worker) send_horizon();
+}
+
+void kernel::maybe_signal_drained()
+{
+    if (outstanding_fetches_ > 0) return;
+    if (awaiting_ready_to_die) {
+        awaiting_ready_to_die = false;
+        send_sys_to_parent("ready-to-die");
+    }
+    if (awaiting_flush_ack) {
+        awaiting_flush_ack = false;
+        send_sys_to_parent("flush-ack");
+    }
+}
+
+}  // namespace jsk::kernel

@@ -1,0 +1,228 @@
+// JSKernel (§III): the kernel installed into one execution context.
+//
+// Installation snapshots the context's native API table (the kernel's
+// private, attacker-unreachable copies), replaces every interposable entry
+// with a kernel version, and locks the trap slots. From then on every
+// asynchronous observable goes through registration -> confirmation ->
+// predicted-order dispatch, and every clock displays kernel time.
+//
+// One kernel instance exists per thread: the main kernel additionally runs
+// the thread manager; worker kernels hold a channel back to their parent.
+// Each kernel has its *own* event queue and clock (§III-E1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/dispatcher.h"
+#include "kernel/event_queue.h"
+#include "kernel/kclock.h"
+#include "kernel/journal.h"
+#include "kernel/kevent.h"
+#include "kernel/policy.h"
+#include "kernel/prediction.h"
+#include "kernel/scheduler.h"
+#include "kernel/thread_manager.h"
+#include "runtime/browser.h"
+
+namespace jsk::kernel {
+
+struct kernel_options {
+    ktime tick_ms = 0.05;  // kernel clock granularity per API call
+    prediction_intervals intervals;
+    bool fuzzy_prediction = false;  // ablation: fuzzy instead of deterministic
+    std::uint64_t fuzz_seed = 1;
+    bool enable_cve_policies = true;
+    sim::time_ns interpose_cost = 50;   // ns of kernel code per wrapped call
+    sim::time_ns queue_op_cost = 150;   // ns per scheduler queue operation
+    sim::time_ns dom_interpose_cost = 35;  // extra ns on DOM attribute traps
+    double date_epoch_ms = 1'580'000'000'000.0;
+};
+
+class kernel {
+public:
+    enum class role { main, worker };
+
+    /// Boot a kernel onto the browser's main context. The returned object
+    /// owns every child kernel it later creates for workers.
+    static std::unique_ptr<kernel> boot(rt::browser& b, kernel_options opts = {});
+
+    kernel(rt::context& ctx, kernel_options opts, role r, kernel* parent);
+    ~kernel();
+
+    kernel(const kernel&) = delete;
+    kernel& operator=(const kernel&) = delete;
+
+    // --- component access (used by scheduler/dispatcher/thread manager) ---
+    [[nodiscard]] rt::context& ctx() { return *ctx_; }
+    [[nodiscard]] rt::browser& browser() { return ctx_->owner(); }
+    [[nodiscard]] event_queue& queue() { return queue_; }
+    [[nodiscard]] kclock& clock() { return clock_; }
+    [[nodiscard]] prediction_strategy& prediction() { return *prediction_; }
+    [[nodiscard]] scheduler& sched() { return sched_; }
+    [[nodiscard]] dispatcher& disp() { return disp_; }
+    [[nodiscard]] thread_manager& threads() { return threads_; }
+    [[nodiscard]] const kernel_options& options() const { return opts_; }
+    [[nodiscard]] role kind() const { return role_; }
+    [[nodiscard]] kernel* parent() { return parent_; }
+    [[nodiscard]] const rt::api_table& natives() const { return natives_; }
+
+    // --- policies ---
+    void add_policy(std::unique_ptr<policy> p) { policies_.push_back(std::move(p)); }
+    [[nodiscard]] const std::vector<std::unique_ptr<policy>>& policies() const
+    {
+        return policies_;
+    }
+    bool policy_block_fetch(const std::string& url);
+    bool policy_block_xhr(const std::string& url, bool cross_origin);
+    bool policy_mediate_import(const std::string& url, bool cross_origin);
+    bool policy_deny_idb(bool private_mode);
+    bool policy_reject_onmessage(bool valid);
+    std::string policy_sanitize_error(const std::string& raw);
+
+    // --- worker-side plumbing ---
+    /// Store the user's self.onmessage handler (trap target).
+    void set_user_self_onmessage(rt::message_cb cb) { user_self_onmessage_ = std::move(cb); }
+    /// Native self.onmessage of a kernel worker lands here.
+    void on_parent_message(const rt::message_event& event);
+    void send_sys_to_parent(const std::string& cmd, rt::js_value payload = {});
+    [[nodiscard]] bool user_closed() const { return user_closed_; }
+    /// User-level closure: user events stop; the native thread stays until
+    /// the termination handshake completes.
+    void enter_user_closed();
+    /// Send ready-to-die / flush-ack once nothing is outstanding.
+    void maybe_signal_drained();
+
+    /// Null-message protocol (worker kernels): certify to the parent the
+    /// earliest kernel time at which this thread could still send a user
+    /// message (-1 = never, unless prompted by new input). The parent's
+    /// channel guard blocks its dispatch frontier at that horizon, which is
+    /// what makes cross-thread message arrival *order-independent* — see
+    /// DESIGN.md §4 and tests/properties/test_program_fuzz.cpp.
+    void send_horizon();
+
+    /// Called by the dispatcher after every dispatched event.
+    void after_dispatch();
+
+    /// Adopt a child kernel (main kernel owns worker kernels).
+    kernel& adopt_child(std::unique_ptr<kernel> child);
+
+    // --- bookkeeping shared with components ---
+    void charge_interpose() { ctx_->consume(opts_.interpose_cost); }
+    void charge_queue_op() { ctx_->consume(opts_.queue_op_cost); }
+    [[nodiscard]] int outstanding_fetches() const { return outstanding_fetches_; }
+
+    // --- instrumentation for benches/tests ---
+    [[nodiscard]] std::uint64_t api_calls() const { return api_calls_; }
+    [[nodiscard]] std::uint64_t events_dispatched() const { return disp_.dispatched(); }
+    /// Append-only record of every dispatched kernel event (determinism
+    /// evidence; see kernel/journal.h).
+    [[nodiscard]] const journal& dispatch_journal() const { return journal_; }
+    [[nodiscard]] journal& dispatch_journal() { return journal_; }
+
+    /// Pending flags consumed by the worker-side drain handshake.
+    bool awaiting_ready_to_die = false;
+    bool awaiting_flush_ack = false;
+
+private:
+    friend class thread_manager;
+    friend class dispatcher;
+    friend class scheduler;
+
+    void install();
+
+    // Kernel API implementations (replacing the api_table entries).
+    std::int64_t k_set_timeout(rt::timer_cb cb, sim::time_ns delay);
+    void k_clear_timeout(std::int64_t id);
+    std::int64_t k_set_interval(rt::timer_cb cb, sim::time_ns period);
+    void k_clear_interval(std::int64_t id);
+    std::int64_t k_request_animation_frame(rt::frame_cb cb);
+    void k_cancel_animation_frame(std::int64_t id);
+    double k_performance_now();
+    double k_date_now();
+    rt::worker_ptr k_create_worker(const std::string& src);
+    rt::context* k_create_iframe(const std::string& name);
+    void k_post_message_to_parent(rt::js_value data, rt::transfer_list transfer);
+    void k_set_self_onmessage(rt::message_cb cb);
+    void k_close_self();
+    void k_import_scripts(const std::vector<std::string>& urls);
+    void k_fetch(const std::string& url, rt::fetch_options options, rt::fetch_cb then,
+                 rt::fetch_cb fail);
+    void k_abort_fetch(const rt::abort_signal& signal);
+    void k_xhr(const std::string& url, rt::fetch_cb done);
+    void k_reload();
+    void k_append_child(const rt::element_ptr& parent, const rt::element_ptr& child);
+    std::string k_get_attribute(const rt::element_ptr& el, const std::string& name);
+    void k_set_attribute(const rt::element_ptr& el, const std::string& name,
+                         const std::string& value);
+    void k_set_cue_callback(const rt::element_ptr& el, rt::timer_cb cb);
+    double k_sab_load(const rt::shared_buffer_ptr& buf, std::size_t index);
+    void k_sab_store(const rt::shared_buffer_ptr& buf, std::size_t index, double value);
+    bool k_indexeddb_put(const std::string& db, const std::string& key, rt::js_value value);
+    rt::js_value k_indexeddb_get(const std::string& db, const std::string& key);
+
+    [[nodiscard]] bool is_cross_origin(const std::string& url) const;
+
+    rt::context* ctx_;
+    kernel_options opts_;
+    role role_;
+    kernel* parent_;
+
+    rt::api_table natives_;  // private copies taken before replacement
+    event_queue queue_;
+    kclock clock_;
+    journal journal_;
+    std::unique_ptr<prediction_strategy> prediction_;
+    scheduler sched_;
+    dispatcher disp_;
+    thread_manager threads_;
+    std::vector<std::unique_ptr<policy>> policies_;
+    std::vector<std::unique_ptr<kernel>> children_;
+
+    // timers: kernel id -> (kevent id, native id)
+    struct timer_binding {
+        std::uint64_t event = 0;
+        std::int64_t native = 0;
+    };
+    std::unordered_map<std::int64_t, timer_binding> timers_;
+    std::int64_t next_timer_id_ = 1;
+
+    struct interval_binding {
+        std::int64_t native = 0;
+        ktime base = 0.0;
+        ktime period_ms = 0.0;
+        std::uint64_t seq = 0;
+        std::uint64_t pending_event = 0;  // the next tick, registered ahead
+        std::vector<std::uint64_t> live_events;  // all undispatched ticks
+        rt::timer_cb cb;
+    };
+    std::unordered_map<std::int64_t, interval_binding> intervals_;
+
+    std::unordered_map<std::int64_t, timer_binding> rafs_;
+    std::int64_t next_raf_id_ = 1;
+
+    struct cue_binding {
+        ktime base = 0.0;
+        std::uint64_t seq = 0;
+    };
+    std::unordered_map<rt::element*, cue_binding> cues_;
+    std::unordered_map<rt::element*, ktime> anim_reads_;  // first-read clock base
+    std::unordered_map<rt::shared_buffer*, std::vector<double>> sab_shadow_;
+    std::vector<double>& sab_shadow(const rt::shared_buffer_ptr& buf);
+
+    // worker-side state
+    rt::message_cb user_self_onmessage_;
+    std::uint64_t self_onmessage_seq_ = 0;
+    ktime self_onmessage_base_ = 0.0;
+    bool user_closed_ = false;
+    ktime last_horizon_sent_ = -2.0;  // -2 = never sent; -1 = "infinity"
+    std::uint64_t last_horizon_seen_ = static_cast<std::uint64_t>(-1);
+
+    int outstanding_fetches_ = 0;
+    std::uint64_t api_calls_ = 0;
+};
+
+}  // namespace jsk::kernel

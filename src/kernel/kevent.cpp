@@ -1,0 +1,36 @@
+#include "kernel/kevent.h"
+
+namespace jsk::kernel {
+
+const char* to_string(kevent_type type)
+{
+    switch (type) {
+        case kevent_type::timeout: return "timeout";
+        case kevent_type::interval_tick: return "interval_tick";
+        case kevent_type::animation_frame: return "animation_frame";
+        case kevent_type::self_onmessage: return "self_onmessage";
+        case kevent_type::worker_onmessage: return "worker_onmessage";
+        case kevent_type::worker_onerror: return "worker_onerror";
+        case kevent_type::fetch_then: return "fetch_then";
+        case kevent_type::fetch_fail: return "fetch_fail";
+        case kevent_type::xhr_done: return "xhr_done";
+        case kevent_type::load: return "load";
+        case kevent_type::video_cue: return "video_cue";
+        case kevent_type::sys: return "sys";
+        case kevent_type::generic: return "generic";
+    }
+    return "unknown";
+}
+
+const char* to_string(kevent_status status)
+{
+    switch (status) {
+        case kevent_status::pending: return "pending";
+        case kevent_status::ready: return "ready";
+        case kevent_status::cancelled: return "cancelled";
+        case kevent_status::done: return "done";
+    }
+    return "unknown";
+}
+
+}  // namespace jsk::kernel

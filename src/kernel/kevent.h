@@ -1,0 +1,56 @@
+// Kernel event objects (§III-C1).
+//
+// Every asynchronous occurrence a user script can observe — a timer firing,
+// an animation frame, a message arriving, a fetch resolving — becomes a
+// kernel event with a *predicted time* on the kernel's virtual timeline. The
+// dispatcher replays events strictly in predicted order, so the observable
+// interleaving is a pure function of the program, not of physical timing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace jsk::kernel {
+
+/// Kernel virtual time, in kernel milliseconds. Kernel time only ever moves
+/// through clock ticks and dispatch advances — it is never read from a
+/// physical clock.
+using ktime = double;
+
+enum class kevent_status {
+    pending,    // registered; waiting for the native trigger (confirmation)
+    ready,      // confirmed; waiting for its turn in predicted order
+    cancelled,  // user cancelled before dispatch
+    done,       // dispatched
+};
+
+enum class kevent_type {
+    timeout,
+    interval_tick,
+    animation_frame,
+    self_onmessage,    // message delivered into a worker scope
+    worker_onmessage,  // message delivered to the parent-side handler
+    worker_onerror,
+    fetch_then,
+    fetch_fail,
+    xhr_done,
+    load,          // DOM resource load callbacks
+    video_cue,
+    sys,           // kernel-internal bookkeeping events
+    generic,
+};
+
+const char* to_string(kevent_type type);
+const char* to_string(kevent_status status);
+
+struct kevent {
+    std::uint64_t id = 0;
+    kevent_type type = kevent_type::generic;
+    kevent_status status = kevent_status::pending;
+    ktime predicted_time = 0.0;
+    std::function<void()> callback;  // bound with this/args at confirmation
+    std::string label;
+};
+
+}  // namespace jsk::kernel

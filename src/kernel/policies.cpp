@@ -1,0 +1,105 @@
+// The manually specified, vulnerability-specific policies of §IV-B.
+#include "kernel/policy.h"
+
+#include <memory>
+
+#include "kernel/kernel.h"
+
+namespace jsk::kernel {
+
+namespace {
+
+/// CVE-2013-1714: "JSKernel enforces a policy to check the origins for all
+/// the requests coming from a web worker."
+class worker_xhr_origin_check final : public policy {
+public:
+    [[nodiscard]] const char* name() const override { return "worker-xhr-origin-check"; }
+    [[nodiscard]] const char* cve() const override { return "CVE-2013-1714"; }
+    bool on_xhr(kernel&, const std::string&, bool cross_origin) override
+    {
+        return cross_origin;  // block: same-origin policy enforced in the kernel
+    }
+};
+
+/// CVE-2013-5602: "JSKernel enforces a policy to avoid assigning an
+/// onmessage callback by hooking both the setter function of onmessage and
+/// setEventListener."
+class onmessage_validation final : public policy {
+public:
+    [[nodiscard]] const char* name() const override { return "onmessage-validation"; }
+    [[nodiscard]] const char* cve() const override { return "CVE-2013-5602"; }
+    bool on_onmessage_assign(kernel&, bool valid) override
+    {
+        return !valid;  // reject null/invalid handlers at the trap
+    }
+};
+
+/// CVE-2017-7843: "avoid access to indexedDB during private browsing mode to
+/// obey the mode's specification."
+class private_idb_deny final : public policy {
+public:
+    [[nodiscard]] const char* name() const override { return "private-idb-deny"; }
+    [[nodiscard]] const char* cve() const override { return "CVE-2017-7843"; }
+    bool on_indexeddb(kernel&, bool private_mode) override { return private_mode; }
+};
+
+/// CVE-2014-1487 / CVE-2015-7215: "sanitizes the error message ... by
+/// throwing a new message without the cross-origin information."
+class error_sanitizer final : public policy {
+public:
+    [[nodiscard]] const char* name() const override { return "error-sanitizer"; }
+    [[nodiscard]] const char* cve() const override { return "CVE-2014-1487"; }
+    std::string on_worker_error(kernel&, const std::string&) override
+    {
+        return "Script error.";  // the standard cross-origin-safe message
+    }
+};
+
+/// CVE-2011-1190 / CVE-2015-7215: the kernel mediates cross-origin (or
+/// unresolvable) importScripts itself — native error objects and source
+/// exposure never reach user space.
+class mediated_import final : public policy {
+public:
+    [[nodiscard]] const char* name() const override { return "mediated-import"; }
+    [[nodiscard]] const char* cve() const override { return "CVE-2011-1190"; }
+    bool on_import(kernel&, const std::string&, bool cross_origin) override
+    {
+        return cross_origin;
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<policy> make_policy_worker_xhr_origin_check()
+{
+    return std::make_unique<worker_xhr_origin_check>();
+}
+std::unique_ptr<policy> make_policy_onmessage_validation()
+{
+    return std::make_unique<onmessage_validation>();
+}
+std::unique_ptr<policy> make_policy_private_idb_deny()
+{
+    return std::make_unique<private_idb_deny>();
+}
+std::unique_ptr<policy> make_policy_error_sanitizer()
+{
+    return std::make_unique<error_sanitizer>();
+}
+std::unique_ptr<policy> make_policy_mediated_import()
+{
+    return std::make_unique<mediated_import>();
+}
+
+std::vector<std::unique_ptr<policy>> default_policies()
+{
+    std::vector<std::unique_ptr<policy>> out;
+    out.push_back(make_policy_worker_xhr_origin_check());
+    out.push_back(make_policy_onmessage_validation());
+    out.push_back(make_policy_private_idb_deny());
+    out.push_back(make_policy_error_sanitizer());
+    out.push_back(make_policy_mediated_import());
+    return out;
+}
+
+}  // namespace jsk::kernel

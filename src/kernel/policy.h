@@ -1,0 +1,87 @@
+// Security policies (§II-B).
+//
+// A JSKernel policy specifies what the kernel does when user-space code calls
+// an interposable function. The general deterministic-scheduling policy of
+// Listing 3 is built into the scheduler/prediction machinery; the manually
+// written, vulnerability-specific policies of Listing 4 / §IV-B live here as
+// small objects consulted at each interposition point.
+//
+// Hook convention: a hook returns true when the policy *handled* the call
+// (blocked or replaced it); the kernel then skips the native path. Policies
+// are consulted in registration order, first handler wins.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jsk::kernel {
+
+class kernel;
+
+class policy {
+public:
+    virtual ~policy() = default;
+
+    [[nodiscard]] virtual const char* name() const = 0;
+    [[nodiscard]] virtual const char* cve() const { return ""; }
+
+    /// JSKernel_Fetch: a fetch is being registered. Returning true blocks it.
+    virtual bool on_fetch(kernel&, const std::string& url)
+    {
+        (void)url;
+        return false;
+    }
+
+    /// Worker-thread XMLHttpRequest. `cross_origin` is the kernel's own
+    /// origin comparison. Returning true blocks the request.
+    virtual bool on_xhr(kernel&, const std::string& url, bool cross_origin)
+    {
+        (void)url;
+        (void)cross_origin;
+        return false;
+    }
+
+    /// importScripts() of one URL. Returning true means the kernel mediates
+    /// the import itself (no native path, no leaky error objects).
+    virtual bool on_import(kernel&, const std::string& url, bool cross_origin)
+    {
+        (void)url;
+        (void)cross_origin;
+        return false;
+    }
+
+    /// indexedDB access. Returning true denies the access.
+    virtual bool on_indexeddb(kernel&, bool private_mode)
+    {
+        (void)private_mode;
+        return false;
+    }
+
+    /// worker.onmessage assignment through the kernel trap. `valid` is false
+    /// for null/invalid handlers. Returning true rejects the assignment.
+    virtual bool on_onmessage_assign(kernel&, bool valid)
+    {
+        (void)valid;
+        return false;
+    }
+
+    /// Error text about to reach a user handler; return the sanitized form.
+    virtual std::string on_worker_error(kernel&, const std::string& raw) { return raw; }
+};
+
+/// The policy set shipped by default: one policy per manually analysed CVE
+/// (§IV-B). The worker-lifecycle CVEs (2018-5092, 2014-3194, 2014-1719,
+/// 2014-1488, 2013-6646, 2010-4576) need no policy object — the thread
+/// manager's termination protocol (the kernel-level half of Listing 4)
+/// prevents their trigger sequences structurally.
+std::vector<std::unique_ptr<policy>> default_policies();
+
+/// Individual factories (tests and ablations compose their own sets).
+std::unique_ptr<policy> make_policy_worker_xhr_origin_check();   // CVE-2013-1714
+std::unique_ptr<policy> make_policy_onmessage_validation();      // CVE-2013-5602
+std::unique_ptr<policy> make_policy_private_idb_deny();          // CVE-2017-7843
+std::unique_ptr<policy> make_policy_error_sanitizer();           // CVE-2014-1487 / 2015-7215
+std::unique_ptr<policy> make_policy_mediated_import();           // CVE-2011-1190 / 2015-7215
+
+}  // namespace jsk::kernel

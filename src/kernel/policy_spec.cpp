@@ -1,0 +1,185 @@
+#include "kernel/policy_spec.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "kernel/json.h"
+
+namespace jsk::kernel {
+
+namespace {
+
+enum class hook_kind {
+    fetch,
+    xhr,
+    import_scripts,
+    indexeddb,
+    onmessage_assign,
+    worker_error,
+};
+
+enum class action_kind {
+    block,                  // fetch (with optional url_prefix)
+    block_cross_origin,     // xhr / import_scripts
+    mediate_cross_origin,   // import_scripts
+    deny_private,           // indexeddb
+    reject_invalid,         // onmessage_assign
+    sanitize,               // worker_error (with replacement)
+};
+
+hook_kind parse_hook(const std::string& name)
+{
+    if (name == "fetch") return hook_kind::fetch;
+    if (name == "xhr") return hook_kind::xhr;
+    if (name == "import_scripts") return hook_kind::import_scripts;
+    if (name == "indexeddb") return hook_kind::indexeddb;
+    if (name == "onmessage_assign") return hook_kind::onmessage_assign;
+    if (name == "worker_error") return hook_kind::worker_error;
+    throw std::invalid_argument("policy spec: unknown hook '" + name + "'");
+}
+
+action_kind parse_action(const std::string& name)
+{
+    if (name == "block") return action_kind::block;
+    if (name == "block-cross-origin") return action_kind::block_cross_origin;
+    if (name == "mediate-cross-origin") return action_kind::mediate_cross_origin;
+    if (name == "deny-private") return action_kind::deny_private;
+    if (name == "reject-invalid") return action_kind::reject_invalid;
+    if (name == "sanitize") return action_kind::sanitize;
+    throw std::invalid_argument("policy spec: unknown action '" + name + "'");
+}
+
+struct rule {
+    hook_kind hook;
+    action_kind action;
+    std::string url_prefix;   // for fetch block
+    std::string replacement;  // for sanitize
+};
+
+void validate_rule(const rule& r)
+{
+    const auto ok = [&] {
+        switch (r.hook) {
+            case hook_kind::fetch: return r.action == action_kind::block;
+            case hook_kind::xhr: return r.action == action_kind::block_cross_origin;
+            case hook_kind::import_scripts:
+                return r.action == action_kind::mediate_cross_origin ||
+                       r.action == action_kind::block_cross_origin;
+            case hook_kind::indexeddb: return r.action == action_kind::deny_private;
+            case hook_kind::onmessage_assign:
+                return r.action == action_kind::reject_invalid;
+            case hook_kind::worker_error: return r.action == action_kind::sanitize;
+        }
+        return false;
+    }();
+    if (!ok) throw std::invalid_argument("policy spec: action not valid for this hook");
+}
+
+/// Policy backed by a parsed rule list.
+class spec_policy final : public policy {
+public:
+    spec_policy(std::string name, std::vector<rule> rules)
+        : name_(std::move(name)), rules_(std::move(rules))
+    {
+    }
+
+    [[nodiscard]] const char* name() const override { return name_.c_str(); }
+
+    bool on_fetch(kernel&, const std::string& url) override
+    {
+        for (const auto& r : rules_) {
+            if (r.hook != hook_kind::fetch) continue;
+            if (r.url_prefix.empty() || url.rfind(r.url_prefix, 0) == 0) return true;
+        }
+        return false;
+    }
+
+    bool on_xhr(kernel&, const std::string&, bool cross_origin) override
+    {
+        for (const auto& r : rules_) {
+            if (r.hook == hook_kind::xhr && cross_origin) return true;
+        }
+        return false;
+    }
+
+    bool on_import(kernel&, const std::string&, bool cross_origin) override
+    {
+        for (const auto& r : rules_) {
+            if (r.hook == hook_kind::import_scripts && cross_origin) return true;
+        }
+        return false;
+    }
+
+    bool on_indexeddb(kernel&, bool private_mode) override
+    {
+        for (const auto& r : rules_) {
+            if (r.hook == hook_kind::indexeddb && private_mode) return true;
+        }
+        return false;
+    }
+
+    bool on_onmessage_assign(kernel&, bool valid) override
+    {
+        for (const auto& r : rules_) {
+            if (r.hook == hook_kind::onmessage_assign && !valid) return true;
+        }
+        return false;
+    }
+
+    std::string on_worker_error(kernel&, const std::string& raw) override
+    {
+        for (const auto& r : rules_) {
+            if (r.hook == hook_kind::worker_error) return r.replacement;
+        }
+        return raw;
+    }
+
+private:
+    std::string name_;
+    std::vector<rule> rules_;
+};
+
+}  // namespace
+
+std::unique_ptr<policy> load_policy_spec(const std::string& json_text)
+{
+    const json::value doc = json::parse(json_text);
+    if (!doc.is_object()) throw std::invalid_argument("policy spec: document must be an object");
+    const std::string name = doc.get_string("name", "unnamed-policy");
+    const json::value rules_value = doc.get("rules");
+    if (!rules_value.is_array()) {
+        throw std::invalid_argument("policy spec: 'rules' must be an array");
+    }
+
+    std::vector<rule> rules;
+    for (const auto& entry : rules_value.as_array()) {
+        if (!entry.is_object()) {
+            throw std::invalid_argument("policy spec: each rule must be an object");
+        }
+        rule r;
+        r.hook = parse_hook(entry.get_string("hook"));
+        r.action = parse_action(entry.get_string("action"));
+        r.url_prefix = entry.get_string("url_prefix");
+        r.replacement = entry.get_string("replacement", "Script error.");
+        validate_rule(r);
+        rules.push_back(std::move(r));
+    }
+    if (rules.empty()) throw std::invalid_argument("policy spec: no rules");
+    return std::make_unique<spec_policy>(name, std::move(rules));
+}
+
+std::string default_policy_spec_json()
+{
+    return R"({
+  "name": "jskernel-default-bundle",
+  "rules": [
+    {"hook": "xhr",              "action": "block-cross-origin"},
+    {"hook": "onmessage_assign", "action": "reject-invalid"},
+    {"hook": "indexeddb",        "action": "deny-private"},
+    {"hook": "worker_error",     "action": "sanitize", "replacement": "Script error."},
+    {"hook": "import_scripts",   "action": "mediate-cross-origin"}
+  ]
+})";
+}
+
+}  // namespace jsk::kernel

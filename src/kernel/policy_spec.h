@@ -1,0 +1,38 @@
+// JSON policy specifications (§II-B: "A security policy in JSKERNEL,
+// represented in a JSON format and specifies the corresponding functions to
+// be invoked for a user-space function call").
+//
+// Spec shape:
+//
+//   {
+//     "name": "policy_cve-2018-5092",
+//     "rules": [
+//       {"hook": "fetch",            "action": "block", "url_prefix": "https://tracker."},
+//       {"hook": "xhr",              "action": "block-cross-origin"},
+//       {"hook": "import_scripts",   "action": "mediate-cross-origin"},
+//       {"hook": "indexeddb",        "action": "deny-private"},
+//       {"hook": "onmessage_assign", "action": "reject-invalid"},
+//       {"hook": "worker_error",     "action": "sanitize", "replacement": "Script error."}
+//     ]
+//   }
+//
+// Unknown hooks/actions are rejected at load time with a descriptive error —
+// a policy that silently does nothing is worse than no policy.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kernel/policy.h"
+
+namespace jsk::kernel {
+
+/// Parse a JSON policy document into an installable policy object.
+/// Throws std::invalid_argument (or json::parse_error) on malformed specs.
+std::unique_ptr<policy> load_policy_spec(const std::string& json_text);
+
+/// Serialise the spec equivalent of the built-in default policy set —
+/// what the paper's extension ships as its JSON policy bundle.
+std::string default_policy_spec_json();
+
+}  // namespace jsk::kernel

@@ -1,0 +1,120 @@
+#include "kernel/policy_synthesis.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "kernel/policy_spec.h"
+
+namespace jsk::kernel {
+
+namespace {
+
+/// Is this event, with its detail flag, an engine-level violation?
+bool is_dangerous(const rt::rt_event& event)
+{
+    using k = rt::rt_event_kind;
+    switch (event.kind) {
+        case k::fetch_aborted:
+        case k::transferable_received:
+        case k::message_after_termination:
+        case k::terminate_during_dispatch:
+        case k::worker_double_termination:
+        case k::xhr_request:
+        case k::import_scripts_error:
+        case k::cross_origin_script_imported:
+        case k::worker_error_event:
+        case k::worker_onmessage_assigned:
+        case k::indexeddb_access:
+        case k::page_reload:
+            return event.detail_flag;
+        case k::indexeddb_persisted_private:
+        case k::fetch_freed:
+            return true;
+        default:
+            return false;
+    }
+}
+
+/// JSON rule for an API-level trigger; empty for structural ones.
+std::string rule_for(rt::rt_event_kind kind)
+{
+    using k = rt::rt_event_kind;
+    switch (kind) {
+        case k::xhr_request:
+            return R"({"hook": "xhr", "action": "block-cross-origin"})";
+        case k::worker_onmessage_assigned:
+            return R"({"hook": "onmessage_assign", "action": "reject-invalid"})";
+        case k::indexeddb_access:
+        case k::indexeddb_persisted_private:
+            return R"({"hook": "indexeddb", "action": "deny-private"})";
+        case k::worker_error_event:
+            return R"({"hook": "worker_error", "action": "sanitize", "replacement": "Script error."})";
+        case k::import_scripts_error:
+        case k::cross_origin_script_imported:
+            return R"({"hook": "import_scripts", "action": "mediate-cross-origin"})";
+        default:
+            return {};  // structural: thread-manager territory
+    }
+}
+
+bool is_structural(rt::rt_event_kind kind)
+{
+    using k = rt::rt_event_kind;
+    switch (kind) {
+        case k::fetch_aborted:
+        case k::fetch_freed:
+        case k::transferable_received:
+        case k::message_after_termination:
+        case k::terminate_during_dispatch:
+        case k::worker_double_termination:
+        case k::page_reload:
+            return true;
+        default:
+            return false;
+    }
+}
+
+}  // namespace
+
+void policy_synthesizer::attach(rt::event_bus& bus)
+{
+    bus.subscribe([this](const rt::rt_event& event) { trace_.push_back(event); });
+}
+
+synthesis_result policy_synthesizer::synthesize() const
+{
+    synthesis_result result;
+    std::vector<std::string> rules;
+    for (const auto& event : trace_) {
+        if (!is_dangerous(event)) continue;
+        if (std::find(result.trigger_kinds.begin(), result.trigger_kinds.end(), event.kind) !=
+            result.trigger_kinds.end()) {
+            continue;  // one rule per kind
+        }
+        result.trigger_kinds.push_back(event.kind);
+        if (is_structural(event.kind)) {
+            result.requires_thread_manager = true;
+            continue;
+        }
+        const std::string rule = rule_for(event.kind);
+        if (!rule.empty()) rules.push_back(rule);
+    }
+    if (result.trigger_kinds.empty()) {
+        throw std::logic_error(
+            "policy synthesis: trace contains no dangerous event to learn from");
+    }
+    if (!rules.empty()) {
+        std::string json = "{\n  \"name\": \"synthesized-policy\",\n  \"rules\": [\n";
+        for (std::size_t i = 0; i < rules.size(); ++i) {
+            json += "    " + rules[i];
+            if (i + 1 < rules.size()) json += ",";
+            json += "\n";
+        }
+        json += "  ]\n}";
+        result.policy_json = json;
+        result.synthesized = load_policy_spec(json);
+    }
+    return result;
+}
+
+}  // namespace jsk::kernel

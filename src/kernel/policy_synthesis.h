@@ -1,0 +1,54 @@
+// Automatic policy extraction (§VI: "We leave it as a future work to
+// automatically extract policies for a new vulnerability" — implemented here
+// as an extension).
+//
+// Methodology: run the exploit once on an *instrumented, vulnerable* browser
+// while a synthesizer records the runtime event trace. The dangerous events
+// (the ones whose detail flags mark an engine-level violation) identify the
+// interposition point the kernel must cover; the synthesizer emits the
+// corresponding JSON policy rules. Worker-lifecycle races carry no API-level
+// rule — they are prevented structurally by the thread manager's termination
+// protocol — so the synthesizer reports that the kernel's scheduling core is
+// required instead.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/policy.h"
+#include "runtime/events.h"
+
+namespace jsk::kernel {
+
+struct synthesis_result {
+    /// Dangerous event kinds observed in the trace, in first-seen order.
+    std::vector<rt::rt_event_kind> trigger_kinds;
+    /// True when the trace contains worker-lifecycle races: no JSON rule
+    /// exists for those; installing the kernel (thread manager) is the fix.
+    bool requires_thread_manager = false;
+    /// JSON policy document covering the API-level triggers; empty when the
+    /// trace only contains structural (lifecycle) triggers.
+    std::string policy_json;
+    /// The loaded policy object for `policy_json` (null when empty).
+    std::unique_ptr<policy> synthesized;
+};
+
+/// Records runtime events and derives a policy from the observed triggers.
+class policy_synthesizer {
+public:
+    /// Subscribe to the browser's event bus. Call before running the exploit.
+    void attach(rt::event_bus& bus);
+
+    [[nodiscard]] const std::vector<rt::rt_event>& trace() const { return trace_; }
+    void clear() { trace_.clear(); }
+
+    /// Analyse the recorded trace. Throws std::logic_error when the trace
+    /// contains no dangerous event at all (nothing to synthesize from).
+    [[nodiscard]] synthesis_result synthesize() const;
+
+private:
+    std::vector<rt::rt_event> trace_;
+};
+
+}  // namespace jsk::kernel

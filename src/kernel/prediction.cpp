@@ -1,0 +1,42 @@
+#include "kernel/prediction.h"
+
+#include <algorithm>
+
+namespace jsk::kernel {
+
+ktime prediction_strategy::expected(kevent_type type, ktime hint_ms) const
+{
+    switch (type) {
+        case kevent_type::timeout:
+        case kevent_type::interval_tick:
+            return std::max(hint_ms, intervals.timeout_min);
+        case kevent_type::self_onmessage:
+        case kevent_type::worker_onmessage:
+            return intervals.onmessage;
+        case kevent_type::animation_frame:
+            return intervals.animation_frame;
+        case kevent_type::fetch_then:
+        case kevent_type::fetch_fail:
+        case kevent_type::xhr_done:
+            return intervals.fetch;
+        case kevent_type::load:
+            return intervals.load;
+        case kevent_type::video_cue:
+            return intervals.video_cue;
+        case kevent_type::worker_onerror:
+            return intervals.error;
+        case kevent_type::sys:
+            return intervals.sys;
+        case kevent_type::generic:
+            return intervals.generic;
+    }
+    return intervals.generic;
+}
+
+std::unique_ptr<prediction_strategy> make_prediction(bool fuzzy, std::uint64_t seed)
+{
+    if (fuzzy) return std::make_unique<fuzzy_prediction>(seed);
+    return std::make_unique<deterministic_prediction>();
+}
+
+}  // namespace jsk::kernel

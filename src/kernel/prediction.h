@@ -1,0 +1,100 @@
+// Prediction strategies (§III-D1).
+//
+// At registration the scheduler predicts each event's kernel time. The
+// prediction must be a pure function of program-visible state (kernel clock,
+// per-type sequence counters, requested delays) — never of physical timing —
+// or the predicted timeline itself would leak the secret.
+//
+// Two strategies ship:
+//  * deterministic — the paper's Listing-3 policy: fixed expected interval
+//    per event type (the values JSKernel reports in Table II: 1 ms message
+//    cadence, 10 ms frame/load cadence).
+//  * fuzzy — an ablation: deterministic base plus seeded noise, mirroring the
+//    fuzzy-time family (Fuzzyfox / JavaScript Zero) inside the kernel. The
+//    evaluation shows why determinism is the right choice.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "kernel/kclock.h"
+#include "kernel/kevent.h"
+#include "sim/rng.h"
+
+namespace jsk::kernel {
+
+/// Fixed expected durations per event type, in kernel ms.
+struct prediction_intervals {
+    ktime timeout_min = 1.0;       // floor on setTimeout predictions
+    ktime onmessage = 1.0;         // postMessage delivery cadence (Table II)
+    ktime animation_frame = 10.0;  // rAF cadence under the kernel (Table II)
+    ktime fetch = 10.0;            // network completion estimate
+    ktime load = 10.0;             // DOM resource load estimate
+    ktime video_cue = 10.0;
+    ktime error = 5.0;
+    ktime sys = 0.5;
+    ktime generic = 1.0;
+};
+
+class prediction_strategy {
+public:
+    virtual ~prediction_strategy() = default;
+
+    /// Predict the kernel time for an event of `type` registered now.
+    /// `hint_ms` carries the user-requested delay for timers (<= 0 for
+    /// types without one).
+    virtual ktime predict(const kclock& clock, kevent_type type, ktime hint_ms) = 0;
+
+    /// Counter-based prediction for event streams (messages, interval ticks,
+    /// media cues): the n-th event of a stream anchored at `base`.
+    virtual ktime sequence_predict(ktime base, std::uint64_t n, ktime interval)
+    {
+        return base + static_cast<ktime>(n) * interval;
+    }
+
+    [[nodiscard]] virtual const char* name() const = 0;
+
+    /// Base expected interval for `type` (shared by both strategies).
+    [[nodiscard]] ktime expected(kevent_type type, ktime hint_ms) const;
+
+    prediction_intervals intervals;
+};
+
+/// Listing-3 deterministic scheduling: predicted = clock.display() + expected.
+class deterministic_prediction final : public prediction_strategy {
+public:
+    ktime predict(const kclock& clock, kevent_type type, ktime hint_ms) override
+    {
+        return clock.display() + expected(type, hint_ms);
+    }
+    [[nodiscard]] const char* name() const override { return "deterministic"; }
+};
+
+/// Ablation: deterministic base plus seeded jitter. Weaker by design — the
+/// bench_ablation harness quantifies how much.
+class fuzzy_prediction final : public prediction_strategy {
+public:
+    explicit fuzzy_prediction(std::uint64_t seed, double jitter_ms = 2.0)
+        : rng_(seed), jitter_ms_(jitter_ms)
+    {
+    }
+
+    ktime predict(const kclock& clock, kevent_type type, ktime hint_ms) override
+    {
+        const double noise = rng_.next_double() * jitter_ms_;
+        return clock.display() + expected(type, hint_ms) + noise;
+    }
+    ktime sequence_predict(ktime base, std::uint64_t n, ktime interval) override
+    {
+        return base + static_cast<ktime>(n) * interval + rng_.next_double() * jitter_ms_;
+    }
+    [[nodiscard]] const char* name() const override { return "fuzzy"; }
+
+private:
+    sim::rng rng_;
+    double jitter_ms_;
+};
+
+std::unique_ptr<prediction_strategy> make_prediction(bool fuzzy, std::uint64_t seed);
+
+}  // namespace jsk::kernel

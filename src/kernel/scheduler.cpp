@@ -1,0 +1,71 @@
+#include "kernel/scheduler.h"
+
+#include "kernel/kernel.h"
+
+namespace jsk::kernel {
+
+std::uint64_t scheduler::register_event(kevent_type type, ktime hint_ms, std::string label,
+                                        std::function<void()> callback)
+{
+    const ktime predicted = k_->prediction().predict(k_->clock(), type, hint_ms);
+    return register_at(type, predicted, std::move(label), std::move(callback));
+}
+
+std::uint64_t scheduler::register_at(kevent_type type, ktime predicted, std::string label,
+                                     std::function<void()> callback)
+{
+    k_->charge_queue_op();
+    kevent ev;
+    ev.id = next_id_++;
+    ev.type = type;
+    ev.status = kevent_status::pending;
+    ev.predicted_time = predicted;
+    ev.callback = std::move(callback);
+    ev.label = std::move(label);
+    k_->queue().push(std::move(ev));
+    ++registered_;
+    return next_id_ - 1;
+}
+
+void scheduler::confirm(std::uint64_t id, std::function<void()> callback)
+{
+    k_->charge_queue_op();
+    kevent* ev = k_->queue().lookup(id);
+    if (ev == nullptr) {
+        // Already dispatched or removed; the native trigger raced a cancel.
+        k_->disp().pump();
+        return;
+    }
+    if (ev->status == kevent_status::cancelled) {
+        k_->queue().remove(id);
+        k_->disp().pump();
+        return;
+    }
+    if (callback) ev->callback = std::move(callback);
+    ev->status = kevent_status::ready;
+    k_->disp().pump();
+}
+
+std::uint64_t scheduler::register_ready(kevent_type type, ktime predicted,
+                                        std::function<void()> callback, std::string label)
+{
+    const std::uint64_t id =
+        register_at(type, predicted, std::move(label), std::move(callback));
+    kevent* ev = k_->queue().lookup(id);
+    ev->status = kevent_status::ready;
+    k_->disp().pump();
+    return id;
+}
+
+bool scheduler::cancel(std::uint64_t id)
+{
+    k_->charge_queue_op();
+    kevent* ev = k_->queue().lookup(id);
+    if (ev == nullptr) return false;  // case 3: already dispatched -> ignore
+    ev->status = kevent_status::cancelled;  // cases 1 & 2
+    ev->callback = nullptr;
+    k_->disp().pump();  // a cancelled head must not block the queue
+    return true;
+}
+
+}  // namespace jsk::kernel

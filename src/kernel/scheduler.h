@@ -1,0 +1,64 @@
+// The kernel scheduler (§III-D1, §III-D2).
+//
+// Events go through two stages: *registration* — typically at the user's API
+// call, where the event gets a predicted kernel time and enters the queue
+// pending — and *confirmation*, when the native trigger fires and the event
+// becomes ready for the dispatcher. Cancellation implements the three cases
+// of §III-D2 (not happened / confirmed-but-not-dispatched / already
+// dispatched).
+//
+// For event streams whose per-event registration point is on another thread
+// (worker messages) or inside the engine (interval ticks, video cues), the
+// scheduler offers counter-based registration: predicted_n = base + n *
+// interval, where n is the stream sequence number. Both forms keep the
+// predicted timeline a pure function of the program.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "kernel/kevent.h"
+
+namespace jsk::kernel {
+
+class kernel;
+
+class scheduler {
+public:
+    explicit scheduler(kernel& k) : k_(&k) {}
+
+    /// Registration stage: create a pending event predicted by the active
+    /// prediction strategy. `callback` may be bound now (timers know their
+    /// callback up front) or later at confirmation.
+    std::uint64_t register_event(kevent_type type, ktime hint_ms, std::string label,
+                                 std::function<void()> callback = nullptr);
+
+    /// Registration with an explicit (counter-based) predicted time.
+    std::uint64_t register_at(kevent_type type, ktime predicted, std::string label,
+                              std::function<void()> callback = nullptr);
+
+    /// Confirmation stage: the native trigger fired. Marks the event ready
+    /// (binding `callback` if given) and pumps the dispatcher. Confirming a
+    /// cancelled or unknown event is a no-op (the trigger raced a cancel).
+    void confirm(std::uint64_t id, std::function<void()> callback = nullptr);
+
+    /// Register + confirm in one step, for triggers whose registration point
+    /// is the arrival itself but whose predicted time is counter-based.
+    std::uint64_t register_ready(kevent_type type, ktime predicted,
+                                 std::function<void()> callback, std::string label);
+
+    /// Cancellation (§III-D2): pending or ready events are marked cancelled;
+    /// already-dispatched ids are ignored. Returns true if a live event was
+    /// cancelled.
+    bool cancel(std::uint64_t id);
+
+    [[nodiscard]] std::uint64_t registered() const { return registered_; }
+
+private:
+    kernel* k_;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t registered_ = 0;
+};
+
+}  // namespace jsk::kernel

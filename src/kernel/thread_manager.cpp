@@ -1,0 +1,350 @@
+#include "kernel/thread_manager.h"
+
+#include <utility>
+
+#include "kernel/kernel.h"
+
+namespace jsk::kernel {
+
+namespace {
+
+/// The user-space stub for Worker objects (§III-B): a proxy whose every
+/// method calls into the kernel. User code never touches the native worker.
+class kernel_worker_stub final : public rt::worker_handle {
+public:
+    kernel_worker_stub(thread_manager& manager, std::uint64_t tid)
+        : manager_(&manager), tid_(tid)
+    {
+    }
+
+    void post_message(rt::js_value data, rt::transfer_list transfer) override
+    {
+        manager_->stub_post_message(tid_, std::move(data), std::move(transfer));
+    }
+    void set_onmessage(rt::message_cb cb) override
+    {
+        manager_->stub_set_onmessage(tid_, std::move(cb));
+    }
+    void set_onerror(rt::error_cb cb) override
+    {
+        manager_->stub_set_onerror(tid_, std::move(cb));
+    }
+    void terminate() override { manager_->stub_terminate(tid_); }
+    [[nodiscard]] bool alive() const override { return manager_->stub_alive(tid_); }
+    [[nodiscard]] std::uint64_t id() const override { return manager_->stub_native_id(tid_); }
+
+private:
+    thread_manager* manager_;
+    std::uint64_t tid_;
+};
+
+}  // namespace
+
+kthread* thread_manager::find(std::uint64_t tid)
+{
+    for (auto& kt : threads_) {
+        if (kt->id == tid) return kt.get();
+    }
+    return nullptr;
+}
+
+rt::worker_ptr thread_manager::create_user_thread(const std::string& src)
+{
+    auto kt = std::make_unique<kthread>();
+    kt->id = next_tid_++;
+    kt->src = src;
+    kt->onmessage_base = k_->clock().display();
+    kthread* raw = kt.get();
+    threads_.push_back(std::move(kt));
+    // Arm the channel guard before the kernel worker can say anything.
+    guard_create(*raw, raw->onmessage_base + k_->prediction().intervals.onmessage);
+
+    // Register the kernel bootstrap the native worker will import. It
+    // installs a child kernel (own queue + clock) and only then imports the
+    // user source under that kernel (§III-E1).
+    const std::string kernel_src =
+        "__jskernel__/" + src + "#" + std::to_string(raw->id);
+    kernel* mk = k_;
+    const std::uint64_t tid = raw->id;
+    k_->browser().register_worker_script(
+        kernel_src, [mk, src, tid](rt::context& child_ctx) {
+            auto child = std::make_unique<kernel>(child_ctx, mk->options(),
+                                                  kernel::role::worker, mk);
+            kernel& child_ref = mk->adopt_child(std::move(child));
+            if (kthread* kt2 = mk->threads().find(tid)) {
+                kt2->child_kernel = &child_ref;
+                kt2->status = "ready";
+            }
+            if (const auto* body = mk->browser().find_worker_script(src)) {
+                (*body)(child_ctx);
+            } else {
+                child_ref.send_sys_to_parent("worker-error",
+                                             rt::js_value{"Script error."});
+            }
+            child_ref.send_horizon();  // certify the post-import send horizon
+        });
+
+    raw->native = k_->natives().create_worker(kernel_src);
+    raw->native->set_onmessage([this, tid](const rt::message_event& event) {
+        const rt::js_value type = event.data.get("__jsk");
+        if (!type.is_string()) return;
+        if (type.as_string() == "sys") {
+            handle_sys_from_child(tid, event.data.get("cmd").as_string(),
+                                  event.data.get("payload"));
+        } else if (type.as_string() == "user") {
+            handle_user_from_child(tid, event.data.get("data"));
+        }
+    });
+    raw->native->set_onerror([this, tid](const std::string& raw_message) {
+        kthread* kt2 = find(tid);
+        if (kt2 == nullptr) return;
+        const std::string msg = k_->policy_sanitize_error(raw_message);
+        const ktime predicted =
+            k_->prediction().predict(k_->clock(), kevent_type::worker_onerror, 0);
+        k_->sched().register_ready(
+            kevent_type::worker_onerror, predicted,
+            [this, tid, msg] {
+                kthread* kt3 = find(tid);
+                if (kt3 != nullptr && kt3->user_onerror) kt3->user_onerror(msg);
+            },
+            "worker.onerror");
+    });
+
+    return std::make_shared<kernel_worker_stub>(*this, tid);
+}
+
+void thread_manager::stub_post_message(std::uint64_t tid, rt::js_value data,
+                                       rt::transfer_list transfer)
+{
+    k_->clock().tick();
+    k_->charge_interpose();
+    kthread* kt = find(tid);
+    if (kt == nullptr || !kt->user_alive) return;
+    ++kt->user_sent_seq;
+    if (!kt->guard_active) {
+        // The child certified "reactive only"; our send may wake it, so the
+        // guard returns before any response can arrive (causality + FIFO).
+        guard_create(*kt, k_->clock().display() + k_->prediction().intervals.onmessage);
+    }
+    kt->native->post_message(
+        rt::make_object({{"__jsk", "user"}, {"data", std::move(data)}}), std::move(transfer));
+}
+
+void thread_manager::stub_set_onmessage(std::uint64_t tid, rt::message_cb cb)
+{
+    k_->clock().tick();
+    k_->charge_interpose();
+    kthread* kt = find(tid);
+    if (kt == nullptr) return;
+    // Kernel trap: the assignment is validated, never handed to the native
+    // setter (CVE-2013-5602's null-handler dereference cannot happen).
+    if (k_->policy_reject_onmessage(static_cast<bool>(cb))) return;
+    kt->user_onmessage = std::move(cb);
+}
+
+void thread_manager::stub_set_onerror(std::uint64_t tid, rt::error_cb cb)
+{
+    k_->clock().tick();
+    k_->charge_interpose();
+    if (kthread* kt = find(tid)) kt->user_onerror = std::move(cb);
+}
+
+void thread_manager::stub_terminate(std::uint64_t tid)
+{
+    k_->clock().tick();
+    k_->charge_interpose();
+    kthread* kt = find(tid);
+    if (kt == nullptr || !kt->user_alive) return;
+    kt->user_alive = false;  // immediate at the user level
+    guard_clear(*kt);        // no user deliveries can dispatch anymore
+    begin_termination(*kt);
+}
+
+bool thread_manager::stub_alive(std::uint64_t tid) const
+{
+    for (const auto& kt : threads_) {
+        if (kt->id == tid) return kt->user_alive;
+    }
+    return false;
+}
+
+std::uint64_t thread_manager::stub_native_id(std::uint64_t tid) const
+{
+    for (const auto& kt : threads_) {
+        if (kt->id == tid) return kt->native ? kt->native->id() : 0;
+    }
+    return 0;
+}
+
+void thread_manager::begin_termination(kthread& kt)
+{
+    if (kt.status == "closing" || kt.status == "closed") return;
+    kt.status = "closing";
+    // The native thread dies only after the child drained (ready-to-die).
+    send_sys_to_child(kt, "prepare-terminate");
+}
+
+void thread_manager::send_sys_to_child(kthread& kt, const std::string& cmd,
+                                       rt::js_value payload)
+{
+    if (!kt.native || kt.native_terminated) return;
+    kt.native->post_message(
+        rt::make_object({{"__jsk", "sys"}, {"cmd", cmd}, {"payload", std::move(payload)}}),
+        {});
+}
+
+void thread_manager::handle_sys_from_child(std::uint64_t tid, const std::string& cmd,
+                                           const rt::js_value& payload)
+{
+    kthread* kt = find(tid);
+    if (kt == nullptr) return;
+    if (cmd == "horizon") {
+        const rt::js_value t = payload.get("t");
+        const rt::js_value seen = payload.get("seen");
+        guard_advance(*kt, t.is_number() ? t.as_number() : -1.0,
+                      seen.is_number() ? static_cast<std::uint64_t>(seen.as_number()) : 0);
+    } else if (cmd == "self-closed") {
+        kt->user_alive = false;
+        guard_clear(*kt);
+        begin_termination(*kt);
+    } else if (cmd == "ready-to-die") {
+        if (!kt->native_terminated && kt->native) {
+            kt->native->terminate();  // child is idle: exactly one native kill
+            kt->native_terminated = true;
+            kt->status = "closed";
+        }
+        barrier_release(*kt);  // a dying thread satisfies any pending barrier
+    } else if (cmd == "flush-ack") {
+        if (kt->flush_ack_pending) {
+            kt->flush_ack_pending = false;
+            barrier_dec();
+        }
+    } else if (cmd == "worker-error") {
+        const std::string msg =
+            k_->policy_sanitize_error(payload.is_string() ? payload.as_string() : "error");
+        const ktime predicted =
+            k_->prediction().predict(k_->clock(), kevent_type::worker_onerror, 0);
+        k_->sched().register_ready(
+            kevent_type::worker_onerror, predicted,
+            [this, tid, msg] {
+                kthread* kt2 = find(tid);
+                if (kt2 != nullptr && kt2->user_onerror) kt2->user_onerror(msg);
+            },
+            "worker.onerror");
+    }
+}
+
+void thread_manager::handle_user_from_child(std::uint64_t tid, const rt::js_value& data)
+{
+    kthread* kt = find(tid);
+    if (kt == nullptr || !kt->user_alive) return;
+    ++kt->onmessage_seq;
+    // Clamp to the channel guard: the guard is the dispatch frontier, so the
+    // delivery can never be ordered behind something that only dispatched
+    // because the message was physically late.
+    const ktime floor_time = kt->guard_active ? kt->guard_predicted : k_->clock().display();
+    const ktime predicted =
+        std::max(floor_time,
+                 k_->prediction().sequence_predict(kt->onmessage_base, kt->onmessage_seq,
+                                                   k_->prediction().intervals.onmessage));
+    k_->sched().register_ready(
+        kevent_type::worker_onmessage, predicted,
+        [this, tid, data] {
+            kthread* kt2 = find(tid);
+            if (kt2 != nullptr && kt2->user_alive && kt2->user_onmessage) {
+                kt2->user_onmessage(rt::message_event{data, k_->ctx().origin(), false});
+            }
+        },
+        "worker.onmessage");
+}
+
+void thread_manager::flush_all_then(std::function<void()> done)
+{
+    for (auto& kt : threads_) {
+        if (kt->native_terminated || kt->status == "closed") continue;
+        if (kt->status == "closing") {
+            // Mid-termination: the barrier waits for the handshake to finish
+            // (its in-flight fetches must not be freed by a reload).
+            if (!kt->barrier_waiting) {
+                kt->barrier_waiting = true;
+                ++barrier_remaining_;
+            }
+            continue;
+        }
+        if (!kt->flush_ack_pending) {
+            kt->flush_ack_pending = true;
+            ++barrier_remaining_;
+            send_sys_to_child(*kt, "flush");
+        }
+    }
+    if (barrier_remaining_ == 0) {
+        done();
+        return;
+    }
+    flush_done_.push_back(std::move(done));
+}
+
+void thread_manager::barrier_release(kthread& kt)
+{
+    if (kt.barrier_waiting) {
+        kt.barrier_waiting = false;
+        barrier_dec();
+    }
+    if (kt.flush_ack_pending) {
+        kt.flush_ack_pending = false;
+        barrier_dec();
+    }
+}
+
+// --- channel guards (null-message protocol) ---------------------------------
+
+void thread_manager::guard_create(kthread& kt, ktime predicted)
+{
+    if (kt.guard_active) return;
+    kt.guard_event = k_->sched().register_at(kevent_type::sys, predicted,
+                                             "channel-guard:" + kt.src);
+    kt.guard_active = true;
+    kt.guard_predicted = predicted;
+}
+
+void thread_manager::guard_advance(kthread& kt, ktime horizon, std::uint64_t seen)
+{
+    if (horizon < 0) {
+        // "Reactive only" — honour it only if the certificate covers every
+        // user message we have sent; otherwise it crossed with an in-flight
+        // message and a fresher horizon will follow once the child sees it.
+        if (seen >= kt.user_sent_seq) guard_clear(kt);
+        return;
+    }
+    if (!kt.guard_active) {
+        // Spontaneous horizon while unguarded (child still draining a
+        // previous round): re-arm at the certified time.
+        guard_create(kt, std::max(horizon, kt.guard_predicted));
+        k_->disp().pump();
+        return;
+    }
+    const ktime next = std::max(kt.guard_predicted, horizon);
+    kt.guard_predicted = next;
+    k_->queue().update_predicted(kt.guard_event, next);
+    k_->disp().pump();  // the frontier moved; waiting events may now run
+}
+
+void thread_manager::guard_clear(kthread& kt)
+{
+    if (!kt.guard_active) return;
+    kt.guard_active = false;
+    k_->sched().cancel(kt.guard_event);
+    kt.guard_event = 0;
+}
+
+void thread_manager::barrier_dec()
+{
+    if (barrier_remaining_ <= 0) return;
+    if (--barrier_remaining_ == 0) {
+        auto done = std::move(flush_done_);
+        flush_done_.clear();
+        for (auto& fn : done) fn();
+    }
+}
+
+}  // namespace jsk::kernel

@@ -1,0 +1,109 @@
+// Thread management (§III-E).
+//
+// The kernel owns worker lifecycle. `new Worker(src)` returns a kernel stub
+// (the paper's Proxy); the real native worker runs a kernel bootstrap that
+// installs a child kernel — with its own event queue and clock — before
+// importing the user script. All traffic between the threads flows over the
+// single postMessage channel as an overlay: a type field distinguishes
+// kernel-space from user-space messages (§III-E2).
+//
+// Termination protocol (the kernel-level half of the Listing-4 policy):
+// user-level terminate() takes effect immediately for user code, but the
+// native thread dies only after a prepare-terminate / ready-to-die handshake
+// that drains in-flight messages and outstanding fetches. This structurally
+// prevents the trigger sequences of CVE-2018-5092, -2014-3194, -2014-1719,
+// -2014-1488 and -2010-4576; the pre-reload flush handshake covers
+// CVE-2013-6646.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/kevent.h"
+#include "runtime/api.h"
+
+namespace jsk::kernel {
+
+class kernel;
+
+/// The paper's kernel thread object: status, ID, src and the kernel worker
+/// (§III-E1), plus the user-side handler slots the stub traps.
+struct kthread {
+    std::uint64_t id = 0;
+    std::string status = "started";  // started -> ready -> closing -> closed
+    std::string src;
+    rt::worker_ptr native;           // the kernelWorker field
+    kernel* child_kernel = nullptr;  // owned by the main kernel
+    bool user_alive = true;          // what stub.alive() reports
+    bool native_terminated = false;
+    std::uint64_t onmessage_seq = 0;  // counter-based onmessage predictions
+    ktime onmessage_base = 0.0;       // main kernel clock at creation
+    rt::message_cb user_onmessage;
+    rt::error_cb user_onerror;
+    bool flush_ack_pending = false;   // flushed; waiting for its flush-ack
+    bool barrier_waiting = false;     // mid-termination; barrier waits for death
+
+    // Channel guard (null-message protocol): a standing pending event in the
+    // parent's queue that caps the dispatch frontier at the child's certified
+    // send horizon. Without it, a message arriving after the parent dispatched
+    // past its predicted slot would be ordered by *arrival* — a physical-time
+    // leak (found by tests/properties/test_program_fuzz.cpp).
+    std::uint64_t guard_event = 0;
+    bool guard_active = false;
+    ktime guard_predicted = 0.0;
+    std::uint64_t user_sent_seq = 0;  // user messages sent to the child
+};
+
+class thread_manager {
+public:
+    explicit thread_manager(kernel& k) : k_(&k) {}
+
+    /// Kernel replacement for `new Worker(src)`. Boots a kernel worker that
+    /// imports the user script, and returns the user-facing stub.
+    rt::worker_ptr create_user_thread(const std::string& src);
+
+    // --- stub entry points (user -> kernel communication, §III-B) ---
+    void stub_post_message(std::uint64_t tid, rt::js_value data, rt::transfer_list transfer);
+    void stub_set_onmessage(std::uint64_t tid, rt::message_cb cb);
+    void stub_set_onerror(std::uint64_t tid, rt::error_cb cb);
+    void stub_terminate(std::uint64_t tid);
+    [[nodiscard]] bool stub_alive(std::uint64_t tid) const;
+    [[nodiscard]] std::uint64_t stub_native_id(std::uint64_t tid) const;
+
+    /// Kernel-space message from a child kernel, already unwrapped.
+    void handle_sys_from_child(std::uint64_t tid, const std::string& cmd,
+                               const rt::js_value& payload);
+
+    /// User-space message from a child, already unwrapped.
+    void handle_user_from_child(std::uint64_t tid, const rt::js_value& data);
+
+    /// Pre-reload barrier: flush every live channel (and let children drain
+    /// outstanding fetches), then run `done`.
+    void flush_all_then(std::function<void()> done);
+
+    [[nodiscard]] kthread* find(std::uint64_t tid);
+    [[nodiscard]] const std::vector<std::unique_ptr<kthread>>& threads() const
+    {
+        return threads_;
+    }
+
+private:
+    void begin_termination(kthread& kt);
+    void send_sys_to_child(kthread& kt, const std::string& cmd, rt::js_value payload = {});
+    void barrier_release(kthread& kt);
+    void barrier_dec();
+    void guard_create(kthread& kt, ktime predicted);
+    void guard_advance(kthread& kt, ktime horizon, std::uint64_t seen);
+    void guard_clear(kthread& kt);
+
+    kernel* k_;
+    std::vector<std::unique_ptr<kthread>> threads_;
+    std::uint64_t next_tid_ = 1;
+    int barrier_remaining_ = 0;
+    std::vector<std::function<void()>> flush_done_;
+};
+
+}  // namespace jsk::kernel

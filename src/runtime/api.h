@@ -1,0 +1,129 @@
+// The interposable web-API surface.
+//
+// This is the reproduction's equivalent of the JavaScript global environment
+// an extension can redefine. Every platform capability user scripts touch is
+// reached through an `api_table` entry (a std::function slot). Defenses —
+// JSKernel above all — install themselves by replacing entries while keeping
+// private copies of the natives (§III-B "kernel API calls"). Slots that the
+// real system protects with non-configurable setters expose a freeze bit
+// (§III-B: "such properties are not configurable").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/dom.h"
+#include "runtime/js_value.h"
+#include "runtime/network.h"
+#include "sim/time.h"
+
+namespace jsk::rt {
+
+/// A delivered message, as seen by an onmessage handler.
+struct message_event {
+    js_value data;
+    std::string origin;
+    bool system = false;  // kernel-overlay traffic (never visible to user code)
+};
+
+using timer_cb = std::function<void()>;
+using frame_cb = std::function<void(double /*timestamp ms*/)>;
+using message_cb = std::function<void(const message_event&)>;
+using error_cb = std::function<void(const std::string& message)>;
+
+/// Completion value of fetch/xhr.
+struct fetch_result {
+    bool ok = false;
+    bool aborted = false;
+    std::string url;
+    std::string error;
+    std::size_t bytes = 0;
+};
+using fetch_cb = std::function<void(const fetch_result&)>;
+
+struct fetch_options {
+    abort_signal signal;  // may be null
+};
+
+/// User-visible handle to a worker. `new Worker(src)` returns one; under
+/// JSKernel the returned object is a kernel stub (a Proxy in the paper) whose
+/// methods call into the kernel instead of the native implementation.
+class worker_handle {
+public:
+    virtual ~worker_handle() = default;
+    virtual void post_message(js_value data, transfer_list transfer = {}) = 0;
+    virtual void set_onmessage(message_cb cb) = 0;
+    virtual void set_onerror(error_cb cb) = 0;
+    virtual void terminate() = 0;
+    [[nodiscard]] virtual bool alive() const = 0;
+    /// Unique id of the underlying worker (0 for detached stubs).
+    [[nodiscard]] virtual std::uint64_t id() const = 0;
+};
+using worker_ptr = std::shared_ptr<worker_handle>;
+
+/// The redefinable global environment of one execution context.
+///
+/// Invariant: every slot is non-null once the owning context finishes
+/// construction; natives remain reachable via context::native_*() so a
+/// defense can always fall through.
+struct api_table {
+    // --- timers ---
+    std::function<std::int64_t(timer_cb, sim::time_ns delay)> set_timeout;
+    std::function<void(std::int64_t)> clear_timeout;
+    std::function<std::int64_t(timer_cb, sim::time_ns delay)> set_interval;
+    std::function<void(std::int64_t)> clear_interval;
+
+    // --- animation & clocks ---
+    std::function<std::int64_t(frame_cb)> request_animation_frame;
+    std::function<void(std::int64_t)> cancel_animation_frame;
+    std::function<double()> performance_now;  // milliseconds
+    std::function<double()> date_now;         // milliseconds
+
+    // --- workers (creation side) ---
+    std::function<worker_ptr(const std::string& src)> create_worker;
+
+    // --- frames: a same-origin iframe shares the event loop but gets its
+    // --- own global environment (and, under JSKernel, its own kernel).
+    std::function<class context*(const std::string& name)> create_iframe;
+
+    // --- messaging (worker side: `self`) ---
+    std::function<void(js_value, transfer_list)> post_message_to_parent;
+    std::function<void(message_cb)> set_self_onmessage;
+    std::function<void()> close_self;
+    std::function<void(const std::vector<std::string>& urls)> import_scripts;
+
+    // --- network ---
+    std::function<void(const std::string& url, fetch_options, fetch_cb then, fetch_cb fail)>
+        fetch;
+    std::function<void(const abort_signal&)> abort_fetch;
+    std::function<void(const std::string& url, fetch_cb done)> xhr;
+
+    // --- navigation ---
+    std::function<void()> reload;
+
+    // --- DOM (main thread) ---
+    std::function<element_ptr(const std::string& tag)> create_element;
+    std::function<void(const element_ptr& parent, const element_ptr& child)> append_child;
+    std::function<std::string(const element_ptr&, const std::string& name)> get_attribute;
+    std::function<void(const element_ptr&, const std::string& name, const std::string& value)>
+        set_attribute;
+
+    // --- media (video/WebVTT cue clock) ---
+    std::function<void(const element_ptr&, sim::time_ns period)> play_video;
+    std::function<void(const element_ptr&, timer_cb)> set_cue_callback;  // trapable
+
+    // --- shared memory ---
+    std::function<shared_buffer_ptr(std::size_t slots)> create_shared_buffer;
+    std::function<double(const shared_buffer_ptr&, std::size_t index)> sab_load;
+    std::function<void(const shared_buffer_ptr&, std::size_t index, double value)> sab_store;
+
+    // --- storage ---
+    std::function<bool(const std::string& db, const std::string& key, js_value value)>
+        indexeddb_put;
+    std::function<js_value(const std::string& db, const std::string& key)> indexeddb_get;
+};
+
+}  // namespace jsk::rt

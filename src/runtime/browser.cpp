@@ -1,0 +1,298 @@
+#include "runtime/browser.h"
+
+#include <utility>
+
+namespace jsk::rt {
+
+browser::browser(browser_profile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed), net_(profile_)
+{
+    main_ = &create_context("main", context_kind::main);
+    renderer_ = std::make_unique<renderer>(*this, *main_);
+}
+
+browser::~browser() = default;
+
+context& browser::create_context(std::string name, context_kind kind,
+                                 sim::thread_id reuse_thread)
+{
+    const sim::thread_id thread =
+        reuse_thread != sim::no_thread ? reuse_thread : sim_.create_thread(name);
+    contexts_.push_back(std::make_unique<context>(*this, std::move(name), kind, thread));
+    return *contexts_.back();
+}
+
+void browser::end_private_session()
+{
+    private_browsing_ = false;
+    const std::size_t survivors = idb_.end_private_session(bugs_.idb_private_mode_persists);
+    if (survivors > 0) {
+        emit(rt_event{rt_event_kind::indexeddb_persisted_private, main_->thread(), 0,
+                      survivors, "", page_origin_, true});
+    }
+}
+
+void browser::reload_page()
+{
+    // A real teardown aborts every in-flight request; with a freed request
+    // record this is the CVE-2018-5092 use-after-free.
+    emit(rt_event{rt_event_kind::page_reload, main_->thread(), 0,
+                  static_cast<std::uint64_t>(messages_in_flight_), "", page_origin_,
+                  messages_in_flight_ > 0});
+    // Fire abort on all in-flight fetches (teardown semantics).
+    abort_all_inflight_fetches();
+}
+
+void browser::abort_all_inflight_fetches()
+{
+    for (auto* record : net_.inflight_fetches()) {
+        record->aborted = true;
+        if (record->signal) record->signal->aborted = true;
+        emit(rt_event{rt_event_kind::fetch_aborted, record->owner, 0, record->id, record->url,
+                      page_origin_, record->freed});
+    }
+}
+
+void browser::abort_fetches_with(const abort_signal& signal)
+{
+    if (!signal) return;
+    signal->aborted = true;
+    for (auto* record : net_.fetches_with(signal)) {
+        if (record->completed || record->aborted) continue;
+        record->aborted = true;
+        emit(rt_event{rt_event_kind::fetch_aborted, record->owner, 0, record->id, record->url,
+                      page_origin_, record->freed});
+    }
+}
+
+// --- workers ---------------------------------------------------------------
+
+void browser::register_worker_script(std::string src, worker_script body)
+{
+    scripts_[std::move(src)] = std::move(body);
+}
+
+const browser::worker_script* browser::find_worker_script(const std::string& src) const
+{
+    auto it = scripts_.find(src);
+    return it == scripts_.end() ? nullptr : &it->second;
+}
+
+worker_ptr browser::spawn_worker(context& parent, const std::string& src)
+{
+    auto link = std::make_shared<worker_link>();
+    link->id = next_worker_id_++;
+    link->parent = &parent;
+    link->src = src;
+
+    const sim::thread_id thread = polyfill_workers_
+                                      ? parent.thread()  // Chrome Zero: no real thread
+                                      : sim_.create_thread("worker:" + src);
+    context& child = create_context("worker:" + src, context_kind::worker, thread);
+    link->child = &child;
+    child.bind_link(link);
+    links_.push_back(link);
+
+    emit(rt_event{rt_event_kind::worker_created, parent.thread(), 0, link->id, src,
+                  page_origin_, polyfill_workers_});
+
+    // Spawn cost + script import happen asynchronously on the child thread.
+    const auto weak = std::weak_ptr<worker_link>(link);
+    child.post_task(
+        profile_.worker_spawn_cost,
+        [this, weak] {
+            if (auto strong = weak.lock()) import_worker_script(strong);
+        },
+        "worker-spawn:" + src);
+
+    return std::make_shared<native_worker>(*this, std::move(link));
+}
+
+void browser::import_worker_script(const std::shared_ptr<worker_link>& link)
+{
+    if (!link->alive || link->child == nullptr) return;
+    const worker_script* body = find_worker_script(link->src);
+    if (body == nullptr) {
+        fire_worker_error(*link, "failed to load worker script: " + link->src,
+                          bugs_.leaky_worker_error_messages);
+        return;
+    }
+    const resource* res = net_.find(link->src);
+    if (res != nullptr) {
+        link->child->consume(static_cast<sim::time_ns>(static_cast<double>(res->bytes) *
+                                                       profile_.parse_ns_per_byte));
+    }
+    (*body)(*link->child);
+    link->script_loaded = true;
+    emit(rt_event{rt_event_kind::worker_script_imported, link->child->thread(), 0, link->id,
+                  link->src, page_origin_, false});
+    // Flush any messages that arrived before the script had run.
+    std::vector<message_event> buffered;
+    buffered.swap(link->queued_before_load);
+    for (auto& event : buffered) {
+        emit(rt_event{rt_event_kind::message_delivered, link->child->thread(), 0, link->id,
+                      "", page_origin_, false});
+        link->child->deliver_self_message(event);
+    }
+}
+
+void browser::terminate_worker(worker_link& link)
+{
+    if (link.terminated) return;
+    if (link.self_closed && !polyfill_workers_) {
+        // terminate() raced with self.close(): double-termination (modelled
+        // CVE-2010-4576 trigger condition).
+        emit(rt_event{rt_event_kind::worker_double_termination, main_->thread(), 0, link.id,
+                      link.src, page_origin_, true});
+    }
+    if (link.child != nullptr && !polyfill_workers_ &&
+        sim_.thread_alive(link.child->thread()) &&
+        sim_.busy_until(link.child->thread()) > sim_.now()) {
+        // Termination landed while the worker was mid-dispatch (CVE-2014-1719).
+        emit(rt_event{rt_event_kind::terminate_during_dispatch, main_->thread(), 0, link.id,
+                      link.src, page_origin_, true});
+    }
+    if (link.inflight_to_child > 0 && !polyfill_workers_) {
+        // Messages still in flight are dispatched into a worker the engine is
+        // tearing down concurrently (modelled CVE-2014-3194). The delivery
+        // tasks themselves die with the thread.
+        emit(rt_event{rt_event_kind::message_after_termination, main_->thread(), 0, link.id,
+                      link.src, page_origin_, true});
+        messages_in_flight_ -= link.inflight_to_child;
+        link.inflight_to_child = 0;
+    }
+    link.terminated = true;
+    link.alive = false;
+    if (link.child != nullptr) {
+        link.child->close();
+        if (!polyfill_workers_) {
+            // Any fetch the worker still has in flight is freed by the engine
+            // — the "false termination" precondition of CVE-2018-5092. A
+            // polyfill worker has no engine-level teardown (and shares the
+            // main thread), so nothing is freed there.
+            for (const std::uint64_t fetch_id :
+                 net_.free_fetches_of(link.child->thread())) {
+                emit(rt_event{rt_event_kind::fetch_freed, link.child->thread(), 0, fetch_id,
+                              "", page_origin_, true});
+            }
+            sim_.destroy_thread(link.child->thread());
+        }
+    }
+    emit(rt_event{rt_event_kind::worker_terminated, main_->thread(), 0, link.id, link.src,
+                  page_origin_, link.passed_transferable});
+}
+
+void browser::worker_self_close(context& worker_ctx)
+{
+    const auto& link = worker_ctx.link();
+    if (!link || link->self_closed) return;
+    link->self_closed = true;
+    link->alive = false;
+    worker_ctx.close();
+    emit(rt_event{rt_event_kind::worker_self_closed, worker_ctx.thread(), 0, link->id,
+                  link->src, page_origin_, false});
+    if (!polyfill_workers_) sim_.destroy_thread(worker_ctx.thread());
+}
+
+void browser::post_to_child(worker_link& link, js_value data, transfer_list transfer)
+{
+    js_value cloned = structured_clone(data, transfer);
+    const sim::time_ns clone_cost = static_cast<sim::time_ns>(
+        static_cast<double>(cloned.byte_size()) * profile_.message_ns_per_byte);
+    charge(clone_cost);
+    emit(rt_event{rt_event_kind::message_posted, link.parent->thread(), 0, link.id, "",
+                  page_origin_, false});
+    ++messages_in_flight_;
+    ++link.inflight_to_child;
+
+    context* child = link.child;
+    const std::uint64_t link_id = link.id;
+    auto* self = this;
+    if (child == nullptr) return;
+    // Deliver on the child thread after channel latency.
+    const sim::time_ns when = sim_.now() + profile_.message_latency;
+    sim_.post(
+        child->thread(), when,
+        [self, child, link_id, data = std::move(cloned)] {
+            --self->messages_in_flight_;
+            auto link_ptr = child->link();
+            if (!link_ptr) return;
+            --link_ptr->inflight_to_child;
+            if (!link_ptr->alive) return;  // JS-level drop (polyfill workers)
+            if (!link_ptr->script_loaded) {
+                // Real browsers buffer messages until the worker script ran.
+                link_ptr->queued_before_load.push_back(
+                    message_event{data, self->page_origin_, false});
+                return;
+            }
+            self->charge(self->profile_.task_dispatch_cost);
+            self->emit(rt_event{rt_event_kind::message_delivered, child->thread(), 0, link_id,
+                                "", self->page_origin_, false});
+            child->deliver_self_message(message_event{data, self->page_origin_, false});
+        },
+        "onmessage");
+}
+
+void browser::post_to_parent(context& child, js_value data, transfer_list transfer)
+{
+    const auto& link = child.link();
+    if (!link) return;
+    const bool has_transfer = !transfer.empty();
+    js_value cloned = structured_clone(data, transfer);
+    const sim::time_ns clone_cost = static_cast<sim::time_ns>(
+        static_cast<double>(cloned.byte_size()) * profile_.message_ns_per_byte);
+    charge(clone_cost);
+    if (has_transfer) link->passed_transferable = true;
+    emit(rt_event{rt_event_kind::message_posted, child.thread(), 0, link->id, "",
+                  page_origin_, false});
+    ++messages_in_flight_;
+
+    const auto weak = std::weak_ptr<worker_link>(link);
+    const sim::time_ns when = sim_.now() + profile_.message_latency;
+    auto* self = this;
+    sim_.post(
+        link->parent->thread(), when,
+        [self, weak, has_transfer, data = std::move(cloned)] {
+            --self->messages_in_flight_;
+            auto link_ptr = weak.lock();
+            if (!link_ptr) return;
+            self->charge(self->profile_.task_dispatch_cost);
+            self->emit(rt_event{rt_event_kind::message_delivered,
+                                link_ptr->parent->thread(), 0, link_ptr->id, "",
+                                self->page_origin_, false});
+            if (has_transfer) {
+                // A transferable arriving after its sender was torn down uses
+                // memory the engine already freed (CVE-2014-1488). A polyfill
+                // worker has no engine-side backing store to free.
+                self->emit(rt_event{rt_event_kind::transferable_received,
+                                    link_ptr->parent->thread(), 0, link_ptr->id, "",
+                                    self->page_origin_,
+                                    !link_ptr->alive && !self->polyfill_workers_});
+            }
+            if (link_ptr->parent_onmessage) {
+                link_ptr->parent_onmessage(
+                    message_event{data, self->page_origin_, false});
+            }
+        },
+        "worker.onmessage");
+}
+
+void browser::fire_worker_error(worker_link& link, const std::string& raw_message,
+                                bool leaks_cross_origin)
+{
+    std::string message = raw_message;
+    bool leaks = leaks_cross_origin;
+    if (sanitizer_) {
+        message = sanitizer_(raw_message);
+        leaks = false;  // sanitised before any page handler can observe it
+    }
+    emit(rt_event{rt_event_kind::worker_error_event, link.parent->thread(), 0, link.id,
+                  link.src, page_origin_, leaks});
+    if (link.parent_onerror) {
+        auto cb = link.parent_onerror;
+        sim_.post(link.parent->thread(), sim_.now() + profile_.message_latency,
+                  [cb, message] { cb(message); }, "worker.onerror");
+    }
+}
+
+}  // namespace jsk::rt

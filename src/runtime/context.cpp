@@ -1,0 +1,543 @@
+#include "runtime/context.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/browser.h"
+
+namespace jsk::rt {
+
+namespace {
+constexpr int nesting_clamp_threshold = 5;  // HTML spec: clamp after 5 levels
+}
+
+context::context(browser& owner, std::string name, context_kind kind, sim::thread_id thread)
+    : owner_(&owner), name_(std::move(name)), kind_(kind), thread_(thread)
+{
+    install_natives();
+}
+
+const std::string& context::origin() const { return owner_->page_origin(); }
+
+void context::install_natives()
+{
+    apis_.set_timeout = [this](timer_cb cb, sim::time_ns delay) {
+        return native_set_timeout(std::move(cb), delay);
+    };
+    apis_.clear_timeout = [this](std::int64_t id) { native_clear_timeout(id); };
+    apis_.set_interval = [this](timer_cb cb, sim::time_ns period) {
+        return native_set_interval(std::move(cb), period);
+    };
+    apis_.clear_interval = [this](std::int64_t id) { native_clear_interval(id); };
+    apis_.request_animation_frame = [this](frame_cb cb) {
+        return native_request_animation_frame(std::move(cb));
+    };
+    apis_.cancel_animation_frame = [this](std::int64_t id) {
+        native_cancel_animation_frame(id);
+    };
+    apis_.performance_now = [this] { return native_performance_now(); };
+    apis_.date_now = [this] { return native_date_now(); };
+    apis_.create_worker = [this](const std::string& src) { return native_create_worker(src); };
+    apis_.create_iframe = [this](const std::string& name) { return native_create_iframe(name); };
+    apis_.post_message_to_parent = [this](js_value data, transfer_list transfer) {
+        native_post_message_to_parent(std::move(data), std::move(transfer));
+    };
+    apis_.set_self_onmessage = [this](message_cb cb) {
+        native_set_self_onmessage(std::move(cb));
+    };
+    apis_.close_self = [this] { native_close_self(); };
+    apis_.import_scripts = [this](const std::vector<std::string>& urls) {
+        native_import_scripts(urls);
+    };
+    apis_.fetch = [this](const std::string& url, fetch_options options, fetch_cb then,
+                         fetch_cb fail) {
+        native_fetch(url, std::move(options), std::move(then), std::move(fail));
+    };
+    apis_.abort_fetch = [this](const abort_signal& signal) { native_abort_fetch(signal); };
+    apis_.xhr = [this](const std::string& url, fetch_cb done) {
+        native_xhr(url, std::move(done));
+    };
+    apis_.reload = [this] { native_reload(); };
+    apis_.create_element = [this](const std::string& tag) { return native_create_element(tag); };
+    apis_.append_child = [this](const element_ptr& parent, const element_ptr& child) {
+        native_append_child(parent, child);
+    };
+    apis_.get_attribute = [this](const element_ptr& el, const std::string& name) {
+        return native_get_attribute(el, name);
+    };
+    apis_.set_attribute = [this](const element_ptr& el, const std::string& name,
+                                 const std::string& value) {
+        native_set_attribute(el, name, value);
+    };
+    apis_.play_video = [this](const element_ptr& el, sim::time_ns period) {
+        native_play_video(el, period);
+    };
+    apis_.set_cue_callback = [this](const element_ptr& el, timer_cb cb) {
+        native_set_cue_callback(el, std::move(cb));
+    };
+    apis_.create_shared_buffer = [this](std::size_t slots) {
+        return native_create_shared_buffer(slots);
+    };
+    apis_.sab_load = [this](const shared_buffer_ptr& buf, std::size_t index) {
+        return native_sab_load(buf, index);
+    };
+    apis_.sab_store = [this](const shared_buffer_ptr& buf, std::size_t index, double value) {
+        native_sab_store(buf, index, value);
+    };
+    apis_.indexeddb_put = [this](const std::string& db, const std::string& key,
+                                 js_value value) {
+        return native_indexeddb_put(db, key, std::move(value));
+    };
+    apis_.indexeddb_get = [this](const std::string& db, const std::string& key) {
+        return native_indexeddb_get(db, key);
+    };
+}
+
+bool context::try_redefine_self_onmessage_trap(std::function<void(message_cb)> setter)
+{
+    if (traps_locked_) return false;
+    apis_.set_self_onmessage = std::move(setter);
+    return true;
+}
+
+// --- event loop -------------------------------------------------------------
+
+sim::task_id context::post_task(sim::time_ns delay, std::function<void()> fn,
+                                std::string label)
+{
+    if (closed_) return 0;
+    if (const auto& hook = owner_->task_delay_hook_fn()) delay = hook(delay, label);
+    auto& simulator = owner_->sim();
+    const sim::time_ns when = simulator.now() + std::max<sim::time_ns>(delay, 0);
+    const sim::time_ns dispatch_cost = owner_->profile().task_dispatch_cost;
+    return simulator.post(
+        thread_, when,
+        [this, fn = std::move(fn), dispatch_cost] {
+            if (closed_) return;
+            owner_->sim().consume(dispatch_cost);
+            fn();
+            drain_microtasks();
+        },
+        std::move(label));
+}
+
+void context::cancel_task(sim::task_id id)
+{
+    if (id != 0) owner_->sim().cancel(id);
+}
+
+void context::queue_microtask(std::function<void()> fn)
+{
+    microtasks_.push_back(std::move(fn));
+}
+
+void context::drain_microtasks()
+{
+    if (draining_microtasks_) return;
+    draining_microtasks_ = true;
+    while (!microtasks_.empty()) {
+        auto fn = std::move(microtasks_.front());
+        microtasks_.pop_front();
+        fn();
+    }
+    draining_microtasks_ = false;
+}
+
+void context::consume(sim::time_ns cost) { owner_->charge(cost); }
+
+double context::now_ms_raw() const
+{
+    return sim::to_ms(owner_->sim().now());
+}
+
+// --- timers ------------------------------------------------------------------
+
+std::int64_t context::native_set_timeout(timer_cb cb, sim::time_ns delay)
+{
+    consume(owner_->profile().api_call_cost);
+    const int nesting = timer_nesting_ + 1;
+    sim::time_ns clamped = std::max(delay, owner_->profile().timer_clamp);
+    if (nesting > nesting_clamp_threshold) {
+        clamped = std::max(clamped, owner_->profile().nested_timer_clamp);
+    }
+    const std::int64_t id = next_timer_id_++;
+    timer_entry entry;
+    entry.interval = false;
+    entry.cb = std::move(cb);
+    entry.nesting = nesting;
+    timers_.emplace(id, std::move(entry));
+    timers_[id].task = post_task(clamped, [this, id] { fire_timer(id); }, "timer");
+    return id;
+}
+
+void context::native_clear_timeout(std::int64_t id)
+{
+    consume(owner_->profile().api_call_cost);
+    auto it = timers_.find(id);
+    if (it == timers_.end()) return;
+    it->second.cancelled = true;
+    cancel_task(it->second.task);
+    timers_.erase(it);
+}
+
+std::int64_t context::native_set_interval(timer_cb cb, sim::time_ns period)
+{
+    consume(owner_->profile().api_call_cost);
+    const sim::time_ns clamped =
+        std::max({period, owner_->profile().timer_clamp, sim::time_ns{1 * sim::ms}});
+    const std::int64_t id = next_timer_id_++;
+    timer_entry entry;
+    entry.interval = true;
+    entry.period = clamped;
+    entry.cb = std::move(cb);
+    timers_.emplace(id, std::move(entry));
+    timers_[id].task = post_task(clamped, [this, id] { fire_timer(id); }, "interval");
+    return id;
+}
+
+void context::native_clear_interval(std::int64_t id) { native_clear_timeout(id); }
+
+void context::fire_timer(std::int64_t id)
+{
+    auto it = timers_.find(id);
+    if (it == timers_.end() || it->second.cancelled) return;
+    const int saved_nesting = timer_nesting_;
+    timer_nesting_ = it->second.nesting;
+    // Copy the callback out: the callback may clearTimeout itself or install
+    // new timers, invalidating the iterator.
+    timer_cb cb = it->second.cb;
+    const bool interval = it->second.interval;
+    cb();
+    timer_nesting_ = saved_nesting;
+    it = timers_.find(id);
+    if (it == timers_.end()) return;  // cleared from inside the callback
+    if (interval && !it->second.cancelled) {
+        it->second.task = post_task(it->second.period, [this, id] { fire_timer(id); },
+                                    "interval");
+    } else {
+        timers_.erase(it);
+    }
+}
+
+// --- animation & clocks -------------------------------------------------------
+
+std::int64_t context::native_request_animation_frame(frame_cb cb)
+{
+    if (kind_ == context_kind::worker) {
+        throw std::logic_error("requestAnimationFrame is not available in workers");
+    }
+    consume(owner_->profile().api_call_cost);
+    return owner_->painter().request_frame(std::move(cb));
+}
+
+void context::native_cancel_animation_frame(std::int64_t id)
+{
+    consume(owner_->profile().api_call_cost);
+    owner_->painter().cancel_frame(id);
+}
+
+double context::native_performance_now() const
+{
+    owner_->charge(owner_->profile().api_call_cost);
+    return sim::to_ms(sim::quantize(owner_->sim().now(), owner_->profile().now_precision));
+}
+
+double context::native_date_now() const
+{
+    owner_->charge(owner_->profile().api_call_cost);
+    // Arbitrary epoch base keeps Date.now() looking like wall-clock ms.
+    constexpr double epoch_base_ms = 1'580'000'000'000.0;
+    return epoch_base_ms +
+           sim::to_ms(sim::quantize(owner_->sim().now(), owner_->profile().date_precision));
+}
+
+// --- workers -------------------------------------------------------------------
+
+worker_ptr context::native_create_worker(const std::string& src)
+{
+    consume(owner_->profile().api_call_cost);
+    return owner_->spawn_worker(*this, src);
+}
+
+context* context::native_create_iframe(const std::string& name)
+{
+    consume(owner_->profile().api_call_cost);
+    if (kind_ == context_kind::worker) {
+        throw std::logic_error("iframes cannot be created from a worker scope");
+    }
+    // Same-origin iframe: its own global environment on the same thread.
+    return &owner_->create_context("frame:" + name, context_kind::frame, thread_);
+}
+
+void context::native_post_message_to_parent(js_value data, transfer_list transfer)
+{
+    if (kind_ != context_kind::worker) {
+        throw std::logic_error("postMessage to parent outside a worker scope");
+    }
+    consume(owner_->profile().api_call_cost);
+    owner_->post_to_parent(*this, std::move(data), std::move(transfer));
+}
+
+void context::native_set_self_onmessage(message_cb cb)
+{
+    consume(owner_->profile().api_call_cost);
+    self_onmessage_ = std::move(cb);
+}
+
+void context::native_close_self()
+{
+    if (kind_ != context_kind::worker) {
+        throw std::logic_error("close() outside a worker scope");
+    }
+    owner_->worker_self_close(*this);
+}
+
+void context::native_import_scripts(const std::vector<std::string>& urls)
+{
+    if (kind_ != context_kind::worker) {
+        throw std::logic_error("importScripts outside a worker scope");
+    }
+    const std::uint64_t link_id = link_ ? link_->id : 0;
+    for (const auto& url : urls) {
+        consume(owner_->profile().api_call_cost);
+        const resource* res = owner_->net().find(url);
+        const bool cross_origin = res && res->origin != origin();
+        if (res == nullptr || (res->kind != resource_kind::script)) {
+            // Failed load: the error message of a vulnerable engine embeds
+            // the full cross-origin URL (CVE-2015-7215's trigger condition).
+            const bool leaks = owner_->bugs().leaky_import_scripts_errors &&
+                               (res ? cross_origin : true);
+            owner_->emit(rt_event{rt_event_kind::import_scripts_error, thread_, 0, link_id,
+                                  url, res ? res->origin : "", leaks});
+            if (link_) {
+                owner_->fire_worker_error(*link_, "importScripts failed: " + url, leaks);
+            }
+            continue;
+        }
+        consume(owner_->net().request_latency(url));
+        consume(static_cast<sim::time_ns>(static_cast<double>(res->bytes) *
+                                          owner_->profile().parse_ns_per_byte));
+        if (cross_origin && owner_->bugs().cross_origin_import_exposes_source) {
+            // Modelled CVE-2011-1190: importing a cross-origin script exposes
+            // its source/function list to the worker.
+            owner_->emit(rt_event{rt_event_kind::cross_origin_script_imported, thread_, 0,
+                                  link_id, url, res->origin, true});
+        }
+        if (const auto* body = owner_->find_worker_script(url)) (*body)(*this);
+    }
+}
+
+// --- network -------------------------------------------------------------------
+
+void context::native_fetch(const std::string& url, fetch_options options, fetch_cb then,
+                           fetch_cb fail)
+{
+    consume(owner_->profile().api_call_cost);
+    auto& rec = owner_->net().start_fetch(url, thread_, options.signal);
+    const std::uint64_t id = rec.id;
+    owner_->emit(rt_event{rt_event_kind::fetch_started, thread_, 0, id, url, origin(), false});
+    const sim::time_ns latency = owner_->net().request_latency(url);
+    const resource* res = owner_->net().find(url);
+    const std::size_t bytes = res ? res->bytes : 0;
+    post_task(
+        latency,
+        [this, id, url, bytes, then = std::move(then), fail = std::move(fail)] {
+            fetch_record* record = owner_->net().find_fetch(id);
+            if (record == nullptr) return;
+            if (record->aborted || (record->signal && record->signal->aborted)) {
+                record->aborted = true;
+                if (fail) fail(fetch_result{false, true, url, "aborted", 0});
+                return;
+            }
+            record->completed = true;
+            owner_->emit(rt_event{rt_event_kind::fetch_completed, thread_, 0, id, url,
+                                  origin(), false});
+            if (then) then(fetch_result{true, false, url, "", bytes});
+        },
+        "fetch:" + url);
+}
+
+void context::native_abort_fetch(const abort_signal& signal)
+{
+    consume(owner_->profile().api_call_cost);
+    owner_->abort_fetches_with(signal);
+}
+
+void context::native_xhr(const std::string& url, fetch_cb done)
+{
+    consume(owner_->profile().api_call_cost);
+    const resource* res = owner_->net().find(url);
+    const bool cross_origin = res != nullptr && res->origin != origin();
+    const std::uint64_t link_id = link_ ? link_->id : 0;
+    // Same-origin policy: the main thread enforces it; a *real* worker thread
+    // in a vulnerable engine does not (CVE-2013-1714) — a polyfill worker
+    // issues its requests from the main thread, where SOP holds. The event's
+    // detail flag records whether a bypass actually happened.
+    const bool from_worker =
+        kind_ == context_kind::worker && !owner_->polyfill_workers();
+    const bool sop_bypassed =
+        cross_origin && from_worker && owner_->bugs().worker_xhr_ignores_sop;
+    owner_->emit(rt_event{rt_event_kind::xhr_request, thread_, 0, link_id, url,
+                          res ? res->origin : "", sop_bypassed});
+    const bool blocked = cross_origin && !sop_bypassed;
+    const sim::time_ns latency = owner_->net().request_latency(url);
+    const std::size_t bytes = res ? res->bytes : 0;
+    post_task(
+        latency,
+        [url, bytes, blocked, done = std::move(done)] {
+            if (!done) return;
+            if (blocked) {
+                done(fetch_result{false, false, url, "blocked by same-origin policy", 0});
+            } else {
+                done(fetch_result{true, false, url, "", bytes});
+            }
+        },
+        "xhr:" + url);
+}
+
+void context::native_reload()
+{
+    consume(owner_->profile().api_call_cost);
+    owner_->reload_page();
+}
+
+// --- DOM -------------------------------------------------------------------------
+
+element_ptr context::native_create_element(const std::string& tag)
+{
+    consume(owner_->profile().dom_op_cost);
+    return std::make_shared<element>(tag);
+}
+
+void context::native_append_child(const element_ptr& parent, const element_ptr& child)
+{
+    consume(owner_->profile().dom_op_cost);
+    parent->add_child_raw(child);
+
+    const std::string src = child->attribute("src");
+    const std::string& tag = child->tag();
+    if (tag == "script" && !src.empty()) {
+        const sim::time_ns latency = owner_->net().request_latency(src);
+        const resource* res = owner_->net().find(src);
+        post_task(
+            latency,
+            [this, child, res, src] {
+                if (res == nullptr || res->kind != resource_kind::script) {
+                    if (child->onerror) child->onerror("script load failed: " + src);
+                    return;
+                }
+                consume(static_cast<sim::time_ns>(static_cast<double>(res->bytes) *
+                                                  owner_->profile().parse_ns_per_byte));
+                if (child->onload) child->onload();
+            },
+            "script-load:" + src);
+    } else if (tag == "img" && !src.empty()) {
+        const sim::time_ns latency = owner_->net().request_latency(src);
+        const resource* res = owner_->net().find(src);
+        post_task(
+            latency,
+            [this, child, res, src] {
+                if (res == nullptr || res->kind != resource_kind::image) {
+                    if (child->onerror) child->onerror("image load failed: " + src);
+                    return;
+                }
+                const double pixels =
+                    static_cast<double>(res->width) * static_cast<double>(res->height);
+                consume(static_cast<sim::time_ns>(pixels *
+                                                  owner_->profile().decode_ns_per_pixel));
+                if (child->onload) child->onload();
+            },
+            "img-decode:" + src);
+    }
+    if (kind_ == context_kind::main &&
+        (tag == "a" || child->has_attribute("filter") || child->has_attribute("style"))) {
+        owner_->painter().mark_dirty(child);
+    }
+}
+
+std::string context::native_get_attribute(const element_ptr& el, const std::string& name)
+{
+    consume(owner_->profile().dom_op_cost);
+    return el->attribute(name);
+}
+
+void context::native_set_attribute(const element_ptr& el, const std::string& name,
+                                   const std::string& value)
+{
+    consume(owner_->profile().dom_op_cost);
+    el->set_attribute_raw(name, value);
+    if (kind_ == context_kind::main &&
+        (name == "filter" || name == "src" || name == "style" || name == "href")) {
+        owner_->painter().mark_dirty(el);
+    }
+}
+
+void context::native_play_video(const element_ptr& el, sim::time_ns period)
+{
+    consume(owner_->profile().api_call_cost);
+    owner_->painter().play_video(el, period);
+}
+
+void context::native_set_cue_callback(const element_ptr& el, timer_cb cb)
+{
+    consume(owner_->profile().api_call_cost);
+    owner_->painter().set_cue_callback(el, std::move(cb));
+}
+
+// --- shared memory -----------------------------------------------------------------
+
+shared_buffer_ptr context::native_create_shared_buffer(std::size_t slots)
+{
+    consume(owner_->profile().api_call_cost);
+    auto buf = std::make_shared<shared_buffer>();
+    buf->slots.assign(slots, 0.0);
+    return buf;
+}
+
+double context::native_sab_load(const shared_buffer_ptr& buf, std::size_t index)
+{
+    consume(owner_->profile().api_call_cost);
+    if (!buf || index >= buf->slots.size()) {
+        throw std::out_of_range("SharedArrayBuffer read out of range");
+    }
+    return buf->slots[index];
+}
+
+void context::native_sab_store(const shared_buffer_ptr& buf, std::size_t index, double value)
+{
+    consume(owner_->profile().api_call_cost);
+    if (!buf || index >= buf->slots.size()) {
+        throw std::out_of_range("SharedArrayBuffer write out of range");
+    }
+    buf->slots[index] = value;
+}
+
+// --- storage --------------------------------------------------------------------------
+
+bool context::native_indexeddb_put(const std::string& db, const std::string& key,
+                                   js_value value)
+{
+    consume(owner_->profile().api_call_cost);
+    owner_->emit(rt_event{rt_event_kind::indexeddb_access, thread_, 0, 0, db, origin(),
+                          owner_->private_browsing()});
+    owner_->idb().put(db, key, std::move(value), owner_->private_browsing());
+    return true;
+}
+
+js_value context::native_indexeddb_get(const std::string& db, const std::string& key)
+{
+    consume(owner_->profile().api_call_cost);
+    owner_->emit(rt_event{rt_event_kind::indexeddb_access, thread_, 0, 0, db, origin(),
+                          owner_->private_browsing()});
+    return owner_->idb().get(db, key);
+}
+
+// --- worker-side plumbing ----------------------------------------------------------------
+
+void context::deliver_self_message(const message_event& event)
+{
+    if (closed_) return;
+    if (self_onmessage_) self_onmessage_(event);
+}
+
+}  // namespace jsk::rt

@@ -1,0 +1,173 @@
+// Execution context: one JavaScript global environment (the main window or a
+// worker scope) bound to one simulated thread.
+//
+// The context owns the interposable api_table, the native implementations
+// behind it, its timer table and microtask queue. All macrotask scheduling
+// funnels through post_task(), which applies the browser-level task-delay
+// hook (how Fuzzyfox injects pause tasks) and the profile's per-task dispatch
+// cost.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/api.h"
+#include "runtime/js_value.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace jsk::rt {
+
+class browser;
+struct worker_link;
+
+enum class context_kind { main, worker, frame };
+
+class context {
+public:
+    context(browser& owner, std::string name, context_kind kind, sim::thread_id thread);
+
+    context(const context&) = delete;
+    context& operator=(const context&) = delete;
+
+    [[nodiscard]] browser& owner() { return *owner_; }
+    [[nodiscard]] context_kind kind() const { return kind_; }
+    [[nodiscard]] sim::thread_id thread() const { return thread_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const std::string& origin() const;
+
+    /// The redefinable API surface. Defenses mutate entries; user scripts may
+    /// too (the backup-copy pattern keeps working because std::function
+    /// copies capture the then-current definition).
+    [[nodiscard]] api_table& apis() { return apis_; }
+
+    /// Lock the trap slots (onmessage setters & friends). Mirrors the
+    /// non-configurable properties of §III-B: once a kernel locks its traps,
+    /// try_redefine_trap() refuses adversarial re-definition.
+    void lock_traps() { traps_locked_ = true; }
+    [[nodiscard]] bool traps_locked() const { return traps_locked_; }
+
+    /// Adversarial redefinition attempt of a trap slot. Returns false (and
+    /// leaves the slot alone) when traps are locked.
+    bool try_redefine_self_onmessage_trap(std::function<void(message_cb)> setter);
+
+    // --- event loop --------------------------------------------------------
+
+    /// Schedule a macrotask `delay` from now on this context's thread.
+    /// Microtasks queued during the task are drained at its end.
+    sim::task_id post_task(sim::time_ns delay, std::function<void()> fn,
+                           std::string label = {});
+    void cancel_task(sim::task_id id);
+
+    void queue_microtask(std::function<void()> fn);
+
+    /// Model `cost` nanoseconds of computation (only valid inside a task on
+    /// this context's thread).
+    void consume(sim::time_ns cost);
+
+    /// Unquantised physical time in ms — internal plumbing and defenses only;
+    /// user scripts must go through apis().performance_now.
+    [[nodiscard]] double now_ms_raw() const;
+
+    // --- native API implementations -----------------------------------------
+    // Stable entry points a defense can keep private copies of.
+
+    std::int64_t native_set_timeout(timer_cb cb, sim::time_ns delay);
+    void native_clear_timeout(std::int64_t id);
+    std::int64_t native_set_interval(timer_cb cb, sim::time_ns period);
+    void native_clear_interval(std::int64_t id);
+
+    std::int64_t native_request_animation_frame(frame_cb cb);
+    void native_cancel_animation_frame(std::int64_t id);
+    double native_performance_now() const;  // quantised by profile precision
+    double native_date_now() const;
+
+    worker_ptr native_create_worker(const std::string& src);
+    context* native_create_iframe(const std::string& name);
+
+    void native_post_message_to_parent(js_value data, transfer_list transfer);
+    void native_set_self_onmessage(message_cb cb);
+    void native_close_self();
+    void native_import_scripts(const std::vector<std::string>& urls);
+
+    void native_fetch(const std::string& url, fetch_options options, fetch_cb then,
+                      fetch_cb fail);
+    void native_abort_fetch(const abort_signal& signal);
+    void native_xhr(const std::string& url, fetch_cb done);
+
+    void native_reload();
+    void native_play_video(const element_ptr& el, sim::time_ns period);
+    void native_set_cue_callback(const element_ptr& el, timer_cb cb);
+
+    element_ptr native_create_element(const std::string& tag);
+    void native_append_child(const element_ptr& parent, const element_ptr& child);
+    std::string native_get_attribute(const element_ptr& el, const std::string& name);
+    void native_set_attribute(const element_ptr& el, const std::string& name,
+                              const std::string& value);
+
+    shared_buffer_ptr native_create_shared_buffer(std::size_t slots);
+    double native_sab_load(const shared_buffer_ptr& buf, std::size_t index);
+    void native_sab_store(const shared_buffer_ptr& buf, std::size_t index, double value);
+
+    bool native_indexeddb_put(const std::string& db, const std::string& key, js_value value);
+    js_value native_indexeddb_get(const std::string& db, const std::string& key);
+
+    // --- worker-side plumbing (used by browser/worker wiring) ---------------
+
+    /// The link back to this context's parent, when kind()==worker.
+    void bind_link(std::shared_ptr<worker_link> link) { link_ = std::move(link); }
+    [[nodiscard]] const std::shared_ptr<worker_link>& link() const { return link_; }
+
+    /// Deliver a message event to the self.onmessage handler (native path).
+    void deliver_self_message(const message_event& event);
+
+    [[nodiscard]] const message_cb& self_onmessage() const { return self_onmessage_; }
+
+    /// Context shutdown (worker terminate / close). Posted tasks of a closed
+    /// context no longer run (needed for polyfill workers sharing the main
+    /// thread, where the simulated thread itself stays alive).
+    void close() { closed_ = true; }
+    [[nodiscard]] bool closed() const { return closed_; }
+
+private:
+    friend class browser;
+
+    void install_natives();
+    void drain_microtasks();
+
+    struct timer_entry {
+        sim::task_id task = 0;
+        bool interval = false;
+        sim::time_ns period = 0;
+        timer_cb cb;
+        int nesting = 0;
+        bool cancelled = false;
+    };
+
+    void fire_timer(std::int64_t id);
+
+    browser* owner_;
+    std::string name_;
+    context_kind kind_;
+    sim::thread_id thread_;
+    api_table apis_;
+    bool traps_locked_ = false;
+
+    std::deque<std::function<void()>> microtasks_;
+    bool draining_microtasks_ = false;
+
+    std::unordered_map<std::int64_t, timer_entry> timers_;
+    std::int64_t next_timer_id_ = 1;
+    int timer_nesting_ = 0;  // current callback's nesting depth
+
+    message_cb self_onmessage_;      // worker scope handler
+    std::shared_ptr<worker_link> link_;
+    bool closed_ = false;
+};
+
+}  // namespace jsk::rt

@@ -1,0 +1,43 @@
+#include "runtime/dom.h"
+
+#include <sstream>
+
+namespace jsk::rt {
+
+std::string element::serialize() const
+{
+    std::ostringstream os;
+    os << '<' << tag_;
+    for (const auto& [name, value] : attrs_) os << ' ' << name << "=\"" << value << '"';
+    os << '>';
+    if (!text.empty()) os << text;
+    for (const auto& child : children_) os << child->serialize();
+    os << "</" << tag_ << '>';
+    return os.str();
+}
+
+void element::accumulate_tokens(std::unordered_map<std::string, double>& bag) const
+{
+    bag["tag:" + tag_] += 1.0;
+    for (const auto& [name, value] : attrs_) {
+        bag["attr:" + name] += 1.0;
+        bag["val:" + value] += 1.0;
+    }
+    if (!text.empty()) {
+        std::istringstream is(text);
+        std::string word;
+        while (is >> word) bag["text:" + word] += 1.0;
+    }
+    for (const auto& child : children_) child->accumulate_tokens(bag);
+}
+
+std::size_t document::count_rec(const element& e)
+{
+    std::size_t n = 1;
+    for (const auto& child : e.children()) n += count_rec(*child);
+    return n;
+}
+
+std::size_t document::element_count() const { return count_rec(*root_); }
+
+}  // namespace jsk::rt

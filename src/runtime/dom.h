@@ -1,0 +1,97 @@
+// DOM-lite.
+//
+// Enough of a document model for the paper's needs: a node tree with
+// attributes; <script> and <img> children trigger network loads with
+// parse/decode cost models (the DOM-based side channels of van Goethem et
+// al.); <a> elements paint differently when their href is a visited link
+// (history sniffing); elements can carry an SVG filter whose repaint cost the
+// SVG-filtering attack measures; and the whole tree serialises to a token bag
+// for the §V-B2 cosine-similarity compatibility experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jsk::rt {
+
+class element;
+using element_ptr = std::shared_ptr<element>;
+
+/// One DOM element. Attribute storage is an ordered map so serialisation is
+/// deterministic.
+class element {
+public:
+    explicit element(std::string tag) : tag_(std::move(tag)) {}
+
+    [[nodiscard]] const std::string& tag() const { return tag_; }
+
+    [[nodiscard]] std::string attribute(const std::string& name) const
+    {
+        auto it = attrs_.find(name);
+        return it == attrs_.end() ? std::string{} : it->second;
+    }
+    void set_attribute_raw(std::string name, std::string value)
+    {
+        attrs_[std::move(name)] = std::move(value);
+    }
+    [[nodiscard]] bool has_attribute(const std::string& name) const
+    {
+        return attrs_.contains(name);
+    }
+
+    [[nodiscard]] const std::vector<element_ptr>& children() const { return children_; }
+    void add_child_raw(element_ptr child) { children_.push_back(std::move(child)); }
+
+    /// Load callbacks (scripts and images).
+    std::function<void()> onload;
+    std::function<void(const std::string& error)> onerror;
+
+    /// Text content (inline scripts, labels) counted into the token bag.
+    std::string text;
+
+    /// Dirty bit consumed by the renderer: element needs repaint work.
+    bool needs_paint = false;
+
+    /// Serialise the subtree: `<tag attr=value ...>children</tag>`.
+    [[nodiscard]] std::string serialize() const;
+
+    /// Term-frequency bag over tags, attribute names/values and text tokens.
+    void accumulate_tokens(std::unordered_map<std::string, double>& bag) const;
+
+private:
+    std::string tag_;
+    std::map<std::string, std::string> attrs_;
+    std::vector<element_ptr> children_;
+};
+
+/// The document: a root element plus bookkeeping the browser uses when
+/// wiring loads and paints.
+class document {
+public:
+    document() : root_(std::make_shared<element>("html")) {}
+
+    [[nodiscard]] const element_ptr& root() const { return root_; }
+
+    [[nodiscard]] std::string serialize() const { return root_->serialize(); }
+
+    [[nodiscard]] std::unordered_map<std::string, double> token_bag() const
+    {
+        std::unordered_map<std::string, double> bag;
+        root_->accumulate_tokens(bag);
+        return bag;
+    }
+
+    /// Count of elements in the tree (tests / workload sanity checks).
+    [[nodiscard]] std::size_t element_count() const;
+
+private:
+    static std::size_t count_rec(const element& e);
+    element_ptr root_;
+};
+
+}  // namespace jsk::rt

@@ -1,0 +1,76 @@
+// Runtime event bus.
+//
+// The browser substrate announces semantically interesting moments (worker
+// lifecycle, fetch/abort, message traffic, storage access). Two kinds of
+// listener consume them: the CVE trigger state machines in runtime/vuln.h,
+// and tests asserting on runtime behaviour. The JSKernel defense does NOT use
+// this bus — it interposes at the API table like the real extension; the bus
+// is the "low level" where vulnerabilities live.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace jsk::rt {
+
+enum class rt_event_kind {
+    worker_created,
+    worker_script_imported,
+    worker_terminated,
+    worker_self_closed,
+    worker_onmessage_assigned,   // detail_flag = handler was null/invalid
+    message_posted,              // a => b message enqueued
+    message_delivered,
+    transferable_received,       // detail_flag = sender already terminated (UAF window)
+    fetch_started,
+    fetch_completed,
+    fetch_aborted,               // detail_flag = the fetch record was already freed (UAF)
+    fetch_freed,                 // owner thread terminated while fetch in flight
+    xhr_request,                 // detail_flag = cross-origin
+    import_scripts_error,        // detail_flag = error message leaks cross-origin info
+    cross_origin_script_imported,  // detail_flag = source exposed (modelled CVE-2011-1190)
+    worker_error_event,          // detail_flag = error message leaks cross-origin info
+    indexeddb_access,            // detail_flag = in private browsing mode
+    indexeddb_persisted_private, // private-mode data survived session end
+    page_reload,
+    worker_double_termination,   // terminate raced with self.close
+    message_after_termination,   // delivery raced with terminate
+    terminate_during_dispatch,   // terminate landed while target was dispatching
+};
+
+/// One announcement on the bus. `origin`/`target_origin` carry resource
+/// origins for the information-disclosure CVEs.
+struct rt_event {
+    rt_event_kind kind;
+    sim::thread_id thread = sim::no_thread;
+    sim::time_ns at = 0;
+    std::uint64_t subject_id = 0;  // worker id, fetch id, message id ...
+    std::string url;
+    std::string origin;
+    bool detail_flag = false;
+};
+
+class event_bus {
+public:
+    using listener = std::function<void(const rt_event&)>;
+
+    void subscribe(listener fn) { listeners_.push_back(std::move(fn)); }
+
+    void emit(const rt_event& event)
+    {
+        ++emitted_;
+        for (const auto& fn : listeners_) fn(event);
+    }
+
+    [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+private:
+    std::vector<listener> listeners_;
+    std::uint64_t emitted_ = 0;
+};
+
+}  // namespace jsk::rt

@@ -1,0 +1,166 @@
+#include "runtime/js_value.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace jsk::rt {
+
+js_value js_value::get(const std::string& key) const
+{
+    if (!is_object()) return js_value{};
+    const auto& obj = as_object();
+    auto it = obj.find(key);
+    return it == obj.end() ? js_value{} : it->second;
+}
+
+void js_value::set(std::string key, js_value value)
+{
+    if (!is_object()) throw std::logic_error("js_value::set on non-object");
+    as_object()[std::move(key)] = std::move(value);
+}
+
+std::size_t js_value::byte_size() const
+{
+    struct visitor {
+        std::size_t operator()(const undefined_t&) const { return 1; }
+        std::size_t operator()(const null_t&) const { return 1; }
+        std::size_t operator()(bool) const { return 1; }
+        std::size_t operator()(double) const { return 8; }
+        std::size_t operator()(const std::string& s) const { return s.size(); }
+        std::size_t operator()(const std::shared_ptr<js_array>& a) const
+        {
+            std::size_t acc = 8;
+            for (const auto& v : *a) acc += v.byte_size();
+            return acc;
+        }
+        std::size_t operator()(const std::shared_ptr<js_object>& o) const
+        {
+            std::size_t acc = 8;
+            for (const auto& [k, v] : *o) acc += k.size() + v.byte_size();
+            return acc;
+        }
+        std::size_t operator()(const array_buffer_ptr& b) const
+        {
+            return b ? b->data.size() : 0;
+        }
+        std::size_t operator()(const shared_buffer_ptr&) const { return 8; }  // by handle
+    };
+    return std::visit(visitor{}, v_);
+}
+
+std::string js_value::to_string() const
+{
+    struct visitor {
+        std::string operator()(const undefined_t&) const { return "undefined"; }
+        std::string operator()(const null_t&) const { return "null"; }
+        std::string operator()(bool b) const { return b ? "true" : "false"; }
+        std::string operator()(double d) const
+        {
+            // Print integers without a trailing ".000000".
+            if (d == static_cast<double>(static_cast<std::int64_t>(d))) {
+                return std::to_string(static_cast<std::int64_t>(d));
+            }
+            std::ostringstream os;
+            os << d;
+            return os.str();
+        }
+        std::string operator()(const std::string& s) const { return "\"" + s + "\""; }
+        std::string operator()(const std::shared_ptr<js_array>& a) const
+        {
+            std::string out = "[";
+            for (std::size_t i = 0; i < a->size(); ++i) {
+                if (i) out += ",";
+                out += (*a)[i].to_string();
+            }
+            return out + "]";
+        }
+        std::string operator()(const std::shared_ptr<js_object>& o) const
+        {
+            std::string out = "{";
+            bool first = true;
+            for (const auto& [k, v] : *o) {
+                if (!first) out += ",";
+                first = false;
+                out += "\"" + k + "\":" + v.to_string();
+            }
+            return out + "}";
+        }
+        std::string operator()(const array_buffer_ptr& b) const
+        {
+            if (!b) return "ArrayBuffer(null)";
+            return b->neutered ? "ArrayBuffer(neutered)"
+                               : "ArrayBuffer(" + std::to_string(b->data.size()) + ")";
+        }
+        std::string operator()(const shared_buffer_ptr& b) const
+        {
+            return "SharedArrayBuffer(" + std::to_string(b ? b->slots.size() : 0) + ")";
+        }
+    };
+    return std::visit(visitor{}, v_);
+}
+
+js_value make_object(std::initializer_list<std::pair<const std::string, js_value>> fields)
+{
+    return js_value{js_object(fields)};
+}
+
+namespace {
+
+bool in_transfer(const array_buffer_ptr& buffer, const transfer_list& transfer)
+{
+    return std::find(transfer.begin(), transfer.end(), buffer) != transfer.end();
+}
+
+js_value clone_rec(const js_value& value, const transfer_list& transfer)
+{
+    struct visitor {
+        const transfer_list& transfer;
+        js_value operator()(const undefined_t&) const { return js_value{}; }
+        js_value operator()(const null_t&) const { return js_value{nullptr}; }
+        js_value operator()(bool b) const { return js_value{b}; }
+        js_value operator()(double d) const { return js_value{d}; }
+        js_value operator()(const std::string& s) const { return js_value{s}; }
+        js_value operator()(const std::shared_ptr<js_array>& a) const
+        {
+            js_array out;
+            out.reserve(a->size());
+            for (const auto& v : *a) out.push_back(clone_rec(v, transfer));
+            return js_value{std::move(out)};
+        }
+        js_value operator()(const std::shared_ptr<js_object>& o) const
+        {
+            js_object out;
+            for (const auto& [k, v] : *o) out.emplace(k, clone_rec(v, transfer));
+            return js_value{std::move(out)};
+        }
+        js_value operator()(const array_buffer_ptr& b) const
+        {
+            if (!b) return js_value{array_buffer_ptr{}};
+            if (b->neutered) throw std::runtime_error("DataCloneError: buffer is neutered");
+            auto copy = std::make_shared<array_buffer>();
+            if (in_transfer(b, transfer)) {
+                copy->data = std::move(b->data);  // transfer: move and neuter source
+                b->data.clear();
+                b->neutered = true;
+            } else {
+                copy->data = b->data;
+            }
+            return js_value{std::move(copy)};
+        }
+        js_value operator()(const shared_buffer_ptr& b) const
+        {
+            return js_value{b};  // shared memory is shared, never copied
+        }
+    };
+    return std::visit(visitor{transfer}, value.raw());
+}
+
+}  // namespace
+
+js_value structured_clone(const js_value& value, const transfer_list& transfer)
+{
+    return clone_rec(value, transfer);
+}
+
+}  // namespace jsk::rt

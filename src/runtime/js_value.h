@@ -1,0 +1,140 @@
+// A structured-clone value model standing in for JavaScript values.
+//
+// Web concurrency attacks move data between threads via postMessage; the
+// kernel wraps those payloads in an overlay object with a type field
+// (§III-E2). This module provides just enough of the JS value universe for
+// that machinery: primitives, arrays, string-keyed objects, transferable
+// ArrayBuffers, and SharedArrayBuffers (shared by handle, never cloned).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace jsk::rt {
+
+class js_value;
+
+struct undefined_t {
+    bool operator==(const undefined_t&) const = default;
+};
+struct null_t {
+    bool operator==(const null_t&) const = default;
+};
+
+using js_array = std::vector<js_value>;
+// std::map keeps key order deterministic for serialisation and tests.
+using js_object = std::map<std::string, js_value>;
+
+/// Transferable binary buffer. Transferring detaches ("neuters") the source,
+/// exactly the behaviour CVE-2014-1488's trigger condition depends on.
+struct array_buffer {
+    std::vector<std::uint8_t> data;
+    bool neutered = false;
+};
+
+/// Shared memory visible from several contexts at once; reads and writes go
+/// through the (interposable) sab_load / sab_store APIs so a kernel can
+/// mediate every access (§III-E2).
+struct shared_buffer {
+    std::vector<double> slots;
+};
+
+using array_buffer_ptr = std::shared_ptr<array_buffer>;
+using shared_buffer_ptr = std::shared_ptr<shared_buffer>;
+using transfer_list = std::vector<array_buffer_ptr>;
+
+/// Tagged union over the supported JS value kinds.
+class js_value {
+public:
+    using storage = std::variant<undefined_t, null_t, bool, double, std::string,
+                                 std::shared_ptr<js_array>, std::shared_ptr<js_object>,
+                                 array_buffer_ptr, shared_buffer_ptr>;
+
+    js_value() : v_(undefined_t{}) {}
+    js_value(std::nullptr_t) : v_(null_t{}) {}
+    js_value(bool b) : v_(b) {}
+    js_value(double d) : v_(d) {}
+    js_value(int i) : v_(static_cast<double>(i)) {}
+    js_value(std::int64_t i) : v_(static_cast<double>(i)) {}
+    js_value(const char* s) : v_(std::string(s)) {}
+    js_value(std::string s) : v_(std::move(s)) {}
+    js_value(js_array a) : v_(std::make_shared<js_array>(std::move(a))) {}
+    js_value(js_object o) : v_(std::make_shared<js_object>(std::move(o))) {}
+    js_value(array_buffer_ptr b) : v_(std::move(b)) {}
+    js_value(shared_buffer_ptr b) : v_(std::move(b)) {}
+
+    [[nodiscard]] bool is_undefined() const { return std::holds_alternative<undefined_t>(v_); }
+    [[nodiscard]] bool is_null() const { return std::holds_alternative<null_t>(v_); }
+    [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+    [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+    [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+    [[nodiscard]] bool is_array() const
+    {
+        return std::holds_alternative<std::shared_ptr<js_array>>(v_);
+    }
+    [[nodiscard]] bool is_object() const
+    {
+        return std::holds_alternative<std::shared_ptr<js_object>>(v_);
+    }
+    [[nodiscard]] bool is_array_buffer() const
+    {
+        return std::holds_alternative<array_buffer_ptr>(v_);
+    }
+    [[nodiscard]] bool is_shared_buffer() const
+    {
+        return std::holds_alternative<shared_buffer_ptr>(v_);
+    }
+
+    [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+    [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+    [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+    [[nodiscard]] js_array& as_array() { return *std::get<std::shared_ptr<js_array>>(v_); }
+    [[nodiscard]] const js_array& as_array() const
+    {
+        return *std::get<std::shared_ptr<js_array>>(v_);
+    }
+    [[nodiscard]] js_object& as_object() { return *std::get<std::shared_ptr<js_object>>(v_); }
+    [[nodiscard]] const js_object& as_object() const
+    {
+        return *std::get<std::shared_ptr<js_object>>(v_);
+    }
+    [[nodiscard]] const array_buffer_ptr& as_array_buffer() const
+    {
+        return std::get<array_buffer_ptr>(v_);
+    }
+    [[nodiscard]] const shared_buffer_ptr& as_shared_buffer() const
+    {
+        return std::get<shared_buffer_ptr>(v_);
+    }
+
+    /// Object-field access helpers; return undefined for missing keys or
+    /// non-object receivers, matching JS property semantics loosely.
+    [[nodiscard]] js_value get(const std::string& key) const;
+    void set(std::string key, js_value value);
+
+    /// Approximate size in bytes, used by the message-latency model.
+    [[nodiscard]] std::size_t byte_size() const;
+
+    /// Deterministic debug/serialisation form (JSON-ish).
+    [[nodiscard]] std::string to_string() const;
+
+    [[nodiscard]] const storage& raw() const { return v_; }
+
+private:
+    storage v_;
+};
+
+/// Convenience object builder: make_object({{"a", 1}, {"b", "x"}}).
+js_value make_object(std::initializer_list<std::pair<const std::string, js_value>> fields);
+
+/// Structured clone per the HTML spec, simplified: deep copy of arrays,
+/// objects and ArrayBuffers; SharedArrayBuffers are shared by handle; buffers
+/// present in `transfer` are moved and the source is neutered. Cloning a
+/// neutered buffer throws std::runtime_error (DataCloneError).
+js_value structured_clone(const js_value& value, const transfer_list& transfer = {});
+
+}  // namespace jsk::rt

@@ -1,0 +1,150 @@
+// Network and HTTP-cache model.
+//
+// Resources are registered up front (url -> size/origin/kind). A request
+// costs RTT + size/bandwidth on a miss and `cache_hit_latency` on a hit —
+// the asymmetry the cache attack [7] and the DOM-based side channels [8]
+// measure. Fetches are abortable; the interplay of abort with worker
+// termination reproduces CVE-2018-5092's trigger condition.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/profile.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace jsk::rt {
+
+enum class resource_kind { script, image, document, data, media };
+
+struct resource {
+    std::string url;
+    std::string origin;
+    resource_kind kind = resource_kind::data;
+    std::size_t bytes = 0;
+    std::uint32_t width = 0;   // images only
+    std::uint32_t height = 0;  // images only
+    sim::time_ns server_latency = 0;  // extra server think time
+};
+
+/// Shared abort flag behind an AbortController/AbortSignal pair.
+struct abort_signal_state {
+    bool aborted = false;
+};
+using abort_signal = std::shared_ptr<abort_signal_state>;
+
+struct abort_controller {
+    abort_controller() : signal(std::make_shared<abort_signal_state>()) {}
+    void abort() const { signal->aborted = true; }
+    abort_signal signal;
+};
+
+/// Book-keeping for one in-flight fetch. `freed` models the browser freeing
+/// the request object when its owner thread dies while the request is still
+/// in flight (the CVE-2018-5092 use-after-free window).
+struct fetch_record {
+    std::uint64_t id = 0;
+    std::string url;
+    sim::thread_id owner = sim::no_thread;
+    abort_signal signal;
+    bool completed = false;
+    bool aborted = false;
+    bool freed = false;
+};
+
+class network {
+public:
+    explicit network(const browser_profile& profile) : profile_(&profile) {}
+
+    /// Register (or replace) a resource the simulated web serves.
+    void serve(resource res) { resources_[res.url] = std::move(res); }
+
+    [[nodiscard]] const resource* find(const std::string& url) const
+    {
+        auto it = resources_.find(url);
+        return it == resources_.end() ? nullptr : &it->second;
+    }
+
+    /// Transfer latency for `url` given current cache state; also updates the
+    /// cache (a completed fetch populates it). Unknown URLs behave like tiny
+    /// 404 documents.
+    sim::time_ns request_latency(const std::string& url)
+    {
+        const resource* res = find(url);
+        const std::size_t bytes = res ? res->bytes : 512;
+        const sim::time_ns think = res ? res->server_latency : 0;
+        if (cache_.contains(url)) return profile_->cache_hit_latency;
+        cache_.insert(url);
+        return profile_->net_rtt + think +
+               static_cast<sim::time_ns>(static_cast<double>(bytes) * profile_->net_ns_per_byte);
+    }
+
+    [[nodiscard]] bool cached(const std::string& url) const { return cache_.contains(url); }
+    void evict(const std::string& url) { cache_.erase(url); }
+    void flush_cache() { cache_.clear(); }
+    void prime_cache(const std::string& url) { cache_.insert(url); }
+
+    // --- fetch records -----------------------------------------------------
+    fetch_record& start_fetch(std::string url, sim::thread_id owner, abort_signal signal)
+    {
+        const std::uint64_t id = next_fetch_id_++;
+        auto& rec = fetches_[id];
+        rec = fetch_record{id, std::move(url), owner, std::move(signal), false, false, false};
+        return rec;
+    }
+
+    fetch_record* find_fetch(std::uint64_t id)
+    {
+        auto it = fetches_.find(id);
+        return it == fetches_.end() ? nullptr : &it->second;
+    }
+
+    /// All fetches that are neither completed nor aborted yet.
+    std::vector<fetch_record*> inflight_fetches()
+    {
+        std::vector<fetch_record*> out;
+        for (auto& [id, rec] : fetches_) {
+            if (!rec.completed && !rec.aborted) out.push_back(&rec);
+        }
+        return out;
+    }
+
+    /// In-flight fetches bound to a specific abort signal.
+    std::vector<fetch_record*> fetches_with(const abort_signal& signal)
+    {
+        std::vector<fetch_record*> out;
+        for (auto& [id, rec] : fetches_) {
+            if (rec.signal == signal) out.push_back(&rec);
+        }
+        return out;
+    }
+
+    /// Mark every in-flight fetch owned by `thread` as freed (its owner died).
+    /// Returns the ids affected.
+    std::vector<std::uint64_t> free_fetches_of(sim::thread_id thread)
+    {
+        std::vector<std::uint64_t> freed;
+        for (auto& [id, rec] : fetches_) {
+            if (rec.owner == thread && !rec.completed && !rec.freed) {
+                rec.freed = true;
+                freed.push_back(id);
+            }
+        }
+        return freed;
+    }
+
+private:
+    const browser_profile* profile_;
+    std::unordered_map<std::string, resource> resources_;
+    std::unordered_set<std::string> cache_;
+    std::unordered_map<std::uint64_t, fetch_record> fetches_;
+    std::uint64_t next_fetch_id_ = 1;
+};
+
+}  // namespace jsk::rt

@@ -1,0 +1,60 @@
+#include "runtime/profile.h"
+
+#include <stdexcept>
+
+namespace jsk::rt {
+
+browser_profile chrome_profile()
+{
+    browser_profile p;
+    p.name = "chrome";
+    p.now_precision = 5 * sim::us;
+    p.timer_clamp = 1 * sim::ms;
+    p.parse_ns_per_byte = 3.2;
+    p.decode_ns_per_pixel = 1.8;
+    p.erode_ns_per_pixel = 7.0;
+    p.cheap_op_cost = 10 * sim::ns;
+    p.worker_spawn_cost = 850 * sim::us;
+    return p;
+}
+
+browser_profile firefox_profile()
+{
+    browser_profile p;
+    p.name = "firefox";
+    // Firefox of the era clamps performance.now to 1 ms (privacy.reduceTimerPrecision).
+    p.now_precision = 1 * sim::ms;
+    p.timer_clamp = 1 * sim::ms;
+    p.parse_ns_per_byte = 3.6;
+    p.decode_ns_per_pixel = 2.1;
+    p.erode_ns_per_pixel = 6.6;
+    p.cheap_op_cost = 12 * sim::ns;
+    p.worker_spawn_cost = 1'000 * sim::us;
+    p.task_dispatch_cost = 3 * sim::us;
+    return p;
+}
+
+browser_profile edge_profile()
+{
+    browser_profile p;
+    p.name = "edge";
+    p.now_precision = 20 * sim::us;
+    p.timer_clamp = 1 * sim::ms;
+    p.parse_ns_per_byte = 4.4;
+    p.decode_ns_per_pixel = 2.6;
+    p.erode_ns_per_pixel = 10.4;  // Edge measures visibly slower in Table II
+    p.cheap_op_cost = 14 * sim::ns;
+    p.worker_spawn_cost = 1'200 * sim::us;
+    p.task_dispatch_cost = 4 * sim::us;
+    return p;
+}
+
+browser_profile profile_by_name(const std::string& name)
+{
+    if (name == "chrome") return chrome_profile();
+    if (name == "firefox") return firefox_profile();
+    if (name == "edge") return edge_profile();
+    throw std::invalid_argument("unknown browser profile: " + name);
+}
+
+}  // namespace jsk::rt

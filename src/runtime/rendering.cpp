@@ -1,0 +1,198 @@
+#include "runtime/rendering.h"
+
+#include <algorithm>
+
+#include "runtime/browser.h"
+#include "runtime/context.h"
+
+namespace jsk::rt {
+
+renderer::renderer(browser& owner, context& main) : owner_(&owner), main_(&main) {}
+
+std::int64_t renderer::request_frame(frame_cb cb)
+{
+    const std::int64_t id = next_frame_id_++;
+    frame_requests_.push_back(frame_req{id, std::move(cb)});
+    ensure_vsync();
+    return id;
+}
+
+void renderer::cancel_frame(std::int64_t id)
+{
+    auto it = std::find_if(frame_requests_.begin(), frame_requests_.end(),
+                           [id](const frame_req& r) { return r.id == id; });
+    if (it != frame_requests_.end()) frame_requests_.erase(it);
+}
+
+void renderer::add_paint_work(sim::time_ns cost)
+{
+    pending_paint_work_ += cost;
+    ensure_vsync();
+}
+
+sim::time_ns renderer::element_paint_cost(const element& el) const
+{
+    const auto& profile = owner_->profile();
+    sim::time_ns cost = 0;
+    if (el.tag() == "a") {
+        // :visited links take a different (slower) paint path.
+        if (owner_->history().visited(el.attribute("href"))) {
+            cost += profile.visited_link_paint_delta;
+        }
+    }
+    const std::string filter = el.attribute("filter");
+    if (!filter.empty()) {
+        // Filter cost scales with the filtered surface.
+        double width = 64.0;
+        double height = 64.0;
+        if (el.has_attribute("width")) width = std::stod(el.attribute("width"));
+        if (el.has_attribute("height")) height = std::stod(el.attribute("height"));
+        const std::string src = el.attribute("src");
+        if (const resource* res = owner_->net().find(src)) {
+            if (res->width > 0) width = res->width;
+            if (res->height > 0) height = res->height;
+        }
+        double iterations = 1.0;
+        if (el.has_attribute("filter-iterations")) {
+            iterations = std::stod(el.attribute("filter-iterations"));
+        }
+        cost += static_cast<sim::time_ns>(width * height * iterations *
+                                          profile.erode_ns_per_pixel);
+    }
+    return cost;
+}
+
+void renderer::mark_dirty(const element_ptr& el)
+{
+    dirty_.push_back(el);
+    ensure_vsync();
+}
+
+void renderer::start_animation(element_ptr target, int frames, std::function<void(double)> on_tick)
+{
+    css_animation anim;
+    anim.target = std::move(target);
+    anim.total_frames = frames;
+    anim.on_tick = std::move(on_tick);
+    if (anim.target) {
+        anim.target->set_attribute_raw("animation-progress", "0");
+        anim.target->set_attribute_raw("animation-total-frames", std::to_string(frames));
+    }
+    animations_.push_back(std::move(anim));
+    ensure_vsync();
+}
+
+void renderer::play_video(const element_ptr& el, sim::time_ns period)
+{
+    auto& state = videos_[el.get()];
+    state.period = std::max<sim::time_ns>(period, owner_->profile().frame_interval);
+    if (!state.playing) {
+        state.playing = true;
+        playing_videos_.push_back(el);
+        el->set_attribute_raw("cue-count", "0");
+        // Cue delivery runs on its own cadence, independent of vsync, via a
+        // self-scheduling closure.
+        struct cue_loop {
+            renderer* self;
+            element* raw;
+            void operator()() const
+            {
+                auto it = self->videos_.find(raw);
+                if (it == self->videos_.end() || !it->second.playing) return;
+                for (const auto& v : self->playing_videos_) {
+                    if (v.get() == raw) {
+                        const int count = std::stoi(v->attribute("cue-count")) + 1;
+                        v->set_attribute_raw("cue-count", std::to_string(count));
+                    }
+                }
+                if (it->second.cue_cb) it->second.cue_cb();
+                self->main_->post_task(it->second.period, cue_loop{self, raw}, "video-cue");
+            }
+        };
+        main_->post_task(state.period, cue_loop{this, el.get()}, "video-cue");
+    }
+}
+
+void renderer::stop_video(const element_ptr& el)
+{
+    auto it = videos_.find(el.get());
+    if (it != videos_.end()) it->second.playing = false;
+    std::erase(playing_videos_, el);
+}
+
+void renderer::set_cue_callback(const element_ptr& el, timer_cb cb)
+{
+    videos_[el.get()].cue_cb = std::move(cb);
+}
+
+bool renderer::has_work() const
+{
+    return !frame_requests_.empty() || pending_paint_work_ > 0 || !dirty_.empty() ||
+           !animations_.empty();
+}
+
+void renderer::ensure_vsync()
+{
+    // While a frame is being produced, the next one is scheduled at the end
+    // of on_vsync — after paint cost is known — so a heavy frame slips the
+    // next one to a later vsync slot, like a real compositor.
+    if (in_vsync_ || vsync_scheduled_ || !has_work()) return;
+    vsync_scheduled_ = true;
+    const sim::time_ns interval = owner_->profile().frame_interval;
+    const sim::time_ns now = owner_->sim().now();
+    // Align to the vsync grid. Routed through post_task so defenses that
+    // fuzz event pacing (Fuzzyfox) also affect frame delivery.
+    const sim::time_ns next = ((now / interval) + 1) * interval;
+    main_->post_task(next - now, [this] { on_vsync(); }, "vsync");
+}
+
+void renderer::on_vsync()
+{
+    vsync_scheduled_ = false;
+    in_vsync_ = true;
+    ++frames_;
+    const auto& profile = owner_->profile();
+
+    // 1. Animation callbacks (rAF) run first, with the frame timestamp taken
+    //    from the *current* performance_now definition so a defense that
+    //    redefined the clock also governs rAF timestamps.
+    std::vector<frame_req> due;
+    due.swap(frame_requests_);
+    const double timestamp = main_->apis().performance_now
+                                 ? main_->apis().performance_now()
+                                 : main_->native_performance_now();
+    for (auto& req : due) {
+        if (req.cb) req.cb(timestamp);
+    }
+
+    // 2. CSS animations advance one frame.
+    for (auto& anim : animations_) {
+        ++anim.elapsed_frames;
+        const double progress =
+            anim.total_frames == 0
+                ? 1.0
+                : std::min(1.0, static_cast<double>(anim.elapsed_frames) /
+                                    static_cast<double>(anim.total_frames));
+        if (anim.target) {
+            anim.target->set_attribute_raw("animation-progress", std::to_string(progress));
+        }
+        if (anim.on_tick) anim.on_tick(progress);
+    }
+    std::erase_if(animations_, [](const css_animation& a) { return a.done(); });
+
+    // 3. Style/layout/paint, including secret-dependent paint work.
+    sim::time_ns frame_cost = 0;
+    if (!dirty_.empty() || pending_paint_work_ > 0) {
+        frame_cost += profile.style_layout_cost + profile.paint_base_cost;
+        for (const auto& el : dirty_) frame_cost += element_paint_cost(*el);
+        dirty_.clear();
+        frame_cost += pending_paint_work_;
+        pending_paint_work_ = 0;
+    }
+    owner_->charge(frame_cost);
+
+    in_vsync_ = false;
+    if (has_work()) ensure_vsync();
+}
+
+}  // namespace jsk::rt

@@ -1,0 +1,104 @@
+// Rendering loop: 60 Hz vsync, requestAnimationFrame, repaint cost model
+// (style/layout, SVG filters, :visited link paint delta), CSS animations and
+// media cue events.
+//
+// The animation-related timing attacks (§IV-A2) observe how long frames take
+// when the renderer is busy with secret-dependent paint work; all that
+// secret-dependent work funnels through add_paint_work()/mark_dirty().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/api.h"
+#include "runtime/dom.h"
+#include "sim/time.h"
+
+namespace jsk::rt {
+
+class browser;
+class context;
+
+/// A running CSS animation; progress advances one step per frame. The
+/// CSS-animation implicit clock reads `progress` through the (interposable)
+/// attribute APIs.
+struct css_animation {
+    element_ptr target;
+    int total_frames = 0;
+    int elapsed_frames = 0;
+    std::function<void(double progress)> on_tick;  // optional observer
+    [[nodiscard]] bool done() const { return elapsed_frames >= total_frames; }
+};
+
+class renderer {
+public:
+    renderer(browser& owner, context& main);
+
+    // --- requestAnimationFrame (native implementation) ---
+    std::int64_t request_frame(frame_cb cb);
+    void cancel_frame(std::int64_t id);
+
+    // --- paint work ---
+    /// Queue explicit repaint work for the next frame (e.g. an SVG erode
+    /// filter applied to a cross-origin image).
+    void add_paint_work(sim::time_ns cost);
+
+    /// Mark an element dirty; its paint cost is computed from tag/attributes
+    /// (visited links pay the :visited delta, filtered elements their filter
+    /// cost) and charged on the next frame.
+    void mark_dirty(const element_ptr& el);
+
+    // --- CSS animations ---
+    /// Start an animation on `target` running `frames` frames; progress is
+    /// mirrored into the element's "animation-progress" attribute each frame.
+    void start_animation(element_ptr target, int frames,
+                         std::function<void(double)> on_tick = {});
+
+    // --- media cues (video/WebVTT implicit clock) ---
+    /// Fire the element's cue callback every `period` until stop_video().
+    void play_video(const element_ptr& el, sim::time_ns period);
+    void stop_video(const element_ptr& el);
+    /// Native cue-callback registration (trapable via the api_table).
+    void set_cue_callback(const element_ptr& el, timer_cb cb);
+
+    [[nodiscard]] std::uint64_t frames_rendered() const { return frames_; }
+
+    /// Compute the paint cost of one element (exposed for tests).
+    [[nodiscard]] sim::time_ns element_paint_cost(const element& el) const;
+
+private:
+    void ensure_vsync();
+    void on_vsync();
+    [[nodiscard]] bool has_work() const;
+
+    browser* owner_;
+    context* main_;
+
+    struct frame_req {
+        std::int64_t id;
+        frame_cb cb;
+    };
+    std::vector<frame_req> frame_requests_;
+    std::int64_t next_frame_id_ = 1;
+
+    sim::time_ns pending_paint_work_ = 0;
+    std::vector<element_ptr> dirty_;
+    std::vector<css_animation> animations_;
+
+    struct video_state {
+        sim::time_ns period = 0;
+        bool playing = false;
+        timer_cb cue_cb;
+    };
+    std::unordered_map<element*, video_state> videos_;
+    std::vector<element_ptr> playing_videos_;  // keeps targets alive
+
+    bool vsync_scheduled_ = false;
+    bool in_vsync_ = false;
+    std::uint64_t frames_ = 0;
+};
+
+}  // namespace jsk::rt

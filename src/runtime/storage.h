@@ -1,0 +1,75 @@
+// Browser-local storage models: indexedDB (with private-browsing semantics
+// relevant to CVE-2017-7843) and the visited-link store (history sniffing).
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "runtime/js_value.h"
+
+namespace jsk::rt {
+
+/// indexedDB-lite: named databases of key->value records. The private-mode
+/// bug in CVE-2017-7843 is that data written during private browsing is not
+/// deleted when the session ends; we reproduce that by keeping private-mode
+/// writes in the same backing store unless the caller purges them.
+class indexed_db {
+public:
+    void put(const std::string& db, const std::string& key, js_value value, bool private_mode)
+    {
+        stores_[db][key] = std::move(value);
+        if (private_mode) private_writes_[db].insert(key);
+    }
+
+    [[nodiscard]] js_value get(const std::string& db, const std::string& key) const
+    {
+        auto sit = stores_.find(db);
+        if (sit == stores_.end()) return js_value{};
+        auto it = sit->second.find(key);
+        return it == sit->second.end() ? js_value{} : it->second;
+    }
+
+    [[nodiscard]] bool has(const std::string& db, const std::string& key) const
+    {
+        auto sit = stores_.find(db);
+        return sit != stores_.end() && sit->second.contains(key);
+    }
+
+    /// End a private session. The *correct* behaviour deletes private-mode
+    /// writes; the buggy behaviour (the CVE) leaves them behind. Returns the
+    /// number of records that survived the session end.
+    std::size_t end_private_session(bool buggy)
+    {
+        std::size_t survivors = 0;
+        for (auto& [db, keys] : private_writes_) {
+            for (const auto& key : keys) {
+                if (buggy) {
+                    if (stores_[db].contains(key)) ++survivors;
+                } else {
+                    stores_[db].erase(key);
+                }
+            }
+        }
+        private_writes_.clear();
+        return survivors;
+    }
+
+private:
+    std::unordered_map<std::string, std::map<std::string, js_value>> stores_;
+    std::unordered_map<std::string, std::unordered_set<std::string>> private_writes_;
+};
+
+/// Visited-link store: the renderer paints :visited links differently, which
+/// the history-sniffing attack times.
+class history_store {
+public:
+    void mark_visited(const std::string& url) { visited_.insert(url); }
+    [[nodiscard]] bool visited(const std::string& url) const { return visited_.contains(url); }
+
+private:
+    std::unordered_set<std::string> visited_;
+};
+
+}  // namespace jsk::rt

@@ -1,0 +1,186 @@
+#include "runtime/vuln.h"
+
+#include <unordered_set>
+
+namespace jsk::rt {
+
+namespace {
+
+/// Monitor firing on a single event kind, optionally requiring detail_flag.
+class simple_monitor final : public cve_monitor {
+public:
+    simple_monitor(std::string id, std::string description, rt_event_kind kind,
+                   bool require_flag)
+        : cve_monitor(std::move(id), std::move(description)),
+          kind_(kind),
+          require_flag_(require_flag)
+    {
+    }
+
+    void observe(const rt_event& event) override
+    {
+        if (event.kind == kind_ && (!require_flag_ || event.detail_flag)) fire();
+    }
+
+private:
+    rt_event_kind kind_;
+    bool require_flag_;
+};
+
+/// CVE-2018-5092: a fetch is freed by a false worker termination, then an
+/// abort signal reaches the freed request (use-after-free).
+class cve_2018_5092 final : public cve_monitor {
+public:
+    cve_2018_5092()
+        : cve_monitor("CVE-2018-5092",
+                      "use-after-free: abort signal delivered to a fetch freed by a "
+                      "false worker termination")
+    {
+    }
+
+    void observe(const rt_event& event) override
+    {
+        if (event.kind == rt_event_kind::fetch_freed) freed_.insert(event.subject_id);
+        if (event.kind == rt_event_kind::fetch_aborted &&
+            (event.detail_flag || freed_.contains(event.subject_id))) {
+            fire();
+        }
+    }
+
+private:
+    std::unordered_set<std::uint64_t> freed_;
+};
+
+/// CVE-2017-7843: indexedDB written during private browsing persists after
+/// the private session ends.
+class cve_2017_7843 final : public cve_monitor {
+public:
+    cve_2017_7843()
+        : cve_monitor("CVE-2017-7843",
+                      "private-browsing indexedDB access persists after session end")
+    {
+    }
+
+    void observe(const rt_event& event) override
+    {
+        if (event.kind == rt_event_kind::indexeddb_access && event.detail_flag) {
+            accessed_in_private_ = true;
+        }
+        if (event.kind == rt_event_kind::indexeddb_persisted_private && accessed_in_private_) {
+            fire();
+        }
+    }
+
+private:
+    bool accessed_in_private_ = false;
+};
+
+/// CVE-2013-6646: page reload tears down the document while workers are
+/// alive with messages still in flight (use-after-free during shutdown).
+class cve_2013_6646 final : public cve_monitor {
+public:
+    cve_2013_6646()
+        : cve_monitor("CVE-2013-6646",
+                      "reload with live workers and in-flight messages races document "
+                      "teardown (modelled from NVD description)")
+    {
+    }
+
+    void observe(const rt_event& event) override
+    {
+        if (event.kind == rt_event_kind::worker_created && !event.detail_flag) {
+            // detail_flag marks polyfill workers: no engine thread to race.
+            live_workers_.insert(event.subject_id);
+        }
+        if (event.kind == rt_event_kind::worker_terminated ||
+            event.kind == rt_event_kind::worker_self_closed) {
+            live_workers_.erase(event.subject_id);
+        }
+        if (event.kind == rt_event_kind::page_reload && event.detail_flag &&
+            !live_workers_.empty()) {
+            fire();
+        }
+    }
+
+private:
+    std::unordered_set<std::uint64_t> live_workers_;
+};
+
+}  // namespace
+
+vuln_registry::vuln_registry(event_bus& bus)
+{
+    monitors_.push_back(std::make_unique<cve_2018_5092>());
+    monitors_.push_back(std::make_unique<cve_2017_7843>());
+    monitors_.push_back(std::make_unique<simple_monitor>(
+        "CVE-2015-7215",
+        "importScripts() error message discloses cross-origin information",
+        rt_event_kind::import_scripts_error, /*require_flag=*/true));
+    monitors_.push_back(std::make_unique<simple_monitor>(
+        "CVE-2014-3194",
+        "message dispatched to a worker torn down concurrently (modelled from NVD "
+        "description)",
+        rt_event_kind::message_after_termination, /*require_flag=*/true));
+    monitors_.push_back(std::make_unique<simple_monitor>(
+        "CVE-2014-1719",
+        "terminate() landed while the worker was mid-dispatch (modelled from NVD "
+        "description)",
+        rt_event_kind::terminate_during_dispatch, /*require_flag=*/true));
+    monitors_.push_back(std::make_unique<simple_monitor>(
+        "CVE-2014-1488",
+        "transferable ArrayBuffer received after its sending worker was terminated "
+        "(freed backing store)",
+        rt_event_kind::transferable_received, /*require_flag=*/true));
+    monitors_.push_back(std::make_unique<simple_monitor>(
+        "CVE-2014-1487",
+        "worker onerror event discloses cross-origin information",
+        rt_event_kind::worker_error_event, /*require_flag=*/true));
+    monitors_.push_back(std::make_unique<cve_2013_6646>());
+    monitors_.push_back(std::make_unique<simple_monitor>(
+        "CVE-2013-5602",
+        "null/invalid onmessage handler assignment dereferences an uninitialised "
+        "listener slot",
+        rt_event_kind::worker_onmessage_assigned, /*require_flag=*/true));
+    monitors_.push_back(std::make_unique<simple_monitor>(
+        "CVE-2013-1714",
+        "worker thread XMLHttpRequest bypasses the same-origin policy",
+        rt_event_kind::xhr_request, /*require_flag=*/true));
+    monitors_.push_back(std::make_unique<simple_monitor>(
+        "CVE-2011-1190",
+        "cross-origin script import exposes source to the worker (modelled from NVD "
+        "description)",
+        rt_event_kind::cross_origin_script_imported, /*require_flag=*/true));
+    monitors_.push_back(std::make_unique<simple_monitor>(
+        "CVE-2010-4576",
+        "terminate() raced with worker close(): double termination (modelled from "
+        "NVD description)",
+        rt_event_kind::worker_double_termination, /*require_flag=*/true));
+
+    bus.subscribe([this](const rt_event& event) {
+        for (auto& monitor : monitors_) monitor->observe(event);
+    });
+}
+
+const cve_monitor* vuln_registry::find(const std::string& id) const
+{
+    for (const auto& monitor : monitors_) {
+        if (monitor->id() == id) return monitor.get();
+    }
+    return nullptr;
+}
+
+void vuln_registry::reset_all()
+{
+    for (auto& monitor : monitors_) monitor->reset();
+}
+
+std::vector<std::string> vuln_registry::triggered_ids() const
+{
+    std::vector<std::string> out;
+    for (const auto& monitor : monitors_) {
+        if (monitor->triggered()) out.push_back(monitor->id());
+    }
+    return out;
+}
+
+}  // namespace jsk::rt

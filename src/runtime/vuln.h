@@ -1,0 +1,72 @@
+// CVE trigger state machines.
+//
+// Each monitor encodes the *triggering condition* of one web concurrency
+// attack from Table I as a small state machine over the runtime event bus.
+// A monitor fires (`triggered() == true`) when the documented invocation
+// sequence was observed at the engine level; a defense wins when the exploit
+// runs but the sequence never becomes observable.
+//
+// Provenance: conditions for CVE-2018-5092, -2013-1714, -2013-5602,
+// -2014-1488, -2014-1487, -2015-7215 and -2017-7843 are taken from §IV-B of
+// the paper; the remaining five (2014-3194, 2014-1719, 2013-6646, 2011-1190,
+// 2010-4576) are reconstructed best-effort from their NVD descriptions —
+// each one is a worker-lifecycle race, which is what we model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/events.h"
+
+namespace jsk::rt {
+
+class cve_monitor {
+public:
+    cve_monitor(std::string id, std::string description)
+        : id_(std::move(id)), description_(std::move(description))
+    {
+    }
+    virtual ~cve_monitor() = default;
+
+    [[nodiscard]] const std::string& id() const { return id_; }
+    [[nodiscard]] const std::string& description() const { return description_; }
+    [[nodiscard]] bool triggered() const { return triggered_; }
+    void reset() { triggered_ = false; }
+
+    virtual void observe(const rt_event& event) = 0;
+
+protected:
+    void fire() { triggered_ = true; }
+
+private:
+    std::string id_;
+    std::string description_;
+    bool triggered_ = false;
+};
+
+/// Owns one monitor per modelled CVE and subscribes them all to a bus.
+class vuln_registry {
+public:
+    /// Create all twelve monitors and attach them to `bus`.
+    explicit vuln_registry(event_bus& bus);
+
+    [[nodiscard]] const std::vector<std::unique_ptr<cve_monitor>>& monitors() const
+    {
+        return monitors_;
+    }
+
+    /// Find by CVE id ("CVE-2018-5092"); nullptr when unknown.
+    [[nodiscard]] const cve_monitor* find(const std::string& id) const;
+
+    /// Reset all monitors (between attack trials).
+    void reset_all();
+
+    /// Ids of all monitors that have triggered.
+    [[nodiscard]] std::vector<std::string> triggered_ids() const;
+
+private:
+    std::vector<std::unique_ptr<cve_monitor>> monitors_;
+};
+
+}  // namespace jsk::rt

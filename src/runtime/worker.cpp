@@ -1,0 +1,42 @@
+#include "runtime/worker.h"
+
+#include "runtime/browser.h"
+#include "runtime/context.h"
+#include "runtime/events.h"
+
+namespace jsk::rt {
+
+void native_worker::post_message(js_value data, transfer_list transfer)
+{
+    owner_->charge(owner_->profile().api_call_cost);
+    owner_->post_to_child(*link_, std::move(data), std::move(transfer));
+}
+
+void native_worker::set_onmessage(message_cb cb)
+{
+    owner_->charge(owner_->profile().api_call_cost);
+    // Assigning a null handler dereferences an uninitialised listener slot in
+    // the vulnerable engine (modelled CVE-2013-5602 trigger condition). A
+    // polyfill worker keeps the handler in plain JS — nothing to dereference.
+    owner_->emit(rt_event{rt_event_kind::worker_onmessage_assigned,
+                          link_->parent ? link_->parent->thread() : sim::no_thread, 0,
+                          link_->id, link_->src, "",
+                          cb == nullptr && !owner_->polyfill_workers()});
+    link_->parent_onmessage = std::move(cb);
+}
+
+void native_worker::set_onerror(error_cb cb)
+{
+    owner_->charge(owner_->profile().api_call_cost);
+    link_->parent_onerror = std::move(cb);
+}
+
+void native_worker::terminate()
+{
+    owner_->charge(owner_->profile().api_call_cost);
+    owner_->terminate_worker(*link_);
+}
+
+bool native_worker::alive() const { return link_->alive; }
+
+}  // namespace jsk::rt

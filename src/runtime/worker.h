@@ -1,0 +1,58 @@
+// Web Worker wiring: the parent-side handle, the parent<->child link record,
+// and the native worker implementation behind `new Worker(src)`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/api.h"
+
+namespace jsk::rt {
+
+class browser;
+class context;
+
+/// Shared bookkeeping for one worker pair. Lives as long as either side
+/// holds a handle; the browser keeps a registry for liveness queries (several
+/// CVE trigger conditions are races against these flags).
+struct worker_link {
+    std::uint64_t id = 0;
+    context* parent = nullptr;
+    context* child = nullptr;  // owned by the browser's context list
+    std::string src;
+    bool script_loaded = false;
+    bool alive = true;          // child thread still runs
+    bool self_closed = false;   // worker called close()
+    bool terminated = false;    // parent called terminate()
+    bool passed_transferable = false;  // child sent a transferable ArrayBuffer
+    int inflight_to_child = 0;         // posted but not yet delivered
+    std::vector<message_event> queued_before_load;  // buffered until import
+    message_cb parent_onmessage;       // worker.onmessage on the parent side
+    error_cb parent_onerror;
+};
+
+/// The native (browser-provided) worker handle. Under JSKernel user code
+/// never sees this type: it gets a kernel stub instead.
+class native_worker final : public worker_handle {
+public:
+    native_worker(browser& owner, std::shared_ptr<worker_link> link)
+        : owner_(&owner), link_(std::move(link))
+    {
+    }
+
+    void post_message(js_value data, transfer_list transfer) override;
+    void set_onmessage(message_cb cb) override;
+    void set_onerror(error_cb cb) override;
+    void terminate() override;
+    [[nodiscard]] bool alive() const override;
+    [[nodiscard]] std::uint64_t id() const override { return link_->id; }
+
+    [[nodiscard]] const std::shared_ptr<worker_link>& link() const { return link_; }
+
+private:
+    browser* owner_;
+    std::shared_ptr<worker_link> link_;
+};
+
+}  // namespace jsk::rt

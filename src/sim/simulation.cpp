@@ -1,0 +1,145 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace jsk::sim {
+
+thread_id simulation::create_thread(std::string name)
+{
+    threads_.push_back(thread_state{std::move(name), true, floor_time_});
+    return static_cast<thread_id>(threads_.size() - 1);
+}
+
+void simulation::destroy_thread(thread_id thread)
+{
+    if (thread < 0 || static_cast<std::size_t>(thread) >= threads_.size()) return;
+    threads_[static_cast<std::size_t>(thread)].alive = false;
+    // Pending tasks for the thread are dropped lazily in next_entry().
+}
+
+bool simulation::thread_alive(thread_id thread) const
+{
+    return thread >= 0 && static_cast<std::size_t>(thread) < threads_.size() &&
+           threads_[static_cast<std::size_t>(thread)].alive;
+}
+
+const std::string& simulation::thread_name(thread_id thread) const
+{
+    return threads_.at(static_cast<std::size_t>(thread)).name;
+}
+
+task_id simulation::post(thread_id thread, time_ns when, std::function<void()> fn,
+                         std::string label)
+{
+    if (!thread_alive(thread)) return 0;
+    if (!fn) throw std::invalid_argument("simulation::post: empty task function");
+    when = std::max(when, now());
+    const task_id id = next_task_id_++;
+    pending_.emplace(id, pending_task{thread, when, std::move(fn), std::move(label)});
+    queue_.push(queue_entry{when, next_seq_++, id});
+    return id;
+}
+
+bool simulation::cancel(task_id id)
+{
+    return pending_.erase(id) > 0;  // stale queue entries are skipped on pop
+}
+
+time_ns simulation::now() const
+{
+    if (current_) return current_->start + current_->consumed;
+    return floor_time_;
+}
+
+thread_id simulation::current_thread() const
+{
+    return current_ ? current_->thread : no_thread;
+}
+
+void simulation::consume(time_ns cost)
+{
+    if (!current_) throw std::logic_error("simulation::consume called outside a task");
+    if (cost < 0) throw std::invalid_argument("simulation::consume: negative cost");
+    current_->consumed += cost;
+}
+
+time_ns simulation::busy_until(thread_id thread) const
+{
+    return threads_.at(static_cast<std::size_t>(thread)).busy_until;
+}
+
+std::optional<simulation::queue_entry> simulation::next_entry(time_ns deadline)
+{
+    while (!queue_.empty()) {
+        queue_entry entry = queue_.top();
+        auto it = pending_.find(entry.id);
+        if (it == pending_.end()) {  // cancelled
+            queue_.pop();
+            continue;
+        }
+        const pending_task& task = it->second;
+        if (!thread_alive(task.thread)) {  // thread terminated
+            queue_.pop();
+            pending_.erase(it);
+            continue;
+        }
+        const time_ns start =
+            std::max(task.ready_at, threads_[static_cast<std::size_t>(task.thread)].busy_until);
+        if (start > entry.key) {
+            // The thread is busy past this entry's key: re-key and retry so
+            // that pops come out globally ordered by effective start time.
+            queue_.pop();
+            queue_.push(queue_entry{start, entry.seq, entry.id});
+            continue;
+        }
+        if (start > deadline) return std::nullopt;
+        queue_.pop();
+        entry.key = start;
+        return entry;
+    }
+    return std::nullopt;
+}
+
+void simulation::execute(const queue_entry& entry)
+{
+    auto node = pending_.extract(entry.id);
+    pending_task task = std::move(node.mapped());
+
+    current_ = running_task{entry.id, task.thread, entry.key, 0};
+    task.fn();
+    const running_task done = *current_;
+    current_.reset();
+
+    const time_ns end = done.start + done.consumed;
+    auto& thread = threads_[static_cast<std::size_t>(done.thread)];
+    thread.busy_until = std::max(thread.busy_until, end);
+    floor_time_ = std::max(floor_time_, done.start);
+    ++executed_;
+
+    if (observer_) {
+        observer_(task_info{done.id, done.thread, task.ready_at, done.start, end,
+                            std::move(task.label)});
+    }
+}
+
+void simulation::run(std::uint64_t max_tasks)
+{
+    run_until(std::numeric_limits<time_ns>::max(), max_tasks);
+}
+
+void simulation::run_until(time_ns deadline, std::uint64_t max_tasks)
+{
+    std::uint64_t budget = max_tasks;
+    while (budget-- > 0) {
+        auto entry = next_entry(deadline);
+        if (!entry) break;
+        execute(*entry);
+    }
+    if (deadline != std::numeric_limits<time_ns>::max()) {
+        floor_time_ = std::max(floor_time_, deadline);
+    }
+}
+
+}  // namespace jsk::sim

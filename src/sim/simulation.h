@@ -1,0 +1,160 @@
+// Discrete-event simulation core with per-thread occupancy.
+//
+// The simulator models a small set of "threads" (browser main thread plus web
+// workers). Each thread executes tasks sequentially; tasks on different
+// threads logically overlap in virtual time. A task declares its computation
+// cost by calling `consume()` while it runs; the thread is then busy until
+// `start + total consumed`.
+//
+// Execution order is by *effective start time* `max(ready_at, busy_until)`,
+// which preserves cross-thread causality: a message posted at virtual time t
+// is observed by code whose start time is >= t, even when the C++ callbacks
+// run in a single host thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace jsk::sim {
+
+using thread_id = std::int32_t;
+using task_id = std::uint64_t;
+
+inline constexpr thread_id no_thread = -1;
+
+/// Information handed to the task observer after each task completes.
+/// Loopscan-style attacks and the trace facility consume this.
+struct task_info {
+    task_id id = 0;
+    thread_id thread = no_thread;
+    time_ns ready_at = 0;
+    time_ns start = 0;
+    time_ns end = 0;
+    std::string label;
+};
+
+/// The discrete-event simulator. Not thread-safe: it *models* concurrency but
+/// runs in one host thread (CP.3 — no shared writable state to race on).
+class simulation {
+public:
+    simulation() = default;
+
+    simulation(const simulation&) = delete;
+    simulation& operator=(const simulation&) = delete;
+
+    /// Create a new simulated thread. The returned id is stable for the
+    /// lifetime of the simulation.
+    thread_id create_thread(std::string name);
+
+    /// Destroy a thread: its queued tasks are dropped and future posts to it
+    /// are rejected. Mirrors `worker.terminate()` semantics.
+    void destroy_thread(thread_id thread);
+
+    [[nodiscard]] bool thread_alive(thread_id thread) const;
+    [[nodiscard]] const std::string& thread_name(thread_id thread) const;
+
+    /// Schedule `fn` on `thread` at absolute virtual time >= `when`.
+    /// If called from inside a running task, `when` is clamped to `now()`
+    /// (nothing can be scheduled in the past). Returns an id usable with
+    /// `cancel()`. Posting to a dead thread returns 0 and drops the task.
+    task_id post(thread_id thread, time_ns when, std::function<void()> fn,
+                 std::string label = {});
+
+    /// Cancel a pending task. Returns true if the task had not run yet.
+    bool cancel(task_id id);
+
+    /// True while a task callback is on the stack.
+    [[nodiscard]] bool in_task() const { return current_.has_value(); }
+
+    /// Virtual "now": inside a task, the running thread's current time
+    /// (start + consumed so far); outside, the global low-water mark.
+    [[nodiscard]] time_ns now() const;
+
+    /// Thread whose task is currently executing.
+    [[nodiscard]] thread_id current_thread() const;
+
+    /// Model `cost` nanoseconds of computation on the current thread.
+    /// Must be called from inside a task.
+    void consume(time_ns cost);
+
+    /// Earliest time the thread can start a new task.
+    [[nodiscard]] time_ns busy_until(thread_id thread) const;
+
+    /// Run until the task queue drains. `max_tasks` guards runaway loops.
+    void run(std::uint64_t max_tasks = std::numeric_limits<std::uint64_t>::max());
+
+    /// Run tasks whose effective start time is <= `deadline`; afterwards the
+    /// global clock is at least `deadline`.
+    void run_until(time_ns deadline,
+                   std::uint64_t max_tasks = std::numeric_limits<std::uint64_t>::max());
+
+    /// Number of tasks executed so far.
+    [[nodiscard]] std::uint64_t tasks_executed() const { return executed_; }
+
+    /// Number of tasks currently pending.
+    [[nodiscard]] std::size_t pending_tasks() const { return pending_.size(); }
+
+    /// Observer invoked after every completed task (loopscan, tracing).
+    void set_task_observer(std::function<void(const task_info&)> observer)
+    {
+        observer_ = std::move(observer);
+    }
+
+private:
+    struct thread_state {
+        std::string name;
+        bool alive = true;
+        time_ns busy_until = 0;
+    };
+
+    struct pending_task {
+        thread_id thread = no_thread;
+        time_ns ready_at = 0;
+        std::function<void()> fn;
+        std::string label;
+    };
+
+    struct queue_entry {
+        time_ns key;  // candidate start time; re-keyed upward on busy threads
+        std::uint64_t seq;
+        task_id id;
+        bool operator>(const queue_entry& other) const
+        {
+            return key != other.key ? key > other.key : seq > other.seq;
+        }
+    };
+
+    struct running_task {
+        task_id id;
+        thread_id thread;
+        time_ns start;
+        time_ns consumed;
+    };
+
+    /// Pop the next runnable entry, re-keying entries whose thread is still
+    /// busy past their key. Returns nullopt when the queue is empty or the
+    /// next start time exceeds `deadline`.
+    std::optional<queue_entry> next_entry(time_ns deadline);
+
+    void execute(const queue_entry& entry);
+
+    std::vector<thread_state> threads_;
+    std::unordered_map<task_id, pending_task> pending_;
+    std::priority_queue<queue_entry, std::vector<queue_entry>, std::greater<>> queue_;
+    std::function<void(const task_info&)> observer_;
+    std::optional<running_task> current_;
+    task_id next_task_id_ = 1;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+    time_ns floor_time_ = 0;  // global low-water mark outside tasks
+};
+
+}  // namespace jsk::sim

@@ -1,0 +1,103 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace jsk::sim {
+
+summary summarize(const std::vector<double>& xs)
+{
+    summary s;
+    s.n = xs.size();
+    if (xs.empty()) return s;
+    s.min = s.max = xs.front();
+    double sum = 0.0;
+    for (double x : xs) {
+        sum += x;
+        s.min = std::min(s.min, x);
+        s.max = std::max(s.max, x);
+    }
+    s.mean = sum / static_cast<double>(s.n);
+    if (s.n > 1) {
+        double acc = 0.0;
+        for (double x : xs) acc += (x - s.mean) * (x - s.mean);
+        s.stddev = std::sqrt(acc / static_cast<double>(s.n - 1));
+    }
+    return s;
+}
+
+double welch_t(const std::vector<double>& a, const std::vector<double>& b)
+{
+    const summary sa = summarize(a);
+    const summary sb = summarize(b);
+    if (sa.n < 2 || sb.n < 2) return 0.0;
+    const double va = sa.stddev * sa.stddev / static_cast<double>(sa.n);
+    const double vb = sb.stddev * sb.stddev / static_cast<double>(sb.n);
+    const double denom = std::sqrt(va + vb);
+    if (denom == 0.0) {
+        // Both samples are point masses: infinitely separable unless equal.
+        return sa.mean == sb.mean ? 0.0 : std::numeric_limits<double>::infinity();
+    }
+    return std::abs(sa.mean - sb.mean) / denom;
+}
+
+double classification_accuracy(const std::vector<double>& a, const std::vector<double>& b)
+{
+    if (a.empty() || b.empty()) return 0.5;
+    const double ma = summarize(a).mean;
+    const double mb = summarize(b).mean;
+    if (ma == mb) return 0.5;
+    double score = 0.0;
+    auto classify = [&](double x, double own, double other) {
+        const double d_own = std::abs(x - own);
+        const double d_other = std::abs(x - other);
+        if (d_own < d_other) score += 1.0;
+        else if (d_own == d_other) score += 0.5;  // tie: coin flip
+    };
+    for (double x : a) classify(x, ma, mb);
+    for (double x : b) classify(x, mb, ma);
+    return score / static_cast<double>(a.size() + b.size());
+}
+
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    std::vector<std::pair<double, double>> out;
+    out.reserve(xs.size());
+    const double n = static_cast<double>(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        out.emplace_back(xs[i], static_cast<double>(i + 1) / n);
+    }
+    return out;
+}
+
+double percentile(std::vector<double> xs, double pct)
+{
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double cosine_similarity(const std::unordered_map<std::string, double>& a,
+                         const std::unordered_map<std::string, double>& b)
+{
+    if (a.empty() && b.empty()) return 1.0;
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (const auto& [key, va] : a) {
+        na += va * va;
+        auto it = b.find(key);
+        if (it != b.end()) dot += va * it->second;
+    }
+    for (const auto& [key, vb] : b) nb += vb * vb;
+    if (na == 0.0 || nb == 0.0) return 0.0;
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace jsk::sim

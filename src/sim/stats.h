@@ -1,0 +1,47 @@
+// Small statistics toolkit used by the attack-success metric and the
+// benchmark harnesses (means, spread, Welch's t statistic, CDFs, cosine
+// similarity for the DOM-compatibility experiment).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <unordered_map>
+#include <vector>
+
+namespace jsk::sim {
+
+struct summary {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  // sample standard deviation
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/// Summarise a sample. An empty sample yields an all-zero summary.
+summary summarize(const std::vector<double>& xs);
+
+/// Welch's t statistic for two samples (0 when either sample is degenerate
+/// with zero variance and equal means; large when distributions separate).
+double welch_t(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Nearest-mean two-class classification accuracy under leave-none-out:
+/// assign each observation to the closer of the two sample means. This is the
+/// adversary's distinguishing power; 0.5 is chance, 1.0 is perfect.
+double classification_accuracy(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Empirical CDF evaluated on sorted copies of `xs`: returns (value, quantile)
+/// pairs suitable for plotting Figure 3.
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> xs);
+
+/// Percentile (0..100) by linear interpolation on a sorted copy.
+double percentile(std::vector<double> xs, double pct);
+
+/// Cosine similarity between two bag-of-token term-frequency vectors,
+/// mirroring the paper's §V-B2 DOM-serialisation comparison. Two empty bags
+/// compare as identical (1.0).
+double cosine_similarity(const std::unordered_map<std::string, double>& a,
+                         const std::unordered_map<std::string, double>& b);
+
+}  // namespace jsk::sim

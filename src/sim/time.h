@@ -1,0 +1,33 @@
+// Virtual time primitives for the discrete-event simulator.
+//
+// All simulator time is expressed in integer nanoseconds (`time_ns`).
+// Helper factories exist so call sites read naturally: `5 * sim::ms`.
+#pragma once
+
+#include <cstdint>
+
+namespace jsk::sim {
+
+/// Absolute virtual time or a duration, in nanoseconds.
+using time_ns = std::int64_t;
+
+inline constexpr time_ns ns = 1;
+inline constexpr time_ns us = 1'000;
+inline constexpr time_ns ms = 1'000'000;
+inline constexpr time_ns sec = 1'000'000'000;
+
+/// Convert a nanosecond count to fractional milliseconds (for reporting).
+constexpr double to_ms(time_ns t) { return static_cast<double>(t) / static_cast<double>(ms); }
+
+/// Convert fractional milliseconds to nanoseconds (rounding toward zero).
+constexpr time_ns from_ms(double v) { return static_cast<time_ns>(v * static_cast<double>(ms)); }
+
+/// Quantise `t` down to a multiple of `quantum` (clock-precision reduction).
+/// A non-positive quantum means "no quantisation".
+constexpr time_ns quantize(time_ns t, time_ns quantum)
+{
+    if (quantum <= 1) return t;
+    return (t / quantum) * quantum;
+}
+
+}  // namespace jsk::sim

@@ -1,0 +1,70 @@
+// Task-execution trace recorder.
+//
+// The loopscan attack (Vila & Köpf) observes the event-loop usage pattern of
+// a victim origin; our reproduction records completed-task intervals through
+// the simulation's task observer and exposes simple queries over them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace jsk::sim {
+
+/// Records every completed task; optionally filtered by thread.
+class trace_recorder {
+public:
+    /// Install onto `sim`. Replaces any previously set observer.
+    void attach(simulation& sim, thread_id only_thread = no_thread)
+    {
+        only_thread_ = only_thread;
+        sim.set_task_observer([this](const task_info& info) { on_task(info); });
+    }
+
+    void clear() { records_.clear(); }
+
+    [[nodiscard]] const std::vector<task_info>& records() const { return records_; }
+
+    /// Largest gap between consecutive task *start* times on the recorded
+    /// thread — the loopscan attack's "maximum measured event interval".
+    [[nodiscard]] time_ns max_start_interval() const
+    {
+        time_ns max_gap = 0;
+        for (std::size_t i = 1; i < records_.size(); ++i) {
+            max_gap = std::max(max_gap, records_[i].start - records_[i - 1].start);
+        }
+        return max_gap;
+    }
+
+    /// Total busy time across recorded tasks.
+    [[nodiscard]] time_ns total_busy() const
+    {
+        time_ns acc = 0;
+        for (const auto& record : records_) acc += record.end - record.start;
+        return acc;
+    }
+
+    /// Count of records whose label matches exactly.
+    [[nodiscard]] std::size_t count_label(const std::string& label) const
+    {
+        std::size_t n = 0;
+        for (const auto& record : records_)
+            if (record.label == label) ++n;
+        return n;
+    }
+
+private:
+    void on_task(const task_info& info)
+    {
+        if (only_thread_ != no_thread && info.thread != only_thread_) return;
+        records_.push_back(info);
+    }
+
+    thread_id only_thread_ = no_thread;
+    std::vector<task_info> records_;
+};
+
+}  // namespace jsk::sim

@@ -1,0 +1,98 @@
+// Synthetic web workloads.
+//
+// The paper evaluates on Alexa Top-500 loads, Raptor tp6 subtests, Dromaeo
+// micro-suites and a worker-creation benchmark. None of those are available
+// offline, so this module generates seeded synthetic equivalents with the
+// same *API mix*: pages are bags of scripts/images/timers/workers loaded
+// through the (interposable) api_table, so defense overhead shows up exactly
+// where it does in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/browser.h"
+
+namespace jsk::workloads {
+
+// --- event-loop usage profiles (loopscan victims) ---------------------------
+
+struct site_task {
+    sim::time_ns delay = 0;  // since profile start
+    sim::time_ns cost = 0;
+};
+
+/// A victim origin's event-loop usage pattern. Loopscan distinguishes
+/// origins by the gaps/durations their tasks impose on a shared event loop.
+struct event_profile {
+    std::string name;
+    std::vector<site_task> tasks;
+};
+
+/// google.com-like: many short tasks (max ~4-5 ms on the Chrome scale).
+event_profile google_event_profile();
+/// youtube.com-like: fewer, longer tasks (max ~9 ms on the Chrome scale).
+event_profile youtube_event_profile();
+
+/// Post the profile's tasks onto the browser's main thread (the victim tab
+/// sharing the event loop with the attacker).
+void run_event_profile(rt::browser& b, const event_profile& profile);
+
+// --- page loads ---------------------------------------------------------------
+
+struct site_spec {
+    std::string name;
+    std::string origin;
+    std::vector<rt::resource> resources;  // registered with the network
+    std::vector<std::string> script_urls;
+    std::vector<std::string> image_urls;
+    std::string hero_url;  // Raptor's hero element (an image)
+    int dom_nodes = 40;
+    int timer_chains = 2;
+    int workers = 0;
+    double extra_render_cost_factor = 1.0;  // per-browser Raptor scaling
+};
+
+/// Alexa-like site number `rank` (0-based), fully determined by (rank, seed).
+site_spec make_synthetic_site(std::uint64_t rank, std::uint64_t seed);
+
+/// Raptor tp6-1 subtests: "amazon", "facebook", "google", "youtube".
+/// `browser_name` scales content weight the way Raptor's per-browser hero
+/// timings differ in Table III.
+site_spec raptor_site(const std::string& name, const std::string& browser_name);
+
+struct load_result {
+    double onload_ms = 0.0;  // all subresources finished
+    double hero_ms = 0.0;    // the hero image finished (Raptor metric)
+};
+
+/// Load the site through the browser's api_table (so installed defenses see
+/// every call) and return virtual load timings.
+load_result load_site(rt::browser& b, const site_spec& site);
+
+// --- Dromaeo-like micro-suites ---------------------------------------------------
+
+struct micro_result {
+    std::string test;
+    double duration_ms = 0.0;  // virtual time for the fixed op count
+};
+
+/// All suite names, paper-flavoured: compute-heavy and DOM-heavy tests.
+std::vector<std::string> dromaeo_tests();
+
+/// Run one named test on the browser; deterministic for a given browser
+/// state. Throws std::invalid_argument for unknown names.
+micro_result run_dromaeo_test(rt::browser& b, const std::string& test);
+
+/// Worker benchmark (pmav.eu-style): spawn `n` workers, return virtual ms
+/// until every worker script has been imported.
+double run_worker_bench(rt::browser& b, int n);
+
+/// Compatibility probe: build a page with optional dynamic (ad-like)
+/// content and return the DOM token bag.
+std::unordered_map<std::string, double> build_compat_page(rt::browser& b,
+                                                          std::uint64_t site_seed,
+                                                          bool dynamic_ads);
+
+}  // namespace jsk::workloads

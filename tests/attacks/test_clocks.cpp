@@ -1,0 +1,95 @@
+// Unit tests for the implicit-clock measurement helpers.
+#include <gtest/gtest.h>
+
+#include "attacks/clocks.h"
+#include "sim/trace.h"
+
+namespace {
+
+using namespace jsk;
+namespace sim = jsk::sim;
+namespace rt = jsk::rt;
+
+attacks::async_op delay_op(sim::time_ns latency)
+{
+    return [latency](rt::browser& b, std::function<void()> done) {
+        b.main().apis().set_timeout([done] { done(); }, latency);
+    };
+}
+
+TEST(timeout_clock, counts_scale_with_op_duration)
+{
+    rt::browser fast_browser(rt::chrome_profile());
+    const double fast = attacks::count_timeout_ticks_during(fast_browser, delay_op(20 * sim::ms));
+    rt::browser slow_browser(rt::chrome_profile());
+    const double slow =
+        attacks::count_timeout_ticks_during(slow_browser, delay_op(200 * sim::ms));
+    EXPECT_GT(fast, 0.0);
+    EXPECT_GT(slow, fast * 3);
+}
+
+TEST(timeout_clock, zero_duration_op_counts_nothing)
+{
+    rt::browser b(rt::chrome_profile());
+    const double ticks = attacks::count_timeout_ticks_during(
+        b, [](rt::browser& bb, std::function<void()> done) {
+            bb.main().queue_microtask(done);
+            bb.main().consume(1);
+        });
+    EXPECT_LT(ticks, 2.0);
+}
+
+TEST(now_polls, scale_with_op_duration)
+{
+    rt::browser fast_browser(rt::chrome_profile());
+    const double fast = attacks::count_now_polls_during(fast_browser, delay_op(10 * sim::ms));
+    rt::browser slow_browser(rt::chrome_profile());
+    const double slow = attacks::count_now_polls_during(slow_browser, delay_op(60 * sim::ms));
+    EXPECT_GT(slow, fast * 2);
+}
+
+TEST(raf_interval, idle_page_runs_at_60hz)
+{
+    rt::browser b(rt::chrome_profile());
+    const double interval = attacks::mean_raf_interval(b, 6, [](int) {});
+    EXPECT_NEAR(interval, 16.666, 0.5);
+}
+
+TEST(raf_interval, heavy_frames_slip_the_grid)
+{
+    rt::browser b(rt::chrome_profile());
+    rt::browser* bp = &b;
+    const double interval = attacks::mean_raf_interval(
+        b, 6, [bp](int) { bp->painter().add_paint_work(20 * sim::ms); });
+    EXPECT_GT(interval, 30.0);
+}
+
+TEST(video_cues, count_tracks_duration)
+{
+    rt::browser fast_browser(rt::chrome_profile());
+    const double fast = attacks::count_video_cues_during(fast_browser, delay_op(50 * sim::ms));
+    rt::browser slow_browser(rt::chrome_profile());
+    const double slow =
+        attacks::count_video_cues_during(slow_browser, delay_op(400 * sim::ms));
+    EXPECT_GT(slow, fast);
+}
+
+TEST(trace_recorder, records_labels_and_intervals)
+{
+    sim::simulation s;
+    const auto t = s.create_thread("main");
+    sim::trace_recorder recorder;
+    recorder.attach(s, t);
+    s.post(t, 1 * sim::ms, [&] { s.consume(2 * sim::ms); }, "a");
+    s.post(t, 10 * sim::ms, [] {}, "b");
+    s.post(t, 30 * sim::ms, [] {}, "a");
+    s.run();
+    EXPECT_EQ(recorder.records().size(), 3u);
+    EXPECT_EQ(recorder.count_label("a"), 2u);
+    EXPECT_EQ(recorder.max_start_interval(), 20 * sim::ms);
+    EXPECT_EQ(recorder.total_busy(), 2 * sim::ms);
+    recorder.clear();
+    EXPECT_TRUE(recorder.records().empty());
+}
+
+}  // namespace

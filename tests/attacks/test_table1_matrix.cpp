@@ -1,0 +1,72 @@
+// The headline integration test: the full Table I matrix. Every attack is
+// run under every defense; the measured prevention verdict must match the
+// reconstructed matrix in attacks/expected.h.
+//
+// This is parameterized over (attack, defense) so each cell is its own test
+// case; a regression in any single mechanism shows up as exactly one red
+// cell.
+#include <gtest/gtest.h>
+
+#include "attacks/attack.h"
+#include "attacks/expected.h"
+
+namespace {
+
+using namespace jsk;
+
+struct cell {
+    std::string attack_name;
+    defenses::defense_id defense;
+};
+
+std::vector<cell> all_cells()
+{
+    std::vector<cell> cells;
+    for (const auto& atk : attacks::all_attacks()) {
+        for (const auto def : defenses::all_defense_ids()) {
+            cells.push_back(cell{atk->name(), def});
+        }
+    }
+    return cells;
+}
+
+class table1_cell : public ::testing::TestWithParam<cell> {};
+
+TEST_P(table1_cell, matches_expected_matrix)
+{
+    const cell& c = GetParam();
+    // Re-find the attack by name (attacks are not copyable).
+    std::unique_ptr<attacks::attack> atk;
+    for (auto& candidate : attacks::all_attacks()) {
+        if (candidate->name() == c.attack_name) {
+            atk = std::move(candidate);
+            break;
+        }
+    }
+    ASSERT_NE(atk, nullptr);
+
+    attacks::run_config config;
+    config.defense = c.defense;
+    config.trials = 7;
+    config.seed = 11;
+    const attacks::attack_outcome outcome = atk->run(config);
+
+    EXPECT_EQ(outcome.prevented, attacks::expected_prevented(c.attack_name, c.defense))
+        << "attack=" << c.attack_name << " defense=" << defenses::to_string(c.defense)
+        << " accuracy=" << outcome.accuracy
+        << " cve_triggered=" << outcome.cve_triggered;
+}
+
+std::string cell_name(const ::testing::TestParamInfo<cell>& info)
+{
+    std::string name =
+        info.param.attack_name + "_" + defenses::to_string(info.param.defense);
+    for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(matrix, table1_cell, ::testing::ValuesIn(all_cells()), cell_name);
+
+}  // namespace

@@ -1,0 +1,123 @@
+// §VI robustness: an adversary who *knows* JSKernel is installed still
+// cannot bypass it — reasons (i)-(iv) of the discussion section.
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+
+namespace {
+
+using namespace jsk::kernel;
+namespace rt = jsk::rt;
+namespace sim = jsk::sim;
+
+struct adversary_fixture : ::testing::Test {
+    rt::browser b{rt::chrome_profile()};
+    std::unique_ptr<kernel> k = kernel::boot(b);
+};
+
+TEST_F(adversary_fixture, backup_copy_pattern_still_reaches_the_kernel)
+{
+    // §III-B legitimate case: a site backs up the "native" definition and
+    // calls it later (youtube's requestAnimationFrame pattern). The backup
+    // is the kernel's definition, so the kernel still mediates.
+    double reading = -1.0;
+    b.main().post_task(0, [&] {
+        auto backup = b.main().apis().performance_now;  // thinks it's native
+        b.main().apis().performance_now = [] { return -1.0; };  // site redefinition
+        b.main().consume(300 * sim::ms);
+        reading = backup();  // calls the kernel definition
+    });
+    b.run();
+    // Kernel time (sub-ms), not physical 300 ms, and not the bogus -1.
+    EXPECT_GE(reading, 0.0);
+    EXPECT_LT(reading, 1.0);
+}
+
+TEST_F(adversary_fixture, redefining_apis_cannot_reach_physical_time)
+{
+    // §VI(i)/(ii): the attacker may clobber every table entry; the timing
+    // objects stay encapsulated in the kernel — nothing they can install
+    // reads the physical clock.
+    double observed = -1.0;
+    b.main().post_task(0, [&] {
+        auto& apis = b.main().apis();
+        // The attacker replaces the clock with a chain to the current
+        // definition (which is the kernel's — there is nothing older).
+        auto current = apis.performance_now;
+        apis.performance_now = [current] { return current(); };
+        b.main().consume(1 * sim::sec);
+        observed = apis.performance_now();
+    });
+    b.run();
+    EXPECT_LT(observed, 5.0);  // still kernel ticks, physical second invisible
+}
+
+TEST_F(adversary_fixture, onmessage_trap_is_not_configurable)
+{
+    // §III-B: "The attacker cannot use Object.defineProperty to redefine
+    // setter functions of critical properties like onmessage".
+    b.register_worker_script("victim.js", [](rt::context& ctx) {
+        // Attacker code inside the worker tries to re-trap the onmessage
+        // setter to capture raw (kernel-overlay) traffic.
+        const bool redefined = ctx.try_redefine_self_onmessage_trap([](rt::message_cb) {});
+        EXPECT_FALSE(redefined);
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("victim.js"); });
+    b.run();
+}
+
+TEST_F(adversary_fixture, kernel_is_injected_into_every_new_thread)
+{
+    // §VI(iii): every new JavaScript context gets its own kernel; worker
+    // code observes kernel clocks from the first instruction.
+    double first_reading = -1.0;
+    b.register_worker_script("probe.js", [&](rt::context& ctx) {
+        ctx.consume(400 * sim::ms);  // heavy startup compute
+        first_reading = ctx.apis().performance_now();
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("probe.js"); });
+    b.run();
+    EXPECT_GE(first_reading, 0.0);
+    EXPECT_LT(first_reading, 1.0);  // kernel time, not 400 ms
+}
+
+TEST_F(adversary_fixture, overlay_spoofing_does_not_reach_kernel_handlers)
+{
+    // An attacker crafting fake kernel-overlay ("sys") messages from the
+    // worker must not be able to drive the main kernel's thread manager:
+    // user payloads are wrapped before transport, so a spoofed object
+    // arrives double-wrapped and is treated as data.
+    b.register_worker_script("spoof.js", [](rt::context& ctx) {
+        ctx.apis().post_message_to_parent(
+            rt::make_object({{"__jsk", "sys"}, {"cmd", "ready-to-die"}}), {});
+    });
+    rt::js_value delivered;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("spoof.js");
+        w->set_onmessage([&](const rt::message_event& e) { delivered = e.data; });
+    });
+    b.run();
+    // The spoofed "sys" object was delivered as plain user data...
+    ASSERT_TRUE(delivered.is_object());
+    EXPECT_EQ(delivered.get("cmd").as_string(), "ready-to-die");
+    // ...and the worker was NOT torn down by it.
+    ASSERT_EQ(k->threads().threads().size(), 1u);
+    EXPECT_FALSE(k->threads().threads()[0]->native_terminated);
+    EXPECT_EQ(k->threads().threads()[0]->status, "ready");
+}
+
+TEST_F(adversary_fixture, sab_reads_tick_the_kernel_clock)
+{
+    // §III-E2: every SharedArrayBuffer access is kernel-mediated; a busy
+    // SAB polling loop advances kernel time deterministically instead of
+    // exposing a free timer.
+    const auto ticks_before = k->clock().ticks();
+    b.main().post_task(0, [&] {
+        auto buf = b.main().apis().create_shared_buffer(1);
+        for (int i = 0; i < 1000; ++i) (void)b.main().apis().sab_load(buf, 0);
+    });
+    b.run();
+    EXPECT_GE(k->clock().ticks() - ticks_before, 1000u);
+}
+
+}  // namespace

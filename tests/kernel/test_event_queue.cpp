@@ -1,0 +1,121 @@
+// Unit tests for the kernel event queue (§III-C1 API: push/pop/top/remove/
+// lookup) and the kernel clock (§III-C2).
+#include <gtest/gtest.h>
+
+#include "kernel/event_queue.h"
+#include "kernel/kclock.h"
+
+namespace {
+
+using namespace jsk::kernel;
+
+kevent make_event(std::uint64_t id, ktime predicted)
+{
+    kevent ev;
+    ev.id = id;
+    ev.predicted_time = predicted;
+    return ev;
+}
+
+TEST(event_queue, pop_returns_smallest_predicted_time)
+{
+    event_queue q;
+    q.push(make_event(1, 30.0));
+    q.push(make_event(2, 10.0));
+    q.push(make_event(3, 20.0));
+    EXPECT_EQ(q.pop().id, 2u);
+    EXPECT_EQ(q.pop().id, 3u);
+    EXPECT_EQ(q.pop().id, 1u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(event_queue, top_keeps_the_event)
+{
+    event_queue q;
+    q.push(make_event(7, 5.0));
+    ASSERT_NE(q.top(), nullptr);
+    EXPECT_EQ(q.top()->id, 7u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(event_queue, equal_predictions_dispatch_in_registration_order)
+{
+    event_queue q;
+    q.push(make_event(10, 1.0));
+    q.push(make_event(11, 1.0));
+    q.push(make_event(12, 1.0));
+    EXPECT_EQ(q.pop().id, 10u);
+    EXPECT_EQ(q.pop().id, 11u);
+    EXPECT_EQ(q.pop().id, 12u);
+}
+
+TEST(event_queue, remove_by_id_regardless_of_predicted_time)
+{
+    event_queue q;
+    q.push(make_event(1, 10.0));
+    q.push(make_event(2, 20.0));
+    EXPECT_TRUE(q.remove(2));
+    EXPECT_FALSE(q.remove(2));
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.lookup(2), nullptr);
+}
+
+TEST(event_queue, lookup_finds_live_events)
+{
+    event_queue q;
+    q.push(make_event(5, 3.0));
+    kevent* ev = q.lookup(5);
+    ASSERT_NE(ev, nullptr);
+    ev->status = kevent_status::ready;
+    EXPECT_EQ(q.top()->status, kevent_status::ready);
+}
+
+TEST(event_queue, duplicate_id_throws)
+{
+    event_queue q;
+    q.push(make_event(1, 1.0));
+    EXPECT_THROW(q.push(make_event(1, 2.0)), std::invalid_argument);
+}
+
+TEST(event_queue, pop_empty_throws)
+{
+    event_queue q;
+    EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(event_queue, cancel_all_marks_everything)
+{
+    event_queue q;
+    q.push(make_event(1, 1.0));
+    q.push(make_event(2, 2.0));
+    q.cancel_all();
+    EXPECT_EQ(q.top()->status, kevent_status::cancelled);
+    EXPECT_EQ(q.lookup(2)->status, kevent_status::cancelled);
+}
+
+TEST(kclock, ticks_advance_time_by_tick_length)
+{
+    kclock c(0.05);
+    EXPECT_DOUBLE_EQ(c.display(), 0.0);
+    c.tick(10);
+    EXPECT_DOUBLE_EQ(c.display(), 0.5);
+    EXPECT_EQ(c.ticks(), 10u);
+}
+
+TEST(kclock, tick_to_never_goes_backwards)
+{
+    kclock c;
+    c.tick_to(5.0);
+    EXPECT_DOUBLE_EQ(c.display(), 5.0);
+    c.tick_to(3.0);
+    EXPECT_DOUBLE_EQ(c.display(), 5.0);
+}
+
+TEST(kevent, enum_names_round_trip)
+{
+    EXPECT_STREQ(to_string(kevent_type::timeout), "timeout");
+    EXPECT_STREQ(to_string(kevent_status::pending), "pending");
+    EXPECT_STREQ(to_string(kevent_status::cancelled), "cancelled");
+}
+
+}  // namespace

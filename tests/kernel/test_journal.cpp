@@ -1,0 +1,99 @@
+// Tests for the kernel journal: the checkable form of the determinism claim.
+#include <gtest/gtest.h>
+
+#include "kernel/json.h"
+#include "kernel/kernel.h"
+
+namespace {
+
+using namespace jsk::kernel;
+namespace rt = jsk::rt;
+namespace sim = jsk::sim;
+
+/// A little app touching several event types; `secret` perturbs physical
+/// cost, `extra_latency` perturbs the network.
+journal run_app(sim::time_ns secret, sim::time_ns extra_latency)
+{
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::boot(b);
+    b.net().serve(rt::resource{"https://x/r", "https://x", rt::resource_kind::data, 1'000, 0,
+                               0, extra_latency});
+    b.main().post_task(0, [&b, secret] {
+        auto& apis = b.main().apis();
+        apis.set_timeout([&b, secret] { b.main().consume(secret); }, 3 * sim::ms);
+        apis.set_timeout([] {}, 7 * sim::ms);
+        apis.fetch("https://x/r", {}, [](const rt::fetch_result&) {}, nullptr);
+        apis.request_animation_frame([](double) {});
+    });
+    b.run();
+    return k->dispatch_journal();
+}
+
+TEST(journal, identical_across_physical_perturbations)
+{
+    const journal a = run_app(1 * sim::ms, 5 * sim::ms);
+    const journal b = run_app(900 * sim::ms, 700 * sim::ms);
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.first_divergence(b), journal::npos);
+    EXPECT_GT(a.size(), 3u);
+}
+
+TEST(journal, different_programs_diverge)
+{
+    const journal a = run_app(1 * sim::ms, 0);
+    // A different program: one extra timer.
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::boot(b);
+    b.net().serve(
+        rt::resource{"https://x/r", "https://x", rt::resource_kind::data, 1'000, 0, 0, 0});
+    b.main().post_task(0, [&b] {
+        auto& apis = b.main().apis();
+        apis.set_timeout([] {}, 1 * sim::ms);  // extra
+        apis.set_timeout([] {}, 3 * sim::ms);
+        apis.set_timeout([] {}, 7 * sim::ms);
+        apis.fetch("https://x/r", {}, [](const rt::fetch_result&) {}, nullptr);
+        apis.request_animation_frame([](double) {});
+    });
+    b.run();
+    EXPECT_FALSE(a == k->dispatch_journal());
+    EXPECT_NE(a.first_divergence(k->dispatch_journal()), journal::npos);
+}
+
+TEST(journal, records_types_and_order)
+{
+    const journal j = run_app(0, 0);
+    ASSERT_GE(j.size(), 4u);
+    // Sequence numbers are dense and ordered.
+    for (std::size_t i = 0; i < j.size(); ++i) EXPECT_EQ(j.entries()[i].seq, i);
+    // Dispatch order follows predicted time (monotone).
+    for (std::size_t i = 1; i < j.size(); ++i) {
+        EXPECT_GE(j.entries()[i].predicted_time, j.entries()[i - 1].predicted_time);
+    }
+}
+
+TEST(journal, json_dump_is_valid_and_deterministic)
+{
+    const journal a = run_app(0, 0);
+    const journal b = run_app(0, 0);
+    EXPECT_EQ(a.to_json(), b.to_json());
+    // The dump parses with our own JSON reader.
+    const auto doc = json::parse(a.to_json());
+    ASSERT_TRUE(doc.is_array());
+    EXPECT_EQ(doc.as_array().size(), a.size());
+    EXPECT_EQ(doc.as_array()[0].get_string("type"), "timeout");
+}
+
+TEST(journal, clear_resets)
+{
+    journal j;
+    kevent ev;
+    ev.id = 1;
+    j.record(ev);
+    EXPECT_EQ(j.size(), 1u);
+    j.clear();
+    EXPECT_EQ(j.size(), 0u);
+    j.record(ev);
+    EXPECT_EQ(j.entries()[0].seq, 0u);  // sequence restarts
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Unit tests for the minimal JSON reader.
+#include <gtest/gtest.h>
+
+#include "kernel/json.h"
+
+namespace {
+
+using namespace jsk::kernel::json;
+
+TEST(json, parses_primitives)
+{
+    EXPECT_TRUE(parse("null").is_null());
+    EXPECT_TRUE(parse("true").as_bool());
+    EXPECT_FALSE(parse("false").as_bool());
+    EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(parse("-3.5e2").as_number(), -350.0);
+    EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(json, parses_escapes)
+{
+    EXPECT_EQ(parse(R"("a\"b\\c\nd")").as_string(), "a\"b\\c\nd");
+    EXPECT_THROW(parse("\"\\u0041\""), parse_error);  // \u intentionally unsupported
+}
+
+TEST(json, parses_nested_structures)
+{
+    const value v = parse(R"({"a": [1, {"b": true}], "c": "x"})");
+    ASSERT_TRUE(v.is_object());
+    const auto& arr = v.get("a").as_array();
+    ASSERT_EQ(arr.size(), 2u);
+    EXPECT_DOUBLE_EQ(arr[0].as_number(), 1.0);
+    EXPECT_TRUE(arr[1].get("b").as_bool());
+    EXPECT_EQ(v.get_string("c"), "x");
+}
+
+TEST(json, empty_containers)
+{
+    EXPECT_TRUE(parse("{}").as_object().empty());
+    EXPECT_TRUE(parse("[]").as_array().empty());
+}
+
+TEST(json, whitespace_tolerant)
+{
+    const value v = parse("  {\n\t\"k\" :  [ 1 , 2 ]\n}  ");
+    EXPECT_EQ(v.get("k").as_array().size(), 2u);
+}
+
+TEST(json, get_on_missing_key_is_null)
+{
+    const value v = parse(R"({"a": 1})");
+    EXPECT_TRUE(v.get("missing").is_null());
+    EXPECT_EQ(v.get_string("missing", "fallback"), "fallback");
+}
+
+TEST(json, rejects_malformed_documents)
+{
+    EXPECT_THROW(parse(""), parse_error);
+    EXPECT_THROW(parse("{"), parse_error);
+    EXPECT_THROW(parse("{\"a\" 1}"), parse_error);
+    EXPECT_THROW(parse("[1,]"), parse_error);
+    EXPECT_THROW(parse("tru"), parse_error);
+    EXPECT_THROW(parse("1 2"), parse_error);        // trailing content
+    EXPECT_THROW(parse("\"unterminated"), parse_error);
+    EXPECT_THROW(parse("{\"a\":1,\"a\":2}"), parse_error);  // duplicate key
+    EXPECT_THROW(parse("-"), parse_error);
+}
+
+TEST(json, parse_error_carries_offset)
+{
+    try {
+        parse("[1, x]");
+        FAIL() << "expected parse_error";
+    } catch (const parse_error& e) {
+        EXPECT_GT(e.offset(), 0u);
+    }
+}
+
+}  // namespace

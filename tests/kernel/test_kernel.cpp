@@ -1,0 +1,337 @@
+// Integration tests for the installed kernel: API interposition, kernel
+// clocks, worker stubs, the termination protocol, and CVE policies.
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+#include "runtime/vuln.h"
+
+namespace {
+
+using namespace jsk::kernel;
+namespace rt = jsk::rt;
+namespace sim = jsk::sim;
+
+struct kernel_fixture : ::testing::Test {
+    rt::browser b{rt::chrome_profile()};
+    rt::vuln_registry vulns{b.bus()};
+    std::unique_ptr<kernel> k = kernel::boot(b);
+
+    bool triggered(const std::string& id) const
+    {
+        const auto* m = vulns.find(id);
+        return m != nullptr && m->triggered();
+    }
+};
+
+TEST_F(kernel_fixture, performance_now_displays_kernel_time_not_physical)
+{
+    double first = -1.0;
+    double second = -1.0;
+    b.main().post_task(0, [&] {
+        first = b.main().apis().performance_now();
+        b.main().consume(500 * sim::ms);  // half a second of real compute
+        second = b.main().apis().performance_now();
+    });
+    b.run();
+    // Physical time advanced 500 ms; the kernel clock only by one tick.
+    EXPECT_NEAR(second - first, k->options().tick_ms, 1e-9);
+}
+
+TEST_F(kernel_fixture, timers_fire_through_the_kernel_in_predicted_order)
+{
+    std::vector<int> order;
+    b.main().post_task(0, [&] {
+        b.main().apis().set_timeout([&] { order.push_back(2); }, 20 * sim::ms);
+        b.main().apis().set_timeout([&] { order.push_back(1); }, 5 * sim::ms);
+    });
+    b.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_GE(k->events_dispatched(), 2u);
+}
+
+TEST_F(kernel_fixture, clear_timeout_through_kernel_cancels)
+{
+    bool ran = false;
+    b.main().post_task(0, [&] {
+        const auto id = b.main().apis().set_timeout([&] { ran = true; }, 5 * sim::ms);
+        b.main().apis().clear_timeout(id);
+    });
+    b.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST_F(kernel_fixture, raf_timestamps_are_kernel_predictions)
+{
+    std::vector<double> stamps;
+    std::function<void(double)> frame = [&](double ts) {
+        stamps.push_back(ts);
+        if (stamps.size() < 4) b.main().apis().request_animation_frame(frame);
+    };
+    b.main().post_task(0, [&] { b.main().apis().request_animation_frame(frame); });
+    b.run();
+    ASSERT_EQ(stamps.size(), 4u);
+    const double interval = k->options().intervals.animation_frame;
+    for (std::size_t i = 1; i < stamps.size(); ++i) {
+        EXPECT_NEAR(stamps[i] - stamps[i - 1], interval, 0.5);
+    }
+}
+
+TEST_F(kernel_fixture, interval_ticks_are_counter_predicted)
+{
+    int count = 0;
+    std::int64_t id = 0;
+    b.main().post_task(0, [&] {
+        id = b.main().apis().set_interval(
+            [&] {
+                if (++count == 3) b.main().apis().clear_interval(id);
+            },
+            5 * sim::ms);
+    });
+    b.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST_F(kernel_fixture, worker_round_trip_through_kernel_stub)
+{
+    b.register_worker_script("echo.js", [](rt::context& ctx) {
+        ctx.apis().set_self_onmessage([&ctx](const rt::message_event& e) {
+            ctx.apis().post_message_to_parent(e.data, {});
+        });
+    });
+    std::string got;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("echo.js");
+        w->set_onmessage([&](const rt::message_event& e) { got = e.data.as_string(); });
+        w->post_message(rt::js_value{"ping"});
+    });
+    b.run();
+    EXPECT_EQ(got, "ping");
+    // A child kernel was installed in the worker.
+    ASSERT_EQ(k->threads().threads().size(), 1u);
+    EXPECT_NE(k->threads().threads()[0]->child_kernel, nullptr);
+    EXPECT_EQ(k->threads().threads()[0]->status, "ready");  // loaded, never terminated
+}
+
+TEST_F(kernel_fixture, user_never_sees_kernel_overlay_fields)
+{
+    b.register_worker_script("echo.js", [](rt::context& ctx) {
+        ctx.apis().set_self_onmessage([&ctx](const rt::message_event& e) {
+            // The overlay must be stripped: plain payload, no __jsk field.
+            EXPECT_TRUE(e.data.is_string());
+            ctx.apis().post_message_to_parent(e.data, {});
+        });
+    });
+    bool checked = false;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("echo.js");
+        w->set_onmessage([&](const rt::message_event& e) {
+            EXPECT_TRUE(e.data.is_string());
+            checked = true;
+        });
+        w->post_message(rt::js_value{"payload"});
+    });
+    b.run();
+    EXPECT_TRUE(checked);
+}
+
+TEST_F(kernel_fixture, stub_terminate_is_immediate_for_user_but_deferred_natively)
+{
+    b.register_worker_script("idle.js", [](rt::context&) {});
+    rt::worker_ptr w;
+    b.main().post_task(0, [&] {
+        w = b.main().apis().create_worker("idle.js");
+        b.main().apis().set_timeout(
+            [&] {
+                w->terminate();
+                EXPECT_FALSE(w->alive());  // user-level: immediate
+            },
+            10 * sim::ms);
+    });
+    b.run();
+    // After the handshake the native worker is gone exactly once.
+    ASSERT_EQ(k->threads().threads().size(), 1u);
+    EXPECT_EQ(k->threads().threads()[0]->status, "closed");
+    EXPECT_TRUE(k->threads().threads()[0]->native_terminated);
+}
+
+TEST_F(kernel_fixture, messages_after_user_terminate_are_dropped)
+{
+    int received = 0;
+    b.register_worker_script("chatty.js", [](rt::context& ctx) {
+        // Send one message per 5ms, forever.
+        ctx.apis().set_interval(
+            [&ctx] { ctx.apis().post_message_to_parent(rt::js_value{1}, {}); },
+            5 * sim::ms);
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("chatty.js");
+        w->set_onmessage([&](const rt::message_event&) { ++received; });
+        b.main().apis().set_timeout([w] { w->terminate(); }, 50 * sim::ms);
+    });
+    b.run();
+    const int at_terminate = received;
+    EXPECT_GT(at_terminate, 0);
+    EXPECT_LT(at_terminate, 20);  // flood stopped shortly after terminate
+}
+
+// --- CVE defense: run the §IV-B exploits with the kernel installed; none of
+// --- the trigger conditions may become observable.
+
+TEST_F(kernel_fixture, defends_cve_2018_5092)
+{
+    b.net().serve(rt::resource{"https://attacker.example/f0", "https://attacker.example",
+                               rt::resource_kind::data, 100'000, 0, 0, 0});
+    b.register_worker_script("fetcher.js", [](rt::context& ctx) {
+        ctx.apis().fetch("https://attacker.example/f0", {}, nullptr, nullptr);
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("fetcher.js");
+        b.main().apis().set_timeout([w] { w->terminate(); }, 5 * sim::ms);
+        b.main().apis().set_timeout([&] { b.main().apis().reload(); }, 10 * sim::ms);
+    });
+    b.run();
+    EXPECT_FALSE(triggered("CVE-2018-5092"));
+}
+
+TEST_F(kernel_fixture, defends_cve_2017_7843)
+{
+    b.set_private_browsing(true);
+    b.main().post_task(0, [&] {
+        const bool ok = b.main().apis().indexeddb_put("tracker", "id", rt::js_value{"fp"});
+        EXPECT_FALSE(ok);  // kernel denies private-mode access
+    });
+    b.run();
+    b.end_private_session();
+    EXPECT_FALSE(triggered("CVE-2017-7843"));
+}
+
+TEST_F(kernel_fixture, defends_cve_2015_7215_and_2011_1190)
+{
+    b.set_page_origin("https://attacker.example");
+    b.net().serve(rt::resource{"https://victim.example/lib.js", "https://victim.example",
+                               rt::resource_kind::script, 2'000, 0, 0, 0});
+    b.register_worker_script("prober.js", [](rt::context& ctx) {
+        ctx.apis().import_scripts({"https://victim.example/secret-redirect"});
+        ctx.apis().import_scripts({"https://victim.example/lib.js"});
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("prober.js"); });
+    b.run();
+    EXPECT_FALSE(triggered("CVE-2015-7215"));
+    EXPECT_FALSE(triggered("CVE-2011-1190"));
+}
+
+TEST_F(kernel_fixture, defends_cve_2014_3194)
+{
+    b.register_worker_script("sink.js", [](rt::context& ctx) {
+        ctx.apis().set_self_onmessage([](const rt::message_event&) {});
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("sink.js");
+        b.main().apis().set_timeout(
+            [&, w] {
+                w->post_message(rt::js_value{1});
+                w->terminate();
+            },
+            5 * sim::ms);
+    });
+    b.run();
+    EXPECT_FALSE(triggered("CVE-2014-3194"));
+}
+
+TEST_F(kernel_fixture, defends_cve_2014_1719)
+{
+    b.register_worker_script("cruncher.js", [](rt::context& ctx) {
+        ctx.consume(200 * sim::ms);
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("cruncher.js");
+        b.main().apis().set_timeout([w] { w->terminate(); }, 50 * sim::ms);
+    });
+    b.run();
+    EXPECT_FALSE(triggered("CVE-2014-1719"));
+}
+
+TEST_F(kernel_fixture, defends_cve_2014_1488)
+{
+    b.register_worker_script("transfer.js", [](rt::context& ctx) {
+        auto buf = std::make_shared<rt::array_buffer>();
+        buf->data.assign(64, 1);
+        ctx.apis().post_message_to_parent(rt::js_value{buf}, {buf});
+        ctx.apis().close_self();
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("transfer.js"); });
+    b.run();
+    EXPECT_FALSE(triggered("CVE-2014-1488"));
+}
+
+TEST_F(kernel_fixture, defends_cve_2014_1487)
+{
+    std::string error;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("https://victim.example/missing.js");
+        w->set_onerror([&](const std::string& msg) { error = msg; });
+    });
+    b.run();
+    EXPECT_FALSE(triggered("CVE-2014-1487"));
+    EXPECT_EQ(error, "Script error.");  // sanitized, still delivered
+}
+
+TEST_F(kernel_fixture, defends_cve_2013_6646)
+{
+    b.register_worker_script("chatty.js", [](rt::context& ctx) {
+        for (int i = 0; i < 20; ++i) ctx.apis().post_message_to_parent(rt::js_value{i}, {});
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("chatty.js");
+        w->set_onmessage([&](const rt::message_event&) { b.main().apis().reload(); });
+    });
+    b.run();
+    EXPECT_FALSE(triggered("CVE-2013-6646"));
+}
+
+TEST_F(kernel_fixture, defends_cve_2013_5602)
+{
+    b.register_worker_script("sink.js", [](rt::context&) {});
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("sink.js");
+        w->set_onmessage(nullptr);  // rejected by the kernel trap
+    });
+    b.run();
+    EXPECT_FALSE(triggered("CVE-2013-5602"));
+}
+
+TEST_F(kernel_fixture, defends_cve_2013_1714)
+{
+    b.set_page_origin("https://attacker.example");
+    b.net().serve(rt::resource{"https://victim.example/api", "https://victim.example",
+                               rt::resource_kind::data, 100, 0, 0, 0});
+    rt::fetch_result got;
+    b.register_worker_script("sop.js", [&](rt::context& ctx) {
+        ctx.apis().xhr("https://victim.example/api",
+                       [&](const rt::fetch_result& r) { got = r; });
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("sop.js"); });
+    b.run();
+    EXPECT_FALSE(triggered("CVE-2013-1714"));
+    EXPECT_FALSE(got.ok);  // blocked by the kernel origin check
+}
+
+TEST_F(kernel_fixture, defends_cve_2010_4576)
+{
+    b.register_worker_script("quit.js", [](rt::context& ctx) { ctx.apis().close_self(); });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("quit.js");
+        b.main().apis().set_timeout([w] { w->terminate(); }, 50 * sim::ms);
+    });
+    b.run();
+    EXPECT_FALSE(triggered("CVE-2010-4576"));
+}
+
+TEST_F(kernel_fixture, all_cves_silent_after_full_exploit_suite)
+{
+    // Aggregate check: none of the twelve monitors fired in any prior step
+    // of this test (fresh fixture), and the registry agrees.
+    EXPECT_TRUE(vulns.triggered_ids().empty());
+}
+
+}  // namespace

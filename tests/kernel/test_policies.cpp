@@ -1,0 +1,111 @@
+// Unit tests for the vulnerability-specific policies (§II-B, §IV-B).
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+
+namespace {
+
+using namespace jsk::kernel;
+namespace rt = jsk::rt;
+namespace sim = jsk::sim;
+
+struct policy_fixture : ::testing::Test {
+    rt::browser b{rt::chrome_profile()};
+    std::unique_ptr<kernel> k = kernel::boot(b);
+};
+
+TEST_F(policy_fixture, default_set_is_the_five_paper_policies)
+{
+    const auto& policies = k->policies();
+    ASSERT_EQ(policies.size(), 5u);
+    std::vector<std::string> names;
+    for (const auto& p : policies) names.emplace_back(p->name());
+    EXPECT_NE(std::find(names.begin(), names.end(), "worker-xhr-origin-check"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "onmessage-validation"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "private-idb-deny"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "error-sanitizer"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "mediated-import"), names.end());
+}
+
+TEST_F(policy_fixture, policies_can_be_disabled_via_options)
+{
+    rt::browser bare(rt::chrome_profile());
+    kernel_options opts;
+    opts.enable_cve_policies = false;
+    auto bare_kernel = kernel::boot(bare, opts);
+    EXPECT_TRUE(bare_kernel->policies().empty());
+}
+
+TEST_F(policy_fixture, xhr_origin_check_blocks_only_cross_origin)
+{
+    EXPECT_TRUE(k->policy_block_xhr("https://victim/api", true));
+    EXPECT_FALSE(k->policy_block_xhr("https://self/api", false));
+}
+
+TEST_F(policy_fixture, onmessage_validation_rejects_null_handlers)
+{
+    EXPECT_TRUE(k->policy_reject_onmessage(false));
+    EXPECT_FALSE(k->policy_reject_onmessage(true));
+}
+
+TEST_F(policy_fixture, private_idb_denies_only_private_mode)
+{
+    EXPECT_TRUE(k->policy_deny_idb(true));
+    EXPECT_FALSE(k->policy_deny_idb(false));
+}
+
+TEST_F(policy_fixture, error_sanitizer_replaces_message)
+{
+    const std::string raw = "NetworkError at https://victim.example/secret-path";
+    EXPECT_EQ(k->policy_sanitize_error(raw), "Script error.");
+}
+
+TEST_F(policy_fixture, mediated_import_applies_to_cross_origin_only)
+{
+    EXPECT_TRUE(k->policy_mediate_import("https://victim/x.js", true));
+    EXPECT_FALSE(k->policy_mediate_import("https://self/x.js", false));
+}
+
+TEST_F(policy_fixture, custom_policies_compose_first_match_wins)
+{
+    struct allowlist_policy final : policy {
+        const char* name() const override { return "allowlist"; }
+        bool on_fetch(kernel&, const std::string& url) override
+        {
+            return url.find("blocked") != std::string::npos;
+        }
+    };
+    k->add_policy(std::make_unique<allowlist_policy>());
+    EXPECT_TRUE(k->policy_block_fetch("https://x/blocked/path"));
+    EXPECT_FALSE(k->policy_block_fetch("https://x/fine"));
+}
+
+TEST_F(policy_fixture, blocked_fetch_fails_through_a_kernel_event)
+{
+    struct block_all final : policy {
+        const char* name() const override { return "block-all"; }
+        bool on_fetch(kernel&, const std::string&) override { return true; }
+    };
+    k->add_policy(std::make_unique<block_all>());
+    rt::fetch_result got;
+    bool then_called = false;
+    b.main().post_task(0, [&] {
+        b.main().apis().fetch(
+            "https://anything/x", {}, [&](const rt::fetch_result&) { then_called = true; },
+            [&](const rt::fetch_result& r) { got = r; });
+    });
+    b.run();
+    EXPECT_FALSE(then_called);
+    EXPECT_EQ(got.error, "blocked by kernel policy");
+}
+
+TEST_F(policy_fixture, factories_report_their_cves)
+{
+    EXPECT_STREQ(make_policy_worker_xhr_origin_check()->cve(), "CVE-2013-1714");
+    EXPECT_STREQ(make_policy_onmessage_validation()->cve(), "CVE-2013-5602");
+    EXPECT_STREQ(make_policy_private_idb_deny()->cve(), "CVE-2017-7843");
+    EXPECT_STREQ(make_policy_error_sanitizer()->cve(), "CVE-2014-1487");
+    EXPECT_STREQ(make_policy_mediated_import()->cve(), "CVE-2011-1190");
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+// Tests for JSON policy specifications and automatic policy synthesis.
+#include <gtest/gtest.h>
+
+#include "kernel/json.h"
+#include "kernel/kernel.h"
+#include "kernel/policy_spec.h"
+#include "kernel/policy_synthesis.h"
+#include "runtime/vuln.h"
+
+namespace {
+
+using namespace jsk::kernel;
+namespace rt = jsk::rt;
+namespace sim = jsk::sim;
+
+// --- policy specs -----------------------------------------------------------
+
+TEST(policy_spec, loads_the_default_bundle)
+{
+    auto p = load_policy_spec(default_policy_spec_json());
+    ASSERT_NE(p, nullptr);
+    EXPECT_STREQ(p->name(), "jskernel-default-bundle");
+}
+
+TEST(policy_spec, fetch_block_honours_url_prefix)
+{
+    auto p = load_policy_spec(R"({
+        "name": "t",
+        "rules": [{"hook": "fetch", "action": "block", "url_prefix": "https://ads."}]
+    })");
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::boot(b);
+    EXPECT_TRUE(p->on_fetch(*k, "https://ads.example/x"));
+    EXPECT_FALSE(p->on_fetch(*k, "https://app.example/x"));
+}
+
+TEST(policy_spec, fetch_block_without_prefix_blocks_everything)
+{
+    auto p = load_policy_spec(R"({
+        "name": "t",
+        "rules": [{"hook": "fetch", "action": "block"}]
+    })");
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::boot(b);
+    EXPECT_TRUE(p->on_fetch(*k, "https://anything"));
+}
+
+TEST(policy_spec, sanitize_uses_replacement)
+{
+    auto p = load_policy_spec(R"({
+        "name": "t",
+        "rules": [{"hook": "worker_error", "action": "sanitize", "replacement": "nope"}]
+    })");
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::boot(b);
+    EXPECT_EQ(p->on_worker_error(*k, "leaky message"), "nope");
+}
+
+TEST(policy_spec, rejects_unknown_hooks_and_actions)
+{
+    EXPECT_THROW(
+        load_policy_spec(R"({"name":"t","rules":[{"hook":"teleport","action":"block"}]})"),
+        std::invalid_argument);
+    EXPECT_THROW(
+        load_policy_spec(R"({"name":"t","rules":[{"hook":"fetch","action":"explode"}]})"),
+        std::invalid_argument);
+}
+
+TEST(policy_spec, rejects_mismatched_hook_action_pairs)
+{
+    EXPECT_THROW(load_policy_spec(
+                     R"({"name":"t","rules":[{"hook":"fetch","action":"deny-private"}]})"),
+                 std::invalid_argument);
+}
+
+TEST(policy_spec, rejects_empty_or_malformed_documents)
+{
+    EXPECT_THROW(load_policy_spec(R"({"name":"t","rules":[]})"), std::invalid_argument);
+    EXPECT_THROW(load_policy_spec(R"({"name":"t"})"), std::invalid_argument);
+    EXPECT_THROW(load_policy_spec("[]"), std::invalid_argument);
+    EXPECT_THROW(load_policy_spec("{nonsense"), json::parse_error);
+}
+
+TEST(policy_spec, spec_bundle_defends_like_builtin_policies)
+{
+    // Kernel with CVE policies disabled but the JSON bundle installed must
+    // still block the worker XHR SOP bypass.
+    rt::browser b(rt::chrome_profile());
+    rt::vuln_registry vulns(b.bus());
+    kernel_options opts;
+    opts.enable_cve_policies = false;
+    auto k = kernel::boot(b, opts);
+    k->add_policy(load_policy_spec(default_policy_spec_json()));
+
+    b.set_page_origin("https://attacker.example");
+    b.net().serve(rt::resource{"https://victim.example/api", "https://victim.example",
+                               rt::resource_kind::data, 64, 0, 0, 0});
+    b.register_worker_script("sop.js", [](rt::context& ctx) {
+        ctx.apis().xhr("https://victim.example/api", [](const rt::fetch_result&) {});
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("sop.js"); });
+    b.run();
+    const auto* monitor = vulns.find("CVE-2013-1714");
+    ASSERT_NE(monitor, nullptr);
+    EXPECT_FALSE(monitor->triggered());
+}
+
+// --- policy synthesis ---------------------------------------------------------
+
+TEST(policy_synthesis, learns_the_xhr_rule_from_an_exploit_trace)
+{
+    // Phase 1: run the CVE-2013-1714 exploit on a vulnerable browser with the
+    // synthesizer recording.
+    policy_synthesizer synth;
+    {
+        rt::browser b(rt::chrome_profile());
+        synth.attach(b.bus());
+        b.set_page_origin("https://attacker.example");
+        b.net().serve(rt::resource{"https://victim.example/api", "https://victim.example",
+                                   rt::resource_kind::data, 64, 0, 0, 0});
+        b.register_worker_script("sop.js", [](rt::context& ctx) {
+            ctx.apis().xhr("https://victim.example/api", [](const rt::fetch_result&) {});
+        });
+        b.main().post_task(0, [&] { b.main().apis().create_worker("sop.js"); });
+        b.run();
+    }
+    auto result = synth.synthesize();
+    ASSERT_NE(result.synthesized, nullptr);
+    EXPECT_NE(result.policy_json.find("block-cross-origin"), std::string::npos);
+    EXPECT_FALSE(result.requires_thread_manager);
+
+    // Phase 2: a bare kernel plus the synthesized policy defends the exploit.
+    rt::browser b(rt::chrome_profile());
+    rt::vuln_registry vulns(b.bus());
+    kernel_options opts;
+    opts.enable_cve_policies = false;
+    auto k = kernel::boot(b, opts);
+    k->add_policy(std::move(result.synthesized));
+    b.set_page_origin("https://attacker.example");
+    b.net().serve(rt::resource{"https://victim.example/api", "https://victim.example",
+                               rt::resource_kind::data, 64, 0, 0, 0});
+    b.register_worker_script("sop.js", [](rt::context& ctx) {
+        ctx.apis().xhr("https://victim.example/api", [](const rt::fetch_result&) {});
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("sop.js"); });
+    b.run();
+    EXPECT_FALSE(vulns.find("CVE-2013-1714")->triggered());
+}
+
+TEST(policy_synthesis, lifecycle_races_require_the_thread_manager)
+{
+    policy_synthesizer synth;
+    rt::browser b(rt::chrome_profile());
+    synth.attach(b.bus());
+    b.register_worker_script("quit.js", [](rt::context& ctx) { ctx.apis().close_self(); });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("quit.js");
+        b.main().apis().set_timeout([w] { w->terminate(); }, 50 * sim::ms);
+    });
+    b.run();
+    const auto result = synth.synthesize();
+    EXPECT_TRUE(result.requires_thread_manager);
+    EXPECT_TRUE(result.policy_json.empty());
+    EXPECT_EQ(result.synthesized, nullptr);
+}
+
+TEST(policy_synthesis, clean_trace_has_nothing_to_learn)
+{
+    policy_synthesizer synth;
+    rt::browser b(rt::chrome_profile());
+    synth.attach(b.bus());
+    b.register_worker_script("idle.js", [](rt::context&) {});
+    b.main().post_task(0, [&] { b.main().apis().create_worker("idle.js"); });
+    b.run();
+    EXPECT_THROW(synth.synthesize(), std::logic_error);
+    EXPECT_FALSE(synth.trace().empty());
+    synth.clear();
+    EXPECT_TRUE(synth.trace().empty());
+}
+
+TEST(policy_synthesis, multiple_triggers_produce_multiple_rules)
+{
+    policy_synthesizer synth;
+    rt::browser b(rt::chrome_profile());
+    synth.attach(b.bus());
+    b.set_page_origin("https://attacker.example");
+    b.net().serve(rt::resource{"https://victim.example/api", "https://victim.example",
+                               rt::resource_kind::data, 64, 0, 0, 0});
+    b.set_private_browsing(true);
+    b.register_worker_script("multi.js", [](rt::context& ctx) {
+        ctx.apis().xhr("https://victim.example/api", [](const rt::fetch_result&) {});
+        ctx.apis().import_scripts({"https://victim.example/missing.js"});
+    });
+    b.main().post_task(0, [&] {
+        b.main().apis().indexeddb_put("db", "k", rt::js_value{"v"});
+        b.main().apis().create_worker("multi.js");
+    });
+    b.run();
+    const auto result = synth.synthesize();
+    EXPECT_GE(result.trigger_kinds.size(), 3u);
+    EXPECT_NE(result.policy_json.find("\"xhr\""), std::string::npos);
+    EXPECT_NE(result.policy_json.find("\"indexeddb\""), std::string::npos);
+    EXPECT_NE(result.policy_json.find("\"import_scripts\""), std::string::npos);
+}
+
+// --- iframe kernel injection (§VI-iii) -------------------------------------------
+
+TEST(iframe_injection, frames_get_their_own_kernel)
+{
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::boot(b);
+    double frame_reading = -1.0;
+    b.main().post_task(0, [&] {
+        rt::context* frame = b.main().apis().create_iframe("ad-frame");
+        ASSERT_NE(frame, nullptr);
+        EXPECT_EQ(frame->kind(), rt::context_kind::frame);
+        // The frame's clock is a kernel clock from the first instruction.
+        frame->consume(300 * sim::ms);
+        frame_reading = frame->apis().performance_now();
+    });
+    b.run();
+    EXPECT_GE(frame_reading, 0.0);
+    EXPECT_LT(frame_reading, 1.0);
+}
+
+TEST(iframe_injection, frame_clock_is_separate_from_main_clock)
+{
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::boot(b);
+    b.main().post_task(0, [&] {
+        rt::context* frame = b.main().apis().create_iframe("f");
+        // Burn main-kernel ticks; the frame kernel must not see them.
+        for (int i = 0; i < 200; ++i) (void)b.main().apis().performance_now();
+        const double frame_now = frame->apis().performance_now();
+        EXPECT_LT(frame_now, 1.0);
+        EXPECT_GT(b.main().apis().performance_now(), 9.0);  // 200 x 0.05 ms
+    });
+    b.run();
+}
+
+TEST(iframe_injection, plain_browser_frames_share_physical_clock)
+{
+    rt::browser b(rt::chrome_profile());
+    double frame_reading = -1.0;
+    b.main().post_task(0, [&] {
+        rt::context* frame = b.main().apis().create_iframe("f");
+        frame->consume(250 * sim::ms);
+        frame_reading = frame->apis().performance_now();
+    });
+    b.run();
+    EXPECT_NEAR(frame_reading, 250.0, 1.0);
+}
+
+}  // namespace

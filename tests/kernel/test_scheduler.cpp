@@ -1,0 +1,140 @@
+// Tests for the two-stage scheduler and the predicted-order dispatcher
+// (§III-D), driven through a booted kernel.
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+
+namespace {
+
+using namespace jsk::kernel;
+namespace rt = jsk::rt;
+namespace sim = jsk::sim;
+
+struct kernel_fixture : ::testing::Test {
+    rt::browser b{rt::chrome_profile()};
+    std::unique_ptr<kernel> k = kernel::boot(b);
+};
+
+TEST_F(kernel_fixture, pending_head_blocks_later_confirmed_events)
+{
+    std::vector<int> order;
+    b.main().post_task(0, [&] {
+        // Event A predicted at +1, event B predicted at +2.
+        const auto a = k->sched().register_at(kevent_type::generic, 1.0, "a",
+                                              [&] { order.push_back(1); });
+        const auto b2 = k->sched().register_at(kevent_type::generic, 2.0, "b",
+                                               [&] { order.push_back(2); });
+        // B confirms first — but must wait for A.
+        k->sched().confirm(b2);
+        k->sched().confirm(a);
+    });
+    b.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(kernel_fixture, dispatch_advances_kernel_clock_to_predicted_time)
+{
+    b.main().post_task(0, [&] {
+        const auto id = k->sched().register_at(kevent_type::generic, 7.5, "x", [] {});
+        k->sched().confirm(id);
+    });
+    b.run();
+    EXPECT_GE(k->clock().display(), 7.5);
+}
+
+TEST_F(kernel_fixture, cancel_pending_event_is_discarded)
+{
+    bool ran = false;
+    b.main().post_task(0, [&] {
+        const auto id =
+            k->sched().register_at(kevent_type::generic, 1.0, "x", [&] { ran = true; });
+        EXPECT_TRUE(k->sched().cancel(id));
+        k->sched().confirm(id);  // native trigger racing the cancel: ignored
+    });
+    b.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST_F(kernel_fixture, cancel_ready_event_before_dispatch)
+{
+    bool blocked_ran = false;
+    bool cancelled_ran = false;
+    b.main().post_task(0, [&] {
+        // Head stays pending so the second (ready) event cannot dispatch yet.
+        k->sched().register_at(kevent_type::generic, 1.0, "head",
+                               [&] { blocked_ran = true; });
+        const auto id = k->sched().register_at(kevent_type::generic, 2.0, "victim",
+                                               [&] { cancelled_ran = true; });
+        k->sched().confirm(id);         // ready, queued behind the pending head
+        EXPECT_TRUE(k->sched().cancel(id));  // case 2: confirmed, not dispatched
+    });
+    b.run();
+    EXPECT_FALSE(cancelled_ran);
+    EXPECT_FALSE(blocked_ran);  // head was never confirmed
+}
+
+TEST_F(kernel_fixture, cancel_after_dispatch_is_ignored)
+{
+    std::uint64_t id = 0;
+    b.main().post_task(0, [&] {
+        id = k->sched().register_at(kevent_type::generic, 1.0, "x", [] {});
+        k->sched().confirm(id);
+    });
+    b.run();
+    EXPECT_FALSE(k->sched().cancel(id));  // case 3
+    EXPECT_EQ(k->events_dispatched(), 1u);
+}
+
+TEST_F(kernel_fixture, register_ready_dispatches_in_predicted_order)
+{
+    std::vector<int> order;
+    b.main().post_task(0, [&] {
+        k->sched().register_ready(kevent_type::generic, 5.0, [&] { order.push_back(5); },
+                                  "late");
+        k->sched().register_ready(kevent_type::generic, 2.0, [&] { order.push_back(2); },
+                                  "early");
+    });
+    b.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 5}));
+}
+
+TEST_F(kernel_fixture, cancelled_head_does_not_block)
+{
+    std::vector<int> order;
+    b.main().post_task(0, [&] {
+        const auto head = k->sched().register_at(kevent_type::generic, 1.0, "head",
+                                                 [&] { order.push_back(1); });
+        k->sched().register_ready(kevent_type::generic, 2.0, [&] { order.push_back(2); },
+                                  "next");
+        k->sched().cancel(head);
+    });
+    b.run();
+    EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST_F(kernel_fixture, deterministic_prediction_is_clock_plus_expected)
+{
+    deterministic_prediction pred;
+    kclock clock;
+    clock.tick_to(100.0);
+    EXPECT_DOUBLE_EQ(pred.predict(clock, kevent_type::animation_frame, 0),
+                     100.0 + pred.intervals.animation_frame);
+    EXPECT_DOUBLE_EQ(pred.predict(clock, kevent_type::timeout, 25.0), 125.0);
+    EXPECT_DOUBLE_EQ(pred.predict(clock, kevent_type::timeout, 0.0),
+                     100.0 + pred.intervals.timeout_min);
+    EXPECT_DOUBLE_EQ(pred.sequence_predict(10.0, 3, 1.0), 13.0);
+}
+
+TEST_F(kernel_fixture, fuzzy_prediction_adds_seeded_noise)
+{
+    fuzzy_prediction a(42), b2(42), c(43);
+    kclock clock;
+    const ktime pa = a.predict(clock, kevent_type::timeout, 5.0);
+    const ktime pb = b2.predict(clock, kevent_type::timeout, 5.0);
+    const ktime pc = c.predict(clock, kevent_type::timeout, 5.0);
+    EXPECT_DOUBLE_EQ(pa, pb);  // same seed, same prediction
+    EXPECT_NE(pa, pc);
+    EXPECT_GE(pa, 5.0);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Detailed tests for the kernel's thread manager (§III-E): status machine,
+// overlay channel, termination handshake, flush barrier.
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+#include "runtime/events.h"
+
+namespace {
+
+using namespace jsk::kernel;
+namespace rt = jsk::rt;
+namespace sim = jsk::sim;
+
+struct tm_fixture : ::testing::Test {
+    rt::browser b{rt::chrome_profile()};
+    std::unique_ptr<kernel> k = kernel::boot(b);
+
+    kthread& only_thread()
+    {
+        auto& threads = k->threads().threads();
+        EXPECT_EQ(threads.size(), 1u);
+        return *threads.front();
+    }
+};
+
+TEST_F(tm_fixture, kthread_has_paper_fields)
+{
+    b.register_worker_script("idle.js", [](rt::context&) {});
+    b.main().post_task(0, [&] { b.main().apis().create_worker("idle.js"); });
+    b.run();
+    kthread& kt = only_thread();
+    EXPECT_EQ(kt.status, "ready");  // started -> ready after import
+    EXPECT_EQ(kt.src, "idle.js");
+    EXPECT_NE(kt.native, nullptr);       // the kernelWorker field
+    EXPECT_NE(kt.child_kernel, nullptr);
+    EXPECT_GT(kt.id, 0u);
+}
+
+TEST_F(tm_fixture, child_kernel_has_its_own_queue_and_clock)
+{
+    b.register_worker_script("worker.js", [](rt::context& ctx) {
+        // Burn a lot of worker time through kernel APIs.
+        for (int i = 0; i < 100; ++i) (void)ctx.apis().performance_now();
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("worker.js"); });
+    b.run();
+    kernel* child = only_thread().child_kernel;
+    ASSERT_NE(child, nullptr);
+    EXPECT_EQ(child->kind(), kernel::role::worker);
+    EXPECT_EQ(child->parent(), k.get());
+    // The worker's API calls ticked the *worker* clock, not the main one.
+    EXPECT_GT(child->clock().ticks(), 99u);
+    EXPECT_LT(k->clock().ticks(), 50u);
+}
+
+TEST_F(tm_fixture, overlay_wraps_all_traffic_with_type_field)
+{
+    // Observe raw channel traffic at the runtime level: everything the
+    // kernel sends must be a wrapped object with the "__jsk" type field.
+    int raw_messages = 0;
+    b.register_worker_script("echo.js", [](rt::context& ctx) {
+        ctx.apis().set_self_onmessage([&ctx](const rt::message_event& e) {
+            ctx.apis().post_message_to_parent(e.data, {});
+        });
+    });
+    b.bus().subscribe([&](const rt::rt_event& e) {
+        if (e.kind == rt::rt_event_kind::message_posted) ++raw_messages;
+    });
+    std::string got;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("echo.js");
+        w->set_onmessage([&](const rt::message_event& e) { got = e.data.as_string(); });
+        w->post_message(rt::js_value{"hi"});
+    });
+    b.run();
+    EXPECT_EQ(got, "hi");
+    // main->child user message + child->parent echo (plus no sys traffic for
+    // this scenario beyond those two).
+    EXPECT_GE(raw_messages, 2);
+}
+
+TEST_F(tm_fixture, terminate_walks_closing_then_closed)
+{
+    b.register_worker_script("idle.js", [](rt::context&) {});
+    std::vector<std::string> observed;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("idle.js");
+        b.main().apis().set_timeout(
+            [&, w] {
+                w->terminate();
+                observed.push_back(only_thread().status);  // right after the call
+            },
+            10 * sim::ms);
+    });
+    b.run();
+    ASSERT_EQ(observed.size(), 1u);
+    EXPECT_EQ(observed[0], "closing");          // handshake in progress
+    EXPECT_EQ(only_thread().status, "closed");  // after ready-to-die
+    EXPECT_TRUE(only_thread().native_terminated);
+}
+
+TEST_F(tm_fixture, terminate_defers_native_kill_until_fetch_completes)
+{
+    b.net().serve(rt::resource{"https://x/slow", "https://x", rt::resource_kind::data,
+                               500'000, 0, 0, 0});
+    int freed_events = 0;
+    b.bus().subscribe([&](const rt::rt_event& e) {
+        if (e.kind == rt::rt_event_kind::fetch_freed) ++freed_events;
+    });
+    b.register_worker_script("fetcher.js", [](rt::context& ctx) {
+        ctx.apis().fetch("https://x/slow", {}, nullptr, nullptr);
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("fetcher.js");
+        b.main().apis().set_timeout([w] { w->terminate(); }, 5 * sim::ms);
+    });
+    b.run();
+    EXPECT_EQ(freed_events, 0);  // the native thread outlived its fetch
+    EXPECT_TRUE(only_thread().native_terminated);
+}
+
+TEST_F(tm_fixture, double_terminate_is_idempotent)
+{
+    b.register_worker_script("idle.js", [](rt::context&) {});
+    int terminated_events = 0;
+    b.bus().subscribe([&](const rt::rt_event& e) {
+        if (e.kind == rt::rt_event_kind::worker_terminated) ++terminated_events;
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("idle.js");
+        b.main().apis().set_timeout(
+            [w] {
+                w->terminate();
+                w->terminate();
+                w->terminate();
+            },
+            5 * sim::ms);
+    });
+    b.run();
+    EXPECT_EQ(terminated_events, 1);
+}
+
+TEST_F(tm_fixture, flush_barrier_waits_for_all_children)
+{
+    for (int i = 0; i < 3; ++i) {
+        b.register_worker_script("w" + std::to_string(i) + ".js", [](rt::context&) {});
+    }
+    bool flushed = false;
+    b.main().post_task(0, [&] {
+        for (int i = 0; i < 3; ++i) {
+            b.main().apis().create_worker("w" + std::to_string(i) + ".js");
+        }
+        b.main().apis().set_timeout(
+            [&] { k->threads().flush_all_then([&] { flushed = true; }); }, 10 * sim::ms);
+    });
+    b.run();
+    EXPECT_TRUE(flushed);
+}
+
+TEST_F(tm_fixture, flush_with_no_threads_completes_immediately)
+{
+    bool flushed = false;
+    b.main().post_task(0, [&] { k->threads().flush_all_then([&] { flushed = true; }); });
+    b.run();
+    EXPECT_TRUE(flushed);
+}
+
+TEST_F(tm_fixture, stub_reports_native_worker_id)
+{
+    b.register_worker_script("idle.js", [](rt::context&) {});
+    rt::worker_ptr stub;
+    b.main().post_task(0, [&] { stub = b.main().apis().create_worker("idle.js"); });
+    b.run();
+    EXPECT_GT(stub->id(), 0u);
+    EXPECT_TRUE(stub->alive());
+}
+
+TEST_F(tm_fixture, onmessage_base_is_the_main_clock_at_creation)
+{
+    b.register_worker_script("idle.js", [](rt::context&) {});
+    b.main().post_task(0, [&] {
+        // Advance the kernel clock before creating the worker.
+        for (int i = 0; i < 100; ++i) (void)b.main().apis().performance_now();
+        b.main().apis().create_worker("idle.js");
+    });
+    b.run();
+    EXPECT_GT(only_thread().onmessage_base, 4.0);  // 100 ticks * 0.05 ms
+}
+
+}  // namespace

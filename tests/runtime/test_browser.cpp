@@ -1,0 +1,145 @@
+// Unit tests for browser-level behaviour: reload semantics, private
+// sessions, abort plumbing, error sanitisation hooks, and the task-delay
+// defense hook.
+#include <gtest/gtest.h>
+
+#include "runtime/browser.h"
+
+namespace {
+
+using namespace jsk::rt;
+namespace sim = jsk::sim;
+
+TEST(browser, reload_aborts_inflight_fetches)
+{
+    browser b(chrome_profile());
+    b.net().serve(resource{"https://x/slow", "https://x", resource_kind::data, 800'000, 0, 0,
+                           0});
+    bool aborted = false;
+    b.main().post_task(0, [&] {
+        b.main().apis().fetch(
+            "https://x/slow", {}, nullptr,
+            [&](const fetch_result& r) { aborted = r.aborted; });
+        b.main().apis().set_timeout([&] { b.main().apis().reload(); }, 5 * sim::ms);
+    });
+    b.run();
+    EXPECT_TRUE(aborted);
+}
+
+TEST(browser, reload_emits_inflight_message_flag)
+{
+    browser b(chrome_profile());
+    bool reload_with_inflight = false;
+    b.bus().subscribe([&](const rt_event& e) {
+        if (e.kind == rt_event_kind::page_reload) reload_with_inflight |= e.detail_flag;
+    });
+    b.register_worker_script("chatty.js", [](context& ctx) {
+        for (int i = 0; i < 10; ++i) ctx.apis().post_message_to_parent(js_value{i}, {});
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("chatty.js");
+        w->set_onmessage([&](const message_event&) { b.main().apis().reload(); });
+    });
+    b.run();
+    EXPECT_TRUE(reload_with_inflight);
+}
+
+TEST(browser, private_session_cleanup_depends_on_engine_bug)
+{
+    browser buggy(chrome_profile());
+    buggy.set_private_browsing(true);
+    buggy.main().post_task(0, [&] {
+        buggy.main().apis().indexeddb_put("db", "k", js_value{"v"});
+    });
+    buggy.run();
+    buggy.end_private_session();
+    EXPECT_TRUE(buggy.idb().has("db", "k"));  // the CVE-2017-7843 behaviour
+
+    browser fixed(chrome_profile());
+    fixed.bugs().idb_private_mode_persists = false;
+    fixed.set_private_browsing(true);
+    fixed.main().post_task(0, [&] {
+        fixed.main().apis().indexeddb_put("db", "k", js_value{"v"});
+    });
+    fixed.run();
+    fixed.end_private_session();
+    EXPECT_FALSE(fixed.idb().has("db", "k"));
+}
+
+TEST(browser, abort_controller_targets_only_its_own_fetches)
+{
+    browser b(chrome_profile());
+    b.net().serve(resource{"https://x/a", "https://x", resource_kind::data, 400'000, 0, 0, 0});
+    b.net().serve(resource{"https://x/b", "https://x", resource_kind::data, 400'000, 0, 0, 0});
+    abort_controller ctl;
+    bool a_aborted = false;
+    bool b_completed = false;
+    b.main().post_task(0, [&] {
+        fetch_options opts;
+        opts.signal = ctl.signal;
+        b.main().apis().fetch("https://x/a", opts, nullptr,
+                              [&](const fetch_result& r) { a_aborted = r.aborted; });
+        b.main().apis().fetch("https://x/b", {},
+                              [&](const fetch_result& r) { b_completed = r.ok; }, nullptr);
+        b.main().apis().set_timeout([&] { b.main().apis().abort_fetch(ctl.signal); },
+                                    2 * sim::ms);
+    });
+    b.run();
+    EXPECT_TRUE(a_aborted);
+    EXPECT_TRUE(b_completed);
+}
+
+TEST(browser, task_delay_hook_sees_labels)
+{
+    browser b(chrome_profile());
+    std::vector<std::string> labels;
+    b.set_task_delay_hook([&](sim::time_ns delay, const std::string& label) {
+        labels.push_back(label);
+        return delay;
+    });
+    b.main().post_task(0, [] {}, "my-label");
+    b.run();
+    ASSERT_EQ(labels.size(), 1u);
+    EXPECT_EQ(labels[0], "my-label");
+}
+
+TEST(browser, error_sanitizer_applies_to_spawn_failures)
+{
+    browser b(chrome_profile());
+    b.set_error_sanitizer([](const std::string&) { return std::string("clean"); });
+    std::string got;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("https://elsewhere/missing.js");
+        w->set_onerror([&](const std::string& msg) { got = msg; });
+    });
+    b.run();
+    EXPECT_EQ(got, "clean");
+}
+
+TEST(browser, charge_outside_task_is_harmless)
+{
+    browser b(chrome_profile());
+    b.charge(1 * sim::ms);  // no task on the stack: must not throw
+    EXPECT_EQ(b.sim().now(), 0);
+}
+
+TEST(browser, page_origin_controls_cross_origin_checks)
+{
+    browser b(chrome_profile());
+    b.set_page_origin("https://mine.example");
+    EXPECT_EQ(b.main().origin(), "https://mine.example");
+}
+
+TEST(browser, emit_stamps_current_time)
+{
+    browser b(chrome_profile());
+    sim::time_ns seen = -1;
+    b.bus().subscribe([&](const rt_event& e) {
+        if (e.kind == rt_event_kind::page_reload) seen = e.at;
+    });
+    b.main().post_task(5 * sim::ms, [&] { b.main().apis().reload(); });
+    b.run();
+    EXPECT_GE(seen, 5 * sim::ms);
+}
+
+}  // namespace

@@ -1,0 +1,253 @@
+// Unit tests for the execution context: timers, clocks, microtasks,
+// interposition and freeze semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/browser.h"
+
+namespace {
+
+using namespace jsk::rt;
+namespace sim = jsk::sim;
+
+browser make_chrome() { return browser(chrome_profile()); }
+
+TEST(context_timers, set_timeout_fires_after_delay)
+{
+    browser b(chrome_profile());
+    double fired_at = -1.0;
+    b.main().post_task(0, [&] {
+        b.main().apis().set_timeout([&] { fired_at = b.main().now_ms_raw(); }, 10 * sim::ms);
+    });
+    b.run();
+    EXPECT_GE(fired_at, 10.0);
+    EXPECT_LT(fired_at, 11.0);
+}
+
+TEST(context_timers, clear_timeout_cancels)
+{
+    browser b(chrome_profile());
+    bool fired = false;
+    b.main().post_task(0, [&] {
+        const auto id = b.main().apis().set_timeout([&] { fired = true; }, 5 * sim::ms);
+        b.main().apis().clear_timeout(id);
+    });
+    b.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(context_timers, nested_timeouts_clamp_to_4ms)
+{
+    browser b(chrome_profile());
+    std::vector<double> fire_times;
+    std::function<void()> chain = [&] {
+        fire_times.push_back(b.main().now_ms_raw());
+        if (fire_times.size() < 10) b.main().apis().set_timeout(chain, 0);
+    };
+    b.main().post_task(0, [&] { b.main().apis().set_timeout(chain, 0); });
+    b.run();
+    ASSERT_EQ(fire_times.size(), 10u);
+    // Deep in the chain, consecutive fires are >= 4 ms apart.
+    const double late_gap = fire_times[9] - fire_times[8];
+    EXPECT_GE(late_gap, 4.0);
+    // Early in the chain they may be faster.
+    const double early_gap = fire_times[1] - fire_times[0];
+    EXPECT_LT(early_gap, 4.0);
+}
+
+TEST(context_timers, set_interval_repeats_until_cleared)
+{
+    browser b(chrome_profile());
+    int count = 0;
+    std::int64_t id = 0;
+    b.main().post_task(0, [&] {
+        id = b.main().apis().set_interval(
+            [&] {
+                if (++count == 3) b.main().apis().clear_interval(id);
+            },
+            2 * sim::ms);
+    });
+    b.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(context_clock, performance_now_is_quantized)
+{
+    browser b(chrome_profile());  // 5 us precision
+    double reading = -1.0;
+    b.main().post_task(0, [&] {
+        b.main().consume(7'777 * sim::us + 123);
+        reading = b.main().apis().performance_now();
+    });
+    b.run();
+    const double quantum_ms = 0.005;
+    const double ratio = reading / quantum_ms;
+    EXPECT_NEAR(ratio, std::round(ratio), 1e-6);
+    EXPECT_GT(reading, 7.0);
+}
+
+TEST(context_clock, firefox_now_is_coarser_than_chrome)
+{
+    browser chrome(chrome_profile());
+    browser firefox(firefox_profile());
+    double chrome_reading = 0.0;
+    double firefox_reading = 0.0;
+    chrome.main().post_task(0, [&] {
+        chrome.main().consume(1'300 * sim::us);
+        chrome_reading = chrome.main().apis().performance_now();
+    });
+    firefox.main().post_task(0, [&] {
+        firefox.main().consume(1'300 * sim::us);
+        firefox_reading = firefox.main().apis().performance_now();
+    });
+    chrome.run();
+    firefox.run();
+    EXPECT_NEAR(chrome_reading, 1.3, 0.01);
+    EXPECT_DOUBLE_EQ(firefox_reading, 1.0);  // 1 ms quantum
+}
+
+TEST(context_microtasks, run_after_current_task_before_next)
+{
+    browser b(chrome_profile());
+    std::vector<std::string> order;
+    b.main().post_task(0, [&] {
+        order.push_back("task1");
+        b.main().queue_microtask([&] { order.push_back("micro"); });
+    });
+    b.main().post_task(0, [&] { order.push_back("task2"); });
+    b.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"task1", "micro", "task2"}));
+}
+
+TEST(context_interpose, redefined_api_is_called_instead_of_native)
+{
+    browser b(chrome_profile());
+    auto& apis = b.main().apis();
+    auto native = apis.performance_now;  // backup-copy pattern
+    int interposed_calls = 0;
+    apis.performance_now = [&, native] {
+        ++interposed_calls;
+        return native();
+    };
+    b.main().post_task(0, [&] { (void)b.main().apis().performance_now(); });
+    b.run();
+    EXPECT_EQ(interposed_calls, 1);
+}
+
+TEST(context_interpose, locked_traps_refuse_redefinition)
+{
+    browser b(chrome_profile());
+    context& worker_like = b.create_context("w", context_kind::worker);
+    EXPECT_TRUE(worker_like.try_redefine_self_onmessage_trap([](message_cb) {}));
+    worker_like.lock_traps();
+    EXPECT_FALSE(worker_like.try_redefine_self_onmessage_trap([](message_cb) {}));
+}
+
+TEST(context_fetch, fetch_completes_with_resource_bytes)
+{
+    browser b(chrome_profile());
+    b.net().serve(resource{"https://site/app.js", "https://site", resource_kind::script,
+                           2048, 0, 0, 0});
+    fetch_result got;
+    b.main().post_task(0, [&] {
+        b.main().apis().fetch("https://site/app.js", {}, [&](const fetch_result& r) { got = r; },
+                              nullptr);
+    });
+    b.run();
+    EXPECT_TRUE(got.ok);
+    EXPECT_EQ(got.bytes, 2048u);
+}
+
+TEST(context_fetch, abort_before_completion_fails_the_fetch)
+{
+    browser b(chrome_profile());
+    b.net().serve(resource{"https://site/big", "https://site", resource_kind::data,
+                           1'000'000, 0, 0, 0});
+    abort_controller ctl;
+    fetch_result got;
+    bool then_called = false;
+    b.main().post_task(0, [&] {
+        fetch_options opts;
+        opts.signal = ctl.signal;
+        b.main().apis().fetch(
+            "https://site/big", opts, [&](const fetch_result&) { then_called = true; },
+            [&](const fetch_result& r) { got = r; });
+        b.main().apis().set_timeout([&] { b.main().apis().abort_fetch(ctl.signal); },
+                                    1 * sim::ms);
+    });
+    b.run();
+    EXPECT_FALSE(then_called);
+    EXPECT_TRUE(got.aborted);
+}
+
+TEST(context_fetch, cached_fetch_is_much_faster)
+{
+    browser b(chrome_profile());
+    b.net().serve(resource{"https://site/x", "https://site", resource_kind::data, 500'000, 0,
+                           0, 0});
+    double first = 0.0;
+    double second = 0.0;
+    b.main().post_task(0, [&] {
+        const double t0 = b.main().now_ms_raw();
+        b.main().apis().fetch(
+            "https://site/x", {},
+            [&, t0](const fetch_result&) {
+                first = b.main().now_ms_raw() - t0;
+                const double t1 = b.main().now_ms_raw();
+                b.main().apis().fetch(
+                    "https://site/x", {},
+                    [&, t1](const fetch_result&) { second = b.main().now_ms_raw() - t1; },
+                    nullptr);
+            },
+            nullptr);
+    });
+    b.run();
+    EXPECT_GT(first, 10.0 * second);
+}
+
+TEST(context_xhr, main_thread_cross_origin_is_blocked)
+{
+    browser b(chrome_profile());
+    b.set_page_origin("https://attacker.example");
+    b.net().serve(resource{"https://victim/data", "https://victim", resource_kind::data, 100,
+                           0, 0, 0});
+    fetch_result got;
+    b.main().post_task(0, [&] {
+        b.main().apis().xhr("https://victim/data", [&](const fetch_result& r) { got = r; });
+    });
+    b.run();
+    EXPECT_FALSE(got.ok);
+    EXPECT_NE(got.error.find("same-origin"), std::string::npos);
+}
+
+TEST(context_storage, indexeddb_round_trip)
+{
+    browser b = make_chrome();
+    b.main().post_task(0, [&] {
+        b.main().apis().indexeddb_put("db", "k", js_value{"v"});
+    });
+    b.run();
+    js_value out;
+    b.main().post_task(0, [&] { out = b.main().apis().indexeddb_get("db", "k"); });
+    b.run();
+    EXPECT_EQ(out.as_string(), "v");
+}
+
+TEST(context_sab, shared_buffer_load_store)
+{
+    browser b = make_chrome();
+    shared_buffer_ptr buf;
+    double value = 0.0;
+    b.main().post_task(0, [&] {
+        buf = b.main().apis().create_shared_buffer(4);
+        b.main().apis().sab_store(buf, 2, 1.5);
+        value = b.main().apis().sab_load(buf, 2);
+    });
+    b.run();
+    EXPECT_DOUBLE_EQ(value, 1.5);
+    b.main().post_task(0, [&] { b.main().apis().sab_load(buf, 99); });
+    EXPECT_THROW(b.run(), std::out_of_range);
+}
+
+}  // namespace

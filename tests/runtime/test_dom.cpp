@@ -1,0 +1,115 @@
+// Unit tests for the DOM-lite: tree building, load cost models,
+// serialisation and token bags.
+#include <gtest/gtest.h>
+
+#include "runtime/browser.h"
+#include "sim/stats.h"
+
+namespace {
+
+using namespace jsk::rt;
+namespace sim = jsk::sim;
+
+TEST(dom, serialization_is_deterministic)
+{
+    document doc;
+    auto div = std::make_shared<element>("div");
+    div->set_attribute_raw("id", "x");
+    div->text = "hello";
+    doc.root()->add_child_raw(div);
+    EXPECT_EQ(doc.serialize(), "<html><div id=\"x\">hello</div></html>");
+    EXPECT_EQ(doc.element_count(), 2u);
+}
+
+TEST(dom, token_bag_counts_tags_attrs_text)
+{
+    document doc;
+    auto a = std::make_shared<element>("a");
+    a->set_attribute_raw("href", "https://x");
+    a->text = "click me";
+    doc.root()->add_child_raw(a);
+    const auto bag = doc.token_bag();
+    EXPECT_DOUBLE_EQ(bag.at("tag:a"), 1.0);
+    EXPECT_DOUBLE_EQ(bag.at("attr:href"), 1.0);
+    EXPECT_DOUBLE_EQ(bag.at("text:click"), 1.0);
+    EXPECT_DOUBLE_EQ(jsk::sim::cosine_similarity(bag, bag), 1.0);
+}
+
+TEST(dom, script_load_time_scales_with_size)
+{
+    browser b(chrome_profile());
+    b.net().serve(resource{"https://x/small.js", "https://x", resource_kind::script, 10'000,
+                           0, 0, 0});
+    b.net().serve(resource{"https://x/big.js", "https://x", resource_kind::script, 5'000'000,
+                           0, 0, 0});
+    auto load = [&](const std::string& url) {
+        double duration = -1.0;
+        b.main().post_task(0, [&] {
+            auto script = b.main().apis().create_element("script");
+            b.main().apis().set_attribute(script, "src", url);
+            const double t0 = b.main().now_ms_raw();
+            script->onload = [&, t0] { duration = b.main().now_ms_raw() - t0; };
+            b.main().apis().append_child(b.doc().root(), script);
+        });
+        b.run();
+        return duration;
+    };
+    const double small = load("https://x/small.js");
+    const double big = load("https://x/big.js");
+    EXPECT_GT(small, 0.0);
+    EXPECT_GT(big, small * 10);
+}
+
+TEST(dom, image_decode_time_scales_with_pixels)
+{
+    browser b(chrome_profile());
+    b.net().serve(resource{"https://x/lo.png", "https://x", resource_kind::image, 5'000, 64,
+                           64, 0});
+    b.net().serve(resource{"https://x/hi.png", "https://x", resource_kind::image, 5'000, 1024,
+                           1024, 0});
+    auto load = [&](const std::string& url) {
+        double duration = -1.0;
+        b.main().post_task(0, [&] {
+            auto img = b.main().apis().create_element("img");
+            b.main().apis().set_attribute(img, "src", url);
+            const double t0 = b.main().now_ms_raw();
+            img->onload = [&, t0] { duration = b.main().now_ms_raw() - t0; };
+            b.main().apis().append_child(b.doc().root(), img);
+        });
+        b.run();
+        return duration;
+    };
+    const double lo = load("https://x/lo.png");
+    b.net().flush_cache();
+    const double hi = load("https://x/hi.png");
+    EXPECT_GT(hi, lo);
+}
+
+TEST(dom, broken_loads_fire_onerror)
+{
+    browser b(chrome_profile());
+    std::string error;
+    b.main().post_task(0, [&] {
+        auto img = b.main().apis().create_element("img");
+        b.main().apis().set_attribute(img, "src", "https://x/missing.png");
+        img->onerror = [&](const std::string& e) { error = e; };
+        b.main().apis().append_child(b.doc().root(), img);
+    });
+    b.run();
+    EXPECT_NE(error.find("missing.png"), std::string::npos);
+}
+
+TEST(dom, attribute_roundtrip_through_api)
+{
+    browser b(chrome_profile());
+    std::string got;
+    b.main().post_task(0, [&] {
+        auto div = b.main().apis().create_element("div");
+        b.main().apis().set_attribute(div, "data-k", "v");
+        got = b.main().apis().get_attribute(div, "data-k");
+    });
+    b.run();
+    EXPECT_EQ(got, "v");
+}
+
+}  // namespace

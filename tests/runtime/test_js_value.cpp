@@ -1,0 +1,107 @@
+// Unit tests for the JS value model and structured clone.
+#include <gtest/gtest.h>
+
+#include "runtime/js_value.h"
+
+namespace {
+
+using namespace jsk::rt;
+
+TEST(js_value, defaults_to_undefined)
+{
+    js_value v;
+    EXPECT_TRUE(v.is_undefined());
+    EXPECT_EQ(v.to_string(), "undefined");
+}
+
+TEST(js_value, primitives_round_trip)
+{
+    EXPECT_TRUE(js_value{nullptr}.is_null());
+    EXPECT_TRUE(js_value{true}.as_bool());
+    EXPECT_DOUBLE_EQ(js_value{3.5}.as_number(), 3.5);
+    EXPECT_EQ(js_value{42}.as_number(), 42.0);
+    EXPECT_EQ(js_value{"hi"}.as_string(), "hi");
+}
+
+TEST(js_value, object_get_set)
+{
+    js_value obj = make_object({{"a", 1}, {"b", "x"}});
+    EXPECT_EQ(obj.get("a").as_number(), 1.0);
+    EXPECT_EQ(obj.get("b").as_string(), "x");
+    EXPECT_TRUE(obj.get("missing").is_undefined());
+    obj.set("c", true);
+    EXPECT_TRUE(obj.get("c").as_bool());
+}
+
+TEST(js_value, get_on_non_object_is_undefined)
+{
+    EXPECT_TRUE(js_value{1}.get("x").is_undefined());
+}
+
+TEST(js_value, set_on_non_object_throws)
+{
+    js_value v{1};
+    EXPECT_THROW(v.set("x", 1), std::logic_error);
+}
+
+TEST(js_value, to_string_is_deterministic_json_ish)
+{
+    const js_value obj = make_object({{"b", 2}, {"a", js_value{js_array{1, "x"}}}});
+    EXPECT_EQ(obj.to_string(), "{\"a\":[1,\"x\"],\"b\":2}");
+}
+
+TEST(js_value, byte_size_counts_nested_content)
+{
+    auto buf = std::make_shared<array_buffer>();
+    buf->data.assign(100, 0);
+    const js_value v = make_object({{"k", js_value{buf}}});
+    EXPECT_GE(v.byte_size(), 100u);
+}
+
+TEST(structured_clone, deep_copies_objects)
+{
+    js_value original = make_object({{"list", js_value{js_array{1, 2}}}});
+    js_value copy = structured_clone(original);
+    copy.get("list").as_array().push_back(3);
+    EXPECT_EQ(original.get("list").as_array().size(), 2u);
+    EXPECT_EQ(copy.get("list").as_array().size(), 3u);
+}
+
+TEST(structured_clone, copies_array_buffers_by_default)
+{
+    auto buf = std::make_shared<array_buffer>();
+    buf->data = {1, 2, 3};
+    const js_value copy = structured_clone(js_value{buf});
+    EXPECT_FALSE(buf->neutered);
+    EXPECT_NE(copy.as_array_buffer(), buf);
+    EXPECT_EQ(copy.as_array_buffer()->data, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(structured_clone, transfer_neuters_source)
+{
+    auto buf = std::make_shared<array_buffer>();
+    buf->data = {9, 9};
+    const js_value copy = structured_clone(js_value{buf}, {buf});
+    EXPECT_TRUE(buf->neutered);
+    EXPECT_TRUE(buf->data.empty());
+    EXPECT_EQ(copy.as_array_buffer()->data.size(), 2u);
+}
+
+TEST(structured_clone, cloning_neutered_buffer_throws)
+{
+    auto buf = std::make_shared<array_buffer>();
+    buf->neutered = true;
+    EXPECT_THROW(structured_clone(js_value{buf}), std::runtime_error);
+}
+
+TEST(structured_clone, shared_buffers_are_shared_not_copied)
+{
+    auto sab = std::make_shared<shared_buffer>();
+    sab->slots = {1.0};
+    const js_value copy = structured_clone(js_value{sab});
+    EXPECT_EQ(copy.as_shared_buffer(), sab);
+    copy.as_shared_buffer()->slots[0] = 7.0;
+    EXPECT_DOUBLE_EQ(sab->slots[0], 7.0);
+}
+
+}  // namespace

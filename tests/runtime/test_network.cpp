@@ -1,0 +1,77 @@
+// Unit tests for the network/cache model and fetch records.
+#include <gtest/gtest.h>
+
+#include "runtime/network.h"
+
+namespace {
+
+using namespace jsk::rt;
+namespace sim = jsk::sim;
+
+class network_fixture : public ::testing::Test {
+protected:
+    browser_profile profile = chrome_profile();
+    network net{profile};
+};
+
+TEST_F(network_fixture, latency_scales_with_size_on_miss)
+{
+    net.serve(resource{"u1", "o", resource_kind::data, 1'000, 0, 0, 0});
+    net.serve(resource{"u2", "o", resource_kind::data, 1'000'000, 0, 0, 0});
+    const sim::time_ns small = net.request_latency("u1");
+    const sim::time_ns big = net.request_latency("u2");
+    EXPECT_GT(big, small);
+    EXPECT_GT(big - small, 100 * sim::ms / 1000 * 500);  // bandwidth term dominates
+}
+
+TEST_F(network_fixture, second_request_hits_cache)
+{
+    net.serve(resource{"u", "o", resource_kind::data, 500'000, 0, 0, 0});
+    const sim::time_ns miss = net.request_latency("u");
+    const sim::time_ns hit = net.request_latency("u");
+    EXPECT_GT(miss, 10 * hit);
+    EXPECT_TRUE(net.cached("u"));
+    net.evict("u");
+    EXPECT_FALSE(net.cached("u"));
+    EXPECT_GT(net.request_latency("u"), 10 * hit);
+}
+
+TEST_F(network_fixture, unknown_urls_act_as_small_documents)
+{
+    const sim::time_ns latency = net.request_latency("https://nowhere/404");
+    EXPECT_GT(latency, profile.net_rtt - 1);
+}
+
+TEST_F(network_fixture, server_latency_adds_to_misses)
+{
+    net.serve(resource{"slow", "o", resource_kind::data, 10, 0, 0, 500 * sim::ms});
+    EXPECT_GT(net.request_latency("slow"), 500 * sim::ms);
+}
+
+TEST_F(network_fixture, fetch_records_track_ownership_and_freeing)
+{
+    auto signal = std::make_shared<abort_signal_state>();
+    auto& rec = net.start_fetch("u", 3, signal);
+    EXPECT_EQ(net.find_fetch(rec.id), &rec);
+    EXPECT_EQ(net.inflight_fetches().size(), 1u);
+    EXPECT_EQ(net.fetches_with(signal).size(), 1u);
+
+    const auto freed = net.free_fetches_of(3);
+    ASSERT_EQ(freed.size(), 1u);
+    EXPECT_TRUE(net.find_fetch(freed[0])->freed);
+
+    // Completed fetches are not freed again.
+    auto& rec2 = net.start_fetch("v", 3, nullptr);
+    rec2.completed = true;
+    EXPECT_TRUE(net.free_fetches_of(3).empty());
+}
+
+TEST_F(network_fixture, prime_and_flush_cache)
+{
+    net.prime_cache("warm");
+    EXPECT_TRUE(net.cached("warm"));
+    net.flush_cache();
+    EXPECT_FALSE(net.cached("warm"));
+}
+
+}  // namespace

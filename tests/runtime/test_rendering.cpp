@@ -1,0 +1,123 @@
+// Unit tests for the renderer: rAF cadence, paint-cost effects on frame
+// timing, CSS animations, and video cues.
+#include <gtest/gtest.h>
+
+#include "runtime/browser.h"
+
+namespace {
+
+using namespace jsk::rt;
+namespace sim = jsk::sim;
+
+TEST(rendering, raf_fires_on_the_vsync_grid)
+{
+    browser b(chrome_profile());
+    std::vector<double> stamps;
+    std::function<void(double)> frame = [&](double ts) {
+        stamps.push_back(ts);
+        if (stamps.size() < 5) b.main().apis().request_animation_frame(frame);
+    };
+    b.main().post_task(0, [&] { b.main().apis().request_animation_frame(frame); });
+    b.run();
+    ASSERT_EQ(stamps.size(), 5u);
+    for (std::size_t i = 1; i < stamps.size(); ++i) {
+        EXPECT_NEAR(stamps[i] - stamps[i - 1], 16.666, 0.5);
+    }
+}
+
+TEST(rendering, heavy_paint_work_delays_the_next_frame)
+{
+    browser b(chrome_profile());
+    std::vector<double> stamps;
+    std::function<void(double)> frame = [&](double ts) {
+        stamps.push_back(ts);
+        if (stamps.size() == 1) {
+            // 40 ms of paint work: the next frame slips by at least 2 vsyncs.
+            b.painter().add_paint_work(40 * sim::ms);
+        }
+        if (stamps.size() < 3) b.main().apis().request_animation_frame(frame);
+    };
+    b.main().post_task(0, [&] { b.main().apis().request_animation_frame(frame); });
+    b.run();
+    ASSERT_EQ(stamps.size(), 3u);
+    EXPECT_GT(stamps[1] - stamps[0], 33.0);
+}
+
+TEST(rendering, cancel_frame_prevents_callback)
+{
+    browser b(chrome_profile());
+    bool fired = false;
+    b.main().post_task(0, [&] {
+        const auto id = b.main().apis().request_animation_frame([&](double) { fired = true; });
+        b.main().apis().cancel_animation_frame(id);
+    });
+    b.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(rendering, visited_links_paint_slower)
+{
+    browser b(chrome_profile());
+    b.history().mark_visited("https://visited.example");
+    auto visited = std::make_shared<element>("a");
+    visited->set_attribute_raw("href", "https://visited.example");
+    auto unvisited = std::make_shared<element>("a");
+    unvisited->set_attribute_raw("href", "https://unvisited.example");
+    EXPECT_GT(b.painter().element_paint_cost(*visited),
+              b.painter().element_paint_cost(*unvisited));
+}
+
+TEST(rendering, svg_filter_cost_scales_with_resolution)
+{
+    browser b(chrome_profile());
+    b.net().serve(resource{"lo.png", "https://victim", resource_kind::image, 1000, 64, 64, 0});
+    b.net().serve(resource{"hi.png", "https://victim", resource_kind::image, 1000, 512, 512, 0});
+    auto make_filtered = [](const std::string& src) {
+        auto el = std::make_shared<element>("img");
+        el->set_attribute_raw("src", src);
+        el->set_attribute_raw("filter", "erode");
+        return el;
+    };
+    const auto lo_cost = b.painter().element_paint_cost(*make_filtered("lo.png"));
+    const auto hi_cost = b.painter().element_paint_cost(*make_filtered("hi.png"));
+    EXPECT_GT(hi_cost, 10 * lo_cost);
+}
+
+TEST(rendering, css_animation_progress_advances_per_frame)
+{
+    browser b(chrome_profile());
+    auto target = std::make_shared<element>("div");
+    int ticks = 0;
+    b.main().post_task(0, [&] {
+        b.painter().start_animation(target, 10, [&](double) { ++ticks; });
+    });
+    b.run();
+    EXPECT_EQ(ticks, 10);
+    EXPECT_EQ(target->attribute("animation-progress"), std::to_string(1.0));
+}
+
+TEST(rendering, video_cues_fire_periodically_until_stopped)
+{
+    browser b(chrome_profile());
+    auto video = std::make_shared<element>("video");
+    int cues = 0;
+    b.main().post_task(0, [&] {
+        b.main().apis().set_cue_callback(video, [&] {
+            if (++cues == 4) b.painter().stop_video(video);
+        });
+        b.main().apis().play_video(video, 100 * sim::ms);
+    });
+    b.run();
+    EXPECT_EQ(cues, 4);
+    EXPECT_EQ(video->attribute("cue-count"), "4");
+}
+
+TEST(rendering, frames_only_render_when_there_is_work)
+{
+    browser b(chrome_profile());
+    b.main().post_task(0, [&] { b.main().consume(200 * sim::ms); });
+    b.run();
+    EXPECT_EQ(b.painter().frames_rendered(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,235 @@
+// Integration tests: each CVE state machine triggers on its documented
+// sequence in the vulnerable (legacy) engine, and stays quiet otherwise.
+#include <gtest/gtest.h>
+
+#include "runtime/browser.h"
+#include "runtime/vuln.h"
+
+namespace {
+
+using namespace jsk::rt;
+namespace sim = jsk::sim;
+
+struct vuln_fixture : ::testing::Test {
+    browser b{chrome_profile()};
+    vuln_registry vulns{b.bus()};
+
+    bool triggered(const std::string& id) const
+    {
+        const auto* monitor = vulns.find(id);
+        return monitor != nullptr && monitor->triggered();
+    }
+};
+
+TEST_F(vuln_fixture, registry_knows_all_twelve)
+{
+    EXPECT_EQ(vulns.monitors().size(), 12u);
+    EXPECT_NE(vulns.find("CVE-2018-5092"), nullptr);
+    EXPECT_EQ(vulns.find("CVE-0000-0000"), nullptr);
+    EXPECT_TRUE(vulns.triggered_ids().empty());
+}
+
+TEST_F(vuln_fixture, cve_2018_5092_abort_after_false_termination)
+{
+    b.net().serve(resource{"https://attacker.example/f0", "https://attacker.example",
+                           resource_kind::data, 100'000, 0, 0, 0});
+    b.register_worker_script("fetcher.js", [](context& ctx) {
+        abort_controller ctl;
+        fetch_options opts;
+        opts.signal = ctl.signal;
+        ctx.apis().fetch("https://attacker.example/f0", opts, nullptr, nullptr);
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("fetcher.js");
+        // False termination while the fetch is in flight, then a reload-style
+        // teardown aborts everything — including the freed request.
+        b.main().apis().set_timeout([w] { w->terminate(); }, 5 * sim::ms);
+        b.main().apis().set_timeout([&] { b.main().apis().reload(); }, 10 * sim::ms);
+    });
+    b.run();
+    EXPECT_TRUE(triggered("CVE-2018-5092"));
+}
+
+TEST_F(vuln_fixture, cve_2018_5092_not_triggered_without_termination)
+{
+    b.net().serve(resource{"https://attacker.example/f0", "https://attacker.example",
+                           resource_kind::data, 100'000, 0, 0, 0});
+    b.register_worker_script("fetcher.js", [](context& ctx) {
+        ctx.apis().fetch("https://attacker.example/f0", {}, nullptr, nullptr);
+    });
+    b.main().post_task(0, [&] {
+        b.main().apis().create_worker("fetcher.js");
+        b.main().apis().set_timeout([&] { b.main().apis().reload(); }, 10 * sim::ms);
+    });
+    b.run();
+    EXPECT_FALSE(triggered("CVE-2018-5092"));
+}
+
+TEST_F(vuln_fixture, cve_2017_7843_private_idb_persists)
+{
+    b.set_private_browsing(true);
+    b.main().post_task(0, [&] {
+        b.main().apis().indexeddb_put("tracker", "id", js_value{"fingerprint"});
+    });
+    b.run();
+    b.end_private_session();
+    EXPECT_TRUE(triggered("CVE-2017-7843"));
+}
+
+TEST_F(vuln_fixture, cve_2017_7843_fixed_engine_does_not_persist)
+{
+    b.bugs().idb_private_mode_persists = false;
+    b.set_private_browsing(true);
+    b.main().post_task(0, [&] {
+        b.main().apis().indexeddb_put("tracker", "id", js_value{"fingerprint"});
+    });
+    b.run();
+    b.end_private_session();
+    EXPECT_FALSE(triggered("CVE-2017-7843"));
+}
+
+TEST_F(vuln_fixture, cve_2015_7215_import_scripts_error_leak)
+{
+    b.set_page_origin("https://attacker.example");
+    b.register_worker_script("prober.js", [](context& ctx) {
+        ctx.apis().import_scripts({"https://victim.example/secret-redirect"});
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("prober.js"); });
+    b.run();
+    EXPECT_TRUE(triggered("CVE-2015-7215"));
+}
+
+TEST_F(vuln_fixture, cve_2014_3194_message_to_terminated_worker)
+{
+    b.register_worker_script("sink.js", [](context& ctx) {
+        ctx.apis().set_self_onmessage([](const message_event&) {});
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("sink.js");
+        b.main().apis().set_timeout(
+            [&, w] {
+                w->post_message(js_value{1});  // in flight...
+                w->terminate();                // ...when the worker dies
+            },
+            5 * sim::ms);
+    });
+    b.run();
+    EXPECT_TRUE(triggered("CVE-2014-3194"));
+}
+
+TEST_F(vuln_fixture, cve_2014_1719_terminate_mid_dispatch)
+{
+    b.register_worker_script("cruncher.js", [](context& ctx) {
+        ctx.consume(200 * sim::ms);  // long synchronous work at startup
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("cruncher.js");
+        b.main().apis().set_timeout([w] { w->terminate(); }, 50 * sim::ms);
+    });
+    b.run();
+    EXPECT_TRUE(triggered("CVE-2014-1719"));
+}
+
+TEST_F(vuln_fixture, cve_2014_1488_transferable_from_dying_worker)
+{
+    b.register_worker_script("transfer.js", [](context& ctx) {
+        auto buf = std::make_shared<array_buffer>();
+        buf->data.assign(64, 1);
+        ctx.apis().post_message_to_parent(js_value{buf}, {buf});
+        ctx.apis().close_self();  // worker gone before delivery
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("transfer.js"); });
+    b.run();
+    EXPECT_TRUE(triggered("CVE-2014-1488"));
+}
+
+TEST_F(vuln_fixture, cve_2014_1487_worker_error_leak)
+{
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("https://victim.example/missing.js");
+        w->set_onerror([](const std::string&) {});
+    });
+    b.run();
+    EXPECT_TRUE(triggered("CVE-2014-1487"));
+}
+
+TEST_F(vuln_fixture, cve_2013_6646_reload_with_inflight_messages)
+{
+    b.register_worker_script("chatty.js", [](context& ctx) {
+        for (int i = 0; i < 20; ++i) ctx.apis().post_message_to_parent(js_value{i}, {});
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("chatty.js");
+        w->set_onmessage([&](const message_event&) {
+            b.main().apis().reload();  // teardown while messages still in flight
+        });
+    });
+    b.run();
+    EXPECT_TRUE(triggered("CVE-2013-6646"));
+}
+
+TEST_F(vuln_fixture, cve_2013_5602_null_onmessage_assignment)
+{
+    b.register_worker_script("sink.js", [](context&) {});
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("sink.js");
+        w->set_onmessage(nullptr);
+    });
+    b.run();
+    EXPECT_TRUE(triggered("CVE-2013-5602"));
+}
+
+TEST_F(vuln_fixture, cve_2013_1714_worker_xhr_sop_bypass)
+{
+    b.set_page_origin("https://attacker.example");
+    b.net().serve(resource{"https://victim.example/api", "https://victim.example",
+                           resource_kind::data, 100, 0, 0, 0});
+    fetch_result leaked;
+    b.register_worker_script("sop.js", [&](context& ctx) {
+        ctx.apis().xhr("https://victim.example/api",
+                       [&](const fetch_result& r) { leaked = r; });
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("sop.js"); });
+    b.run();
+    EXPECT_TRUE(triggered("CVE-2013-1714"));
+    EXPECT_TRUE(leaked.ok);  // cross-origin data reached the worker
+}
+
+TEST_F(vuln_fixture, cve_2011_1190_cross_origin_import_exposes_source)
+{
+    b.set_page_origin("https://attacker.example");
+    b.net().serve(resource{"https://victim.example/lib.js", "https://victim.example",
+                           resource_kind::script, 2'000, 0, 0, 0});
+    b.register_worker_script("import.js", [](context& ctx) {
+        ctx.apis().import_scripts({"https://victim.example/lib.js"});
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("import.js"); });
+    b.run();
+    EXPECT_TRUE(triggered("CVE-2011-1190"));
+}
+
+TEST_F(vuln_fixture, cve_2010_4576_double_termination)
+{
+    b.register_worker_script("quit.js", [](context& ctx) { ctx.apis().close_self(); });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("quit.js");
+        b.main().apis().set_timeout([w] { w->terminate(); }, 50 * sim::ms);
+    });
+    b.run();
+    EXPECT_TRUE(triggered("CVE-2010-4576"));
+}
+
+TEST_F(vuln_fixture, reset_all_clears_triggers)
+{
+    b.register_worker_script("quit.js", [](context& ctx) { ctx.apis().close_self(); });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("quit.js");
+        b.main().apis().set_timeout([w] { w->terminate(); }, 50 * sim::ms);
+    });
+    b.run();
+    ASSERT_FALSE(vulns.triggered_ids().empty());
+    vulns.reset_all();
+    EXPECT_TRUE(vulns.triggered_ids().empty());
+}
+
+}  // namespace

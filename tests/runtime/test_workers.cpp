@@ -1,0 +1,203 @@
+// Unit + integration tests for worker lifecycle and messaging.
+#include <gtest/gtest.h>
+
+#include "runtime/browser.h"
+
+namespace {
+
+using namespace jsk::rt;
+namespace sim = jsk::sim;
+
+TEST(workers, spawn_runs_registered_script_on_worker_thread)
+{
+    browser b(chrome_profile());
+    sim::thread_id worker_thread = sim::no_thread;
+    b.register_worker_script("worker.js", [&](context& ctx) {
+        worker_thread = ctx.owner().sim().current_thread();
+        EXPECT_EQ(ctx.kind(), context_kind::worker);
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("worker.js"); });
+    b.run();
+    EXPECT_NE(worker_thread, sim::no_thread);
+    EXPECT_NE(worker_thread, b.main().thread());
+}
+
+TEST(workers, round_trip_message)
+{
+    browser b(chrome_profile());
+    b.register_worker_script("echo.js", [](context& ctx) {
+        ctx.apis().set_self_onmessage([&ctx](const message_event& e) {
+            ctx.apis().post_message_to_parent(e.data, {});
+        });
+    });
+    std::string got;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("echo.js");
+        w->set_onmessage([&](const message_event& e) { got = e.data.as_string(); });
+        w->post_message(js_value{"ping"});
+    });
+    b.run();
+    EXPECT_EQ(got, "ping");
+}
+
+TEST(workers, worker_runs_in_parallel_with_main)
+{
+    // A long main-thread task must not delay worker computation (true
+    // parallelism — what Chrome Zero's polyfill sacrifices).
+    browser b(chrome_profile());
+    double worker_done_at = -1.0;
+    b.register_worker_script("busy.js", [&](context& ctx) {
+        ctx.consume(5 * sim::ms);
+        worker_done_at = ctx.now_ms_raw();
+    });
+    b.main().post_task(0, [&] {
+        b.main().apis().create_worker("busy.js");
+        b.main().consume(500 * sim::ms);  // main is busy for half a second
+    });
+    b.run();
+    EXPECT_GT(worker_done_at, 0.0);
+    EXPECT_LT(worker_done_at, 100.0);  // finished long before main got free
+}
+
+TEST(workers, polyfill_workers_share_the_main_thread)
+{
+    browser b(chrome_profile());
+    b.set_polyfill_workers(true);
+    double worker_done_at = -1.0;
+    b.register_worker_script("busy.js", [&](context& ctx) {
+        ctx.consume(5 * sim::ms);
+        worker_done_at = ctx.now_ms_raw();
+    });
+    b.main().post_task(0, [&] {
+        b.main().apis().create_worker("busy.js");
+        b.main().consume(500 * sim::ms);
+    });
+    b.run();
+    EXPECT_GT(worker_done_at, 500.0);  // had to wait for the main thread
+}
+
+TEST(workers, terminate_stops_delivery)
+{
+    browser b(chrome_profile());
+    int received = 0;
+    b.register_worker_script("counter.js", [&](context& ctx) {
+        ctx.apis().set_self_onmessage([&](const message_event&) { ++received; });
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("counter.js");
+        w->post_message(js_value{1});
+        b.main().apis().set_timeout(
+            [&, w] {
+                w->terminate();
+                EXPECT_FALSE(w->alive());
+                w->post_message(js_value{2});  // dropped
+            },
+            50 * sim::ms);
+    });
+    b.run();
+    EXPECT_EQ(received, 1);
+}
+
+TEST(workers, self_close_emits_event_and_stops_worker)
+{
+    browser b(chrome_profile());
+    bool closed_event = false;
+    b.bus().subscribe([&](const rt_event& e) {
+        if (e.kind == rt_event_kind::worker_self_closed) closed_event = true;
+    });
+    b.register_worker_script("quit.js", [](context& ctx) { ctx.apis().close_self(); });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("quit.js"); });
+    b.run();
+    EXPECT_TRUE(closed_event);
+}
+
+TEST(workers, missing_script_fires_onerror)
+{
+    browser b(chrome_profile());
+    std::string error;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("nope.js");
+        w->set_onerror([&](const std::string& msg) { error = msg; });
+    });
+    b.run();
+    EXPECT_NE(error.find("nope.js"), std::string::npos);
+}
+
+TEST(workers, error_sanitizer_scrubs_messages)
+{
+    browser b(chrome_profile());
+    b.set_error_sanitizer([](const std::string&) { return std::string("Script error."); });
+    std::string error;
+    bool leak_flag = false;
+    b.bus().subscribe([&](const rt_event& e) {
+        if (e.kind == rt_event_kind::worker_error_event && e.detail_flag) leak_flag = true;
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("nope.js");
+        w->set_onerror([&](const std::string& msg) { error = msg; });
+    });
+    b.run();
+    EXPECT_EQ(error, "Script error.");
+    EXPECT_FALSE(leak_flag);
+}
+
+TEST(workers, transferable_moves_buffer_to_parent)
+{
+    browser b(chrome_profile());
+    b.register_worker_script("transfer.js", [](context& ctx) {
+        auto buf = std::make_shared<array_buffer>();
+        buf->data = {1, 2, 3, 4};
+        ctx.apis().post_message_to_parent(js_value{buf}, {buf});
+        EXPECT_TRUE(buf->neutered);
+    });
+    std::size_t received_bytes = 0;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("transfer.js");
+        w->set_onmessage([&](const message_event& e) {
+            received_bytes = e.data.as_array_buffer()->data.size();
+        });
+    });
+    b.run();
+    EXPECT_EQ(received_bytes, 4u);
+}
+
+TEST(workers, worker_messages_flow_while_main_is_busy)
+{
+    // The Listing-1 pattern: a worker floods postMessage while the main
+    // thread runs a long operation; deliveries queue and drain afterwards.
+    browser b(chrome_profile());
+    b.register_worker_script("flood.js", [](context& ctx) {
+        for (int i = 0; i < 50; ++i) ctx.apis().post_message_to_parent(js_value{i}, {});
+    });
+    std::vector<double> delivery_times;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("flood.js");
+        w->set_onmessage([&](const message_event&) {
+            delivery_times.push_back(b.main().now_ms_raw());
+        });
+        b.main().consume(80 * sim::ms);
+    });
+    b.run();
+    ASSERT_EQ(delivery_times.size(), 50u);
+    EXPECT_GE(delivery_times.front(), 80.0);  // queued behind the busy main thread
+}
+
+TEST(workers, import_scripts_runs_same_origin_script)
+{
+    browser b(chrome_profile());
+    b.set_page_origin("https://site");
+    b.net().serve(resource{"https://site/lib.js", "https://site", resource_kind::script, 100,
+                           0, 0, 0});
+    bool lib_ran = false;
+    b.register_worker_script("lib.js", [&](context&) { lib_ran = true; });
+    // importScripts resolves registered bodies by URL:
+    b.register_worker_script("https://site/lib.js", [&](context&) { lib_ran = true; });
+    b.register_worker_script("main_worker.js", [](context& ctx) {
+        ctx.apis().import_scripts({"https://site/lib.js"});
+    });
+    b.main().post_task(0, [&] { b.main().apis().create_worker("main_worker.js"); });
+    b.run();
+    EXPECT_TRUE(lib_ran);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Unit tests for the discrete-event simulation core: ordering, per-thread
+// occupancy, cancellation, thread teardown, and determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace jsk::sim;
+
+TEST(simulation, runs_tasks_in_time_order)
+{
+    simulation sim;
+    const thread_id t = sim.create_thread("main");
+    std::vector<int> order;
+    sim.post(t, 30 * ms, [&] { order.push_back(3); });
+    sim.post(t, 10 * ms, [&] { order.push_back(1); });
+    sim.post(t, 20 * ms, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(simulation, ties_break_by_post_order)
+{
+    simulation sim;
+    const thread_id t = sim.create_thread("main");
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        sim.post(t, 5 * ms, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(simulation, consume_advances_thread_time)
+{
+    simulation sim;
+    const thread_id t = sim.create_thread("main");
+    time_ns seen_start = -1;
+    time_ns seen_second = -1;
+    sim.post(t, 0, [&] {
+        seen_start = sim.now();
+        sim.consume(7 * ms);
+    });
+    sim.post(t, 0, [&] { seen_second = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen_start, 0);
+    EXPECT_EQ(seen_second, 7 * ms);  // the thread was busy for 7 ms
+}
+
+TEST(simulation, threads_overlap_in_virtual_time)
+{
+    simulation sim;
+    const thread_id a = sim.create_thread("a");
+    const thread_id b = sim.create_thread("b");
+    time_ns b_start = -1;
+    sim.post(a, 0, [&] { sim.consume(50 * ms); });
+    sim.post(b, 1 * ms, [&] { b_start = sim.now(); });
+    sim.run();
+    EXPECT_EQ(b_start, 1 * ms);  // b is not blocked by a's long task
+}
+
+TEST(simulation, execution_is_ordered_by_effective_start_time)
+{
+    // Thread a is busy until 50ms, so its task posted at 10ms starts at 50ms;
+    // thread b's task posted at 20ms must run before it.
+    simulation sim;
+    const thread_id a = sim.create_thread("a");
+    const thread_id b = sim.create_thread("b");
+    std::vector<std::string> order;
+    sim.post(a, 0, [&] {
+        sim.consume(50 * ms);
+        order.push_back("a-long");
+    });
+    sim.post(a, 10 * ms, [&] { order.push_back("a-queued"); });
+    sim.post(b, 20 * ms, [&] { order.push_back("b"); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<std::string>{"a-long", "b", "a-queued"}));
+}
+
+TEST(simulation, cross_thread_posting_respects_sender_time)
+{
+    simulation sim;
+    const thread_id a = sim.create_thread("a");
+    const thread_id b = sim.create_thread("b");
+    time_ns received = -1;
+    sim.post(a, 0, [&] {
+        sim.consume(5 * ms);
+        sim.post(b, sim.now(), [&] { received = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(received, 5 * ms);
+}
+
+TEST(simulation, cancel_prevents_execution)
+{
+    simulation sim;
+    const thread_id t = sim.create_thread("main");
+    bool ran = false;
+    const task_id id = sim.post(t, 10 * ms, [&] { ran = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.cancel(id));  // already cancelled
+    sim.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(simulation, destroyed_thread_drops_tasks)
+{
+    simulation sim;
+    const thread_id a = sim.create_thread("a");
+    const thread_id b = sim.create_thread("b");
+    bool ran = false;
+    sim.post(b, 10 * ms, [&] { ran = true; });
+    sim.post(a, 0, [&] { sim.destroy_thread(b); });
+    sim.run();
+    EXPECT_FALSE(ran);
+    EXPECT_FALSE(sim.thread_alive(b));
+    EXPECT_EQ(sim.post(b, 0, [] {}), 0u);  // posts to dead threads are rejected
+}
+
+TEST(simulation, run_until_stops_at_deadline)
+{
+    simulation sim;
+    const thread_id t = sim.create_thread("main");
+    int count = 0;
+    for (int i = 1; i <= 10; ++i) {
+        sim.post(t, i * 10 * ms, [&] { ++count; });
+    }
+    sim.run_until(45 * ms);
+    EXPECT_EQ(count, 4);
+    EXPECT_GE(sim.now(), 45 * ms);
+    sim.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(simulation, observer_reports_intervals)
+{
+    simulation sim;
+    const thread_id t = sim.create_thread("main");
+    std::vector<task_info> seen;
+    sim.set_task_observer([&](const task_info& info) { seen.push_back(info); });
+    sim.post(t, 5 * ms, [&] { sim.consume(2 * ms); }, "first");
+    sim.post(t, 20 * ms, [] {}, "second");
+    sim.run();
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].label, "first");
+    EXPECT_EQ(seen[0].start, 5 * ms);
+    EXPECT_EQ(seen[0].end, 7 * ms);
+    EXPECT_EQ(seen[1].start, 20 * ms);
+}
+
+TEST(simulation, max_tasks_bounds_runaway_loops)
+{
+    simulation sim;
+    const thread_id t = sim.create_thread("main");
+    std::function<void()> loop = [&] {
+        sim.consume(1 * us);
+        sim.post(t, sim.now(), loop);
+    };
+    sim.post(t, 0, loop);
+    sim.run(1000);
+    EXPECT_EQ(sim.tasks_executed(), 1000u);
+}
+
+TEST(simulation, consume_outside_task_throws)
+{
+    simulation sim;
+    EXPECT_THROW(sim.consume(1), std::logic_error);
+}
+
+TEST(simulation, nested_posts_inherit_consumed_time)
+{
+    simulation sim;
+    const thread_id t = sim.create_thread("main");
+    std::vector<time_ns> starts;
+    sim.post(t, 0, [&] {
+        sim.consume(3 * ms);
+        sim.post(t, sim.now(), [&] { starts.push_back(sim.now()); });
+        sim.consume(4 * ms);  // extends busy window past the nested post
+    });
+    sim.run();
+    ASSERT_EQ(starts.size(), 1u);
+    EXPECT_EQ(starts[0], 7 * ms);  // waits for the full task, not the 3 ms mark
+}
+
+}  // namespace

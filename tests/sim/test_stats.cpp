@@ -1,0 +1,137 @@
+// Unit tests for the statistics helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace {
+
+using namespace jsk::sim;
+
+TEST(stats, summarize_basic)
+{
+    const summary s = summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.n, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(stats, summarize_empty_is_zero)
+{
+    const summary s = summarize({});
+    EXPECT_EQ(s.n, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(stats, welch_t_separates_distinct_samples)
+{
+    const std::vector<double> a{10.0, 10.1, 9.9, 10.05};
+    const std::vector<double> b{20.0, 20.2, 19.8, 20.1};
+    EXPECT_GT(welch_t(a, b), 10.0);
+}
+
+TEST(stats, welch_t_identical_point_masses_is_zero)
+{
+    const std::vector<double> a{5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(welch_t(a, a), 0.0);
+}
+
+TEST(stats, welch_t_distinct_point_masses_is_infinite)
+{
+    const std::vector<double> a{5.0, 5.0, 5.0};
+    const std::vector<double> b{6.0, 6.0, 6.0};
+    EXPECT_TRUE(std::isinf(welch_t(a, b)));
+}
+
+TEST(stats, classification_accuracy_perfect_separation)
+{
+    const std::vector<double> a{1.0, 1.1, 0.9};
+    const std::vector<double> b{9.0, 9.1, 8.9};
+    EXPECT_DOUBLE_EQ(classification_accuracy(a, b), 1.0);
+}
+
+TEST(stats, classification_accuracy_identical_is_chance)
+{
+    const std::vector<double> a{5.0, 5.0};
+    EXPECT_DOUBLE_EQ(classification_accuracy(a, a), 0.5);
+}
+
+TEST(stats, classification_accuracy_overlapping_is_middling)
+{
+    rng r(42);
+    std::vector<double> a, b;
+    for (int i = 0; i < 500; ++i) {
+        a.push_back(r.normal(0.0, 1.0));
+        b.push_back(r.normal(0.5, 1.0));
+    }
+    const double acc = classification_accuracy(a, b);
+    EXPECT_GT(acc, 0.5);
+    EXPECT_LT(acc, 0.75);
+}
+
+TEST(stats, empirical_cdf_is_monotone)
+{
+    const auto cdf = empirical_cdf({3.0, 1.0, 2.0});
+    ASSERT_EQ(cdf.size(), 3u);
+    EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+    EXPECT_DOUBLE_EQ(cdf[2].first, 3.0);
+    EXPECT_DOUBLE_EQ(cdf[2].second, 1.0);
+    EXPECT_LT(cdf[0].second, cdf[1].second);
+}
+
+TEST(stats, percentile_interpolates)
+{
+    const std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+}
+
+TEST(stats, cosine_similarity_identical_bags)
+{
+    const std::unordered_map<std::string, double> bag{{"div", 3.0}, {"a", 2.0}};
+    EXPECT_DOUBLE_EQ(cosine_similarity(bag, bag), 1.0);
+}
+
+TEST(stats, cosine_similarity_disjoint_bags_is_zero)
+{
+    EXPECT_DOUBLE_EQ(cosine_similarity({{"a", 1.0}}, {{"b", 1.0}}), 0.0);
+}
+
+TEST(stats, cosine_similarity_empty_bags_identical)
+{
+    EXPECT_DOUBLE_EQ(cosine_similarity({}, {}), 1.0);
+    EXPECT_DOUBLE_EQ(cosine_similarity({{"a", 1.0}}, {}), 0.0);
+}
+
+TEST(rng, deterministic_for_same_seed)
+{
+    rng a(7), b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(rng, uniform_respects_bounds)
+{
+    rng r(1);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniform(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(rng, normal_has_roughly_right_moments)
+{
+    rng r(99);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i) xs.push_back(r.normal(10.0, 2.0));
+    const summary s = summarize(xs);
+    EXPECT_NEAR(s.mean, 10.0, 0.1);
+    EXPECT_NEAR(s.stddev, 2.0, 0.1);
+}
+
+}  // namespace

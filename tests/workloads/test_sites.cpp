@@ -1,0 +1,162 @@
+// Unit tests for the synthetic workloads.
+#include <gtest/gtest.h>
+
+#include "defenses/defense.h"
+#include "sim/stats.h"
+#include "workloads/sites.h"
+
+namespace {
+
+using namespace jsk;
+namespace sim = jsk::sim;
+namespace rt = jsk::rt;
+
+TEST(event_profiles, google_and_youtube_differ_in_heavy_tasks)
+{
+    const auto google = workloads::google_event_profile();
+    const auto youtube = workloads::youtube_event_profile();
+    auto max_cost = [](const workloads::event_profile& p) {
+        sim::time_ns mx = 0;
+        for (const auto& t : p.tasks) mx = std::max(mx, t.cost);
+        return mx;
+    };
+    EXPECT_LT(max_cost(google), max_cost(youtube));
+    EXPECT_GT(google.tasks.size(), 10u);
+    EXPECT_GT(youtube.tasks.size(), 10u);
+}
+
+TEST(event_profiles, run_event_profile_busies_the_main_thread)
+{
+    rt::browser b(rt::chrome_profile());
+    workloads::run_event_profile(b, workloads::google_event_profile());
+    const auto before = b.sim().tasks_executed();
+    b.run();
+    EXPECT_GT(b.sim().tasks_executed(), before + 100);
+}
+
+TEST(site_generator, deterministic_for_same_rank_and_seed)
+{
+    const auto a = workloads::make_synthetic_site(7, 42);
+    const auto b2 = workloads::make_synthetic_site(7, 42);
+    EXPECT_EQ(a.script_urls, b2.script_urls);
+    EXPECT_EQ(a.dom_nodes, b2.dom_nodes);
+    EXPECT_EQ(a.resources.size(), b2.resources.size());
+}
+
+TEST(site_generator, ranks_produce_different_sites)
+{
+    const auto a = workloads::make_synthetic_site(1, 42);
+    const auto b2 = workloads::make_synthetic_site(2, 42);
+    EXPECT_NE(a.origin, b2.origin);
+    const bool differs = a.script_urls.size() != b2.script_urls.size() ||
+                         a.dom_nodes != b2.dom_nodes ||
+                         a.image_urls.size() != b2.image_urls.size();
+    EXPECT_TRUE(differs);
+}
+
+TEST(load_site, completes_and_reports_hero_before_onload)
+{
+    rt::browser b(rt::chrome_profile());
+    const auto site = workloads::make_synthetic_site(3, 42);
+    const auto result = workloads::load_site(b, site);
+    EXPECT_GT(result.onload_ms, 0.0);
+    EXPECT_GT(result.hero_ms, 0.0);
+    EXPECT_LE(result.hero_ms, result.onload_ms);
+}
+
+TEST(load_site, bigger_sites_load_slower)
+{
+    // Construct two raptor sites: google (light) vs youtube (heavy).
+    rt::browser light(rt::chrome_profile());
+    const double google =
+        workloads::load_site(light, workloads::raptor_site("google", "chrome")).hero_ms;
+    rt::browser heavy(rt::chrome_profile());
+    const double youtube =
+        workloads::load_site(heavy, workloads::raptor_site("youtube", "chrome")).hero_ms;
+    EXPECT_GT(youtube, google * 1.5);
+}
+
+TEST(raptor, firefox_render_factor_dominates)
+{
+    rt::browser chrome(rt::chrome_profile());
+    const double c =
+        workloads::load_site(chrome, workloads::raptor_site("google", "chrome")).hero_ms;
+    rt::browser firefox(rt::firefox_profile());
+    const double f =
+        workloads::load_site(firefox, workloads::raptor_site("google", "firefox")).hero_ms;
+    EXPECT_GT(f, c * 2.0);
+}
+
+TEST(raptor, unknown_site_throws)
+{
+    EXPECT_THROW(workloads::raptor_site("nope", "chrome"), std::invalid_argument);
+}
+
+TEST(dromaeo, all_tests_run_and_take_time)
+{
+    for (const auto& name : workloads::dromaeo_tests()) {
+        rt::browser b(rt::chrome_profile());
+        const auto result = workloads::run_dromaeo_test(b, name);
+        EXPECT_GT(result.duration_ms, 0.0) << name;
+        EXPECT_EQ(result.test, name);
+    }
+}
+
+TEST(dromaeo, unknown_test_throws)
+{
+    rt::browser b(rt::chrome_profile());
+    EXPECT_THROW(workloads::run_dromaeo_test(b, "nope"), std::invalid_argument);
+}
+
+TEST(dromaeo, compute_tests_are_kernel_neutral)
+{
+    rt::browser plain(rt::chrome_profile());
+    const double base = workloads::run_dromaeo_test(plain, "math-cordic").duration_ms;
+    rt::browser with(rt::chrome_profile());
+    auto def = defenses::make_defense(defenses::defense_id::jskernel);
+    def->install(with);
+    const double kernel = workloads::run_dromaeo_test(with, "math-cordic").duration_ms;
+    EXPECT_DOUBLE_EQ(base, kernel);
+}
+
+TEST(dromaeo, dom_attr_pays_kernel_interposition)
+{
+    rt::browser plain(rt::chrome_profile());
+    const double base = workloads::run_dromaeo_test(plain, "dom-attr").duration_ms;
+    rt::browser with(rt::chrome_profile());
+    auto def = defenses::make_defense(defenses::defense_id::jskernel);
+    def->install(with);
+    const double kernel = workloads::run_dromaeo_test(with, "dom-attr").duration_ms;
+    EXPECT_GT(kernel, base * 1.05);
+    EXPECT_LT(kernel, base * 1.60);
+}
+
+TEST(worker_bench, spawning_more_workers_takes_longer)
+{
+    rt::browser few(rt::chrome_profile());
+    const double t4 = workloads::run_worker_bench(few, 4);
+    rt::browser many(rt::chrome_profile());
+    const double t16 = workloads::run_worker_bench(many, 16);
+    EXPECT_GT(t4, 0.0);
+    EXPECT_GE(t16, t4);
+}
+
+TEST(compat_page, static_pages_are_visit_invariant)
+{
+    rt::browser a(rt::chrome_profile(), 1);
+    const auto bag_a = workloads::build_compat_page(a, 123, false);
+    rt::browser b2(rt::chrome_profile(), 2);
+    const auto bag_b = workloads::build_compat_page(b2, 123, false);
+    EXPECT_DOUBLE_EQ(sim::cosine_similarity(bag_a, bag_b), 1.0);
+}
+
+TEST(compat_page, dynamic_ads_differ_between_visits)
+{
+    rt::browser a(rt::chrome_profile(), 1);
+    const auto bag_a = workloads::build_compat_page(a, 123, true);
+    rt::browser b2(rt::chrome_profile(), 2);
+    const auto bag_b = workloads::build_compat_page(b2, 124, true);
+    EXPECT_LT(sim::cosine_similarity(bag_a, bag_b), 0.999);
+}
+
+}  // namespace
