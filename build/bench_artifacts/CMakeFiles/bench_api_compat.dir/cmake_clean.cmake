@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_api_compat"
+  "../bench/bench_api_compat.pdb"
+  "CMakeFiles/bench_api_compat.dir/bench_api_compat.cpp.o"
+  "CMakeFiles/bench_api_compat.dir/bench_api_compat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_api_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

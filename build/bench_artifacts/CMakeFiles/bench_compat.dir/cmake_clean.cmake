@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_compat"
+  "../bench/bench_compat.pdb"
+  "CMakeFiles/bench_compat.dir/bench_compat.cpp.o"
+  "CMakeFiles/bench_compat.dir/bench_compat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

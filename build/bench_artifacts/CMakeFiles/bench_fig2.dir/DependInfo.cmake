@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2.cpp" "bench_artifacts/CMakeFiles/bench_fig2.dir/bench_fig2.cpp.o" "gcc" "bench_artifacts/CMakeFiles/bench_fig2.dir/bench_fig2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/jsk_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/defenses/CMakeFiles/jsk_defenses.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/jsk_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/jsk_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/jsk_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_worker"
+  "../bench/bench_worker.pdb"
+  "CMakeFiles/bench_worker.dir/bench_worker.cpp.o"
+  "CMakeFiles/bench_worker.dir/bench_worker.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

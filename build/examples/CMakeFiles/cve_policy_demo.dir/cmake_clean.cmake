@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cve_policy_demo.dir/cve_policy_demo.cpp.o"
+  "CMakeFiles/cve_policy_demo.dir/cve_policy_demo.cpp.o.d"
+  "cve_policy_demo"
+  "cve_policy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cve_policy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_attack_demo.dir/timing_attack_demo.cpp.o"
+  "CMakeFiles/timing_attack_demo.dir/timing_attack_demo.cpp.o.d"
+  "timing_attack_demo"
+  "timing_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

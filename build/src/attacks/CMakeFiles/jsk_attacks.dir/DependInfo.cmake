@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/clocks.cpp" "src/attacks/CMakeFiles/jsk_attacks.dir/clocks.cpp.o" "gcc" "src/attacks/CMakeFiles/jsk_attacks.dir/clocks.cpp.o.d"
+  "/root/repo/src/attacks/cve_attacks.cpp" "src/attacks/CMakeFiles/jsk_attacks.dir/cve_attacks.cpp.o" "gcc" "src/attacks/CMakeFiles/jsk_attacks.dir/cve_attacks.cpp.o.d"
+  "/root/repo/src/attacks/harness.cpp" "src/attacks/CMakeFiles/jsk_attacks.dir/harness.cpp.o" "gcc" "src/attacks/CMakeFiles/jsk_attacks.dir/harness.cpp.o.d"
+  "/root/repo/src/attacks/raf_attacks.cpp" "src/attacks/CMakeFiles/jsk_attacks.dir/raf_attacks.cpp.o" "gcc" "src/attacks/CMakeFiles/jsk_attacks.dir/raf_attacks.cpp.o.d"
+  "/root/repo/src/attacks/registry.cpp" "src/attacks/CMakeFiles/jsk_attacks.dir/registry.cpp.o" "gcc" "src/attacks/CMakeFiles/jsk_attacks.dir/registry.cpp.o.d"
+  "/root/repo/src/attacks/timing_attacks.cpp" "src/attacks/CMakeFiles/jsk_attacks.dir/timing_attacks.cpp.o" "gcc" "src/attacks/CMakeFiles/jsk_attacks.dir/timing_attacks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/defenses/CMakeFiles/jsk_defenses.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/jsk_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/jsk_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/jsk_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsk_attacks.dir/clocks.cpp.o"
+  "CMakeFiles/jsk_attacks.dir/clocks.cpp.o.d"
+  "CMakeFiles/jsk_attacks.dir/cve_attacks.cpp.o"
+  "CMakeFiles/jsk_attacks.dir/cve_attacks.cpp.o.d"
+  "CMakeFiles/jsk_attacks.dir/harness.cpp.o"
+  "CMakeFiles/jsk_attacks.dir/harness.cpp.o.d"
+  "CMakeFiles/jsk_attacks.dir/raf_attacks.cpp.o"
+  "CMakeFiles/jsk_attacks.dir/raf_attacks.cpp.o.d"
+  "CMakeFiles/jsk_attacks.dir/registry.cpp.o"
+  "CMakeFiles/jsk_attacks.dir/registry.cpp.o.d"
+  "CMakeFiles/jsk_attacks.dir/timing_attacks.cpp.o"
+  "CMakeFiles/jsk_attacks.dir/timing_attacks.cpp.o.d"
+  "libjsk_attacks.a"
+  "libjsk_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsk_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

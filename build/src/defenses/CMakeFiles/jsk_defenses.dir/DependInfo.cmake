@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defenses/chrome_zero.cpp" "src/defenses/CMakeFiles/jsk_defenses.dir/chrome_zero.cpp.o" "gcc" "src/defenses/CMakeFiles/jsk_defenses.dir/chrome_zero.cpp.o.d"
+  "/root/repo/src/defenses/deterfox.cpp" "src/defenses/CMakeFiles/jsk_defenses.dir/deterfox.cpp.o" "gcc" "src/defenses/CMakeFiles/jsk_defenses.dir/deterfox.cpp.o.d"
+  "/root/repo/src/defenses/fuzzyfox.cpp" "src/defenses/CMakeFiles/jsk_defenses.dir/fuzzyfox.cpp.o" "gcc" "src/defenses/CMakeFiles/jsk_defenses.dir/fuzzyfox.cpp.o.d"
+  "/root/repo/src/defenses/jskernel.cpp" "src/defenses/CMakeFiles/jsk_defenses.dir/jskernel.cpp.o" "gcc" "src/defenses/CMakeFiles/jsk_defenses.dir/jskernel.cpp.o.d"
+  "/root/repo/src/defenses/legacy.cpp" "src/defenses/CMakeFiles/jsk_defenses.dir/legacy.cpp.o" "gcc" "src/defenses/CMakeFiles/jsk_defenses.dir/legacy.cpp.o.d"
+  "/root/repo/src/defenses/registry.cpp" "src/defenses/CMakeFiles/jsk_defenses.dir/registry.cpp.o" "gcc" "src/defenses/CMakeFiles/jsk_defenses.dir/registry.cpp.o.d"
+  "/root/repo/src/defenses/tor.cpp" "src/defenses/CMakeFiles/jsk_defenses.dir/tor.cpp.o" "gcc" "src/defenses/CMakeFiles/jsk_defenses.dir/tor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/jsk_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/jsk_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

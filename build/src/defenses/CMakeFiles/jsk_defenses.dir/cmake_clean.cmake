@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsk_defenses.dir/chrome_zero.cpp.o"
+  "CMakeFiles/jsk_defenses.dir/chrome_zero.cpp.o.d"
+  "CMakeFiles/jsk_defenses.dir/deterfox.cpp.o"
+  "CMakeFiles/jsk_defenses.dir/deterfox.cpp.o.d"
+  "CMakeFiles/jsk_defenses.dir/fuzzyfox.cpp.o"
+  "CMakeFiles/jsk_defenses.dir/fuzzyfox.cpp.o.d"
+  "CMakeFiles/jsk_defenses.dir/jskernel.cpp.o"
+  "CMakeFiles/jsk_defenses.dir/jskernel.cpp.o.d"
+  "CMakeFiles/jsk_defenses.dir/legacy.cpp.o"
+  "CMakeFiles/jsk_defenses.dir/legacy.cpp.o.d"
+  "CMakeFiles/jsk_defenses.dir/registry.cpp.o"
+  "CMakeFiles/jsk_defenses.dir/registry.cpp.o.d"
+  "CMakeFiles/jsk_defenses.dir/tor.cpp.o"
+  "CMakeFiles/jsk_defenses.dir/tor.cpp.o.d"
+  "libjsk_defenses.a"
+  "libjsk_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsk_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/dispatcher.cpp" "src/kernel/CMakeFiles/jsk_kernel.dir/dispatcher.cpp.o" "gcc" "src/kernel/CMakeFiles/jsk_kernel.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/kernel/event_queue.cpp" "src/kernel/CMakeFiles/jsk_kernel.dir/event_queue.cpp.o" "gcc" "src/kernel/CMakeFiles/jsk_kernel.dir/event_queue.cpp.o.d"
+  "/root/repo/src/kernel/journal.cpp" "src/kernel/CMakeFiles/jsk_kernel.dir/journal.cpp.o" "gcc" "src/kernel/CMakeFiles/jsk_kernel.dir/journal.cpp.o.d"
+  "/root/repo/src/kernel/json.cpp" "src/kernel/CMakeFiles/jsk_kernel.dir/json.cpp.o" "gcc" "src/kernel/CMakeFiles/jsk_kernel.dir/json.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/jsk_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/jsk_kernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernel/kevent.cpp" "src/kernel/CMakeFiles/jsk_kernel.dir/kevent.cpp.o" "gcc" "src/kernel/CMakeFiles/jsk_kernel.dir/kevent.cpp.o.d"
+  "/root/repo/src/kernel/policies.cpp" "src/kernel/CMakeFiles/jsk_kernel.dir/policies.cpp.o" "gcc" "src/kernel/CMakeFiles/jsk_kernel.dir/policies.cpp.o.d"
+  "/root/repo/src/kernel/policy_spec.cpp" "src/kernel/CMakeFiles/jsk_kernel.dir/policy_spec.cpp.o" "gcc" "src/kernel/CMakeFiles/jsk_kernel.dir/policy_spec.cpp.o.d"
+  "/root/repo/src/kernel/policy_synthesis.cpp" "src/kernel/CMakeFiles/jsk_kernel.dir/policy_synthesis.cpp.o" "gcc" "src/kernel/CMakeFiles/jsk_kernel.dir/policy_synthesis.cpp.o.d"
+  "/root/repo/src/kernel/prediction.cpp" "src/kernel/CMakeFiles/jsk_kernel.dir/prediction.cpp.o" "gcc" "src/kernel/CMakeFiles/jsk_kernel.dir/prediction.cpp.o.d"
+  "/root/repo/src/kernel/scheduler.cpp" "src/kernel/CMakeFiles/jsk_kernel.dir/scheduler.cpp.o" "gcc" "src/kernel/CMakeFiles/jsk_kernel.dir/scheduler.cpp.o.d"
+  "/root/repo/src/kernel/thread_manager.cpp" "src/kernel/CMakeFiles/jsk_kernel.dir/thread_manager.cpp.o" "gcc" "src/kernel/CMakeFiles/jsk_kernel.dir/thread_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/jsk_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jsk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsk_kernel.dir/dispatcher.cpp.o"
+  "CMakeFiles/jsk_kernel.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/jsk_kernel.dir/event_queue.cpp.o"
+  "CMakeFiles/jsk_kernel.dir/event_queue.cpp.o.d"
+  "CMakeFiles/jsk_kernel.dir/journal.cpp.o"
+  "CMakeFiles/jsk_kernel.dir/journal.cpp.o.d"
+  "CMakeFiles/jsk_kernel.dir/json.cpp.o"
+  "CMakeFiles/jsk_kernel.dir/json.cpp.o.d"
+  "CMakeFiles/jsk_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/jsk_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/jsk_kernel.dir/kevent.cpp.o"
+  "CMakeFiles/jsk_kernel.dir/kevent.cpp.o.d"
+  "CMakeFiles/jsk_kernel.dir/policies.cpp.o"
+  "CMakeFiles/jsk_kernel.dir/policies.cpp.o.d"
+  "CMakeFiles/jsk_kernel.dir/policy_spec.cpp.o"
+  "CMakeFiles/jsk_kernel.dir/policy_spec.cpp.o.d"
+  "CMakeFiles/jsk_kernel.dir/policy_synthesis.cpp.o"
+  "CMakeFiles/jsk_kernel.dir/policy_synthesis.cpp.o.d"
+  "CMakeFiles/jsk_kernel.dir/prediction.cpp.o"
+  "CMakeFiles/jsk_kernel.dir/prediction.cpp.o.d"
+  "CMakeFiles/jsk_kernel.dir/scheduler.cpp.o"
+  "CMakeFiles/jsk_kernel.dir/scheduler.cpp.o.d"
+  "CMakeFiles/jsk_kernel.dir/thread_manager.cpp.o"
+  "CMakeFiles/jsk_kernel.dir/thread_manager.cpp.o.d"
+  "libjsk_kernel.a"
+  "libjsk_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsk_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

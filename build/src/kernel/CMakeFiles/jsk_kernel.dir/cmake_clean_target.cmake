@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjsk_kernel.a"
+)

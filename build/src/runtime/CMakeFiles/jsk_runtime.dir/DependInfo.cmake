@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/browser.cpp" "src/runtime/CMakeFiles/jsk_runtime.dir/browser.cpp.o" "gcc" "src/runtime/CMakeFiles/jsk_runtime.dir/browser.cpp.o.d"
+  "/root/repo/src/runtime/context.cpp" "src/runtime/CMakeFiles/jsk_runtime.dir/context.cpp.o" "gcc" "src/runtime/CMakeFiles/jsk_runtime.dir/context.cpp.o.d"
+  "/root/repo/src/runtime/dom.cpp" "src/runtime/CMakeFiles/jsk_runtime.dir/dom.cpp.o" "gcc" "src/runtime/CMakeFiles/jsk_runtime.dir/dom.cpp.o.d"
+  "/root/repo/src/runtime/js_value.cpp" "src/runtime/CMakeFiles/jsk_runtime.dir/js_value.cpp.o" "gcc" "src/runtime/CMakeFiles/jsk_runtime.dir/js_value.cpp.o.d"
+  "/root/repo/src/runtime/profile.cpp" "src/runtime/CMakeFiles/jsk_runtime.dir/profile.cpp.o" "gcc" "src/runtime/CMakeFiles/jsk_runtime.dir/profile.cpp.o.d"
+  "/root/repo/src/runtime/rendering.cpp" "src/runtime/CMakeFiles/jsk_runtime.dir/rendering.cpp.o" "gcc" "src/runtime/CMakeFiles/jsk_runtime.dir/rendering.cpp.o.d"
+  "/root/repo/src/runtime/vuln.cpp" "src/runtime/CMakeFiles/jsk_runtime.dir/vuln.cpp.o" "gcc" "src/runtime/CMakeFiles/jsk_runtime.dir/vuln.cpp.o.d"
+  "/root/repo/src/runtime/worker.cpp" "src/runtime/CMakeFiles/jsk_runtime.dir/worker.cpp.o" "gcc" "src/runtime/CMakeFiles/jsk_runtime.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/jsk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

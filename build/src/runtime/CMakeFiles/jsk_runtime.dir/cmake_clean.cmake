@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsk_runtime.dir/browser.cpp.o"
+  "CMakeFiles/jsk_runtime.dir/browser.cpp.o.d"
+  "CMakeFiles/jsk_runtime.dir/context.cpp.o"
+  "CMakeFiles/jsk_runtime.dir/context.cpp.o.d"
+  "CMakeFiles/jsk_runtime.dir/dom.cpp.o"
+  "CMakeFiles/jsk_runtime.dir/dom.cpp.o.d"
+  "CMakeFiles/jsk_runtime.dir/js_value.cpp.o"
+  "CMakeFiles/jsk_runtime.dir/js_value.cpp.o.d"
+  "CMakeFiles/jsk_runtime.dir/profile.cpp.o"
+  "CMakeFiles/jsk_runtime.dir/profile.cpp.o.d"
+  "CMakeFiles/jsk_runtime.dir/rendering.cpp.o"
+  "CMakeFiles/jsk_runtime.dir/rendering.cpp.o.d"
+  "CMakeFiles/jsk_runtime.dir/vuln.cpp.o"
+  "CMakeFiles/jsk_runtime.dir/vuln.cpp.o.d"
+  "CMakeFiles/jsk_runtime.dir/worker.cpp.o"
+  "CMakeFiles/jsk_runtime.dir/worker.cpp.o.d"
+  "libjsk_runtime.a"
+  "libjsk_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsk_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

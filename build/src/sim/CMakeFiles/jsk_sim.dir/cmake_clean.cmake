@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsk_sim.dir/simulation.cpp.o"
+  "CMakeFiles/jsk_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/jsk_sim.dir/stats.cpp.o"
+  "CMakeFiles/jsk_sim.dir/stats.cpp.o.d"
+  "libjsk_sim.a"
+  "libjsk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsk_workloads.dir/sites.cpp.o"
+  "CMakeFiles/jsk_workloads.dir/sites.cpp.o.d"
+  "libjsk_workloads.a"
+  "libjsk_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsk_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_clocks.dir/attacks/test_clocks.cpp.o"
+  "CMakeFiles/test_attack_clocks.dir/attacks/test_clocks.cpp.o.d"
+  "test_attack_clocks"
+  "test_attack_clocks.pdb"
+  "test_attack_clocks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dom.dir/runtime/test_dom.cpp.o"
+  "CMakeFiles/test_dom.dir/runtime/test_dom.cpp.o.d"
+  "test_dom"
+  "test_dom.pdb"
+  "test_dom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

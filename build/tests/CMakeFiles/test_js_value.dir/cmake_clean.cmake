@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_js_value.dir/runtime/test_js_value.cpp.o"
+  "CMakeFiles/test_js_value.dir/runtime/test_js_value.cpp.o.d"
+  "test_js_value"
+  "test_js_value.pdb"
+  "test_js_value[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_js_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_spec.dir/kernel/test_policy_spec.cpp.o"
+  "CMakeFiles/test_policy_spec.dir/kernel/test_policy_spec.cpp.o.d"
+  "test_policy_spec"
+  "test_policy_spec.pdb"
+  "test_policy_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sab_clock.dir/kernel/test_sab_clock.cpp.o"
+  "CMakeFiles/test_sab_clock.dir/kernel/test_sab_clock.cpp.o.d"
+  "test_sab_clock"
+  "test_sab_clock.pdb"
+  "test_sab_clock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sab_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table1_matrix.dir/attacks/test_table1_matrix.cpp.o"
+  "CMakeFiles/test_table1_matrix.dir/attacks/test_table1_matrix.cpp.o.d"
+  "test_table1_matrix"
+  "test_table1_matrix.pdb"
+  "test_table1_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table1_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_manager.dir/kernel/test_thread_manager.cpp.o"
+  "CMakeFiles/test_thread_manager.dir/kernel/test_thread_manager.cpp.o.d"
+  "test_thread_manager"
+  "test_thread_manager.pdb"
+  "test_thread_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vuln.dir/runtime/test_vuln.cpp.o"
+  "CMakeFiles/test_vuln.dir/runtime/test_vuln.cpp.o.d"
+  "test_vuln"
+  "test_vuln.pdb"
+  "test_vuln[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vuln.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workers.dir/runtime/test_workers.cpp.o"
+  "CMakeFiles/test_workers.dir/runtime/test_workers.cpp.o.d"
+  "test_workers"
+  "test_workers.pdb"
+  "test_workers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

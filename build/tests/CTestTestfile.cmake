@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_simulation[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_js_value[1]_include.cmake")
+include("/root/repo/build/tests/test_context[1]_include.cmake")
+include("/root/repo/build/tests/test_workers[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_dom[1]_include.cmake")
+include("/root/repo/build/tests/test_rendering[1]_include.cmake")
+include("/root/repo/build/tests/test_vuln[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/test_defenses[1]_include.cmake")
+include("/root/repo/build/tests/test_table1_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_browser[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_adversarial[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_attack_clocks[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_policy_spec[1]_include.cmake")
+include("/root/repo/build/tests/test_sab_clock[1]_include.cmake")
+include("/root/repo/build/tests/test_journal[1]_include.cmake")
+include("/root/repo/build/tests/test_program_fuzz[1]_include.cmake")
