@@ -1,0 +1,138 @@
+// explore_cli — command-line driver for the schedule-exploration engine.
+//
+//   explore_cli matrix [walks]             random-walk sweep of the CVE matrix
+//   explore_cli find <cve> [walks] [seed]  hunt a plain-browser triggering
+//                                          schedule, shrink it, replay it
+//   explore_cli replay <cve> <decisions>   replay one decision string against
+//                                          a plain-browser exploit run
+//   explore_cli audit <program-seed> [n]   journal invariance of a random
+//                                          program across n schedules
+//
+// Decision strings are the compact base-36 form printed by the other modes
+// ("021…", "{n}" for indices >= 36); an empty string replays the default
+// schedule.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "attacks/explore_sweep.h"
+#include "defenses/schedule_audit.h"
+#include "sim/explore.h"
+
+namespace {
+
+namespace explore = jsk::sim::explore;
+
+int usage()
+{
+    std::cerr << "usage: explore_cli matrix [walks]\n"
+                 "       explore_cli find <cve> [walks] [seed]\n"
+                 "       explore_cli replay <cve> <decisions>\n"
+                 "       explore_cli audit <program-seed> [schedules]\n";
+    return 2;
+}
+
+int run_matrix(std::uint64_t walks)
+{
+    explore::options opt;
+    opt.seed = 101;
+    const auto rows = jsk::attacks::explore_cve_matrix(walks, opt);
+    std::cout << "cve             plain(trig/run)  jskernel(trig/run)  witness\n";
+    bool table_holds = true;
+    for (const auto& row : rows) {
+        const bool ok = row.plain_triggered > 0 && row.kernel_triggered == 0;
+        table_holds = table_holds && ok;
+        std::cout << row.cve << "   " << row.plain_triggered << "/"
+                  << row.plain_schedules << "  " << row.kernel_triggered << "/"
+                  << row.kernel_schedules << "  "
+                  << (row.witness ? "\"" + row.witness->str() + "\"" : "-")
+                  << (ok ? "" : "   <-- FALSIFIED") << "\n";
+    }
+    std::cout << (table_holds ? "Table I holds under every explored schedule\n"
+                              : "Table I FALSIFIED — see rows above\n");
+    return table_holds ? 0 : 1;
+}
+
+int run_find(const std::string& cve, std::uint64_t walks, std::uint64_t seed)
+{
+    explore::options opt;
+    opt.max_schedules = walks;
+    opt.seed = seed;
+    const auto program = jsk::attacks::cve_trigger_program(cve, /*with_jskernel=*/false);
+    const auto found = explore::explore_random(program, opt);
+    if (!found.failing) {
+        std::cout << cve << ": no triggering schedule in " << found.schedules_run
+                  << " walks (try more walks or another seed)\n";
+        return 1;
+    }
+    std::cout << cve << ": triggered by schedule \"" << found.failing->str() << "\" ("
+              << found.failing->preemptions() << " preemptions)\n";
+
+    auto shrunk = explore::shrink(*found.failing, program, opt);
+    std::cout << "shrunk to \"" << shrunk.str() << "\" (" << shrunk.preemptions()
+              << " preemptions)\n";
+
+    const auto replayed = explore::replay(shrunk, program);
+    std::cout << "replay: " << (replayed.violated ? "still triggers" : "LOST the trigger")
+              << "\n";
+    std::cout << "reproduce with: explore_cli replay " << cve << " \"" << shrunk.str()
+              << "\"\n";
+    return replayed.violated ? 0 : 1;
+}
+
+int run_replay(const std::string& cve, const std::string& decisions)
+{
+    const auto parsed = explore::schedule::parse(decisions);
+    if (!parsed) {
+        std::cerr << "malformed decision string: \"" << decisions << "\"\n";
+        return 2;
+    }
+    const auto program = jsk::attacks::cve_trigger_program(cve, /*with_jskernel=*/false);
+    const auto out = explore::replay(*parsed, program);
+    std::cout << cve << " under \"" << parsed->str() << "\": "
+              << (out.violated ? "TRIGGERED" : "not triggered") << "\n";
+    return 0;
+}
+
+int run_audit(std::uint64_t program_seed, std::uint64_t schedules)
+{
+    const auto report = jsk::defenses::audit_schedule_invariance(program_seed, schedules);
+    std::cout << "program seed " << program_seed << ": " << report.schedules_run
+              << " schedules, "
+              << (report.identical ? "journal + observations identical on all"
+                                   : "DIVERGED")
+              << "\n";
+    if (!report.identical) {
+        std::cout << report.detail << "\nfailing schedule: \""
+                  << (report.failing ? report.failing->str() : std::string()) << "\"\n";
+    }
+    return report.identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc < 2) return usage();
+    const std::string mode = argv[1];
+    try {
+        if (mode == "matrix") {
+            return run_matrix(argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16);
+        }
+        if (mode == "find" && argc >= 3) {
+            return run_find(argv[2],
+                            argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 32,
+                            argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 11);
+        }
+        if (mode == "replay" && argc >= 4) return run_replay(argv[2], argv[3]);
+        if (mode == "audit" && argc >= 3) {
+            return run_audit(std::strtoull(argv[2], nullptr, 10),
+                             argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 100);
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+    return usage();
+}

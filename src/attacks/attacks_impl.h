@@ -121,4 +121,10 @@ std::vector<std::unique_ptr<attack>> all_cve_attacks();
 /// triggered.
 int run_cve_suite_with_kernel(const jsk::kernel::kernel_options& opts);
 
+/// The documented exploit drivers keyed by CVE id, paper order — direct
+/// access for harnesses that must control the browser themselves (the
+/// schedule-exploration sweep in explore_sweep.h).
+using cve_exploit_fn = void (*)(rt::browser&);
+const std::vector<std::pair<std::string, cve_exploit_fn>>& cve_exploit_table();
+
 }  // namespace jsk::attacks

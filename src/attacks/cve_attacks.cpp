@@ -176,6 +176,13 @@ constexpr std::pair<const char*, exploit_fn> cve_table[] = {
 
 }  // namespace
 
+const std::vector<std::pair<std::string, cve_exploit_fn>>& cve_exploit_table()
+{
+    static const std::vector<std::pair<std::string, cve_exploit_fn>> table(
+        std::begin(cve_table), std::end(cve_table));
+    return table;
+}
+
 int run_cve_suite_with_kernel(const jsk::kernel::kernel_options& opts)
 {
     int triggered = 0;

@@ -1,0 +1,100 @@
+#include "attacks/explore_sweep.h"
+
+#include <stdexcept>
+
+#include "attacks/attacks_impl.h"
+#include "defenses/defense.h"
+#include "runtime/vuln.h"
+
+namespace jsk::attacks {
+
+namespace {
+
+cve_exploit_fn find_exploit(const std::string& cve_id)
+{
+    for (const auto& [id, fn] : cve_exploit_table()) {
+        if (id == cve_id) return fn;
+    }
+    throw std::invalid_argument("unknown CVE id: " + cve_id);
+}
+
+}  // namespace
+
+std::vector<std::string> cve_ids()
+{
+    std::vector<std::string> out;
+    for (const auto& [id, fn] : cve_exploit_table()) out.push_back(id);
+    return out;
+}
+
+bool run_cve_trial(const std::string& cve_id, bool with_jskernel,
+                   sim::explore::controller& ctl, std::uint64_t browser_seed)
+{
+    const cve_exploit_fn exploit = find_exploit(cve_id);
+    rt::browser b(rt::chrome_profile(), browser_seed);
+    rt::vuln_registry vulns(b.bus());
+    // Attach before the defense installs so every task — including kernel
+    // bookkeeping — runs under the controlled schedule.
+    ctl.attach(b.sim());
+    std::unique_ptr<defenses::defense> def;
+    if (with_jskernel) {
+        def = defenses::make_defense(defenses::defense_id::jskernel, browser_seed);
+        def->install(b);
+    }
+    exploit(b);
+    b.run_until(60 * sim::sec);
+    const rt::cve_monitor* monitor = vulns.find(cve_id);
+    return monitor != nullptr && monitor->triggered();
+}
+
+sim::explore::program cve_trigger_program(std::string cve_id, bool with_jskernel,
+                                          std::uint64_t browser_seed)
+{
+    return [cve_id = std::move(cve_id), with_jskernel,
+            browser_seed](sim::explore::controller& ctl) {
+        sim::explore::run_outcome out;
+        out.violated = run_cve_trial(cve_id, with_jskernel, ctl, browser_seed);
+        if (out.violated) out.detail = cve_id + " triggered";
+        return out;
+    };
+}
+
+std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
+                                                 const sim::explore::options& opt)
+{
+    std::vector<cve_schedule_row> rows;
+    for (const auto& id : cve_ids()) {
+        cve_schedule_row row;
+        row.cve = id;
+        for (const bool with_kernel : {false, true}) {
+            for (std::uint64_t walk = 0; walk < walks_per_cell; ++walk) {
+                // Walk 0 is the default schedule; the rest are seeded walks.
+                sim::explore::controller ctl(
+                    {},
+                    walk == 0 ? sim::explore::controller::tail_policy::first
+                              : sim::explore::controller::tail_policy::random,
+                    opt.seed + walk);
+                ctl.set_window(opt.window);
+                const bool triggered = run_cve_trial(id, with_kernel, ctl);
+                if (with_kernel) {
+                    ++row.kernel_schedules;
+                    if (triggered) ++row.kernel_triggered;
+                } else {
+                    ++row.plain_schedules;
+                    if (triggered) {
+                        ++row.plain_triggered;
+                        if (!row.witness) {
+                            auto witness = ctl.decisions();
+                            witness.trim();
+                            row.witness = std::move(witness);
+                        }
+                    }
+                }
+            }
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+}  // namespace jsk::attacks

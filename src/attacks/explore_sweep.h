@@ -1,0 +1,47 @@
+// Schedule-exploration entry points for the Table I CVE matrix.
+//
+// The trustworthiness claim the explorer backs: each CVE state machine
+// reports `triggered` under *some* plain-browser schedule, and under *no*
+// JSKernel schedule — not just under the one interleaving the scripted
+// exploit happens to produce. A trial here is one controlled-schedule run of
+// the documented exploit with the vulnerability monitors attached.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/explore.h"
+
+namespace jsk::attacks {
+
+/// Ids of the modelled CVE rows, paper order.
+std::vector<std::string> cve_ids();
+
+/// One controlled-schedule trial: fresh browser (optionally with JSKernel
+/// booted), monitors attached, the documented exploit, run to quiescence.
+/// Returns whether `cve_id`'s state machine fired. Throws on unknown ids.
+bool run_cve_trial(const std::string& cve_id, bool with_jskernel,
+                   sim::explore::controller& ctl, std::uint64_t browser_seed = 17);
+
+/// An explore::program wrapping run_cve_trial whose "violation" is the CVE
+/// firing — explore_random/explore_dfs/shrink then search for (or minimize)
+/// a triggering schedule.
+sim::explore::program cve_trigger_program(std::string cve_id, bool with_jskernel,
+                                          std::uint64_t browser_seed = 17);
+
+struct cve_schedule_row {
+    std::string cve;
+    std::uint64_t plain_schedules = 0;
+    std::uint64_t plain_triggered = 0;
+    std::uint64_t kernel_schedules = 0;
+    std::uint64_t kernel_triggered = 0;  // any nonzero value falsifies Table I
+    std::optional<sim::explore::schedule> witness;  // a triggering plain schedule
+};
+
+/// Random-walk schedule sweep over every CVE row, plain and under JSKernel.
+std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
+                                                 const sim::explore::options& opt = {});
+
+}  // namespace jsk::attacks

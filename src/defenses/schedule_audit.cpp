@@ -1,0 +1,65 @@
+#include "defenses/schedule_audit.h"
+
+#include "kernel/kernel.h"
+#include "workloads/random_program.h"
+
+namespace jsk::defenses {
+
+namespace {
+
+struct audit_run {
+    std::string observations;
+    jsk::kernel::journal journal;
+};
+
+audit_run run_once(std::uint64_t program_seed, sim::explore::controller& ctl)
+{
+    rt::browser b(rt::chrome_profile());
+    ctl.attach(b.sim());
+    auto k = jsk::kernel::kernel::boot(b);
+    auto log = std::make_shared<workloads::observation_log>();
+    workloads::install_random_program(b, program_seed, log);
+    b.run_until(60 * sim::sec, 5'000'000);
+    return audit_run{log->str(), k->dispatch_journal()};
+}
+
+}  // namespace
+
+audit_report audit_schedule_invariance(std::uint64_t program_seed,
+                                       std::uint64_t schedules, std::uint64_t walk_seed,
+                                       sim::time_ns window)
+{
+    audit_report report;
+
+    sim::explore::controller reference_ctl({}, sim::explore::controller::tail_policy::first);
+    reference_ctl.set_window(window);
+    const audit_run reference = run_once(program_seed, reference_ctl);
+    ++report.schedules_run;
+
+    for (std::uint64_t walk = 1; walk < schedules; ++walk) {
+        sim::explore::controller ctl({}, sim::explore::controller::tail_policy::random,
+                                     walk_seed + walk);
+        ctl.set_window(window);
+        const audit_run run = run_once(program_seed, ctl);
+        ++report.schedules_run;
+
+        std::string detail;
+        if (run.observations != reference.observations) {
+            detail = "observation logs diverge:\n  reference: " + reference.observations +
+                     "\n  explored:  " + run.observations;
+        } else if (!(run.journal == reference.journal)) {
+            detail = reference.journal.diff_description(run.journal);
+        }
+        if (!detail.empty()) {
+            report.identical = false;
+            report.detail = std::move(detail);
+            auto failing = ctl.decisions();
+            failing.trim();
+            report.failing = std::move(failing);
+            return report;
+        }
+    }
+    return report;
+}
+
+}  // namespace jsk::defenses

@@ -1,0 +1,36 @@
+// Schedule-invariance audit for the JSKernel defense.
+//
+// Invariant (a) of the exploration harness: under JSKernel, every explored
+// schedule of a program yields an identical kernel journal and observation
+// log. The audit runs one seeded random program (workloads/random_program.h)
+// under N explored schedules — the default schedule first, then seeded random
+// walks — and compares every run against the first. Any divergence comes
+// back with the offending decision string, ready for explore::replay and
+// explore::shrink.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/explore.h"
+#include "sim/time.h"
+
+namespace jsk::defenses {
+
+struct audit_report {
+    std::uint64_t schedules_run = 0;
+    bool identical = true;
+    std::string detail;  // journal/observation divergence description
+    std::optional<sim::explore::schedule> failing;  // schedule that diverged
+};
+
+/// Run the random program `program_seed` under `schedules` explored
+/// schedules with JSKernel booted; journals and observation logs must all
+/// match the default-schedule reference run.
+audit_report audit_schedule_invariance(std::uint64_t program_seed,
+                                       std::uint64_t schedules,
+                                       std::uint64_t walk_seed = 1,
+                                       sim::time_ns window = 0);
+
+}  // namespace jsk::defenses

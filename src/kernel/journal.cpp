@@ -30,4 +30,24 @@ std::size_t journal::first_divergence(const journal& other) const
     return npos;
 }
 
+std::string journal::diff_description(const journal& other) const
+{
+    const std::size_t at = first_divergence(other);
+    if (at == npos) return {};
+
+    const auto describe = [](const std::vector<journal_entry>& entries, std::size_t i) {
+        if (i >= entries.size()) return std::string("<end of journal>");
+        const auto& e = entries[i];
+        std::ostringstream os;
+        os << to_string(e.type) << " \"" << e.label << "\" @" << e.predicted_time;
+        return os.str();
+    };
+
+    std::ostringstream os;
+    os << "journals diverge at seq " << at << ": " << describe(entries_, at) << " vs "
+       << describe(other.entries_, at) << " (sizes " << entries_.size() << "/"
+       << other.entries_.size() << ")";
+    return os.str();
+}
+
 }  // namespace jsk::kernel

@@ -57,6 +57,11 @@ public:
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
     [[nodiscard]] std::size_t first_divergence(const journal& other) const;
 
+    /// Human-readable account of the first divergence against `other`
+    /// ("" when the timelines are identical). The schedule-exploration
+    /// harness surfaces this next to a failing decision string.
+    [[nodiscard]] std::string diff_description(const journal& other) const;
+
 private:
     std::vector<journal_entry> entries_;
     std::uint64_t next_seq_ = 0;

@@ -26,22 +26,37 @@ public:
     void tick(std::uint64_t n = 1)
     {
         ticks_ += n;
-        now_ += static_cast<ktime>(n) * tick_ms_;
+        ticks_since_base_ += n;
     }
 
     /// Ticking API: advance *to* a specific kernel time (dispatch advances
     /// to the event's predicted time; never moves backwards).
-    void tick_to(ktime t) { now_ = std::max(now_, t); }
+    void tick_to(ktime t)
+    {
+        if (t > display()) {
+            base_ = t;
+            ticks_since_base_ = 0;
+        }
+    }
 
     /// Displaying API: the current kernel time in kernel milliseconds.
-    [[nodiscard]] ktime display() const { return now_; }
+    /// Derived from the integer tick count, never accumulated in floating
+    /// point: the same (dispatch frontier, tick count) pair displays the
+    /// bit-identical time on every run, regardless of how the ticks were
+    /// batched or interleaved. Journal comparison across explored schedules
+    /// depends on this.
+    [[nodiscard]] ktime display() const
+    {
+        return base_ + static_cast<ktime>(ticks_since_base_) * tick_ms_;
+    }
 
     [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
     [[nodiscard]] ktime tick_length() const { return tick_ms_; }
 
 private:
     ktime tick_ms_;
-    ktime now_ = 0.0;
+    ktime base_ = 0.0;                   // last dominating dispatch time
+    std::uint64_t ticks_since_base_ = 0; // ticks displayed on top of it
     std::uint64_t ticks_ = 0;
 };
 

@@ -1,0 +1,271 @@
+#include "sim/explore.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace jsk::sim::explore {
+
+// --- schedule ------------------------------------------------------------------
+
+namespace {
+
+constexpr char digits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+
+}  // namespace
+
+std::string schedule::str() const
+{
+    std::string out;
+    for (const auto choice : choices) {
+        if (choice < 36) {
+            out.push_back(digits[choice]);
+        } else {
+            out.push_back('{');
+            out += std::to_string(choice);
+            out.push_back('}');
+        }
+    }
+    return out;
+}
+
+std::optional<schedule> schedule::parse(const std::string& text)
+{
+    schedule out;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c >= '0' && c <= '9') {
+            out.choices.push_back(static_cast<std::uint32_t>(c - '0'));
+        } else if (c >= 'a' && c <= 'z') {
+            out.choices.push_back(static_cast<std::uint32_t>(c - 'a' + 10));
+        } else if (c == '{') {
+            const auto close = text.find('}', i);
+            if (close == std::string::npos || close == i + 1) return std::nullopt;
+            std::uint32_t value = 0;
+            for (std::size_t j = i + 1; j < close; ++j) {
+                if (text[j] < '0' || text[j] > '9') return std::nullopt;
+                value = value * 10 + static_cast<std::uint32_t>(text[j] - '0');
+            }
+            out.choices.push_back(value);
+            i = close;
+        } else {
+            return std::nullopt;
+        }
+    }
+    return out;
+}
+
+std::size_t schedule::preemptions() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(choices.begin(), choices.end(), [](auto c) { return c != 0; }));
+}
+
+void schedule::trim()
+{
+    while (!choices.empty() && choices.back() == 0) choices.pop_back();
+}
+
+// --- controller ----------------------------------------------------------------
+
+std::size_t controller::choose(const std::vector<sched_candidate>& candidates)
+{
+    const std::size_t point = recorded_.choices.size();
+    std::size_t pick = 0;
+    if (point < prefix_.choices.size()) {
+        pick = prefix_.choices[point];
+        if (pick >= candidates.size()) {
+            diverged_ = true;
+            pick = 0;
+        }
+    } else if (tail_ == tail_policy::random) {
+        pick = static_cast<std::size_t>(
+            walk_.uniform(0, static_cast<std::int64_t>(candidates.size()) - 1));
+    }
+
+    recorded_.choices.push_back(static_cast<std::uint32_t>(pick));
+    decision d;
+    d.chosen = static_cast<std::uint32_t>(pick);
+    d.count = static_cast<std::uint32_t>(candidates.size());
+    d.threads.reserve(candidates.size());
+    d.tasks.reserve(candidates.size());
+    for (const auto& candidate : candidates) {
+        d.threads.push_back(candidate.thread);
+        d.tasks.push_back(candidate.id);
+    }
+    trace_.push_back(std::move(d));
+    return pick;
+}
+
+void controller::on_post(task_id posted, thread_id target, task_id poster)
+{
+    (void)posted;
+    if (poster == 0) return;
+    auto& footprint = posts_[poster];
+    if (std::find(footprint.begin(), footprint.end(), target) == footprint.end()) {
+        footprint.push_back(target);
+    }
+}
+
+const std::vector<thread_id>* controller::footprint(task_id task) const
+{
+    const auto it = posts_.find(task);
+    return it == posts_.end() ? nullptr : &it->second;
+}
+
+// --- drivers -------------------------------------------------------------------
+
+result explore_random(const program& p, const options& opt)
+{
+    result res;
+    for (std::uint64_t walk = 0; walk < opt.max_schedules; ++walk) {
+        // Walk 0 is the default schedule (all-first); the rest are seeded.
+        controller ctl({}, walk == 0 ? controller::tail_policy::first
+                                     : controller::tail_policy::random,
+                       opt.seed + walk);
+        ctl.set_window(opt.window);
+        const run_outcome out = p(ctl);
+        ++res.schedules_run;
+        if (out.violated) {
+            schedule failing = ctl.decisions();
+            failing.trim();
+            res.failing = std::move(failing);
+            res.failure_detail = out.detail;
+            return res;
+        }
+    }
+    return res;
+}
+
+namespace {
+
+/// DPOR-lite independence: two co-enabled tasks commute when they run on
+/// different threads and, per the footprints observed in this run, neither
+/// posted to the other's thread. (Each thread's busy window is unaffected by
+/// the order of same-start tasks on *other* threads, so swapping them yields
+/// an equivalent simulator trace.) Unknown footprints (task never ran) are
+/// treated as dependent — no pruning.
+bool independent(const controller& ctl, const decision& d, std::size_t a, std::size_t b)
+{
+    if (d.threads[a] == d.threads[b]) return false;
+    const auto* fa = ctl.footprint(d.tasks[a]);
+    const auto* fb = ctl.footprint(d.tasks[b]);
+    const auto posts_to = [](const std::vector<thread_id>* fp, thread_id t) {
+        return fp != nullptr && std::find(fp->begin(), fp->end(), t) != fp->end();
+    };
+    if (posts_to(fa, d.threads[b]) || posts_to(fb, d.threads[a])) return false;
+    return true;
+}
+
+}  // namespace
+
+result explore_dfs(const program& p, const options& opt)
+{
+    result res;
+    std::vector<schedule> work{schedule{}};
+    while (!work.empty()) {
+        if (res.schedules_run >= opt.max_schedules) return res;  // not exhausted
+        schedule prefix = std::move(work.back());
+        work.pop_back();
+
+        controller ctl(prefix, controller::tail_policy::first);
+        ctl.set_window(opt.window);
+        const run_outcome out = p(ctl);
+        ++res.schedules_run;
+        if (out.violated) {
+            schedule failing = ctl.decisions();
+            failing.trim();
+            res.failing = std::move(failing);
+            res.failure_detail = out.detail;
+            return res;
+        }
+
+        // Expand alternatives at every branching point this run reached
+        // beyond its prescribed prefix. Each child prefix is generated
+        // exactly once across the whole tree.
+        const auto& trace = ctl.trace();
+        const auto& taken = ctl.decisions().choices;
+        std::size_t preemptions_before = prefix.preemptions();
+        for (std::size_t point = prefix.choices.size(); point < trace.size(); ++point) {
+            const decision& d = trace[point];
+            for (std::uint32_t alt = 1; alt < d.count; ++alt) {
+                if (alt == d.chosen) continue;
+                if (preemptions_before + 1 > opt.preemption_budget) {
+                    ++res.pruned;
+                    continue;
+                }
+                if (opt.dpor && independent(ctl, d, d.chosen, alt)) {
+                    ++res.pruned;
+                    continue;
+                }
+                schedule child;
+                child.choices.assign(taken.begin(),
+                                     taken.begin() + static_cast<std::ptrdiff_t>(point));
+                child.choices.push_back(alt);
+                work.push_back(std::move(child));
+            }
+            if (d.chosen != 0) ++preemptions_before;
+        }
+    }
+    res.exhausted = true;
+    return res;
+}
+
+run_outcome replay(const schedule& s, const program& p, time_ns window)
+{
+    controller ctl(s, controller::tail_policy::first);
+    ctl.set_window(window);
+    return p(ctl);
+}
+
+schedule shrink(const schedule& failing, const program& p, const options& opt)
+{
+    std::uint64_t budget = opt.max_schedules;
+    const auto violates = [&](const schedule& candidate) {
+        if (budget == 0) return false;
+        --budget;
+        return replay(candidate, p, opt.window).violated;
+    };
+
+    schedule current = failing;
+    current.trim();
+
+    // Pass 1: ddmin-style chunk deletion. Removing a decision realigns all
+    // later choices to earlier branching points — the candidate is simply a
+    // different (shorter) schedule, kept only if it still violates.
+    std::size_t chunk = std::max<std::size_t>(current.choices.size() / 2, 1);
+    while (chunk >= 1 && !current.choices.empty()) {
+        bool shrunk = false;
+        for (std::size_t start = 0; start < current.choices.size();) {
+            schedule candidate = current;
+            const auto first = candidate.choices.begin() +
+                               static_cast<std::ptrdiff_t>(start);
+            const auto last =
+                candidate.choices.begin() +
+                static_cast<std::ptrdiff_t>(std::min(start + chunk, candidate.choices.size()));
+            candidate.choices.erase(first, last);
+            if (violates(candidate)) {
+                current = std::move(candidate);
+                shrunk = true;
+            } else {
+                start += chunk;
+            }
+        }
+        if (!shrunk) {
+            if (chunk == 1) break;
+            chunk /= 2;
+        }
+    }
+
+    // Pass 2: zero out individual non-default choices.
+    for (std::size_t i = 0; i < current.choices.size(); ++i) {
+        if (current.choices[i] == 0) continue;
+        schedule candidate = current;
+        candidate.choices[i] = 0;
+        if (violates(candidate)) current = std::move(candidate);
+    }
+
+    current.trim();
+    return current;
+}
+
+}  // namespace jsk::sim::explore

@@ -1,0 +1,173 @@
+// jsk::sim::explore — the schedule-exploration engine.
+//
+// JSKernel's headline claim is scheduling-order invariance: the observable
+// timeline is a pure function of the program, regardless of how the engine
+// interleaves cross-thread events. Hand-picked interleavings don't test that
+// claim; the interesting behaviours live in rare schedules (Loophole,
+// Deterministic Browser). This subsystem turns the DES into a controlled
+// scheduler: at every scheduling point where several pending tasks are
+// co-enabled (equal effective start, or within a commutativity window), a
+// pluggable policy picks the next task.
+//
+//  * Every explored schedule is a compact *decision string* ("0201…"): the
+//    index chosen among the sorted co-enabled candidates at each branching
+//    point. Any failure replays bit-for-bit from its string.
+//  * `explore_dfs` enumerates schedules exhaustively for small programs,
+//    bounded by a preemption budget and (optionally) DPOR-lite pruning of
+//    independent thread pairs.
+//  * `explore_random` takes seeded random walks through the schedule space
+//    for large programs.
+//  * `shrink` delta-debugs a failing decision string down to the shortest
+//    schedule that still violates the invariant.
+//
+// The program under test is a callback that builds a fresh world (usually an
+// rt::browser), attaches the given controller to its simulation, runs, and
+// reports whether the invariant under test was violated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace jsk::sim::explore {
+
+/// A schedule is the compact decision string. Choice k is the candidate
+/// index taken at the k-th *branching* point (scheduling points with a single
+/// candidate are not recorded). Runs that consume the whole string follow
+/// the tail policy (first candidate for replay) from there on.
+struct schedule {
+    std::vector<std::uint32_t> choices;
+
+    /// "02a1" — one base-36 digit per choice; indices >= 36 appear as "{n}".
+    [[nodiscard]] std::string str() const;
+
+    /// Inverse of str(); nullopt on malformed input.
+    static std::optional<schedule> parse(const std::string& text);
+
+    /// Number of non-default choices — the "preemption" count that bounds
+    /// DFS depth and that the shrinker minimizes.
+    [[nodiscard]] std::size_t preemptions() const;
+
+    /// Drop trailing zeros (a replay regenerates them as the tail default).
+    void trim();
+
+    bool operator==(const schedule&) const = default;
+};
+
+/// Everything recorded at one branching point, for DFS expansion and
+/// diagnostics.
+struct decision {
+    std::uint32_t chosen = 0;
+    std::uint32_t count = 0;
+    std::vector<thread_id> threads;  // candidate threads, in offered order
+    std::vector<task_id> tasks;      // candidate task ids, in offered order
+};
+
+/// Drives one run: replays a prescribed prefix of decisions, then follows a
+/// tail policy (first candidate, or seeded-random), recording the complete
+/// decision string plus per-point metadata.
+class controller final : public schedule_hook {
+public:
+    enum class tail_policy { first, random };
+
+    explicit controller(schedule prefix = {}, tail_policy tail = tail_policy::first,
+                        std::uint64_t seed = 0)
+        : prefix_(std::move(prefix)), tail_(tail), walk_(seed)
+    {
+    }
+
+    /// Widen co-enabling: offer tasks whose effective start is within
+    /// `window` of the earliest. Set before attach().
+    void set_window(time_ns window) { window_ = window; }
+    [[nodiscard]] time_ns window() const { return window_; }
+
+    /// Install onto `sim`. The controller must outlive the run.
+    void attach(simulation& sim) { sim.set_schedule_hook(this, window_); }
+
+    // schedule_hook
+    std::size_t choose(const std::vector<sched_candidate>& candidates) override;
+    void on_post(task_id posted, thread_id target, task_id poster) override;
+
+    /// The complete decision string this run actually took.
+    [[nodiscard]] const schedule& decisions() const { return recorded_; }
+    [[nodiscard]] const std::vector<decision>& trace() const { return trace_; }
+
+    /// True once the run has consumed the whole prescribed prefix.
+    [[nodiscard]] bool prefix_exhausted() const
+    {
+        return recorded_.choices.size() >= prefix_.choices.size();
+    }
+
+    /// True when a prescribed choice was out of range for the candidates
+    /// actually offered — the replayed program diverged from the recording.
+    [[nodiscard]] bool replay_diverged() const { return diverged_; }
+
+    /// Threads that `task`'s callback posted to, nullptr when the task never
+    /// posted (or never ran). Consumed by DPOR-lite independence checks.
+    [[nodiscard]] const std::vector<thread_id>* footprint(task_id task) const;
+
+private:
+    schedule prefix_;
+    tail_policy tail_;
+    rng walk_;
+    time_ns window_ = 0;
+    bool diverged_ = false;
+    schedule recorded_;
+    std::vector<decision> trace_;
+    std::unordered_map<task_id, std::vector<thread_id>> posts_;
+};
+
+/// Verdict of one complete controlled run.
+struct run_outcome {
+    bool violated = false;
+    std::string detail;  // surfaced with the failing schedule
+};
+
+/// The program under test: build a fresh world, `ctl.attach(world.sim())`,
+/// run to quiescence, check the invariant.
+using program = std::function<run_outcome(controller&)>;
+
+struct options {
+    time_ns window = 0;                 // commutativity window
+    std::uint64_t seed = 1;             // random-walk seed
+    std::uint64_t max_schedules = 256;  // walk count / DFS run bound
+    std::uint32_t preemption_budget = 4;  // DFS: max non-default choices
+    bool dpor = false;  // DFS: prune swaps of independent thread pairs.
+                        // Independence is judged from observed task
+                        // footprints (threads posted to) — sound for pure
+                        // DES programs, heuristic when tasks share state
+                        // outside the simulator (e.g. the browser bus).
+};
+
+struct result {
+    std::uint64_t schedules_run = 0;
+    std::uint64_t pruned = 0;    // DFS: alternatives skipped (budget/DPOR)
+    bool exhausted = false;      // DFS: whole bounded tree explored
+    std::optional<schedule> failing;  // first violating schedule, if any
+    std::string failure_detail;
+};
+
+/// Seeded random walks through the schedule space; stops at the first
+/// violation or after max_schedules walks.
+result explore_random(const program& p, const options& opt = {});
+
+/// Exhaustive DFS over branching points, bounded by the preemption budget;
+/// stops at the first violation. `exhausted` reports whether the bounded
+/// tree was fully covered within max_schedules runs.
+result explore_dfs(const program& p, const options& opt = {});
+
+/// Re-run `p` under exactly `s` (tail defaults to the first candidate).
+run_outcome replay(const schedule& s, const program& p, time_ns window = 0);
+
+/// Delta-debugging: minimize a violating schedule to the shortest decision
+/// string that still violates (chunk deletion, then zeroing of individual
+/// choices). `opt.max_schedules` caps the number of candidate replays.
+schedule shrink(const schedule& failing, const program& p, const options& opt = {});
+
+}  // namespace jsk::sim::explore

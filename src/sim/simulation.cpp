@@ -37,8 +37,11 @@ task_id simulation::post(thread_id thread, time_ns when, std::function<void()> f
     if (!fn) throw std::invalid_argument("simulation::post: empty task function");
     when = std::max(when, now());
     const task_id id = next_task_id_++;
-    pending_.emplace(id, pending_task{thread, when, std::move(fn), std::move(label)});
+    const thread_id source = current_ ? current_->thread : no_thread;
+    pending_.emplace(id,
+                     pending_task{thread, source, when, std::move(fn), std::move(label)});
     queue_.push(queue_entry{when, next_seq_++, id});
+    if (hook_) hook_->on_post(id, thread, current_ ? current_->id : 0);
     return id;
 }
 
@@ -70,8 +73,22 @@ time_ns simulation::busy_until(thread_id thread) const
     return threads_.at(static_cast<std::size_t>(thread)).busy_until;
 }
 
+simulation::observer_handle simulation::add_task_observer(
+    std::function<void(const task_info&)> observer)
+{
+    const observer_handle handle = next_observer_++;
+    observers_.emplace_back(handle, std::move(observer));
+    return handle;
+}
+
+void simulation::remove_task_observer(observer_handle handle)
+{
+    std::erase_if(observers_, [handle](const auto& entry) { return entry.first == handle; });
+}
+
 std::optional<simulation::queue_entry> simulation::next_entry(time_ns deadline)
 {
+    if (hook_) return next_entry_hooked(deadline);
     while (!queue_.empty()) {
         queue_entry entry = queue_.top();
         auto it = pending_.find(entry.id);
@@ -102,6 +119,64 @@ std::optional<simulation::queue_entry> simulation::next_entry(time_ns deadline)
     return std::nullopt;
 }
 
+std::optional<simulation::queue_entry> simulation::next_entry_hooked(time_ns deadline)
+{
+    // Drop tasks whose thread died (the queue-driven path does this lazily).
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (!thread_alive(it->second.thread)) it = pending_.erase(it);
+        else ++it;
+    }
+    if (pending_.empty()) return std::nullopt;
+
+    const auto effective_start = [this](const pending_task& task) {
+        return std::max(task.ready_at,
+                        threads_[static_cast<std::size_t>(task.thread)].busy_until);
+    };
+
+    time_ns earliest = std::numeric_limits<time_ns>::max();
+    for (const auto& [id, task] : pending_) {
+        earliest = std::min(earliest, effective_start(task));
+    }
+    if (earliest > deadline) return std::nullopt;
+
+    std::vector<sched_candidate> candidates;
+    for (const auto& [id, task] : pending_) {
+        const time_ns start = effective_start(task);
+        if (start <= earliest + window_ && start <= deadline) {
+            candidates.push_back(sched_candidate{id, task.thread, start, &task.label});
+        }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const sched_candidate& a, const sched_candidate& b) {
+                  return a.start != b.start ? a.start < b.start : a.id < b.id;
+              });
+
+    // Per-channel FIFO: a cross-thread message must not overtake an earlier
+    // message on the same (source thread -> target thread) channel. Real
+    // message ports deliver in send order, so a schedule that swaps them is
+    // not realizable; offering it would let the explorer "falsify" protocols
+    // (e.g. the kernel channel guard) that legitimately rely on FIFO. An
+    // earlier same-channel task is always co-enabled alongside the later one
+    // (same thread, ready no later), so a pairwise scan over candidates is
+    // complete.
+    std::erase_if(candidates, [&](const sched_candidate& x) {
+        const pending_task& xt = pending_.at(x.id);
+        if (xt.source == no_thread || xt.source == xt.thread) return false;
+        for (const sched_candidate& y : candidates) {
+            if (y.id >= x.id || y.thread != x.thread) continue;
+            const pending_task& yt = pending_.at(y.id);
+            if (yt.source == xt.source && yt.ready_at <= xt.ready_at) return true;
+        }
+        return false;
+    });
+
+    std::size_t pick = candidates.size() > 1 ? hook_->choose(candidates) : 0;
+    if (pick >= candidates.size()) pick = 0;
+    // Stale queue_ entries for this task are skipped on pop if the hook is
+    // ever removed mid-run (pending_ is the source of truth).
+    return queue_entry{candidates[pick].start, 0, candidates[pick].id};
+}
+
 void simulation::execute(const queue_entry& entry)
 {
     auto node = pending_.extract(entry.id);
@@ -118,9 +193,13 @@ void simulation::execute(const queue_entry& entry)
     floor_time_ = std::max(floor_time_, done.start);
     ++executed_;
 
-    if (observer_) {
-        observer_(task_info{done.id, done.thread, task.ready_at, done.start, end,
-                            std::move(task.label)});
+    if (!observers_.empty()) {
+        const task_info info{done.id,   done.thread, task.ready_at,
+                             done.start, end,        std::move(task.label)};
+        // Index loop: observers may be added from inside a callback (they
+        // take effect from the next task); removal from a callback is not
+        // supported.
+        for (std::size_t i = 0; i < observers_.size(); ++i) observers_[i].second(info);
     }
 }
 

@@ -30,7 +30,7 @@ using task_id = std::uint64_t;
 
 inline constexpr thread_id no_thread = -1;
 
-/// Information handed to the task observer after each task completes.
+/// Information handed to the task observers after each task completes.
 /// Loopscan-style attacks and the trace facility consume this.
 struct task_info {
     task_id id = 0;
@@ -39,6 +39,46 @@ struct task_info {
     time_ns start = 0;
     time_ns end = 0;
     std::string label;
+};
+
+/// One runnable candidate offered to the schedule hook at a scheduling point.
+struct sched_candidate {
+    task_id id = 0;
+    thread_id thread = no_thread;
+    time_ns start = 0;  // effective start = max(ready_at, busy_until)
+    const std::string* label = nullptr;
+};
+
+/// Exploration hook (jsk::sim::explore): when installed, the simulator stops
+/// popping strictly by (effective start, post order) and instead, at every
+/// step, offers the set of *co-enabled* pending tasks — those whose effective
+/// start lies within the configured commutativity window of the earliest —
+/// and lets the hook pick which one runs next. Candidates are sorted by
+/// (start, id) so a decision index is stable across identically-prefixed
+/// runs. `choose` is only called when there are >= 2 candidates.
+///
+/// Only *realizable* schedules are offered: two cross-thread messages on the
+/// same channel (same posting thread, same target thread) are never offered
+/// out of post order, matching the per-channel FIFO that real message ports
+/// guarantee and that the kernel's guard protocol assumes. Same-thread posts
+/// (timers) and external posts stay freely reorderable.
+class schedule_hook {
+public:
+    virtual ~schedule_hook() = default;
+
+    /// Pick the next task to run. `candidates` is non-empty; out-of-range
+    /// returns are clamped to 0.
+    virtual std::size_t choose(const std::vector<sched_candidate>& candidates) = 0;
+
+    /// Called for every accepted post. `poster` is the id of the task on the
+    /// stack at post time (0 when posted from outside the simulation) —
+    /// DPOR-lite independence tracking consumes this.
+    virtual void on_post(task_id posted, thread_id target, task_id poster)
+    {
+        (void)posted;
+        (void)target;
+        (void)poster;
+    }
 };
 
 /// The discrete-event simulator. Not thread-safe: it *models* concurrency but
@@ -102,10 +142,24 @@ public:
     /// Number of tasks currently pending.
     [[nodiscard]] std::size_t pending_tasks() const { return pending_.size(); }
 
-    /// Observer invoked after every completed task (loopscan, tracing).
-    void set_task_observer(std::function<void(const task_info&)> observer)
+    /// Observers invoked (in registration order) after every completed task
+    /// (loopscan, tracing, invariant checkers). Observers compose: adding one
+    /// never displaces another. Do not remove observers from inside an
+    /// observer callback.
+    using observer_handle = std::uint64_t;
+    observer_handle add_task_observer(std::function<void(const task_info&)> observer);
+    void remove_task_observer(observer_handle handle);
+
+    /// Install (or clear, with nullptr) the exploration hook. The hook is
+    /// not owned and must outlive the run. `window` widens co-enabling: a
+    /// pending task is offered alongside the earliest one when its effective
+    /// start is within `window` of it. With a hook installed and window > 0,
+    /// global task *start* times may be locally non-monotone; per-message
+    /// causality (observation start >= post time) still holds.
+    void set_schedule_hook(schedule_hook* hook, time_ns window = 0)
     {
-        observer_ = std::move(observer);
+        hook_ = hook;
+        window_ = window;
     }
 
 private:
@@ -117,6 +171,8 @@ private:
 
     struct pending_task {
         thread_id thread = no_thread;
+        thread_id source = no_thread;  // thread of the posting task (no_thread
+                                       // when posted from outside a task)
         time_ns ready_at = 0;
         std::function<void()> fn;
         std::string label;
@@ -144,15 +200,23 @@ private:
     /// next start time exceeds `deadline`.
     std::optional<queue_entry> next_entry(time_ns deadline);
 
+    /// Hook-driven variant: linear scan of pending tasks, candidate window
+    /// assembly, and hook choice (see schedule_hook).
+    std::optional<queue_entry> next_entry_hooked(time_ns deadline);
+
     void execute(const queue_entry& entry);
 
     std::vector<thread_state> threads_;
     std::unordered_map<task_id, pending_task> pending_;
     std::priority_queue<queue_entry, std::vector<queue_entry>, std::greater<>> queue_;
-    std::function<void(const task_info&)> observer_;
+    std::vector<std::pair<observer_handle, std::function<void(const task_info&)>>>
+        observers_;
+    schedule_hook* hook_ = nullptr;
+    time_ns window_ = 0;
     std::optional<running_task> current_;
     task_id next_task_id_ = 1;
     std::uint64_t next_seq_ = 0;
+    std::uint64_t next_observer_ = 1;
     std::uint64_t executed_ = 0;
     time_ns floor_time_ = 0;  // global low-water mark outside tasks
 };

@@ -17,11 +17,24 @@ namespace jsk::sim {
 /// Records every completed task; optionally filtered by thread.
 class trace_recorder {
 public:
-    /// Install onto `sim`. Replaces any previously set observer.
+    ~trace_recorder() { detach(); }
+
+    /// Install onto `sim`. Observers compose — a recorder coexists with
+    /// loopscan or any other task observer. Re-attaching moves the recorder.
     void attach(simulation& sim, thread_id only_thread = no_thread)
     {
+        detach();
         only_thread_ = only_thread;
-        sim.set_task_observer([this](const task_info& info) { on_task(info); });
+        sim_ = &sim;
+        handle_ = sim.add_task_observer([this](const task_info& info) { on_task(info); });
+    }
+
+    /// Stop recording (safe to call when not attached).
+    void detach()
+    {
+        if (sim_ != nullptr) sim_->remove_task_observer(handle_);
+        sim_ = nullptr;
+        handle_ = 0;
     }
 
     void clear() { records_.clear(); }
@@ -64,6 +77,8 @@ private:
     }
 
     thread_id only_thread_ = no_thread;
+    simulation* sim_ = nullptr;
+    simulation::observer_handle handle_ = 0;
     std::vector<task_info> records_;
 };
 

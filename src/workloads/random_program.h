@@ -1,0 +1,36 @@
+// Seeded random "web programs" for determinism fuzzing.
+//
+// A seeded generator produces arbitrary mixes of timers, rAF, fetches, DOM
+// round trips, workers, messages and clock reads against the interposable
+// API surface — exactly as page JavaScript would issue them. The program and
+// everything it observes are a pure function of the seed, which is what lets
+// the determinism fuzzer (tests/properties/test_program_fuzz.cpp) and the
+// schedule-exploration audit (defenses/schedule_audit.h) compare runs across
+// physical perturbations and across explored schedules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "runtime/browser.h"
+
+namespace jsk::workloads {
+
+/// Everything a random program observes, serialized for comparison.
+struct observation_log {
+    std::ostringstream out;
+    void note(const std::string& what, double value) { out << what << "=" << value << ";"; }
+    void note(const std::string& what) { out << what << ";"; }
+    [[nodiscard]] std::string str() const { return out.str(); }
+};
+
+/// Serve the fixture resources (r0..r4), register the echo worker script and
+/// post the seeded random program onto the main context. The caller decides
+/// what to install first (a defense, a schedule controller) and then runs
+/// the simulation to quiescence.
+void install_random_program(rt::browser& b, std::uint64_t program_seed,
+                            std::shared_ptr<observation_log> log);
+
+}  // namespace jsk::workloads

@@ -1,0 +1,114 @@
+// §III-D2 cancellation racing confirmation, driven through the schedule
+// explorer instead of a fixed order. The three cases:
+//   1. cancel before the native trigger confirms  -> event discarded
+//   2. cancel after confirm, before dispatch      -> event discarded
+//   3. cancel after dispatch                      -> cancel ignored, ran
+// The explorer makes the confirm and cancel tasks co-enabled and enumerates
+// every interleaving; each schedule must land in exactly one case with the
+// matching observable outcome.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "kernel/kernel.h"
+#include "sim/explore.h"
+
+namespace {
+
+using namespace jsk::kernel;
+namespace rt = jsk::rt;
+namespace sim = jsk::sim;
+namespace explore = jsk::sim::explore;
+using sim::ms;
+
+/// One controlled run where a confirm and a cancel of the same event are
+/// co-enabled. With `blocked_head`, an earlier-predicted pending event keeps
+/// the dispatcher from running the victim even once confirmed (case 2
+/// becomes reachable; case 3 becomes unreachable).
+struct race_observation {
+    bool cancel_result = false;
+    bool ran = false;
+    bool operator<(const race_observation& other) const
+    {
+        return std::pair(cancel_result, ran) < std::pair(other.cancel_result, other.ran);
+    }
+};
+
+race_observation run_race(explore::controller& ctl, bool blocked_head)
+{
+    rt::browser b(rt::chrome_profile());
+    ctl.attach(b.sim());
+    auto k = kernel::boot(b);
+
+    race_observation seen;
+    auto victim = std::make_shared<std::uint64_t>(0);
+    b.main().post_task(0, [&, victim] {
+        if (blocked_head) {
+            // Registered but never confirmed within the race window: the
+            // dispatcher's predicted-order frontier stalls at 0.5.
+            k->sched().register_at(kevent_type::generic, 0.5, "head", [] {});
+        }
+        *victim = k->sched().register_at(kevent_type::generic, 1.0, "victim",
+                                         [&seen] { seen.ran = true; });
+    });
+    // Both at the same virtual instant on the main thread: the explorer
+    // decides which one the engine services first.
+    b.main().post_task(5 * ms, [&, victim] { k->sched().confirm(*victim); }, "confirm");
+    b.main().post_task(5 * ms,
+                       [&, victim] { seen.cancel_result = k->sched().cancel(*victim); },
+                       "cancel");
+    b.run();
+    return seen;
+}
+
+TEST(cancel_race, every_interleaving_is_consistent_and_all_cases_are_reached)
+{
+    std::set<race_observation> outcomes;
+    const auto result = explore::explore_dfs([&](explore::controller& ctl) {
+        const race_observation seen = run_race(ctl, /*blocked_head=*/false);
+        outcomes.insert(seen);
+        // Per-schedule invariant: the callback ran iff the cancel lost the
+        // race (§III-D2 case 3 is the only way cancel reports failure).
+        EXPECT_EQ(seen.ran, !seen.cancel_result);
+        return explore::run_outcome{};
+    });
+    EXPECT_TRUE(result.exhausted);
+    EXPECT_GE(result.schedules_run, 3u);
+
+    // Coverage: dispatch runs as its own macrotask, so the explorer reaches
+    // every §III-D2 case here:
+    //   cancel, confirm            -> case 1: cancel succeeded, never ran
+    //   confirm, cancel, dispatch  -> case 2: cancelled while ready, never ran
+    //   confirm, dispatch, cancel  -> case 3: cancel ignored, ran
+    // Cases 1 and 2 share one observable (discarded); case 3 the other.
+    EXPECT_TRUE(outcomes.count(race_observation{true, false}))
+        << "cases 1/2 (cancel wins the race) were never explored";
+    EXPECT_TRUE(outcomes.count(race_observation{false, true}))
+        << "case 3 (cancel-after-dispatch) was never explored";
+    EXPECT_EQ(outcomes.size(), 2u);
+}
+
+TEST(cancel_race, blocked_head_makes_every_schedule_discard_the_event)
+{
+    std::set<race_observation> outcomes;
+    const auto result = explore::explore_dfs([&](explore::controller& ctl) {
+        const race_observation seen = run_race(ctl, /*blocked_head=*/true);
+        outcomes.insert(seen);
+        return explore::run_outcome{seen.ran,
+                                    "victim dispatched past an unconfirmed head"};
+    });
+    EXPECT_TRUE(result.exhausted) << "a schedule dispatched the blocked victim: "
+                                  << result.failure_detail;
+    EXPECT_FALSE(result.failing.has_value());
+    EXPECT_GE(result.schedules_run, 2u);
+
+    // Whichever side wins the race, the event is discarded (case 1 when the
+    // cancel runs first, case 2 — confirmed but not dispatched — when the
+    // confirm does), and the cancel always reports success.
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes.begin()->cancel_result);
+    EXPECT_FALSE(outcomes.begin()->ran);
+}
+
+}  // namespace

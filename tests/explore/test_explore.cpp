@@ -1,0 +1,315 @@
+// The schedule-exploration engine (sim/explore.h), unit level plus the
+// acceptance sweep: random walks find plain-browser schedules that trigger
+// the CVE state machines, no explored JSKernel schedule triggers them or
+// perturbs the kernel journal, and failing schedules replay bit-for-bit
+// from their decision strings after shrinking.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "attacks/explore_sweep.h"
+#include "defenses/schedule_audit.h"
+#include "sim/explore.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace {
+
+namespace sim = jsk::sim;
+namespace explore = jsk::sim::explore;
+using sim::ms;
+
+// --- decision strings ----------------------------------------------------------
+
+TEST(schedule, decision_string_round_trips)
+{
+    explore::schedule s;
+    s.choices = {0, 2, 10, 35, 36, 407, 1};
+    EXPECT_EQ(s.str(), "02az{36}{407}1");
+    const auto parsed = explore::schedule::parse(s.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+}
+
+TEST(schedule, parse_rejects_malformed_strings)
+{
+    EXPECT_FALSE(explore::schedule::parse("0 1").has_value());
+    EXPECT_FALSE(explore::schedule::parse("{12").has_value());
+    EXPECT_FALSE(explore::schedule::parse("{}").has_value());
+    EXPECT_FALSE(explore::schedule::parse("{1x}").has_value());
+    EXPECT_TRUE(explore::schedule::parse("").has_value());
+}
+
+TEST(schedule, trim_and_preemptions)
+{
+    explore::schedule s;
+    s.choices = {0, 1, 0, 2, 0, 0};
+    EXPECT_EQ(s.preemptions(), 2u);
+    s.trim();
+    EXPECT_EQ(s.choices, (std::vector<std::uint32_t>{0, 1, 0, 2}));
+}
+
+// --- DFS over a two-task race --------------------------------------------------
+
+/// Two co-enabled tasks on different threads append their tags; the explored
+/// order is the observable.
+explore::run_outcome order_probe(explore::controller& ctl, std::string* order)
+{
+    sim::simulation s;
+    const auto ta = s.create_thread("a");
+    const auto tb = s.create_thread("b");
+    ctl.attach(s);
+    order->clear();
+    s.post(ta, 5 * ms, [order] { order->push_back('A'); }, "A");
+    s.post(tb, 5 * ms, [order] { order->push_back('B'); }, "B");
+    s.run();
+    return {};
+}
+
+TEST(explore_dfs, explores_both_orders_of_a_two_task_race)
+{
+    std::set<std::string> orders;
+    std::string order;
+    const auto result = explore::explore_dfs([&](explore::controller& ctl) {
+        auto out = order_probe(ctl, &order);
+        orders.insert(order);
+        return out;
+    });
+    EXPECT_TRUE(result.exhausted);
+    EXPECT_EQ(result.schedules_run, 2u);
+    EXPECT_EQ(orders, (std::set<std::string>{"AB", "BA"}));
+}
+
+TEST(explore_dfs, preemption_budget_bounds_the_tree)
+{
+    // Six co-enabled tasks pairwise racing: budget 0 leaves only the default
+    // schedule.
+    std::uint64_t runs_seen = 0;
+    explore::options opt;
+    opt.preemption_budget = 0;
+    const auto result = explore::explore_dfs(
+        [&](explore::controller& ctl) {
+            sim::simulation s;
+            const auto t0 = s.create_thread("a");
+            const auto t1 = s.create_thread("b");
+            ctl.attach(s);
+            for (int i = 0; i < 3; ++i) {
+                s.post(t0, 5 * ms, [] {});
+                s.post(t1, 5 * ms, [] {});
+            }
+            s.run();
+            ++runs_seen;
+            return explore::run_outcome{};
+        },
+        opt);
+    EXPECT_TRUE(result.exhausted);
+    EXPECT_EQ(result.schedules_run, 1u);
+    EXPECT_EQ(runs_seen, 1u);
+    EXPECT_GT(result.pruned, 0u);
+}
+
+TEST(explore_dfs, dpor_prunes_independent_pairs_but_not_communicating_ones)
+{
+    // Independent: the two racers never post — one order suffices.
+    explore::options opt;
+    opt.dpor = true;
+    std::string order;
+    const auto independent = explore::explore_dfs(
+        [&](explore::controller& ctl) { return order_probe(ctl, &order); }, opt);
+    EXPECT_TRUE(independent.exhausted);
+    EXPECT_EQ(independent.schedules_run, 1u);
+    EXPECT_EQ(independent.pruned, 1u);
+
+    // Communicating: A posts onto B's thread — the A/B swap must be
+    // explored (and A's posted task adds a branching point of its own once
+    // it lands co-enabled with B, hence three schedules, not two).
+    const auto communicating = explore::explore_dfs(
+        [&](explore::controller& ctl) {
+            sim::simulation s;
+            const auto ta = s.create_thread("a");
+            const auto tb = s.create_thread("b");
+            ctl.attach(s);
+            s.post(ta, 5 * ms, [&s, tb] { s.post(tb, 0, [] {}); }, "A");
+            s.post(tb, 5 * ms, [] {}, "B");
+            s.run();
+            return explore::run_outcome{};
+        },
+        opt);
+    EXPECT_TRUE(communicating.exhausted);
+    EXPECT_EQ(communicating.schedules_run, 3u);
+}
+
+// --- invariant (c): causality on every schedule --------------------------------
+
+TEST(explore_invariants, causality_holds_on_every_schedule_even_with_window)
+{
+    // Cross-thread message chains under a 2 ms commutativity window: on every
+    // explored schedule, no task may start before it was ready.
+    for (const sim::time_ns window : {sim::time_ns{0}, 2 * ms}) {
+        explore::options opt;
+        opt.window = window;
+        opt.max_schedules = 24;
+        opt.seed = 99;
+        const auto result = explore::explore_random(
+            [](explore::controller& ctl) {
+                sim::simulation s;
+                std::vector<sim::thread_id> threads;
+                for (int i = 0; i < 3; ++i) {
+                    threads.push_back(s.create_thread("t" + std::to_string(i)));
+                }
+                bool violated = false;
+                s.add_task_observer([&](const sim::task_info& info) {
+                    if (info.start < info.ready_at) violated = true;
+                });
+                ctl.attach(s);
+                for (int i = 0; i < 12; ++i) {
+                    const auto target = threads[static_cast<std::size_t>(i % 3)];
+                    s.post(target, (i % 4) * ms, [&s, &threads, i] {
+                        s.consume(500 * sim::us);
+                        // Relay a "message" onto the next thread at now().
+                        s.post(threads[static_cast<std::size_t>((i + 1) % 3)], s.now(),
+                               [&s] { s.consume(100 * sim::us); });
+                    });
+                }
+                s.run();
+                return explore::run_outcome{violated, "task started before ready_at"};
+            },
+            opt);
+        EXPECT_FALSE(result.failing.has_value()) << result.failure_detail;
+        EXPECT_EQ(result.schedules_run, opt.max_schedules);
+    }
+}
+
+// --- planted race: find, shrink, replay ----------------------------------------
+
+/// A benign pile of decision points plus one planted ordering bug: the
+/// invariant "W runs before R" only breaks when the hook flips their order.
+explore::run_outcome planted_race(explore::controller& ctl)
+{
+    sim::simulation s;
+    const auto t0 = s.create_thread("main");
+    const auto t1 = s.create_thread("worker");
+    ctl.attach(s);
+    // Decision-point chaff before and alongside the race.
+    for (int i = 0; i < 4; ++i) {
+        s.post(t0, 1 * ms, [&s] { s.consume(10 * sim::us); });
+        s.post(t1, 1 * ms, [&s] { s.consume(10 * sim::us); });
+    }
+    bool write_done = false;
+    bool read_raced = false;
+    s.post(t0, 8 * ms, [&write_done] { write_done = true; }, "W");
+    s.post(t1, 8 * ms, [&] { read_raced = !write_done; }, "R");
+    s.run();
+    return {read_raced, "R observed the pre-write state"};
+}
+
+TEST(explore_shrink, dfs_finds_the_race_and_shrinking_keeps_it_failing)
+{
+    const auto found = explore::explore_dfs(planted_race);
+    ASSERT_TRUE(found.failing.has_value());
+    EXPECT_EQ(found.failure_detail, "R observed the pre-write state");
+
+    const auto shrunk = explore::shrink(*found.failing, planted_race);
+    EXPECT_LE(shrunk.choices.size(), found.failing->choices.size());
+    EXPECT_LE(shrunk.preemptions(), found.failing->preemptions());
+
+    // The minimized schedule still reproduces the violation, bit-for-bit.
+    const auto replayed = explore::replay(shrunk, planted_race);
+    EXPECT_TRUE(replayed.violated);
+
+    // And the race takes exactly one flipped decision to express.
+    EXPECT_EQ(shrunk.preemptions(), 1u);
+}
+
+TEST(explore_replay, random_walk_replays_bit_for_bit_from_its_decision_string)
+{
+    std::string first_order;
+    std::string replay_order;
+
+    explore::controller walk({}, explore::controller::tail_policy::random, 1234);
+    std::string order;
+    order_probe(walk, &order);
+    first_order = order;
+    auto decisions = walk.decisions();
+    decisions.trim();
+
+    explore::controller again(decisions, explore::controller::tail_policy::first);
+    order_probe(again, &order);
+    replay_order = order;
+
+    EXPECT_EQ(first_order, replay_order);
+    EXPECT_FALSE(again.replay_diverged());
+    auto replay_decisions = again.decisions();
+    replay_decisions.trim();
+    EXPECT_EQ(replay_decisions, decisions);
+}
+
+// --- acceptance: the CVE matrix and the kernel journal -------------------------
+
+// Rows exercised by the smoke suite (the full 12-row sweep lives in
+// test_explore_sweep.cpp behind `ctest -L explore`).
+const std::vector<std::string> smoke_cves{"CVE-2018-5092", "CVE-2013-1714",
+                                          "CVE-2017-7843", "CVE-2014-1719"};
+
+TEST(explore_acceptance, random_walks_find_plain_schedules_triggering_cves)
+{
+    for (const auto& cve : smoke_cves) {
+        explore::options opt;
+        opt.max_schedules = 8;
+        opt.seed = 11;
+        const auto result =
+            explore::explore_random(jsk::attacks::cve_trigger_program(cve, false), opt);
+        ASSERT_TRUE(result.failing.has_value())
+            << cve << ": no plain-browser schedule triggered the state machine";
+    }
+}
+
+TEST(explore_acceptance, no_explored_jskernel_schedule_triggers_the_cves)
+{
+    for (const auto& cve : smoke_cves) {
+        explore::options opt;
+        opt.max_schedules = 6;
+        opt.seed = 23;
+        const auto result =
+            explore::explore_random(jsk::attacks::cve_trigger_program(cve, true), opt);
+        EXPECT_FALSE(result.failing.has_value())
+            << cve << " triggered under JSKernel schedule " << result.failing->str();
+        EXPECT_EQ(result.schedules_run, opt.max_schedules);
+    }
+}
+
+TEST(explore_acceptance, cve_trigger_shrinks_and_replays_deterministically)
+{
+    explore::options opt;
+    opt.max_schedules = 8;
+    opt.seed = 31;
+    const auto program = jsk::attacks::cve_trigger_program("CVE-2014-1719", false);
+    const auto found = explore::explore_random(program, opt);
+    ASSERT_TRUE(found.failing.has_value());
+
+    const auto shrunk = explore::shrink(*found.failing, program);
+    EXPECT_LE(shrunk.choices.size(), found.failing->choices.size());
+
+    // Deterministic replay: the minimized decision string triggers on every
+    // re-run and the controller consumes it without divergence.
+    for (int i = 0; i < 2; ++i) {
+        explore::controller ctl(shrunk, explore::controller::tail_policy::first);
+        jsk::sim::explore::run_outcome out = program(ctl);
+        EXPECT_TRUE(out.violated);
+        EXPECT_FALSE(ctl.replay_diverged());
+    }
+}
+
+TEST(explore_acceptance, kernel_journal_identical_across_100_explored_schedules)
+{
+    const auto report = jsk::defenses::audit_schedule_invariance(/*program_seed=*/5,
+                                                                 /*schedules=*/100);
+    EXPECT_EQ(report.schedules_run, 100u);
+    EXPECT_TRUE(report.identical)
+        << report.detail << "\nfailing schedule: "
+        << (report.failing ? report.failing->str() : std::string("<none>"));
+}
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Exhaustive schedule sweeps — the full Table I CVE matrix under random
+// schedules and a broad journal-invariance audit. These are deliberately
+// heavy, so they self-skip unless JSK_EXPLORE_EXHAUSTIVE is set; run them
+// via the `explore` ctest label:
+//
+//   JSK_EXPLORE_EXHAUSTIVE=1 ctest -L explore --output-on-failure
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "attacks/explore_sweep.h"
+#include "defenses/schedule_audit.h"
+
+namespace {
+
+bool exhaustive_enabled() { return std::getenv("JSK_EXPLORE_EXHAUSTIVE") != nullptr; }
+
+TEST(explore_sweep, full_cve_matrix_under_random_schedules)
+{
+    if (!exhaustive_enabled()) {
+        GTEST_SKIP() << "set JSK_EXPLORE_EXHAUSTIVE=1 (or use `ctest -L explore`)";
+    }
+    jsk::sim::explore::options opt;
+    opt.seed = 101;
+    const auto rows = jsk::attacks::explore_cve_matrix(/*walks_per_cell=*/16, opt);
+    ASSERT_EQ(rows.size(), 12u);
+    for (const auto& row : rows) {
+        EXPECT_GT(row.plain_triggered, 0u)
+            << row.cve << ": no plain-browser schedule triggered the state machine";
+        EXPECT_EQ(row.kernel_triggered, 0u)
+            << row.cve << " triggered under a JSKernel schedule"
+            << (row.witness ? " (plain witness " + row.witness->str() + ")" : "");
+    }
+}
+
+TEST(explore_sweep, journal_invariance_across_many_programs_and_schedules)
+{
+    if (!exhaustive_enabled()) {
+        GTEST_SKIP() << "set JSK_EXPLORE_EXHAUSTIVE=1 (or use `ctest -L explore`)";
+    }
+    for (std::uint64_t program_seed = 1; program_seed <= 20; ++program_seed) {
+        const auto report =
+            jsk::defenses::audit_schedule_invariance(program_seed, /*schedules=*/50,
+                                                     /*walk_seed=*/program_seed * 1000);
+        EXPECT_TRUE(report.identical)
+            << "program seed " << program_seed << ": " << report.detail
+            << "\nfailing schedule: "
+            << (report.failing ? report.failing->str() : std::string("<none>"));
+    }
+}
+
+}  // namespace

@@ -9,137 +9,20 @@
 //
 // The same harness also asserts the negative: under the plain browser the
 // perturbation IS observable (otherwise the fuzzer would be vacuous).
+//
+// The program generator itself lives in workloads/random_program.h so the
+// schedule-exploration audit (defenses/schedule_audit.h) fuzzes the same
+// program space across interleavings.
 #include <gtest/gtest.h>
 
-#include <sstream>
-
 #include "kernel/kernel.h"
-#include "sim/rng.h"
+#include "workloads/random_program.h"
 
 namespace {
 
 using namespace jsk;
 namespace sim = jsk::sim;
 namespace rt = jsk::rt;
-
-/// Everything a program observes, serialized.
-struct observation_log {
-    std::ostringstream out;
-    void note(const std::string& what, double value)
-    {
-        out << what << "=" << value << ";";
-    }
-    void note(const std::string& what) { out << what << ";"; }
-    [[nodiscard]] std::string str() const { return out.str(); }
-};
-
-struct program_env {
-    rt::browser* b;
-    std::shared_ptr<observation_log> log;
-};
-
-/// Issue one random action against the API surface. Returns the number of
-/// future callbacks it registered (to bound the run).
-void random_action(sim::rng& rng, const program_env& env, int depth);
-
-void random_actions_in_callback(std::uint64_t seed, const program_env& env, int depth)
-{
-    if (depth > 2) return;
-    sim::rng rng(seed);
-    const auto n = rng.uniform(0, 2);
-    for (std::int64_t i = 0; i < n; ++i) random_action(rng, env, depth);
-}
-
-void random_action(sim::rng& rng, const program_env& env, int depth)
-{
-    rt::browser& b = *env.b;
-    auto log = env.log;
-    const auto pick = rng.uniform(0, 9);
-    const std::uint64_t sub_seed = rng.next_u64();
-    switch (pick) {
-        case 0: {  // timer
-            const auto delay = rng.uniform(0, 40) * sim::ms;
-            b.main().apis().set_timeout(
-                [log, sub_seed, &b, depth] {
-                    log->note("timer@" + std::to_string(b.main().apis().performance_now()));
-                    random_actions_in_callback(sub_seed, program_env{&b, log}, depth + 1);
-                },
-                delay);
-            log->note("set_timeout", static_cast<double>(delay / sim::ms));
-            break;
-        }
-        case 1: {  // clock read
-            log->note("now", b.main().apis().performance_now());
-            break;
-        }
-        case 2: {  // compute (the "secret" work; costs perturbed between runs)
-            b.main().consume(rng.uniform(0, 20) * sim::ms);
-            log->note("compute");
-            break;
-        }
-        case 3: {  // rAF
-            b.main().apis().request_animation_frame([log](double ts) {
-                log->note("raf", ts);
-            });
-            log->note("request_raf");
-            break;
-        }
-        case 4: {  // fetch (urls r0..r4 registered by the harness)
-            const std::string url =
-                "https://site.example/r" + std::to_string(rng.uniform(0, 4));
-            b.main().apis().fetch(
-                url, {},
-                [log, url, &b](const rt::fetch_result& r) {
-                    log->note("fetched:" + url, static_cast<double>(r.bytes));
-                    log->note("at", b.main().apis().performance_now());
-                },
-                [log, url](const rt::fetch_result&) { log->note("fetchfail:" + url); });
-            log->note("fetch:" + url);
-            break;
-        }
-        case 5: {  // DOM attribute round trip
-            auto el = b.main().apis().create_element("div");
-            b.main().apis().set_attribute(el, "k", std::to_string(rng.uniform(0, 99)));
-            log->note("attr", std::stod(b.main().apis().get_attribute(el, "k")));
-            break;
-        }
-        case 6: {  // worker round trip
-            const double payload = static_cast<double>(rng.uniform(0, 1'000));
-            auto w = b.main().apis().create_worker("echo.js");
-            w->set_onmessage([log, &b](const rt::message_event& e) {
-                log->note("echo", e.data.as_number());
-                log->note("at", b.main().apis().performance_now());
-            });
-            w->post_message(rt::js_value{payload});
-            log->note("spawn+post", payload);
-            break;
-        }
-        case 7: {  // interval with self-clear
-            auto count = std::make_shared<int>(0);
-            auto id = std::make_shared<std::int64_t>(0);
-            const auto period = rng.uniform(1, 10) * sim::ms;
-            *id = b.main().apis().set_interval(
-                [log, count, id, &b] {
-                    log->note("intv", static_cast<double>(++*count));
-                    if (*count >= 3) b.main().apis().clear_interval(*id);
-                },
-                period);
-            log->note("set_interval", static_cast<double>(period / sim::ms));
-            break;
-        }
-        case 8: {  // Date read
-            log->note("date", b.main().apis().date_now());
-            break;
-        }
-        default: {  // cancelled timer (must never fire)
-            const auto t = b.main().apis().set_timeout(
-                [log] { log->note("CANCELLED_TIMER_FIRED"); }, 15 * sim::ms);
-            b.main().apis().clear_timeout(t);
-            log->note("cancel_timer");
-            break;
-        }
-    }
-}
 
 /// Physical perturbation: scale cost-model knobs without touching program-
 /// visible structure.
@@ -166,26 +49,8 @@ fuzz_run run_program(std::uint64_t program_seed, double physical_factor, bool wi
     std::unique_ptr<kernel::kernel> k;
     if (with_kernel) k = kernel::kernel::boot(b);
 
-    for (int i = 0; i < 5; ++i) {
-        b.net().serve(rt::resource{"https://site.example/r" + std::to_string(i),
-                                   "https://site.example", rt::resource_kind::data,
-                                   static_cast<std::size_t>(1'000 * (i + 1)), 0, 0, 0});
-    }
-    b.set_page_origin("https://site.example");
-    b.register_worker_script("echo.js", [](rt::context& ctx) {
-        ctx.apis().set_self_onmessage([&ctx](const rt::message_event& e) {
-            ctx.apis().post_message_to_parent(e.data, {});
-        });
-    });
-
-    auto log = std::make_shared<observation_log>();
-    b.main().post_task(0, [&b, log, program_seed] {
-        sim::rng rng(program_seed);
-        const auto actions = 4 + rng.uniform(0, 8);
-        for (std::int64_t i = 0; i < actions; ++i) {
-            random_action(rng, program_env{&b, log}, 0);
-        }
-    });
+    auto log = std::make_shared<workloads::observation_log>();
+    workloads::install_random_program(b, program_seed, log);
     b.run_until(60 * sim::sec, 5'000'000);
 
     fuzz_run out;

@@ -69,7 +69,7 @@ TEST_P(simulation_property, observed_starts_are_monotone_and_causal)
     for (int i = 0; i < 4; ++i) threads.push_back(s.create_thread("t" + std::to_string(i)));
 
     std::vector<sim::time_ns> starts;
-    s.set_task_observer([&](const sim::task_info& info) {
+    s.add_task_observer([&](const sim::task_info& info) {
         ASSERT_GE(info.start, info.ready_at);  // causality: never before ready
         ASSERT_GE(info.end, info.start);
         starts.push_back(info.start);
@@ -94,7 +94,7 @@ TEST_P(simulation_property, per_thread_tasks_never_overlap)
     const auto t0 = s.create_thread("a");
     const auto t1 = s.create_thread("b");
     std::unordered_map<int, sim::time_ns> last_end;
-    s.set_task_observer([&](const sim::task_info& info) {
+    s.add_task_observer([&](const sim::task_info& info) {
         auto it = last_end.find(info.thread);
         if (it != last_end.end()) ASSERT_GE(info.start, it->second);
         last_end[info.thread] = info.end;

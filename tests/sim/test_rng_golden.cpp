@@ -1,0 +1,83 @@
+// Seed-stability regression: golden output sequences for jsk::sim::rng.
+//
+// Every experiment table in the reproduction keys off these streams (browser
+// jitter, fuzz programs, random schedule walks). A refactor that changes any
+// generator output — even "harmlessly" — silently re-rolls every published
+// number, so the exact sequences are pinned here. If you intentionally
+// change the generator, bump these goldens in the same commit and say so.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace {
+
+using jsk::sim::rng;
+using jsk::sim::splitmix64;
+
+TEST(rng_golden, splitmix64_stream)
+{
+    std::uint64_t state = 0;
+    EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+    EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ULL);
+    EXPECT_EQ(state, 2 * 0x9e3779b97f4a7c15ULL);
+}
+
+TEST(rng_golden, default_seed_next_u64)
+{
+    rng r;  // seed 0x6a736b65726e656c ("jskernel")
+    const std::vector<std::uint64_t> expected{
+        0x31f4ba8ebe66b706ULL, 0x3cac72ea185ec4deULL, 0x786eff1fd31fcff9ULL,
+        0x9ddc4cba82e5990cULL, 0xbbdafebe2b90536dULL, 0xd8d0251dda6aca36ULL,
+        0x7f6976cf782c308bULL, 0x8acde981d7b3d227ULL,
+    };
+    for (const auto want : expected) EXPECT_EQ(r.next_u64(), want);
+}
+
+TEST(rng_golden, seeded_uniform_stream)
+{
+    rng r(42);
+    const std::vector<std::int64_t> expected{42, 2, 9, 93, 76, 84, 54, 7};
+    for (const auto want : expected) EXPECT_EQ(r.uniform(0, 99), want);
+}
+
+TEST(rng_golden, seeded_double_stream)
+{
+    rng r(42);
+    EXPECT_DOUBLE_EQ(r.next_double(), 0.083862971059882163);
+    EXPECT_DOUBLE_EQ(r.next_double(), 0.37898025066266861);
+    EXPECT_DOUBLE_EQ(r.next_double(), 0.68004341102813937);
+    EXPECT_DOUBLE_EQ(r.next_double(), 0.92469294532538759);
+}
+
+TEST(rng_golden, seeded_normal_stream)
+{
+    rng r(7);
+    EXPECT_DOUBLE_EQ(r.normal(0.0, 1.0), 0.65762342387930062);
+    EXPECT_DOUBLE_EQ(r.normal(0.0, 1.0), -0.38341470843099401);
+    EXPECT_DOUBLE_EQ(r.normal(0.0, 1.0), -0.45911059510345709);
+    EXPECT_DOUBLE_EQ(r.normal(0.0, 1.0), 1.0637222114361684);
+}
+
+TEST(rng_golden, seeded_chance_stream)
+{
+    rng r(7);
+    const std::vector<bool> expected{false, true, false, false, false, false, true, true};
+    for (const bool want : expected) EXPECT_EQ(r.chance(0.3), want);
+}
+
+TEST(rng_golden, same_seed_same_stream_different_seed_different_stream)
+{
+    rng a(123), b(123), c(124);
+    bool any_differ = false;
+    for (int i = 0; i < 16; ++i) {
+        const auto va = a.next_u64();
+        EXPECT_EQ(va, b.next_u64());
+        any_differ = any_differ || va != c.next_u64();
+    }
+    EXPECT_TRUE(any_differ);
+}
+
+}  // namespace

@@ -140,7 +140,7 @@ TEST(simulation, observer_reports_intervals)
     simulation sim;
     const thread_id t = sim.create_thread("main");
     std::vector<task_info> seen;
-    sim.set_task_observer([&](const task_info& info) { seen.push_back(info); });
+    sim.add_task_observer([&](const task_info& info) { seen.push_back(info); });
     sim.post(t, 5 * ms, [&] { sim.consume(2 * ms); }, "first");
     sim.post(t, 20 * ms, [] {}, "second");
     sim.run();
@@ -149,6 +149,26 @@ TEST(simulation, observer_reports_intervals)
     EXPECT_EQ(seen[0].start, 5 * ms);
     EXPECT_EQ(seen[0].end, 7 * ms);
     EXPECT_EQ(seen[1].start, 20 * ms);
+}
+
+TEST(simulation, task_observers_compose_and_detach)
+{
+    simulation sim;
+    const thread_id t = sim.create_thread("main");
+    int first_count = 0;
+    int second_count = 0;
+    const auto first = sim.add_task_observer([&](const task_info&) { ++first_count; });
+    sim.add_task_observer([&](const task_info&) { ++second_count; });
+    sim.post(t, 0, [] {});
+    sim.run();
+    EXPECT_EQ(first_count, 1);  // both observers fired: adding never displaces
+    EXPECT_EQ(second_count, 1);
+
+    sim.remove_task_observer(first);
+    sim.post(t, 0, [] {});
+    sim.run();
+    EXPECT_EQ(first_count, 1);  // removed handle no longer fires
+    EXPECT_EQ(second_count, 2);
 }
 
 TEST(simulation, max_tasks_bounds_runaway_loops)
