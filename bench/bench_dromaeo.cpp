@@ -27,8 +27,9 @@ double run_once(const std::string& test, bool with_kernel)
 
 }  // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    const std::string json_dir = bench::json_out_dir(argc, argv);
     std::printf("=== Dromaeo-like micro-benchmark: JSKernel overhead per test ===\n\n");
     bench::print_row({"test", "baseline(ms)", "jskernel(ms)", "overhead(%)"}, 18);
     bench::print_rule(4, 18);
@@ -59,5 +60,12 @@ int main()
                 dom_attr_overhead);
     const bool ok = median < 2.0 && dom_attr_overhead > 5.0 && dom_attr_overhead < 60.0;
     std::printf("shape holds (tiny median, DOM-attr dominates): %s\n", ok ? "yes" : "NO");
+    if (!json_dir.empty()) {
+        bench::json_report report("dromaeo");
+        report.set("average_overhead_pct", avg);
+        report.set("median_overhead_pct", median);
+        report.set("dom_attr_overhead_pct", dom_attr_overhead);
+        report.write(json_dir);
+    }
     return ok ? 0 : 1;
 }

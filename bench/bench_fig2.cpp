@@ -26,8 +26,9 @@ double reported_ms(defenses::defense_id id, std::size_t bytes, std::uint64_t see
 
 }  // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    const std::string json_dir = bench::json_out_dir(argc, argv);
     std::printf("=== Figure 2: reported script parsing time (ms) vs size (MB) ===\n\n");
     std::vector<std::string> header{"size(MB)"};
     for (const auto id : defenses::all_defense_ids()) {
@@ -53,5 +54,11 @@ int main()
     }
     std::printf("\njskernel series flat across sizes: %s\n",
                 jskernel_flat ? "yes (paper: constant ~10 ms)" : "NO");
+    if (!json_dir.empty()) {
+        bench::json_report report("fig2");
+        report.set("jskernel_flat", std::uint64_t{jskernel_flat ? 1u : 0u});
+        report.set("jskernel_reported_ms", jskernel_first);
+        report.write(json_dir);
+    }
     return jskernel_flat ? 0 : 1;
 }

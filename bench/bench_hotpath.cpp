@@ -1,0 +1,487 @@
+// Scheduling hot-path benchmark: the two structures this repo's throughput
+// hangs on, measured end to end.
+//
+//  * BENCH_sim.json — simulation scheduling: unhooked pop-queue throughput,
+//    hooked (exploration) step rate on a synthetic cross-posting workload,
+//    and explore steps/sec on the CVE-matrix sweep (the workload the
+//    schedule-exploration engine actually runs).
+//  * BENCH_kernel.json — kernel event_queue: the flat-heap implementation
+//    A/B'd against the pre-overhaul std::map+unordered_map queue (kept here
+//    verbatim) on an identical op mix, plus the horizon-probe cost.
+//
+// Run with `--json <dir>` to append the machine-readable trajectory files.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "attacks/attacks_impl.h"
+#include "attacks/explore_sweep.h"
+#include "bench/bench_util.h"
+#include "defenses/defense.h"
+#include "kernel/event_queue.h"
+#include "runtime/browser.h"
+#include "runtime/profile.h"
+#include "runtime/vuln.h"
+#include "sim/explore.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace jsk;
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point t0)
+{
+    return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+// --- sim scheduling ------------------------------------------------------------
+
+/// Cross-posting DES workload: `chains` independent task chains ping-pong
+/// across `threads` threads (deterministic pseudo-random targets) until
+/// `total` tasks ran. Each chain reposts exactly one follow-up, so the
+/// pending set stays near `chains` — a steady scheduler backlog, not an
+/// unbounded one. Cross-thread posts exercise the channel FIFO index; timer
+/// self-posts exercise the per-thread ready heaps.
+struct sim_workload {
+    sim::simulation sim;
+    std::vector<sim::thread_id> threads;
+    std::uint64_t budget;
+    std::uint64_t rng = 0x2545f4914f6cdd1dull;
+
+    sim_workload(int thread_count, int chains, std::uint64_t total) : budget(total)
+    {
+        for (int t = 0; t < thread_count; ++t) {
+            threads.push_back(sim.create_thread("t" + std::to_string(t)));
+        }
+        for (int c = 0; c < chains; ++c) {
+            sim.post(threads[static_cast<std::size_t>(c) % threads.size()],
+                     c * sim::us, [this] { step(); }, "step");
+        }
+    }
+
+    std::uint64_t next_rand()
+    {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    }
+
+    void step()
+    {
+        sim.consume(1 * sim::us);
+        if (budget == 0) return;
+        --budget;
+        const std::uint64_t r = next_rand();
+        const sim::thread_id target = threads[r % threads.size()];
+        // Mostly near-future posts; occasional far timers keep the pending
+        // set (and thus the index depth) non-trivial.
+        const sim::time_ns delay =
+            (r >> 8) % 16 == 0 ? (1 + (r >> 16) % 50) * sim::ms : (r >> 16) % 4 * sim::us;
+        sim.post(target, sim.now() + delay, [this] { step(); }, "step");
+    }
+};
+
+struct sim_numbers {
+    double unhooked_ns_per_task = 0;
+    double unhooked_tasks_per_sec = 0;
+    std::size_t unhooked_peak_pending = 0;
+    double hooked_ns_per_step = 0;
+    double hooked_steps_per_sec = 0;
+    std::size_t hooked_peak_pending = 0;
+};
+
+sim_numbers run_sim_micro(std::uint64_t unhooked_tasks, std::uint64_t hooked_tasks)
+{
+    sim_numbers out;
+    {
+        sim_workload w(/*thread_count=*/4, /*chains=*/64, unhooked_tasks);
+        const auto t0 = clock_type::now();
+        w.sim.run(unhooked_tasks);
+        const double s = seconds_since(t0);
+        out.unhooked_ns_per_task = s * 1e9 / static_cast<double>(w.sim.tasks_executed());
+        out.unhooked_tasks_per_sec = static_cast<double>(w.sim.tasks_executed()) / s;
+        out.unhooked_peak_pending = w.sim.peak_pending();
+    }
+    {
+        sim_workload w(/*thread_count=*/4, /*chains=*/64, hooked_tasks);
+        sim::explore::controller ctl({}, sim::explore::controller::tail_policy::random, 7);
+        ctl.set_window(20 * sim::us);  // multi-candidate steps without blowup
+        ctl.attach(w.sim);
+        const auto t0 = clock_type::now();
+        w.sim.run(hooked_tasks);
+        const double s = seconds_since(t0);
+        out.hooked_ns_per_step = s * 1e9 / static_cast<double>(w.sim.tasks_executed());
+        out.hooked_steps_per_sec = static_cast<double>(w.sim.tasks_executed()) / s;
+        out.hooked_peak_pending = w.sim.peak_pending();
+    }
+    return out;
+}
+
+struct sweep_numbers {
+    std::uint64_t schedules = 0;
+    std::uint64_t steps = 0;  // tasks executed under the exploration hook
+    double seconds = 0;
+};
+
+/// Deterministic background load for the sweep: self-reposting task chains on
+/// dedicated "page" threads — the busy event loop a real attack page runs
+/// against (the Loophole setting the exploration engine exists for). The
+/// chains never finish; each schedule is bounded by the trial's task cap.
+struct page_load {
+    sim::simulation* sim = nullptr;
+    std::vector<sim::thread_id> threads;
+    std::uint64_t rng = 1;
+
+    void start(sim::simulation& s, int thread_count, int chains, std::uint64_t seed)
+    {
+        sim = &s;
+        rng = seed | 1;
+        for (int t = 0; t < thread_count; ++t) {
+            threads.push_back(s.create_thread("page" + std::to_string(t)));
+        }
+        for (int c = 0; c < chains; ++c) {
+            s.post(threads[static_cast<std::size_t>(c) % threads.size()], c * sim::us,
+                   [this] { step(); }, "page");
+        }
+    }
+
+    void step()
+    {
+        sim->consume(1 * sim::us);
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        sim->post(threads[rng % threads.size()],
+                  sim->now() + (rng >> 16) % 4 * sim::us, [this] { step(); }, "page");
+    }
+};
+
+/// The CVE-matrix sweep microbench: every modelled CVE row, plain and under
+/// JSKernel, each under `walks` controlled schedules (default first, then
+/// seeded random walks) — the inner loop of explore_cve_matrix, owned here
+/// so the simulator's step counter is readable. Each exploit is explored on
+/// a busy page (`noise_chains` pending background tasks), so scheduling —
+/// not browser construction — dominates, and each schedule is capped at
+/// `task_cap` explore steps.
+sweep_numbers run_cve_matrix_sweep(std::uint64_t walks, std::uint64_t repeats,
+                                   int noise_chains, std::uint64_t task_cap)
+{
+    sweep_numbers out;
+    const auto t0 = clock_type::now();
+    for (std::uint64_t rep = 0; rep < repeats; ++rep) {
+        for (const auto& [cve_id, exploit] : attacks::cve_exploit_table()) {
+            for (const bool with_kernel : {false, true}) {
+                for (std::uint64_t walk = 0; walk < walks; ++walk) {
+                    sim::explore::controller ctl(
+                        {},
+                        walk == 0 ? sim::explore::controller::tail_policy::first
+                                  : sim::explore::controller::tail_policy::random,
+                        29 + walk);
+                    rt::browser b(rt::chrome_profile(), /*seed=*/17);
+                    rt::vuln_registry vulns(b.bus());
+                    page_load page;
+                    page.start(b.sim(), /*thread_count=*/2, noise_chains,
+                               1234 + walk);
+                    ctl.attach(b.sim());
+                    std::unique_ptr<defenses::defense> def;
+                    if (with_kernel) {
+                        def = defenses::make_defense(defenses::defense_id::jskernel, 17);
+                        def->install(b);
+                    }
+                    exploit(b);
+                    b.run_until(60 * sim::sec, task_cap);
+                    out.steps += b.sim().tasks_executed();
+                    ++out.schedules;
+                }
+            }
+        }
+    }
+    out.seconds = seconds_since(t0);
+    return out;
+}
+
+// --- kernel event queue --------------------------------------------------------
+
+/// The pre-overhaul kernel event queue, verbatim: (predicted, id)-ordered
+/// std::map plus an id index. The A/B baseline for the flat-heap rewrite.
+class legacy_event_queue {
+public:
+    void push(kernel::kevent ev)
+    {
+        const key k{ev.predicted_time, ev.id};
+        index_.emplace(ev.id, k);
+        order_.emplace(k, std::move(ev));
+    }
+    kernel::kevent pop()
+    {
+        auto it = order_.begin();
+        kernel::kevent out = std::move(it->second);
+        index_.erase(out.id);
+        order_.erase(it);
+        return out;
+    }
+    bool remove(std::uint64_t id)
+    {
+        auto it = index_.find(id);
+        if (it == index_.end()) return false;
+        order_.erase(it->second);
+        index_.erase(it);
+        return true;
+    }
+    bool update_predicted(std::uint64_t id, kernel::ktime predicted)
+    {
+        auto it = index_.find(id);
+        if (it == index_.end()) return false;
+        auto node = order_.extract(it->second);
+        node.mapped().predicted_time = predicted;
+        node.key() = key{predicted, id};
+        it->second = node.key();
+        order_.insert(std::move(node));
+        return true;
+    }
+    kernel::kevent* lookup(std::uint64_t id)
+    {
+        auto it = index_.find(id);
+        if (it == index_.end()) return nullptr;
+        return &order_.find(it->second)->second;
+    }
+    [[nodiscard]] bool empty() const { return order_.empty(); }
+    [[nodiscard]] kernel::ktime next_pending_time() const
+    {
+        for (const auto& [k, ev] : order_) {
+            if (ev.status != kernel::kevent_status::cancelled) return ev.predicted_time;
+        }
+        return -1.0;
+    }
+
+private:
+    struct key {
+        kernel::ktime predicted;
+        std::uint64_t id;
+        bool operator<(const key& other) const
+        {
+            if (predicted != other.predicted) return predicted < other.predicted;
+            return id < other.id;
+        }
+    };
+    std::map<key, kernel::kevent> order_;
+    std::unordered_map<std::uint64_t, key> index_;
+};
+
+/// Cancel one event the way each implementation's scheduler really does it:
+/// the flat-heap queue has a tombstone-aware mark_cancelled(); the legacy
+/// scheduler wrote status through the lookup() pointer.
+template <typename Queue>
+void cancel_one(Queue& q, std::uint64_t id)
+{
+    if constexpr (requires { q.mark_cancelled(id); }) {
+        q.mark_cancelled(id);
+    } else {
+        kernel::kevent* ev = q.lookup(id);
+        if (ev != nullptr) {
+            ev->status = kernel::kevent_status::cancelled;
+            ev->callback = nullptr;
+        }
+    }
+}
+
+/// Identical dispatcher-shaped op mix against either queue implementation:
+/// a steady backlog with register / re-predict / cancel churn, a horizon
+/// probe every `probe_every` rounds, pops draining cancelled and live heads
+/// alike. Returns ns/op.
+template <typename Queue>
+double run_queue_micro(Queue& q, std::uint64_t rounds, int backlog, int cancels_per_round,
+                       int probe_every)
+{
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+    const auto next_rand = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    std::uint64_t next_id = 1;
+    std::uint64_t ops = 0;
+    double sink = 0;
+    const auto push_one = [&] {
+        kernel::kevent ev;
+        ev.id = next_id++;
+        ev.predicted_time = static_cast<double>(next_rand() % 4096) / 8.0;
+        q.push(std::move(ev));
+        ++ops;
+    };
+    const auto t0 = clock_type::now();
+    for (int i = 0; i < backlog; ++i) push_one();
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+        for (int i = 0; i < 8; ++i) push_one();
+        for (int i = 0; i < 2; ++i) {
+            const std::uint64_t id = next_id - 1 - next_rand() % 8;
+            q.update_predicted(id, static_cast<double>(next_rand() % 4096) / 8.0);
+            ++ops;
+        }
+        for (int i = 0; i < cancels_per_round; ++i) {
+            cancel_one(q, next_id - 1 - next_rand() % static_cast<std::uint64_t>(backlog));
+            ++ops;
+        }
+        if (probe_every > 0 && round % static_cast<std::uint64_t>(probe_every) == 0) {
+            sink += q.next_pending_time();
+            ++ops;
+        }
+        for (int i = 0; i < 8 && !q.empty(); ++i) {
+            sink += q.pop().predicted_time;
+            ++ops;
+        }
+    }
+    while (!q.empty()) {
+        sink += q.pop().predicted_time;
+        ++ops;
+    }
+    const double s = seconds_since(t0);
+    if (sink == 0.123456789) std::printf("sink\n");  // defeat dead-code elim
+    return s * 1e9 / static_cast<double>(ops);
+}
+
+/// Idle-horizon probe storm: a page armed 4096 long timers and cleared the
+/// soonest half (clearTimeout), so nothing is due and the dispatcher pops
+/// nothing while the worker horizon keeps probing. The legacy map rescans
+/// the whole cleared prefix on every next_pending_time(); the flat heap's
+/// live view answers in O(1) amortized. Returns ns/op over the setup, the
+/// probe loop, and the final drain.
+template <typename Queue>
+double run_probe_micro(Queue& q, std::uint64_t rounds)
+{
+    std::uint64_t rng = 0x853c49e6748fea9bull;
+    const auto next_rand = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    std::uint64_t next_id = 1;
+    std::uint64_t ops = 0;
+    double sink = 0;
+    // Timers land in [1000, 2024) ms; everything before the 1512 midpoint is
+    // cleared, so the cancelled events are exactly the earliest-predicted ones.
+    const auto arm_timer = [&] {
+        kernel::kevent ev;
+        ev.id = next_id++;
+        ev.predicted_time = 1000.0 + static_cast<double>(next_rand() % 8192) / 8.0;
+        const bool cleared = ev.predicted_time < 1512.0;
+        q.push(std::move(ev));
+        ++ops;
+        if (cleared) {
+            cancel_one(q, next_id - 1);
+            ++ops;
+        }
+    };
+    const auto t0 = clock_type::now();
+    for (int i = 0; i < 4096; ++i) arm_timer();
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+        arm_timer();
+        sink += q.next_pending_time();
+        sink += q.next_pending_time();
+        ops += 2;
+    }
+    while (!q.empty()) {
+        sink += q.pop().predicted_time;
+        ++ops;
+    }
+    const double s = seconds_since(t0);
+    if (sink == 0.123456789) std::printf("sink\n");  // defeat dead-code elim
+    return s * 1e9 / static_cast<double>(ops);
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const std::string json_dir = bench::json_out_dir(argc, argv);
+
+    std::printf("=== scheduling hot paths ===\n\n");
+
+    const sim_numbers sn = run_sim_micro(/*unhooked_tasks=*/400'000,
+                                         /*hooked_tasks=*/120'000);
+    const sweep_numbers sw = run_cve_matrix_sweep(/*walks=*/4, /*repeats=*/2,
+                                                  /*noise_chains=*/192,
+                                                  /*task_cap=*/1'500);
+    const double sweep_steps_per_sec =
+        sw.seconds > 0 ? static_cast<double>(sw.steps) / sw.seconds : 0;
+
+    bench::print_row({"sim metric", "value"}, 34);
+    bench::print_rule(2, 34);
+    bench::print_row({"unhooked ns/task", bench::fmt(sn.unhooked_ns_per_task)}, 34);
+    bench::print_row({"unhooked tasks/sec", bench::fmt(sn.unhooked_tasks_per_sec, 0)}, 34);
+    bench::print_row({"unhooked peak pending",
+                      std::to_string(sn.unhooked_peak_pending)}, 34);
+    bench::print_row({"hooked ns/step", bench::fmt(sn.hooked_ns_per_step)}, 34);
+    bench::print_row({"hooked steps/sec", bench::fmt(sn.hooked_steps_per_sec, 0)}, 34);
+    bench::print_row({"hooked peak pending", std::to_string(sn.hooked_peak_pending)}, 34);
+    bench::print_row({"cve-matrix schedules", std::to_string(sw.schedules)}, 34);
+    bench::print_row({"cve-matrix explore steps", std::to_string(sw.steps)}, 34);
+    bench::print_row({"cve-matrix seconds", bench::fmt(sw.seconds)}, 34);
+    bench::print_row({"cve-matrix steps/sec", bench::fmt(sweep_steps_per_sec, 0)}, 34);
+
+    legacy_event_queue legacy;
+    kernel::event_queue current;
+    // Warm both (allocator + caches) before the measured passes.
+    run_queue_micro(legacy, 2'000, 64, 1, 8);
+    run_queue_micro(current, 2'000, 64, 1, 8);
+    // Scenario A: dispatcher-depth churn — the backlog the kernel dispatch
+    // loop actually carries, light cancellation, occasional horizon probe.
+    const double legacy_dispatch_ns = run_queue_micro(legacy, 120'000, 64, 1, 8);
+    const double current_dispatch_ns = run_queue_micro(current, 120'000, 64, 1, 8);
+    // Scenario B: idle-horizon probe storm over a cleared-timer backlog —
+    // the complexity gap the live heap exists for (O(cancelled) scan vs
+    // O(1) amortized).
+    legacy_event_queue legacy_idle;
+    kernel::event_queue current_idle;
+    const double legacy_horizon_ns = run_probe_micro(legacy_idle, 4'000);
+    const double current_horizon_ns = run_probe_micro(current_idle, 4'000);
+    const double dispatch_speedup =
+        current_dispatch_ns > 0 ? legacy_dispatch_ns / current_dispatch_ns : 0;
+    const double horizon_speedup =
+        current_horizon_ns > 0 ? legacy_horizon_ns / current_horizon_ns : 0;
+
+    std::printf("\n");
+    bench::print_row({"kernel metric", "value"}, 38);
+    bench::print_rule(2, 38);
+    bench::print_row({"dispatch ns/op (flat heap)", bench::fmt(current_dispatch_ns)}, 38);
+    bench::print_row({"dispatch ns/op (legacy map)", bench::fmt(legacy_dispatch_ns)}, 38);
+    bench::print_row({"dispatch speedup (legacy/new)", bench::fmt(dispatch_speedup)}, 38);
+    bench::print_row({"idle-horizon ns/op (flat heap)",
+                      bench::fmt(current_horizon_ns)}, 38);
+    bench::print_row({"idle-horizon ns/op (legacy map)",
+                      bench::fmt(legacy_horizon_ns)}, 38);
+    bench::print_row({"idle-horizon speedup (legacy/new)",
+                      bench::fmt(horizon_speedup)}, 38);
+
+    if (!json_dir.empty()) {
+        bench::json_report sim_report("sim");
+        sim_report.set("unhooked_ns_per_task", sn.unhooked_ns_per_task);
+        sim_report.set("unhooked_tasks_per_sec", sn.unhooked_tasks_per_sec);
+        sim_report.set("unhooked_peak_pending", sn.unhooked_peak_pending);
+        sim_report.set("hooked_ns_per_step", sn.hooked_ns_per_step);
+        sim_report.set("hooked_steps_per_sec", sn.hooked_steps_per_sec);
+        sim_report.set("hooked_peak_pending", sn.hooked_peak_pending);
+        sim_report.set("cve_matrix_schedules", sw.schedules);
+        sim_report.set("cve_matrix_explore_steps", sw.steps);
+        sim_report.set("cve_matrix_seconds", sw.seconds);
+        sim_report.set("cve_matrix_steps_per_sec", sweep_steps_per_sec);
+        sim_report.write(json_dir);
+
+        bench::json_report kernel_report("kernel");
+        kernel_report.set("dispatch_ns_per_op", current_dispatch_ns);
+        kernel_report.set("dispatch_ns_per_op_legacy_map", legacy_dispatch_ns);
+        kernel_report.set("dispatch_speedup_vs_legacy", dispatch_speedup);
+        kernel_report.set("idle_horizon_ns_per_op", current_horizon_ns);
+        kernel_report.set("idle_horizon_ns_per_op_legacy_map", legacy_horizon_ns);
+        kernel_report.set("idle_horizon_speedup_vs_legacy", horizon_speedup);
+        kernel_report.write(json_dir);
+    }
+    return 0;
+}

@@ -29,8 +29,9 @@ sim::summary run_bench(bool with_kernel, int repeats)
 
 }  // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    const std::string json_dir = bench::json_out_dir(argc, argv);
     const int repeats = 5;
     std::printf("=== Worker benchmark: 16 workers, %d repeats ===\n\n", repeats);
     const auto base = run_bench(false, repeats);
@@ -44,5 +45,12 @@ int main()
     std::printf("\noverhead: %.2f%% (paper: ~0.9%%)\n", overhead);
     const bool ok = overhead < 15.0;
     std::printf("shape holds (small worker-creation overhead): %s\n", ok ? "yes" : "NO");
+    if (!json_dir.empty()) {
+        bench::json_report report("worker");
+        report.set("base_mean_ms", base.mean);
+        report.set("kernel_mean_ms", kernel.mean);
+        report.set("overhead_pct", overhead);
+        report.write(json_dir);
+    }
     return ok ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "defenses/schedule_audit.h"
 
+#include <stdexcept>
+
 #include "kernel/kernel.h"
 #include "workloads/random_program.h"
 
@@ -20,6 +22,13 @@ audit_run run_once(std::uint64_t program_seed, sim::explore::controller& ctl)
     auto log = std::make_shared<workloads::observation_log>();
     workloads::install_random_program(b, program_seed, log);
     b.run_until(60 * sim::sec, 5'000'000);
+    // Bookkeeping bound: hooked runs must never feed the unhooked pop queue
+    // (it is never drained while a hook is installed, so any entry here is a
+    // leak that grows without bound over long explorations).
+    if (b.sim().queued_entries() != 0) {
+        throw std::logic_error("schedule audit: unhooked queue grew during a hooked run (" +
+                               std::to_string(b.sim().queued_entries()) + " entries)");
+    }
     return audit_run{log->str(), k->dispatch_journal()};
 }
 

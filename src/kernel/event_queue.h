@@ -1,11 +1,30 @@
 // The kernel event queue (§III-C1): events ordered by predicted time, with
 // the push / pop / top / remove / lookup API the paper describes.
+//
+// Storage layout (hot-path overhaul): events live in a flat slot arena and
+// are ordered by a binary min-heap of (predicted, id) references. Removal and
+// re-prediction never restructure the heap; they bump the slot's generation
+// counter so stale heap entries become *tombstones* that are discarded when
+// they surface at the heap top (lazy deletion). A compaction pass rebuilds a
+// heap once its tombstones outnumber the live events (threshold below), so
+// the arrays stay within a constant factor of the live size. push/pop are
+// allocation-free in steady state: slots and heap storage are recycled
+// through a free list, and the id index is open-addressed (amortized
+// allocation only on growth/rehash).
+//
+// A second lazy heap over non-cancelled events makes next_pending_time() —
+// the worker-horizon probe, previously a linear scan — O(1) amortized. New
+// ordering refs are staged in a plain buffer and heapified only when a probe
+// actually runs, so events that are popped or cancelled between probes never
+// pay live-heap maintenance at all.
+//
+// Pointer stability: pointers returned by top()/lookup() are invalidated by
+// any mutating call (push/pop/remove/update_predicted and the compactions
+// they may trigger). All kernel call sites consume the pointer immediately.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "kernel/kevent.h"
 
@@ -34,56 +53,80 @@ public:
     /// Find an event by id; nullptr when absent.
     [[nodiscard]] kevent* lookup(std::uint64_t id);
 
-    [[nodiscard]] bool empty() const { return order_.empty(); }
-    [[nodiscard]] std::size_t size() const { return order_.size(); }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] std::size_t size() const { return size_; }
 
     /// Mark every queued event cancelled (worker shutdown: user-observable
-    /// events must stop). The dispatcher discards them on its next pass.
-    void cancel_all()
-    {
-        for (auto& [k, ev] : order_) {
-            ev.status = kevent_status::cancelled;
-            ev.callback = nullptr;
-        }
-    }
+    /// events must stop). The dispatcher discards them on its next pass;
+    /// they stay visible through top()/lookup() until then.
+    void cancel_all();
+
+    /// Cancel one event in place: status := cancelled, callback dropped.
+    /// Returns false if the id is unknown (already dispatched). Unlike
+    /// remove(), the event stays queued so the dispatcher can observe and
+    /// discard it in predicted order.
+    bool mark_cancelled(std::uint64_t id);
 
     /// Move a live event to a new predicted time (channel-guard advances).
     /// Returns false if the id is unknown.
-    bool update_predicted(std::uint64_t id, ktime predicted)
-    {
-        auto it = index_.find(id);
-        if (it == index_.end()) return false;
-        auto node = order_.extract(it->second);
-        node.mapped().predicted_time = predicted;
-        node.key() = key{predicted, id};
-        it->second = node.key();
-        order_.insert(std::move(node));
-        return true;
-    }
+    bool update_predicted(std::uint64_t id, ktime predicted);
 
     /// Predicted time of the earliest non-cancelled event; negative when the
-    /// queue holds none (the worker-side horizon computation).
-    [[nodiscard]] ktime next_pending_time() const
-    {
-        for (const auto& [k, ev] : order_) {
-            if (ev.status != kevent_status::cancelled) return ev.predicted_time;
-        }
-        return -1.0;
-    }
+    /// queue holds none (the worker-side horizon computation). Amortized
+    /// O(1): reads the head of the live heap, discarding stale entries.
+    [[nodiscard]] ktime next_pending_time();
 
 private:
-    struct key {
+    /// Heap entry: an ordering reference into the slot arena. Stale once the
+    /// slot's generation moves past `gen`.
+    struct heap_ref {
         ktime predicted;
         std::uint64_t id;
-        bool operator<(const key& other) const
+        std::uint32_t slot;
+        std::uint32_t gen;
+        bool operator>(const heap_ref& other) const
         {
-            if (predicted != other.predicted) return predicted < other.predicted;
-            return id < other.id;
+            if (predicted != other.predicted) return predicted > other.predicted;
+            return id > other.id;
         }
     };
 
-    std::map<key, kevent> order_;
-    std::unordered_map<std::uint64_t, key> index_;
+    struct slot_rec {
+        kevent ev;
+        std::uint32_t gen = 0;  // bumped on release and re-prediction
+        bool alive = false;
+    };
+
+    static constexpr std::uint32_t npos = ~std::uint32_t{0};
+
+    [[nodiscard]] bool valid(const heap_ref& ref) const
+    {
+        const slot_rec& rec = slots_[ref.slot];
+        return rec.alive && rec.gen == ref.gen;
+    }
+
+    void purge_top();                       // drop tombstoned heads of heap_
+    void maybe_compact();                   // rebuild heaps past the tombstone threshold
+    std::uint32_t acquire_slot();
+    void release_slot(std::uint32_t slot);  // also erases the id index entry
+
+    // Open-addressing id -> slot index (linear probing, tombstoned erase).
+    [[nodiscard]] std::uint32_t index_find(std::uint64_t id) const;
+    void index_insert(std::uint64_t id, std::uint32_t slot);
+    void index_erase(std::uint64_t id);
+    void index_rehash(std::size_t min_capacity);
+
+    std::vector<slot_rec> slots_;
+    std::vector<std::uint32_t> free_;      // released slot numbers, LIFO
+    std::vector<heap_ref> heap_;           // all queued events
+    std::vector<heap_ref> live_heap_;      // non-cancelled events (horizon probe)
+    std::vector<heap_ref> live_stage_;     // refs awaiting live_heap_ insertion
+    std::vector<std::uint64_t> idx_keys_;  // open-addressing table
+    std::vector<std::uint32_t> idx_slots_;
+    std::vector<std::uint8_t> idx_state_;  // 0 empty, 1 full, 2 tombstone
+    std::size_t idx_used_ = 0;             // full entries
+    std::size_t idx_filled_ = 0;           // full + tombstone entries
+    std::size_t size_ = 0;                 // live (queued) events
 };
 
 }  // namespace jsk::kernel

@@ -60,10 +60,10 @@ std::uint64_t scheduler::register_ready(kevent_type type, ktime predicted,
 bool scheduler::cancel(std::uint64_t id)
 {
     k_->charge_queue_op();
-    kevent* ev = k_->queue().lookup(id);
-    if (ev == nullptr) return false;  // case 3: already dispatched -> ignore
-    ev->status = kevent_status::cancelled;  // cases 1 & 2
-    ev->callback = nullptr;
+    // cases 1 & 2: tombstone-aware in-place cancel (the event stays queued
+    // so the dispatcher discards it in predicted order); case 3 (already
+    // dispatched) returns false and is ignored.
+    if (!k_->queue().mark_cancelled(id)) return false;
     k_->disp().pump();  // a cancelled head must not block the queue
     return true;
 }

@@ -86,20 +86,21 @@ std::size_t controller::choose(const std::vector<sched_candidate>& candidates)
     decision d;
     d.chosen = static_cast<std::uint32_t>(pick);
     d.count = static_cast<std::uint32_t>(candidates.size());
-    d.threads.reserve(candidates.size());
-    d.tasks.reserve(candidates.size());
-    for (const auto& candidate : candidates) {
-        d.threads.push_back(candidate.thread);
-        d.tasks.push_back(candidate.id);
+    d.offset = static_cast<std::uint32_t>(cand_threads_.size());
+    if (record_metadata_) {
+        for (const auto& candidate : candidates) {
+            cand_threads_.push_back(candidate.thread);
+            cand_tasks_.push_back(candidate.id);
+        }
     }
-    trace_.push_back(std::move(d));
+    trace_.push_back(d);
     return pick;
 }
 
 void controller::on_post(task_id posted, thread_id target, task_id poster)
 {
     (void)posted;
-    if (poster == 0) return;
+    if (!record_metadata_ || poster == 0) return;
     auto& footprint = posts_[poster];
     if (std::find(footprint.begin(), footprint.end(), target) == footprint.end()) {
         footprint.push_back(target);
@@ -146,13 +147,15 @@ namespace {
 /// treated as dependent — no pruning.
 bool independent(const controller& ctl, const decision& d, std::size_t a, std::size_t b)
 {
-    if (d.threads[a] == d.threads[b]) return false;
-    const auto* fa = ctl.footprint(d.tasks[a]);
-    const auto* fb = ctl.footprint(d.tasks[b]);
+    const thread_id ta = ctl.decision_thread(d, a);
+    const thread_id tb = ctl.decision_thread(d, b);
+    if (ta == tb) return false;
+    const auto* fa = ctl.footprint(ctl.decision_task(d, a));
+    const auto* fb = ctl.footprint(ctl.decision_task(d, b));
     const auto posts_to = [](const std::vector<thread_id>* fp, thread_id t) {
         return fp != nullptr && std::find(fp->begin(), fp->end(), t) != fp->end();
     };
-    if (posts_to(fa, d.threads[b]) || posts_to(fb, d.threads[a])) return false;
+    if (posts_to(fa, tb) || posts_to(fb, ta)) return false;
     return true;
 }
 
@@ -169,6 +172,7 @@ result explore_dfs(const program& p, const options& opt)
 
         controller ctl(prefix, controller::tail_policy::first);
         ctl.set_window(opt.window);
+        if (opt.dpor) ctl.set_record_metadata(true);
         const run_outcome out = p(ctl);
         ++res.schedules_run;
         if (out.violated) {

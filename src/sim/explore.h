@@ -61,12 +61,13 @@ struct schedule {
 };
 
 /// Everything recorded at one branching point, for DFS expansion and
-/// diagnostics.
+/// diagnostics. Per-candidate metadata lives in flat arrays on the
+/// controller (indexed by `offset`) so recording a decision never
+/// allocates; read it back through controller::decision_thread/task.
 struct decision {
     std::uint32_t chosen = 0;
     std::uint32_t count = 0;
-    std::vector<thread_id> threads;  // candidate threads, in offered order
-    std::vector<task_id> tasks;      // candidate task ids, in offered order
+    std::uint32_t offset = 0;  // into the controller's flat candidate arrays
 };
 
 /// Drives one run: replays a prescribed prefix of decisions, then follows a
@@ -98,6 +99,17 @@ public:
     [[nodiscard]] const schedule& decisions() const { return recorded_; }
     [[nodiscard]] const std::vector<decision>& trace() const { return trace_; }
 
+    /// Candidate metadata for a recorded decision, in offered order. Only
+    /// populated when set_record_metadata(true) was set before the run.
+    [[nodiscard]] thread_id decision_thread(const decision& d, std::size_t i) const
+    {
+        return cand_threads_[d.offset + i];
+    }
+    [[nodiscard]] task_id decision_task(const decision& d, std::size_t i) const
+    {
+        return cand_tasks_[d.offset + i];
+    }
+
     /// True once the run has consumed the whole prescribed prefix.
     [[nodiscard]] bool prefix_exhausted() const
     {
@@ -108,8 +120,19 @@ public:
     /// actually offered — the replayed program diverged from the recording.
     [[nodiscard]] bool replay_diverged() const { return diverged_; }
 
-    /// Threads that `task`'s callback posted to, nullptr when the task never
-    /// posted (or never ran). Consumed by DPOR-lite independence checks.
+    /// Opt into DPOR metadata recording: per-decision candidate arrays
+    /// (decision_thread / decision_task) and per-task footprints (threads
+    /// each task posted to). Off by default: only DPOR-lite independence
+    /// checks consume either, and the bookkeeping — a hash insert per post
+    /// plus a copy of every offered candidate per branching point — sits on
+    /// the exploration hot path. explore_dfs enables it when opt.dpor is
+    /// set. Decision strings, counts, and chosen indices are always
+    /// recorded.
+    void set_record_metadata(bool on) { record_metadata_ = on; }
+
+    /// Threads that `task`'s callback posted to; nullptr when the task never
+    /// posted (or never ran, or recording was off — both read as "unknown",
+    /// which independence checks treat as dependent).
     [[nodiscard]] const std::vector<thread_id>* footprint(task_id task) const;
 
 private:
@@ -118,8 +141,11 @@ private:
     rng walk_;
     time_ns window_ = 0;
     bool diverged_ = false;
+    bool record_metadata_ = false;
     schedule recorded_;
     std::vector<decision> trace_;
+    std::vector<thread_id> cand_threads_;  // flat per-decision candidate metadata
+    std::vector<task_id> cand_tasks_;
     std::unordered_map<task_id, std::vector<thread_id>> posts_;
 };
 

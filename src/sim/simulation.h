@@ -10,6 +10,22 @@
 // which preserves cross-thread causality: a message posted at virtual time t
 // is observed by code whose start time is >= t, even when the C++ callbacks
 // run in a single host thread.
+//
+// Two scheduling hot paths, two index structures:
+//
+//  * Unhooked (production) runs pop from a global priority queue keyed by
+//    candidate start time, re-keying entries upward when their thread is
+//    still busy. O(log n) per step, allocation-free pops.
+//  * Hooked (exploration) runs assemble a *candidate window* each step. That
+//    used to rescan all of pending_ (O(n)) and run a pairwise O(C^2) FIFO
+//    filter; it is now incrementally indexed: each thread keeps a lazy
+//    min-heap of its pending tasks by ready time, a lazy (head start, thread)
+//    heap tracks the earliest runnable head across threads, and same-channel
+//    (source thread -> target thread) posts are indexed so FIFO
+//    realizability is a per-channel prefix-minimum check. The unhooked
+//    queue is not even populated while a hook is installed (and is rebuilt
+//    from pending state when the hook is removed), so long exploration runs
+//    no longer accumulate stale entries.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +35,10 @@
 #include <queue>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "sim/id_index.h"
 #include "sim/time.h"
 
 namespace jsk::sim {
@@ -46,7 +64,7 @@ struct sched_candidate {
     task_id id = 0;
     thread_id thread = no_thread;
     time_ns start = 0;  // effective start = max(ready_at, busy_until)
-    const std::string* label = nullptr;
+    const std::string* label = nullptr;  // valid only during the choose() call
 };
 
 /// Exploration hook (jsk::sim::explore): when installed, the simulator stops
@@ -91,10 +109,13 @@ public:
     simulation& operator=(const simulation&) = delete;
 
     /// Create a new simulated thread. The returned id is stable for the
-    /// lifetime of the simulation.
+    /// lifetime of the simulation. The thread's busy window starts at
+    /// `now()`: a worker spawned inside a task at virtual time t can never
+    /// execute anything that starts before t.
     thread_id create_thread(std::string name);
 
-    /// Destroy a thread: its queued tasks are dropped and future posts to it
+    /// Destroy a thread: its queued tasks are dropped (eagerly — they stop
+    /// counting toward pending_tasks() immediately) and future posts to it
     /// are rejected. Mirrors `worker.terminate()` semantics.
     void destroy_thread(thread_id thread);
 
@@ -129,18 +150,31 @@ public:
     [[nodiscard]] time_ns busy_until(thread_id thread) const;
 
     /// Run until the task queue drains. `max_tasks` guards runaway loops.
+    /// Throws std::logic_error when called from inside a task or observer
+    /// callback: a nested run would corrupt the running task's timing.
     void run(std::uint64_t max_tasks = std::numeric_limits<std::uint64_t>::max());
 
     /// Run tasks whose effective start time is <= `deadline`; afterwards the
-    /// global clock is at least `deadline`.
+    /// global clock is at least `deadline`. Throws std::logic_error on
+    /// reentrant calls (see run()).
     void run_until(time_ns deadline,
                    std::uint64_t max_tasks = std::numeric_limits<std::uint64_t>::max());
 
     /// Number of tasks executed so far.
     [[nodiscard]] std::uint64_t tasks_executed() const { return executed_; }
 
-    /// Number of tasks currently pending.
-    [[nodiscard]] std::size_t pending_tasks() const { return pending_.size(); }
+    /// Number of tasks currently pending. Exact: cancelled tasks and tasks
+    /// dropped by destroy_thread() leave the count immediately.
+    [[nodiscard]] std::size_t pending_tasks() const { return pending_count_; }
+
+    /// High-water mark of pending_tasks() over the simulation's lifetime
+    /// (bench/telemetry: peak scheduler backlog).
+    [[nodiscard]] std::size_t peak_pending() const { return peak_pending_; }
+
+    /// Entries currently held by the unhooked pop queue. Bookkeeping bound:
+    /// exactly 0 while a schedule hook is installed (hooked runs never touch
+    /// it); otherwise pending_tasks() plus any not-yet-skipped stale entries.
+    [[nodiscard]] std::size_t queued_entries() const { return queue_.size(); }
 
     /// Observers invoked (in registration order) after every completed task
     /// (loopscan, tracing, invariant checkers). Observers compose: adding one
@@ -155,18 +189,37 @@ public:
     /// pending task is offered alongside the earliest one when its effective
     /// start is within `window` of it. With a hook installed and window > 0,
     /// global task *start* times may be locally non-monotone; per-message
-    /// causality (observation start >= post time) still holds.
-    void set_schedule_hook(schedule_hook* hook, time_ns window = 0)
-    {
-        hook_ = hook;
-        window_ = window;
-    }
+    /// causality (observation start >= post time) still holds. Installing or
+    /// clearing the hook mid-run is supported: the scheduling index for the
+    /// new mode is rebuilt from the pending set.
+    void set_schedule_hook(schedule_hook* hook, time_ns window = 0);
 
 private:
+    /// Per-thread lazy min-heap entry: a pending task's immutable ready time.
+    /// Entries are not removed when a task executes or is cancelled; they
+    /// carry the task's arena slot and generation and are treated as
+    /// tombstones once the generation no longer matches (one indexed load,
+    /// no hash probe).
+    struct ready_ref {
+        time_ns ready_at;
+        task_id id;
+        std::uint32_t slot;
+        std::uint32_t gen;
+        bool operator>(const ready_ref& other) const
+        {
+            return ready_at != other.ready_at ? ready_at > other.ready_at : id > other.id;
+        }
+    };
+
     struct thread_state {
         std::string name;
         bool alive = true;
         time_ns busy_until = 0;
+        std::vector<ready_ref> ready;     // hooked mode only; empty otherwise
+        time_ns ready_max = 0;            // upper bound on live entries' ready_at
+        std::uint64_t collect_stamp = 0;  // last hooked step this thread was collected
+        std::size_t stale = 0;            // ready entries whose task left the arena
+        std::vector<std::uint64_t> in_channels;  // keys of channels targeting this thread
     };
 
     struct pending_task {
@@ -174,6 +227,7 @@ private:
         thread_id source = no_thread;  // thread of the posting task (no_thread
                                        // when posted from outside a task)
         time_ns ready_at = 0;
+        std::uint64_t seq = 0;  // global post order (FIFO tie-break)
         std::function<void()> fn;
         std::string label;
     };
@@ -182,10 +236,41 @@ private:
         time_ns key;  // candidate start time; re-keyed upward on busy threads
         std::uint64_t seq;
         task_id id;
+        std::uint32_t slot = 0;  // arena slot + generation for O(1) validation
+        std::uint32_t gen = 0;
         bool operator>(const queue_entry& other) const
         {
             return key != other.key ? key > other.key : seq > other.seq;
         }
+    };
+
+    /// Lazy global heap over thread heads: (effective start of the thread's
+    /// earliest pending task, thread). Keys are exact at push time and only
+    /// drift as the thread's state moves; surfaced entries are re-validated
+    /// and re-keyed, so the first validated pop is the true earliest start.
+    struct order_ref {
+        time_ns start;
+        thread_id thread;
+        bool operator>(const order_ref& other) const
+        {
+            return start != other.start ? start > other.start : thread > other.thread;
+        }
+    };
+
+    /// Per-channel FIFO index for hooked mode. One channel per (source
+    /// thread -> target thread) pair of cross-thread posts; entries are kept
+    /// in post (= id) order. The candidate gather never tests entries
+    /// individually for FIFO blocking: the only entries an earlier
+    /// same-channel post cannot block are the strict prefix minima of the
+    /// ready times in id order, so each step walks that chain once per
+    /// channel (O(entries), sequential) and offers exactly its members.
+    struct channel_entry {
+        task_id id;
+        time_ns ready_at;
+        std::uint32_t slot;  // always live: entries are removed eagerly
+    };
+    struct channel_state {
+        std::vector<channel_entry> entries;  // id-ascending
     };
 
     struct running_task {
@@ -200,25 +285,82 @@ private:
     /// next start time exceeds `deadline`.
     std::optional<queue_entry> next_entry(time_ns deadline);
 
-    /// Hook-driven variant: linear scan of pending tasks, candidate window
-    /// assembly, and hook choice (see schedule_hook).
+    /// Hook-driven variant: candidate window assembly from the per-thread
+    /// indexes and hook choice (see schedule_hook).
     std::optional<queue_entry> next_entry_hooked(time_ns deadline);
 
     void execute(const queue_entry& entry);
 
+    // Hooked-index maintenance.
+    static std::uint64_t channel_key(thread_id source, thread_id target);
+    void channel_add(thread_id source, thread_id target, task_id id, time_ns ready_at,
+                     std::uint32_t slot);
+    void channel_remove(const pending_task& task, task_id id);
+    std::optional<time_ns> thread_head_start(thread_id thread);
+    void rebuild_hook_index();
+    void rebuild_unhooked_queue();
+
+    /// Pending tasks live in a slot arena: scheduling refs (ready_ref /
+    /// queue_entry) carry (slot, generation) and validate with one indexed
+    /// load. The open-addressed id index is only consulted on the id-keyed
+    /// operations (cancel, hooked pick resolution), never per candidate.
+    struct task_slot {
+        pending_task task;
+        task_id id = 0;
+        std::uint32_t gen = 0;  // bumped on release; stale refs mismatch
+        bool alive = false;
+    };
+
+    /// Place `task` in a free slot (reusing released ones LIFO) and index it.
+    std::uint32_t acquire_slot(pending_task task, task_id id);
+    /// Unindex the slot, bump its generation, and recycle it.
+    void release_slot(std::uint32_t slot);
+    /// The slot's task iff the generation still matches, else nullptr.
+    [[nodiscard]] const pending_task* slot_task(std::uint32_t slot,
+                                                std::uint32_t gen) const
+    {
+        const task_slot& s = slots_[slot];
+        return s.gen == gen ? &s.task : nullptr;
+    }
+
     std::vector<thread_state> threads_;
-    std::unordered_map<task_id, pending_task> pending_;
+    std::vector<task_slot> slots_;
+    std::vector<std::uint32_t> slot_free_;  // LIFO free list over slots_
+    detail::id_index task_index_;           // live task id -> slot
+    std::size_t pending_count_ = 0;
     std::priority_queue<queue_entry, std::vector<queue_entry>, std::greater<>> queue_;
+    std::vector<order_ref> thread_order_;  // hooked mode only
+    std::unordered_map<std::uint64_t, channel_state> channels_;  // hooked mode only
     std::vector<std::pair<observer_handle, std::function<void(const task_info&)>>>
         observers_;
     schedule_hook* hook_ = nullptr;
     time_ns window_ = 0;
     std::optional<running_task> current_;
+    bool running_ = false;
     task_id next_task_id_ = 1;
     std::uint64_t next_seq_ = 0;
     std::uint64_t next_observer_ = 1;
     std::uint64_t executed_ = 0;
+    std::uint64_t step_stamp_ = 0;
+    std::size_t peak_pending_ = 0;
     time_ns floor_time_ = 0;  // global low-water mark outside tasks
+
+    /// Compact candidate record gathered before the per-step sort: sorting
+    /// these 24-byte keys and materializing sched_candidates afterwards is
+    /// cheaper than sorting the public 32-byte structs directly, and keeps
+    /// the picked task's slot at hand for the returned queue_entry.
+    struct cand_key {
+        time_ns start;
+        task_id id;
+        std::uint32_t slot;
+        thread_id thread;
+    };
+
+    // Step-scratch buffers (reused so hooked steps stay allocation-light).
+    std::vector<sched_candidate> cand_buf_;
+    std::vector<cand_key> cand_keys_;
+    std::vector<std::size_t> dfs_stack_;  // ready-heap traversal worklist
+    std::vector<order_ref> collected_;
 };
 
 }  // namespace jsk::sim

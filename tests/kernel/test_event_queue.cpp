@@ -2,6 +2,12 @@
 // lookup) and the kernel clock (§III-C2).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
 #include "kernel/event_queue.h"
 #include "kernel/kclock.h"
 
@@ -91,6 +97,213 @@ TEST(event_queue, cancel_all_marks_everything)
     q.cancel_all();
     EXPECT_EQ(q.top()->status, kevent_status::cancelled);
     EXPECT_EQ(q.lookup(2)->status, kevent_status::cancelled);
+}
+
+TEST(event_queue, mark_cancelled_keeps_event_queued)
+{
+    event_queue q;
+    q.push(make_event(1, 1.0));
+    q.push(make_event(2, 2.0));
+    EXPECT_TRUE(q.mark_cancelled(1));
+    EXPECT_FALSE(q.mark_cancelled(99));
+    EXPECT_EQ(q.size(), 2u);  // stays queued for in-order discard
+    EXPECT_EQ(q.top()->id, 1u);
+    EXPECT_EQ(q.top()->status, kevent_status::cancelled);
+    EXPECT_DOUBLE_EQ(q.next_pending_time(), 2.0);  // horizon skips it
+    EXPECT_EQ(q.pop().id, 1u);
+    EXPECT_EQ(q.pop().id, 2u);
+}
+
+TEST(event_queue, next_pending_time_tracks_updates_and_removals)
+{
+    event_queue q;
+    EXPECT_DOUBLE_EQ(q.next_pending_time(), -1.0);
+    q.push(make_event(1, 10.0));
+    q.push(make_event(2, 20.0));
+    EXPECT_DOUBLE_EQ(q.next_pending_time(), 10.0);
+    EXPECT_TRUE(q.update_predicted(2, 5.0));
+    EXPECT_DOUBLE_EQ(q.next_pending_time(), 5.0);
+    EXPECT_TRUE(q.remove(2));
+    EXPECT_DOUBLE_EQ(q.next_pending_time(), 10.0);
+    // Cancellation behind the queue API's back (scheduler writes through
+    // lookup()) must still be skipped by the horizon probe.
+    q.lookup(1)->status = kevent_status::cancelled;
+    EXPECT_DOUBLE_EQ(q.next_pending_time(), -1.0);
+    q.cancel_all();
+    EXPECT_DOUBLE_EQ(q.next_pending_time(), -1.0);
+}
+
+TEST(event_queue, heavy_churn_stays_consistent_through_compaction)
+{
+    // Many remove/update cycles accumulate heap tombstones past the
+    // compaction threshold; ordering and the id index must survive.
+    event_queue q;
+    std::uint64_t next = 1;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 20; ++i) {
+            q.push(make_event(next, static_cast<ktime>((next * 7) % 31)));
+            ++next;
+        }
+        for (std::uint64_t id = next - 20; id < next; id += 2) {
+            EXPECT_TRUE(q.remove(id));
+        }
+        for (std::uint64_t id = next - 19; id < next; id += 4) {
+            EXPECT_TRUE(q.update_predicted(id, static_cast<ktime>(id % 13)));
+        }
+        while (q.size() > 5) q.pop();
+    }
+    ktime last = -1.0;
+    while (!q.empty()) {
+        const kevent ev = q.pop();
+        EXPECT_GE(ev.predicted_time, last);
+        last = ev.predicted_time;
+    }
+}
+
+/// The pre-overhaul event queue, kept verbatim as a behavioral reference:
+/// a (predicted, id)-ordered std::map plus an id index.
+class reference_queue {
+public:
+    void push(kevent ev)
+    {
+        const key k{ev.predicted_time, ev.id};
+        index_.emplace(ev.id, k);
+        order_.emplace(k, std::move(ev));
+    }
+    kevent pop()
+    {
+        auto it = order_.begin();
+        kevent out = std::move(it->second);
+        index_.erase(out.id);
+        order_.erase(it);
+        return out;
+    }
+    bool remove(std::uint64_t id)
+    {
+        auto it = index_.find(id);
+        if (it == index_.end()) return false;
+        order_.erase(it->second);
+        index_.erase(it);
+        return true;
+    }
+    kevent* lookup(std::uint64_t id)
+    {
+        auto it = index_.find(id);
+        return it == index_.end() ? nullptr : &order_.at(it->second);
+    }
+    bool update_predicted(std::uint64_t id, ktime predicted)
+    {
+        auto it = index_.find(id);
+        if (it == index_.end()) return false;
+        auto node = order_.extract(it->second);
+        node.mapped().predicted_time = predicted;
+        node.key() = key{predicted, id};
+        it->second = node.key();
+        order_.insert(std::move(node));
+        return true;
+    }
+    [[nodiscard]] bool empty() const { return order_.empty(); }
+    [[nodiscard]] std::size_t size() const { return order_.size(); }
+    [[nodiscard]] ktime next_pending_time() const
+    {
+        for (const auto& [k, ev] : order_) {
+            if (ev.status != kevent_status::cancelled) return ev.predicted_time;
+        }
+        return -1.0;
+    }
+
+private:
+    struct key {
+        ktime predicted;
+        std::uint64_t id;
+        bool operator<(const key& other) const
+        {
+            if (predicted != other.predicted) return predicted < other.predicted;
+            return id < other.id;
+        }
+    };
+    std::map<key, kevent> order_;
+    std::unordered_map<std::uint64_t, key> index_;
+};
+
+TEST(event_queue, ab_fuzz_matches_reference_map_implementation)
+{
+    // Drive both implementations through an identical deterministic op mix
+    // and assert identical pop orders, sizes, horizons, and lookups.
+    event_queue q;
+    reference_queue ref;
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+    const auto next_rand = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    std::uint64_t next_id = 1;
+    std::vector<std::uint64_t> live;
+    for (int step = 0; step < 20'000; ++step) {
+        const std::uint64_t r = next_rand();
+        switch (r % 6) {
+            case 0:
+            case 1: {  // push
+                kevent ev = make_event(next_id++, static_cast<ktime>(r % 997) / 7.0);
+                live.push_back(ev.id);
+                ref.push(ev);
+                q.push(std::move(ev));
+                break;
+            }
+            case 2: {  // pop
+                if (ref.empty()) break;
+                const kevent a = q.pop();
+                const kevent b = ref.pop();
+                ASSERT_EQ(a.id, b.id) << "pop order diverged at step " << step;
+                ASSERT_DOUBLE_EQ(a.predicted_time, b.predicted_time);
+                std::erase(live, a.id);
+                break;
+            }
+            case 3: {  // remove a random live id (or a bogus one)
+                const std::uint64_t id =
+                    live.empty() ? next_id + 5 : live[r / 7 % live.size()];
+                ASSERT_EQ(q.remove(id), ref.remove(id));
+                std::erase(live, id);
+                break;
+            }
+            case 4: {  // update_predicted on a random live id
+                if (live.empty()) break;
+                const std::uint64_t id = live[r / 7 % live.size()];
+                const ktime predicted = static_cast<ktime>(r % 1009) / 3.0;
+                ASSERT_EQ(q.update_predicted(id, predicted),
+                          ref.update_predicted(id, predicted));
+                break;
+            }
+            case 5: {  // cancel through both, probe horizon + lookup
+                if (!live.empty() && r % 5 == 0) {
+                    const std::uint64_t id = live[r / 7 % live.size()];
+                    q.mark_cancelled(id);
+                    kevent* ev = ref.lookup(id);
+                    ev->status = kevent_status::cancelled;
+                    ev->callback = nullptr;
+                }
+                ASSERT_DOUBLE_EQ(q.next_pending_time(), ref.next_pending_time());
+                const std::uint64_t id =
+                    live.empty() ? next_id : live[r / 9 % live.size()];
+                kevent* a = q.lookup(id);
+                kevent* b = ref.lookup(id);
+                ASSERT_EQ(a == nullptr, b == nullptr);
+                if (a != nullptr) {
+                    ASSERT_EQ(a->status, b->status);
+                    ASSERT_DOUBLE_EQ(a->predicted_time, b->predicted_time);
+                }
+                break;
+            }
+        }
+        ASSERT_EQ(q.size(), ref.size());
+        ASSERT_EQ(q.empty(), ref.empty());
+    }
+    while (!ref.empty()) {
+        ASSERT_EQ(q.pop().id, ref.pop().id);
+    }
+    EXPECT_TRUE(q.empty());
 }
 
 TEST(kclock, ticks_advance_time_by_tick_length)

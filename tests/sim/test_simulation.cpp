@@ -205,4 +205,150 @@ TEST(simulation, nested_posts_inherit_consumed_time)
     EXPECT_EQ(starts[0], 7 * ms);  // waits for the full task, not the 3 ms mark
 }
 
+TEST(simulation, thread_created_mid_task_cannot_start_before_creation)
+{
+    // Regression: create_thread used to seed busy_until from the global
+    // low-water mark (still 0 while the creating task runs), so a task
+    // posted from an earlier-in-virtual-time thread could start on the new
+    // worker *before the worker existed*.
+    simulation sim;
+    const thread_id a = sim.create_thread("a");
+    const thread_id b = sim.create_thread("b");
+    thread_id w = no_thread;
+    time_ns created_at = -1;
+    time_ns w_start = -1;
+    sim.post(a, 0, [&] {
+        sim.consume(50 * ms);
+        w = sim.create_thread("worker");
+        created_at = sim.now();
+    });
+    sim.post(b, 10 * ms, [&] {
+        // Runs after a's task in host order (start 10ms > 0) but at an
+        // earlier virtual time than the worker's creation; it learned the
+        // worker id through shared C++ state.
+        sim.post(w, sim.now(), [&] { w_start = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(created_at, 50 * ms);
+    EXPECT_EQ(w_start, 50 * ms);  // never 10ms: creation time is a floor
+}
+
+TEST(simulation, reentrant_run_from_task_throws)
+{
+    simulation sim;
+    const thread_id t = sim.create_thread("main");
+    bool threw_run = false;
+    bool threw_run_until = false;
+    bool after_ran = false;
+    sim.post(t, 0, [&] {
+        try {
+            sim.run();
+        } catch (const std::logic_error&) {
+            threw_run = true;
+        }
+        try {
+            sim.run_until(1 * ms);
+        } catch (const std::logic_error&) {
+            threw_run_until = true;
+        }
+    });
+    sim.post(t, 2 * ms, [&] { after_ran = true; });
+    sim.run();
+    EXPECT_TRUE(threw_run);
+    EXPECT_TRUE(threw_run_until);
+    EXPECT_TRUE(after_ran);  // the outer run survives the rejected nesting
+}
+
+TEST(simulation, destroy_thread_drops_pending_count_eagerly)
+{
+    simulation sim;
+    const thread_id a = sim.create_thread("a");
+    const thread_id b = sim.create_thread("b");
+    for (int i = 0; i < 4; ++i) sim.post(b, (i + 1) * 10 * ms, [] {});
+    std::size_t inside = ~std::size_t{0};
+    sim.post(a, 0, [&] {
+        sim.destroy_thread(b);
+        inside = sim.pending_tasks();  // b's tasks must leave the count now
+    });
+    EXPECT_EQ(sim.pending_tasks(), 5u);
+    sim.run();
+    EXPECT_EQ(inside, 0u);
+    EXPECT_EQ(sim.pending_tasks(), 0u);
+}
+
+namespace {
+/// Minimal hook: always runs the earliest candidate (index 0).
+struct first_hook final : schedule_hook {
+    std::size_t choose(const std::vector<sched_candidate>&) override { return 0; }
+};
+}  // namespace
+
+TEST(simulation, hooked_runs_keep_unhooked_queue_empty)
+{
+    // Regression: posts used to feed the unhooked pop queue even while a
+    // hook was installed (which never pops it), so long exploration runs
+    // grew memory without bound.
+    simulation sim;
+    const thread_id t = sim.create_thread("main");
+    first_hook hook;
+    sim.set_schedule_hook(&hook, 0);
+    int ran = 0;
+    std::function<void()> chain = [&] {
+        sim.consume(1 * us);
+        if (++ran < 200) sim.post(t, sim.now(), chain);
+    };
+    sim.post(t, 0, chain);
+    EXPECT_EQ(sim.queued_entries(), 0u);
+    sim.run();
+    EXPECT_EQ(ran, 200);
+    EXPECT_EQ(sim.queued_entries(), 0u);
+
+    // Clearing the hook rebuilds the unhooked queue from pending state.
+    sim.post(t, sim.now() + 1 * ms, [&] { ++ran; });
+    sim.set_schedule_hook(nullptr);
+    EXPECT_EQ(sim.queued_entries(), 1u);
+    sim.run();
+    EXPECT_EQ(ran, 201);
+}
+
+TEST(simulation, hooked_and_unhooked_schedules_agree_at_window_zero)
+{
+    // With window 0 the hook is only consulted on genuine (start, id) ties,
+    // and first_hook resolves them exactly like the unhooked queue — the two
+    // scheduling paths must produce identical observation streams.
+    const auto run_one = [](schedule_hook* hook) {
+        simulation sim;
+        const thread_id m = sim.create_thread("main");
+        const thread_id w = sim.create_thread("worker");
+        if (hook) sim.set_schedule_hook(hook, 0);
+        std::vector<std::string> log;
+        sim.add_task_observer([&](const task_info& info) {
+            log.push_back(info.label + "@" + std::to_string(info.start));
+        });
+        sim.post(m, 0, [&] {
+            sim.consume(3 * ms);
+            sim.post(w, sim.now(), [&] { sim.consume(2 * ms); }, "msg");
+        }, "boot");
+        sim.post(m, 1 * ms, [&] { sim.consume(4 * ms); }, "timer1");
+        sim.post(w, 2 * ms, [&] { sim.consume(1 * ms); }, "wtimer");
+        sim.post(m, 2 * ms, [] {}, "timer2");
+        sim.run();
+        return log;
+    };
+    first_hook hook;
+    EXPECT_EQ(run_one(nullptr), run_one(&hook));
+}
+
+TEST(simulation, peak_pending_tracks_high_water_mark)
+{
+    simulation sim;
+    const thread_id t = sim.create_thread("main");
+    for (int i = 0; i < 3; ++i) sim.post(t, i * ms, [] {});
+    sim.run();
+    sim.post(t, 0, [] {});
+    sim.run();
+    EXPECT_EQ(sim.peak_pending(), 3u);
+    EXPECT_EQ(sim.pending_tasks(), 0u);
+}
+
 }  // namespace
