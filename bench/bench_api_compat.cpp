@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 
+#include "bench/bench_obs.h"
 #include "bench/bench_util.h"
 #include "defenses/defense.h"
 
@@ -198,8 +199,9 @@ double run_app(const app& a, defenses::defense_id id)
 
 }  // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    const std::string json_dir = bench::json_out_dir(argc, argv);
     const auto apps = make_apps();
     const std::vector<defenses::defense_id> columns{
         defenses::defense_id::fuzzyfox, defenses::defense_id::deterfox,
@@ -242,5 +244,16 @@ int main()
                     jskernel_nontime_diffs == 0 && diff_counts[2] <= 5;
     std::printf("shape holds (jskernel < deterfox < fuzzyfox, no functional breakage): %s\n",
                 ok ? "yes" : "NO");
+    if (!json_dir.empty()) {
+        bench::json_report report("api_compat");
+        report.set("fuzzyfox_diffs", static_cast<std::uint64_t>(diff_counts[0]));
+        report.set("deterfox_diffs", static_cast<std::uint64_t>(diff_counts[1]));
+        report.set("jskernel_diffs", static_cast<std::uint64_t>(diff_counts[2]));
+        report.set("jskernel_nontime_diffs",
+                   static_cast<std::uint64_t>(jskernel_nontime_diffs));
+        report.set_raw("metrics",
+                       bench::representative_metrics_json(defenses::defense_id::jskernel));
+        report.write(json_dir);
+    }
     return ok ? 0 : 1;
 }

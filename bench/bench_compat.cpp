@@ -4,6 +4,7 @@
 // through dynamic content (ads), which differ between *any* two visits.
 #include <cstdio>
 
+#include "bench/bench_obs.h"
 #include "bench/bench_util.h"
 #include "defenses/defense.h"
 #include "sim/stats.h"
@@ -30,8 +31,9 @@ std::unordered_map<std::string, double> visit(std::uint64_t site, bool with_kern
 
 }  // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    const std::string json_dir = bench::json_out_dir(argc, argv);
     const int sites = 100;
     int above_99 = 0;
     int dynamic_flagged = 0;
@@ -59,5 +61,14 @@ int main()
     std::printf("minimum similarity: %.4f\n", min_sim);
     const bool ok = above_99 >= 85 && dynamic_flagged == sites - above_99;
     std::printf("shape holds: %s\n", ok ? "yes" : "NO");
+    if (!json_dir.empty()) {
+        bench::json_report report("compat");
+        report.set("sites_above_99pct", static_cast<std::uint64_t>(above_99));
+        report.set("dynamic_flagged", static_cast<std::uint64_t>(dynamic_flagged));
+        report.set("min_similarity", min_sim);
+        report.set_raw("metrics",
+                       bench::representative_metrics_json(defenses::defense_id::jskernel));
+        report.write(json_dir);
+    }
     return ok ? 0 : 1;
 }

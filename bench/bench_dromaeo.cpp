@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/bench_obs.h"
 #include "bench/bench_util.h"
 #include "defenses/defense.h"
 #include "workloads/sites.h"
@@ -65,6 +66,8 @@ int main(int argc, char** argv)
         report.set("average_overhead_pct", avg);
         report.set("median_overhead_pct", median);
         report.set("dom_attr_overhead_pct", dom_attr_overhead);
+        report.set_raw("metrics",
+                       bench::representative_metrics_json(defenses::defense_id::jskernel));
         report.write(json_dir);
     }
     return ok ? 0 : 1;

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "attacks/attacks_impl.h"
+#include "bench/bench_obs.h"
 #include "bench/bench_util.h"
 
 using namespace jsk;
@@ -58,6 +59,8 @@ int main(int argc, char** argv)
         bench::json_report report("fig2");
         report.set("jskernel_flat", std::uint64_t{jskernel_flat ? 1u : 0u});
         report.set("jskernel_reported_ms", jskernel_first);
+        report.set_raw("metrics",
+                       bench::representative_metrics_json(defenses::defense_id::jskernel));
         report.write(json_dir);
     }
     return jskernel_flat ? 0 : 1;

@@ -19,9 +19,13 @@
 
 #include "attacks/attacks_impl.h"
 #include "attacks/explore_sweep.h"
+#include "bench/bench_obs.h"
 #include "bench/bench_util.h"
 #include "defenses/defense.h"
 #include "kernel/event_queue.h"
+#include "obs/collect.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/browser.h"
 #include "runtime/profile.h"
 #include "runtime/vuln.h"
@@ -396,6 +400,54 @@ double run_probe_micro(Queue& q, std::uint64_t rounds)
     return s * 1e9 / static_cast<double>(ops);
 }
 
+struct obs_numbers {
+    double off_ns_per_task = 0;   // no sink attached (min of `passes`)
+    double off_noise_ratio = 0;   // worst/best obs-off pass — measurement noise
+    double on_ns_per_task = 0;    // sink attached, recording every task span
+    double on_overhead_ratio = 0; // on/off
+    std::uint64_t events_recorded = 0;
+};
+
+/// The obs-off overhead guard: the instrumentation threaded through the
+/// scheduler hot path is one predictable null-pointer branch per site when no
+/// sink is attached, so an obs-off run must price the same as the headline
+/// numbers above (which also run sinkless — the cross-check is pass-to-pass
+/// noise, recorded as off_noise_ratio). The sink-attached pass prices what
+/// recording actually costs; it is reported, not bounded.
+obs_numbers run_obs_guard(std::uint64_t tasks, int passes)
+{
+    obs_numbers out;
+    double best_off = 0;
+    double worst_off = 0;
+    for (int p = 0; p < passes; ++p) {
+        sim_workload w(/*thread_count=*/4, /*chains=*/64, tasks);
+        const auto t0 = clock_type::now();
+        w.sim.run(tasks);
+        const double ns =
+            seconds_since(t0) * 1e9 / static_cast<double>(w.sim.tasks_executed());
+        if (p == 0 || ns < best_off) best_off = ns;
+        if (p == 0 || ns > worst_off) worst_off = ns;
+    }
+    out.off_ns_per_task = best_off;
+    out.off_noise_ratio = best_off > 0 ? worst_off / best_off : 0;
+
+    double best_on = 0;
+    for (int p = 0; p < passes; ++p) {
+        sim_workload w(/*thread_count=*/4, /*chains=*/64, tasks);
+        obs::sink sink;
+        w.sim.set_trace_sink(&sink);
+        const auto t0 = clock_type::now();
+        w.sim.run(tasks);
+        const double ns =
+            seconds_since(t0) * 1e9 / static_cast<double>(w.sim.tasks_executed());
+        if (p == 0 || ns < best_on) best_on = ns;
+        out.events_recorded = sink.size();
+    }
+    out.on_ns_per_task = best_on;
+    out.on_overhead_ratio = best_off > 0 ? best_on / best_off : 0;
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -460,6 +512,27 @@ int main(int argc, char** argv)
     bench::print_row({"idle-horizon speedup (legacy/new)",
                       bench::fmt(horizon_speedup)}, 38);
 
+    // obs-off overhead guard: the instrumented hot path with no sink attached
+    // must price like the headline run above (also sinkless). Flag a breach
+    // only when the measurement itself was stable — pass-to-pass noise above
+    // 30% means the machine, not the code, moved.
+    const obs_numbers on = run_obs_guard(/*tasks=*/200'000, /*passes=*/3);
+    const double off_vs_headline =
+        sn.unhooked_ns_per_task > 0 ? on.off_ns_per_task / sn.unhooked_ns_per_task : 0;
+    const bool stable = on.off_noise_ratio < 1.3;
+    const bool obs_off_within_noise = off_vs_headline < 1.5 || !stable;
+
+    std::printf("\n");
+    bench::print_row({"obs metric", "value"}, 38);
+    bench::print_rule(2, 38);
+    bench::print_row({"obs-off ns/task", bench::fmt(on.off_ns_per_task)}, 38);
+    bench::print_row({"obs-off noise (worst/best)", bench::fmt(on.off_noise_ratio)}, 38);
+    bench::print_row({"obs-on ns/task", bench::fmt(on.on_ns_per_task)}, 38);
+    bench::print_row({"obs-on overhead (on/off)", bench::fmt(on.on_overhead_ratio)}, 38);
+    bench::print_row({"events recorded (obs-on)", std::to_string(on.events_recorded)}, 38);
+    std::printf("obs-off within noise of headline sim numbers: %s (ratio %.2f)\n",
+                obs_off_within_noise ? "yes" : "NO", off_vs_headline);
+
     if (!json_dir.empty()) {
         bench::json_report sim_report("sim");
         sim_report.set("unhooked_ns_per_task", sn.unhooked_ns_per_task);
@@ -472,6 +545,15 @@ int main(int argc, char** argv)
         sim_report.set("cve_matrix_explore_steps", sw.steps);
         sim_report.set("cve_matrix_seconds", sw.seconds);
         sim_report.set("cve_matrix_steps_per_sec", sweep_steps_per_sec);
+        {
+            // Counter context for the trajectory: the same workload the
+            // timings ran on, re-run at a small size and snapshotted.
+            sim_workload w(/*thread_count=*/4, /*chains=*/64, /*total=*/50'000);
+            w.sim.run(50'000);
+            obs::registry reg;
+            obs::collect_sim(reg, w.sim);
+            sim_report.set_raw("metrics", reg.to_json());
+        }
         sim_report.write(json_dir);
 
         bench::json_report kernel_report("kernel");
@@ -481,7 +563,19 @@ int main(int argc, char** argv)
         kernel_report.set("idle_horizon_ns_per_op", current_horizon_ns);
         kernel_report.set("idle_horizon_ns_per_op_legacy_map", legacy_horizon_ns);
         kernel_report.set("idle_horizon_speedup_vs_legacy", horizon_speedup);
+        kernel_report.set_raw(
+            "metrics", bench::representative_metrics_json(defenses::defense_id::jskernel));
         kernel_report.write(json_dir);
+
+        bench::json_report obs_report("obs");
+        obs_report.set("obs_off_ns_per_task", on.off_ns_per_task);
+        obs_report.set("obs_off_noise_ratio", on.off_noise_ratio);
+        obs_report.set("obs_off_vs_headline_ratio", off_vs_headline);
+        obs_report.set("obs_on_ns_per_task", on.on_ns_per_task);
+        obs_report.set("obs_on_overhead_ratio", on.on_overhead_ratio);
+        obs_report.set("events_recorded", on.events_recorded);
+        obs_report.set("within_noise", std::uint64_t{obs_off_within_noise ? 1u : 0u});
+        obs_report.write(json_dir);
     }
-    return 0;
+    return obs_off_within_noise ? 0 : 1;
 }

@@ -1,0 +1,57 @@
+// Shared obs-metrics embedding for the bench binaries.
+//
+// Every BENCH_*.json carries a "metrics" field so counter context (queue
+// depth highwater, compactions, candidate-window sizes, trigger counts)
+// accretes next to the timings. Most benches construct and destroy many
+// short-lived worlds inside their measurement loops; rather than thread a
+// registry through each of them, they embed the snapshot of one
+// *representative* world — a synthetic site loaded under the bench's
+// headline defense with CVE monitors attached — collected the same way
+// trace_cli does it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "defenses/defense.h"
+#include "defenses/defenses_impl.h"
+#include "obs/collect.h"
+#include "obs/metrics.h"
+#include "runtime/browser.h"
+#include "runtime/profile.h"
+#include "runtime/vuln.h"
+#include "workloads/sites.h"
+
+namespace jsk::bench {
+
+/// Collect sim + kernel (when the defense installed one) + vuln metrics from
+/// an already-run world into JSON.
+inline std::string world_metrics_json(rt::browser& b, defenses::defense* def,
+                                      const rt::vuln_registry* vulns = nullptr)
+{
+    obs::registry reg;
+    obs::collect_sim(reg, b.sim());
+    if (auto* jskd = dynamic_cast<defenses::jskernel_defense*>(def)) {
+        if (jskd->installed_kernel() != nullptr) {
+            obs::collect_kernel(reg, *jskd->installed_kernel());
+        }
+    }
+    if (vulns != nullptr) obs::collect_vulns(reg, *vulns);
+    return reg.to_json();
+}
+
+/// Metrics snapshot of one representative world: a synthetic site loaded on
+/// the Chrome profile under `def_id`, with the CVE monitors attached.
+/// Deterministic for a fixed seed.
+inline std::string representative_metrics_json(defenses::defense_id def_id,
+                                               std::uint64_t seed = 17)
+{
+    rt::browser b(rt::chrome_profile(), seed);
+    rt::vuln_registry vulns(b.bus());
+    auto def = defenses::make_defense(def_id, seed);
+    def->install(b);
+    workloads::load_site(b, workloads::make_synthetic_site(seed, 42));
+    return world_metrics_json(b, def.get(), &vulns);
+}
+
+}  // namespace jsk::bench

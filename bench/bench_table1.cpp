@@ -10,6 +10,7 @@
 
 #include "attacks/attack.h"
 #include "attacks/expected.h"
+#include "bench/bench_obs.h"
 #include "bench/bench_util.h"
 
 using namespace jsk;
@@ -57,6 +58,8 @@ int main(int argc, char** argv)
         bench::json_report report("table1");
         report.set("matrix_cells", std::uint64_t{132});
         report.set("mismatches", static_cast<std::uint64_t>(mismatches));
+        report.set_raw("metrics",
+                       bench::representative_metrics_json(defenses::defense_id::jskernel));
         report.write(json_dir);
     }
     return mismatches == 0 ? 0 : 1;

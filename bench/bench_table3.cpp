@@ -7,6 +7,7 @@
 // so variance here is defense-jitter only; legacy rows are near-constant).
 #include <cstdio>
 
+#include "bench/bench_obs.h"
 #include "bench/bench_util.h"
 #include "defenses/defense.h"
 #include "sim/stats.h"
@@ -76,6 +77,10 @@ int main(int argc, char** argv)
     std::printf("\njskernel hero-load overhead stays within 15%% on every subtest: %s "
                 "(paper: 2.75%% Chrome / 3.85%% Firefox average)\n",
                 overhead_small ? "yes" : "NO");
-    if (!json_dir.empty()) report.write(json_dir);
+    if (!json_dir.empty()) {
+        report.set_raw("metrics",
+                       bench::representative_metrics_json(defenses::defense_id::jskernel));
+        report.write(json_dir);
+    }
     return overhead_small ? 0 : 1;
 }

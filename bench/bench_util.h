@@ -73,6 +73,14 @@ public:
         fields_.emplace_back(key, "\"" + escape(value) + "\"");
     }
 
+    /// Embed a pre-serialized JSON value verbatim (e.g. an obs metrics
+    /// snapshot from jsk::obs::registry::to_json()). The caller owns its
+    /// validity.
+    void set_raw(const std::string& key, std::string raw_json)
+    {
+        fields_.emplace_back(key, std::move(raw_json));
+    }
+
     /// Write BENCH_<name>.json into `dir` (created if needed). Returns the
     /// path written, or empty on failure/empty dir.
     std::string write(const std::string& dir) const

@@ -3,6 +3,7 @@
 // Paper: ~0.9 % average overhead.
 #include <cstdio>
 
+#include "bench/bench_obs.h"
 #include "bench/bench_util.h"
 #include "defenses/defense.h"
 #include "sim/stats.h"
@@ -50,6 +51,8 @@ int main(int argc, char** argv)
         report.set("base_mean_ms", base.mean);
         report.set("kernel_mean_ms", kernel.mean);
         report.set("overhead_pct", overhead);
+        report.set_raw("metrics",
+                       bench::representative_metrics_json(defenses::defense_id::jskernel));
         report.write(json_dir);
     }
     return ok ? 0 : 1;

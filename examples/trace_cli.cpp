@@ -1,0 +1,138 @@
+// trace_cli — run one CVE exploit under a chosen defense with the jsk::obs
+// subsystem attached, and write a Chrome trace-event JSON file.
+//
+//   trace_cli [cve] [defense] [out.trace.json] [seed]
+//   trace_cli --list
+//
+// Defaults: CVE-2018-5092 under jskernel, written to
+// "<cve>.<defense>.trace.json". Load the output in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing: one row per simulated
+// thread, task spans on the event-loop timeline, kernel dispatch spans
+// nested inside them, and instants for timers, messages, fetches, policy
+// decisions and CVE triggers. The top-level "otherData" field carries the
+// run's metrics snapshot.
+//
+// All timestamps are virtual — two runs with the same arguments produce
+// byte-identical files (tests/obs/test_trace_determinism.cpp pins the same
+// property for the library).
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "attacks/attacks_impl.h"
+#include "defenses/defense.h"
+#include "defenses/defenses_impl.h"
+#include "kernel/json.h"
+#include "obs/chrome_export.h"
+#include "obs/collect.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/browser.h"
+#include "runtime/profile.h"
+#include "runtime/vuln.h"
+#include "sim/time.h"
+
+namespace {
+
+namespace jk = jsk;
+namespace json = jsk::kernel::json;
+
+int list_choices()
+{
+    std::cout << "CVEs:\n";
+    for (const auto& [id, fn] : jk::attacks::cve_exploit_table()) {
+        std::cout << "  " << id << "\n";
+    }
+    std::cout << "defenses:\n";
+    for (const auto id : jk::defenses::all_defense_ids()) {
+        std::cout << "  " << jk::defenses::to_string(id) << "\n";
+    }
+    return 0;
+}
+
+jk::attacks::cve_exploit_fn find_exploit(const std::string& cve)
+{
+    for (const auto& [id, fn] : jk::attacks::cve_exploit_table()) {
+        if (id == cve) return fn;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc > 1 && std::string(argv[1]) == "--list") return list_choices();
+    if (argc > 1 && std::string(argv[1]).rfind("--", 0) == 0) {
+        std::cerr << "usage: trace_cli [cve] [defense] [out.trace.json] [seed]\n"
+                     "       trace_cli --list\n";
+        return 2;
+    }
+
+    const std::string cve = argc > 1 ? argv[1] : "CVE-2018-5092";
+    const std::string defense_name = argc > 2 ? argv[2] : "jskernel";
+    const std::string out_path =
+        argc > 3 ? argv[3] : cve + "." + defense_name + ".trace.json";
+    const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 17;
+
+    const jk::attacks::cve_exploit_fn exploit = find_exploit(cve);
+    if (exploit == nullptr) {
+        std::cerr << "unknown CVE id: " << cve << " (see trace_cli --list)\n";
+        return 2;
+    }
+
+    std::unique_ptr<jk::defenses::defense> def;
+    for (const auto id : jk::defenses::all_defense_ids()) {
+        if (jk::defenses::to_string(id) == defense_name) {
+            def = jk::defenses::make_defense(id, seed);
+        }
+    }
+    if (def == nullptr) {
+        std::cerr << "unknown defense: " << defense_name << " (see trace_cli --list)\n";
+        return 2;
+    }
+
+    // World assembly mirrors the exploration harness: monitors attach first,
+    // then the sink (so even defense installation is on the trace), then the
+    // defense, then the documented exploit.
+    jk::rt::browser b(jk::rt::chrome_profile(), seed);
+    jk::rt::vuln_registry vulns(b.bus());
+    jk::obs::sink sink;
+    b.sim().set_trace_sink(&sink);
+    jk::obs::wire_runtime(sink, b);
+    vulns.set_trace_sink(&sink);
+    def->install(b);
+
+    exploit(b);
+    b.run_until(60 * jk::sim::sec);
+
+    jk::obs::registry reg;
+    jk::obs::collect_sim(reg, b.sim());
+    if (auto* jskd = dynamic_cast<jk::defenses::jskernel_defense*>(def.get())) {
+        if (jskd->installed_kernel() != nullptr) {
+            jk::obs::collect_kernel(reg, *jskd->installed_kernel());
+        }
+    }
+    jk::obs::collect_vulns(reg, vulns);
+
+    json::object other;
+    other.emplace("cve", json::value{cve});
+    other.emplace("defense", json::value{defense_name});
+    other.emplace("metrics", reg.snapshot());
+    if (!jk::obs::write_chrome_trace(sink, out_path,
+                                     json::dump(json::value{std::move(other)}))) {
+        return 1;
+    }
+
+    const auto triggered = vulns.triggered_ids();
+    std::cout << cve << " under " << defense_name << ": " << sink.size()
+              << " trace events, "
+              << (triggered.empty() ? "no CVE triggered"
+                                    : triggered.size() == 1
+                                          ? triggered.front() + " TRIGGERED"
+                                          : std::to_string(triggered.size()) +
+                                                " CVEs TRIGGERED")
+              << "\nwrote " << out_path << " — open it at https://ui.perfetto.dev\n";
+    return 0;
+}

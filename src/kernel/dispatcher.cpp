@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "kernel/kernel.h"
+#include "obs/trace.h"
 
 namespace jsk::kernel {
 
@@ -37,7 +38,19 @@ void dispatcher::pump()
                 k_->clock().tick_to(ev.predicted_time);
                 k_->dispatch_journal().record(ev);
                 ++dispatched_;
+                obs::sink* ts = k_->tsink();
+                sim::time_ns t0 = 0;
+                if (ts != nullptr) t0 = k_->browser().sim().now();
                 if (ev.callback) ev.callback();
+                if (ts != nullptr) {
+                    std::vector<obs::arg> args{obs::num("event", ev.id),
+                                               obs::num("predicted", ev.predicted_time)};
+                    if (!ev.label.empty()) args.push_back(obs::text("label", ev.label));
+                    ts->complete(obs::category::kernel, k_->ctx().thread(), t0,
+                                 k_->browser().sim().now() - t0,
+                                 std::string("dispatch:") + to_string(ev.type),
+                                 std::move(args));
+                }
                 k_->after_dispatch();  // worker kernels certify their horizon
                 pump();                // next event gets its own macrotask
                 return;

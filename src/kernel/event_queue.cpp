@@ -126,12 +126,14 @@ void event_queue::maybe_compact()
     if (heap_.size() > 2 * size_ + 64) {
         std::erase_if(heap_, [this](const heap_ref& r) { return !valid(r); });
         std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        ++compactions_;
     }
     if (live_heap_.size() > 2 * size_ + 64) {
         std::erase_if(live_heap_, [this](const heap_ref& r) {
             return !valid(r) || slots_[r.slot].ev.status == kevent_status::cancelled;
         });
         std::make_heap(live_heap_.begin(), live_heap_.end(), std::greater<>{});
+        ++compactions_;
     }
     // The stage only drains on a probe; bound it the same way so a workload
     // that never probes still keeps bookkeeping within a constant factor of
@@ -160,6 +162,8 @@ void event_queue::push(kevent event)
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
     live_stage_.push_back(ref);  // heapified lazily by the next horizon probe
     ++size_;
+    ++pushes_;
+    if (size_ > peak_size_) peak_size_ = size_;
     maybe_compact();
 }
 

@@ -56,6 +56,11 @@ public:
     [[nodiscard]] bool empty() const { return size_ == 0; }
     [[nodiscard]] std::size_t size() const { return size_; }
 
+    // Lifetime telemetry (obs/collect.h copies these into metrics).
+    [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
+    [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
+    [[nodiscard]] std::uint64_t compactions() const { return compactions_; }
+
     /// Mark every queued event cancelled (worker shutdown: user-observable
     /// events must stop). The dispatcher discards them on its next pass;
     /// they stay visible through top()/lookup() until then.
@@ -127,6 +132,9 @@ private:
     std::size_t idx_used_ = 0;             // full entries
     std::size_t idx_filled_ = 0;           // full + tombstone entries
     std::size_t size_ = 0;                 // live (queued) events
+    std::uint64_t pushes_ = 0;             // lifetime pushes
+    std::size_t peak_size_ = 0;            // high-water mark of size_
+    std::uint64_t compactions_ = 0;        // heap rebuilds (lazy-deletion GC)
 };
 
 }  // namespace jsk::kernel

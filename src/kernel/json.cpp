@@ -1,6 +1,7 @@
 #include "kernel/json.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace jsk::kernel::json {
@@ -151,6 +152,7 @@ private:
                     case 'r': out += '\r'; break;
                     case 'b': out += '\b'; break;
                     case 'f': out += '\f'; break;
+                    case 'u': append_utf8(out, parse_codepoint()); break;
                     default: fail("unsupported escape sequence");
                 }
             } else {
@@ -158,6 +160,59 @@ private:
             }
         }
         return out;
+    }
+
+    /// The code point of a \uXXXX escape (the 'u' already consumed),
+    /// combining UTF-16 surrogate pairs.
+    std::uint32_t parse_codepoint()
+    {
+        std::uint32_t cp = parse_hex4();
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+                fail("unpaired UTF-16 surrogate");
+            }
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired UTF-16 surrogate");
+        }
+        return cp;
+    }
+
+    std::uint32_t parse_hex4()
+    {
+        std::uint32_t cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = next();
+            cp <<= 4;
+            if (c >= '0' && c <= '9') cp |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f') cp |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') cp |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else fail("invalid \\u escape");
+        }
+        return cp;
+    }
+
+    static void append_utf8(std::string& out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
     }
 
     value parse_number()
@@ -187,5 +242,84 @@ private:
 }  // namespace
 
 value parse(const std::string& text) { return parser(text).parse_document(); }
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s)
+{
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+void dump_into(std::string& out, const value& v)
+{
+    if (v.is_null()) {
+        out += "null";
+    } else if (v.is_bool()) {
+        out += v.as_bool() ? "true" : "false";
+    } else if (v.is_number()) {
+        const double d = v.as_number();
+        char buf[64];
+        // Exact integers (counter values) print without a fraction.
+        if (d == static_cast<double>(static_cast<long long>(d)) && d >= -9.0e15 &&
+            d <= 9.0e15) {
+            std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", d);
+        }
+        out += buf;
+    } else if (v.is_string()) {
+        out += '"';
+        append_escaped(out, v.as_string());
+        out += '"';
+    } else if (v.is_array()) {
+        out += '[';
+        const array& a = v.as_array();
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (i > 0) out += ',';
+            dump_into(out, a[i]);
+        }
+        out += ']';
+    } else {
+        out += '{';
+        bool first = true;
+        for (const auto& [key, field] : v.as_object()) {
+            if (!first) out += ',';
+            first = false;
+            out += '"';
+            append_escaped(out, key);
+            out += "\":";
+            dump_into(out, field);
+        }
+        out += '}';
+    }
+}
+
+}  // namespace
+
+std::string dump(const value& v)
+{
+    std::string out;
+    dump_into(out, v);
+    return out;
+}
 
 }  // namespace jsk::kernel::json

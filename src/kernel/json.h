@@ -94,4 +94,10 @@ private:
 /// Parse a complete JSON document; trailing non-whitespace is an error.
 value parse(const std::string& text);
 
+/// Serialize a value back to compact JSON. Deterministic: objects iterate in
+/// std::map key order, numbers that hold exact integers print without a
+/// fraction, and everything else uses round-trip %.17g — identical values
+/// dump identical bytes (the jsk::obs metrics snapshot relies on this).
+std::string dump(const value& v);
+
 }  // namespace jsk::kernel::json

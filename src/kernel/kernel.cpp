@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace jsk::kernel {
 
 std::unique_ptr<kernel> kernel::boot(rt::browser& b, kernel_options opts)
@@ -50,54 +52,91 @@ kernel& kernel::adopt_child(std::unique_ptr<kernel> child)
 // frame kernels included (§II-B policies have per-thread sections; one
 // document covers all threads) — consultation walks up the parent chain.
 
+void kernel::note_policy(const char* decision, bool denied, const std::string* url)
+{
+    ++policy_checks_;
+    if (denied) ++policy_denials_;
+    if (obs::sink* ts = tsink()) {
+        std::vector<obs::arg> args{obs::num("denied", denied ? 1 : 0)};
+        if (url != nullptr) args.push_back(obs::text("url", *url));
+        ts->instant(obs::category::policy, ctx_->thread(), ctx_->owner().sim().now(),
+                    decision, std::move(args));
+    }
+}
+
 bool kernel::policy_block_fetch(const std::string& url)
 {
-    for (kernel* k = this; k != nullptr; k = k->parent_) {
+    bool denied = false;
+    for (kernel* k = this; k != nullptr && !denied; k = k->parent_) {
         for (auto& p : k->policies_) {
-            if (p->on_fetch(*this, url)) return true;
+            if (p->on_fetch(*this, url)) {
+                denied = true;
+                break;
+            }
         }
     }
-    return false;
+    note_policy("policy:fetch", denied, &url);
+    return denied;
 }
 
 bool kernel::policy_block_xhr(const std::string& url, bool cross_origin)
 {
-    for (kernel* k = this; k != nullptr; k = k->parent_) {
+    bool denied = false;
+    for (kernel* k = this; k != nullptr && !denied; k = k->parent_) {
         for (auto& p : k->policies_) {
-            if (p->on_xhr(*this, url, cross_origin)) return true;
+            if (p->on_xhr(*this, url, cross_origin)) {
+                denied = true;
+                break;
+            }
         }
     }
-    return false;
+    note_policy("policy:xhr", denied, &url);
+    return denied;
 }
 
 bool kernel::policy_mediate_import(const std::string& url, bool cross_origin)
 {
-    for (kernel* k = this; k != nullptr; k = k->parent_) {
+    bool denied = false;
+    for (kernel* k = this; k != nullptr && !denied; k = k->parent_) {
         for (auto& p : k->policies_) {
-            if (p->on_import(*this, url, cross_origin)) return true;
+            if (p->on_import(*this, url, cross_origin)) {
+                denied = true;
+                break;
+            }
         }
     }
-    return false;
+    note_policy("policy:import", denied, &url);
+    return denied;
 }
 
 bool kernel::policy_deny_idb(bool private_mode)
 {
-    for (kernel* k = this; k != nullptr; k = k->parent_) {
+    bool denied = false;
+    for (kernel* k = this; k != nullptr && !denied; k = k->parent_) {
         for (auto& p : k->policies_) {
-            if (p->on_indexeddb(*this, private_mode)) return true;
+            if (p->on_indexeddb(*this, private_mode)) {
+                denied = true;
+                break;
+            }
         }
     }
-    return false;
+    note_policy("policy:idb", denied);
+    return denied;
 }
 
 bool kernel::policy_reject_onmessage(bool valid)
 {
-    for (kernel* k = this; k != nullptr; k = k->parent_) {
+    bool denied = false;
+    for (kernel* k = this; k != nullptr && !denied; k = k->parent_) {
         for (auto& p : k->policies_) {
-            if (p->on_onmessage_assign(*this, valid)) return true;
+            if (p->on_onmessage_assign(*this, valid)) {
+                denied = true;
+                break;
+            }
         }
     }
-    return false;
+    note_policy("policy:onmessage", denied);
+    return denied;
 }
 
 std::string kernel::policy_sanitize_error(const std::string& raw)
@@ -106,6 +145,7 @@ std::string kernel::policy_sanitize_error(const std::string& raw)
     for (kernel* k = this; k != nullptr; k = k->parent_) {
         for (auto& p : k->policies_) msg = p->on_worker_error(*this, msg);
     }
+    note_policy("policy:error_sanitize", msg != raw);
     return msg;
 }
 

@@ -69,6 +69,16 @@ public:
     [[nodiscard]] role kind() const { return role_; }
     [[nodiscard]] kernel* parent() { return parent_; }
     [[nodiscard]] const rt::api_table& natives() const { return natives_; }
+    [[nodiscard]] const std::vector<std::unique_ptr<kernel>>& children() const
+    {
+        return children_;
+    }
+
+    /// The world's observability sink, reached through the simulation (the
+    /// single attach point); nullptr when no sink is attached. Every kernel
+    /// instrumentation site guards on this pointer, with all argument
+    /// construction behind the branch.
+    [[nodiscard]] obs::sink* tsink() { return ctx_->owner().sim().trace_sink(); }
 
     // --- policies ---
     void add_policy(std::unique_ptr<policy> p) { policies_.push_back(std::move(p)); }
@@ -118,6 +128,9 @@ public:
     // --- instrumentation for benches/tests ---
     [[nodiscard]] std::uint64_t api_calls() const { return api_calls_; }
     [[nodiscard]] std::uint64_t events_dispatched() const { return disp_.dispatched(); }
+    /// Policy evaluations / denials across all policy_* entry points.
+    [[nodiscard]] std::uint64_t policy_checks() const { return policy_checks_; }
+    [[nodiscard]] std::uint64_t policy_denials() const { return policy_denials_; }
     /// Append-only record of every dispatched kernel event (determinism
     /// evidence; see kernel/journal.h).
     [[nodiscard]] const journal& dispatch_journal() const { return journal_; }
@@ -165,6 +178,10 @@ private:
     rt::js_value k_indexeddb_get(const std::string& db, const std::string& key);
 
     [[nodiscard]] bool is_cross_origin(const std::string& url) const;
+
+    /// Count a policy evaluation and, when a sink is attached, emit a
+    /// category::policy instant named `decision` ("policy:fetch", ...).
+    void note_policy(const char* decision, bool denied, const std::string* url = nullptr);
 
     rt::context* ctx_;
     kernel_options opts_;
@@ -223,6 +240,8 @@ private:
 
     int outstanding_fetches_ = 0;
     std::uint64_t api_calls_ = 0;
+    std::uint64_t policy_checks_ = 0;
+    std::uint64_t policy_denials_ = 0;
 };
 
 }  // namespace jsk::kernel

@@ -1,6 +1,7 @@
 #include "kernel/scheduler.h"
 
 #include "kernel/kernel.h"
+#include "obs/trace.h"
 
 namespace jsk::kernel {
 
@@ -22,6 +23,12 @@ std::uint64_t scheduler::register_at(kevent_type type, ktime predicted, std::str
     ev.predicted_time = predicted;
     ev.callback = std::move(callback);
     ev.label = std::move(label);
+    if (obs::sink* ts = k_->tsink()) {
+        ts->instant(obs::category::kernel, k_->ctx().thread(),
+                    k_->browser().sim().now(), "register",
+                    {obs::num("event", ev.id), obs::text("type", to_string(type)),
+                     obs::num("predicted", predicted)});
+    }
     k_->queue().push(std::move(ev));
     ++registered_;
     return next_id_ - 1;
@@ -43,6 +50,10 @@ void scheduler::confirm(std::uint64_t id, std::function<void()> callback)
     }
     if (callback) ev->callback = std::move(callback);
     ev->status = kevent_status::ready;
+    if (obs::sink* ts = k_->tsink()) {
+        ts->instant(obs::category::kernel, k_->ctx().thread(),
+                    k_->browser().sim().now(), "confirm", {obs::num("event", id)});
+    }
     k_->disp().pump();
 }
 
@@ -64,6 +75,10 @@ bool scheduler::cancel(std::uint64_t id)
     // so the dispatcher discards it in predicted order); case 3 (already
     // dispatched) returns false and is ignored.
     if (!k_->queue().mark_cancelled(id)) return false;
+    if (obs::sink* ts = k_->tsink()) {
+        ts->instant(obs::category::kernel, k_->ctx().thread(),
+                    k_->browser().sim().now(), "cancel", {obs::num("event", id)});
+    }
     k_->disp().pump();  // a cancelled head must not block the queue
     return true;
 }

@@ -1,0 +1,145 @@
+#include "obs/chrome_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace jsk::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s)
+{
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+/// Virtual nanoseconds as fixed-point microseconds ("12.345"): the trace
+/// format's ts unit is microseconds, and fixed three decimals keeps the
+/// rendering integer-derived (no floating point anywhere near a timestamp).
+void append_us(std::string& out, sim::time_ns t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                  static_cast<long long>(t / 1000),
+                  static_cast<long long>(t < 0 ? -(t % 1000) : t % 1000));
+    out += buf;
+}
+
+void append_arg_value(std::string& out, const arg& a)
+{
+    char buf[64];
+    switch (a.k) {
+        case arg::kind::i64:
+            std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(a.i));
+            out += buf;
+            break;
+        case arg::kind::f64:
+            std::snprintf(buf, sizeof(buf), "%.17g", a.d);
+            out += buf;
+            break;
+        case arg::kind::text:
+            out += '"';
+            append_escaped(out, a.s);
+            out += '"';
+            break;
+    }
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const sink& s, const std::string& other_data_json)
+{
+    std::string out;
+    out.reserve(128 + s.events().size() * 96);
+    out += "{\"traceEvents\":[\n";
+
+    bool first = true;
+    const auto comma = [&out, &first] {
+        if (!first) out += ",\n";
+        first = false;
+    };
+
+    // Metadata: one process for the whole world, one name per sim thread.
+    comma();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+           "\"args\":{\"name\":\"jskernel\"}}";
+    for (const auto& [tid, name] : s.thread_names()) {
+        comma();
+        out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+        out += std::to_string(tid);
+        out += ",\"args\":{\"name\":\"";
+        append_escaped(out, name);
+        out += "\"}}";
+    }
+
+    for (const trace_event& ev : s.events()) {
+        comma();
+        out += "{\"name\":\"";
+        append_escaped(out, ev.name);
+        out += "\",\"cat\":\"";
+        out += to_string(ev.cat);
+        out += "\",\"ph\":\"";
+        out += ev.ph;
+        out += "\",\"pid\":1,\"tid\":";
+        out += std::to_string(ev.tid);
+        out += ",\"ts\":";
+        append_us(out, ev.ts);
+        if (ev.ph == 'X') {
+            out += ",\"dur\":";
+            append_us(out, ev.dur);
+        }
+        if (ev.ph == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
+        if (!ev.args.empty()) {
+            out += ",\"args\":{";
+            for (std::size_t i = 0; i < ev.args.size(); ++i) {
+                if (i > 0) out += ',';
+                out += '"';
+                append_escaped(out, ev.args[i].key);
+                out += "\":";
+                append_arg_value(out, ev.args[i]);
+            }
+            out += '}';
+        }
+        out += '}';
+    }
+
+    out += "\n],\"displayTimeUnit\":\"ms\"";
+    if (!other_data_json.empty()) {
+        out += ",\"otherData\":";
+        out += other_data_json;
+    }
+    out += "}\n";
+    return out;
+}
+
+bool write_chrome_trace(const sink& s, const std::string& path,
+                        const std::string& other_data_json)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << to_chrome_trace(s, other_data_json);
+    return static_cast<bool>(out);
+}
+
+}  // namespace jsk::obs

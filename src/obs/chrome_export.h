@@ -1,0 +1,32 @@
+// Chrome trace-event export for jsk::obs sinks.
+//
+// Renders the recorded event stream as the JSON object form of the Chrome
+// trace-event format — loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. The rendering is byte-deterministic: timestamps come
+// from virtual nanoseconds formatted as fixed-point microseconds, fields are
+// emitted in a fixed order, and floating-point args use round-trip %.17g
+// (identical bits -> identical text). Two same-seed runs export identical
+// bytes; tests/obs/test_trace_determinism.cpp pins this.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace jsk::obs {
+
+/// The complete trace document:
+///   {"traceEvents":[...],"displayTimeUnit":"ms"}
+/// with process/thread metadata events first, then the event stream in
+/// emission order, one event per line (diff- and golden-test-friendly).
+/// `other_data_json`, when non-empty, must be a rendered JSON value and is
+/// embedded verbatim as the top-level "otherData" field (trace_cli puts the
+/// metrics snapshot there).
+std::string to_chrome_trace(const sink& s, const std::string& other_data_json = {});
+
+/// Write to_chrome_trace() to `path`. Returns false (and prints to stderr)
+/// when the file cannot be written.
+bool write_chrome_trace(const sink& s, const std::string& path,
+                        const std::string& other_data_json = {});
+
+}  // namespace jsk::obs

@@ -1,0 +1,133 @@
+#include "obs/collect.h"
+
+#include "kernel/kernel.h"
+#include "runtime/browser.h"
+#include "runtime/vuln.h"
+#include "sim/simulation.h"
+
+namespace jsk::obs {
+
+void collect_sim(registry& reg, const sim::simulation& s)
+{
+    reg.get_counter("sim.tasks_executed").set(s.tasks_executed());
+    reg.get_counter("sim.peak_pending").set(s.peak_pending());
+    reg.get_counter("sim.hooked_steps").set(s.hooked_steps());
+    reg.get_gauge("sim.pending_tasks").set(static_cast<double>(s.pending_tasks()));
+    reg.get_gauge("sim.queued_entries").set(static_cast<double>(s.queued_entries()));
+    reg.get_gauge("sim.threads").set(static_cast<double>(s.thread_count()));
+
+    // The intrinsic per-step tallies become a proper histogram here: bucket k
+    // of cand_counts() holds the number of hooked steps that offered k
+    // candidates (last bucket = "that many or more").
+    const auto& tallies = s.cand_counts();
+    std::vector<double> bounds;
+    for (std::size_t i = 0; i + 1 < tallies.size(); ++i) {
+        bounds.push_back(static_cast<double>(i));
+    }
+    histogram& h = reg.get_histogram("sim.candidate_window", std::move(bounds));
+    for (std::size_t i = 0; i < tallies.size(); ++i) {
+        h.record_n(static_cast<double>(i), tallies[i]);
+    }
+}
+
+namespace {
+
+void collect_kernel_tree(registry& reg, kernel::kernel& k, std::size_t& kernels)
+{
+    ++kernels;
+    reg.get_counter("kernel.api_calls").inc(k.api_calls());
+    reg.get_counter("kernel.events_dispatched").inc(k.events_dispatched());
+    reg.get_counter("kernel.journal_entries").inc(k.dispatch_journal().size());
+    reg.get_counter("kernel.policy_checks").inc(k.policy_checks());
+    reg.get_counter("kernel.policy_denials").inc(k.policy_denials());
+
+    kernel::event_queue& q = k.queue();
+    reg.get_counter("kernel.queue.pushes").inc(q.pushes());
+    reg.get_counter("kernel.queue.compactions").inc(q.compactions());
+    // Peaks don't sum across kernels; keep the max over the tree.
+    counter& peak = reg.get_counter("kernel.queue.peak_size");
+    if (q.peak_size() > peak.value()) peak.set(q.peak_size());
+    gauge& depth = reg.get_gauge("kernel.queue.depth");
+    depth.set(depth.value() + static_cast<double>(q.size()));
+
+    for (const auto& child : k.children()) collect_kernel_tree(reg, *child, kernels);
+}
+
+}  // namespace
+
+void collect_kernel(registry& reg, kernel::kernel& k)
+{
+    std::size_t kernels = 0;
+    collect_kernel_tree(reg, k, kernels);
+    reg.get_gauge("kernel.instances").set(static_cast<double>(kernels));
+}
+
+void collect_vulns(registry& reg, const rt::vuln_registry& vulns)
+{
+    reg.get_gauge("attack.monitors").set(static_cast<double>(vulns.monitors().size()));
+    reg.get_counter("attack.triggered").set(vulns.triggered_ids().size());
+}
+
+namespace {
+
+struct kind_mapping {
+    category cat;
+    const char* name;
+};
+
+kind_mapping map_kind(rt::rt_event_kind kind)
+{
+    using k = rt::rt_event_kind;
+    switch (kind) {
+        case k::worker_created: return {category::worker, "worker:created"};
+        case k::worker_script_imported: return {category::worker, "worker:script_imported"};
+        case k::worker_terminated: return {category::worker, "worker:terminated"};
+        case k::worker_self_closed: return {category::worker, "worker:self_closed"};
+        case k::worker_onmessage_assigned:
+            return {category::worker, "worker:onmessage_assigned"};
+        case k::message_posted: return {category::message, "postMessage:send"};
+        case k::message_delivered: return {category::message, "postMessage:recv"};
+        case k::transferable_received:
+            return {category::message, "postMessage:transferable"};
+        case k::fetch_started: return {category::fetch, "fetch:issue"};
+        case k::fetch_completed: return {category::fetch, "fetch:complete"};
+        case k::fetch_aborted: return {category::fetch, "fetch:abort"};
+        case k::fetch_freed: return {category::fetch, "fetch:freed"};
+        case k::xhr_request: return {category::fetch, "xhr:request"};
+        case k::import_scripts_error: return {category::worker, "importScripts:error"};
+        case k::cross_origin_script_imported:
+            return {category::worker, "importScripts:cross_origin"};
+        case k::worker_error_event: return {category::worker, "worker:error"};
+        case k::indexeddb_access: return {category::storage, "idb:access"};
+        case k::indexeddb_persisted_private:
+            return {category::storage, "idb:persisted_private"};
+        case k::page_reload: return {category::page, "page:reload"};
+        case k::worker_double_termination:
+            return {category::worker, "worker:double_termination"};
+        case k::message_after_termination:
+            return {category::message, "postMessage:after_termination"};
+        case k::terminate_during_dispatch:
+            return {category::worker, "worker:terminate_during_dispatch"};
+    }
+    return {category::page, "rt:unknown"};
+}
+
+constexpr std::size_t mapped_kinds = 22;
+
+}  // namespace
+
+std::size_t wire_runtime(sink& s, rt::browser& b)
+{
+    b.bus().subscribe([&s](const rt::rt_event& ev) {
+        const kind_mapping m = map_kind(ev.kind);
+        std::vector<arg> args;
+        args.push_back(num("id", ev.subject_id));
+        if (!ev.url.empty()) args.push_back(text("url", ev.url));
+        if (!ev.origin.empty()) args.push_back(text("origin", ev.origin));
+        if (ev.detail_flag) args.push_back(num("flag", 1));
+        s.instant(m.cat, ev.thread, ev.at, m.name, std::move(args));
+    });
+    return mapped_kinds;
+}
+
+}  // namespace jsk::obs

@@ -1,0 +1,50 @@
+// jsk::obs — collectors: copy the intrinsic counters that the hot paths
+// maintain (simulation, kernel event queues, CVE monitors) into a metrics
+// registry, and bridge the runtime event bus onto a trace sink.
+//
+// The split keeps instrumentation cost where it belongs: the hot paths bump
+// plain integers (always on, nanoseconds), and everything string- or
+// JSON-shaped happens here, on demand, after the run.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace jsk::sim {
+class simulation;
+}
+namespace jsk::kernel {
+class kernel;
+}
+namespace jsk::rt {
+class browser;
+class vuln_registry;
+}
+
+namespace jsk::obs {
+
+/// Simulator counters: tasks executed, pending/peak backlog, thread count,
+/// hooked steps, and the candidate-window size histogram
+/// (sim.candidate_window — how wide the co-enabled set was at each hooked
+/// scheduling point).
+void collect_sim(registry& reg, const sim::simulation& s);
+
+/// Kernel counters, aggregated over `k` and all its (transitive) worker
+/// kernels: API calls, events dispatched, journal entries, policy
+/// checks/denials, and the event-queue telemetry (pushes, peak size,
+/// compactions, current depth).
+void collect_kernel(registry& reg, kernel::kernel& k);
+
+/// CVE monitor state: monitors installed, monitors currently triggered.
+void collect_vulns(registry& reg, const rt::vuln_registry& vulns);
+
+/// Subscribe a bridge on the browser's event bus that forwards every runtime
+/// announcement (postMessage send/recv, fetch issue/complete/abort, worker
+/// lifecycle, storage access, page reload) to `s` as instant events. The
+/// bus has no unsubscribe, so `s` must outlive `b`. Returns the number of
+/// event kinds the bridge maps (for tests).
+std::size_t wire_runtime(sink& s, rt::browser& b);
+
+}  // namespace jsk::obs

@@ -1,0 +1,52 @@
+#include "obs/metrics.h"
+
+namespace jsk::obs {
+
+namespace json = kernel::json;
+
+json::value registry::snapshot() const
+{
+    json::object root;
+
+    if (!counters_.empty()) {
+        json::object out;
+        for (const auto& [name, c] : counters_) {
+            out.emplace(name, json::value{static_cast<double>(c.value())});
+        }
+        root.emplace("counters", json::value{std::move(out)});
+    }
+
+    if (!gauges_.empty()) {
+        json::object out;
+        for (const auto& [name, g] : gauges_) {
+            out.emplace(name, json::value{g.value()});
+        }
+        root.emplace("gauges", json::value{std::move(out)});
+    }
+
+    if (!histograms_.empty()) {
+        json::object out;
+        for (const auto& [name, h] : histograms_) {
+            json::object rec;
+            rec.emplace("count", json::value{static_cast<double>(h.count())});
+            rec.emplace("sum", json::value{h.sum()});
+            rec.emplace("max", json::value{h.max()});
+            json::array bounds;
+            for (const double b : h.bounds()) bounds.push_back(json::value{b});
+            rec.emplace("bounds", json::value{std::move(bounds)});
+            json::array counts;
+            for (const std::uint64_t n : h.bucket_counts()) {
+                counts.push_back(json::value{static_cast<double>(n)});
+            }
+            rec.emplace("counts", json::value{std::move(counts)});
+            out.emplace(name, json::value{std::move(rec)});
+        }
+        root.emplace("histograms", json::value{std::move(out)});
+    }
+
+    return json::value{std::move(root)};
+}
+
+std::string registry::to_json() const { return json::dump(snapshot()); }
+
+}  // namespace jsk::obs

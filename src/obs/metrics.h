@@ -1,0 +1,147 @@
+// jsk::obs — the unified observability subsystem: metrics registry.
+//
+// Named counters, gauges and histograms for the quantities the benches and
+// the trace CLI report: tasks dispatched, queue depths, heap compactions,
+// candidate-window sizes, attack trigger counts. Instruments are created on
+// first use and live in std::maps, so a snapshot always serializes in name
+// order — combined with kernel::json::dump's deterministic rendering, two
+// same-seed runs snapshot to identical bytes.
+//
+// This is a *pull*-model registry: the hot paths keep their own intrinsic
+// integer counters (simulation, event_queue, kernel) and the collectors in
+// obs/collect.h copy them into a registry on demand. Nothing here is ever
+// touched per-task.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernel/json.h"
+
+namespace jsk::obs {
+
+/// Monotonic count of occurrences.
+class counter {
+public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t v) { value_ = v; }
+    [[nodiscard]] std::uint64_t value() const { return value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Last-written point-in-time value.
+class gauge {
+public:
+    void set(double v) { value_ = v; }
+    [[nodiscard]] double value() const { return value_; }
+
+private:
+    double value_ = 0;
+};
+
+/// Fixed-bound histogram: `bounds` are inclusive upper edges, with an
+/// implicit final +inf bucket. Tracks count/sum/max alongside the buckets.
+class histogram {
+public:
+    /// Default bounds: powers of two up to 512 — sized for the discrete
+    /// distributions we record (candidate-window sizes, queue depths).
+    histogram() : histogram(default_bounds()) {}
+
+    explicit histogram(std::vector<double> bounds)
+        : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+    {
+    }
+
+    void record(double v) { record_n(v, 1); }
+
+    void record_n(double v, std::uint64_t n)
+    {
+        if (n == 0) return;
+        std::size_t b = 0;
+        while (b < bounds_.size() && v > bounds_[b]) ++b;
+        counts_[b] += n;
+        count_ += n;
+        sum_ += v * static_cast<double>(n);
+        if (count_ == n || v > max_) max_ = v;
+    }
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double max() const { return max_; }
+    [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+    [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const
+    {
+        return counts_;
+    }
+
+    static std::vector<double> default_bounds()
+    {
+        return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+    }
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double max_ = 0;
+};
+
+/// Instrument store. Instruments are created on first access and keyed by
+/// dotted names ("kernel.events_dispatched"); lookups after creation return
+/// the same instrument.
+class registry {
+public:
+    counter& get_counter(const std::string& name) { return counters_[name]; }
+    gauge& get_gauge(const std::string& name) { return gauges_[name]; }
+    histogram& get_histogram(const std::string& name) { return histograms_[name]; }
+    histogram& get_histogram(const std::string& name, std::vector<double> bounds)
+    {
+        auto [it, inserted] = histograms_.try_emplace(name, std::move(bounds));
+        return it->second;
+    }
+
+    [[nodiscard]] const std::map<std::string, counter>& counters() const
+    {
+        return counters_;
+    }
+    [[nodiscard]] const std::map<std::string, gauge>& gauges() const { return gauges_; }
+    [[nodiscard]] const std::map<std::string, histogram>& histograms() const
+    {
+        return histograms_;
+    }
+
+    [[nodiscard]] bool empty() const
+    {
+        return counters_.empty() && gauges_.empty() && histograms_.empty();
+    }
+
+    void clear()
+    {
+        counters_.clear();
+        gauges_.clear();
+        histograms_.clear();
+    }
+
+    /// The registry as a JSON value:
+    ///   {"counters":{name:n,...},
+    ///    "gauges":{name:v,...},
+    ///    "histograms":{name:{"count":n,"sum":s,"max":m,
+    ///                        "bounds":[...],"counts":[...]},...}}
+    /// Sections with no instruments are omitted.
+    [[nodiscard]] kernel::json::value snapshot() const;
+
+    /// kernel::json::dump(snapshot()) — compact, key-ordered, deterministic.
+    [[nodiscard]] std::string to_json() const;
+
+private:
+    std::map<std::string, counter> counters_;
+    std::map<std::string, gauge> gauges_;
+    std::map<std::string, histogram> histograms_;
+};
+
+}  // namespace jsk::obs

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "runtime/browser.h"
 
 namespace jsk::rt {
@@ -201,6 +202,11 @@ void context::fire_timer(std::int64_t id)
 {
     auto it = timers_.find(id);
     if (it == timers_.end() || it->second.cancelled) return;
+    if (obs::sink* ts = owner_->sim().trace_sink()) {
+        ts->instant(obs::category::timer, thread_, owner_->sim().now(),
+                    it->second.interval ? "interval:fire" : "timer:fire",
+                    {obs::num("id", id)});
+    }
     const int saved_nesting = timer_nesting_;
     timer_nesting_ = it->second.nesting;
     // Copy the callback out: the callback may clearTimeout itself or install

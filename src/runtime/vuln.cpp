@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "obs/trace.h"
+
 namespace jsk::rt {
 
 namespace {
@@ -156,9 +158,29 @@ vuln_registry::vuln_registry(event_bus& bus)
         "NVD description)",
         rt_event_kind::worker_double_termination, /*require_flag=*/true));
 
+    fired_.assign(monitors_.size(), false);
+
     bus.subscribe([this](const rt_event& event) {
         for (auto& monitor : monitors_) monitor->observe(event);
+        // Trigger *transitions* become attack instants: the event that tipped
+        // a monitor carries the virtual time and thread of the trigger.
+        if (tsink_ == nullptr) return;
+        for (std::size_t i = 0; i < monitors_.size(); ++i) {
+            if (monitors_[i]->triggered() && !fired_[i]) {
+                fired_[i] = true;
+                tsink_->instant(obs::category::attack, event.thread, event.at,
+                                "trigger:" + monitors_[i]->id());
+            }
+        }
     });
+}
+
+void vuln_registry::set_trace_sink(obs::sink* sink)
+{
+    tsink_ = sink;
+    for (std::size_t i = 0; i < monitors_.size(); ++i) {
+        fired_[i] = monitors_[i]->triggered();
+    }
 }
 
 const cve_monitor* vuln_registry::find(const std::string& id) const
@@ -172,6 +194,7 @@ const cve_monitor* vuln_registry::find(const std::string& id) const
 void vuln_registry::reset_all()
 {
     for (auto& monitor : monitors_) monitor->reset();
+    fired_.assign(monitors_.size(), false);
 }
 
 std::vector<std::string> vuln_registry::triggered_ids() const

@@ -19,6 +19,10 @@
 
 #include "runtime/events.h"
 
+namespace jsk::obs {
+class sink;
+}
+
 namespace jsk::rt {
 
 class cve_monitor {
@@ -65,8 +69,16 @@ public:
     /// Ids of all monitors that have triggered.
     [[nodiscard]] std::vector<std::string> triggered_ids() const;
 
+    /// Attach (or detach, with nullptr) an observability sink: from then on
+    /// every monitor's triggered() *transition* emits a category::attack
+    /// instant named "trigger:<CVE id>", stamped with the bus event that
+    /// tipped it. Monitors already triggered at attach time do not re-emit.
+    void set_trace_sink(obs::sink* sink);
+
 private:
     std::vector<std::unique_ptr<cve_monitor>> monitors_;
+    std::vector<bool> fired_;  // per-monitor: trigger instant already emitted
+    obs::sink* tsink_ = nullptr;
 };
 
 }  // namespace jsk::rt

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace jsk::sim {
 
 namespace {
@@ -66,7 +68,20 @@ thread_id simulation::create_thread(std::string name)
     state.name = std::move(name);
     state.busy_until = now();
     threads_.push_back(std::move(state));
-    return static_cast<thread_id>(threads_.size() - 1);
+    const auto id = static_cast<thread_id>(threads_.size() - 1);
+    if (tsink_ != nullptr) {
+        tsink_->set_thread_name(id, threads_[static_cast<std::size_t>(id)].name);
+    }
+    return id;
+}
+
+void simulation::set_trace_sink(obs::sink* sink)
+{
+    tsink_ = sink;
+    if (tsink_ == nullptr) return;
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+        tsink_->set_thread_name(static_cast<thread_id>(t), threads_[t].name);
+    }
 }
 
 void simulation::destroy_thread(thread_id thread)
@@ -455,9 +470,18 @@ std::optional<simulation::queue_entry> simulation::next_entry_hooked(time_ns dea
                 sched_candidate{k.id, k.thread, k.start, &slots_[k.slot].task.label});
         }
 
+        ++hooked_steps_;
+        ++cand_counts_[std::min(cand_buf_.size(), cand_counts_.size() - 1)];
+
         std::size_t pick = cand_buf_.size() > 1 ? hook_->choose(cand_buf_) : 0;
         if (pick >= cand_buf_.size()) pick = 0;
         const cand_key& chosen = cand_keys_[pick];
+        if (tsink_ != nullptr && cand_buf_.size() > 1) {
+            tsink_->instant(obs::category::explore, chosen.thread, chosen.start,
+                            "branch",
+                            {obs::num("candidates", cand_buf_.size()),
+                             obs::num("pick", pick), obs::num("task", chosen.id)});
+        }
         return queue_entry{chosen.start, 0, chosen.id, chosen.slot,
                            slots_[chosen.slot].gen};
     }
@@ -483,6 +507,15 @@ void simulation::execute(const queue_entry& entry)
     thread.busy_until = std::max(thread.busy_until, end);
     floor_time_ = std::max(floor_time_, done.start);
     ++executed_;
+
+    if (tsink_ != nullptr) {
+        // The event name is the task label verbatim (possibly empty): the
+        // sim::trace_recorder adapter reconstructs task_info records from
+        // these spans and label equality must survive the round trip.
+        tsink_->complete(obs::category::task, done.thread, done.start,
+                         end - done.start, task.label,
+                         {obs::num("id", done.id), obs::num("ready", task.ready_at)});
+    }
 
     if (!observers_.empty()) {
         const task_info info{done.id,   done.thread, task.ready_at,

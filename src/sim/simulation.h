@@ -28,6 +28,7 @@
 //    no longer accumulate stale entries.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -40,6 +41,10 @@
 
 #include "sim/id_index.h"
 #include "sim/time.h"
+
+namespace jsk::obs {
+class sink;
+}
 
 namespace jsk::sim {
 
@@ -183,6 +188,31 @@ public:
     using observer_handle = std::uint64_t;
     observer_handle add_task_observer(std::function<void(const task_info&)> observer);
     void remove_task_observer(observer_handle handle);
+
+    /// Attach (or detach, with nullptr) the observability trace sink
+    /// (jsk::obs). The simulation is the world's single attach point: kernel
+    /// and runtime instrumentation reach the sink through their simulation.
+    /// The sink is not owned and must outlive the run. Attaching registers
+    /// the names of all existing threads; threads created later register
+    /// themselves. Tracing never changes scheduling decisions — a traced run
+    /// and an untraced run execute the identical task order.
+    void set_trace_sink(obs::sink* sink);
+    [[nodiscard]] obs::sink* trace_sink() const { return tsink_; }
+
+    /// Number of threads ever created (destroyed threads keep their id).
+    [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
+
+    /// Hooked scheduling steps taken (candidate windows assembled).
+    [[nodiscard]] std::uint64_t hooked_steps() const { return hooked_steps_; }
+
+    /// Always-on tally of candidate-window sizes at hooked scheduling points:
+    /// element k counts the steps that offered exactly k candidates (last
+    /// element: that many or more). obs/collect.h turns this into the
+    /// sim.candidate_window histogram.
+    [[nodiscard]] const std::array<std::uint64_t, 16>& cand_counts() const
+    {
+        return cand_counts_;
+    }
 
     /// Install (or clear, with nullptr) the exploration hook. The hook is
     /// not owned and must outlive the run. `window` widens co-enabling: a
@@ -335,6 +365,9 @@ private:
         observers_;
     schedule_hook* hook_ = nullptr;
     time_ns window_ = 0;
+    obs::sink* tsink_ = nullptr;
+    std::uint64_t hooked_steps_ = 0;
+    std::array<std::uint64_t, 16> cand_counts_{};
     std::optional<running_task> current_;
     bool running_ = false;
     task_id next_task_id_ = 1;

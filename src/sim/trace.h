@@ -1,14 +1,20 @@
 // Task-execution trace recorder.
 //
 // The loopscan attack (Vila & Köpf) observes the event-loop usage pattern of
-// a victim origin; our reproduction records completed-task intervals through
-// the simulation's task observer and exposes simple queries over them.
+// a victim origin; our reproduction records completed-task intervals and
+// exposes simple queries over them. Since the jsk::obs subsystem landed this
+// is a thin adapter over an obs::sink: attach() installs a private sink as
+// the simulation's trace sink (saving and restoring whatever was attached
+// before), and the task_info records are materialized lazily from the
+// recorded category::task spans — the recorder and any other obs consumer
+// exercise the identical pipeline.
 #pragma once
 
-#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
 
@@ -19,35 +25,54 @@ class trace_recorder {
 public:
     ~trace_recorder() { detach(); }
 
-    /// Install onto `sim`. Observers compose — a recorder coexists with
-    /// loopscan or any other task observer. Re-attaching moves the recorder.
+    /// Install onto `sim`. Saves the sink currently attached (if any) and
+    /// restores it on detach, so a recorder can temporarily shadow a global
+    /// trace sink. Re-attaching moves the recorder.
     void attach(simulation& sim, thread_id only_thread = no_thread)
     {
         detach();
         only_thread_ = only_thread;
         sim_ = &sim;
-        handle_ = sim.add_task_observer([this](const task_info& info) { on_task(info); });
+        prev_ = sim.trace_sink();
+        sim.set_trace_sink(&sink_);
     }
 
-    /// Stop recording (safe to call when not attached).
+    /// Stop recording and restore the previously attached sink (safe to call
+    /// when not attached).
     void detach()
     {
-        if (sim_ != nullptr) sim_->remove_task_observer(handle_);
+        if (sim_ != nullptr && sim_->trace_sink() == &sink_) {
+            sim_->set_trace_sink(prev_);
+        }
         sim_ = nullptr;
-        handle_ = 0;
+        prev_ = nullptr;
     }
 
-    void clear() { records_.clear(); }
+    void clear()
+    {
+        sink_.clear();
+        records_.clear();
+        scanned_ = 0;
+    }
 
-    [[nodiscard]] const std::vector<task_info>& records() const { return records_; }
+    [[nodiscard]] const std::vector<task_info>& records() const
+    {
+        materialize();
+        return records_;
+    }
+
+    /// The underlying event stream (kernel/runtime events included when the
+    /// recorder shadows a fully instrumented world).
+    [[nodiscard]] const obs::sink& events() const { return sink_; }
 
     /// Largest gap between consecutive task *start* times on the recorded
     /// thread — the loopscan attack's "maximum measured event interval".
     [[nodiscard]] time_ns max_start_interval() const
     {
+        const auto& recs = records();
         time_ns max_gap = 0;
-        for (std::size_t i = 1; i < records_.size(); ++i) {
-            max_gap = std::max(max_gap, records_[i].start - records_[i - 1].start);
+        for (std::size_t i = 1; i < recs.size(); ++i) {
+            max_gap = std::max(max_gap, recs[i].start - recs[i - 1].start);
         }
         return max_gap;
     }
@@ -56,7 +81,7 @@ public:
     [[nodiscard]] time_ns total_busy() const
     {
         time_ns acc = 0;
-        for (const auto& record : records_) acc += record.end - record.start;
+        for (const auto& record : records()) acc += record.end - record.start;
         return acc;
     }
 
@@ -64,22 +89,42 @@ public:
     [[nodiscard]] std::size_t count_label(const std::string& label) const
     {
         std::size_t n = 0;
-        for (const auto& record : records_)
+        for (const auto& record : records())
             if (record.label == label) ++n;
         return n;
     }
 
 private:
-    void on_task(const task_info& info)
+    /// Reconstruct task_info records from the category::task spans the
+    /// simulation emitted (the span name is the task label verbatim; id and
+    /// ready time ride as typed args). Incremental: only events recorded
+    /// since the last query are scanned.
+    void materialize() const
     {
-        if (only_thread_ != no_thread && info.thread != only_thread_) return;
-        records_.push_back(info);
+        const auto& events = sink_.events();
+        for (; scanned_ < events.size(); ++scanned_) {
+            const obs::trace_event& ev = events[scanned_];
+            if (ev.cat != obs::category::task || ev.ph != 'X') continue;
+            if (only_thread_ != no_thread && ev.tid != only_thread_) continue;
+            const obs::arg* id = obs::find_arg(ev, "id");
+            const obs::arg* ready = obs::find_arg(ev, "ready");
+            task_info info;
+            info.id = id != nullptr ? static_cast<task_id>(id->i) : 0;
+            info.thread = ev.tid;
+            info.ready_at = ready != nullptr ? ready->i : ev.ts;
+            info.start = ev.ts;
+            info.end = ev.ts + ev.dur;
+            info.label = ev.name;
+            records_.push_back(std::move(info));
+        }
     }
 
     thread_id only_thread_ = no_thread;
     simulation* sim_ = nullptr;
-    simulation::observer_handle handle_ = 0;
-    std::vector<task_info> records_;
+    obs::sink* prev_ = nullptr;  // restored on detach
+    obs::sink sink_;
+    mutable std::vector<task_info> records_;
+    mutable std::size_t scanned_ = 0;  // sink events already materialized
 };
 
 }  // namespace jsk::sim

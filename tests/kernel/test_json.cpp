@@ -20,7 +20,7 @@ TEST(json, parses_primitives)
 TEST(json, parses_escapes)
 {
     EXPECT_EQ(parse(R"("a\"b\\c\nd")").as_string(), "a\"b\\c\nd");
-    EXPECT_THROW(parse("\"\\u0041\""), parse_error);  // \u intentionally unsupported
+    EXPECT_THROW(parse(R"("\q")"), parse_error);  // unknown escapes still rejected
 }
 
 TEST(json, parses_nested_structures)
@@ -74,6 +74,49 @@ TEST(json, parse_error_carries_offset)
     } catch (const parse_error& e) {
         EXPECT_GT(e.offset(), 0u);
     }
+}
+
+TEST(json, parses_unicode_escapes)
+{
+    EXPECT_EQ(parse(R"("\u0041")").as_string(), "A");
+    EXPECT_EQ(parse(R"("\u0001")").as_string(), std::string("\x01"));
+    EXPECT_EQ(parse(R"("\u00e9")").as_string(), "\xc3\xa9");      // e-acute
+    EXPECT_EQ(parse(R"("\u4e2d")").as_string(), "\xe4\xb8\xad");  // CJK
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(parse(R"("\ud83d\ude00")").as_string(), "\xf0\x9f\x98\x80");
+    EXPECT_THROW(parse(R"("\u12")"), parse_error);      // truncated
+    EXPECT_THROW(parse(R"("\uzzzz")"), parse_error);    // non-hex
+    EXPECT_THROW(parse(R"("\ud83d")"), parse_error);    // unpaired high
+    EXPECT_THROW(parse(R"("\ude00")"), parse_error);    // unpaired low
+    EXPECT_THROW(parse(R"("\ud83dx")"), parse_error);   // pair cut short
+}
+
+TEST(json, dump_is_compact_key_ordered_and_round_trips)
+{
+    object o;
+    o.emplace("b", value{2.0});
+    o.emplace("a", value{std::string("hi\n\x01")});
+    o.emplace("list", value{array{value{true}, value{nullptr}, value{0.5}}});
+    const value v{std::move(o)};
+
+    const std::string text = dump(v);
+    // std::map iteration order: keys sorted; integers render without exponent;
+    // control characters escape as \uXXXX.
+    EXPECT_EQ(text, "{\"a\":\"hi\\n\\u0001\",\"b\":2,\"list\":[true,null,0.5]}");
+
+    // Round trip through our own parser preserves structure and bytes.
+    const value back = parse(text);
+    EXPECT_EQ(dump(back), text);
+    EXPECT_EQ(back.get_string("a"), std::string("hi\n\x01"));
+}
+
+TEST(json, dump_renders_large_and_fractional_numbers_deterministically)
+{
+    EXPECT_EQ(dump(value{1234567890.0}), "1234567890");
+    EXPECT_EQ(dump(value{-3.0}), "-3");
+    EXPECT_EQ(dump(value{0.1}), "0.10000000000000001");  // %.17g, bit-exact
+    const value round_tripped = parse(dump(value{0.1}));
+    EXPECT_EQ(round_tripped.as_number(), 0.1);
 }
 
 }  // namespace

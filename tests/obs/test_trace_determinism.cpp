@@ -1,0 +1,135 @@
+// Trace-export determinism pins.
+//
+// The obs contract is that every event is stamped with *virtual* time only,
+// so a trace is as deterministic as the schedule that produced it: two runs
+// with identical seeds must export byte-identical Chrome trace JSON —
+// including the metrics snapshot riding in otherData. That makes the export
+// a determinism oracle alongside the kernel journal; any instrumentation
+// point that leaks wall-clock state, iteration order of an unordered
+// container, or pointer values into an event fails here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "kernel/kernel.h"
+#include "obs/chrome_export.h"
+#include "obs/collect.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/browser.h"
+#include "runtime/profile.h"
+#include "runtime/vuln.h"
+#include "sim/explore.h"
+#include "sim/simulation.h"
+#include "sim/time.h"
+#include "workloads/random_program.h"
+
+namespace {
+
+namespace sim = jsk::sim;
+namespace explore = jsk::sim::explore;
+namespace obs = jsk::obs;
+namespace rt = jsk::rt;
+
+struct traced_run {
+    std::string trace;          // full Chrome trace-event export
+    std::size_t events = 0;     // sink event count
+    std::size_t dispatch_spans = 0;
+    std::size_t journal_entries = 0;  // summed over the kernel tree
+};
+
+std::size_t journal_total(const jsk::kernel::kernel& k)
+{
+    std::size_t n = k.dispatch_journal().size();
+    for (const auto& child : k.children()) n += journal_total(*child);
+    return n;
+}
+
+/// One fully instrumented world: browser + vuln monitors + kernel + random
+/// program, driven down a seeded random walk. Mirrors the A/B determinism
+/// harness (tests/sim/test_ab_determinism.cpp) with the obs sink attached.
+traced_run run_traced(std::uint64_t program_seed, std::uint64_t walk_seed)
+{
+    rt::browser b(rt::chrome_profile());
+    rt::vuln_registry vulns(b.bus());
+    obs::sink sink;
+    b.sim().set_trace_sink(&sink);
+    obs::wire_runtime(sink, b);
+    vulns.set_trace_sink(&sink);
+
+    explore::controller ctl({}, explore::controller::tail_policy::random, walk_seed);
+    ctl.set_window(500 * sim::us);
+    ctl.attach(b.sim());
+
+    std::unique_ptr<jsk::kernel::kernel> k = jsk::kernel::kernel::boot(b);
+    auto log = std::make_shared<jsk::workloads::observation_log>();
+    jsk::workloads::install_random_program(b, program_seed, log);
+    b.run_until(60 * sim::sec, 5'000'000);
+
+    obs::registry reg;
+    obs::collect_sim(reg, b.sim());
+    obs::collect_kernel(reg, *k);
+    obs::collect_vulns(reg, vulns);
+
+    traced_run out;
+    out.events = sink.size();
+    for (const obs::trace_event& ev : sink.events()) {
+        if (ev.cat == obs::category::kernel && ev.ph == 'X' &&
+            ev.name.rfind("dispatch:", 0) == 0) {
+            ++out.dispatch_spans;
+        }
+    }
+    out.journal_entries = journal_total(*k);
+    out.trace = obs::to_chrome_trace(sink, reg.to_json());
+    return out;
+}
+
+TEST(trace_determinism, same_seed_runs_export_byte_identical_traces)
+{
+    for (const std::uint64_t program_seed : {3ull, 7ull}) {
+        const traced_run a = run_traced(program_seed, 101);
+        const traced_run b = run_traced(program_seed, 101);
+        ASSERT_GT(a.events, 0u) << "program " << program_seed
+                                << ": instrumentation recorded nothing";
+        EXPECT_EQ(a.events, b.events);
+        // Byte-for-byte: timestamps, args, metrics snapshot, everything.
+        EXPECT_EQ(a.trace, b.trace)
+            << "program " << program_seed << ": same-seed exports diverged";
+    }
+}
+
+TEST(trace_determinism, different_walks_export_different_traces)
+{
+    // Sanity for the oracle itself: the export must be *sensitive* to the
+    // schedule, otherwise byte-equality above proves nothing.
+    const traced_run a = run_traced(3, 101);
+    const traced_run b = run_traced(3, 202);
+    EXPECT_NE(a.trace, b.trace);
+}
+
+TEST(trace_determinism, dispatch_spans_match_kernel_journal)
+{
+    // Every kernel-dispatched event leaves exactly one journal record and —
+    // with a sink attached — exactly one "dispatch:*" span. The two records
+    // of the same decision stream must agree in count.
+    const traced_run r = run_traced(3, 101);
+    ASSERT_GT(r.journal_entries, 0u);
+    EXPECT_EQ(r.dispatch_spans, r.journal_entries);
+}
+
+TEST(trace_determinism, export_is_stable_across_repeated_serialization)
+{
+    // Serializing the same sink twice is trivially equal only if the export
+    // never reads mutable global state; pin it anyway, it is cheap.
+    rt::browser b(rt::chrome_profile());
+    obs::sink sink;
+    b.sim().set_trace_sink(&sink);
+    auto log = std::make_shared<jsk::workloads::observation_log>();
+    jsk::workloads::install_random_program(b, 11, log);
+    b.run_until(60 * sim::sec, 5'000'000);
+    EXPECT_EQ(obs::to_chrome_trace(sink), obs::to_chrome_trace(sink));
+}
+
+}  // namespace
