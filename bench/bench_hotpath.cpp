@@ -20,6 +20,8 @@
 #include "attacks/attacks_impl.h"
 #include "attacks/explore_sweep.h"
 #include "bench/bench_obs.h"
+#include "faults/injector.h"
+#include "faults/plan.h"
 #include "bench/bench_util.h"
 #include "defenses/defense.h"
 #include "kernel/event_queue.h"
@@ -448,6 +450,67 @@ obs_numbers run_obs_guard(std::uint64_t tasks, int passes)
     return out;
 }
 
+struct faults_numbers {
+    double off_ns_per_task = 0;    // no injector attached (min of `passes`)
+    double off_noise_ratio = 0;    // worst/best injector-off pass
+    double null_ns_per_task = 0;   // null-plan injector attached
+    double null_overhead_ratio = 0;  // null/off
+};
+
+/// One browser-level ping-pong pass over the fault interposition sites
+/// (postMessage both directions is the hottest one). Returns ns/task.
+double run_faults_pass(faults::injector* inj, int rounds)
+{
+    rt::browser b(rt::chrome_profile(), 7);
+    if (inj != nullptr) b.set_fault_injector(inj);
+    b.register_worker_script("echo.js", [](rt::context& ctx) {
+        ctx.apis().set_self_onmessage([&ctx](const rt::message_event& e) {
+            ctx.apis().post_message_to_parent(e.data, {});
+        });
+    });
+    int remaining = rounds;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("echo.js");
+        w->set_onmessage([&remaining, w](const rt::message_event&) {
+            if (--remaining > 0) w->post_message(rt::js_value{1.0}, {});
+        });
+        w->post_message(rt::js_value{1.0}, {});
+    });
+    const auto t0 = clock_type::now();
+    b.run();
+    return seconds_since(t0) * 1e9 / static_cast<double>(b.sim().tasks_executed());
+}
+
+/// The faults-off overhead guard, mirroring the obs null-sink guard: every
+/// interposition site is one `active_faults() == nullptr` branch when no
+/// injector is attached, and an attached injector whose plan is null takes
+/// the same early-out (`enabled()` is false). Both modes must price like
+/// each other; a real fault plan's cost is the plan's business, not bounded
+/// here.
+faults_numbers run_faults_guard(int rounds, int passes)
+{
+    faults_numbers out;
+    double best_off = 0;
+    double worst_off = 0;
+    for (int p = 0; p < passes; ++p) {
+        const double ns = run_faults_pass(nullptr, rounds);
+        if (p == 0 || ns < best_off) best_off = ns;
+        if (p == 0 || ns > worst_off) worst_off = ns;
+    }
+    out.off_ns_per_task = best_off;
+    out.off_noise_ratio = best_off > 0 ? worst_off / best_off : 0;
+
+    double best_null = 0;
+    for (int p = 0; p < passes; ++p) {
+        faults::injector inj{faults::plan{}};  // all rates zero: null plan
+        const double ns = run_faults_pass(&inj, rounds);
+        if (p == 0 || ns < best_null) best_null = ns;
+    }
+    out.null_ns_per_task = best_null;
+    out.null_overhead_ratio = best_off > 0 ? best_null / best_off : 0;
+    return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -533,6 +596,23 @@ int main(int argc, char** argv)
     std::printf("obs-off within noise of headline sim numbers: %s (ratio %.2f)\n",
                 obs_off_within_noise ? "yes" : "NO", off_vs_headline);
 
+    // faults null-plan guard: a null-plan injector must price like no
+    // injector at all — same gating discipline as the obs guard above.
+    const faults_numbers fn = run_faults_guard(/*rounds=*/20'000, /*passes=*/3);
+    const bool faults_stable = fn.off_noise_ratio < 1.3;
+    const bool faults_within_noise = fn.null_overhead_ratio < 1.5 || !faults_stable;
+
+    std::printf("\n");
+    bench::print_row({"faults metric", "value"}, 38);
+    bench::print_rule(2, 38);
+    bench::print_row({"faults-off ns/task", bench::fmt(fn.off_ns_per_task)}, 38);
+    bench::print_row({"faults-off noise (worst/best)", bench::fmt(fn.off_noise_ratio)}, 38);
+    bench::print_row({"null-plan ns/task", bench::fmt(fn.null_ns_per_task)}, 38);
+    bench::print_row({"null-plan overhead (null/off)",
+                      bench::fmt(fn.null_overhead_ratio)}, 38);
+    std::printf("null-plan injector within noise of no injector: %s (ratio %.2f)\n",
+                faults_within_noise ? "yes" : "NO", fn.null_overhead_ratio);
+
     if (!json_dir.empty()) {
         bench::json_report sim_report("sim");
         sim_report.set("unhooked_ns_per_task", sn.unhooked_ns_per_task);
@@ -576,6 +656,14 @@ int main(int argc, char** argv)
         obs_report.set("events_recorded", on.events_recorded);
         obs_report.set("within_noise", std::uint64_t{obs_off_within_noise ? 1u : 0u});
         obs_report.write(json_dir);
+
+        bench::json_report faults_report("faults");
+        faults_report.set("faults_off_ns_per_task", fn.off_ns_per_task);
+        faults_report.set("faults_off_noise_ratio", fn.off_noise_ratio);
+        faults_report.set("null_plan_ns_per_task", fn.null_ns_per_task);
+        faults_report.set("null_plan_overhead_ratio", fn.null_overhead_ratio);
+        faults_report.set("within_noise", std::uint64_t{faults_within_noise ? 1u : 0u});
+        faults_report.write(json_dir);
     }
-    return obs_off_within_noise ? 0 : 1;
+    return (obs_off_within_noise && faults_within_noise) ? 0 : 1;
 }

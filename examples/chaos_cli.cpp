@@ -1,0 +1,119 @@
+// chaos_cli — run one CVE exploit (or a seeded random program) under an
+// active fault plan, with JSKernel's hardening armed, and write the run's
+// Chrome trace artifact.
+//
+//   chaos_cli [cve|program:<seed>] [plan] [out.trace.json] [browser_seed]
+//   chaos_cli --list
+//
+// `plan` is either a sample index (an integer: faults::plan::sample(i),
+// cycling perturb/network/worker/channel/full chaos), or a full `key=value;`
+// plan string as printed by plan::str() — so a failure line from the chaos
+// sweep can be pasted back verbatim. Defaults: CVE-2018-5092 under sample
+// plan 1 (network chaos), written to "<target>.chaos.trace.json".
+//
+// The run is deterministic: same arguments, byte-identical trace. The
+// summary line reports what the kernel had to absorb (injected faults,
+// watchdog cancellations, fetch retries) and whether the monitor fired.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "attacks/attacks_impl.h"
+#include "attacks/chaos_sweep.h"
+#include "faults/plan.h"
+
+namespace {
+
+namespace jk = jsk;
+
+int list_choices()
+{
+    std::cout << "CVEs:\n";
+    for (const auto& [id, fn] : jk::attacks::cve_exploit_table()) {
+        std::cout << "  " << id << "\n";
+    }
+    std::cout << "plans (sample indices; any index is valid):\n";
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        std::cout << "  " << i << ": " << jk::faults::plan::sample(i).str() << "\n";
+    }
+    std::cout << "or pass a full key=value; plan string.\n";
+    return 0;
+}
+
+jk::faults::plan parse_plan_arg(const std::string& arg)
+{
+    if (arg.find('=') != std::string::npos) return jk::faults::plan::parse(arg);
+    return jk::faults::plan::sample(std::strtoull(arg.c_str(), nullptr, 10));
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc > 1 && std::string(argv[1]) == "--list") return list_choices();
+    if (argc > 1 && std::string(argv[1]).rfind("--", 0) == 0) {
+        std::cerr << "usage: chaos_cli [cve|program:<seed>] [plan] [out.trace.json]"
+                     " [browser_seed]\n"
+                     "       chaos_cli --list\n";
+        return 2;
+    }
+
+    const std::string target = argc > 1 ? argv[1] : "CVE-2018-5092";
+    const std::string plan_arg = argc > 2 ? argv[2] : "1";
+    std::string out_path = argc > 3 ? argv[3] : target + ".chaos.trace.json";
+    for (char& c : out_path) {
+        if (c == ':') c = '_';  // "program:3" -> filesystem-safe default name
+    }
+    const std::uint64_t browser_seed =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 17;
+
+    jk::faults::plan plan;
+    try {
+        plan = parse_plan_arg(plan_arg);
+    } catch (const std::exception& e) {
+        std::cerr << "bad plan: " << e.what() << "\n";
+        return 2;
+    }
+
+    jk::attacks::chaos_trial_result result;
+    try {
+        if (target.rfind("program:", 0) == 0) {
+            const std::uint64_t program_seed =
+                std::strtoull(target.c_str() + 8, nullptr, 10);
+            result = jk::attacks::run_chaos_program(program_seed, /*with_jskernel=*/true,
+                                                    plan, browser_seed);
+        } else {
+            result = jk::attacks::run_chaos_trial(target, /*with_jskernel=*/true, plan,
+                                                  browser_seed);
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "trial failed: " << e.what() << " (try --list)\n";
+        return 2;
+    }
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 2;
+    }
+    out << result.trace_json;
+    out.close();
+
+    std::printf("target:            %s\n", target.c_str());
+    std::printf("plan:              %s\n", plan.str().c_str());
+    std::printf("monitor triggered: %s\n", result.triggered ? "YES" : "no");
+    std::printf("tasks executed:    %llu%s\n",
+                static_cast<unsigned long long>(result.tasks_executed),
+                result.hit_task_cap ? "  (HIT TASK CAP — liveness bug)" : "");
+    std::printf("faults injected:   %llu\n",
+                static_cast<unsigned long long>(result.faults_injected));
+    std::printf("watchdog fires:    %llu\n",
+                static_cast<unsigned long long>(result.watchdog_fires));
+    std::printf("fetch retries:     %llu\n",
+                static_cast<unsigned long long>(result.fetch_retries));
+    std::printf("trace:             %s (load in ui.perfetto.dev)\n", out_path.c_str());
+    return result.hit_task_cap ? 1 : 0;
+}

@@ -1,0 +1,112 @@
+#include "attacks/chaos_sweep.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "attacks/attacks_impl.h"
+#include "faults/injector.h"
+#include "kernel/kernel.h"
+#include "obs/chrome_export.h"
+#include "obs/collect.h"
+#include "obs/trace.h"
+#include "runtime/browser.h"
+#include "runtime/vuln.h"
+#include "workloads/random_program.h"
+
+namespace jsk::attacks {
+
+namespace {
+
+cve_exploit_fn find_exploit(const std::string& cve_id)
+{
+    for (const auto& [id, fn] : cve_exploit_table()) {
+        if (id == cve_id) return fn;
+    }
+    throw std::invalid_argument("unknown CVE id: " + cve_id);
+}
+
+void sum_kernel_tree(kernel::kernel& k, chaos_trial_result& r)
+{
+    r.watchdog_fires += k.disp().watchdog_fires();
+    r.fetch_retries += k.fetch_retries();
+    for (const auto& child : k.children()) sum_kernel_tree(*child, r);
+}
+
+/// The shared trial body: assemble the world, run `drive`, harvest oracles.
+chaos_trial_result run_trial(const std::string& cve_id, std::uint64_t program_seed,
+                             bool random_program, bool with_jskernel,
+                             const faults::plan& p, std::uint64_t browser_seed,
+                             const chaos_options& opt)
+{
+    rt::browser b(rt::chrome_profile(), browser_seed);
+    rt::vuln_registry vulns(b.bus());
+
+    obs::sink sink;
+    b.sim().set_trace_sink(&sink);
+    obs::wire_runtime(sink, b);
+    vulns.set_trace_sink(&sink);
+
+    faults::injector inj(p);
+    b.set_fault_injector(&inj);
+
+    std::unique_ptr<kernel::kernel> kern;
+    if (with_jskernel) {
+        kernel::kernel_options ko;
+        ko.watchdog_budget_ms = opt.watchdog_budget_ms;
+        kern = kernel::kernel::boot(b, ko);
+        if (opt.fetch_retry_attempts > 0) {
+            kern->add_policy(kernel::make_policy_fetch_retry(
+                opt.fetch_retry_attempts, opt.fetch_retry_base_ms));
+        }
+    }
+
+    auto log = std::make_shared<workloads::observation_log>();
+    if (random_program) {
+        workloads::install_random_program(b, program_seed, log);
+    } else {
+        find_exploit(cve_id)(b);
+    }
+    b.run_until(opt.deadline, opt.task_cap);
+
+    chaos_trial_result r;
+    r.tasks_executed = b.sim().tasks_executed();
+    r.hit_task_cap = r.tasks_executed >= opt.task_cap;
+    r.faults_injected = inj.injected();
+    if (!random_program) {
+        const rt::cve_monitor* monitor = vulns.find(cve_id);
+        r.triggered = monitor != nullptr && monitor->triggered();
+    }
+    if (kern) {
+        sum_kernel_tree(*kern, r);
+        r.journal_json = kern->dispatch_journal().to_json();
+    }
+    r.trace_json = obs::to_chrome_trace(sink);
+    if (random_program) r.observations = log->str();
+
+    // The sink dies with this frame; detach before the browser's teardown
+    // tasks could touch it.
+    b.sim().set_trace_sink(nullptr);
+    vulns.set_trace_sink(nullptr);
+    return r;
+}
+
+}  // namespace
+
+chaos_trial_result run_chaos_trial(const std::string& cve_id, bool with_jskernel,
+                                   const faults::plan& p, std::uint64_t browser_seed,
+                                   const chaos_options& opt)
+{
+    return run_trial(cve_id, 0, /*random_program=*/false, with_jskernel, p,
+                     browser_seed, opt);
+}
+
+chaos_trial_result run_chaos_program(std::uint64_t program_seed, bool with_jskernel,
+                                     const faults::plan& p, std::uint64_t browser_seed,
+                                     const chaos_options& opt)
+{
+    return run_trial({}, program_seed, /*random_program=*/true, with_jskernel, p,
+                     browser_seed, opt);
+}
+
+}  // namespace jsk::attacks

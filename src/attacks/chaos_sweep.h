@@ -1,0 +1,71 @@
+// Chaos-sweep entry points: the CVE matrix and random programs re-run under
+// injected faults (jsk::faults).
+//
+// The robustness claim the sweep backs, per (seed, fault-plan) pair:
+//
+//   1. Determinism survives chaos — same seed + same plan produce a
+//      byte-identical kernel journal and obs trace (faults are part of the
+//      deterministic world, not noise on top of it).
+//   2. No CVE false negatives under faults — every monitor that fires on the
+//      fault-free run still fires when the exploit limps through timeouts,
+//      resets, crashes and dropped messages; and under JSKernel no
+//      non-destructive plan makes a monitor fire that the kernel blocks.
+//   3. No hangs — runs either quiesce before the deadline or show journaled
+//      watchdog cancellations; none exhaust the task cap.
+//
+// A trial here is one fully-assembled world: browser + monitors + injector
+// (+ optionally the kernel with its watchdog armed and the retry policy
+// installed), run to quiescence with every oracle exported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/plan.h"
+#include "sim/time.h"
+
+namespace jsk::attacks {
+
+/// Kernel-side hardening knobs for a chaos trial (all active only when the
+/// trial boots JSKernel).
+struct chaos_options {
+    double watchdog_budget_ms = 150.0;  // 0 disables the dispatcher watchdog
+    int fetch_retry_attempts = 3;       // 0 disables the retry policy
+    double fetch_retry_base_ms = 25.0;
+    sim::time_ns deadline = 60 * sim::sec;
+    std::uint64_t task_cap = 400'000;  // liveness backstop, never legitimately hit
+};
+
+/// Everything a chaos trial yields: the oracle strings (byte-compared across
+/// replays) plus the fault/recovery telemetry the invariants assert over.
+struct chaos_trial_result {
+    bool triggered = false;     // the named CVE monitor fired
+    bool hit_task_cap = false;  // liveness violation: simulated work never drained
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t faults_injected = 0;
+    std::uint64_t watchdog_fires = 0;   // summed over the kernel tree
+    std::uint64_t fetch_retries = 0;    // summed over the kernel tree
+    std::string journal_json;  // root kernel journal ("" when no kernel booted)
+    std::string trace_json;    // full Chrome trace of the run
+    std::string observations;  // random-program trials only
+};
+
+/// One chaos trial of a Table I CVE exploit under `p`. Fresh browser
+/// (optionally with JSKernel), monitors attached, injector installed, the
+/// documented exploit, run to quiescence. Throws on unknown ids.
+chaos_trial_result run_chaos_trial(const std::string& cve_id, bool with_jskernel,
+                                   const faults::plan& p,
+                                   std::uint64_t browser_seed = 17,
+                                   const chaos_options& opt = {});
+
+/// One chaos trial of a seeded random program (workloads::random_program)
+/// under `p` — the liveness/determinism half of the sweep, where no monitor
+/// is expected to fire but the journal/trace/observation oracles must still
+/// replay byte-for-byte.
+chaos_trial_result run_chaos_program(std::uint64_t program_seed, bool with_jskernel,
+                                     const faults::plan& p,
+                                     std::uint64_t browser_seed = 17,
+                                     const chaos_options& opt = {});
+
+}  // namespace jsk::attacks

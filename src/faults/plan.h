@@ -1,0 +1,89 @@
+// jsk::faults — deterministic fault plans.
+//
+// A `plan` is a small, fully-serializable description of which adversities a
+// simulated run is exposed to: network faults (fetch timeout / connection
+// reset / truncated body / latency spikes), worker faults (spawn failure,
+// mid-task crash, delayed termination), channel faults (postMessage drop /
+// duplicate / delay, always within FIFO-realizable bounds) and bounded skew
+// on `performance.now`. Rates are integer basis points (1/10'000) and delays
+// are integer virtual nanoseconds, so `str()`/`parse()` round-trip exactly —
+// a (seed, plan) pair is a complete, replayable description of the chaos a
+// run experienced. The plan itself makes no decisions; `injector` does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace jsk::faults {
+
+/// Serializable fault-injection configuration. All-zero rates (the default)
+/// make `null_plan()` true, and every interposition site treats a null plan
+/// as "faults compiled out" (one-branch fast path, mirroring the obs
+/// null-sink guard).
+struct plan {
+    /// Seed for the injector's per-site decision streams. Two injectors with
+    /// the same plan (seed included) make identical decisions forever.
+    std::uint64_t seed = 1;
+
+    // --- network (consulted once per fetch issue) --------------------------
+    std::uint32_t fetch_timeout_bp = 0;  // request never completes; fails late
+    std::uint32_t fetch_reset_bp = 0;    // connection reset; fails early
+    std::uint32_t fetch_partial_bp = 0;  // truncated body at full latency
+    std::uint32_t fetch_spike_bp = 0;    // success, but latency spikes
+    sim::time_ns fetch_timeout_after = 250 * sim::ms;
+    sim::time_ns fetch_spike = 60 * sim::ms;
+
+    // --- workers (consulted at spawn / terminate) --------------------------
+    std::uint32_t worker_spawn_fail_bp = 0;  // script never starts
+    std::uint32_t worker_crash_bp = 0;       // engine dies mid-run
+    sim::time_ns worker_crash_after = 20 * sim::ms;
+    sim::time_ns worker_termination_delay = 0;  // terminate() lands late
+
+    // --- channels (consulted once per postMessage) -------------------------
+    std::uint32_t msg_drop_bp = 0;
+    std::uint32_t msg_duplicate_bp = 0;
+    std::uint32_t msg_delay_bp = 0;
+    sim::time_ns msg_delay = 2 * sim::ms;
+
+    // --- clocks ------------------------------------------------------------
+    /// Bounded piecewise-linear skew added to performance.now readings.
+    /// Amplitude is clamped to period/2 by the injector so the skewed clock
+    /// stays monotone.
+    sim::time_ns clock_skew_amplitude = 0;
+    sim::time_ns clock_skew_period = 5 * sim::ms;
+
+    bool operator==(const plan&) const = default;
+
+    /// True when no rate and no skew is armed — the injector can never fire.
+    [[nodiscard]] bool null_plan() const;
+
+    /// True when the plan can destroy state outright (drop messages, kill or
+    /// fail workers, time out fetches) rather than merely perturb timing.
+    /// Destructive plans are outside the kernel's mediation boundary for
+    /// some CVEs (an engine crash is not an API call), so the chaos sweep
+    /// scopes its security assertions by this predicate.
+    [[nodiscard]] bool destructive() const;
+
+    /// Exact `key=value;` serialization (every field, fixed order).
+    [[nodiscard]] std::string str() const;
+
+    /// Inverse of str(). Throws std::invalid_argument on unknown keys or
+    /// malformed input.
+    static plan parse(const std::string& text);
+
+    // Deterministic plan families, used by the chaos sweep and chaos_cli.
+    static plan perturb_only(std::uint64_t seed);   // spikes/delays/dups/skew
+    static plan network_chaos(std::uint64_t seed);  // + timeout/reset/partial
+    static plan worker_chaos(std::uint64_t seed);   // + spawn-fail/crash/slow-term
+    static plan channel_chaos(std::uint64_t seed);  // + drops
+    static plan full_chaos(std::uint64_t seed);     // everything at once
+
+    /// Deterministic family walk: index selects both the shape (cycling the
+    /// five factories above) and the derived seed, so a sweep over indices
+    /// 0..N-1 covers every fault class with distinct decision streams.
+    static plan sample(std::uint64_t index);
+};
+
+}  // namespace jsk::faults

@@ -4,6 +4,7 @@
 
 #include "kernel/kernel.h"
 #include "obs/trace.h"
+#include "sim/time.h"
 
 namespace jsk::kernel {
 
@@ -17,7 +18,11 @@ void dispatcher::pump()
         q.pop();
     }
     kevent* head = q.top();
-    if (head == nullptr || head->status != kevent_status::ready) return;  // pending: wait
+    if (head == nullptr) return;
+    if (head->status != kevent_status::ready) {  // pending: wait (bounded)
+        arm_watchdog(*head);
+        return;
+    }
 
     // One ready event per macrotask. The head is re-examined when the task
     // actually runs: an event registered later in the current task with an
@@ -33,7 +38,10 @@ void dispatcher::pump()
                     queue.pop();
                     continue;
                 }
-                if (h->status != kevent_status::ready) return;
+                if (h->status != kevent_status::ready) {
+                    arm_watchdog(*h);
+                    return;
+                }
                 kevent ev = queue.pop();
                 k_->clock().tick_to(ev.predicted_time);
                 k_->dispatch_journal().record(ev);
@@ -41,7 +49,22 @@ void dispatcher::pump()
                 obs::sink* ts = k_->tsink();
                 sim::time_ns t0 = 0;
                 if (ts != nullptr) t0 = k_->browser().sim().now();
-                if (ev.callback) ev.callback();
+                if (ev.callback) {
+                    try {
+                        ev.callback();
+                    } catch (...) {
+                        // An uncaught exception in a page callback: a real
+                        // event loop reports it and moves on. The kernel's
+                        // dispatch frontier must not stall (after_dispatch +
+                        // pump below still run), so contain it here.
+                        ++callback_exceptions_;
+                        if (obs::sink* es = k_->tsink()) {
+                            es->instant(obs::category::kernel, k_->ctx().thread(),
+                                        k_->browser().sim().now(), "dispatch:exception",
+                                        {obs::num("event", ev.id)});
+                        }
+                    }
+                }
                 if (ts != nullptr) {
                     std::vector<obs::arg> args{obs::num("event", ev.id),
                                                obs::num("predicted", ev.predicted_time)};
@@ -57,6 +80,67 @@ void dispatcher::pump()
             }
         },
         "kdispatch");
+}
+
+void dispatcher::watch_head()
+{
+    kevent* head = k_->queue().top();
+    if (head != nullptr && head->status == kevent_status::pending) arm_watchdog(*head);
+}
+
+void dispatcher::arm_watchdog(const kevent& head)
+{
+    const ktime budget_ms = k_->options().watchdog_budget_ms;
+    if (budget_ms <= 0) return;
+    if (watchdog_armed_for_ == head.id && watchdog_armed_predicted_ == head.predicted_time)
+        return;  // the live timer already covers this exact frontier
+    watchdog_armed_for_ = head.id;
+    watchdog_armed_predicted_ = head.predicted_time;
+    const std::uint64_t gen = ++watchdog_generation_;
+    k_->ctx().post_task(
+        sim::from_ms(budget_ms), [this, gen] { watchdog_expire(gen); }, "kwatchdog");
+}
+
+void dispatcher::watchdog_expire(std::uint64_t generation)
+{
+    // A later arm (head change, or the same head's certificate advancing —
+    // i.e. progress) supersedes this timer.
+    if (generation != watchdog_generation_) return;
+    const std::uint64_t head_id = watchdog_armed_for_;
+    const ktime armed_predicted = watchdog_armed_predicted_;
+    watchdog_armed_for_ = 0;
+    event_queue& q = k_->queue();
+    kevent* head = q.top();
+    if (head == nullptr || head->id != head_id || head->status != kevent_status::pending) {
+        // Confirmed (or cancelled, or overtaken by an earlier registration)
+        // within the budget: the timer has nothing to rescue.
+        return;
+    }
+    if (head->predicted_time != armed_predicted) {
+        // The certificate moved while the timer ran: the world is making
+        // progress on this head, so grant it a fresh budget instead of firing.
+        arm_watchdog(*head);
+        return;
+    }
+    // The confirmation never arrived: the native completion was lost to a
+    // dropped channel message, a dead worker, or a timed-out fetch nobody
+    // retried. Cancel the head so the frontier moves, and journal the
+    // cancellation — recovery is part of the deterministic record.
+    kevent note;
+    note.id = head->id;
+    note.type = kevent_type::watchdog_cancel;
+    note.status = kevent_status::cancelled;
+    note.predicted_time = head->predicted_time;
+    note.label = "watchdog:" + head->label;
+    k_->dispatch_journal().record(note);
+    ++watchdog_fires_;
+    if (obs::sink* ts = k_->tsink()) {
+        ts->instant(obs::category::fault, k_->ctx().thread(), k_->browser().sim().now(),
+                    "watchdog:cancel",
+                    {obs::num("event", head->id), obs::num("predicted", head->predicted_time)});
+    }
+    q.mark_cancelled(head_id);
+    pump();
 }
 
 }  // namespace jsk::kernel

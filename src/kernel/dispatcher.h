@@ -9,9 +9,22 @@
 // The pending-head wait is the heart of the defense: an attacker counting
 // events between two observations counts positions on the predicted timeline,
 // which the secret cannot influence.
+//
+// Two hardening features bound that wait against a faulty world:
+//  * watchdog — when kernel_options.watchdog_budget_ms > 0 and the head stays
+//    pending past the budget (its confirmation was lost: dead worker, dropped
+//    channel message, timed-out fetch), the dispatcher cancels it, journals a
+//    watchdog_cancel entry, and pumps on. Off by default (budget 0).
+//  * exception containment — a user callback that throws out of its dispatch
+//    macrotask is contained (counted + traced), the same way a real event
+//    loop reports an uncaught error and keeps going; the dispatch frontier
+//    never stalls on a throwing page.
 #pragma once
 
 #include <cstdint>
+
+#include "kernel/kevent.h"
+#include "sim/time.h"
 
 namespace jsk::kernel {
 
@@ -31,10 +44,34 @@ public:
     /// True while a dispatch macrotask is queued but has not run yet.
     [[nodiscard]] bool dispatch_in_flight() const { return dispatch_scheduled_; }
 
+    /// Re-examine the queue head after a registration and start the pending
+    /// wait bound if needed. Unlike pump(), never schedules a dispatch — a
+    /// registration must not advance the frontier, but a pending head that
+    /// nothing else will ever touch still needs its watchdog armed.
+    void watch_head();
+
+    /// Pending heads the watchdog cancelled (each is journaled).
+    [[nodiscard]] std::uint64_t watchdog_fires() const { return watchdog_fires_; }
+
+    /// User callbacks that threw out of their dispatch macrotask.
+    [[nodiscard]] std::uint64_t callback_exceptions() const { return callback_exceptions_; }
+
 private:
+    /// Post the watchdog timer for a pending head (no-op when the budget is
+    /// zero or a live timer already covers this exact frontier). A head whose
+    /// predicted time advanced since the last arm counts as progress and gets
+    /// a fresh budget — the watchdog bounds *stalls*, not total wait time.
+    void arm_watchdog(const kevent& head);
+    void watchdog_expire(std::uint64_t generation);
+
     kernel* k_;
     bool dispatch_scheduled_ = false;
     std::uint64_t dispatched_ = 0;
+    std::uint64_t watchdog_fires_ = 0;
+    std::uint64_t callback_exceptions_ = 0;
+    std::uint64_t watchdog_armed_for_ = 0;   // head id covered by a live timer
+    ktime watchdog_armed_predicted_ = 0.0;   // its predicted time at arm
+    std::uint64_t watchdog_generation_ = 0;  // only the newest timer is live
 };
 
 }  // namespace jsk::kernel

@@ -1,5 +1,6 @@
 #include "kernel/kernel.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -64,77 +65,76 @@ void kernel::note_policy(const char* decision, bool denied, const std::string* u
     }
 }
 
-bool kernel::policy_block_fetch(const std::string& url)
+bool kernel::is_quarantined(const policy* p) const
 {
-    bool denied = false;
-    for (kernel* k = this; k != nullptr && !denied; k = k->parent_) {
+    return std::find(quarantined_.begin(), quarantined_.end(), p) != quarantined_.end();
+}
+
+void kernel::quarantine_policy(const policy* p)
+{
+    if (is_quarantined(p)) return;
+    quarantined_.push_back(p);
+    if (obs::sink* ts = tsink()) {
+        ts->instant(obs::category::policy, ctx_->thread(), ctx_->owner().sim().now(),
+                    "policy:quarantined", {obs::text("policy", p->name())});
+    }
+}
+
+template <typename Hook>
+bool kernel::consult_policies(Hook&& hook)
+{
+    for (kernel* k = this; k != nullptr; k = k->parent_) {
         for (auto& p : k->policies_) {
-            if (p->on_fetch(*this, url)) {
-                denied = true;
-                break;
+            if (k->is_quarantined(p.get())) continue;
+            try {
+                if (hook(*p)) return true;
+            } catch (...) {
+                // Graceful degradation: a throwing policy is quarantined (on
+                // the kernel that owns it) and treated as not handling the
+                // call — pass-through mediation, CVE monitors stay armed.
+                k->quarantine_policy(p.get());
             }
         }
     }
+    return false;
+}
+
+bool kernel::policy_block_fetch(const std::string& url)
+{
+    const bool denied =
+        consult_policies([&](policy& p) { return p.on_fetch(*this, url); });
     note_policy("policy:fetch", denied, &url);
     return denied;
 }
 
 bool kernel::policy_block_xhr(const std::string& url, bool cross_origin)
 {
-    bool denied = false;
-    for (kernel* k = this; k != nullptr && !denied; k = k->parent_) {
-        for (auto& p : k->policies_) {
-            if (p->on_xhr(*this, url, cross_origin)) {
-                denied = true;
-                break;
-            }
-        }
-    }
+    const bool denied =
+        consult_policies([&](policy& p) { return p.on_xhr(*this, url, cross_origin); });
     note_policy("policy:xhr", denied, &url);
     return denied;
 }
 
 bool kernel::policy_mediate_import(const std::string& url, bool cross_origin)
 {
-    bool denied = false;
-    for (kernel* k = this; k != nullptr && !denied; k = k->parent_) {
-        for (auto& p : k->policies_) {
-            if (p->on_import(*this, url, cross_origin)) {
-                denied = true;
-                break;
-            }
-        }
-    }
+    const bool denied =
+        consult_policies([&](policy& p) { return p.on_import(*this, url, cross_origin); });
     note_policy("policy:import", denied, &url);
     return denied;
 }
 
 bool kernel::policy_deny_idb(bool private_mode)
 {
-    bool denied = false;
-    for (kernel* k = this; k != nullptr && !denied; k = k->parent_) {
-        for (auto& p : k->policies_) {
-            if (p->on_indexeddb(*this, private_mode)) {
-                denied = true;
-                break;
-            }
-        }
-    }
+    const bool denied =
+        consult_policies([&](policy& p) { return p.on_indexeddb(*this, private_mode); });
     note_policy("policy:idb", denied);
     return denied;
 }
 
 bool kernel::policy_reject_onmessage(bool valid)
 {
-    bool denied = false;
-    for (kernel* k = this; k != nullptr && !denied; k = k->parent_) {
-        for (auto& p : k->policies_) {
-            if (p->on_onmessage_assign(*this, valid)) {
-                denied = true;
-                break;
-            }
-        }
-    }
+    const bool denied =
+        consult_policies([&](policy& p) { return p.on_onmessage_assign(*this, valid); });
     note_policy("policy:onmessage", denied);
     return denied;
 }
@@ -142,11 +142,23 @@ bool kernel::policy_reject_onmessage(bool valid)
 std::string kernel::policy_sanitize_error(const std::string& raw)
 {
     std::string msg = raw;
-    for (kernel* k = this; k != nullptr; k = k->parent_) {
-        for (auto& p : k->policies_) msg = p->on_worker_error(*this, msg);
-    }
+    consult_policies([&](policy& p) {
+        msg = p.on_worker_error(*this, msg);
+        return false;  // sanitizers chain; nobody "handles" the call
+    });
     note_policy("policy:error_sanitize", msg != raw);
     return msg;
+}
+
+retry_decision kernel::policy_fetch_retry(const std::string& url, int attempt, bool retryable)
+{
+    retry_decision out;
+    consult_policies([&](policy& p) {
+        const retry_decision d = p.on_fetch_failure(*this, url, attempt, retryable);
+        if (d.retry) out = d;
+        return d.retry;  // first retry grant wins
+    });
+    return out;
 }
 
 // --- installation -------------------------------------------------------------
@@ -486,7 +498,8 @@ void kernel::k_fetch(const std::string& url, rt::fetch_options options, rt::fetc
             kevent_type::fetch_fail, predicted,
             [this, fail, url] {
                 if (!user_closed_ && fail) {
-                    fail(rt::fetch_result{false, false, url, "blocked by kernel policy", 0});
+                    fail(rt::fetch_result{false, false, url, "blocked by kernel policy", 0,
+                                          rt::fetch_error::blocked});
                 }
             },
             "fetch-blocked");
@@ -495,8 +508,15 @@ void kernel::k_fetch(const std::string& url, rt::fetch_options options, rt::fetc
     const std::uint64_t event =
         sched_.register_event(kevent_type::fetch_then, 0, "fetch:" + url);
     ++outstanding_fetches_;
+    start_fetch_attempt(event, url, std::move(options), std::move(then), std::move(fail), 1);
+}
+
+void kernel::start_fetch_attempt(std::uint64_t event, const std::string& url,
+                                 rt::fetch_options options, rt::fetch_cb then,
+                                 rt::fetch_cb fail, int attempt)
+{
     natives_.fetch(
-        url, std::move(options),
+        url, options,
         [this, event, then](const rt::fetch_result& result) {
             --outstanding_fetches_;
             if (user_closed_) {
@@ -508,7 +528,32 @@ void kernel::k_fetch(const std::string& url, rt::fetch_options options, rt::fetc
             }
             maybe_signal_drained();
         },
-        [this, event, fail](const rt::fetch_result& result) {
+        [this, event, url, options, then, fail, attempt](const rt::fetch_result& result) {
+            if (!user_closed_) {
+                const retry_decision rd =
+                    policy_fetch_retry(url, attempt, result.retryable());
+                if (rd.retry) {
+                    // Re-issue after backoff. The kernel event stays pending
+                    // and outstanding_fetches_ stays held, so the predicted
+                    // timeline (and the drain handshake) are untouched — a
+                    // survived fault is invisible to the page.
+                    ++fetch_retries_;
+                    if (obs::sink* ts = tsink()) {
+                        ts->instant(obs::category::fault, ctx_->thread(),
+                                    ctx_->owner().sim().now(), "kernel:fetch_retry",
+                                    {obs::num("attempt", attempt),
+                                     obs::num("delay_ms", rd.delay_ms),
+                                     obs::text("url", url)});
+                    }
+                    natives_.set_timeout(
+                        [this, event, url, options, then, fail, attempt] {
+                            start_fetch_attempt(event, url, options, then, fail,
+                                                attempt + 1);
+                        },
+                        sim::from_ms(rd.delay_ms));
+                    return;
+                }
+            }
             --outstanding_fetches_;
             if (user_closed_) {
                 sched_.cancel(event);

@@ -40,6 +40,11 @@ struct kernel_options {
     sim::time_ns queue_op_cost = 150;   // ns per scheduler queue operation
     sim::time_ns dom_interpose_cost = 35;  // extra ns on DOM attribute traps
     double date_epoch_ms = 1'580'000'000'000.0;
+    /// Dispatcher watchdog: a head may stay pending at most this many kernel
+    /// milliseconds before the dispatcher cancels it (journaled as a
+    /// watchdog_cancel entry) and moves on. 0 disables the watchdog — the
+    /// default, so fault-free configurations are untouched.
+    ktime watchdog_budget_ms = 0.0;
 };
 
 class kernel {
@@ -92,6 +97,18 @@ public:
     bool policy_deny_idb(bool private_mode);
     bool policy_reject_onmessage(bool valid);
     std::string policy_sanitize_error(const std::string& raw);
+    /// Consult policies about re-issuing a failed fetch (first retry wins).
+    retry_decision policy_fetch_retry(const std::string& url, int attempt, bool retryable);
+
+    /// Graceful degradation: a policy whose hook threw is quarantined — it is
+    /// never consulted again on this kernel, mediation falls back to
+    /// pass-through for it, and the CVE monitors (which live on the runtime
+    /// bus, not in policies) stay armed. Each quarantine is traced.
+    [[nodiscard]] bool is_quarantined(const policy* p) const;
+    [[nodiscard]] std::uint64_t policies_quarantined() const
+    {
+        return quarantined_.size();
+    }
 
     // --- worker-side plumbing ---
     /// Store the user's self.onmessage handler (trap target).
@@ -131,6 +148,8 @@ public:
     /// Policy evaluations / denials across all policy_* entry points.
     [[nodiscard]] std::uint64_t policy_checks() const { return policy_checks_; }
     [[nodiscard]] std::uint64_t policy_denials() const { return policy_denials_; }
+    /// Failed fetches re-issued by a retry policy (kernel-side hardening).
+    [[nodiscard]] std::uint64_t fetch_retries() const { return fetch_retries_; }
     /// Append-only record of every dispatched kernel event (determinism
     /// evidence; see kernel/journal.h).
     [[nodiscard]] const journal& dispatch_journal() const { return journal_; }
@@ -178,6 +197,22 @@ private:
     rt::js_value k_indexeddb_get(const std::string& db, const std::string& key);
 
     [[nodiscard]] bool is_cross_origin(const std::string& url) const;
+
+    /// Walk this kernel's policy chain (self -> parent), skipping quarantined
+    /// policies and quarantining any whose hook throws. `hook` receives the
+    /// policy and returns true to deny/handle (first hit wins).
+    template <typename Hook>
+    bool consult_policies(Hook&& hook);
+    void quarantine_policy(const policy* p);
+
+    /// Issue attempt `attempt` of the fetch behind kernel event `event`. The
+    /// failure path consults policy_fetch_retry and may re-issue after
+    /// backoff; the kernel event stays registered (and outstanding_fetches_
+    /// held) across attempts, so retries are invisible on the predicted
+    /// timeline.
+    void start_fetch_attempt(std::uint64_t event, const std::string& url,
+                             rt::fetch_options options, rt::fetch_cb then, rt::fetch_cb fail,
+                             int attempt);
 
     /// Count a policy evaluation and, when a sink is attached, emit a
     /// category::policy instant named `decision` ("policy:fetch", ...).
@@ -242,6 +277,8 @@ private:
     std::uint64_t api_calls_ = 0;
     std::uint64_t policy_checks_ = 0;
     std::uint64_t policy_denials_ = 0;
+    std::uint64_t fetch_retries_ = 0;
+    std::vector<const policy*> quarantined_;
 };
 
 }  // namespace jsk::kernel

@@ -18,6 +18,7 @@ const char* to_string(kevent_type type)
         case kevent_type::video_cue: return "video_cue";
         case kevent_type::sys: return "sys";
         case kevent_type::generic: return "generic";
+        case kevent_type::watchdog_cancel: return "watchdog_cancel";
     }
     return "unknown";
 }

@@ -39,6 +39,7 @@ enum class kevent_type {
     video_cue,
     sys,           // kernel-internal bookkeeping events
     generic,
+    watchdog_cancel,  // journal-only: a pending head cancelled by the watchdog
 };
 
 const char* to_string(kevent_type type);

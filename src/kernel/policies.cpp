@@ -91,6 +91,39 @@ std::unique_ptr<policy> make_policy_mediated_import()
     return std::make_unique<mediated_import>();
 }
 
+namespace {
+
+/// Bounded retry with exponential backoff for transient fetch failures —
+/// kernel-side hardening that turns injected network faults (jsk::faults)
+/// into survived requests instead of user-visible errors. Not part of
+/// default_policies(): fault tolerance is opt-in configuration, per
+/// policy_spec hook "fetch_failure" / action "retry".
+class fetch_retry_backoff final : public policy {
+public:
+    fetch_retry_backoff(int max_attempts, double base_ms)
+        : max_attempts_(max_attempts), base_ms_(base_ms)
+    {
+    }
+    [[nodiscard]] const char* name() const override { return "fetch-retry-backoff"; }
+    retry_decision on_fetch_failure(kernel&, const std::string&, int attempt,
+                                    bool retryable) override
+    {
+        if (!retryable || attempt >= max_attempts_) return {};
+        return {true, base_ms_ * static_cast<double>(1 << (attempt - 1))};
+    }
+
+private:
+    int max_attempts_;
+    double base_ms_;
+};
+
+}  // namespace
+
+std::unique_ptr<policy> make_policy_fetch_retry(int max_attempts, double backoff_base_ms)
+{
+    return std::make_unique<fetch_retry_backoff>(max_attempts, backoff_base_ms);
+}
+
 std::vector<std::unique_ptr<policy>> default_policies()
 {
     std::vector<std::unique_ptr<policy>> out;

@@ -19,6 +19,13 @@ namespace jsk::kernel {
 
 class kernel;
 
+/// Outcome of consulting on_fetch_failure: retry=true re-issues the fetch
+/// after `delay_ms` of kernel-time backoff.
+struct retry_decision {
+    bool retry = false;
+    double delay_ms = 0.0;
+};
+
 class policy {
 public:
     virtual ~policy() = default;
@@ -68,6 +75,21 @@ public:
 
     /// Error text about to reach a user handler; return the sanitized form.
     virtual std::string on_worker_error(kernel&, const std::string& raw) { return raw; }
+
+    /// A mediated fetch failed. `attempt` is the 1-based attempt that just
+    /// failed; `retryable` distinguishes transient network failures
+    /// (timeout/reset/partial) from final ones (abort, policy block). The
+    /// first policy returning retry=true wins and the kernel re-issues the
+    /// fetch after the backoff — the kernel event stays pending throughout,
+    /// so retries never reorder the predicted timeline.
+    virtual retry_decision on_fetch_failure(kernel&, const std::string& url, int attempt,
+                                            bool retryable)
+    {
+        (void)url;
+        (void)attempt;
+        (void)retryable;
+        return {};
+    }
 };
 
 /// The policy set shipped by default: one policy per manually analysed CVE
@@ -83,5 +105,9 @@ std::unique_ptr<policy> make_policy_onmessage_validation();      // CVE-2013-560
 std::unique_ptr<policy> make_policy_private_idb_deny();          // CVE-2017-7843
 std::unique_ptr<policy> make_policy_error_sanitizer();           // CVE-2014-1487 / 2015-7215
 std::unique_ptr<policy> make_policy_mediated_import();           // CVE-2011-1190 / 2015-7215
+
+/// Fault hardening (not CVE-bound): retry transient fetch failures up to
+/// `max_attempts` total attempts with delay base_ms * 2^(attempt-1).
+std::unique_ptr<policy> make_policy_fetch_retry(int max_attempts, double backoff_base_ms);
 
 }  // namespace jsk::kernel

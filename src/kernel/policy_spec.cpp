@@ -16,6 +16,7 @@ enum class hook_kind {
     indexeddb,
     onmessage_assign,
     worker_error,
+    fetch_failure,
 };
 
 enum class action_kind {
@@ -25,6 +26,7 @@ enum class action_kind {
     deny_private,           // indexeddb
     reject_invalid,         // onmessage_assign
     sanitize,               // worker_error (with replacement)
+    retry,                  // fetch_failure (max_attempts, backoff_base_ms)
 };
 
 hook_kind parse_hook(const std::string& name)
@@ -35,6 +37,7 @@ hook_kind parse_hook(const std::string& name)
     if (name == "indexeddb") return hook_kind::indexeddb;
     if (name == "onmessage_assign") return hook_kind::onmessage_assign;
     if (name == "worker_error") return hook_kind::worker_error;
+    if (name == "fetch_failure") return hook_kind::fetch_failure;
     throw std::invalid_argument("policy spec: unknown hook '" + name + "'");
 }
 
@@ -46,6 +49,7 @@ action_kind parse_action(const std::string& name)
     if (name == "deny-private") return action_kind::deny_private;
     if (name == "reject-invalid") return action_kind::reject_invalid;
     if (name == "sanitize") return action_kind::sanitize;
+    if (name == "retry") return action_kind::retry;
     throw std::invalid_argument("policy spec: unknown action '" + name + "'");
 }
 
@@ -54,6 +58,8 @@ struct rule {
     action_kind action;
     std::string url_prefix;   // for fetch block
     std::string replacement;  // for sanitize
+    int max_attempts = 3;     // for retry
+    double backoff_base_ms = 25.0;
 };
 
 void validate_rule(const rule& r)
@@ -69,10 +75,15 @@ void validate_rule(const rule& r)
             case hook_kind::onmessage_assign:
                 return r.action == action_kind::reject_invalid;
             case hook_kind::worker_error: return r.action == action_kind::sanitize;
+            case hook_kind::fetch_failure: return r.action == action_kind::retry;
         }
         return false;
     }();
     if (!ok) throw std::invalid_argument("policy spec: action not valid for this hook");
+    if (r.action == action_kind::retry && (r.max_attempts < 1 || r.backoff_base_ms < 0)) {
+        throw std::invalid_argument(
+            "policy spec: retry needs max_attempts >= 1 and backoff_base_ms >= 0");
+    }
 }
 
 /// Policy backed by a parsed rule list.
@@ -134,6 +145,18 @@ public:
         return raw;
     }
 
+    retry_decision on_fetch_failure(kernel&, const std::string&, int attempt,
+                                    bool retryable) override
+    {
+        for (const auto& r : rules_) {
+            if (r.hook != hook_kind::fetch_failure) continue;
+            if (!retryable || attempt >= r.max_attempts) return {};
+            return {true,
+                    r.backoff_base_ms * static_cast<double>(1 << (attempt - 1))};
+        }
+        return {};
+    }
+
 private:
     std::string name_;
     std::vector<rule> rules_;
@@ -161,6 +184,12 @@ std::unique_ptr<policy> load_policy_spec(const std::string& json_text)
         r.action = parse_action(entry.get_string("action"));
         r.url_prefix = entry.get_string("url_prefix");
         r.replacement = entry.get_string("replacement", "Script error.");
+        if (const json::value& attempts = entry.get("max_attempts"); attempts.is_number()) {
+            r.max_attempts = static_cast<int>(attempts.as_number());
+        }
+        if (const json::value& base = entry.get("backoff_base_ms"); base.is_number()) {
+            r.backoff_base_ms = base.as_number();
+        }
         validate_rule(r);
         rules.push_back(std::move(r));
     }

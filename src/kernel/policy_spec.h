@@ -12,7 +12,9 @@
 //       {"hook": "import_scripts",   "action": "mediate-cross-origin"},
 //       {"hook": "indexeddb",        "action": "deny-private"},
 //       {"hook": "onmessage_assign", "action": "reject-invalid"},
-//       {"hook": "worker_error",     "action": "sanitize", "replacement": "Script error."}
+//       {"hook": "worker_error",     "action": "sanitize", "replacement": "Script error."},
+//       {"hook": "fetch_failure",    "action": "retry", "max_attempts": 3,
+//        "backoff_base_ms": 25}
 //     ]
 //   }
 //

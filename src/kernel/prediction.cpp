@@ -29,6 +29,9 @@ ktime prediction_strategy::expected(kevent_type type, ktime hint_ms) const
             return intervals.sys;
         case kevent_type::generic:
             return intervals.generic;
+        case kevent_type::watchdog_cancel:
+            // Journal-only marker: never registered, so never predicted.
+            return intervals.generic;
     }
     return intervals.generic;
 }

@@ -31,6 +31,10 @@ std::uint64_t scheduler::register_at(kevent_type type, ktime predicted, std::str
     }
     k_->queue().push(std::move(ev));
     ++registered_;
+    // A pending event may be the only thing left in the world (its confirmer
+    // died, or the channel carrying the confirmation drops everything). Arm
+    // the watchdog now — no later scheduler call is guaranteed to come.
+    k_->disp().watch_head();
     return next_id_ - 1;
 }
 

@@ -1,5 +1,6 @@
 #include "obs/collect.h"
 
+#include "faults/injector.h"
 #include "kernel/kernel.h"
 #include "runtime/browser.h"
 #include "runtime/vuln.h"
@@ -40,6 +41,10 @@ void collect_kernel_tree(registry& reg, kernel::kernel& k, std::size_t& kernels)
     reg.get_counter("kernel.journal_entries").inc(k.dispatch_journal().size());
     reg.get_counter("kernel.policy_checks").inc(k.policy_checks());
     reg.get_counter("kernel.policy_denials").inc(k.policy_denials());
+    reg.get_counter("kernel.fetch_retries").inc(k.fetch_retries());
+    reg.get_counter("kernel.policies_quarantined").inc(k.policies_quarantined());
+    reg.get_counter("kernel.watchdog_fires").inc(k.disp().watchdog_fires());
+    reg.get_counter("kernel.dispatch_exceptions").inc(k.disp().callback_exceptions());
 
     kernel::event_queue& q = k.queue();
     reg.get_counter("kernel.queue.pushes").inc(q.pushes());
@@ -66,6 +71,21 @@ void collect_vulns(registry& reg, const rt::vuln_registry& vulns)
 {
     reg.get_gauge("attack.monitors").set(static_cast<double>(vulns.monitors().size()));
     reg.get_counter("attack.triggered").set(vulns.triggered_ids().size());
+}
+
+void collect_faults(registry& reg, const faults::injector& inj)
+{
+    reg.get_counter("faults.decisions").set(inj.decisions());
+    reg.get_counter("faults.injected").set(inj.injected());
+    reg.get_counter("faults.fetch_timeouts").set(inj.fetch_timeouts());
+    reg.get_counter("faults.fetch_resets").set(inj.fetch_resets());
+    reg.get_counter("faults.fetch_partials").set(inj.fetch_partials());
+    reg.get_counter("faults.fetch_spikes").set(inj.fetch_spikes());
+    reg.get_counter("faults.worker_spawn_fails").set(inj.worker_spawn_fails());
+    reg.get_counter("faults.worker_crashes").set(inj.worker_crashes());
+    reg.get_counter("faults.msg_drops").set(inj.msg_drops());
+    reg.get_counter("faults.msg_duplicates").set(inj.msg_duplicates());
+    reg.get_counter("faults.msg_delays").set(inj.msg_delays());
 }
 
 namespace {
@@ -108,11 +128,14 @@ kind_mapping map_kind(rt::rt_event_kind kind)
             return {category::message, "postMessage:after_termination"};
         case k::terminate_during_dispatch:
             return {category::worker, "worker:terminate_during_dispatch"};
+        case k::fetch_failed: return {category::fault, "fetch:failed"};
+        case k::message_dropped: return {category::fault, "postMessage:dropped"};
+        case k::worker_crashed: return {category::fault, "worker:crashed"};
     }
     return {category::page, "rt:unknown"};
 }
 
-constexpr std::size_t mapped_kinds = 22;
+constexpr std::size_t mapped_kinds = 25;
 
 }  // namespace
 

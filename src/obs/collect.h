@@ -22,6 +22,9 @@ namespace jsk::rt {
 class browser;
 class vuln_registry;
 }
+namespace jsk::faults {
+class injector;
+}
 
 namespace jsk::obs {
 
@@ -39,6 +42,11 @@ void collect_kernel(registry& reg, kernel::kernel& k);
 
 /// CVE monitor state: monitors installed, monitors currently triggered.
 void collect_vulns(registry& reg, const rt::vuln_registry& vulns);
+
+/// Fault-injection telemetry: decisions consulted, faults injected, and the
+/// per-kind breakdown (fetch timeout/reset/partial/spike, worker spawn
+/// failures/crashes, message drops/duplicates/delays).
+void collect_faults(registry& reg, const faults::injector& inj);
 
 /// Subscribe a bridge on the browser's event bus that forwards every runtime
 /// announcement (postMessage send/recv, fetch issue/complete/abort, worker

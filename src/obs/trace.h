@@ -44,6 +44,7 @@ enum class category : std::uint8_t {
     policy,   // kernel policy decisions
     attack,   // CVE monitor triggers
     explore,  // schedule-exploration branch points
+    fault,    // injected faults + kernel recovery (watchdog, retries)
 };
 
 inline const char* to_string(category c)
@@ -60,6 +61,7 @@ inline const char* to_string(category c)
         case category::policy: return "policy";
         case category::attack: return "attack";
         case category::explore: return "explore";
+        case category::fault: return "fault";
     }
     return "?";
 }

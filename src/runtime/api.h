@@ -40,7 +40,17 @@ struct fetch_result {
     bool aborted = false;
     std::string url;
     std::string error;
-    std::size_t bytes = 0;
+    std::size_t bytes = 0;  // partial failures report the truncated byte count
+    fetch_error kind = fetch_error::none;
+
+    /// True for transient network failures (timeout / connection reset /
+    /// truncated body) that a retry policy may re-issue; aborts and
+    /// policy/SOP blocks are final.
+    [[nodiscard]] bool retryable() const
+    {
+        return kind == fetch_error::timeout || kind == fetch_error::reset ||
+               kind == fetch_error::partial;
+    }
 };
 using fetch_cb = std::function<void(const fetch_result&)>;
 

@@ -1,6 +1,9 @@
 #include "runtime/browser.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "faults/injector.h"
 
 namespace jsk::rt {
 
@@ -12,6 +15,11 @@ browser::browser(browser_profile profile, std::uint64_t seed)
 }
 
 browser::~browser() = default;
+
+faults::injector* browser::active_faults() const
+{
+    return (faults_ != nullptr && faults_->enabled()) ? faults_ : nullptr;
+}
 
 context& browser::create_context(std::string name, context_kind kind,
                                  sim::thread_id reuse_thread)
@@ -96,6 +104,34 @@ worker_ptr browser::spawn_worker(context& parent, const std::string& src)
     emit(rt_event{rt_event_kind::worker_created, parent.thread(), 0, link->id, src,
                   page_origin_, polyfill_workers_});
 
+    if (faults::injector* fi = active_faults(); fi != nullptr && !polyfill_workers_) {
+        if (fi->on_worker_spawn()) {
+            // The engine never starts the worker: surface an async error on
+            // the parent and tear the half-built thread down at the time the
+            // script import would have begun.
+            const auto weak = std::weak_ptr<worker_link>(link);
+            sim_.post(
+                parent.thread(), sim_.now() + profile_.worker_spawn_cost,
+                [this, weak] {
+                    if (auto strong = weak.lock()) fail_worker_spawn(strong);
+                },
+                "worker-spawn-fail:" + src);
+            return std::make_shared<native_worker>(*this, std::move(link));
+        }
+        if (const sim::time_ns crash_after = fi->worker_crash_delay(); crash_after > 0) {
+            // Doomed from birth, but the crash lands at an arbitrary later
+            // virtual time — possibly mid-task. Scheduled on the parent
+            // thread so it survives the child thread's destruction.
+            const auto weak = std::weak_ptr<worker_link>(link);
+            sim_.post(
+                parent.thread(), sim_.now() + crash_after,
+                [this, weak] {
+                    if (auto strong = weak.lock()) crash_worker(*strong);
+                },
+                "worker-crash:" + src);
+        }
+    }
+
     // Spawn cost + script import happen asynchronously on the child thread.
     const auto weak = std::weak_ptr<worker_link>(link);
     child.post_task(
@@ -106,6 +142,57 @@ worker_ptr browser::spawn_worker(context& parent, const std::string& src)
         "worker-spawn:" + src);
 
     return std::make_shared<native_worker>(*this, std::move(link));
+}
+
+void browser::fail_worker_spawn(const std::shared_ptr<worker_link>& link)
+{
+    if (!link->alive || link->terminated || link->crashed) return;
+    link->crashed = true;
+    link->alive = false;
+    emit(rt_event{rt_event_kind::worker_crashed, link->parent->thread(), 0, link->id,
+                  link->src, page_origin_, false});
+    // Messages posted before the failure became visible would have been
+    // buffered until import; they die here, so settle the in-flight ledger.
+    messages_in_flight_ -= link->inflight_to_child;
+    link->inflight_to_child = 0;
+    link->queued_before_load.clear();
+    fire_worker_error(*link, "worker spawn failure: " + link->src,
+                      bugs_.leaky_worker_error_messages);
+    if (link->child != nullptr) {
+        link->child->close();
+        sim_.destroy_thread(link->child->thread());
+    }
+}
+
+void browser::crash_worker(worker_link& link)
+{
+    if (!link.alive || link.terminated || link.crashed || link.self_closed ||
+        polyfill_workers_) {
+        return;
+    }
+    const bool mid_task = link.child != nullptr &&
+                          sim_.thread_alive(link.child->thread()) &&
+                          sim_.busy_until(link.child->thread()) > sim_.now();
+    link.crashed = true;
+    link.alive = false;
+    emit(rt_event{rt_event_kind::worker_crashed, link.parent->thread(), 0, link.id, link.src,
+                  page_origin_, mid_task});
+    messages_in_flight_ -= link.inflight_to_child;
+    link.inflight_to_child = 0;
+    fire_worker_error(link, "worker crashed: " + link.src,
+                      bugs_.leaky_worker_error_messages);
+    if (link.child != nullptr) {
+        link.child->close();
+        // The engine frees whatever the dead thread owned: queued tasks die
+        // with destroy_thread, in-flight fetches are freed exactly like a
+        // terminate-side teardown (the CVE-2018-5092 window — a crash is an
+        // engine event the kernel cannot mediate).
+        for (const std::uint64_t fetch_id : net_.free_fetches_of(link.child->thread())) {
+            emit(rt_event{rt_event_kind::fetch_freed, link.child->thread(), 0, fetch_id, "",
+                          page_origin_, true});
+        }
+        sim_.destroy_thread(link.child->thread());
+    }
 }
 
 void browser::import_worker_script(const std::shared_ptr<worker_link>& link)
@@ -138,7 +225,38 @@ void browser::import_worker_script(const std::shared_ptr<worker_link>& link)
 
 void browser::terminate_worker(worker_link& link)
 {
-    if (link.terminated) return;
+    if (link.terminated || link.crashed) return;
+    if (faults::injector* fi = active_faults();
+        fi != nullptr && !polyfill_workers_ && !link.terminate_requested) {
+        if (const sim::time_ns delay = fi->termination_delay(); delay > 0) {
+            // Delayed termination: terminate() returns to the caller at once
+            // but the engine-side teardown lands a bounded virtual-time
+            // delay later. Applied once per link.
+            link.terminate_requested = true;
+            std::shared_ptr<worker_link> strong;
+            for (const auto& candidate : links_) {
+                if (candidate.get() == &link) {
+                    strong = candidate;
+                    break;
+                }
+            }
+            const auto weak = std::weak_ptr<worker_link>(strong);
+            sim_.post(
+                main_->thread(), sim_.now() + delay,
+                [this, weak] {
+                    if (auto locked = weak.lock()) terminate_worker_now(*locked);
+                },
+                "worker-terminate-delayed");
+            return;
+        }
+    }
+    link.terminate_requested = true;
+    terminate_worker_now(link);
+}
+
+void browser::terminate_worker_now(worker_link& link)
+{
+    if (link.terminated || link.crashed) return;
     if (link.self_closed && !polyfill_workers_) {
         // terminate() raced with self.close(): double-termination (modelled
         // CVE-2010-4576 trigger condition).
@@ -202,35 +320,73 @@ void browser::post_to_child(worker_link& link, js_value data, transfer_list tran
     charge(clone_cost);
     emit(rt_event{rt_event_kind::message_posted, link.parent->thread(), 0, link.id, "",
                   page_origin_, false});
-    ++messages_in_flight_;
-    ++link.inflight_to_child;
-
     context* child = link.child;
     const std::uint64_t link_id = link.id;
     auto* self = this;
-    if (child == nullptr) return;
+    // Posts into a torn-down (or tearing-down) worker vanish at the source:
+    // the child context pointer outlives its thread, so without this guard
+    // the in-flight ledger would charge deliveries that can never run.
+    if (child == nullptr || !link.alive || link.terminate_requested) return;
+    ++messages_in_flight_;
+    ++link.inflight_to_child;
     // Deliver on the child thread after channel latency.
-    const sim::time_ns when = sim_.now() + profile_.message_latency;
-    sim_.post(
-        child->thread(), when,
-        [self, child, link_id, data = std::move(cloned)] {
-            --self->messages_in_flight_;
-            auto link_ptr = child->link();
-            if (!link_ptr) return;
-            --link_ptr->inflight_to_child;
-            if (!link_ptr->alive) return;  // JS-level drop (polyfill workers)
-            if (!link_ptr->script_loaded) {
-                // Real browsers buffer messages until the worker script ran.
-                link_ptr->queued_before_load.push_back(
-                    message_event{data, self->page_origin_, false});
-                return;
-            }
-            self->charge(self->profile_.task_dispatch_cost);
-            self->emit(rt_event{rt_event_kind::message_delivered, child->thread(), 0, link_id,
-                                "", self->page_origin_, false});
-            child->deliver_self_message(message_event{data, self->page_origin_, false});
-        },
-        "onmessage");
+    sim::time_ns when = sim_.now() + profile_.message_latency;
+    bool dropped = false;
+    int copies = 1;
+    if (faults::injector* fi = active_faults(); fi != nullptr && !polyfill_workers_) {
+        const auto decision = fi->on_message();
+        switch (decision.kind) {
+            case faults::injector::msg_fault::drop: dropped = true; break;
+            case faults::injector::msg_fault::duplicate: copies = 2; break;
+            case faults::injector::msg_fault::delay: when += decision.delay; break;
+            case faults::injector::msg_fault::none: break;
+        }
+        // FIFO-realizable bound: whatever the injector decided, this message
+        // may not land before an earlier one on the same direction.
+        when = std::max(when, link.to_child_floor);
+        link.to_child_floor = when;
+    }
+    if (dropped) {
+        emit(rt_event{rt_event_kind::message_dropped, link.parent->thread(), 0, link.id, "",
+                      page_origin_, false});
+        // The payload vanishes in transit; the ledger still settles at the
+        // would-be delivery time so messages_in_flight() stays exact.
+        sim_.post(
+            child->thread(), when,
+            [self, child] {
+                --self->messages_in_flight_;
+                if (auto link_ptr = child->link()) --link_ptr->inflight_to_child;
+            },
+            "onmessage-drop");
+        return;
+    }
+    if (copies == 2) {
+        // Duplicated in transit: two deliveries, both accounted.
+        ++messages_in_flight_;
+        ++link.inflight_to_child;
+    }
+    for (int copy = 0; copy < copies; ++copy) {
+        sim_.post(
+            child->thread(), when,
+            [self, child, link_id, data = cloned] {
+                --self->messages_in_flight_;
+                auto link_ptr = child->link();
+                if (!link_ptr) return;
+                --link_ptr->inflight_to_child;
+                if (!link_ptr->alive) return;  // JS-level drop (polyfill workers)
+                if (!link_ptr->script_loaded) {
+                    // Real browsers buffer messages until the worker script ran.
+                    link_ptr->queued_before_load.push_back(
+                        message_event{data, self->page_origin_, false});
+                    return;
+                }
+                self->charge(self->profile_.task_dispatch_cost);
+                self->emit(rt_event{rt_event_kind::message_delivered, child->thread(), 0,
+                                    link_id, "", self->page_origin_, false});
+                child->deliver_self_message(message_event{data, self->page_origin_, false});
+            },
+            "onmessage");
+    }
 }
 
 void browser::post_to_parent(context& child, js_value data, transfer_list transfer)
@@ -248,8 +404,48 @@ void browser::post_to_parent(context& child, js_value data, transfer_list transf
     ++messages_in_flight_;
 
     const auto weak = std::weak_ptr<worker_link>(link);
-    const sim::time_ns when = sim_.now() + profile_.message_latency;
+    sim::time_ns when = sim_.now() + profile_.message_latency;
     auto* self = this;
+    bool dropped = false;
+    int copies = 1;
+    if (faults::injector* fi = active_faults(); fi != nullptr && !polyfill_workers_) {
+        const auto decision = fi->on_message();
+        switch (decision.kind) {
+            case faults::injector::msg_fault::drop: dropped = true; break;
+            case faults::injector::msg_fault::duplicate: copies = 2; break;
+            case faults::injector::msg_fault::delay: when += decision.delay; break;
+            case faults::injector::msg_fault::none: break;
+        }
+        when = std::max(when, link->to_parent_floor);
+        link->to_parent_floor = when;
+    }
+    if (dropped) {
+        emit(rt_event{rt_event_kind::message_dropped, child.thread(), 0, link->id, "",
+                      page_origin_, false});
+        sim_.post(
+            link->parent->thread(), when, [self] { --self->messages_in_flight_; },
+            "worker.onmessage-drop");
+        return;
+    }
+    if (copies == 2) ++messages_in_flight_;
+    for (int copy = 1; copy < copies; ++copy) {
+        sim_.post(
+            link->parent->thread(), when,
+            [self, weak, data = cloned] {
+                --self->messages_in_flight_;
+                auto link_ptr = weak.lock();
+                if (!link_ptr) return;
+                self->charge(self->profile_.task_dispatch_cost);
+                self->emit(rt_event{rt_event_kind::message_delivered,
+                                    link_ptr->parent->thread(), 0, link_ptr->id, "",
+                                    self->page_origin_, false});
+                if (link_ptr->parent_onmessage) {
+                    link_ptr->parent_onmessage(
+                        message_event{data, self->page_origin_, false});
+                }
+            },
+            "worker.onmessage");
+    }
     sim_.post(
         link->parent->thread(), when,
         [self, weak, has_transfer, data = std::move(cloned)] {

@@ -24,6 +24,10 @@
 #include "sim/rng.h"
 #include "sim/simulation.h"
 
+namespace jsk::faults {
+class injector;
+}
+
 namespace jsk::rt {
 
 /// Engine-bug switches: a "legacy" engine ships all of them; individual tests
@@ -124,6 +128,16 @@ public:
     void set_polyfill_workers(bool on) { polyfill_workers_ = on; }
     [[nodiscard]] bool polyfill_workers() const { return polyfill_workers_; }
 
+    // --- fault injection (jsk::faults) ---
+    /// Attach a deterministic fault injector (not owned; nullptr detaches).
+    /// Interposition sites consult it through active_faults(), which is
+    /// nullptr whenever no injector is attached *or* its plan is null — the
+    /// fault-free path costs one branch (same pattern as the obs null-sink
+    /// guard, pinned by bench_hotpath).
+    void set_fault_injector(faults::injector* injector) { faults_ = injector; }
+    [[nodiscard]] faults::injector* fault_injector() const { return faults_; }
+    [[nodiscard]] faults::injector* active_faults() const;
+
     // --- context management ---
     context& create_context(std::string name, context_kind kind,
                             sim::thread_id reuse_thread = sim::no_thread);
@@ -143,6 +157,9 @@ public:
 
 private:
     void import_worker_script(const std::shared_ptr<worker_link>& link);
+    void terminate_worker_now(worker_link& link);
+    void crash_worker(worker_link& link);
+    void fail_worker_spawn(const std::shared_ptr<worker_link>& link);
 
     browser_profile profile_;
     sim::simulation sim_;
@@ -169,6 +186,7 @@ private:
     task_delay_hook delay_hook_;
     error_sanitizer sanitizer_;
     bool polyfill_workers_ = false;
+    faults::injector* faults_ = nullptr;
 };
 
 }  // namespace jsk::rt

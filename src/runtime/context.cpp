@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "faults/injector.h"
 #include "obs/trace.h"
 #include "runtime/browser.h"
 
@@ -245,7 +246,12 @@ void context::native_cancel_animation_frame(std::int64_t id)
 double context::native_performance_now() const
 {
     owner_->charge(owner_->profile().api_call_cost);
-    return sim::to_ms(sim::quantize(owner_->sim().now(), owner_->profile().now_precision));
+    sim::time_ns t = owner_->sim().now();
+    // Injected skew perturbs only the *native* clock surface: the kernel's
+    // derived kclock display never consults this path, so kernel-mediated
+    // pages keep their coarse deterministic clock even under skew faults.
+    if (faults::injector* fi = owner_->active_faults()) t += fi->clock_skew(t);
+    return sim::to_ms(sim::quantize(t, owner_->profile().now_precision));
 }
 
 double context::native_date_now() const
@@ -342,17 +348,56 @@ void context::native_fetch(const std::string& url, fetch_options options, fetch_
     auto& rec = owner_->net().start_fetch(url, thread_, options.signal);
     const std::uint64_t id = rec.id;
     owner_->emit(rt_event{rt_event_kind::fetch_started, thread_, 0, id, url, origin(), false});
-    const sim::time_ns latency = owner_->net().request_latency(url);
+    sim::time_ns latency = owner_->net().request_latency(url);
     const resource* res = owner_->net().find(url);
-    const std::size_t bytes = res ? res->bytes : 0;
+    std::size_t bytes = res ? res->bytes : 0;
+    // Fault interposition: a spike only stretches the latency; timeout /
+    // reset / partial turn the completion into a deterministic failure.
+    fetch_error fault = fetch_error::none;
+    if (faults::injector* fi = owner_->active_faults()) {
+        const auto decision = fi->on_fetch(latency);
+        switch (decision.kind) {
+            case faults::injector::fetch_fault::spike:
+                latency += decision.extra_latency;
+                break;
+            case faults::injector::fetch_fault::timeout:
+                fault = fetch_error::timeout;
+                latency = decision.fail_after;
+                break;
+            case faults::injector::fetch_fault::reset:
+                fault = fetch_error::reset;
+                latency = decision.fail_after;
+                break;
+            case faults::injector::fetch_fault::partial:
+                fault = fetch_error::partial;
+                bytes /= 2;  // the truncated prefix that did arrive
+                break;
+            case faults::injector::fetch_fault::none: break;
+        }
+    }
     post_task(
         latency,
-        [this, id, url, bytes, then = std::move(then), fail = std::move(fail)] {
+        [this, id, url, bytes, fault, then = std::move(then), fail = std::move(fail)] {
             fetch_record* record = owner_->net().find_fetch(id);
             if (record == nullptr) return;
             if (record->aborted || (record->signal && record->signal->aborted)) {
                 record->aborted = true;
-                if (fail) fail(fetch_result{false, true, url, "aborted", 0});
+                record->error = fetch_error::aborted;
+                if (fail) {
+                    fail(fetch_result{false, true, url, "aborted", 0, fetch_error::aborted});
+                }
+                return;
+            }
+            if (fault != fetch_error::none) {
+                record->failed = true;
+                record->error = fault;
+                owner_->emit(rt_event{rt_event_kind::fetch_failed, thread_, 0, id, url,
+                                      origin(), false});
+                if (fail) {
+                    fail(fetch_result{false, false, url,
+                                      std::string("fetch failed: ") + to_string(fault),
+                                      fault == fetch_error::partial ? bytes : 0, fault});
+                }
                 return;
             }
             record->completed = true;
@@ -393,7 +438,8 @@ void context::native_xhr(const std::string& url, fetch_cb done)
         [url, bytes, blocked, done = std::move(done)] {
             if (!done) return;
             if (blocked) {
-                done(fetch_result{false, false, url, "blocked by same-origin policy", 0});
+                done(fetch_result{false, false, url, "blocked by same-origin policy", 0,
+                                  fetch_error::blocked});
             } else {
                 done(fetch_result{true, false, url, "", bytes});
             }

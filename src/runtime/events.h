@@ -40,6 +40,10 @@ enum class rt_event_kind {
     worker_double_termination,   // terminate raced with self.close
     message_after_termination,   // delivery raced with terminate
     terminate_during_dispatch,   // terminate landed while target was dispatching
+    fetch_failed,                // transient network failure (timeout/reset/partial)
+    message_dropped,             // injected channel fault swallowed a postMessage
+    worker_crashed,              // engine died (injected crash or failed spawn);
+                                 // detail_flag = thread was mid-task
 };
 
 /// One announcement on the bus. `origin`/`target_origin` carry resource

@@ -45,9 +45,31 @@ struct abort_controller {
     abort_signal signal;
 };
 
+/// Why a fetch did not produce a body. `none` means it succeeded (or is
+/// still in flight). timeout/reset/partial come from fault injection
+/// (jsk::faults) or, in principle, any future network model; they are the
+/// retryable class — the request can be re-issued. aborted and blocked are
+/// caller decisions and are final.
+enum class fetch_error : std::uint8_t { none, aborted, timeout, reset, partial, blocked };
+
+inline const char* to_string(fetch_error e)
+{
+    switch (e) {
+        case fetch_error::none: return "none";
+        case fetch_error::aborted: return "aborted";
+        case fetch_error::timeout: return "timeout";
+        case fetch_error::reset: return "reset";
+        case fetch_error::partial: return "partial";
+        case fetch_error::blocked: return "blocked";
+    }
+    return "?";
+}
+
 /// Book-keeping for one in-flight fetch. `freed` models the browser freeing
 /// the request object when its owner thread dies while the request is still
-/// in flight (the CVE-2018-5092 use-after-free window).
+/// in flight (the CVE-2018-5092 use-after-free window). A failed fetch
+/// (timeout/reset/partial) keeps its record with `failed` set and the error
+/// cause, so tests and monitors can audit the failure path.
 struct fetch_record {
     std::uint64_t id = 0;
     std::string url;
@@ -56,6 +78,8 @@ struct fetch_record {
     bool completed = false;
     bool aborted = false;
     bool freed = false;
+    bool failed = false;
+    fetch_error error = fetch_error::none;
 };
 
 class network {
@@ -105,12 +129,14 @@ public:
         return it == fetches_.end() ? nullptr : &it->second;
     }
 
-    /// All fetches that are neither completed nor aborted yet.
+    /// All fetches that have not settled (completed, failed, or aborted) yet.
+    /// A failed fetch's connection is already torn down — it has no engine
+    /// resources left for a teardown to free or an abort to reach.
     std::vector<fetch_record*> inflight_fetches()
     {
         std::vector<fetch_record*> out;
         for (auto& [id, rec] : fetches_) {
-            if (!rec.completed && !rec.aborted) out.push_back(&rec);
+            if (!rec.completed && !rec.failed && !rec.aborted) out.push_back(&rec);
         }
         return out;
     }
@@ -131,7 +157,7 @@ public:
     {
         std::vector<std::uint64_t> freed;
         for (auto& [id, rec] : fetches_) {
-            if (rec.owner == thread && !rec.completed && !rec.freed) {
+            if (rec.owner == thread && !rec.completed && !rec.failed && !rec.freed) {
                 rec.freed = true;
                 freed.push_back(id);
             }

@@ -25,11 +25,19 @@ struct worker_link {
     bool alive = true;          // child thread still runs
     bool self_closed = false;   // worker called close()
     bool terminated = false;    // parent called terminate()
+    bool terminate_requested = false;  // terminate() called; teardown may lag
+    bool crashed = false;       // engine died out from under the worker
     bool passed_transferable = false;  // child sent a transferable ArrayBuffer
     int inflight_to_child = 0;         // posted but not yet delivered
     std::vector<message_event> queued_before_load;  // buffered until import
     message_cb parent_onmessage;       // worker.onmessage on the parent side
     error_cb parent_onerror;
+    // Per-direction delivery-time floors. Fault injection may delay a single
+    // message, but a later message on the same channel is clamped to at
+    // least the previous delivery time, so postMessage ordering stays
+    // FIFO-realizable no matter what the injector decides.
+    sim::time_ns to_child_floor = 0;
+    sim::time_ns to_parent_floor = 0;
 };
 
 /// The native (browser-provided) worker handle. Under JSKernel user code
@@ -44,6 +52,24 @@ public:
     void post_message(js_value data, transfer_list transfer) override;
     void set_onmessage(message_cb cb) override;
     void set_onerror(error_cb cb) override;
+    /// terminate() semantics (browser::terminate_worker):
+    ///  - A task the worker is executing *right now* conceptually runs to
+    ///    completion: the simulator charges its full duration to the thread
+    ///    (busy_until is already advanced when the task started), so virtual
+    ///    time reflects the work; only *queued* tasks are discarded.
+    ///  - Queued tasks and undelivered messages are dropped eagerly — the
+    ///    slot arena frees their slots and the ready heaps forget the thread
+    ///    at destroy_thread() time; in-flight postMessages are accounted
+    ///    (messages_in_flight shrinks by the link's inflight count) so no
+    ///    bookkeeping leaks.
+    ///  - In-flight fetches owned by the dead thread are freed (the
+    ///    CVE-2018-5092 window) and announced as fetch_freed.
+    ///  - terminate() is idempotent; racing it with self.close() or with an
+    ///    in-flight delivery emits the corresponding razor events
+    ///    (worker_double_termination / message_after_termination).
+    ///  - Under fault injection the engine-side teardown may land a bounded
+    ///    virtual-time delay later (plan.worker_termination_delay); the
+    ///    handle reports terminated immediately.
     void terminate() override;
     [[nodiscard]] bool alive() const override;
     [[nodiscard]] std::uint64_t id() const override { return link_->id; }

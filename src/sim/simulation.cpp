@@ -488,6 +488,16 @@ std::optional<simulation::queue_entry> simulation::next_entry_hooked(time_ns dea
     return std::nullopt;
 }
 
+void simulation::finish_current()
+{
+    const running_task done = *current_;
+    current_.reset();
+    auto& thread = threads_[static_cast<std::size_t>(done.thread)];
+    thread.busy_until = std::max(thread.busy_until, done.start + done.consumed);
+    floor_time_ = std::max(floor_time_, done.start);
+    ++executed_;
+}
+
 void simulation::execute(const queue_entry& entry)
 {
     pending_task task = std::move(slots_[entry.slot].task);
@@ -498,15 +508,19 @@ void simulation::execute(const queue_entry& entry)
     }
 
     current_ = running_task{entry.id, task.thread, entry.key, 0};
-    task.fn();
+    try {
+        task.fn();
+    } catch (...) {
+        // A throwing task must not leave the simulator corrupted: settle the
+        // running-task record (whatever time it consumed before throwing is
+        // charged) so now() stays truthful and a later run() is not rejected
+        // as reentrant. The exception itself propagates to the run() caller.
+        finish_current();
+        throw;
+    }
     const running_task done = *current_;
-    current_.reset();
-
+    finish_current();
     const time_ns end = done.start + done.consumed;
-    auto& thread = threads_[static_cast<std::size_t>(done.thread)];
-    thread.busy_until = std::max(thread.busy_until, end);
-    floor_time_ = std::max(floor_time_, done.start);
-    ++executed_;
 
     if (tsink_ != nullptr) {
         // The event name is the task label verbatim (possibly empty): the

@@ -320,6 +320,10 @@ private:
     std::optional<queue_entry> next_entry_hooked(time_ns deadline);
 
     void execute(const queue_entry& entry);
+    /// Settle the running-task record (charge consumed time, bump executed_,
+    /// clear current_). Called on both the normal and the unwinding path of
+    /// execute() so a throwing task cannot wedge the simulator.
+    void finish_current();
 
     // Hooked-index maintenance.
     static std::uint64_t channel_key(thread_id source, thread_id target);

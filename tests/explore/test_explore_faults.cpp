@@ -1,0 +1,109 @@
+// Satellite of the jsk::faults PR: schedule record/replay composes with
+// fault injection. A run under an active fault plan records its scheduling
+// decision string; replaying that string with a fresh injector built from
+// the same plan reproduces the run observation-for-observation — (seed,
+// plan, decision string) is a complete witness for a chaotic run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "faults/injector.h"
+#include "faults/plan.h"
+#include "runtime/browser.h"
+#include "sim/explore.h"
+#include "workloads/random_program.h"
+
+namespace {
+
+namespace sim = jsk::sim;
+namespace explore = jsk::sim::explore;
+namespace rt = jsk::rt;
+namespace faults = jsk::faults;
+namespace workloads = jsk::workloads;
+
+struct faulted_run {
+    std::string observations;
+    explore::schedule decisions;
+    std::uint64_t faults_injected = 0;
+};
+
+faulted_run run_program(std::uint64_t program_seed, const faults::plan& p,
+                        explore::controller& ctl)
+{
+    rt::browser b(rt::chrome_profile(), 17);
+    faults::injector inj{p};
+    b.set_fault_injector(&inj);
+    ctl.attach(b.sim());
+    auto log = std::make_shared<workloads::observation_log>();
+    workloads::install_random_program(b, program_seed, log);
+    b.run_until(60 * sim::sec);
+    faulted_run out;
+    out.observations = log->str();
+    out.decisions = ctl.decisions();
+    out.faults_injected = inj.injected();
+    return out;
+}
+
+TEST(explore_faults, decision_string_replays_a_faulted_run)
+{
+    // Saturated (but non-destructive) plan: every postMessage is delayed and
+    // every fetch latency spikes, so any program that communicates at all
+    // experiences injected faults.
+    faults::plan p;
+    p.seed = 11;
+    p.msg_delay_bp = 10'000;
+    p.fetch_spike_bp = 10'000;
+
+    // Not every random program posts messages or fetches; scan a few seeds
+    // for one whose recording actually exercised the injector.
+    std::uint64_t program_seed = 0;
+    faulted_run recorded;
+    for (std::uint64_t candidate = 1; candidate <= 12; ++candidate) {
+        explore::controller walk({}, explore::controller::tail_policy::random, 23);
+        recorded = run_program(candidate, p, walk);
+        if (recorded.faults_injected > 0) {
+            program_seed = candidate;
+            break;
+        }
+    }
+    ASSERT_GT(recorded.faults_injected, 0u) << "no sampled program fired the plan";
+
+    // Replay the decision string (round-tripped through its textual form)
+    // with a first-tail controller and a fresh injector.
+    const auto parsed = explore::schedule::parse(recorded.decisions.str());
+    ASSERT_TRUE(parsed.has_value());
+    explore::controller replay(*parsed, explore::controller::tail_policy::first, 0);
+    const faulted_run replayed = run_program(program_seed, p, replay);
+
+    EXPECT_EQ(replayed.observations, recorded.observations);
+    EXPECT_EQ(replayed.faults_injected, recorded.faults_injected);
+}
+
+TEST(explore_faults, same_schedule_different_plan_diverges)
+{
+    // The converse guard: the fault plan is part of the witness. Replaying
+    // the same decisions with a different plan must not silently reproduce
+    // the original run.
+    explore::controller walk({}, explore::controller::tail_policy::random, 23);
+    const faulted_run chaotic = run_program(7, faults::plan::full_chaos(11), walk);
+
+    explore::controller again({}, explore::controller::tail_policy::random, 23);
+    const faulted_run calm = run_program(7, faults::plan::perturb_only(3), again);
+
+    EXPECT_NE(chaotic.observations, calm.observations);
+}
+
+TEST(explore_faults, random_walks_with_faults_are_seed_deterministic)
+{
+    const faults::plan p = faults::plan::channel_chaos(5);
+    explore::controller a({}, explore::controller::tail_policy::random, 99);
+    explore::controller b({}, explore::controller::tail_policy::random, 99);
+    const faulted_run ra = run_program(3, p, a);
+    const faulted_run rb = run_program(3, p, b);
+    EXPECT_EQ(ra.observations, rb.observations);
+    EXPECT_EQ(ra.decisions, rb.decisions);
+    EXPECT_EQ(ra.faults_injected, rb.faults_injected);
+}
+
+}  // namespace

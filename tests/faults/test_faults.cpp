@@ -1,0 +1,333 @@
+// Unit tests for jsk::faults — plan codec, injector determinism, and the
+// browser-level interposition sites (fetch faults, channel faults, worker
+// faults, clock skew).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "faults/injector.h"
+#include "faults/plan.h"
+#include "runtime/browser.h"
+
+namespace {
+
+using namespace jsk::faults;
+namespace rt = jsk::rt;
+namespace sim = jsk::sim;
+
+// --- plan codec ------------------------------------------------------------
+
+TEST(fault_plan, codec_round_trips_every_family)
+{
+    for (std::uint64_t seed : {1ull, 7ull, 12345ull}) {
+        for (const plan& p :
+             {plan{}, plan::perturb_only(seed), plan::network_chaos(seed),
+              plan::worker_chaos(seed), plan::channel_chaos(seed),
+              plan::full_chaos(seed)}) {
+            EXPECT_EQ(plan::parse(p.str()), p) << p.str();
+        }
+    }
+    for (std::uint64_t i = 0; i < 25; ++i) {
+        const plan p = plan::sample(i);
+        EXPECT_EQ(plan::parse(p.str()), p) << "sample " << i;
+    }
+}
+
+TEST(fault_plan, parse_rejects_malformed_input)
+{
+    EXPECT_THROW(plan::parse("seed"), std::invalid_argument);            // no '='
+    EXPECT_THROW(plan::parse("seed=1"), std::invalid_argument);          // no ';'
+    EXPECT_THROW(plan::parse("bogus_key=1;"), std::invalid_argument);    // unknown key
+    EXPECT_THROW(plan::parse("seed=banana;"), std::invalid_argument);    // bad number
+}
+
+TEST(fault_plan, null_and_destructive_classification)
+{
+    EXPECT_TRUE(plan{}.null_plan());
+    EXPECT_FALSE(plan{}.destructive());
+
+    const plan perturb = plan::perturb_only(3);
+    EXPECT_FALSE(perturb.null_plan());
+    EXPECT_FALSE(perturb.destructive());  // spikes/dups/delays/skew only
+
+    EXPECT_TRUE(plan::network_chaos(3).destructive());
+    EXPECT_TRUE(plan::worker_chaos(3).destructive());
+    EXPECT_TRUE(plan::channel_chaos(3).destructive());
+    EXPECT_TRUE(plan::full_chaos(3).destructive());
+}
+
+TEST(fault_plan, sample_walk_varies_both_shape_and_seed)
+{
+    // Consecutive samples differ, and the family cycles with period 5.
+    EXPECT_NE(plan::sample(0), plan::sample(1));
+    EXPECT_NE(plan::sample(0), plan::sample(5));  // same shape, different seed
+    EXPECT_NE(plan::sample(0).seed, plan::sample(5).seed);
+    for (std::uint64_t i = 0; i < 10; ++i) EXPECT_FALSE(plan::sample(i).null_plan());
+}
+
+// --- injector --------------------------------------------------------------
+
+TEST(fault_injector, null_plan_disables_the_injector)
+{
+    injector inj{plan{}};
+    EXPECT_FALSE(inj.enabled());
+    EXPECT_TRUE(injector{plan::full_chaos(1)}.enabled());
+}
+
+TEST(fault_injector, same_plan_gives_identical_decision_streams)
+{
+    const plan p = plan::full_chaos(42);
+    injector a{p};
+    injector b{p};
+    for (int i = 0; i < 200; ++i) {
+        const auto fa = a.on_fetch(10 * sim::ms);
+        const auto fb = b.on_fetch(10 * sim::ms);
+        EXPECT_EQ(fa.kind, fb.kind);
+        EXPECT_EQ(fa.extra_latency, fb.extra_latency);
+        EXPECT_EQ(fa.fail_after, fb.fail_after);
+        EXPECT_EQ(a.on_worker_spawn(), b.on_worker_spawn());
+        EXPECT_EQ(a.worker_crash_delay(), b.worker_crash_delay());
+        const auto ma = a.on_message();
+        const auto mb = b.on_message();
+        EXPECT_EQ(ma.kind, mb.kind);
+        EXPECT_EQ(ma.delay, mb.delay);
+    }
+    EXPECT_EQ(a.decisions(), b.decisions());
+    EXPECT_EQ(a.injected(), b.injected());
+    // A chaotic plan exercised 200 times injects *something*.
+    EXPECT_GT(a.injected(), 0u);
+}
+
+TEST(fault_injector, per_site_streams_are_independent)
+{
+    // Extra fetch decisions must not perturb the message stream: each site
+    // consumes its own seeded sequence.
+    const plan p = plan::full_chaos(9);
+    injector clean{p};
+    injector noisy{p};
+    std::vector<injector::msg_decision> expect_msgs;
+    for (int i = 0; i < 50; ++i) expect_msgs.push_back(clean.on_message());
+    for (int i = 0; i < 50; ++i) {
+        (void)noisy.on_fetch(5 * sim::ms);
+        (void)noisy.on_worker_spawn();
+        const auto m = noisy.on_message();
+        EXPECT_EQ(m.kind, expect_msgs[i].kind);
+        EXPECT_EQ(m.delay, expect_msgs[i].delay);
+    }
+}
+
+TEST(fault_injector, saturated_rates_always_fire)
+{
+    plan p;
+    p.fetch_timeout_bp = 10'000;
+    p.msg_drop_bp = 10'000;
+    injector inj{p};
+    for (int i = 0; i < 20; ++i) {
+        const auto f = inj.on_fetch(30 * sim::ms);
+        EXPECT_EQ(f.kind, injector::fetch_fault::timeout);
+        EXPECT_EQ(f.fail_after, p.fetch_timeout_after);
+        EXPECT_EQ(inj.on_message().kind, injector::msg_fault::drop);
+    }
+    EXPECT_EQ(inj.fetch_timeouts(), 20u);
+    EXPECT_EQ(inj.msg_drops(), 20u);
+}
+
+TEST(fault_injector, clock_skew_is_pure_and_keeps_time_monotone)
+{
+    plan p;
+    p.clock_skew_amplitude = 2 * sim::ms;
+    p.clock_skew_period = 5 * sim::ms;
+    injector inj{p};
+    sim::time_ns prev = 0;
+    for (sim::time_ns t = 0; t <= 100 * sim::ms; t += 100 * sim::us) {
+        const sim::time_ns skew = inj.clock_skew(t);
+        EXPECT_EQ(skew, inj.clock_skew(t));  // pure in (seed, t)
+        EXPECT_LE(skew, p.clock_skew_period / 2);
+        EXPECT_GE(skew, -p.clock_skew_period / 2);
+        const sim::time_ns skewed = t + skew;
+        EXPECT_GE(skewed, prev) << "skewed clock ran backwards at t=" << t;
+        prev = skewed;
+    }
+}
+
+// --- browser interposition: network ---------------------------------------
+
+TEST(browser_faults, fetch_timeout_reaches_the_fail_callback)
+{
+    rt::browser b(rt::chrome_profile());
+    plan p;
+    p.fetch_timeout_bp = 10'000;
+    injector inj{p};
+    b.set_fault_injector(&inj);
+    b.net().serve(rt::resource{"https://site/a", "https://site",
+                               rt::resource_kind::data, 2048, 0, 0, 0});
+    rt::fetch_result got;
+    bool then_called = false;
+    b.main().post_task(0, [&] {
+        b.main().apis().fetch(
+            "https://site/a", {}, [&](const rt::fetch_result&) { then_called = true; },
+            [&](const rt::fetch_result& r) { got = r; });
+    });
+    b.run();
+    EXPECT_FALSE(then_called);
+    EXPECT_FALSE(got.ok);
+    EXPECT_EQ(got.kind, rt::fetch_error::timeout);
+    EXPECT_TRUE(got.retryable());
+}
+
+TEST(browser_faults, partial_body_reports_truncated_bytes)
+{
+    rt::browser b(rt::chrome_profile());
+    plan p;
+    p.fetch_partial_bp = 10'000;
+    injector inj{p};
+    b.set_fault_injector(&inj);
+    b.net().serve(rt::resource{"https://site/a", "https://site",
+                               rt::resource_kind::data, 2048, 0, 0, 0});
+    rt::fetch_result got;
+    b.main().post_task(0, [&] {
+        b.main().apis().fetch("https://site/a", {}, nullptr,
+                              [&](const rt::fetch_result& r) { got = r; });
+    });
+    b.run();
+    EXPECT_EQ(got.kind, rt::fetch_error::partial);
+    EXPECT_EQ(got.bytes, 1024u);  // half the 2048-byte resource arrived
+    EXPECT_TRUE(got.retryable());
+}
+
+TEST(browser_faults, latency_spike_still_succeeds_but_later)
+{
+    const auto timed_fetch = [](injector* inj) {
+        rt::browser b(rt::chrome_profile());
+        if (inj != nullptr) b.set_fault_injector(inj);
+        b.net().serve(rt::resource{"https://site/a", "https://site",
+                                   rt::resource_kind::data, 2048, 0, 0, 0});
+        double done_ms = -1.0;
+        bool ok = false;
+        b.main().post_task(0, [&] {
+            b.main().apis().fetch(
+                "https://site/a", {},
+                [&](const rt::fetch_result& r) {
+                    ok = r.ok;
+                    done_ms = b.main().now_ms_raw();
+                },
+                nullptr);
+        });
+        b.run();
+        EXPECT_TRUE(ok);
+        return done_ms;
+    };
+    plan p;
+    p.fetch_spike_bp = 10'000;
+    p.fetch_spike = 80 * sim::ms;
+    injector inj{p};
+    const double baseline = timed_fetch(nullptr);
+    const double spiked = timed_fetch(&inj);
+    EXPECT_GE(spiked - baseline, 79.0);
+}
+
+// --- browser interposition: channels ---------------------------------------
+
+TEST(browser_faults, dropped_message_never_delivers_and_ledger_settles)
+{
+    rt::browser b(rt::chrome_profile());
+    plan p;
+    p.msg_drop_bp = 10'000;
+    injector inj{p};
+    b.set_fault_injector(&inj);
+    b.register_worker_script("echo.js", [](rt::context& ctx) {
+        ctx.apis().set_self_onmessage([&ctx](const rt::message_event& e) {
+            ctx.apis().post_message_to_parent(e.data, {});
+        });
+    });
+    int deliveries = 0;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("echo.js");
+        w->set_onmessage([&](const rt::message_event&) { ++deliveries; });
+        w->post_message(rt::js_value{"ping"}, {});
+    });
+    b.run();
+    EXPECT_EQ(deliveries, 0);
+    EXPECT_GT(inj.msg_drops(), 0u);
+    EXPECT_EQ(b.messages_in_flight(), 0);  // bookkeeping settled despite the drop
+}
+
+TEST(browser_faults, duplicated_message_delivers_twice)
+{
+    rt::browser b(rt::chrome_profile());
+    plan p;
+    p.msg_duplicate_bp = 10'000;
+    injector inj{p};
+    b.set_fault_injector(&inj);
+    std::vector<std::string> seen;
+    b.register_worker_script("counter.js", [&](rt::context& ctx) {
+        ctx.apis().set_self_onmessage([&](const rt::message_event& e) {
+            seen.push_back(e.data.as_string());
+        });
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("counter.js");
+        w->post_message(rt::js_value{"once"}, {});
+    });
+    b.run();
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], "once");
+    EXPECT_EQ(seen[1], "once");
+    EXPECT_EQ(b.messages_in_flight(), 0);
+}
+
+TEST(browser_faults, delayed_messages_stay_fifo_per_channel)
+{
+    rt::browser b(rt::chrome_profile());
+    plan p;
+    p.msg_delay_bp = 5'000;  // roughly every other message delayed
+    p.msg_delay = 10 * sim::ms;
+    injector inj{p};
+    b.set_fault_injector(&inj);
+    std::vector<std::string> seen;
+    b.register_worker_script("order.js", [&](rt::context& ctx) {
+        ctx.apis().set_self_onmessage([&](const rt::message_event& e) {
+            seen.push_back(e.data.as_string());
+        });
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("order.js");
+        for (int i = 0; i < 8; ++i) {
+            w->post_message(rt::js_value{"m" + std::to_string(i)}, {});
+        }
+    });
+    b.run();
+    ASSERT_EQ(seen.size(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(seen[static_cast<std::size_t>(i)], "m" + std::to_string(i))
+            << "channel reordered under delay faults";
+    }
+    EXPECT_GT(inj.msg_delays(), 0u);
+}
+
+// --- browser interposition: clocks ------------------------------------------
+
+TEST(browser_faults, skewed_performance_now_never_runs_backwards)
+{
+    rt::browser b(rt::chrome_profile());
+    plan p;
+    p.clock_skew_amplitude = 2 * sim::ms;
+    p.clock_skew_period = 5 * sim::ms;
+    injector inj{p};
+    b.set_fault_injector(&inj);
+    std::vector<double> readings;
+    b.main().post_task(0, [&] {
+        for (int i = 0; i < 100; ++i) {
+            readings.push_back(b.main().apis().performance_now());
+            b.main().consume(700 * sim::us);
+        }
+    });
+    b.run();
+    ASSERT_EQ(readings.size(), 100u);
+    for (std::size_t i = 1; i < readings.size(); ++i) {
+        EXPECT_GE(readings[i], readings[i - 1]);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,277 @@
+// Regression tests for the error-path hardening: simulator exception safety,
+// dispatcher callback containment, the pending-head watchdog, policy
+// quarantine, and fetch retry-with-backoff.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "faults/injector.h"
+#include "faults/plan.h"
+#include "kernel/kernel.h"
+#include "kernel/policy_spec.h"
+#include "runtime/browser.h"
+
+namespace {
+
+using namespace jsk::kernel;
+namespace rt = jsk::rt;
+namespace sim = jsk::sim;
+namespace faults = jsk::faults;
+
+// --- simulator exception safety ---------------------------------------------
+
+TEST(hardening_sim, simulation_stays_usable_after_a_throwing_task)
+{
+    // Regression: execute() used to leave the running-task record engaged
+    // when a task threw, so every later run() call hit the reentrancy guard.
+    rt::browser b(rt::chrome_profile());
+    b.main().post_task(0, [] { throw std::runtime_error("task boom"); });
+    EXPECT_THROW(b.run(), std::runtime_error);
+
+    bool ran = false;
+    b.main().post_task(sim::ms, [&] { ran = true; });
+    EXPECT_NO_THROW(b.run());
+    EXPECT_TRUE(ran);
+}
+
+TEST(hardening_sim, throwing_task_still_charges_its_thread)
+{
+    rt::browser b(rt::chrome_profile());
+    b.main().post_task(0, [&] {
+        b.main().consume(5 * sim::ms);
+        throw std::runtime_error("boom after work");
+    });
+    EXPECT_THROW(b.run(), std::runtime_error);
+    // The 5 ms of consumed budget must survive the unwind.
+    EXPECT_GE(b.sim().busy_until(b.main().thread()), 5 * sim::ms);
+}
+
+// --- runtime ledger -----------------------------------------------------------
+
+TEST(hardening_runtime, post_to_dead_worker_does_not_leak_inflight_counters)
+{
+    // Regression: post_to_child bumped the in-flight ledger before the
+    // dead-child guard, so messages to terminated workers leaked counts.
+    rt::browser b(rt::chrome_profile());
+    b.register_worker_script("w.js", [](rt::context&) {});
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("w.js");
+        w->terminate();
+        w->post_message(rt::js_value{"into the void"}, {});
+    });
+    b.run();
+    EXPECT_EQ(b.messages_in_flight(), 0);
+}
+
+// --- dispatcher containment ---------------------------------------------------
+
+TEST(hardening_dispatcher, throwing_event_callback_does_not_stall_dispatch)
+{
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::boot(b);
+    bool later_fired = false;
+    b.main().post_task(0, [&] {
+        b.main().apis().set_timeout([] { throw std::runtime_error("cb boom"); },
+                                    5 * sim::ms);
+        b.main().apis().set_timeout([&] { later_fired = true; }, 10 * sim::ms);
+    });
+    b.run();
+    EXPECT_TRUE(later_fired);
+    EXPECT_EQ(k->disp().callback_exceptions(), 1u);
+}
+
+// --- watchdog ---------------------------------------------------------------
+
+TEST(hardening_watchdog, cancels_a_head_stranded_by_dropped_messages)
+{
+    // Saturated channel drops eat the kernel's own coordination messages, so
+    // a registered event's confirmation never arrives and the predicted-order
+    // head stays pending forever. The watchdog must journal a cancellation
+    // and let the world drain instead of hanging.
+    rt::browser b(rt::chrome_profile());
+    faults::plan p;
+    p.msg_drop_bp = 10'000;
+    faults::injector inj{p};
+    b.set_fault_injector(&inj);
+
+    kernel_options ko;
+    ko.watchdog_budget_ms = 50.0;
+    auto k = kernel::boot(b, ko);
+
+    b.register_worker_script("echo.js", [](rt::context& ctx) {
+        ctx.apis().set_self_onmessage([&ctx](const rt::message_event& e) {
+            ctx.apis().post_message_to_parent(e.data, {});
+        });
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("echo.js");
+        w->post_message(rt::js_value{"doomed"}, {});
+    });
+    b.run_until(60 * sim::sec, 200'000);
+
+    EXPECT_LT(b.sim().tasks_executed(), 200'000u) << "world did not drain";
+    EXPECT_GT(k->disp().watchdog_fires(), 0u);
+    EXPECT_NE(k->dispatch_journal().to_json().find("watchdog_cancel"),
+              std::string::npos);
+}
+
+TEST(hardening_watchdog, disabled_by_default)
+{
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::boot(b);
+    bool ran = false;
+    b.main().post_task(0, [&] {
+        b.main().apis().set_timeout([&] { ran = true; }, 5 * sim::ms);
+    });
+    b.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(k->disp().watchdog_fires(), 0u);
+}
+
+// --- policy quarantine --------------------------------------------------------
+
+class throwing_policy final : public policy {
+public:
+    [[nodiscard]] const char* name() const override { return "throwing-policy"; }
+    bool on_fetch(kernel&, const std::string&) override
+    {
+        throw std::runtime_error("policy boom");
+    }
+};
+
+TEST(hardening_quarantine, throwing_policy_is_quarantined_not_fatal)
+{
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::boot(b);
+    k->add_policy(std::make_unique<throwing_policy>());
+    b.net().serve(rt::resource{"https://site/a", "https://site",
+                               rt::resource_kind::data, 128, 0, 0, 0});
+    int successes = 0;
+    b.main().post_task(0, [&] {
+        b.main().apis().fetch("https://site/a", {},
+                              [&](const rt::fetch_result& r) { successes += r.ok; },
+                              nullptr);
+        // A second fetch must skip the quarantined policy without re-throwing.
+        b.main().apis().fetch("https://site/a", {},
+                              [&](const rt::fetch_result& r) { successes += r.ok; },
+                              nullptr);
+    });
+    b.run();
+    EXPECT_EQ(successes, 2);  // pass-through mediation: fetches still complete
+    EXPECT_EQ(k->policies_quarantined(), 1u);
+}
+
+TEST(hardening_quarantine, cve_monitors_stay_armed_after_quarantine)
+{
+    // Graceful degradation must not take the working policies down with the
+    // broken one: cross-origin XHR from a worker (CVE-2013-1714) is still
+    // blocked after an unrelated policy was quarantined.
+    rt::browser b(rt::chrome_profile());
+    b.set_page_origin("https://site");  // makes the worker's XHR cross-origin
+    auto k = kernel::boot(b);
+    k->add_policy(std::make_unique<throwing_policy>());
+    b.net().serve(rt::resource{"https://site/a", "https://site",
+                               rt::resource_kind::data, 128, 0, 0, 0});
+    b.net().serve(rt::resource{"https://evil.example/leak", "https://evil.example",
+                               rt::resource_kind::data, 64, 0, 0, 0});
+    bool xhr_ok = true;
+    b.register_worker_script("xhr.js", [&](rt::context& ctx) {
+        ctx.apis().xhr("https://evil.example/leak",
+                       [&](const rt::fetch_result& r) { xhr_ok = r.ok; });
+    });
+    b.main().post_task(0, [&] {
+        // Trip the quarantine first, then spawn the worker.
+        b.main().apis().fetch("https://site/a", {}, nullptr, nullptr);
+        b.main().apis().create_worker("xhr.js");
+    });
+    b.run();
+    EXPECT_EQ(k->policies_quarantined(), 1u);
+    EXPECT_FALSE(xhr_ok) << "worker-xhr-origin-check stopped enforcing";
+}
+
+// --- fetch retry --------------------------------------------------------------
+
+TEST(hardening_retry, saturated_resets_exhaust_attempts_then_fail_once)
+{
+    rt::browser b(rt::chrome_profile());
+    faults::plan p;
+    p.fetch_reset_bp = 10'000;
+    faults::injector inj{p};
+    b.set_fault_injector(&inj);
+    auto k = kernel::boot(b);
+    k->add_policy(make_policy_fetch_retry(3, 5.0));
+    b.net().serve(rt::resource{"https://site/a", "https://site",
+                               rt::resource_kind::data, 128, 0, 0, 0});
+    int failures = 0;
+    rt::fetch_result last;
+    b.main().post_task(0, [&] {
+        b.main().apis().fetch("https://site/a", {}, nullptr,
+                              [&](const rt::fetch_result& r) {
+                                  ++failures;
+                                  last = r;
+                              });
+    });
+    b.run();
+    EXPECT_EQ(failures, 1);  // retries are kernel-internal; one user-visible failure
+    EXPECT_EQ(last.kind, rt::fetch_error::reset);
+    EXPECT_EQ(k->fetch_retries(), 2u);  // attempts 2 and 3
+    EXPECT_EQ(inj.fetch_resets(), 3u);
+}
+
+TEST(hardening_retry, retry_policy_loads_from_a_policy_spec)
+{
+    rt::browser b(rt::chrome_profile());
+    faults::plan p;
+    p.fetch_reset_bp = 10'000;
+    faults::injector inj{p};
+    b.set_fault_injector(&inj);
+    auto k = kernel::boot(b);
+    k->add_policy(load_policy_spec(R"({
+      "name": "retry-bundle",
+      "rules": [
+        {"hook": "fetch_failure", "action": "retry",
+         "max_attempts": 2, "backoff_base_ms": 1}
+      ]
+    })"));
+    b.net().serve(rt::resource{"https://site/a", "https://site",
+                               rt::resource_kind::data, 128, 0, 0, 0});
+    int failures = 0;
+    b.main().post_task(0, [&] {
+        b.main().apis().fetch("https://site/a", {}, nullptr,
+                              [&](const rt::fetch_result&) { ++failures; });
+    });
+    b.run();
+    EXPECT_EQ(failures, 1);
+    EXPECT_EQ(k->fetch_retries(), 1u);  // max_attempts=2 allows one retry
+}
+
+TEST(hardening_retry, aborts_are_not_retried)
+{
+    rt::browser b(rt::chrome_profile());
+    auto k = kernel::boot(b);
+    k->add_policy(make_policy_fetch_retry(5, 1.0));
+    b.net().serve(rt::resource{"https://site/big", "https://site",
+                               rt::resource_kind::data, 1'000'000, 0, 0, 0});
+    rt::abort_controller ctl;
+    int failures = 0;
+    rt::fetch_result last;
+    b.main().post_task(0, [&] {
+        rt::fetch_options opts;
+        opts.signal = ctl.signal;
+        b.main().apis().fetch("https://site/big", opts, nullptr,
+                              [&](const rt::fetch_result& r) {
+                                  ++failures;
+                                  last = r;
+                              });
+        b.main().apis().set_timeout([&] { b.main().apis().abort_fetch(ctl.signal); },
+                                    1 * sim::ms);
+    });
+    b.run();
+    EXPECT_EQ(failures, 1);
+    EXPECT_TRUE(last.aborted);
+    EXPECT_EQ(k->fetch_retries(), 0u);
+}
+
+}  // namespace

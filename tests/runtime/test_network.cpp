@@ -1,6 +1,7 @@
 // Unit tests for the network/cache model and fetch records.
 #include <gtest/gtest.h>
 
+#include "runtime/api.h"
 #include "runtime/network.h"
 
 namespace {
@@ -72,6 +73,38 @@ TEST_F(network_fixture, prime_and_flush_cache)
     EXPECT_TRUE(net.cached("warm"));
     net.flush_cache();
     EXPECT_FALSE(net.cached("warm"));
+}
+
+TEST_F(network_fixture, fetch_records_start_without_an_error)
+{
+    auto& rec = net.start_fetch("u", 1, nullptr);
+    EXPECT_FALSE(rec.failed);
+    EXPECT_EQ(rec.error, fetch_error::none);
+}
+
+TEST(fetch_errors, to_string_names_every_kind)
+{
+    EXPECT_STREQ(to_string(fetch_error::none), "none");
+    EXPECT_STREQ(to_string(fetch_error::aborted), "aborted");
+    EXPECT_STREQ(to_string(fetch_error::timeout), "timeout");
+    EXPECT_STREQ(to_string(fetch_error::reset), "reset");
+    EXPECT_STREQ(to_string(fetch_error::partial), "partial");
+    EXPECT_STREQ(to_string(fetch_error::blocked), "blocked");
+}
+
+TEST(fetch_errors, only_transient_failures_are_retryable)
+{
+    const auto result_with = [](fetch_error kind) {
+        fetch_result r;
+        r.kind = kind;
+        return r;
+    };
+    EXPECT_TRUE(result_with(fetch_error::timeout).retryable());
+    EXPECT_TRUE(result_with(fetch_error::reset).retryable());
+    EXPECT_TRUE(result_with(fetch_error::partial).retryable());
+    EXPECT_FALSE(result_with(fetch_error::none).retryable());
+    EXPECT_FALSE(result_with(fetch_error::aborted).retryable());
+    EXPECT_FALSE(result_with(fetch_error::blocked).retryable());
 }
 
 }  // namespace

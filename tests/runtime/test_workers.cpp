@@ -1,6 +1,8 @@
 // Unit + integration tests for worker lifecycle and messaging.
 #include <gtest/gtest.h>
 
+#include "faults/injector.h"
+#include "faults/plan.h"
 #include "runtime/browser.h"
 
 namespace {
@@ -198,6 +200,139 @@ TEST(workers, import_scripts_runs_same_origin_script)
     b.main().post_task(0, [&] { b.main().apis().create_worker("main_worker.js"); });
     b.run();
     EXPECT_TRUE(lib_ran);
+}
+
+// --- terminate() semantics (see native_worker::terminate doc block) ----------
+
+TEST(worker_terminate, in_flight_task_completes_but_queued_messages_drop)
+{
+    browser b(chrome_profile());
+    bool long_task_finished = false;
+    int deliveries = 0;
+    b.register_worker_script("busy.js", [&](context& ctx) {
+        ctx.apis().set_self_onmessage([&](const message_event&) {
+            ++deliveries;
+            ctx.consume(30 * sim::ms);  // a long onmessage handler
+            long_task_finished = true;
+        });
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("busy.js");
+        // First message arrives after load and occupies the worker ~30 ms...
+        b.main().apis().set_timeout([w] { w->post_message(js_value{"m1"}, {}); },
+                                    2 * sim::ms);
+        // ...the second queues behind that busy thread...
+        b.main().apis().set_timeout([w] { w->post_message(js_value{"m2"}, {}); },
+                                    4 * sim::ms);
+        // ...and terminate() lands while the handler is still charged.
+        b.main().apis().set_timeout([w] { w->terminate(); }, 6 * sim::ms);
+    });
+    b.run();
+    EXPECT_TRUE(long_task_finished);  // in-flight work runs to completion
+    EXPECT_EQ(deliveries, 1);         // the queued second delivery is dropped
+    EXPECT_EQ(b.messages_in_flight(), 0);
+}
+
+TEST(worker_terminate, is_idempotent_and_undelivered_parent_messages_drop)
+{
+    browser b(chrome_profile());
+    b.register_worker_script("chatty.js", [](context& ctx) {
+        for (int i = 0; i < 10; ++i) ctx.apis().post_message_to_parent(js_value{i}, {});
+    });
+    int received = 0;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("chatty.js");
+        w->set_onmessage([&](const message_event&) { ++received; });
+        // Stay busy past the worker's sends, then terminate twice: deliveries
+        // queued for the main thread but not yet run must not fire afterwards.
+        b.main().consume(30 * sim::ms);
+        w->terminate();
+        w->terminate();
+    });
+    b.run();
+    EXPECT_EQ(received, 0);
+    EXPECT_EQ(b.messages_in_flight(), 0);
+}
+
+TEST(worker_faults, spawn_failure_fires_onerror_and_runs_no_script)
+{
+    browser b(chrome_profile());
+    jsk::faults::plan p;
+    p.worker_spawn_fail_bp = 10'000;
+    jsk::faults::injector inj{p};
+    b.set_fault_injector(&inj);
+    bool script_ran = false;
+    b.register_worker_script("w.js", [&](context&) { script_ran = true; });
+    std::string error;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("w.js");
+        w->set_onerror([&](const std::string& msg) { error = msg; });
+        w->post_message(js_value{"lost"}, {});
+    });
+    b.run();
+    EXPECT_FALSE(script_ran);
+    EXPECT_NE(error.find("spawn failure"), std::string::npos) << error;
+    EXPECT_EQ(b.messages_in_flight(), 0);  // buffered messages settled
+    EXPECT_EQ(inj.worker_spawn_fails(), 1u);
+}
+
+TEST(worker_faults, mid_task_crash_fires_onerror_and_frees_inflight_fetches)
+{
+    browser b(chrome_profile());
+    jsk::faults::plan p;
+    p.worker_crash_bp = 10'000;
+    p.worker_crash_after = 10 * sim::ms;
+    jsk::faults::injector inj{p};
+    b.set_fault_injector(&inj);
+    b.net().serve(resource{"https://site/slow", "https://site", resource_kind::data,
+                           5'000'000, 0, 0, 0});
+    bool fetch_completed = false;
+    b.register_worker_script("fetcher.js", [&](context& ctx) {
+        ctx.apis().fetch("https://site/slow", {},
+                         [&](const fetch_result&) { fetch_completed = true; }, nullptr);
+    });
+    std::string error;
+    std::size_t freed_events = 0;
+    b.bus().subscribe([&](const rt_event& ev) {
+        if (ev.kind == rt_event_kind::fetch_freed) ++freed_events;
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("fetcher.js");
+        w->set_onerror([&](const std::string& msg) { error = msg; });
+    });
+    b.run();
+    EXPECT_NE(error.find("worker crashed"), std::string::npos) << error;
+    EXPECT_FALSE(fetch_completed);  // the crash freed it (CVE-2018-5092 window)
+    EXPECT_EQ(freed_events, 1u);
+    EXPECT_EQ(inj.worker_crashes(), 1u);
+    EXPECT_EQ(b.messages_in_flight(), 0);
+}
+
+TEST(worker_faults, delayed_termination_still_tears_the_worker_down)
+{
+    browser b(chrome_profile());
+    jsk::faults::plan p;
+    p.worker_termination_delay = 8 * sim::ms;
+    jsk::faults::injector inj{p};
+    b.set_fault_injector(&inj);
+    int deliveries = 0;
+    b.register_worker_script("echo.js", [&](context& ctx) {
+        ctx.apis().set_self_onmessage([&ctx](const message_event& e) {
+            ctx.apis().post_message_to_parent(e.data, {});
+        });
+    });
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("echo.js");
+        w->set_onmessage([&](const message_event&) { ++deliveries; });
+        b.main().apis().set_timeout([w] { w->terminate(); }, 20 * sim::ms);
+        // Posted after terminate() was requested but before the delayed
+        // teardown lands: must not leak.
+        b.main().apis().set_timeout(
+            [w] { w->post_message(js_value{"late"}, {}); }, 22 * sim::ms);
+    });
+    b.run_until(5 * sim::sec);
+    EXPECT_EQ(b.messages_in_flight(), 0);
+    EXPECT_EQ(deliveries, 0);
 }
 
 }  // namespace
