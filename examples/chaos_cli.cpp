@@ -3,6 +3,7 @@
 // Chrome trace artifact.
 //
 //   chaos_cli [cve|program:<seed>] [plan] [out.trace.json] [browser_seed]
+//   chaos_cli matrix [cves] [plans] [--jobs N] [--json]
 //   chaos_cli --list
 //
 // `plan` is either a sample index (an integer: faults::plan::sample(i),
@@ -10,6 +11,11 @@
 // plan string as printed by plan::str() — so a failure line from the chaos
 // sweep can be pasted back verbatim. Defaults: CVE-2018-5092 under sample
 // plan 1 (network chaos), written to "<target>.chaos.trace.json".
+//
+// `matrix` shards the (CVE x defense x plan) product over the jsk::par
+// driver (--jobs 0/omitted = hardware concurrency, 1 = serial) and merges in
+// canonical cell order, so the table — and the --json aggregate — is
+// byte-identical for every jobs count. Cache stats print to stderr at exit.
 //
 // The run is deterministic: same arguments, byte-identical trace. The
 // summary line reports what the kernel had to absorb (injected faults,
@@ -20,14 +26,51 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "attacks/attacks_impl.h"
 #include "attacks/chaos_sweep.h"
 #include "faults/plan.h"
+#include "par/cache.h"
 
 namespace {
 
 namespace jk = jsk;
+
+int run_matrix(std::size_t cves, std::size_t plans, std::size_t jobs, bool as_json)
+{
+    const auto cells = jk::attacks::default_chaos_cells(cves, plans);
+    jk::par::result_cache<jk::attacks::chaos_cell_result> cache;
+    jk::attacks::chaos_matrix_options opt;
+    opt.jobs = jobs;
+    opt.cache = &cache;
+    const auto m = jk::attacks::run_chaos_matrix(cells, opt);
+    const auto stats = cache.snapshot();
+    std::cerr << "cache: " << stats.hits << " hits, " << stats.misses
+              << " misses, " << stats.entries << " entries\n";
+    if (as_json) {
+        std::cout << jk::attacks::chaos_matrix_json(m) << "\n";
+        return 0;
+    }
+    std::cout << "cve             defense   plan#  trig  tasks    faults  wdog  retries\n";
+    bool live = true;
+    for (std::size_t i = 0; i < m.results.size(); ++i) {
+        const auto& cell = m.cells[i];
+        const auto& r = m.results[i];
+        live = live && !r.hit_task_cap;
+        std::printf("%-15s %-9s %-6zu %-5s %-8llu %-7llu %-5llu %llu%s\n",
+                    cell.cve.c_str(), cell.with_jskernel ? "jskernel" : "plain",
+                    i % (plans == 0 ? 1 : plans), r.triggered ? "YES" : "no",
+                    static_cast<unsigned long long>(r.tasks_executed),
+                    static_cast<unsigned long long>(r.faults_injected),
+                    static_cast<unsigned long long>(r.watchdog_fires),
+                    static_cast<unsigned long long>(r.fetch_retries),
+                    r.hit_task_cap ? "  <-- HIT TASK CAP" : "");
+    }
+    std::cout << (live ? "no cell exhausted the task cap\n"
+                       : "LIVENESS violation — see rows above\n");
+    return live ? 0 : 1;
+}
 
 int list_choices()
 {
@@ -54,9 +97,37 @@ jk::faults::plan parse_plan_arg(const std::string& arg)
 int main(int argc, char** argv)
 {
     if (argc > 1 && std::string(argv[1]) == "--list") return list_choices();
+    if (argc > 1 && std::string(argv[1]) == "matrix") {
+        std::size_t jobs = 0;
+        bool as_json = false;
+        std::vector<std::string> args;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--json") {
+                as_json = true;
+            } else if (arg == "--jobs" && i + 1 < argc) {
+                jobs = std::strtoull(argv[++i], nullptr, 10);
+            } else if (arg.rfind("--jobs=", 0) == 0) {
+                jobs = std::strtoull(arg.c_str() + 7, nullptr, 10);
+            } else {
+                args.push_back(arg);
+            }
+        }
+        const std::size_t cves =
+            !args.empty() ? std::strtoull(args[0].c_str(), nullptr, 10) : 3;
+        const std::size_t plans =
+            args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 3;
+        try {
+            return run_matrix(cves, plans, jobs, as_json);
+        } catch (const std::exception& e) {
+            std::cerr << "matrix failed: " << e.what() << "\n";
+            return 2;
+        }
+    }
     if (argc > 1 && std::string(argv[1]).rfind("--", 0) == 0) {
         std::cerr << "usage: chaos_cli [cve|program:<seed>] [plan] [out.trace.json]"
                      " [browser_seed]\n"
+                     "       chaos_cli matrix [cves] [plans] [--jobs N] [--json]\n"
                      "       chaos_cli --list\n";
         return 2;
     }

@@ -8,6 +8,11 @@
 //   explore_cli audit <program-seed> [n]   journal invariance of a random
 //                                          program across n schedules
 //
+// `matrix` accepts `--jobs N` (0 or omitted = hardware concurrency, 1 = the
+// serial path) and `--json` (dump the canonical aggregate instead of the
+// table). Output is byte-identical for every jobs count. Cache hit/miss
+// stats print to stderr at exit.
+//
 // Decision strings are the compact base-36 form printed by the other modes
 // ("021…", "{n}" for indices >= 36); an empty string replays the default
 // schedule.
@@ -15,9 +20,11 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "attacks/explore_sweep.h"
 #include "defenses/schedule_audit.h"
+#include "par/cache.h"
 #include "sim/explore.h"
 
 namespace {
@@ -26,18 +33,28 @@ namespace explore = jsk::sim::explore;
 
 int usage()
 {
-    std::cerr << "usage: explore_cli matrix [walks]\n"
+    std::cerr << "usage: explore_cli matrix [walks] [--jobs N] [--json]\n"
                  "       explore_cli find <cve> [walks] [seed]\n"
                  "       explore_cli replay <cve> <decisions>\n"
                  "       explore_cli audit <program-seed> [schedules]\n";
     return 2;
 }
 
-int run_matrix(std::uint64_t walks)
+int run_matrix(std::uint64_t walks, std::size_t jobs, bool as_json)
 {
-    explore::options opt;
-    opt.seed = 101;
+    jsk::par::result_cache<jsk::attacks::cve_trial_outcome> cache;
+    jsk::attacks::matrix_options opt;
+    opt.explore.seed = 101;
+    opt.jobs = jobs;
+    opt.cache = &cache;
     const auto rows = jsk::attacks::explore_cve_matrix(walks, opt);
+    const auto stats = cache.snapshot();
+    std::cerr << "cache: " << stats.hits << " hits, " << stats.misses
+              << " misses, " << stats.entries << " entries\n";
+    if (as_json) {
+        std::cout << jsk::attacks::cve_matrix_json(rows) << "\n";
+        return 0;
+    }
     std::cout << "cve             plain(trig/run)  jskernel(trig/run)  witness\n";
     bool table_holds = true;
     for (const auto& row : rows) {
@@ -114,21 +131,40 @@ int run_audit(std::uint64_t program_seed, std::uint64_t schedules)
 
 int main(int argc, char** argv)
 {
-    if (argc < 2) return usage();
-    const std::string mode = argv[1];
+    // Strip the flags (--jobs N / --jobs=N / --json) so the positional
+    // arguments keep their historical indices.
+    std::size_t jobs = 0;  // 0 = hardware concurrency
+    bool as_json = false;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            as_json = true;
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        } else {
+            args.push_back(arg);
+        }
+    }
+    if (args.empty()) return usage();
+    const std::string mode = args[0];
     try {
         if (mode == "matrix") {
-            return run_matrix(argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16);
+            return run_matrix(
+                args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 16,
+                jobs, as_json);
         }
-        if (mode == "find" && argc >= 3) {
-            return run_find(argv[2],
-                            argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 32,
-                            argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 11);
+        if (mode == "find" && args.size() >= 2) {
+            return run_find(args[1],
+                            args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 32,
+                            args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 11);
         }
-        if (mode == "replay" && argc >= 4) return run_replay(argv[2], argv[3]);
-        if (mode == "audit" && argc >= 3) {
-            return run_audit(std::strtoull(argv[2], nullptr, 10),
-                             argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 100);
+        if (mode == "replay" && args.size() >= 3) return run_replay(args[1], args[2]);
+        if (mode == "audit" && args.size() >= 2) {
+            return run_audit(std::strtoull(args[1].c_str(), nullptr, 10),
+                             args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 100);
         }
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";

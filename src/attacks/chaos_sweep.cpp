@@ -6,10 +6,12 @@
 
 #include "attacks/attacks_impl.h"
 #include "faults/injector.h"
+#include "kernel/json.h"
 #include "kernel/kernel.h"
 #include "obs/chrome_export.h"
 #include "obs/collect.h"
 #include "obs/trace.h"
+#include "par/sweep.h"
 #include "runtime/browser.h"
 #include "runtime/vuln.h"
 #include "workloads/random_program.h"
@@ -84,6 +86,14 @@ chaos_trial_result run_trial(const std::string& cve_id, std::uint64_t program_se
     r.trace_json = obs::to_chrome_trace(sink);
     if (random_program) r.observations = log->str();
 
+    // Per-trial (= per-shard) metrics: collected here, into this trial's own
+    // registry, while the world is still alive. Sweeps fold these after the
+    // parallel join; nothing obs-shaped is ever shared across jobs.
+    obs::collect_sim(r.metrics, b.sim());
+    if (kern) obs::collect_kernel(r.metrics, *kern);
+    obs::collect_vulns(r.metrics, vulns);
+    obs::collect_faults(r.metrics, inj);
+
     // The sink dies with this frame; detach before the browser's teardown
     // tasks could touch it.
     b.sim().set_trace_sink(nullptr);
@@ -107,6 +117,98 @@ chaos_trial_result run_chaos_program(std::uint64_t program_seed, bool with_jsker
 {
     return run_trial({}, program_seed, /*random_program=*/true, with_jskernel, p,
                      browser_seed, opt);
+}
+
+// --- sharded chaos matrix ---------------------------------------------------
+
+std::vector<chaos_cell> default_chaos_cells(std::size_t cves, std::size_t plans)
+{
+    std::vector<std::string> ids;
+    for (const auto& [id, fn] : cve_exploit_table()) ids.push_back(id);
+    if (cves < ids.size()) ids.resize(cves);
+
+    std::vector<chaos_cell> cells;
+    for (const auto& id : ids) {
+        for (const bool with_kernel : {false, true}) {
+            for (std::size_t plan_index = 0; plan_index < plans; ++plan_index) {
+                chaos_cell cell;
+                cell.cve = id;
+                cell.with_jskernel = with_kernel;
+                cell.fault_plan = faults::plan::sample(plan_index);
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    return cells;
+}
+
+chaos_matrix_result run_chaos_matrix(const std::vector<chaos_cell>& cells,
+                                     const chaos_matrix_options& opt)
+{
+    const auto run_cell = [&](std::size_t job,
+                              const par::worker_context&) -> chaos_cell_result {
+        const chaos_cell& cell = cells[job];
+        par::witness_key key;
+        if (opt.cache != nullptr) {
+            key.seed = cell.browser_seed;
+            key.plan = cell.fault_plan.str();
+            key.defense = cell.with_jskernel ? "jskernel" : "plain";
+            if (const auto hit = opt.cache->lookup(key)) return *hit;
+        }
+
+        const chaos_trial_result trial = run_chaos_trial(
+            cell.cve, cell.with_jskernel, cell.fault_plan, cell.browser_seed, opt.trial);
+        chaos_cell_result r;
+        r.triggered = trial.triggered;
+        r.hit_task_cap = trial.hit_task_cap;
+        r.tasks_executed = trial.tasks_executed;
+        r.faults_injected = trial.faults_injected;
+        r.watchdog_fires = trial.watchdog_fires;
+        r.fetch_retries = trial.fetch_retries;
+        r.journal_digest = par::fnv1a(trial.journal_json);
+        r.trace_digest = par::fnv1a(trial.trace_json);
+        r.metrics = trial.metrics;
+        if (opt.cache != nullptr) opt.cache->insert(key, r);
+        return r;
+    };
+
+    par::sweep_options sopt;
+    sopt.jobs = opt.jobs;
+    chaos_matrix_result m;
+    m.cells = cells;
+    m.results = par::sweep<chaos_cell_result>(cells.size(), run_cell, sopt);
+    // Canonical-order fold of the per-shard registries.
+    for (const auto& r : m.results) m.merged_metrics.merge(r.metrics);
+    return m;
+}
+
+std::string chaos_matrix_json(const chaos_matrix_result& m)
+{
+    namespace json = kernel::json;
+    json::array rows;
+    for (std::size_t i = 0; i < m.results.size(); ++i) {
+        const chaos_cell& cell = m.cells[i];
+        const chaos_cell_result& r = m.results[i];
+        json::object rec;
+        rec.emplace("cve", json::value{cell.cve});
+        rec.emplace("defense",
+                    json::value{std::string(cell.with_jskernel ? "jskernel" : "plain")});
+        rec.emplace("plan", json::value{cell.fault_plan.str()});
+        rec.emplace("triggered", json::value{r.triggered});
+        rec.emplace("hit_task_cap", json::value{r.hit_task_cap});
+        rec.emplace("tasks_executed", json::value{static_cast<double>(r.tasks_executed)});
+        rec.emplace("faults_injected",
+                    json::value{static_cast<double>(r.faults_injected)});
+        rec.emplace("watchdog_fires", json::value{static_cast<double>(r.watchdog_fires)});
+        rec.emplace("fetch_retries", json::value{static_cast<double>(r.fetch_retries)});
+        rec.emplace("journal_digest", json::value{std::to_string(r.journal_digest)});
+        rec.emplace("trace_digest", json::value{std::to_string(r.trace_digest)});
+        rows.push_back(json::value{std::move(rec)});
+    }
+    json::object root;
+    root.emplace("cells", json::value{std::move(rows)});
+    root.emplace("metrics", m.merged_metrics.snapshot());
+    return json::dump(json::value{std::move(root)});
 }
 
 }  // namespace jsk::attacks

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "faults/plan.h"
+#include "obs/metrics.h"
+#include "par/cache.h"
 #include "sim/time.h"
 
 namespace jsk::attacks {
@@ -49,6 +51,10 @@ struct chaos_trial_result {
     std::string journal_json;  // root kernel journal ("" when no kernel booted)
     std::string trace_json;    // full Chrome trace of the run
     std::string observations;  // random-program trials only
+    /// Per-trial metrics registry (sim + kernel + vuln + fault collectors).
+    /// Explicitly per-shard: a parallel sweep folds these with
+    /// obs::registry::merge in canonical job order — no shared registry.
+    obs::registry metrics;
 };
 
 /// One chaos trial of a Table I CVE exploit under `p`. Fresh browser
@@ -67,5 +73,58 @@ chaos_trial_result run_chaos_program(std::uint64_t program_seed, bool with_jsker
                                      const faults::plan& p,
                                      std::uint64_t browser_seed = 17,
                                      const chaos_options& opt = {});
+
+// --- sharded chaos matrix (jsk::par) ---------------------------------------
+
+/// One cell of the (CVE x defense x plan) product.
+struct chaos_cell {
+    std::string cve;
+    bool with_jskernel = false;
+    faults::plan fault_plan;
+    std::uint64_t browser_seed = 17;
+};
+
+/// Compact per-cell record: telemetry plus FNV-1a digests of the oracle
+/// strings (journal/trace), so a whole matrix fits in memory and the
+/// aggregate JSON byte-compares across --jobs counts.
+struct chaos_cell_result {
+    bool triggered = false;
+    bool hit_task_cap = false;
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t faults_injected = 0;
+    std::uint64_t watchdog_fires = 0;
+    std::uint64_t fetch_retries = 0;
+    std::uint64_t journal_digest = 0;  // fnv1a(journal_json)
+    std::uint64_t trace_digest = 0;    // fnv1a(trace_json)
+    obs::registry metrics;             // per-shard registry (merged after join)
+};
+
+struct chaos_matrix_result {
+    std::vector<chaos_cell> cells;          // canonical order, as passed in
+    std::vector<chaos_cell_result> results; // results[i] belongs to cells[i]
+    obs::registry merged_metrics;           // per-shard registries, folded in order
+};
+
+struct chaos_matrix_options {
+    std::size_t jobs = 1;  // worker count; 0 = par::default_jobs()
+    chaos_options trial;
+    /// Optional witness-keyed cache (key: browser seed + plan string +
+    /// defense id): repeated sweeps recall finished cells.
+    par::result_cache<chaos_cell_result>* cache = nullptr;
+};
+
+/// The canonical cell product the sweep and the determinism suite share:
+/// first `cves` Table-I rows x {plain, jskernel} x plan::sample(0..plans).
+std::vector<chaos_cell> default_chaos_cells(std::size_t cves, std::size_t plans);
+
+/// Run every cell as an isolated job (own browser, injector, trace sink and
+/// metrics registry) on the jsk::par driver, then merge in canonical cell
+/// order. Byte-identical output for every jobs count.
+chaos_matrix_result run_chaos_matrix(const std::vector<chaos_cell>& cells,
+                                     const chaos_matrix_options& opt = {});
+
+/// Canonical aggregate serialization (kernel::json dump): per-cell rows in
+/// order plus the merged metrics snapshot.
+std::string chaos_matrix_json(const chaos_matrix_result& m);
 
 }  // namespace jsk::attacks

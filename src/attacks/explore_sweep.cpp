@@ -1,10 +1,14 @@
 #include "attacks/explore_sweep.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "attacks/attacks_impl.h"
 #include "defenses/defense.h"
+#include "kernel/json.h"
+#include "par/sweep.h"
 #include "runtime/vuln.h"
+#include "sim/rng.h"
 
 namespace jsk::attacks {
 
@@ -60,33 +64,83 @@ sim::explore::program cve_trigger_program(std::string cve_id, bool with_jskernel
 }
 
 std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
-                                                 const sim::explore::options& opt)
+                                                 const matrix_options& opt)
 {
+    const std::vector<std::string> ids = cve_ids();
+    const std::uint64_t walks = walks_per_cell;
+    // Canonical job enumeration: job = ((cve * 2) + kernel) * walks + walk.
+    // The merge below iterates results in this exact order, which is what
+    // makes every aggregate independent of worker scheduling.
+    const std::size_t job_count = ids.size() * 2 * static_cast<std::size_t>(walks);
+
+    const auto run_job = [&](std::size_t job,
+                             const par::worker_context&) -> cve_trial_outcome {
+        const std::uint64_t walk = job % walks;
+        const std::size_t cell = job / walks;
+        const bool with_kernel = cell % 2 == 1;
+        const std::string& id = ids[cell / 2];
+
+        // The walk seed derives from the job index, never the worker: the
+        // trial is a pure function of its job.
+        const std::uint64_t walk_seed = sim::split(opt.explore.seed, job);
+        par::witness_key key;
+        if (opt.cache != nullptr) {
+            // Walk 0 replays the default schedule (decisions ""); seeded
+            // walks are named by their generator seed (the decision string
+            // is an output, but the seed pins the same interleaving).
+            key.seed = walk == 0 ? opt.browser_seed
+                                 : sim::split(opt.browser_seed, walk_seed);
+            key.defense = with_kernel ? "jskernel" : "plain";
+            if (const auto hit = opt.cache->lookup(key)) return *hit;
+        }
+
+        sim::explore::controller ctl(
+            {},
+            walk == 0 ? sim::explore::controller::tail_policy::first
+                      : sim::explore::controller::tail_policy::random,
+            walk_seed);
+        ctl.set_window(opt.explore.window);
+        cve_trial_outcome out;
+        out.triggered = run_cve_trial(id, with_kernel, ctl, opt.browser_seed);
+        auto recorded = ctl.decisions();
+        recorded.trim();
+        out.decisions = recorded.str();
+        if (opt.cache != nullptr) {
+            opt.cache->insert(key, out);
+            // Also file the replayable witness itself, so a tail-first
+            // replay of the printed decision string is a hit too.
+            par::witness_key replay_key;
+            replay_key.seed = opt.browser_seed;
+            replay_key.decisions = out.decisions;
+            replay_key.defense = key.defense;
+            opt.cache->insert(replay_key, out);
+        }
+        return out;
+    };
+
+    par::sweep_options sopt;
+    sopt.jobs = opt.jobs;
+    const auto outcomes = par::sweep<cve_trial_outcome>(job_count, run_job, sopt);
+
+    // Deterministic merge, canonical job order.
     std::vector<cve_schedule_row> rows;
-    for (const auto& id : cve_ids()) {
+    for (std::size_t cve = 0; cve < ids.size(); ++cve) {
         cve_schedule_row row;
-        row.cve = id;
+        row.cve = ids[cve];
         for (const bool with_kernel : {false, true}) {
-            for (std::uint64_t walk = 0; walk < walks_per_cell; ++walk) {
-                // Walk 0 is the default schedule; the rest are seeded walks.
-                sim::explore::controller ctl(
-                    {},
-                    walk == 0 ? sim::explore::controller::tail_policy::first
-                              : sim::explore::controller::tail_policy::random,
-                    opt.seed + walk);
-                ctl.set_window(opt.window);
-                const bool triggered = run_cve_trial(id, with_kernel, ctl);
+            const std::size_t cell = cve * 2 + (with_kernel ? 1 : 0);
+            for (std::uint64_t walk = 0; walk < walks; ++walk) {
+                const cve_trial_outcome& out =
+                    outcomes[cell * static_cast<std::size_t>(walks) + walk];
                 if (with_kernel) {
                     ++row.kernel_schedules;
-                    if (triggered) ++row.kernel_triggered;
+                    if (out.triggered) ++row.kernel_triggered;
                 } else {
                     ++row.plain_schedules;
-                    if (triggered) {
+                    if (out.triggered) {
                         ++row.plain_triggered;
                         if (!row.witness) {
-                            auto witness = ctl.decisions();
-                            witness.trim();
-                            row.witness = std::move(witness);
+                            row.witness = sim::explore::schedule::parse(out.decisions);
                         }
                     }
                 }
@@ -95,6 +149,35 @@ std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
+                                                 const sim::explore::options& opt)
+{
+    matrix_options mopt;
+    mopt.explore = opt;
+    mopt.jobs = 1;
+    return explore_cve_matrix(walks_per_cell, mopt);
+}
+
+std::string cve_matrix_json(const std::vector<cve_schedule_row>& rows)
+{
+    namespace json = kernel::json;
+    json::array out;
+    for (const auto& row : rows) {
+        json::object rec;
+        rec.emplace("cve", json::value{row.cve});
+        rec.emplace("plain_schedules", json::value{static_cast<double>(row.plain_schedules)});
+        rec.emplace("plain_triggered", json::value{static_cast<double>(row.plain_triggered)});
+        rec.emplace("kernel_schedules",
+                    json::value{static_cast<double>(row.kernel_schedules)});
+        rec.emplace("kernel_triggered",
+                    json::value{static_cast<double>(row.kernel_triggered)});
+        rec.emplace("witness",
+                    json::value{row.witness ? row.witness->str() : std::string()});
+        out.push_back(json::value{std::move(rec)});
+    }
+    return json::dump(json::value{std::move(out)});
 }
 
 }  // namespace jsk::attacks

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "par/cache.h"
 #include "sim/explore.h"
 
 namespace jsk::attacks {
@@ -40,8 +41,38 @@ struct cve_schedule_row {
     std::optional<sim::explore::schedule> witness;  // a triggering plain schedule
 };
 
-/// Random-walk schedule sweep over every CVE row, plain and under JSKernel.
+/// One matrix cell-walk outcome — the unit the sweep shards and the witness
+/// cache stores. `decisions` is the recorded (trimmed) schedule, replayable
+/// under a tail-first controller.
+struct cve_trial_outcome {
+    bool triggered = false;
+    std::string decisions;
+};
+
+struct matrix_options {
+    sim::explore::options explore;  // window + walk-seed root
+    std::size_t jobs = 1;           // worker count; 0 = par::default_jobs()
+    /// Optional witness-keyed cache: repeated sweeps recall instead of
+    /// re-simulating. Aggregates stay byte-identical either way (trials are
+    /// pure functions of their witness).
+    par::result_cache<cve_trial_outcome>* cache = nullptr;
+    std::uint64_t browser_seed = 17;
+};
+
+/// Random-walk schedule sweep over every CVE row, plain and under JSKernel,
+/// sharded over (CVE x defense x walk) on the jsk::par driver and merged in
+/// canonical job order — output is byte-identical for every jobs count.
+/// Per-walk controller seeds derive via sim::split(opt.explore.seed, job).
+std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
+                                                 const matrix_options& opt);
+
+/// Serial-compatible overload (jobs = 1).
 std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
                                                  const sim::explore::options& opt = {});
+
+/// Canonical aggregate serialization of matrix rows (kernel::json dump —
+/// compact, key-ordered): the byte-comparison oracle for the --jobs
+/// determinism suite and the CLI's --json output.
+std::string cve_matrix_json(const std::vector<cve_schedule_row>& rows);
 
 }  // namespace jsk::attacks

@@ -1,8 +1,32 @@
 #include "obs/metrics.h"
 
+#include <stdexcept>
+
 namespace jsk::obs {
 
 namespace json = kernel::json;
+
+void histogram::merge(const histogram& other)
+{
+    if (bounds_ != other.bounds_) {
+        throw std::invalid_argument(
+            "histogram::merge: bucket bounds differ between shards");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    if (other.count_ > 0 && (count_ == 0 || other.max_ > max_)) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void registry::merge(const registry& other)
+{
+    for (const auto& [name, c] : other.counters_) counters_[name].inc(c.value());
+    for (const auto& [name, g] : other.gauges_) gauges_[name].set(g.value());
+    for (const auto& [name, h] : other.histograms_) {
+        auto [it, inserted] = histograms_.try_emplace(name, h.bounds());
+        it->second.merge(h);
+    }
+}
 
 json::value registry::snapshot() const
 {

@@ -78,6 +78,11 @@ public:
         return counts_;
     }
 
+    /// Fold another histogram in bucket-wise. Requires identical bounds
+    /// (same instrument recorded by two shards); throws std::invalid_argument
+    /// otherwise — silently mis-bucketing would corrupt every percentile.
+    void merge(const histogram& other);
+
     static std::vector<double> default_bounds()
     {
         return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
@@ -126,6 +131,15 @@ public:
         gauges_.clear();
         histograms_.clear();
     }
+
+    /// Fold a per-shard registry into this one: counters add, histograms
+    /// merge bucket-wise (bounds must match), and gauges take `other`'s
+    /// value (a gauge is "last written wins", so merging shards in
+    /// canonical job order reproduces exactly the value a serial run would
+    /// have left behind). Parallel sweeps give every shard its own registry
+    /// and fold them in job-index order after the join — instruments are
+    /// never shared across threads.
+    void merge(const registry& other);
 
     /// The registry as a JSON value:
     ///   {"counters":{name:n,...},

@@ -139,6 +139,24 @@ public:
         thread_names_.emplace_back(tid, std::move(name));
     }
 
+    /// Append every event (and any new thread names) from a per-shard sink.
+    /// Sinks are single-world objects — parallel sweeps give each job its
+    /// own sink and fold them in canonical job order after the join, so the
+    /// merged stream is deterministic and never interleaves mid-run.
+    /// Existing thread names win on tid collisions (shards of one sweep name
+    /// their threads identically anyway).
+    void append(const sink& other)
+    {
+        events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+        for (const auto& [tid, name] : other.thread_names_) {
+            bool known = false;
+            for (const auto& [existing_tid, existing] : thread_names_) {
+                known = known || existing_tid == tid;
+            }
+            if (!known) thread_names_.emplace_back(tid, name);
+        }
+    }
+
     [[nodiscard]] const std::vector<trace_event>& events() const { return events_; }
     [[nodiscard]] const std::vector<std::pair<std::int32_t, std::string>>&
     thread_names() const

@@ -1,0 +1,164 @@
+// jsk::par — witness-keyed result cache.
+//
+// Every simulation in this repo is a pure function of its witness: the
+// (seed, fault-plan string, decision string, defense id) tuple that the
+// explore and chaos subsystems already print, replay, and paste back into
+// CLIs. That purity is what makes caching sound: a cached value *is* the
+// value a fresh run would produce, so sweeps that consult the cache emit
+// byte-identical aggregates whether a trial was simulated or recalled.
+//
+// The cache is sharded — key-hash picks one of a fixed set of
+// (mutex, unordered_map) shards — so parallel sweep workers contend only
+// when their keys collide in a shard, and is keyed by the *full* tuple
+// (hash selects the shard and bucket; equality is on the tuple itself, so a
+// 64-bit collision can never alias two witnesses). Values are held behind
+// shared_ptr<const V>: lookups never copy the stored journals/traces and
+// stay valid even if the cache is cleared mid-use.
+//
+// Drivers take the cache as an optional pointer (default nullptr = every
+// trial simulated). Determinism suites that *measure* replay (run twice,
+// compare bytes) must run uncached, or the second run compares a value with
+// itself.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace jsk::par {
+
+/// The replayable identity of one simulated interleaving. `decisions` is an
+/// explore decision string ("" = default schedule), `plan` a
+/// faults::plan::str() serialization ("" = no injector), `defense` a defense
+/// id name ("plain" when none installed).
+struct witness_key {
+    std::uint64_t seed = 0;
+    std::string plan;
+    std::string decisions;
+    std::string defense;
+
+    bool operator==(const witness_key&) const = default;
+};
+
+/// FNV-1a over a byte string — the digest the sweep drivers use to compare
+/// per-shard journals/traces without holding every oracle in memory.
+/// Stable across platforms (unlike std::hash).
+inline std::uint64_t fnv1a(const std::string& bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/// FNV-1a over every field — stable across platforms (unlike std::hash), so
+/// cache statistics and shard assignment are reproducible too.
+inline std::uint64_t hash(const witness_key& k)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix_byte = [&h](unsigned char b) {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    };
+    for (int shift = 0; shift < 64; shift += 8) {
+        mix_byte(static_cast<unsigned char>(k.seed >> shift));
+    }
+    const auto mix_str = [&](const std::string& s) {
+        mix_byte(0xff);  // field separator: ("ab","c") != ("a","bc")
+        for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+    };
+    mix_str(k.plan);
+    mix_str(k.decisions);
+    mix_str(k.defense);
+    return h;
+}
+
+/// Thread-safe sharded map from witness to result. V is immutable once
+/// inserted; re-inserting an existing key keeps the first value (all writers
+/// computed the same bytes, so it cannot matter which survives).
+template <typename V>
+class result_cache {
+public:
+    static constexpr std::size_t shard_count = 16;
+
+    struct stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t entries = 0;
+    };
+
+    /// nullptr on miss; the returned pointer never dangles.
+    std::shared_ptr<const V> lookup(const witness_key& key)
+    {
+        shard& sh = shard_for(key);
+        std::lock_guard<std::mutex> lock(sh.mu);
+        const auto it = sh.map.find(key);
+        if (it == sh.map.end()) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+    }
+
+    /// Store (or keep the existing) value; returns the resident one.
+    std::shared_ptr<const V> insert(const witness_key& key, V value)
+    {
+        shard& sh = shard_for(key);
+        std::lock_guard<std::mutex> lock(sh.mu);
+        auto [it, inserted] =
+            sh.map.try_emplace(key, std::make_shared<const V>(std::move(value)));
+        return it->second;
+    }
+
+    [[nodiscard]] stats snapshot() const
+    {
+        stats s;
+        s.hits = hits_.load(std::memory_order_relaxed);
+        s.misses = misses_.load(std::memory_order_relaxed);
+        for (const shard& sh : shards_) {
+            std::lock_guard<std::mutex> lock(sh.mu);
+            s.entries += sh.map.size();
+        }
+        return s;
+    }
+
+    void clear()
+    {
+        for (shard& sh : shards_) {
+            std::lock_guard<std::mutex> lock(sh.mu);
+            sh.map.clear();
+        }
+    }
+
+private:
+    struct key_hash {
+        std::size_t operator()(const witness_key& k) const
+        {
+            return static_cast<std::size_t>(hash(k));
+        }
+    };
+
+    struct shard {
+        mutable std::mutex mu;
+        std::unordered_map<witness_key, std::shared_ptr<const V>, key_hash> map;
+    };
+
+    shard& shard_for(const witness_key& key)
+    {
+        return shards_[hash(key) % shard_count];
+    }
+
+    std::array<shard, shard_count> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace jsk::par

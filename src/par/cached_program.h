@@ -1,0 +1,57 @@
+// jsk::par — caching adapter for explore programs.
+//
+// An explore run is determined up front only when its tail policy is
+// `first`: the prescribed prefix plus an all-default tail pins the whole
+// schedule, so the trimmed prefix *is* the witness and the outcome can be
+// recalled before building a browser. Random-tail walks can't be looked up
+// (their decision string is an output), but they can still *seed* the cache:
+// the trimmed string a walk recorded replays identically under tail-first,
+// so shrink/replay passes that revisit a discovered witness skip the
+// simulation entirely.
+//
+// Divergent replays (a prescribed choice out of range for the candidates
+// actually offered) are never cached under the prescribed key — recorded
+// and prescribed strings disagree, so such a prefix always re-simulates.
+#pragma once
+
+#include <utility>
+
+#include "par/cache.h"
+#include "sim/explore.h"
+
+namespace jsk::par {
+
+/// Wrap `inner` so outcome-only consumers (shrink, replay, sweep cells) hit
+/// `cache` on repeated interleavings. `base` carries the non-schedule key
+/// fields (seed, plan, defense); the decision string is filled per run.
+///
+/// Cached hits return the stored outcome *without running the program*: the
+/// controller records no decisions, so callers that read ctl.decisions() or
+/// ctl.trace() after the run (explore_random witnesses, DFS expansion) must
+/// use the uncached program instead.
+inline sim::explore::program cached_program(sim::explore::program inner,
+                                            result_cache<sim::explore::run_outcome>& cache,
+                                            witness_key base)
+{
+    return [inner = std::move(inner), &cache,
+            base = std::move(base)](sim::explore::controller& ctl) {
+        witness_key key = base;
+        const bool replayable = ctl.tail() == sim::explore::controller::tail_policy::first;
+        if (replayable) {
+            sim::explore::schedule prescribed = ctl.prescribed();
+            prescribed.trim();
+            key.decisions = prescribed.str();
+            if (const auto hit = cache.lookup(key)) return *hit;
+        }
+        const sim::explore::run_outcome out = inner(ctl);
+        if (!ctl.replay_diverged()) {
+            sim::explore::schedule recorded = ctl.decisions();
+            recorded.trim();
+            key.decisions = recorded.str();
+            cache.insert(key, out);
+        }
+        return out;
+    };
+}
+
+}  // namespace jsk::par

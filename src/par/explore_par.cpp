@@ -1,0 +1,84 @@
+#include "par/explore_par.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "par/pool.h"
+#include "par/sweep.h"
+
+namespace jsk::par {
+
+namespace explore = sim::explore;
+
+namespace {
+
+/// Everything one wave job yields, in plain data the merge can fold.
+struct wave_run {
+    bool violated = false;
+    std::string detail;
+    explore::schedule failing;            // recorded + trimmed, violated only
+    std::vector<explore::schedule> children;
+    std::uint64_t pruned = 0;
+};
+
+}  // namespace
+
+explore::result explore_dfs(const explore::program& p, const explore_options& opt)
+{
+    if (opt.jobs == 1) return explore::explore_dfs(p, opt.base);
+
+    explore::result res;
+    worker_pool pool(opt.jobs);
+    std::vector<explore::schedule> work{explore::schedule{}};
+    while (!work.empty()) {
+        const std::size_t budget = opt.base.max_schedules > res.schedules_run
+                                       ? opt.base.max_schedules - res.schedules_run
+                                       : 0;
+        if (budget == 0) return res;  // bound hit: not exhausted
+        const std::size_t batch = work.size() < budget ? work.size() : budget;
+
+        // The wave takes the *tail* of the work list (the serial pop end),
+        // batch[i] = work[size-1-i], keeping the flavour of DFS: deepest
+        // recently-generated prefixes first.
+        const std::size_t base_index = work.size() - batch;
+        auto runs = sweep_on<wave_run>(pool, batch, [&](std::size_t i,
+                                                        const worker_context&) {
+            const explore::schedule& prefix = work[work.size() - 1 - i];
+            explore::controller ctl(prefix, explore::controller::tail_policy::first);
+            ctl.set_window(opt.base.window);
+            if (opt.base.dpor) ctl.set_record_metadata(true);
+            const explore::run_outcome out = p(ctl);
+            wave_run r;
+            r.violated = out.violated;
+            if (out.violated) {
+                r.detail = out.detail;
+                r.failing = ctl.decisions();
+                r.failing.trim();
+            } else {
+                r.children = explore::expand_run(ctl, prefix, opt.base, r.pruned);
+            }
+            return r;
+        });
+        work.resize(base_index);
+        res.schedules_run += batch;
+
+        // Canonical-order merge: first violation in batch order wins; the
+        // whole wave already ran, so these numbers are jobs-invariant.
+        for (const wave_run& r : runs) {
+            if (r.violated) {
+                res.failing = r.failing;
+                res.failure_detail = r.detail;
+                return res;
+            }
+        }
+        for (auto& r : runs) {
+            res.pruned += r.pruned;
+            for (auto& child : r.children) work.push_back(std::move(child));
+        }
+    }
+    res.exhausted = true;
+    return res;
+}
+
+}  // namespace jsk::par

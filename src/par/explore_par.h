@@ -1,0 +1,41 @@
+// jsk::par — parallel frontier expansion for the schedule-exploration DFS.
+//
+// The serial explore_dfs pops one prefix at a time off a LIFO work list.
+// Here the whole frontier is run as one *wave* on the worker pool, and the
+// wave's outcomes are folded in canonical batch order:
+//
+//  * every prefix in the wave is simulated (even the ones "after" a
+//    violation), so schedules_run, pruned, the failing schedule, and
+//    `exhausted` are pure functions of the program and options — identical
+//    at --jobs 2 and --jobs 128;
+//  * the first violation *in canonical order* wins, which for a fully-run
+//    wave is also jobs-invariant;
+//  * child prefixes are appended frontier-order, so each wave's batch is
+//    deterministic too.
+//
+// Wave order visits the bounded tree breadth-first-ish rather than the
+// serial LIFO order, so against `explore_dfs` (the --jobs 1 path) only the
+// *set* of runs within max_schedules is guaranteed equal when the tree is
+// explored to exhaustion — which is the regime DFS is for.
+//
+// The program must tolerate concurrent invocation: each call builds a fresh
+// world and touches nothing shared (every program in this repo does).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/explore.h"
+
+namespace jsk::par {
+
+struct explore_options {
+    sim::explore::options base;
+    std::size_t jobs = 0;  // 0 = default_jobs(); <= 1 delegates to serial DFS
+};
+
+/// Bounded-DFS search with wave-parallel frontier expansion. Semantics match
+/// sim::explore::explore_dfs except for traversal order (see file comment).
+sim::explore::result explore_dfs(const sim::explore::program& p,
+                                 const explore_options& opt = {});
+
+}  // namespace jsk::par

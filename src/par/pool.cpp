@@ -1,0 +1,114 @@
+#include "par/pool.h"
+
+#include "sim/rng.h"
+
+namespace jsk::par {
+
+std::size_t default_jobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+worker_pool::worker_pool(std::size_t workers, std::uint64_t root_seed)
+{
+    const std::size_t n = workers == 0 ? default_jobs() : workers;
+    contexts_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        contexts_.push_back(worker_context{i, sim::split(root_seed, i)});
+    }
+    // Worker 0 is the calling thread; only ids >= 1 get OS threads. With
+    // n == 1 the pool is thread-free and run() is the plain serial loop.
+    threads_.reserve(n - 1);
+    for (std::size_t i = 1; i < n; ++i) {
+        threads_.emplace_back([this, i] { worker_main(i); });
+    }
+}
+
+worker_pool::~worker_pool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+}
+
+void worker_pool::run(std::size_t count, const job_fn& fn, std::size_t chunk)
+{
+    if (count == 0) return;
+    shard_queue queue(count, chunk);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_ = &queue;
+        fn_ = &fn;
+        first_error_ = nullptr;
+        first_error_job_ = count;
+        active_ = workers();
+        ++generation_;
+    }
+    work_cv_.notify_all();
+
+    drain(contexts_[0]);  // the calling thread is worker 0
+
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return active_ == 0; });
+    queue_ = nullptr;
+    fn_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void worker_pool::worker_main(std::size_t worker_id)
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] {
+                return stopping_ || generation_ != seen_generation;
+            });
+            if (stopping_) return;
+            seen_generation = generation_;
+        }
+        drain(contexts_[worker_id]);
+    }
+}
+
+void worker_pool::drain(const worker_context& ctx)
+{
+    // Read the per-run pointers once; they stay valid until every worker
+    // has decremented active_, which happens strictly after this returns.
+    shard_queue* queue;
+    const job_fn* fn;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue = queue_;
+        fn = fn_;
+    }
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    while (queue->claim(begin, end)) {
+        for (std::size_t job = begin; job < end; ++job) {
+            try {
+                (*fn)(job, ctx);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu_);
+                // Keep the lowest-index failure so the rethrow is
+                // deterministic no matter which worker hit it first.
+                if (!first_error_ || job < first_error_job_) {
+                    first_error_ = std::current_exception();
+                    first_error_job_ = job;
+                }
+            }
+        }
+    }
+    bool last = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        last = --active_ == 0;
+    }
+    if (last) done_cv_.notify_all();
+}
+
+}  // namespace jsk::par

@@ -1,0 +1,120 @@
+// jsk::par — sharded parallel sweep engine: the worker pool.
+//
+// Every large campaign in this repo (CVE-matrix sweep, chaos sweep, DFS
+// frontier expansion) is a product of fully deterministic, independent
+// (seed, plan, decisions) simulations. This pool runs those jobs across a
+// fixed set of OS threads while keeping the *results* scheduling-invariant:
+//
+//  * Jobs are identified by a dense index [0, count). Workers claim chunks
+//    of indices from a lock-free `shard_queue` (a single atomic cursor —
+//    MPMC by construction: any worker may claim any chunk, claims never
+//    overlap, and the only contention is one fetch_add per chunk).
+//  * Each worker gets a `worker_context` carrying a splitmix64-`split`
+//    seed stream (sim::split(root_seed, worker_id)) for any *worker-local*
+//    randomness. Job-level seeds must derive from the job index, never the
+//    worker id, or results would depend on the claim order.
+//  * Results are written into caller-owned slots indexed by job — no shared
+//    accumulation. Aggregation happens after run() returns, in canonical
+//    job-index order, which is what makes sweep output byte-identical to
+//    the serial run regardless of how the OS scheduled the workers.
+//
+// run() with workers() == 1 executes inline on the calling thread — the
+// serial path, no threads touched — so `--jobs 1` is exactly the old
+// behaviour.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jsk::par {
+
+/// Number of workers to use when the caller doesn't say: hardware
+/// concurrency, clamped to at least 1 (hardware_concurrency may return 0).
+std::size_t default_jobs();
+
+/// Lock-free MPMC dispenser over a dense job range. Workers claim
+/// half-open chunks [begin, end); claims never overlap and the union of all
+/// claims is exactly [0, count).
+class shard_queue {
+public:
+    explicit shard_queue(std::size_t count, std::size_t chunk = 1)
+        : count_(count), chunk_(chunk == 0 ? 1 : chunk)
+    {
+    }
+
+    /// Claim the next chunk. Returns false when the range is exhausted.
+    bool claim(std::size_t& begin, std::size_t& end)
+    {
+        const std::size_t b = next_.fetch_add(chunk_, std::memory_order_relaxed);
+        if (b >= count_) return false;
+        begin = b;
+        end = b + chunk_ < count_ ? b + chunk_ : count_;
+        return true;
+    }
+
+    [[nodiscard]] std::size_t count() const { return count_; }
+    [[nodiscard]] std::size_t chunk() const { return chunk_; }
+
+private:
+    std::atomic<std::size_t> next_{0};
+    std::size_t count_;
+    std::size_t chunk_;
+};
+
+/// Per-worker state handed to every job invocation.
+struct worker_context {
+    std::size_t worker_id = 0;   // [0, workers)
+    std::uint64_t seed_stream = 0;  // sim::split(root_seed, worker_id)
+};
+
+/// Fixed-size pool of persistent OS threads. Threads are spawned once in the
+/// constructor and parked on a condition variable between run() calls, so a
+/// sweep that issues many waves (DFS frontier expansion) pays thread startup
+/// once. Job exceptions are captured and the first one (by job index, not
+/// completion order — determinism again) is rethrown from run().
+class worker_pool {
+public:
+    using job_fn = std::function<void(std::size_t job, const worker_context& ctx)>;
+
+    /// `workers == 0` means default_jobs().
+    explicit worker_pool(std::size_t workers = 0,
+                         std::uint64_t root_seed = 0x6a736b2e706172ULL);  // "jsk.par"
+    ~worker_pool();
+
+    worker_pool(const worker_pool&) = delete;
+    worker_pool& operator=(const worker_pool&) = delete;
+
+    [[nodiscard]] std::size_t workers() const { return contexts_.size(); }
+
+    /// Run `fn(job, ctx)` for every job in [0, count), sharded `chunk` jobs
+    /// at a time. Blocks until all jobs completed (or failed). Not
+    /// reentrant: one run() at a time per pool.
+    void run(std::size_t count, const job_fn& fn, std::size_t chunk = 1);
+
+private:
+    void worker_main(std::size_t worker_id);
+    void drain(const worker_context& ctx);
+
+    std::vector<worker_context> contexts_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;  // bumped per run() to wake workers
+    bool stopping_ = false;
+    std::size_t active_ = 0;  // workers still draining the current run
+
+    // Per-run state, valid while active_ > 0.
+    shard_queue* queue_ = nullptr;
+    const job_fn* fn_ = nullptr;
+    std::exception_ptr first_error_;
+    std::size_t first_error_job_ = 0;
+};
+
+}  // namespace jsk::par

@@ -1,0 +1,66 @@
+// jsk::par — sweep driver: shard an indexed job product across the pool and
+// hand the results back in canonical job-index order.
+//
+// The contract that makes parallel sweeps byte-identical to serial ones:
+//
+//  1. Job i's result depends only on i (and the job's own derived seeds) —
+//     never on the worker that ran it or on any other job.
+//  2. Results land in slot i of the returned vector; whoever aggregates
+//     iterates the vector front to back.
+//
+// Under those two rules, every aggregate (journal digests, sweep tables,
+// --json output) is a pure function of the job list, so `--jobs 8` and
+// `--jobs 1` cannot differ by construction. sweep() runs inline (no pool,
+// no threads) when opt.jobs == 1.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "par/pool.h"
+#include "sim/rng.h"
+
+namespace jsk::par {
+
+struct sweep_options {
+    std::size_t jobs = 0;   // worker count; 0 = default_jobs(), 1 = serial inline
+    std::size_t chunk = 1;  // shard granularity (jobs claimed per queue pop)
+    std::uint64_t root_seed = 0x6a736b2e706172ULL;  // worker seed-stream root
+};
+
+/// Run `fn(job_index, worker_context)` for every index in [0, count) and
+/// return the results indexed by job. `R` must be default-constructible;
+/// each slot is written exactly once, by the worker that ran the job.
+template <typename R, typename Fn>
+std::vector<R> sweep(std::size_t count, Fn&& fn, const sweep_options& opt = {})
+{
+    std::vector<R> results(count);
+    const std::size_t workers = opt.jobs == 0 ? default_jobs() : opt.jobs;
+    if (workers <= 1 || count <= 1) {
+        worker_context ctx{0, sim::split(opt.root_seed, 0)};
+        for (std::size_t job = 0; job < count; ++job) results[job] = fn(job, ctx);
+        return results;
+    }
+    worker_pool pool(workers, opt.root_seed);
+    pool.run(
+        count,
+        [&](std::size_t job, const worker_context& ctx) { results[job] = fn(job, ctx); },
+        opt.chunk);
+    return results;
+}
+
+/// Same, reusing a caller-owned pool (e.g. across DFS waves).
+template <typename R, typename Fn>
+std::vector<R> sweep_on(worker_pool& pool, std::size_t count, Fn&& fn,
+                        std::size_t chunk = 1)
+{
+    std::vector<R> results(count);
+    pool.run(
+        count,
+        [&](std::size_t job, const worker_context& ctx) { results[job] = fn(job, ctx); },
+        chunk);
+    return results;
+}
+
+}  // namespace jsk::par

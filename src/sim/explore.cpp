@@ -161,6 +161,39 @@ bool independent(const controller& ctl, const decision& d, std::size_t a, std::s
 
 }  // namespace
 
+std::vector<schedule> expand_run(const controller& ctl, const schedule& prefix,
+                                 const options& opt, std::uint64_t& pruned)
+{
+    // Expand alternatives at every branching point this run reached beyond
+    // its prescribed prefix. Each child prefix is generated exactly once
+    // across the whole tree.
+    std::vector<schedule> children;
+    const auto& trace = ctl.trace();
+    const auto& taken = ctl.decisions().choices;
+    std::size_t preemptions_before = prefix.preemptions();
+    for (std::size_t point = prefix.choices.size(); point < trace.size(); ++point) {
+        const decision& d = trace[point];
+        for (std::uint32_t alt = 1; alt < d.count; ++alt) {
+            if (alt == d.chosen) continue;
+            if (preemptions_before + 1 > opt.preemption_budget) {
+                ++pruned;
+                continue;
+            }
+            if (opt.dpor && independent(ctl, d, d.chosen, alt)) {
+                ++pruned;
+                continue;
+            }
+            schedule child;
+            child.choices.assign(taken.begin(),
+                                 taken.begin() + static_cast<std::ptrdiff_t>(point));
+            child.choices.push_back(alt);
+            children.push_back(std::move(child));
+        }
+        if (d.chosen != 0) ++preemptions_before;
+    }
+    return children;
+}
+
 result explore_dfs(const program& p, const options& opt)
 {
     result res;
@@ -183,31 +216,8 @@ result explore_dfs(const program& p, const options& opt)
             return res;
         }
 
-        // Expand alternatives at every branching point this run reached
-        // beyond its prescribed prefix. Each child prefix is generated
-        // exactly once across the whole tree.
-        const auto& trace = ctl.trace();
-        const auto& taken = ctl.decisions().choices;
-        std::size_t preemptions_before = prefix.preemptions();
-        for (std::size_t point = prefix.choices.size(); point < trace.size(); ++point) {
-            const decision& d = trace[point];
-            for (std::uint32_t alt = 1; alt < d.count; ++alt) {
-                if (alt == d.chosen) continue;
-                if (preemptions_before + 1 > opt.preemption_budget) {
-                    ++res.pruned;
-                    continue;
-                }
-                if (opt.dpor && independent(ctl, d, d.chosen, alt)) {
-                    ++res.pruned;
-                    continue;
-                }
-                schedule child;
-                child.choices.assign(taken.begin(),
-                                     taken.begin() + static_cast<std::ptrdiff_t>(point));
-                child.choices.push_back(alt);
-                work.push_back(std::move(child));
-            }
-            if (d.chosen != 0) ++preemptions_before;
+        for (auto& child : expand_run(ctl, prefix, opt, res.pruned)) {
+            work.push_back(std::move(child));
         }
     }
     res.exhausted = true;

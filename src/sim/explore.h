@@ -99,6 +99,13 @@ public:
     [[nodiscard]] const schedule& decisions() const { return recorded_; }
     [[nodiscard]] const std::vector<decision>& trace() const { return trace_; }
 
+    /// The prescribed replay prefix and tail policy this controller was
+    /// built with. Together (with the walk seed for random tails) they
+    /// determine the whole run up front — which is what lets jsk::par key a
+    /// result cache on a tail-first controller *before* it runs.
+    [[nodiscard]] const schedule& prescribed() const { return prefix_; }
+    [[nodiscard]] tail_policy tail() const { return tail_; }
+
     /// Candidate metadata for a recorded decision, in offered order. Only
     /// populated when set_record_metadata(true) was set before the run.
     [[nodiscard]] thread_id decision_thread(const decision& d, std::size_t i) const
@@ -178,6 +185,16 @@ struct result {
     std::optional<schedule> failing;  // first violating schedule, if any
     std::string failure_detail;
 };
+
+/// Child prefixes of one completed DFS run: for every branching point the
+/// run reached beyond its prescribed `prefix`, each untaken alternative
+/// within the preemption budget (and not DPOR-pruned) becomes a new prefix.
+/// Skipped alternatives are counted into `pruned`. Pure with respect to the
+/// finished controller, so frontier expansion can run per-job in a parallel
+/// wave (jsk::par) and still generate each child exactly once across the
+/// tree, in canonical order.
+std::vector<schedule> expand_run(const controller& ctl, const schedule& prefix,
+                                 const options& opt, std::uint64_t& pruned);
 
 /// Seeded random walks through the schedule space; stops at the first
 /// violation or after max_schedules walks.

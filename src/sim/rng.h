@@ -20,6 +20,19 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state)
     return z ^ (z >> 31);
 }
 
+/// Derive an independent child seed from (root, stream_id): the stream id is
+/// first diffused through splitmix64 (so consecutive ids land far apart),
+/// xor-folded into the root, and the mix diffused again. Pure and stateless —
+/// the canonical way to hand each shard/worker/walk its own seed stream
+/// (`jsk::par` and the sweep drivers use it; don't improvise `seed + i`
+/// arithmetic, which correlates neighbouring streams).
+constexpr std::uint64_t split(std::uint64_t root, std::uint64_t stream_id)
+{
+    std::uint64_t s = stream_id;
+    std::uint64_t mixed = root ^ splitmix64(s);
+    return splitmix64(mixed);
+}
+
 /// xoshiro256** generator: fast, high-quality, fully deterministic.
 class rng {
 public:

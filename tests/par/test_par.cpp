@@ -1,0 +1,332 @@
+// jsk::par unit suite: shard queue coverage, worker-pool semantics (results
+// per slot, deterministic error propagation, pool reuse), the witness-keyed
+// result cache, the obs per-shard merge functions, and the cached-program
+// adapter. The stress cases double as the TSan workload CI runs — they
+// hammer the queue/pool/cache from every worker with no simulator in the
+// way, so a data race in jsk::par itself surfaces here first.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "par/cache.h"
+#include "par/cached_program.h"
+#include "par/pool.h"
+#include "par/sweep.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace jsk;
+
+TEST(shard_queue, claims_cover_range_exactly_once)
+{
+    par::shard_queue q(17, 4);
+    std::vector<int> seen(17, 0);
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    while (q.claim(begin, end)) {
+        for (std::size_t i = begin; i < end; ++i) ++seen[i];
+    }
+    for (const int n : seen) EXPECT_EQ(n, 1);
+    EXPECT_FALSE(q.claim(begin, end));  // stays exhausted
+}
+
+TEST(shard_queue, zero_chunk_is_clamped)
+{
+    par::shard_queue q(3, 0);
+    EXPECT_EQ(q.chunk(), 1u);
+}
+
+TEST(worker_pool, runs_every_job_exactly_once_across_workers)
+{
+    par::worker_pool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    constexpr std::size_t jobs = 997;  // prime: uneven chunking
+    std::vector<std::atomic<int>> hits(jobs);
+    pool.run(jobs, [&](std::size_t job, const par::worker_context&) {
+        hits[job].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(worker_pool, worker_seed_streams_follow_split)
+{
+    par::worker_pool pool(3, /*root_seed=*/99);
+    std::vector<std::uint64_t> streams(3, 0);
+    pool.run(64, [&](std::size_t, const par::worker_context& ctx) {
+        streams[ctx.worker_id] = ctx.seed_stream;
+    });
+    // Every worker that ran jobs reports sim::split(root, worker_id). Which
+    // workers claim chunks is a scheduling accident (under TSan the spawned
+    // threads can drain the queue before the caller joins in), so only the
+    // stream values are pinned — plus that somebody ran.
+    std::size_t participated = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+        if (streams[i] == 0) continue;
+        ++participated;
+        EXPECT_EQ(streams[i], sim::split(99, i)) << "worker " << i;
+    }
+    EXPECT_GE(participated, 1u);
+}
+
+TEST(worker_pool, is_reusable_across_runs)
+{
+    par::worker_pool pool(2);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int> count{0};
+        pool.run(20, [&](std::size_t, const par::worker_context&) { ++count; });
+        EXPECT_EQ(count.load(), 20);
+    }
+}
+
+TEST(worker_pool, lowest_index_exception_wins)
+{
+    par::worker_pool pool(4);
+    try {
+        pool.run(100, [&](std::size_t job, const par::worker_context&) {
+            if (job % 10 == 3) {  // 3, 13, 23, ... all throw
+                throw std::runtime_error("job " + std::to_string(job));
+            }
+        });
+        FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "job 3");
+    }
+    // The pool survives a failed run.
+    std::atomic<int> count{0};
+    pool.run(8, [&](std::size_t, const par::worker_context&) { ++count; });
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(sweep, results_land_in_job_slots_any_worker_count)
+{
+    const auto square = [](std::size_t job, const par::worker_context&) {
+        return static_cast<std::uint64_t>(job * job);
+    };
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        par::sweep_options opt;
+        opt.jobs = jobs;
+        const auto out = par::sweep<std::uint64_t>(33, square, opt);
+        ASSERT_EQ(out.size(), 33u);
+        for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+    }
+}
+
+// --- witness cache ----------------------------------------------------------
+
+TEST(witness_cache, miss_insert_hit_and_stats)
+{
+    par::result_cache<int> cache;
+    const par::witness_key key{17, "plan", "021", "jskernel"};
+    EXPECT_EQ(cache.lookup(key), nullptr);
+    cache.insert(key, 42);
+    const auto hit = cache.lookup(key);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, 42);
+    const auto stats = cache.snapshot();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(witness_cache, first_insert_wins)
+{
+    par::result_cache<int> cache;
+    const par::witness_key key{1, "", "", "plain"};
+    cache.insert(key, 7);
+    cache.insert(key, 8);
+    EXPECT_EQ(*cache.lookup(key), 7);
+    EXPECT_EQ(cache.snapshot().entries, 1u);
+}
+
+TEST(witness_cache, fields_are_separated_in_the_hash)
+{
+    // ("ab","c") and ("a","bc") must be different keys *and* hashes.
+    const par::witness_key a{0, "ab", "c", ""};
+    const par::witness_key b{0, "a", "bc", ""};
+    EXPECT_FALSE(a == b);
+    EXPECT_NE(par::hash(a), par::hash(b));
+
+    par::result_cache<int> cache;
+    cache.insert(a, 1);
+    EXPECT_EQ(cache.lookup(b), nullptr);
+}
+
+TEST(witness_cache, digest_and_key_hash_are_pinned)
+{
+    // FNV-1a goldens: aggregate digests must be comparable across machines.
+    EXPECT_EQ(par::fnv1a(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(par::fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(par::fnv1a("jskernel"), par::fnv1a(std::string("jskernel")));
+    const par::witness_key k{17, "p", "d", "x"};
+    EXPECT_EQ(par::hash(k), par::hash(k));
+}
+
+TEST(witness_cache, parallel_hammer)
+{
+    // TSan workload: every worker inserts and looks up overlapping keys.
+    par::result_cache<std::uint64_t> cache;
+    par::worker_pool pool(4);
+    pool.run(512, [&](std::size_t job, const par::worker_context&) {
+        par::witness_key key;
+        key.seed = job % 31;  // forced collisions across workers
+        key.decisions = std::to_string(job % 17);
+        if (const auto hit = cache.lookup(key)) {
+            EXPECT_EQ(*hit, (key.seed << 8) ^ (job % 17));
+        } else {
+            cache.insert(key, (key.seed << 8) ^ (job % 17));
+        }
+    });
+    EXPECT_LE(cache.snapshot().entries, 31u * 17u);
+}
+
+// --- obs per-shard merge ----------------------------------------------------
+
+TEST(obs_merge, counters_add_gauges_overwrite_histograms_fold)
+{
+    jsk::obs::registry a;
+    jsk::obs::registry b;
+    a.get_counter("tasks").inc(3);
+    b.get_counter("tasks").inc(4);
+    b.get_counter("only_b").inc(1);
+    a.get_gauge("depth").set(2.0);
+    b.get_gauge("depth").set(5.0);
+    a.get_histogram("win").record(2);
+    b.get_histogram("win").record(100);
+    b.get_histogram("win").record(3);
+
+    a.merge(b);
+    EXPECT_EQ(a.get_counter("tasks").value(), 7u);
+    EXPECT_EQ(a.get_counter("only_b").value(), 1u);
+    EXPECT_DOUBLE_EQ(a.get_gauge("depth").value(), 5.0);  // canonical last wins
+    EXPECT_EQ(a.get_histogram("win").count(), 3u);
+    EXPECT_DOUBLE_EQ(a.get_histogram("win").sum(), 105.0);
+    EXPECT_DOUBLE_EQ(a.get_histogram("win").max(), 100.0);
+}
+
+TEST(obs_merge, merge_order_reproduces_serial_bytes)
+{
+    // Serial run: one registry sees shard 1's samples then shard 2's.
+    jsk::obs::registry serial;
+    serial.get_counter("n").inc(1);
+    serial.get_histogram("h").record(4);
+    serial.get_counter("n").inc(2);
+    serial.get_histogram("h").record(9);
+
+    jsk::obs::registry shard1;
+    shard1.get_counter("n").inc(1);
+    shard1.get_histogram("h").record(4);
+    jsk::obs::registry shard2;
+    shard2.get_counter("n").inc(2);
+    shard2.get_histogram("h").record(9);
+
+    jsk::obs::registry merged;
+    merged.merge(shard1);
+    merged.merge(shard2);
+    EXPECT_EQ(merged.to_json(), serial.to_json());
+}
+
+TEST(obs_merge, histogram_bound_mismatch_throws)
+{
+    jsk::obs::registry a;
+    jsk::obs::registry b;
+    a.get_histogram("h", {1.0, 2.0});
+    b.get_histogram("h", {1.0, 3.0});
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(obs_merge, empty_histogram_merge_keeps_max_well_defined)
+{
+    jsk::obs::histogram a;
+    jsk::obs::histogram b;
+    b.record(7);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.max(), 7.0);
+    jsk::obs::histogram c;
+    a.merge(c);  // merging an empty shard changes nothing
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.max(), 7.0);
+}
+
+TEST(obs_merge, sink_append_concatenates_and_dedupes_thread_names)
+{
+    jsk::obs::sink a;
+    jsk::obs::sink b;
+    a.instant(jsk::obs::category::task, 1, 10, "first");
+    a.set_thread_name(1, "main");
+    b.instant(jsk::obs::category::task, 2, 5, "second");
+    b.set_thread_name(1, "imposter");
+    b.set_thread_name(2, "worker");
+
+    a.append(b);
+    ASSERT_EQ(a.events().size(), 2u);
+    EXPECT_EQ(a.events()[0].name, "first");
+    EXPECT_EQ(a.events()[1].name, "second");
+    ASSERT_EQ(a.thread_names().size(), 2u);
+    EXPECT_EQ(a.thread_names()[0].second, "main");  // existing name wins
+    EXPECT_EQ(a.thread_names()[1].second, "worker");
+}
+
+// --- cached program adapter -------------------------------------------------
+
+sim::explore::program counting_program(std::atomic<int>& invocations, bool violated)
+{
+    return [&invocations, violated](sim::explore::controller&) {
+        ++invocations;
+        sim::explore::run_outcome out;
+        out.violated = violated;
+        if (violated) out.detail = "boom";
+        return out;
+    };
+}
+
+TEST(cached_program, tail_first_replays_hit_without_running)
+{
+    std::atomic<int> invocations{0};
+    par::result_cache<sim::explore::run_outcome> cache;
+    par::witness_key base;
+    base.seed = 17;
+    base.defense = "plain";
+    const auto p =
+        par::cached_program(counting_program(invocations, true), cache, base);
+
+    const auto first = sim::explore::replay({}, p);
+    EXPECT_TRUE(first.violated);
+    EXPECT_EQ(invocations.load(), 1);
+
+    const auto second = sim::explore::replay({}, p);
+    EXPECT_TRUE(second.violated);
+    EXPECT_EQ(second.detail, "boom");
+    EXPECT_EQ(invocations.load(), 1);  // recalled, not re-simulated
+    EXPECT_EQ(cache.snapshot().hits, 1u);
+}
+
+TEST(cached_program, random_walks_seed_the_cache_for_replays)
+{
+    std::atomic<int> invocations{0};
+    par::result_cache<sim::explore::run_outcome> cache;
+    const auto p = par::cached_program(counting_program(invocations, false), cache,
+                                       par::witness_key{1, "", "", "plain"});
+
+    // Walk 0 is tail-first (lookup + insert); walk 1 is a random tail, which
+    // can't be looked up pre-run but still inserts its recorded witness.
+    sim::explore::options opt;
+    opt.max_schedules = 2;
+    sim::explore::explore_random(p, opt);
+    EXPECT_EQ(invocations.load(), 2);
+
+    // The tail-first replay of the recorded witness hits the cache.
+    sim::explore::replay({}, p);
+    EXPECT_EQ(invocations.load(), 2);
+    EXPECT_GE(cache.snapshot().hits, 1u);
+}
+
+}  // namespace
