@@ -153,6 +153,7 @@ chaos_matrix_result run_chaos_matrix(const std::vector<chaos_cell>& cells,
             key.seed = cell.browser_seed;
             key.plan = cell.fault_plan.str();
             key.defense = cell.with_jskernel ? "jskernel" : "plain";
+            key.program = cell.cve;
             if (const auto hit = opt.cache->lookup(key)) return *hit;
         }
 

@@ -91,6 +91,7 @@ std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
             key.seed = walk == 0 ? opt.browser_seed
                                  : sim::split(opt.browser_seed, walk_seed);
             key.defense = with_kernel ? "jskernel" : "plain";
+            key.program = id;
             if (const auto hit = opt.cache->lookup(key)) return *hit;
         }
 
@@ -113,6 +114,7 @@ std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
             replay_key.seed = opt.browser_seed;
             replay_key.decisions = out.decisions;
             replay_key.defense = key.defense;
+            replay_key.program = id;
             opt.cache->insert(replay_key, out);
         }
         return out;

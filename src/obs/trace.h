@@ -151,7 +151,10 @@ public:
         for (const auto& [tid, name] : other.thread_names_) {
             bool known = false;
             for (const auto& [existing_tid, existing] : thread_names_) {
-                known = known || existing_tid == tid;
+                if (existing_tid == tid) {
+                    known = true;
+                    break;
+                }
             }
             if (!known) thread_names_.emplace_back(tid, name);
         }

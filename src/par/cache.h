@@ -1,9 +1,9 @@
 // jsk::par — witness-keyed result cache.
 //
 // Every simulation in this repo is a pure function of its witness: the
-// (seed, fault-plan string, decision string, defense id) tuple that the
-// explore and chaos subsystems already print, replay, and paste back into
-// CLIs. That purity is what makes caching sound: a cached value *is* the
+// (program id, seed, fault-plan string, decision string, defense id) tuple
+// that the explore and chaos subsystems already print, replay, and paste
+// back into CLIs. That purity is what makes caching sound: a cached value *is* the
 // value a fresh run would produce, so sweeps that consult the cache emit
 // byte-identical aggregates whether a trial was simulated or recalled.
 //
@@ -35,12 +35,17 @@ namespace jsk::par {
 /// The replayable identity of one simulated interleaving. `decisions` is an
 /// explore decision string ("" = default schedule), `plan` a
 /// faults::plan::str() serialization ("" = no injector), `defense` a defense
-/// id name ("plain" when none installed).
+/// id name ("plain" when none installed), `program` the identity of the
+/// workload itself — a CVE id or program-seed spelling. Sweeps run many
+/// programs under the same (seed, plan, defense); without `program`, two
+/// CVEs' default-schedule trials would share a key and recall each other's
+/// outcomes.
 struct witness_key {
     std::uint64_t seed = 0;
     std::string plan;
     std::string decisions;
     std::string defense;
+    std::string program;
 
     bool operator==(const witness_key&) const = default;
 };
@@ -77,6 +82,7 @@ inline std::uint64_t hash(const witness_key& k)
     mix_str(k.plan);
     mix_str(k.decisions);
     mix_str(k.defense);
+    mix_str(k.program);
     return h;
 }
 

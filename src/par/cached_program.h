@@ -23,7 +23,9 @@ namespace jsk::par {
 
 /// Wrap `inner` so outcome-only consumers (shrink, replay, sweep cells) hit
 /// `cache` on repeated interleavings. `base` carries the non-schedule key
-/// fields (seed, plan, defense); the decision string is filled per run.
+/// fields (program identity, seed, plan, defense); the decision string is
+/// filled per run. Callers sharing one cache across different programs must
+/// set `base.program`, or two programs' identical prefixes will alias.
 ///
 /// Cached hits return the stored outcome *without running the program*: the
 /// controller records no decisions, so callers that read ctl.decisions() or

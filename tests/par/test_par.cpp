@@ -160,6 +160,25 @@ TEST(witness_cache, fields_are_separated_in_the_hash)
     EXPECT_EQ(cache.lookup(b), nullptr);
 }
 
+TEST(witness_cache, program_identity_is_part_of_the_key)
+{
+    // Two programs (CVEs) under the same (seed, plan, decisions, defense)
+    // are different witnesses: a matrix sweep caches every CVE's
+    // default-schedule trial under otherwise identical fields.
+    par::witness_key a{17, "", "", "plain", "CVE-2014-1719"};
+    par::witness_key b = a;
+    b.program = "CVE-2018-5092";
+    EXPECT_FALSE(a == b);
+    EXPECT_NE(par::hash(a), par::hash(b));
+
+    par::result_cache<int> cache;
+    cache.insert(a, 1);
+    EXPECT_EQ(cache.lookup(b), nullptr);
+    cache.insert(b, 2);
+    EXPECT_EQ(*cache.lookup(a), 1);
+    EXPECT_EQ(*cache.lookup(b), 2);
+}
+
 TEST(witness_cache, digest_and_key_hash_are_pinned)
 {
     // FNV-1a goldens: aggregate digests must be comparable across machines.

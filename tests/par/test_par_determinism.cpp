@@ -1,8 +1,9 @@
 // Deterministic-merge suite (ISSUE acceptance): the CVE-matrix and chaos
 // sweeps must emit byte-identical aggregates at --jobs 1, 2 and 8, because
 // every job is a pure function of its index and the merge walks results in
-// canonical job order. Also pins: witness-cached re-sweeps produce the same
-// bytes (with hits), and the wave-parallel DFS is jobs-invariant.
+// canonical job order. Also pins: witness-cached sweeps over >= 2 CVEs match
+// an *uncached* baseline byte-for-byte (the regression for cache keys that
+// omit the program identity), and the wave-parallel DFS is jobs-invariant.
 //
 // Sized for tier-1: a trimmed walk count / cell product. The exhaustive
 // sweeps stay in the `explore`-labelled suites.
@@ -39,24 +40,39 @@ TEST(par_determinism, cve_matrix_bytes_identical_at_jobs_1_2_8)
     EXPECT_EQ(matrix_json_at(8, 2, opt), serial);
 }
 
-TEST(par_determinism, cve_matrix_cached_resweep_same_bytes_with_hits)
+TEST(par_determinism, cve_matrix_cached_resweep_matches_uncached_baseline)
 {
-    par::result_cache<attacks::cve_trial_outcome> cache;
+    // The matrix covers every CVE, so this sweep is the aliasing regression
+    // for the cache key's `program` field: before the key carried the CVE id,
+    // one CVE's walk-0 outcome was recalled for every other CVE under the
+    // same defense. The ground truth is an *uncached* serial run — comparing
+    // two cached sweeps to each other would let identically-corrupted bytes
+    // pass.
     attacks::matrix_options opt;
     opt.explore.seed = 101;
+    const std::string baseline = matrix_json_at(1, 2, opt);
+
+    par::result_cache<attacks::cve_trial_outcome> cache;
     opt.cache = &cache;
-    const std::string first = matrix_json_at(2, 2, opt);
-    // Intra-sweep hits are legitimate (witness replays recall their own
-    // recorded walk), so only pin that entries accumulated.
+    EXPECT_EQ(matrix_json_at(1, 2, opt), baseline);
     const auto cold = cache.snapshot();
     EXPECT_GT(cold.entries, 0u);
+    // Every cold lookup must miss: lookup keys (walk-0 and seeded) are
+    // unique per (cve, defense, walk), and replay keys are insert-only. A
+    // cold hit means two CVEs' trials shared a key — the aliasing this test
+    // exists to catch, even when the recalled outcome happens to have the
+    // same bytes.
+    const std::uint64_t jobs_per_sweep = attacks::cve_ids().size() * 2 * 2;
+    EXPECT_EQ(cold.hits, 0u);
+    EXPECT_EQ(cold.misses, jobs_per_sweep);
 
-    const std::string second = matrix_json_at(8, 2, opt);
-    EXPECT_EQ(second, first);
+    EXPECT_EQ(matrix_json_at(2, 2, opt), baseline);
+    EXPECT_EQ(matrix_json_at(8, 2, opt), baseline);
     const auto warm = cache.snapshot();
-    // The re-sweep recalls instead of re-simulating: hits grow by at least
-    // one per cached entry, and no new entries appear.
-    EXPECT_GE(warm.hits, cold.hits + cold.entries);
+    // The re-sweeps recall instead of re-simulating: every job's single
+    // lookup hits, and no new entries appear.
+    EXPECT_EQ(warm.hits, 2 * jobs_per_sweep);
+    EXPECT_EQ(warm.misses, cold.misses);
     EXPECT_EQ(warm.entries, cold.entries);
 }
 
@@ -73,21 +89,30 @@ TEST(par_determinism, chaos_matrix_bytes_identical_at_jobs_1_2_8)
     EXPECT_EQ(attacks::chaos_matrix_json(run_chaos_matrix(cells, opt)), serial);
 }
 
-TEST(par_determinism, chaos_matrix_cached_resweep_same_bytes_with_hits)
+TEST(par_determinism, chaos_matrix_cached_resweep_matches_uncached_baseline)
 {
-    const auto cells = attacks::default_chaos_cells(/*cves=*/1, /*plans=*/2);
-    par::result_cache<attacks::chaos_cell_result> cache;
+    // >= 2 CVEs is load-bearing: default_chaos_cells gives every cell the
+    // same browser_seed, so before the key carried cell.cve, CVE #2's cells
+    // recalled CVE #1's cached results. The uncached run is the ground truth.
+    const auto cells = attacks::default_chaos_cells(/*cves=*/2, /*plans=*/2);
     attacks::chaos_matrix_options opt;
+    opt.jobs = 1;
+    const std::string baseline = attacks::chaos_matrix_json(run_chaos_matrix(cells, opt));
+
+    par::result_cache<attacks::chaos_cell_result> cache;
     opt.jobs = 2;
     opt.cache = &cache;
     const std::string first = attacks::chaos_matrix_json(run_chaos_matrix(cells, opt));
+    EXPECT_EQ(first, baseline);
     const auto cold = cache.snapshot();
     EXPECT_EQ(cold.entries, cells.size());
+    EXPECT_EQ(cold.hits, 0u);
 
     opt.jobs = 4;
     const std::string second = attacks::chaos_matrix_json(run_chaos_matrix(cells, opt));
-    EXPECT_EQ(second, first);
+    EXPECT_EQ(second, baseline);
     EXPECT_EQ(cache.snapshot().hits, cells.size());
+    EXPECT_EQ(cache.snapshot().entries, cells.size());
 }
 
 TEST(par_determinism, chaos_matrix_merges_per_shard_metrics)
