@@ -3,6 +3,7 @@
 // random-walk sweep and the chaos (CVE x defense x plan) matrix.
 //
 //   bench_parallel [walks] [--jobs N] [--json <dir>] [--strict-speedup]
+//                  [--snapshot on|off]
 //
 // Every timed run is byte-compared against the serial aggregate first —
 // a speedup over output we can't trust is not a speedup, and a mismatch
@@ -14,6 +15,15 @@
 // under --strict-speedup — shared CI runners are a handful of noisy vCPUs,
 // so the bar is tracked through the uploaded artifact there instead of
 // failing unrelated PRs.
+//
+// --snapshot on|off selects whether the sweeps above serve trials from
+// jsk::core world snapshots (on, the default) or build a fresh world per
+// trial — invoking both ways A/Bs the whole pipeline. Independently, a
+// fork-vs-fresh microbench on a page-session world (synthetic sites
+// preloaded to quiescence) records fork_trials_per_sec /
+// fresh_trials_per_sec and their ratio; the >= 5x bar is recorded as
+// `meets_snapshot_target` but never gates the exit code (world assembly
+// cost — and with it the ratio — varies with the host).
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -25,6 +35,7 @@
 #include "attacks/explore_sweep.h"
 #include "bench/bench_util.h"
 #include "par/cache.h"
+#include "core/world.h"
 #include "par/pool.h"
 
 namespace {
@@ -43,6 +54,7 @@ int main(int argc, char** argv)
     std::uint64_t walks = 8;
     std::size_t jobs = jsk::par::default_jobs();
     bool strict_speedup = false;
+    bool snapshots = true;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             jobs = std::strtoull(argv[++i], nullptr, 10);
@@ -50,21 +62,26 @@ int main(int argc, char** argv)
             ++i;  // consumed by json_out_dir
         } else if (std::strcmp(argv[i], "--strict-speedup") == 0) {
             strict_speedup = true;
+        } else if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
+            snapshots = std::strcmp(argv[++i], "off") != 0;
         } else {
             walks = std::strtoull(argv[i], nullptr, 10);
         }
     }
     if (jobs == 0) jobs = jsk::par::default_jobs();
     const std::size_t cores = jsk::par::default_jobs();
+    snapshots = snapshots && jsk::core::arena::supported();
 
     jsk::bench::json_report report("parallel");
     report.set("jobs", static_cast<std::uint64_t>(jobs));
     report.set("cores_detected", static_cast<std::uint64_t>(cores));
     report.set("walks_per_cell", walks);
+    report.set("snapshots", static_cast<std::uint64_t>(snapshots ? 1 : 0));
 
     // --- CVE-matrix sweep ---------------------------------------------------
     jsk::attacks::matrix_options mopt;
     mopt.explore.seed = 101;
+    mopt.snapshots = snapshots;
 
     mopt.jobs = 1;
     auto t0 = clock_type::now();
@@ -103,6 +120,7 @@ int main(int argc, char** argv)
     // --- chaos matrix -------------------------------------------------------
     const auto cells = jsk::attacks::default_chaos_cells(/*cves=*/4, /*plans=*/4);
     jsk::attacks::chaos_matrix_options copt;
+    copt.snapshots = snapshots;
 
     copt.jobs = 1;
     t0 = clock_type::now();
@@ -125,6 +143,52 @@ int main(int argc, char** argv)
     report.set("chaos_speedup", chaos_speedup);
     report.set("chaos_identical", static_cast<std::uint64_t>(chaos_identical ? 1 : 0));
 
+    // --- fork vs fresh on a page-session world ------------------------------
+    // The shape snapshots exist for: a world with preloaded site sessions,
+    // where per-trial assembly dwarfs the trial itself. Fresh = build the
+    // world every trial; fork = seal it once, restore per trial. The trials
+    // are first byte-compared, then timed.
+    double fork_trials_per_sec = 0.0;
+    double fresh_trials_per_sec = 0.0;
+    double snapshot_ratio = 0.0;
+    bool snapshot_identical = true;
+    if (jsk::core::arena::supported()) {
+        jsk::attacks::cve_trial_spec spec;
+        spec.cve = jsk::attacks::cve_ids().front();
+        spec.site_ranks = {0, 1, 2, 3};
+        const jsk::attacks::cve_walk_spec walk;
+        constexpr int k_trials = 64;
+
+        auto snap = jsk::core::snapshot_world(jsk::attacks::cve_world_recipe(spec));
+        const auto fresh_out = jsk::attacks::run_cve_trial_fresh(spec, walk);
+        const auto fork_out = jsk::attacks::run_cve_trial_forked(*snap, spec, walk);
+        snapshot_identical = fork_out.triggered == fresh_out.triggered &&
+                             fork_out.decisions == fresh_out.decisions;
+
+        t0 = clock_type::now();
+        for (int i = 0; i < k_trials; ++i) {
+            (void)jsk::attacks::run_cve_trial_fresh(spec, walk);
+        }
+        const double fresh_ms = ms_since(t0);
+        t0 = clock_type::now();
+        for (int i = 0; i < k_trials; ++i) {
+            (void)jsk::attacks::run_cve_trial_forked(*snap, spec, walk);
+        }
+        const double fork_ms = ms_since(t0);
+
+        fresh_trials_per_sec = fresh_ms > 0.0 ? k_trials * 1000.0 / fresh_ms : 0.0;
+        fork_trials_per_sec = fork_ms > 0.0 ? k_trials * 1000.0 / fork_ms : 0.0;
+        snapshot_ratio = fork_ms > 0.0 ? fresh_ms / fork_ms : 0.0;
+    }
+    const bool meets_snapshot = !jsk::core::arena::supported() || snapshot_ratio >= 5.0;
+    report.set("fork_trials_per_sec", fork_trials_per_sec);
+    report.set("fresh_trials_per_sec", fresh_trials_per_sec);
+    report.set("snapshot_ratio", snapshot_ratio);
+    report.set("snapshot_identical",
+               static_cast<std::uint64_t>(snapshot_identical ? 1 : 0));
+    report.set("meets_snapshot_target",
+               static_cast<std::uint64_t>(meets_snapshot ? 1 : 0));
+
     // Acceptance: >= 3x on >= 4 cores (on the bigger of the two sweeps). On
     // fewer cores there is nothing to assert — record the bar as met so the
     // artifact diff stays quiet on small machines.
@@ -145,9 +209,19 @@ int main(int argc, char** argv)
                            jsk::bench::fmt(chaos_parallel_ms),
                            jsk::bench::fmt(chaos_speedup),
                            chaos_identical ? "yes" : "NO"});
-    std::printf("jobs=%zu cores=%zu cache: %llu hits / %llu misses\n", jobs, cores,
+    std::printf("jobs=%zu cores=%zu snapshots=%s cache: %llu hits / %llu misses\n",
+                jobs, cores, snapshots ? "on" : "off",
                 static_cast<unsigned long long>(cache_stats.hits),
                 static_cast<unsigned long long>(cache_stats.misses));
+    if (jsk::core::arena::supported()) {
+        std::printf("fork vs fresh (page-session world): %.0f vs %.0f trials/s "
+                    "(%.1fx, target >=5x %s, identical %s)\n",
+                    fork_trials_per_sec, fresh_trials_per_sec, snapshot_ratio,
+                    meets_snapshot ? "met" : "MISSED",
+                    snapshot_identical ? "yes" : "NO");
+    } else {
+        std::printf("fork vs fresh: n/a (no arena support)\n");
+    }
     if (cores >= 4 && jobs >= 4) {
         std::printf("speedup target (>=3x on >=4 cores): %s (best %.2fx)\n",
                     meets ? "met" : "MISSED", best_speedup);
@@ -157,6 +231,7 @@ int main(int argc, char** argv)
 
     report.write(jsk::bench::json_out_dir(argc, argv));
 
-    const bool sound = matrix_identical && cached_identical && chaos_identical;
+    const bool sound = matrix_identical && cached_identical && chaos_identical &&
+                       snapshot_identical;
     return sound && (meets || !strict_speedup) ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include "obs/collect.h"
 #include "obs/trace.h"
 #include "par/sweep.h"
+#include "par/worker_local.h"
 #include "runtime/browser.h"
 #include "runtime/vuln.h"
 #include "workloads/random_program.h"
@@ -35,73 +36,121 @@ void sum_kernel_tree(kernel::kernel& k, chaos_trial_result& r)
     for (const auto& child : k.children()) sum_kernel_tree(*child, r);
 }
 
-/// The shared trial body: assemble the world, run `drive`, harvest oracles.
+/// Per-trial state the harvest still needs after the run: the injector (a
+/// raw pointer — arena-owned on the forked path, deleted by the fresh path)
+/// and the observation log (held as a shared_ptr so it survives until
+/// harvest even when every task closure that co-owned it has run and
+/// released its copy). On the forked path both land in the arena; a fork's
+/// trial_refs must therefore be destroyed before the fork restores.
+struct trial_refs {
+    faults::injector* inj = nullptr;
+    std::shared_ptr<workloads::observation_log> log;
+};
+
+/// The mutation half of a chaos trial, shared verbatim by the fresh and the
+/// forked paths: attach the injector, install the program, run to the
+/// deadline (relative to now() — zero on bare worlds, matching the
+/// historical absolute deadline). The exploit pointer is resolved by the
+/// caller, outside any arena scope.
+trial_refs drive_chaos_trial(core::world& w, cve_exploit_fn exploit,
+                             std::uint64_t program_seed, bool random_program,
+                             const faults::plan& p, const chaos_options& opt)
+{
+    trial_refs refs;
+    refs.inj = new faults::injector(p);
+    w.browser.set_fault_injector(refs.inj);
+    if (random_program) {
+        refs.log = std::make_shared<workloads::observation_log>();
+        workloads::install_random_program(w.browser, program_seed, refs.log);
+    } else {
+        exploit(w.browser);
+    }
+    w.browser.run_until(w.browser.sim().now() + opt.deadline, opt.task_cap);
+    return refs;
+}
+
+/// The harvest half: everything here allocates into the caller's heap, so
+/// forked callers run it with the arena scope off (world bytes still live).
+chaos_trial_result harvest_chaos_trial(core::world& w, const trial_refs& refs,
+                                       const std::string& cve_id,
+                                       bool random_program, const chaos_options& opt)
+{
+    chaos_trial_result r;
+    r.tasks_executed = w.browser.sim().tasks_executed();
+    r.hit_task_cap = r.tasks_executed >= opt.task_cap;
+    r.faults_injected = refs.inj->injected();
+    if (!random_program) {
+        const rt::cve_monitor* monitor = w.vulns.find(cve_id);
+        r.triggered = monitor != nullptr && monitor->triggered();
+    }
+    if (w.kern) {
+        sum_kernel_tree(*w.kern, r);
+        r.journal_json = w.kern->dispatch_journal().to_json();
+    }
+    r.trace_json = obs::to_chrome_trace(w.sink);
+    if (random_program) r.observations = refs.log->str();
+
+    // Per-trial (= per-shard) metrics: collected here, into this trial's own
+    // registry, while the world is still alive. Sweeps fold these after the
+    // parallel join; nothing obs-shaped is ever shared across jobs. Fork
+    // telemetry (obs::collect_core) deliberately never lands here — these
+    // registries feed the byte-compared matrix JSON.
+    obs::collect_sim(r.metrics, w.browser.sim());
+    if (w.kern) obs::collect_kernel(r.metrics, *w.kern);
+    obs::collect_vulns(r.metrics, w.vulns);
+    obs::collect_faults(r.metrics, *refs.inj);
+    return r;
+}
+
 chaos_trial_result run_trial(const std::string& cve_id, std::uint64_t program_seed,
                              bool random_program, bool with_jskernel,
                              const faults::plan& p, std::uint64_t browser_seed,
                              const chaos_options& opt)
 {
-    rt::browser b(rt::chrome_profile(), browser_seed);
-    rt::vuln_registry vulns(b.bus());
-
-    obs::sink sink;
-    b.sim().set_trace_sink(&sink);
-    obs::wire_runtime(sink, b);
-    vulns.set_trace_sink(&sink);
-
-    faults::injector inj(p);
-    b.set_fault_injector(&inj);
-
-    std::unique_ptr<kernel::kernel> kern;
-    if (with_jskernel) {
-        kernel::kernel_options ko;
-        ko.watchdog_budget_ms = opt.watchdog_budget_ms;
-        kern = kernel::kernel::boot(b, ko);
-        if (opt.fetch_retry_attempts > 0) {
-            kern->add_policy(kernel::make_policy_fetch_retry(
-                opt.fetch_retry_attempts, opt.fetch_retry_base_ms));
-        }
-    }
-
-    auto log = std::make_shared<workloads::observation_log>();
-    if (random_program) {
-        workloads::install_random_program(b, program_seed, log);
-    } else {
-        find_exploit(cve_id)(b);
-    }
-    b.run_until(opt.deadline, opt.task_cap);
-
-    chaos_trial_result r;
-    r.tasks_executed = b.sim().tasks_executed();
-    r.hit_task_cap = r.tasks_executed >= opt.task_cap;
-    r.faults_injected = inj.injected();
-    if (!random_program) {
-        const rt::cve_monitor* monitor = vulns.find(cve_id);
-        r.triggered = monitor != nullptr && monitor->triggered();
-    }
-    if (kern) {
-        sum_kernel_tree(*kern, r);
-        r.journal_json = kern->dispatch_journal().to_json();
-    }
-    r.trace_json = obs::to_chrome_trace(sink);
-    if (random_program) r.observations = log->str();
-
-    // Per-trial (= per-shard) metrics: collected here, into this trial's own
-    // registry, while the world is still alive. Sweeps fold these after the
-    // parallel join; nothing obs-shaped is ever shared across jobs.
-    obs::collect_sim(r.metrics, b.sim());
-    if (kern) obs::collect_kernel(r.metrics, *kern);
-    obs::collect_vulns(r.metrics, vulns);
-    obs::collect_faults(r.metrics, inj);
-
-    // The sink dies with this frame; detach before the browser's teardown
-    // tasks could touch it.
-    b.sim().set_trace_sink(nullptr);
-    vulns.set_trace_sink(nullptr);
+    const cve_exploit_fn exploit = random_program ? nullptr : find_exploit(cve_id);
+    core::world w(chaos_world_recipe(with_jskernel, browser_seed, opt));
+    const trial_refs refs = drive_chaos_trial(w, exploit, program_seed,
+                                              random_program, p, opt);
+    chaos_trial_result r = harvest_chaos_trial(w, refs, cve_id, random_program, opt);
+    delete refs.inj;
     return r;
 }
 
+chaos_trial_result run_trial_forked(core::world_snapshot& snap,
+                                    const std::string& cve_id,
+                                    std::uint64_t program_seed, bool random_program,
+                                    const faults::plan& p, const chaos_options& opt,
+                                    core::fork_stats* stats)
+{
+    // Resolve everything that lazily initializes process state before the
+    // arena scope opens: the exploit table and the fault-plan field table
+    // are function-local statics whose first-touch must not be rolled back.
+    const cve_exploit_fn exploit = random_program ? nullptr : find_exploit(cve_id);
+    (void)p.str();
+
+    core::fork fk(snap, stats);
+    core::world& w = core::snapshot_anchor(snap);
+    trial_refs refs;
+    fk.step([&] {
+        refs = drive_chaos_trial(w, exploit, program_seed, random_program, p, opt);
+    });
+    return harvest_chaos_trial(w, refs, cve_id, random_program, opt);
+}
+
 }  // namespace
+
+core::world_recipe chaos_world_recipe(bool with_jskernel, std::uint64_t browser_seed,
+                                      const chaos_options& opt)
+{
+    core::world_recipe recipe;
+    recipe.browser_seed = browser_seed;
+    recipe.with_trace = true;
+    recipe.boot_kernel = with_jskernel;
+    recipe.watchdog_budget_ms = opt.watchdog_budget_ms;
+    recipe.fetch_retry_attempts = opt.fetch_retry_attempts;
+    recipe.fetch_retry_base_ms = opt.fetch_retry_base_ms;
+    return recipe;
+}
 
 chaos_trial_result run_chaos_trial(const std::string& cve_id, bool with_jskernel,
                                    const faults::plan& p, std::uint64_t browser_seed,
@@ -117,6 +166,25 @@ chaos_trial_result run_chaos_program(std::uint64_t program_seed, bool with_jsker
 {
     return run_trial({}, program_seed, /*random_program=*/true, with_jskernel, p,
                      browser_seed, opt);
+}
+
+chaos_trial_result run_chaos_trial_forked(core::world_snapshot& snap,
+                                          const std::string& cve_id,
+                                          const faults::plan& p,
+                                          const chaos_options& opt,
+                                          core::fork_stats* stats)
+{
+    return run_trial_forked(snap, cve_id, 0, /*random_program=*/false, p, opt, stats);
+}
+
+chaos_trial_result run_chaos_program_forked(core::world_snapshot& snap,
+                                            std::uint64_t program_seed,
+                                            const faults::plan& p,
+                                            const chaos_options& opt,
+                                            core::fork_stats* stats)
+{
+    return run_trial_forked(snap, {}, program_seed, /*random_program=*/true, p, opt,
+                            stats);
 }
 
 // --- sharded chaos matrix ---------------------------------------------------
@@ -145,8 +213,13 @@ std::vector<chaos_cell> default_chaos_cells(std::size_t cves, std::size_t plans)
 chaos_matrix_result run_chaos_matrix(const std::vector<chaos_cell>& cells,
                                      const chaos_matrix_options& opt)
 {
+    const bool use_snapshots = opt.snapshots && core::arena::supported();
+    const std::size_t workers = opt.jobs == 0 ? par::default_jobs() : opt.jobs;
+    par::worker_local<core::snapshot_cache> snaps(workers);
+    par::worker_local<core::fork_stats> fork_stats(workers);
+
     const auto run_cell = [&](std::size_t job,
-                              const par::worker_context&) -> chaos_cell_result {
+                              const par::worker_context& ctx) -> chaos_cell_result {
         const chaos_cell& cell = cells[job];
         par::witness_key key;
         if (opt.cache != nullptr) {
@@ -157,8 +230,18 @@ chaos_matrix_result run_chaos_matrix(const std::vector<chaos_cell>& cells,
             if (const auto hit = opt.cache->lookup(key)) return *hit;
         }
 
-        const chaos_trial_result trial = run_chaos_trial(
-            cell.cve, cell.with_jskernel, cell.fault_plan, cell.browser_seed, opt.trial);
+        chaos_trial_result trial;
+        if (use_snapshots) {
+            core::fork_stats& st = fork_stats.get(ctx.worker_id);
+            core::world_snapshot& snap = snaps.get(ctx.worker_id)
+                .get(chaos_world_recipe(cell.with_jskernel, cell.browser_seed, opt.trial),
+                     &st);
+            trial = run_chaos_trial_forked(snap, cell.cve, cell.fault_plan, opt.trial,
+                                           &st);
+        } else {
+            trial = run_chaos_trial(cell.cve, cell.with_jskernel, cell.fault_plan,
+                                    cell.browser_seed, opt.trial);
+        }
         chaos_cell_result r;
         r.triggered = trial.triggered;
         r.hit_task_cap = trial.hit_task_cap;
@@ -178,6 +261,9 @@ chaos_matrix_result run_chaos_matrix(const std::vector<chaos_cell>& cells,
     chaos_matrix_result m;
     m.cells = cells;
     m.results = par::sweep<chaos_cell_result>(cells.size(), run_cell, sopt);
+    if (opt.fork_stats != nullptr) {
+        fork_stats.for_each([&](const core::fork_stats& st) { opt.fork_stats->merge(st); });
+    }
     // Canonical-order fold of the per-shard registries.
     for (const auto& r : m.results) m.merged_metrics.merge(r.metrics);
     return m;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/world.h"
 #include "faults/plan.h"
 #include "obs/metrics.h"
 #include "par/cache.h"
@@ -74,6 +75,30 @@ chaos_trial_result run_chaos_program(std::uint64_t program_seed, bool with_jsker
                                      std::uint64_t browser_seed = 17,
                                      const chaos_options& opt = {});
 
+/// The snapshot recipe a chaos trial's world forks from: browser + monitors
+/// + wired trace sink (+ booted kernel with the retry policy when
+/// `with_jskernel`). The injector and the program are per-fork — they carry
+/// the trial's witness, not the world's.
+core::world_recipe chaos_world_recipe(bool with_jskernel, std::uint64_t browser_seed,
+                                      const chaos_options& opt);
+
+/// run_chaos_trial against a fork of a sealed chaos_world_recipe snapshot
+/// (same with_jskernel/browser_seed/options as the recipe). Must be
+/// byte-indistinguishable — journal, trace, metrics, outcome — from the
+/// fresh run; tests/sim/test_snapshot_fork.cpp enforces it.
+chaos_trial_result run_chaos_trial_forked(core::world_snapshot& snap,
+                                          const std::string& cve_id,
+                                          const faults::plan& p,
+                                          const chaos_options& opt = {},
+                                          core::fork_stats* stats = nullptr);
+
+/// run_chaos_program against a fork (see run_chaos_trial_forked).
+chaos_trial_result run_chaos_program_forked(core::world_snapshot& snap,
+                                            std::uint64_t program_seed,
+                                            const faults::plan& p,
+                                            const chaos_options& opt = {},
+                                            core::fork_stats* stats = nullptr);
+
 // --- sharded chaos matrix (jsk::par) ---------------------------------------
 
 /// One cell of the (CVE x defense x plan) product.
@@ -111,6 +136,14 @@ struct chaos_matrix_options {
     /// Optional witness-keyed cache (key: browser seed + plan string +
     /// defense id): repeated sweeps recall finished cells.
     par::result_cache<chaos_cell_result>* cache = nullptr;
+    /// Serve cells from per-worker world snapshots (one per defense shape)
+    /// instead of assembling a world per cell. Byte-identical output either
+    /// way; throughput knob only. Ignored without arena support.
+    bool snapshots = true;
+    /// Optional fork/restore telemetry (merged over workers after the
+    /// join). Never folded into merged_metrics — those are part of the
+    /// byte-compared matrix JSON, and fork counts depend on claim order.
+    core::fork_stats* fork_stats = nullptr;
 };
 
 /// The canonical cell product the sweep and the determinism suite share:

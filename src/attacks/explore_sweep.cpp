@@ -7,6 +7,7 @@
 #include "defenses/defense.h"
 #include "kernel/json.h"
 #include "par/sweep.h"
+#include "par/worker_local.h"
 #include "runtime/vuln.h"
 #include "sim/rng.h"
 
@@ -22,6 +23,39 @@ cve_exploit_fn find_exploit(const std::string& cve_id)
     throw std::invalid_argument("unknown CVE id: " + cve_id);
 }
 
+/// The one trial body both the fresh and the forked paths share, so the
+/// differential guarantee is structural: attach the controller, install the
+/// defense, run the exploit, read the monitor. The exploit is resolved by
+/// the caller (outside any arena scope — the exploit table is a function-
+/// local static whose first initialization must not land in a fork).
+/// Deadlines are relative to sim().now(): zero for bare worlds (identical
+/// to the historical absolute 60 s), nonzero after site preloads.
+bool drive_cve_trial(core::world& w, const cve_exploit_fn& exploit,
+                     const std::string& cve_id,
+                     const std::optional<defenses::defense_id>& defense,
+                     std::uint64_t browser_seed, sim::explore::controller& ctl)
+{
+    // Attach before the defense installs so every task — including kernel
+    // bookkeeping — runs under the controlled schedule.
+    ctl.attach(w.browser.sim());
+    std::unique_ptr<defenses::defense> def;
+    if (defense) {
+        def = defenses::make_defense(*defense, browser_seed);
+        def->install(w.browser);
+    }
+    exploit(w.browser);
+    w.browser.run_until(w.browser.sim().now() + 60 * sim::sec);
+    const rt::cve_monitor* monitor = w.vulns.find(cve_id);
+    return monitor != nullptr && monitor->triggered();
+}
+
+std::string harvested_decisions(const sim::explore::controller& ctl)
+{
+    sim::explore::schedule recorded = ctl.decisions();
+    recorded.trim();
+    return recorded.str();
+}
+
 }  // namespace
 
 std::vector<std::string> cve_ids()
@@ -31,24 +65,65 @@ std::vector<std::string> cve_ids()
     return out;
 }
 
+core::world_recipe cve_world_recipe(const cve_trial_spec& spec)
+{
+    core::world_recipe recipe;
+    recipe.browser_seed = spec.browser_seed;
+    recipe.site_ranks = spec.site_ranks;
+    recipe.site_seed = spec.site_seed;
+    return recipe;
+}
+
 bool run_cve_trial(const std::string& cve_id, bool with_jskernel,
                    sim::explore::controller& ctl, std::uint64_t browser_seed)
 {
     const cve_exploit_fn exploit = find_exploit(cve_id);
-    rt::browser b(rt::chrome_profile(), browser_seed);
-    rt::vuln_registry vulns(b.bus());
-    // Attach before the defense installs so every task — including kernel
-    // bookkeeping — runs under the controlled schedule.
-    ctl.attach(b.sim());
-    std::unique_ptr<defenses::defense> def;
-    if (with_jskernel) {
-        def = defenses::make_defense(defenses::defense_id::jskernel, browser_seed);
-        def->install(b);
-    }
-    exploit(b);
-    b.run_until(60 * sim::sec);
-    const rt::cve_monitor* monitor = vulns.find(cve_id);
-    return monitor != nullptr && monitor->triggered();
+    core::world_recipe recipe;
+    recipe.browser_seed = browser_seed;
+    core::world w(recipe);
+    const std::optional<defenses::defense_id> defense =
+        with_jskernel ? std::optional(defenses::defense_id::jskernel) : std::nullopt;
+    return drive_cve_trial(w, exploit, cve_id, defense, browser_seed, ctl);
+}
+
+cve_trial_outcome run_cve_trial_fresh(const cve_trial_spec& spec,
+                                      const cve_walk_spec& walk)
+{
+    const cve_exploit_fn exploit = find_exploit(spec.cve);
+    core::world w(cve_world_recipe(spec));
+    sim::explore::controller ctl(walk.prefix, walk.tail, walk.walk_seed);
+    ctl.set_window(walk.window);
+    cve_trial_outcome out;
+    out.triggered = drive_cve_trial(w, exploit, spec.cve, spec.defense,
+                                    spec.browser_seed, ctl);
+    out.decisions = harvested_decisions(ctl);
+    return out;
+}
+
+cve_trial_outcome run_cve_trial_forked(core::world_snapshot& snap,
+                                       const cve_trial_spec& spec,
+                                       const cve_walk_spec& walk,
+                                       core::fork_stats* stats)
+{
+    const cve_exploit_fn exploit = find_exploit(spec.cve);  // before any scope
+    cve_trial_outcome out;
+    core::fork fk(snap, stats);
+    core::world& w = core::snapshot_anchor(snap);
+    sim::explore::controller* ctl = nullptr;
+    bool triggered = false;
+    fk.step([&] {
+        // The controller is a per-trial object: built in the arena, gone
+        // with the restore, never destructed (kernel-style teardown).
+        ctl = new sim::explore::controller(walk.prefix, walk.tail, walk.walk_seed);
+        ctl->set_window(walk.window);
+        triggered = drive_cve_trial(w, exploit, spec.cve, spec.defense,
+                                    spec.browser_seed, *ctl);
+    });
+    // Harvest with the scope off (allocations go to the caller's heap) but
+    // before ~fork restores (the controller's arena storage is still live).
+    out.triggered = triggered;
+    out.decisions = harvested_decisions(*ctl);
+    return out;
 }
 
 sim::explore::program cve_trigger_program(std::string cve_id, bool with_jskernel,
@@ -58,6 +133,60 @@ sim::explore::program cve_trigger_program(std::string cve_id, bool with_jskernel
             browser_seed](sim::explore::controller& ctl) {
         sim::explore::run_outcome out;
         out.violated = run_cve_trial(cve_id, with_jskernel, ctl, browser_seed);
+        if (out.violated) out.detail = cve_id + " triggered";
+        return out;
+    };
+}
+
+namespace {
+
+/// Snapshot store for cve_trigger_program_snap: thread-local because
+/// explore drivers (and par::explore_dfs's wave workers) call the program
+/// from arbitrary pool threads, and worlds are thread-confined.
+thread_local core::snapshot_cache tl_program_snaps;
+
+/// How many decisions an external controller's buffers are pre-sized for.
+/// CVE trial decision strings are far shorter; the margin keeps recording
+/// allocation-free inside the fork (growth there would be rolled back with
+/// the world — run_snapshot_program verifies and fails loudly).
+constexpr std::size_t k_reserve_decisions = 1 << 16;
+
+}  // namespace
+
+sim::explore::program cve_trigger_program_snap(std::string cve_id, bool with_jskernel,
+                                               std::uint64_t browser_seed)
+{
+    return [cve_id = std::move(cve_id), with_jskernel,
+            browser_seed](sim::explore::controller& ctl) {
+        sim::explore::run_outcome out;
+        if (ctl.records_metadata() || !core::arena::supported()) {
+            out.violated = run_cve_trial(cve_id, with_jskernel, ctl, browser_seed);
+            if (out.violated) out.detail = cve_id + " triggered";
+            return out;
+        }
+        const cve_exploit_fn exploit = find_exploit(cve_id);
+        cve_trial_spec spec;
+        spec.cve = cve_id;
+        if (with_jskernel) spec.defense = defenses::defense_id::jskernel;
+        spec.browser_seed = browser_seed;
+        core::world_snapshot& snap = tl_program_snaps.get(cve_world_recipe(spec));
+        ctl.reserve(k_reserve_decisions);
+        bool triggered = false;
+        {
+            core::fork fk(snap);
+            core::world& w = core::snapshot_anchor(snap);
+            fk.step([&] {
+                triggered = drive_cve_trial(w, exploit, cve_id, spec.defense,
+                                            browser_seed, ctl);
+            });
+            if (core::arena::contains(ctl.decisions().choices.data()) ||
+                core::arena::contains(ctl.trace().data())) {
+                throw std::runtime_error(
+                    "cve_trigger_program_snap: controller recording outgrew its "
+                    "reservation inside a fork — raise the reserve");
+            }
+        }
+        out.violated = triggered;
         if (out.violated) out.detail = cve_id + " triggered";
         return out;
     };
@@ -73,8 +202,13 @@ std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
     // makes every aggregate independent of worker scheduling.
     const std::size_t job_count = ids.size() * 2 * static_cast<std::size_t>(walks);
 
+    const bool use_snapshots = opt.snapshots && core::arena::supported();
+    const std::size_t workers = opt.jobs == 0 ? par::default_jobs() : opt.jobs;
+    par::worker_local<core::snapshot_cache> snaps(workers);
+    par::worker_local<core::fork_stats> fork_stats(workers);
+
     const auto run_job = [&](std::size_t job,
-                             const par::worker_context&) -> cve_trial_outcome {
+                             const par::worker_context& ctx) -> cve_trial_outcome {
         const std::uint64_t walk = job % walks;
         const std::size_t cell = job / walks;
         const bool with_kernel = cell % 2 == 1;
@@ -95,17 +229,27 @@ std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
             if (const auto hit = opt.cache->lookup(key)) return *hit;
         }
 
-        sim::explore::controller ctl(
-            {},
-            walk == 0 ? sim::explore::controller::tail_policy::first
-                      : sim::explore::controller::tail_policy::random,
-            walk_seed);
-        ctl.set_window(opt.explore.window);
+        cve_trial_spec spec;
+        spec.cve = id;
+        if (with_kernel) spec.defense = defenses::defense_id::jskernel;
+        spec.browser_seed = opt.browser_seed;
+        spec.site_ranks = opt.site_ranks;
+        spec.site_seed = opt.site_seed;
+        cve_walk_spec wspec;
+        wspec.tail = walk == 0 ? sim::explore::controller::tail_policy::first
+                               : sim::explore::controller::tail_policy::random;
+        wspec.walk_seed = walk_seed;
+        wspec.window = opt.explore.window;
+
         cve_trial_outcome out;
-        out.triggered = run_cve_trial(id, with_kernel, ctl, opt.browser_seed);
-        auto recorded = ctl.decisions();
-        recorded.trim();
-        out.decisions = recorded.str();
+        if (use_snapshots) {
+            core::fork_stats& st = fork_stats.get(ctx.worker_id);
+            core::world_snapshot& snap =
+                snaps.get(ctx.worker_id).get(cve_world_recipe(spec), &st);
+            out = run_cve_trial_forked(snap, spec, wspec, &st);
+        } else {
+            out = run_cve_trial_fresh(spec, wspec);
+        }
         if (opt.cache != nullptr) {
             opt.cache->insert(key, out);
             // Also file the replayable witness itself, so a tail-first
@@ -123,6 +267,10 @@ std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
     par::sweep_options sopt;
     sopt.jobs = opt.jobs;
     const auto outcomes = par::sweep<cve_trial_outcome>(job_count, run_job, sopt);
+
+    if (opt.fork_stats != nullptr) {
+        fork_stats.for_each([&](const core::fork_stats& st) { opt.fork_stats->merge(st); });
+    }
 
     // Deterministic merge, canonical job order.
     std::vector<cve_schedule_row> rows;

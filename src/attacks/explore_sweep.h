@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "core/world.h"
+#include "defenses/defense.h"
 #include "par/cache.h"
 #include "sim/explore.h"
 
@@ -25,6 +27,59 @@ std::vector<std::string> cve_ids();
 /// Returns whether `cve_id`'s state machine fired. Throws on unknown ids.
 bool run_cve_trial(const std::string& cve_id, bool with_jskernel,
                    sim::explore::controller& ctl, std::uint64_t browser_seed = 17);
+
+/// One matrix cell-walk outcome — the unit the sweep shards and the witness
+/// cache stores. `decisions` is the recorded (trimmed) schedule, replayable
+/// under a tail-first controller.
+struct cve_trial_outcome {
+    bool triggered = false;
+    std::string decisions;
+};
+
+/// World shape of one matrix trial: which exploit, against which defense,
+/// in which browser world — optionally one with synthetic page sessions
+/// preloaded to quiescence (the paper's Alexa-style site worlds, and the
+/// state a snapshot amortizes across trials).
+struct cve_trial_spec {
+    std::string cve;
+    /// Defense installed per trial (after the controller attaches); nullopt
+    /// is the "plain" column — no defense at all.
+    std::optional<defenses::defense_id> defense;
+    std::uint64_t browser_seed = 17;
+    std::vector<std::uint64_t> site_ranks;
+    std::uint64_t site_seed = 101;
+};
+
+/// Schedule-drive shape of one trial: the controller run_cve_trial_fresh /
+/// run_cve_trial_forked construct internally. (Forked trials must own their
+/// controller — an external one would record into storage that the fork's
+/// restore rolls back.)
+struct cve_walk_spec {
+    sim::explore::schedule prefix;  // replay prefix ({} = tail policy only)
+    sim::explore::controller::tail_policy tail =
+        sim::explore::controller::tail_policy::first;
+    std::uint64_t walk_seed = 0;
+    sim::time_ns window = 0;
+};
+
+/// The snapshot recipe a spec's world forks from: seed + page sessions.
+/// Defense install is *not* part of the recipe — it happens per fork, after
+/// the controller attaches, exactly as on the fresh path — so one snapshot
+/// serves every (CVE x defense) cell of a matrix.
+core::world_recipe cve_world_recipe(const cve_trial_spec& spec);
+
+/// One trial in a from-scratch world (the differential baseline).
+cve_trial_outcome run_cve_trial_fresh(const cve_trial_spec& spec,
+                                      const cve_walk_spec& walk);
+
+/// The same trial forked from a sealed snapshot of cve_world_recipe(spec):
+/// attach controller, install defense, run exploit, harvest, restore. Must
+/// be byte-indistinguishable from run_cve_trial_fresh — enforced by
+/// tests/sim/test_snapshot_fork.cpp.
+cve_trial_outcome run_cve_trial_forked(core::world_snapshot& snap,
+                                       const cve_trial_spec& spec,
+                                       const cve_walk_spec& walk,
+                                       core::fork_stats* stats = nullptr);
 
 /// An explore::program wrapping run_cve_trial whose "violation" is the CVE
 /// firing — explore_random/explore_dfs/shrink then search for (or minimize)
@@ -41,14 +96,6 @@ struct cve_schedule_row {
     std::optional<sim::explore::schedule> witness;  // a triggering plain schedule
 };
 
-/// One matrix cell-walk outcome — the unit the sweep shards and the witness
-/// cache stores. `decisions` is the recorded (trimmed) schedule, replayable
-/// under a tail-first controller.
-struct cve_trial_outcome {
-    bool triggered = false;
-    std::string decisions;
-};
-
 struct matrix_options {
     sim::explore::options explore;  // window + walk-seed root
     std::size_t jobs = 1;           // worker count; 0 = par::default_jobs()
@@ -57,7 +104,28 @@ struct matrix_options {
     /// pure functions of their witness).
     par::result_cache<cve_trial_outcome>* cache = nullptr;
     std::uint64_t browser_seed = 17;
+    /// Serve trials from per-worker world snapshots (fork + restore)
+    /// instead of building a browser per trial. Output is byte-identical
+    /// either way — the differential suites enforce it — so this is purely
+    /// a throughput knob. Ignored when the platform has no arena support.
+    bool snapshots = true;
+    /// Page sessions preloaded into every trial world (and its snapshot).
+    std::vector<std::uint64_t> site_ranks;
+    std::uint64_t site_seed = 101;
+    /// Optional fork/restore telemetry sink (merged over workers after the
+    /// join). Telemetry only: counts depend on worker claim order, so they
+    /// never enter the matrix JSON.
+    core::fork_stats* fork_stats = nullptr;
 };
+
+/// Snapshot-backed sibling of cve_trigger_program: same witness contract,
+/// but each run forks a thread-local sealed snapshot instead of building a
+/// browser. Falls back to a fresh world when the controller records DPOR
+/// metadata (node-based storage cannot be pre-reserved) or the platform has
+/// no arena support — so it is safe to hand to any explore driver,
+/// including par::explore_dfs's wave workers.
+sim::explore::program cve_trigger_program_snap(std::string cve_id, bool with_jskernel,
+                                               std::uint64_t browser_seed = 17);
 
 /// Random-walk schedule sweep over every CVE row, plain and under JSKernel,
 /// sharded over (CVE x defense x walk) on the jsk::par driver and merged in

@@ -1,0 +1,414 @@
+#include "core/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define JSK_CORE_HAVE_MMAP 1
+#include <signal.h>
+#include <sys/mman.h>
+#endif
+
+// Sanitizers install their own SIGSEGV handling and shadow memory; the
+// mprotect/fault COW path is incompatible with both, so it self-disables and
+// snapshots fall back to scan restore.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define JSK_CORE_SANITIZED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define JSK_CORE_SANITIZED 1
+#endif
+#endif
+
+namespace jsk::core {
+
+namespace {
+
+constexpr std::size_t k_total_bytes = arena::chunk_bytes * arena::max_arenas;
+
+// Reservation state. All zero-initialized (no dynamic initializers), so the
+// replaced operator new/delete below are safe from the very first
+// static-initialization allocation: contains() reads a zero base and says
+// "not ours" until the first arena exists.
+std::atomic<std::uintptr_t> g_reservation_base{0};
+std::atomic<arena*> g_chunk_owner[arena::max_arenas];
+bool g_chunk_leased[arena::max_arenas];
+std::mutex g_lease_mu;
+std::once_flag g_reserve_once;
+std::once_flag g_segv_once;
+std::once_flag g_prewarm_once;
+bool g_reserve_failed = false;
+
+// The thread's active arena (scope guard). Plain pointer: zero-initialized,
+// no TLS destructor.
+thread_local arena* tl_current = nullptr;
+
+void reserve_address_space()
+{
+#ifdef JSK_CORE_HAVE_MMAP
+    void* p = ::mmap(nullptr, k_total_bytes, PROT_NONE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (p == MAP_FAILED) {
+        g_reserve_failed = true;
+        return;
+    }
+    g_reservation_base.store(reinterpret_cast<std::uintptr_t>(p),
+                             std::memory_order_release);
+#else
+    g_reserve_failed = true;
+#endif
+}
+
+bool reservation_ready()
+{
+    std::call_once(g_reserve_once, reserve_address_space);
+    return !g_reserve_failed;
+}
+
+#ifdef JSK_CORE_HAVE_MMAP
+struct sigaction g_prev_segv;
+
+void segv_handler(int sig, siginfo_t* info, void* ucontext)
+{
+    const std::uintptr_t base = g_reservation_base.load(std::memory_order_relaxed);
+    const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
+    if (base != 0 && addr - base < k_total_bytes) {
+        const std::size_t chunk = (addr - base) / arena::chunk_bytes;
+        arena* a = g_chunk_owner[chunk].load(std::memory_order_acquire);
+        if (a != nullptr && a->cow_fault(info->si_addr)) return;
+    }
+    // Not a tracked arena write: chain to whoever was installed before us
+    // (sanitizer runtimes, crash reporters), else re-raise with the default
+    // disposition so the process still dies loudly on real segfaults.
+    if ((g_prev_segv.sa_flags & SA_SIGINFO) != 0 && g_prev_segv.sa_sigaction != nullptr) {
+        g_prev_segv.sa_sigaction(sig, info, ucontext);
+        return;
+    }
+    if ((g_prev_segv.sa_flags & SA_SIGINFO) == 0 && g_prev_segv.sa_handler != SIG_DFL &&
+        g_prev_segv.sa_handler != SIG_IGN) {
+        g_prev_segv.sa_handler(sig);
+        return;
+    }
+    ::signal(SIGSEGV, SIG_DFL);
+    ::raise(SIGSEGV);
+}
+
+void install_segv_handler()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = segv_handler;
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGSEGV, &sa, &g_prev_segv);
+}
+#endif
+
+enum class cow_mode_env { auto_detect, force_scan, force_cow };
+
+cow_mode_env read_mode_env()
+{
+    const char* mode = std::getenv("JSK_SNAPSHOT_MODE");
+    if (mode == nullptr) return cow_mode_env::auto_detect;
+    if (std::string(mode) == "scan") return cow_mode_env::force_scan;
+    if (std::string(mode) == "cow") return cow_mode_env::force_cow;
+    return cow_mode_env::auto_detect;
+}
+
+}  // namespace
+
+bool arena::supported() { return reservation_ready(); }
+
+bool arena::cow_available()
+{
+#if !defined(JSK_CORE_HAVE_MMAP)
+    return false;
+#else
+    static const cow_mode_env env = read_mode_env();
+    if (env == cow_mode_env::force_scan) return false;
+#if defined(JSK_CORE_SANITIZED)
+    // Never under sanitizers, even when forced: their SEGV machinery and
+    // shadow mappings make mprotect tracking unsound.
+    return false;
+#else
+    return reservation_ready();
+#endif
+#endif
+}
+
+bool arena::contains(const void* p)
+{
+    const std::uintptr_t base = g_reservation_base.load(std::memory_order_relaxed);
+    return base != 0 &&
+           reinterpret_cast<std::uintptr_t>(p) - base < k_total_bytes;
+}
+
+arena* arena::current() { return tl_current; }
+
+arena::arena()
+{
+    if (!reservation_ready()) {
+        throw std::runtime_error("jsk::core::arena: no address-space reservation");
+    }
+    std::lock_guard<std::mutex> lock(g_lease_mu);
+    std::size_t index = max_arenas;
+    for (std::size_t i = 0; i < max_arenas; ++i) {
+        if (!g_chunk_leased[i]) {
+            index = i;
+            break;
+        }
+    }
+    if (index == max_arenas) {
+        throw std::runtime_error("jsk::core::arena: all chunks leased");
+    }
+    unsigned char* base =
+        reinterpret_cast<unsigned char*>(g_reservation_base.load(std::memory_order_relaxed)) +
+        index * chunk_bytes;
+#ifdef JSK_CORE_HAVE_MMAP
+    if (::mprotect(base, chunk_bytes, PROT_READ | PROT_WRITE) != 0) {
+        throw std::runtime_error("jsk::core::arena: mprotect(RW) failed");
+    }
+#endif
+    g_chunk_leased[index] = true;
+    base_ = base;
+    chunk_index_ = index;
+    g_chunk_owner[index].store(this, std::memory_order_release);
+}
+
+arena::~arena()
+{
+    if (base_ == nullptr) return;
+    if (cow_armed()) cow_disarm();
+    g_chunk_owner[chunk_index_].store(nullptr, std::memory_order_release);
+#ifdef JSK_CORE_HAVE_MMAP
+    // Return the pages to the OS and fault on any dangling use.
+    ::madvise(base_, chunk_bytes, MADV_DONTNEED);
+    ::mprotect(base_, chunk_bytes, PROT_NONE);
+#endif
+    std::lock_guard<std::mutex> lock(g_lease_mu);
+    g_chunk_leased[chunk_index_] = false;
+}
+
+void* arena::allocate(std::size_t bytes, std::size_t align)
+{
+    if (align < alignof(std::max_align_t)) align = alignof(std::max_align_t);
+    const std::size_t offset = (used_ + align - 1) & ~(align - 1);
+    if (offset + bytes > chunk_bytes || offset + bytes < offset) {
+        throw std::bad_alloc();
+    }
+    used_ = offset + bytes;
+    return base_ + offset;
+}
+
+void arena::reset_to(std::size_t mark)
+{
+    if (mark > used_) {
+        throw std::logic_error("jsk::core::arena::reset_to: mark above bump pointer");
+    }
+    used_ = mark;
+}
+
+bool arena::cow_arm(std::size_t bytes)
+{
+#ifdef JSK_CORE_HAVE_MMAP
+    if (!cow_available() || bytes == 0) return false;
+    std::call_once(g_segv_once, install_segv_handler);
+    const std::size_t pages = (bytes + page_bytes - 1) / page_bytes;
+    cow_state_.assign(pages, static_cast<unsigned char>(page_state::clean));
+    if (::mprotect(base_, pages * page_bytes, PROT_READ) != 0) {
+        cow_state_.clear();
+        return false;
+    }
+    cow_pages_ = pages;
+    return true;
+#else
+    (void)bytes;
+    return false;
+#endif
+}
+
+void arena::cow_disarm()
+{
+    if (!cow_armed()) return;
+#ifdef JSK_CORE_HAVE_MMAP
+    ::mprotect(base_, cow_pages_ * page_bytes, PROT_READ | PROT_WRITE);
+#endif
+    cow_pages_ = 0;
+    cow_state_.clear();
+}
+
+bool arena::cow_fault(void* addr)
+{
+#ifdef JSK_CORE_HAVE_MMAP
+    // Async-signal context: byte stores and one mprotect syscall only.
+    const std::size_t page =
+        static_cast<std::size_t>(static_cast<unsigned char*>(addr) - base_) / page_bytes;
+    if (page >= cow_pages_) return false;
+    if (cow_state_[page] != static_cast<unsigned char>(page_state::clean)) {
+        return false;  // already writable — this fault is not our protection
+    }
+    if (::mprotect(base_ + page * page_bytes, page_bytes, PROT_READ | PROT_WRITE) != 0) {
+        return false;
+    }
+    cow_state_[page] = static_cast<unsigned char>(page_state::dirty);
+    ++cow_faults_;
+    return true;
+#else
+    (void)addr;
+    return false;
+#endif
+}
+
+arena::scope::scope(arena& a)
+{
+    if (tl_current != nullptr) {
+        throw std::logic_error("jsk::core::arena::scope: scopes do not nest");
+    }
+    tl_current = &a;
+}
+
+arena::scope::~scope() { tl_current = nullptr; }
+
+namespace detail {
+
+void prewarm_process_statics()
+{
+    std::call_once(g_prewarm_once, [] {
+        // Locale/facet machinery behind `ostream << double` (journal and
+        // trace serialization) allocates lazily on first use.
+        std::ostringstream os;
+        os << 3.14159;
+        (void)os.str();
+    });
+}
+
+// Allocation backends for the replaced global operators below.
+void* route_alloc(std::size_t bytes, std::size_t align)
+{
+    if (bytes == 0) bytes = 1;
+    if (arena* a = tl_current) return a->allocate(bytes, align);
+    void* p = nullptr;
+    if (align <= alignof(std::max_align_t)) {
+        p = std::malloc(bytes);
+    } else if (::posix_memalign(&p, align, bytes) != 0) {
+        p = nullptr;
+    }
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+
+void route_free(void* p)
+{
+    if (p == nullptr) return;
+    // Arena storage is never freed individually — restores rewind the bump
+    // pointer instead — so destructors may run long after (or never) without
+    // touching either heap.
+    if (arena::contains(p)) return;
+    std::free(p);
+}
+
+}  // namespace detail
+
+}  // namespace jsk::core
+
+// --- replaced global allocation functions -----------------------------------
+//
+// Linking jsk_core gives the whole binary these operators: malloc-backed by
+// default, rerouted into the active arena while an arena::scope is live on
+// the calling thread. [new.delete.single] requires all forms to be replaced
+// together.
+
+void* operator new(std::size_t bytes)
+{
+    return jsk::core::detail::route_alloc(bytes, __STDCPP_DEFAULT_NEW_ALIGNMENT__);
+}
+
+void* operator new[](std::size_t bytes)
+{
+    return jsk::core::detail::route_alloc(bytes, __STDCPP_DEFAULT_NEW_ALIGNMENT__);
+}
+
+void* operator new(std::size_t bytes, std::align_val_t align)
+{
+    return jsk::core::detail::route_alloc(bytes, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t bytes, std::align_val_t align)
+{
+    return jsk::core::detail::route_alloc(bytes, static_cast<std::size_t>(align));
+}
+
+void* operator new(std::size_t bytes, const std::nothrow_t&) noexcept
+{
+    try {
+        return jsk::core::detail::route_alloc(bytes, __STDCPP_DEFAULT_NEW_ALIGNMENT__);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void* operator new[](std::size_t bytes, const std::nothrow_t&) noexcept
+{
+    try {
+        return jsk::core::detail::route_alloc(bytes, __STDCPP_DEFAULT_NEW_ALIGNMENT__);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void* operator new(std::size_t bytes, std::align_val_t align, const std::nothrow_t&) noexcept
+{
+    try {
+        return jsk::core::detail::route_alloc(bytes, static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void* operator new[](std::size_t bytes, std::align_val_t align, const std::nothrow_t&) noexcept
+{
+    try {
+        return jsk::core::detail::route_alloc(bytes, static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void operator delete(void* p) noexcept { jsk::core::detail::route_free(p); }
+void operator delete[](void* p) noexcept { jsk::core::detail::route_free(p); }
+void operator delete(void* p, std::size_t) noexcept { jsk::core::detail::route_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { jsk::core::detail::route_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { jsk::core::detail::route_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { jsk::core::detail::route_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept
+{
+    jsk::core::detail::route_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept
+{
+    jsk::core::detail::route_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept
+{
+    jsk::core::detail::route_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept
+{
+    jsk::core::detail::route_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept
+{
+    jsk::core::detail::route_free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept
+{
+    jsk::core::detail::route_free(p);
+}

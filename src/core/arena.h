@@ -1,0 +1,144 @@
+// jsk::core — arena-backed world storage.
+//
+// The snapshot/fork engine (snapshot.h) needs every byte of a world's state —
+// browser, contexts, kernel tree, task closures — to live in one contiguous,
+// *address-stable* region, because DES task closures capture raw pointers
+// into their world. A forked world therefore cannot be a relocated copy; it
+// must be the same bytes at the same addresses, restored in place between
+// trials. This header provides that region:
+//
+//  * One process-wide PROT_NONE reservation (64 chunks x 256 MiB, mapped
+//    MAP_NORESERVE at startup-on-first-use) from which each `arena` leases
+//    one chunk. Chunks are committed (mprotect RW) on lease and returned to
+//    the kernel (madvise DONTNEED + PROT_NONE) on release, so idle arenas
+//    cost address space, not memory.
+//  * `arena` is a bump allocator over its chunk. Nothing is ever freed
+//    individually; `reset_to(mark)` rewinds the bump pointer, which is how a
+//    restore discards everything a fork allocated.
+//  * `arena::scope` is a thread-local guard that reroutes the *global*
+//    `operator new` family (replaced in arena.cpp) into the active arena, so
+//    world construction needs no allocator plumbing: every std::string,
+//    std::function and container node a world creates while a scope is live
+//    lands in the arena automatically. `operator delete` is a no-op for any
+//    pointer inside the reservation (a single range compare), so destructors
+//    run anywhere — guard on, guard off, never — without corrupting either
+//    heap.
+//  * Copy-on-write tracking (cow_arm/cow_fault): pages of the captured
+//    prefix are write-protected; the SIGSEGV handler records the first write
+//    to each page and unprotects it. Pages that fault once are promoted to a
+//    *hot set* that stays writable and is unconditionally re-copied on every
+//    restore, so a steady-state fork/restore cycle performs zero mprotect
+//    calls and zero faults. Unavailable under sanitizers (they own the
+//    signal machinery); snapshot.h falls back to page-wise scan restore.
+//
+// Threading contract: an arena (and the world inside it) is confined to one
+// thread at a time — the jsk::par worker that owns it. The only cross-thread
+// state is the reservation base (an atomic written once) and the chunk
+// lease table (mutex-guarded, touched only on arena construction/teardown).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jsk::core {
+
+class arena {
+public:
+    static constexpr std::size_t page_bytes = 4096;
+    static constexpr std::size_t chunk_bytes = 256ull << 20;  // per-arena capacity
+    static constexpr std::size_t max_arenas = 64;
+
+    /// True when the platform gave us the reservation (POSIX mmap). When
+    /// false, arena construction throws and snapshot-backed paths must fall
+    /// back to fresh worlds.
+    static bool supported();
+
+    /// True when mprotect/SIGSEGV dirty-page tracking may be used: mmap
+    /// supported, not running under ASan/TSan/MSan, and not overridden by
+    /// JSK_SNAPSHOT_MODE=scan (JSK_SNAPSHOT_MODE=cow forces it on where
+    /// possible).
+    static bool cow_available();
+
+    /// Whether `p` points into the process-wide arena reservation (any
+    /// arena, live or released). One atomic load + range compare.
+    static bool contains(const void* p);
+
+    /// The arena the calling thread's active scope routes into, or nullptr.
+    static arena* current();
+
+    arena();  // leases a chunk; throws std::runtime_error when unavailable
+    ~arena();
+    arena(const arena&) = delete;
+    arena& operator=(const arena&) = delete;
+
+    /// Bump-allocate. Called by the replaced operator new under a scope;
+    /// throws std::bad_alloc when the chunk is exhausted.
+    void* allocate(std::size_t bytes, std::size_t align);
+
+    [[nodiscard]] unsigned char* base() const { return base_; }
+    [[nodiscard]] std::size_t used() const { return used_; }
+
+    /// Rewind the bump pointer; all allocations above `mark` become dead.
+    void reset_to(std::size_t mark);
+
+    // --- copy-on-write dirty-page tracking (see header comment) ------------
+
+    /// Write-protect pages [0, bytes) and start tracking writes. Returns
+    /// false (and tracks nothing) when cow_available() is false.
+    bool cow_arm(std::size_t bytes);
+
+    /// Drop protection and tracking (arena teardown, or mode change).
+    void cow_disarm();
+
+    [[nodiscard]] bool cow_armed() const { return cow_pages_ != 0; }
+    [[nodiscard]] std::size_t cow_pages() const { return cow_pages_; }
+    [[nodiscard]] std::uint64_t cow_faults() const { return cow_faults_; }
+
+    /// Page states while armed. clean pages are still write-protected and
+    /// provably unmodified; dirty pages were written since the last restore;
+    /// hot pages faulted in some earlier fork and stay writable forever
+    /// (treated as always-dirty by restores).
+    enum class page_state : unsigned char { clean = 0, dirty = 1, hot = 2 };
+    [[nodiscard]] page_state cow_state(std::size_t page) const
+    {
+        return static_cast<page_state>(cow_state_[page]);
+    }
+    /// Mark a dirty page hot after restoring it (restore loop only).
+    void cow_promote(std::size_t page)
+    {
+        cow_state_[page] = static_cast<unsigned char>(page_state::hot);
+    }
+
+    /// SIGSEGV-handler entry: `addr` faulted inside this arena's chunk.
+    /// Returns true when the fault was a tracked first-write (page recorded
+    /// and unprotected); false means the fault is not ours — chain on.
+    bool cow_fault(void* addr);
+
+    /// RAII guard: reroutes global operator new on this thread into `a`.
+    /// Scopes do not nest (a world never builds another world).
+    class scope {
+    public:
+        explicit scope(arena& a);
+        ~scope();
+        scope(const scope&) = delete;
+        scope& operator=(const scope&) = delete;
+    };
+
+private:
+    unsigned char* base_ = nullptr;
+    std::size_t chunk_index_ = 0;
+    std::size_t used_ = 0;
+    std::size_t cow_pages_ = 0;  // 0 = disarmed
+    std::uint64_t cow_faults_ = 0;
+    std::vector<unsigned char> cow_state_;  // page_state per armed page
+};
+
+namespace detail {
+/// One-time warm-up of lazily initialized process state (locale facets used
+/// by `ostream << double`, etc.) so nothing library-internal is first
+/// allocated inside an arena scope and then rewound by a restore.
+void prewarm_process_statics();
+}  // namespace detail
+
+}  // namespace jsk::core

@@ -1,0 +1,89 @@
+#include "core/snapshot.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace jsk::core {
+
+void fork_stats::merge(const fork_stats& other)
+{
+    snapshots += other.snapshots;
+    forks += other.forks;
+    restores += other.restores;
+    pages_scanned += other.pages_scanned;
+    pages_restored += other.pages_restored;
+    bytes_restored += other.bytes_restored;
+    cow_faults += other.cow_faults;
+    if (other.image_bytes > image_bytes) image_bytes = other.image_bytes;
+}
+
+world_snapshot::world_snapshot()
+    : mode_(arena::cow_available() ? restore_mode::cow : restore_mode::scan)
+{
+    // Anything the standard library initializes lazily must exist before the
+    // first arena scope, or its heap state would be rewound by a restore.
+    detail::prewarm_process_statics();
+}
+
+world_snapshot::~world_snapshot()
+{
+    // The arena member tears down the lease; worlds are never destructed.
+}
+
+void world_snapshot::seal(fork_stats* stats)
+{
+    if (!image_.empty()) {
+        throw std::logic_error("jsk::core::world_snapshot: capture() called twice");
+    }
+    mark_ = heap_.used();
+    pages_ = (mark_ + arena::page_bytes - 1) / arena::page_bytes;
+    image_.assign(heap_.base(), heap_.base() + pages_ * arena::page_bytes);
+    if (mode_ == restore_mode::cow && !heap_.cow_arm(mark_)) {
+        mode_ = restore_mode::scan;  // arming can fail at runtime; degrade
+    }
+    if (stats != nullptr) {
+        ++stats->snapshots;
+        if (image_.size() > stats->image_bytes) stats->image_bytes = image_.size();
+    }
+}
+
+void world_snapshot::restore(fork_stats* stats)
+{
+    if (anchor_ == nullptr) return;  // never sealed; nothing to roll back
+    unsigned char* base = heap_.base();
+    std::uint64_t restored_pages = 0;
+    if (mode_ == restore_mode::cow) {
+        // Copy back exactly the pages written since the last restore, plus
+        // the hot set. Dirty pages are promoted to hot (they stay writable,
+        // so future writes won't fault again); clean pages are still
+        // protected and provably pristine. Zero syscalls on this path.
+        for (std::size_t page = 0; page < pages_; ++page) {
+            const arena::page_state st = heap_.cow_state(page);
+            if (st == arena::page_state::clean) continue;
+            std::memcpy(base + page * arena::page_bytes,
+                        image_.data() + page * arena::page_bytes, arena::page_bytes);
+            if (st == arena::page_state::dirty) heap_.cow_promote(page);
+            ++restored_pages;
+        }
+    } else {
+        for (std::size_t page = 0; page < pages_; ++page) {
+            unsigned char* live = base + page * arena::page_bytes;
+            const unsigned char* want = image_.data() + page * arena::page_bytes;
+            if (std::memcmp(live, want, arena::page_bytes) != 0) {
+                std::memcpy(live, want, arena::page_bytes);
+                ++restored_pages;
+            }
+        }
+        if (stats != nullptr) stats->pages_scanned += pages_;
+    }
+    heap_.reset_to(mark_);
+    if (stats != nullptr) {
+        ++stats->restores;
+        stats->pages_restored += restored_pages;
+        stats->bytes_restored += restored_pages * arena::page_bytes;
+        stats->cow_faults += heap_.cow_faults() - reported_faults_;
+        reported_faults_ = heap_.cow_faults();
+    }
+}
+
+}  // namespace jsk::core

@@ -1,0 +1,139 @@
+// jsk::core — world snapshots and copy-on-write forks.
+//
+// A `world_snapshot` owns one arena, builds a world inside it (arena::scope
+// makes every allocation land there), and seals a byte image of the used
+// prefix. A `fork` is then the cheapest possible "copy" of that world: run
+// the trial against the live arena, and on destruction restore the mutated
+// bytes back to the sealed image and rewind the bump pointer. Because the
+// restored world occupies the same addresses, every raw pointer captured in
+// task closures, bus subscriptions and kernel structures stays valid — which
+// is the property a relocating clone could never provide.
+//
+// Restore strategies (decided per-process by arena::cow_available()):
+//
+//  * scan — memcmp each page of the sealed prefix against the image and
+//    copy back only pages that changed. No signals, sanitizer-safe; cost is
+//    one read pass over the image per restore.
+//  * cow — pages are write-protected at seal time; the SIGSEGV handler
+//    records the first write per page. A restore copies exactly the pages
+//    written since the last restore plus the "hot set" (pages that faulted
+//    in any earlier fork stay writable and are re-copied unconditionally),
+//    so steady state is fault-free and touches only the world's genuinely
+//    mutable pages.
+//
+// Forking discipline (enforced by the fork API; see DESIGN.md §11):
+//
+//  * Mutations of the world happen inside fork::step, which re-enters the
+//    arena scope so per-trial objects (controllers, injectors, logs) are
+//    arena-allocated and vanish with the restore.
+//  * Harvest — turning run results into caller-owned strings/structs —
+//    happens after step() returns, with the scope off (allocations go to
+//    the global heap) but before the fork destructor restores (arena bytes
+//    still readable). fork::step intentionally returns void to keep
+//    arena-allocated returns from leaking into caller frames.
+//  * Worlds in arenas are never destructed; teardown is the restore (or the
+//    arena lease ending). World types must therefore hold no resources
+//    other than memory — true of every DES-backed object in this repo.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/arena.h"
+
+namespace jsk::core {
+
+/// Fork/restore telemetry. Counts depend on worker claim order and cache
+/// locality, so they are *never* folded into trial metrics or matrix JSON —
+/// byte-determinism of those artifacts is a hard contract. Benches and the
+/// differential suites read them through obs::collect_core.
+struct fork_stats {
+    std::uint64_t snapshots = 0;       // worlds built + sealed
+    std::uint64_t forks = 0;           // trials served from a snapshot
+    std::uint64_t restores = 0;        // completed rollbacks
+    std::uint64_t pages_scanned = 0;   // scan mode: pages memcmp'd
+    std::uint64_t pages_restored = 0;  // pages copied back from the image
+    std::uint64_t bytes_restored = 0;
+    std::uint64_t cow_faults = 0;      // first-write faults taken (cow mode)
+    std::uint64_t image_bytes = 0;     // high-water sealed image size
+
+    void merge(const fork_stats& other);
+};
+
+enum class restore_mode { scan, cow };
+
+class world_snapshot {
+public:
+    /// Picks cow when arena::cow_available(), else scan.
+    world_snapshot();
+    ~world_snapshot();
+    world_snapshot(const world_snapshot&) = delete;
+    world_snapshot& operator=(const world_snapshot&) = delete;
+
+    /// Build the world inside the arena and seal the image. `build` runs
+    /// under an arena::scope and returns the world's anchor pointer (any
+    /// object the fork users cast back). One capture per snapshot.
+    template <class Build>
+    void capture(Build&& build, fork_stats* stats = nullptr)
+    {
+        {
+            arena::scope guard(heap_);
+            anchor_ = std::forward<Build>(build)();
+        }
+        seal(stats);
+    }
+
+    /// The pointer `build` returned; stable across every fork/restore.
+    [[nodiscard]] void* anchor() const { return anchor_; }
+    [[nodiscard]] arena& heap() { return heap_; }
+    [[nodiscard]] restore_mode mode() const { return mode_; }
+    [[nodiscard]] std::size_t image_bytes() const { return image_.size(); }
+    [[nodiscard]] bool sealed() const { return anchor_ != nullptr; }
+
+    /// Roll the arena back to the sealed image (fork destructor path).
+    void restore(fork_stats* stats);
+
+private:
+    void seal(fork_stats* stats);
+
+    arena heap_;
+    std::vector<unsigned char> image_;  // sealed bytes, global heap
+    std::size_t mark_ = 0;              // bump pointer at seal
+    std::size_t pages_ = 0;             // ceil(mark_ / page)
+    std::uint64_t reported_faults_ = 0;  // cow faults already folded into stats
+    void* anchor_ = nullptr;
+    restore_mode mode_ = restore_mode::scan;
+};
+
+/// RAII trial against a snapshot: construct, step() the trial body, harvest
+/// with the scope off, and let the destructor restore. One live fork per
+/// snapshot at a time (the arena is the world).
+class fork {
+public:
+    explicit fork(world_snapshot& snap, fork_stats* stats = nullptr)
+        : snap_(snap), stats_(stats)
+    {
+        if (stats_ != nullptr) ++stats_->forks;
+    }
+    ~fork() { snap_.restore(stats_); }
+    fork(const fork&) = delete;
+    fork& operator=(const fork&) = delete;
+
+    /// Run a mutation step under the arena scope. Returns void by design:
+    /// results must be harvested through captured pointers after step()
+    /// (global-heap copies) — see the forking discipline above.
+    template <class Fn>
+    void step(Fn&& fn)
+    {
+        arena::scope guard(snap_.heap());
+        std::forward<Fn>(fn)();
+    }
+
+private:
+    world_snapshot& snap_;
+    fork_stats* stats_;
+};
+
+}  // namespace jsk::core

@@ -1,0 +1,82 @@
+#include "core/world.h"
+
+#include "obs/collect.h"
+
+namespace jsk::core {
+
+std::string world_recipe::key() const
+{
+    std::string k = "seed=";
+    k += std::to_string(browser_seed);
+    k += with_trace ? ";trace=1" : ";trace=0";
+    if (boot_kernel) {
+        k += ";kernel=1;wd=";
+        k += std::to_string(watchdog_budget_ms);
+        k += ";retry=";
+        k += std::to_string(fetch_retry_attempts);
+        k += "x";
+        k += std::to_string(fetch_retry_base_ms);
+    }
+    if (!site_ranks.empty()) {
+        k += ";sites=";
+        for (std::size_t i = 0; i < site_ranks.size(); ++i) {
+            if (i != 0) k += ",";
+            k += std::to_string(site_ranks[i]);
+        }
+        k += "@";
+        k += std::to_string(site_seed);
+    }
+    return k;
+}
+
+world::world(const world_recipe& r)
+    : browser(rt::chrome_profile(), r.browser_seed), vulns(browser.bus())
+{
+    if (r.with_trace) {
+        browser.sim().set_trace_sink(&sink);
+        obs::wire_runtime(sink, browser);
+        vulns.set_trace_sink(&sink);
+    }
+    if (r.boot_kernel) {
+        kernel::kernel_options ko;
+        ko.watchdog_budget_ms = r.watchdog_budget_ms;
+        kern = kernel::kernel::boot(browser, ko);
+        if (r.fetch_retry_attempts > 0) {
+            kern->add_policy(kernel::make_policy_fetch_retry(r.fetch_retry_attempts,
+                                                             r.fetch_retry_base_ms));
+        }
+    }
+    site_loads.reserve(r.site_ranks.size());
+    for (const std::uint64_t rank : r.site_ranks) {
+        const workloads::site_spec site = workloads::make_synthetic_site(rank, r.site_seed);
+        site_loads.push_back(workloads::load_site(browser, site));
+    }
+}
+
+world::~world()
+{
+    // Only reached for stack-built (fresh) worlds: the sink member dies
+    // before browser/vulns, so detach it first.
+    browser.sim().set_trace_sink(nullptr);
+    vulns.set_trace_sink(nullptr);
+}
+
+std::unique_ptr<world_snapshot> snapshot_world(const world_recipe& recipe,
+                                               fork_stats* stats)
+{
+    auto snap = std::make_unique<world_snapshot>();
+    snap->capture([&]() -> void* { return new world(recipe); }, stats);
+    return snap;
+}
+
+world_snapshot& snapshot_cache::get(const world_recipe& recipe, fork_stats* stats)
+{
+    const std::string key = recipe.key();
+    for (auto& [k, snap] : by_key_) {
+        if (k == key) return *snap;
+    }
+    by_key_.emplace_back(key, snapshot_world(recipe, stats));
+    return *by_key_.back().second;
+}
+
+}  // namespace jsk::core

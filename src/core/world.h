@@ -1,0 +1,96 @@
+// jsk::core — the standard snapshot-able world.
+//
+// Every sweep trial in this repo assembles the same object graph: a seeded
+// rt::browser, the CVE monitor registry, optionally a trace sink wired onto
+// the bus, optionally a booted JSKernel with the retry policy, optionally a
+// set of synthetic page sessions preloaded to quiescence (the paper's
+// Alexa-style evaluation worlds). `world_recipe` names that shape,
+// `world` builds it — on the ordinary heap for a fresh trial, or inside a
+// world_snapshot's arena for forked trials — and `snapshot_cache` memoizes
+// sealed snapshots per recipe so a sweep worker pays world construction
+// once per distinct world shape instead of once per trial.
+//
+// Quiescence: a recipe world is snapshot-safe by construction. Site
+// preloads run the simulation to their load horizon internally
+// (workloads::load_site), and everything else (kernel boot, sink wiring)
+// only posts tasks — captured pending tasks are part of the image and
+// replay identically in every fork. The seal point is outside any task
+// (sim().in_task() is false), which is the only hard quiescence requirement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "kernel/kernel.h"
+#include "obs/trace.h"
+#include "runtime/browser.h"
+#include "runtime/vuln.h"
+#include "workloads/sites.h"
+
+namespace jsk::core {
+
+struct world_recipe {
+    std::uint64_t browser_seed = 17;
+    /// Wire an obs::sink onto the sim + bus + monitors (chaos trials).
+    bool with_trace = false;
+    /// Boot JSKernel over the main context (chaos trials; explore trials
+    /// install the defense per fork instead, matching the fresh path).
+    bool boot_kernel = false;
+    double watchdog_budget_ms = 150.0;  // kernel dispatcher watchdog
+    int fetch_retry_attempts = 3;       // 0 disables the retry policy
+    double fetch_retry_base_ms = 25.0;
+    /// Synthetic sites preloaded to quiescence before the seal — the
+    /// "page session" the paper's site-scale sweeps fork from. Note that
+    /// preloads advance virtual time, so trial deadlines must be expressed
+    /// relative to sim().now().
+    std::vector<std::uint64_t> site_ranks;
+    std::uint64_t site_seed = 101;
+
+    /// Canonical identity string — the snapshot_cache key.
+    [[nodiscard]] std::string key() const;
+};
+
+/// The assembled world. Lives either on the caller's stack (fresh trials)
+/// or inside a snapshot arena (forked trials; never destructed there).
+class world {
+public:
+    explicit world(const world_recipe& r);
+    ~world();
+    world(const world&) = delete;
+    world& operator=(const world&) = delete;
+
+    rt::browser browser;
+    rt::vuln_registry vulns;
+    obs::sink sink;  // wired only when recipe.with_trace
+    std::unique_ptr<kernel::kernel> kern;  // null unless recipe.boot_kernel
+    std::vector<workloads::load_result> site_loads;
+};
+
+/// Build + seal a snapshot of `recipe`'s world. The snapshot's anchor is
+/// the `world*`.
+std::unique_ptr<world_snapshot> snapshot_world(const world_recipe& recipe,
+                                               fork_stats* stats = nullptr);
+
+/// Convenience cast for fork users.
+inline world& snapshot_anchor(world_snapshot& snap)
+{
+    return *static_cast<world*>(snap.anchor());
+}
+
+/// Worker-confined memo of sealed snapshots keyed by recipe. Not
+/// thread-safe by design: each jsk::par worker owns one (par::worker_local),
+/// so snapshots are built at most once per (worker, recipe) and no world is
+/// ever shared across threads.
+class snapshot_cache {
+public:
+    world_snapshot& get(const world_recipe& recipe, fork_stats* stats = nullptr);
+    [[nodiscard]] std::size_t size() const { return by_key_.size(); }
+
+private:
+    std::vector<std::pair<std::string, std::unique_ptr<world_snapshot>>> by_key_;
+};
+
+}  // namespace jsk::core

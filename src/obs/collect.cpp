@@ -1,5 +1,6 @@
 #include "obs/collect.h"
 
+#include "core/snapshot.h"
 #include "faults/injector.h"
 #include "kernel/kernel.h"
 #include "runtime/browser.h"
@@ -86,6 +87,18 @@ void collect_faults(registry& reg, const faults::injector& inj)
     reg.get_counter("faults.msg_drops").set(inj.msg_drops());
     reg.get_counter("faults.msg_duplicates").set(inj.msg_duplicates());
     reg.get_counter("faults.msg_delays").set(inj.msg_delays());
+}
+
+void collect_core(registry& reg, const core::fork_stats& st)
+{
+    reg.get_counter("core.snapshots").set(st.snapshots);
+    reg.get_counter("core.forks").set(st.forks);
+    reg.get_counter("core.restores").set(st.restores);
+    reg.get_counter("core.pages_scanned").set(st.pages_scanned);
+    reg.get_counter("core.pages_restored").set(st.pages_restored);
+    reg.get_counter("core.bytes_restored").set(st.bytes_restored);
+    reg.get_counter("core.cow_faults").set(st.cow_faults);
+    reg.get_counter("core.image_bytes").set(st.image_bytes);
 }
 
 namespace {

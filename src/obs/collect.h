@@ -25,6 +25,9 @@ class vuln_registry;
 namespace jsk::faults {
 class injector;
 }
+namespace jsk::core {
+struct fork_stats;
+}
 
 namespace jsk::obs {
 
@@ -47,6 +50,13 @@ void collect_vulns(registry& reg, const rt::vuln_registry& vulns);
 /// per-kind breakdown (fetch timeout/reset/partial/spike, worker spawn
 /// failures/crashes, message drops/duplicates/delays).
 void collect_faults(registry& reg, const faults::injector& inj);
+
+/// Snapshot/fork telemetry (jsk::core): worlds sealed, forks served,
+/// restores, pages scanned/copied back, COW write-faults, image high-water.
+/// These counts depend on worker claim order and snapshot-cache locality,
+/// so they go into bench/diagnostic registries only — never into a
+/// per-trial registry that feeds a byte-compared matrix artifact.
+void collect_core(registry& reg, const core::fork_stats& st);
 
 /// Subscribe a bridge on the browser's event bus that forwards every runtime
 /// announcement (postMessage send/recv, fetch issue/complete/abort, worker

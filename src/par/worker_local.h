@@ -1,0 +1,50 @@
+// jsk::par — per-worker slots for sweep-scoped state.
+//
+// Snapshot-backed sweeps keep one world arena (and its sealed snapshots)
+// per pool worker: worlds are thread-confined by contract, so sharing a
+// snapshot across workers is forbidden, and rebuilding per job defeats the
+// point. `worker_local<T>` is the minimal container for that pattern — a
+// fixed array of lazily-constructed slots indexed by worker_context::
+// worker_id. No locks: under the sweep contract slot i is only ever touched
+// by worker i while the sweep runs, and by the owning thread before the
+// sweep starts / after the pool join (both fully ordered with the workers).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace jsk::par {
+
+template <class T>
+class worker_local {
+public:
+    /// `workers` must be the resolved worker count (0 is treated as 1, the
+    /// inline/serial path).
+    explicit worker_local(std::size_t workers) : slots_(workers == 0 ? 1 : workers) {}
+
+    /// The calling worker's slot, default-constructed on first use.
+    T& get(std::size_t worker_id)
+    {
+        auto& slot = slots_.at(worker_id);
+        if (!slot) slot = std::make_unique<T>();
+        return *slot;
+    }
+
+    [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+    /// Owner-thread fold after the join, in worker order (deterministic for
+    /// commutative folds like counter merges).
+    template <class Fn>
+    void for_each(Fn&& fn)
+    {
+        for (auto& slot : slots_) {
+            if (slot) fn(*slot);
+        }
+    }
+
+private:
+    std::vector<std::unique_ptr<T>> slots_;
+};
+
+}  // namespace jsk::par

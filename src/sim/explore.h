@@ -127,6 +127,22 @@ public:
     /// actually offered — the replayed program diverged from the recording.
     [[nodiscard]] bool replay_diverged() const { return diverged_; }
 
+    /// Pre-size the recording buffers (decision string + trace) so taking a
+    /// decision never reallocates. Snapshot-backed programs (jsk::core
+    /// forks) rely on this: a controller that lives outside the world's
+    /// arena must not grow its buffers while the arena scope is active, or
+    /// the storage would be rolled back with the world on restore.
+    void reserve(std::size_t decisions)
+    {
+        recorded_.choices.reserve(decisions);
+        trace_.reserve(decisions);
+    }
+
+    /// Whether set_record_metadata(true) is in effect. Snapshot-backed
+    /// programs check this and fall back to fresh worlds: metadata lands in
+    /// node-based containers that cannot be pre-reserved.
+    [[nodiscard]] bool records_metadata() const { return record_metadata_; }
+
     /// Opt into DPOR metadata recording: per-decision candidate arrays
     /// (decision_thread / decision_task) and per-task footprints (threads
     /// each task posted to). Off by default: only DPOR-lite independence

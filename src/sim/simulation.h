@@ -140,6 +140,13 @@ public:
     /// True while a task callback is on the stack.
     [[nodiscard]] bool in_task() const { return current_.has_value(); }
 
+    /// True when the scheduler is fully at rest: no task on the stack and
+    /// nothing pending. This is jsk::core's snapshot seal contract — a
+    /// quiescent world's future behaviour is entirely encoded in its
+    /// captured state. (Capturing with tasks *pending* is also sound — they
+    /// are part of the image — but capturing mid-task never is.)
+    [[nodiscard]] bool quiescent() const { return !in_task() && pending_count_ == 0; }
+
     /// Virtual "now": inside a task, the running thread's current time
     /// (start + consumed so far); outside, the global low-water mark.
     [[nodiscard]] time_ns now() const;

@@ -167,7 +167,10 @@ load_result load_site(rt::browser& b, const site_spec& site)
     auto st = std::make_shared<progress>();
     rt::browser* bp = &b;
 
-    b.main().post_task(0, [bp, st, &site] {
+    // `site` is captured by value: the loader task normally runs inside the
+    // run_until below, but a copy keeps queued loads safe even if a caller
+    // composes loads in ways that defer the task past this frame.
+    b.main().post_task(0, [bp, st, site] {
         auto& apis = bp->main().apis();
         st->start_ms = bp->main().now_ms_raw();
         const auto finish_one = [bp, st] {
@@ -203,13 +206,20 @@ load_result load_site(rt::browser& b, const site_spec& site)
             img->onerror = [finish_one](const std::string&) { finish_one(); };
             apis.append_child(bp->doc().root(), img);
         }
-        // JS activity: short self-rescheduling timer chains.
+        // JS activity: short self-rescheduling timer chains. The chain body
+        // holds only a weak reference to itself — queued timeouts carry the
+        // strong ones — so finished chains free instead of leaking a
+        // shared_ptr cycle.
         for (int c = 0; c < site.timer_chains; ++c) {
             auto steps = std::make_shared<int>(6);
             auto chain = std::make_shared<std::function<void()>>();
-            *chain = [bp, steps, chain] {
+            *chain = [bp, steps, wchain = std::weak_ptr<std::function<void()>>(chain)] {
                 bp->main().consume(200 * sim::us);
-                if (--*steps > 0) bp->main().apis().set_timeout([chain] { (*chain)(); }, 0);
+                if (--*steps > 0) {
+                    if (auto next = wchain.lock()) {
+                        bp->main().apis().set_timeout([next] { (*next)(); }, 0);
+                    }
+                }
             };
             apis.set_timeout([chain] { (*chain)(); }, 1 * sim::ms);
         }
@@ -224,7 +234,10 @@ load_result load_site(rt::browser& b, const site_spec& site)
                 (site.extra_render_cost_factor - 1.0) * 40.0 * sim::ms));
         }
     });
-    b.run_until(120 * sim::sec);
+    // Relative horizon: a browser that has already loaded sites (or run
+    // anything else) sits past t=0, and an absolute deadline in the past
+    // would return without ever executing the loader task posted above.
+    b.run_until(b.sim().now() + 120 * sim::sec);
     if (st->onload_ms < 0) st->onload_ms = b.main().now_ms_raw() - st->start_ms;
     if (st->hero_ms < 0) st->hero_ms = st->onload_ms;
     return load_result{st->onload_ms, st->hero_ms};

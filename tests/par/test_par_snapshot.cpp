@@ -1,0 +1,150 @@
+// Snapshot-backed sweeps under jsk::par: byte-determinism and exact cache
+// accounting.
+//
+// The contract: `snapshots = true` is a pure throughput knob. The matrix
+// JSON a snapshot-backed sweep emits must be byte-identical to the
+// fresh-world sweep at every --jobs count, the witness cache must see
+// exactly the same hit/miss/entry sequence, and the fork telemetry must
+// add up (every non-cached trial is one fork and one restore; forks never
+// leak into the byte-compared artifacts).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/chaos_sweep.h"
+#include "attacks/explore_sweep.h"
+#include "core/arena.h"
+#include "core/snapshot.h"
+#include "par/cache.h"
+#include "par/pool.h"
+
+namespace {
+
+using namespace jsk;
+
+#define REQUIRE_ARENA()                                                   \
+    do {                                                                  \
+        if (!core::arena::supported())                                    \
+            GTEST_SKIP() << "no arena address-space support on this host"; \
+    } while (0)
+
+std::string cve_json_at(std::size_t jobs, std::uint64_t walks,
+                        attacks::matrix_options base)
+{
+    base.jobs = jobs;
+    return attacks::cve_matrix_json(attacks::explore_cve_matrix(walks, base));
+}
+
+std::string chaos_json_at(std::size_t jobs, attacks::chaos_matrix_options base)
+{
+    base.jobs = jobs;
+    const auto cells = attacks::default_chaos_cells(/*cves=*/4, /*plans=*/2);
+    return attacks::chaos_matrix_json(attacks::run_chaos_matrix(cells, base));
+}
+
+TEST(par_snapshot, cve_matrix_bytes_match_fresh_sweep_at_jobs_1_2_8)
+{
+    REQUIRE_ARENA();
+    attacks::matrix_options opt;
+    opt.explore.seed = 101;
+    opt.snapshots = false;
+    const std::string fresh = cve_json_at(1, 2, opt);
+    EXPECT_FALSE(fresh.empty());
+
+    opt.snapshots = true;
+    EXPECT_EQ(cve_json_at(1, 2, opt), fresh);
+    EXPECT_EQ(cve_json_at(2, 2, opt), fresh);
+    EXPECT_EQ(cve_json_at(8, 2, opt), fresh);
+}
+
+TEST(par_snapshot, chaos_matrix_bytes_match_fresh_sweep_at_jobs_1_2_8)
+{
+    REQUIRE_ARENA();
+    attacks::chaos_matrix_options opt;
+    opt.snapshots = false;
+    const std::string fresh = chaos_json_at(1, opt);
+    EXPECT_FALSE(fresh.empty());
+
+    opt.snapshots = true;
+    EXPECT_EQ(chaos_json_at(1, opt), fresh);
+    EXPECT_EQ(chaos_json_at(2, opt), fresh);
+    EXPECT_EQ(chaos_json_at(8, opt), fresh);
+}
+
+TEST(par_snapshot, witness_cache_accounting_identical_to_fresh_sweeps)
+{
+    REQUIRE_ARENA();
+    // PR5's cache-pinning methodology, re-run over the forked path: the
+    // ground truth is an *uncached, fresh-world* serial sweep; the cold
+    // snapshot-backed sweep must populate the cache with all misses, and
+    // warm re-sweeps must recall every cell without forking new entries.
+    attacks::matrix_options opt;
+    opt.explore.seed = 101;
+    opt.snapshots = false;
+    const std::string baseline = cve_json_at(1, 2, opt);
+
+    par::result_cache<attacks::cve_trial_outcome> cache;
+    opt.snapshots = true;
+    opt.cache = &cache;
+    EXPECT_EQ(cve_json_at(1, 2, opt), baseline);
+    const auto cold = cache.snapshot();
+    const std::uint64_t jobs_per_sweep = attacks::cve_ids().size() * 2 * 2;
+    EXPECT_GT(cold.entries, 0u);
+    EXPECT_EQ(cold.hits, 0u);
+    EXPECT_EQ(cold.misses, jobs_per_sweep);
+
+    EXPECT_EQ(cve_json_at(2, 2, opt), baseline);
+    EXPECT_EQ(cve_json_at(8, 2, opt), baseline);
+    const auto warm = cache.snapshot();
+    EXPECT_EQ(warm.hits, 2 * jobs_per_sweep);
+    EXPECT_EQ(warm.misses, cold.misses);
+    EXPECT_EQ(warm.entries, cold.entries);
+}
+
+TEST(par_snapshot, fork_stats_account_for_every_trial)
+{
+    REQUIRE_ARENA();
+    // Serial sweep: one worker, one recipe -> exactly one snapshot, and
+    // every job is one fork + one restore.
+    attacks::matrix_options opt;
+    opt.explore.seed = 101;
+    core::fork_stats serial;
+    opt.fork_stats = &serial;
+    opt.jobs = 1;
+    (void)attacks::cve_matrix_json(attacks::explore_cve_matrix(2, opt));
+    const std::uint64_t job_count = attacks::cve_ids().size() * 2 * 2;
+    EXPECT_EQ(serial.snapshots, 1u);
+    EXPECT_EQ(serial.forks, job_count);
+    EXPECT_EQ(serial.restores, job_count);
+    EXPECT_GT(serial.image_bytes, 0u);
+
+    // Parallel sweep: snapshots replicate per worker (at most one per
+    // worker here), but the fork total is workload-determined.
+    core::fork_stats par8;
+    opt.fork_stats = &par8;
+    opt.jobs = 8;
+    (void)attacks::cve_matrix_json(attacks::explore_cve_matrix(2, opt));
+    EXPECT_GE(par8.snapshots, 1u);
+    EXPECT_LE(par8.snapshots, 8u);
+    EXPECT_EQ(par8.forks, job_count);
+    EXPECT_EQ(par8.restores, job_count);
+}
+
+TEST(par_snapshot, chaos_fork_stats_one_snapshot_per_defense_shape)
+{
+    REQUIRE_ARENA();
+    attacks::chaos_matrix_options opt;
+    core::fork_stats st;
+    opt.fork_stats = &st;
+    opt.jobs = 1;
+    const auto cells = attacks::default_chaos_cells(/*cves=*/2, /*plans=*/2);
+    (void)attacks::run_chaos_matrix(cells, opt);
+    // Serial worker builds one world per defense shape: plain + jskernel.
+    EXPECT_EQ(st.snapshots, 2u);
+    EXPECT_EQ(st.forks, cells.size());
+    EXPECT_EQ(st.restores, cells.size());
+}
+
+}  // namespace

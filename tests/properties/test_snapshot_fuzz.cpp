@@ -1,0 +1,184 @@
+// Snapshot-resume property fuzz: a world snapshotted at an arbitrary
+// quiescent point mid-run, then resumed inside a fork, must replay the
+// remainder of the run byte-for-byte identically to the same world run
+// uninterrupted — journal, Chrome trace, observation log and the recorded
+// schedule all included.
+//
+// Each round: (1) run a seeded random program under a random-tail
+// controller and a sampled fault plan to a fixed horizon, uninterrupted,
+// and record every oracle plus the full decision string; (2) rebuild the
+// identical world inside a snapshot arena, replaying the recorded decisions
+// as a prefix, run it only to a randomized split point, and seal there;
+// (3) fork twice, resuming each fork to the horizon. Both forks must
+// reproduce the uninterrupted oracles exactly, and the replay controller
+// must never diverge — proving the sealed image captures the *complete*
+// mid-run state (pending task queue, RNG streams, fault cursors, bus
+// subscriptions) and that a restore loses none of it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/arena.h"
+#include "core/snapshot.h"
+#include "core/world.h"
+#include "faults/injector.h"
+#include "faults/plan.h"
+#include "obs/chrome_export.h"
+#include "sim/explore.h"
+#include "workloads/random_program.h"
+
+namespace {
+
+using namespace jsk;
+
+constexpr sim::time_ns k_horizon = 60 * sim::sec;
+
+struct run_oracles {
+    std::string decisions;
+    std::string journal;
+    std::string trace;
+    std::string observations;
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t faults_injected = 0;
+};
+
+core::world_recipe fuzz_recipe(bool boot_kernel)
+{
+    core::world_recipe recipe;
+    recipe.with_trace = true;
+    recipe.boot_kernel = boot_kernel;
+    return recipe;
+}
+
+/// Everything a resumable trial owns, co-located so one arena anchor keeps
+/// the whole graph (world + controller + injector + log) at stable
+/// addresses across restores.
+struct fuzz_world {
+    core::world w;
+    sim::explore::controller ctl;
+    faults::injector inj;
+    std::shared_ptr<workloads::observation_log> log;
+
+    fuzz_world(const core::world_recipe& recipe, sim::explore::schedule prefix,
+               sim::explore::controller::tail_policy tail, std::uint64_t walk_seed,
+               std::uint64_t program_seed, const faults::plan& p)
+        : w(recipe), ctl(std::move(prefix), tail, walk_seed), inj(p),
+          log(std::make_shared<workloads::observation_log>())
+    {
+        // Assembly order is part of the determinism contract: controller
+        // first (every task records), then the injector, then the program.
+        ctl.attach(w.browser.sim());
+        w.browser.set_fault_injector(&inj);
+        workloads::install_random_program(w.browser, program_seed, log);
+    }
+};
+
+run_oracles harvest(fuzz_world& fw)
+{
+    run_oracles o;
+    sim::explore::schedule recorded = fw.ctl.decisions();
+    recorded.trim();
+    o.decisions = recorded.str();
+    if (fw.w.kern) o.journal = fw.w.kern->dispatch_journal().to_json();
+    o.trace = obs::to_chrome_trace(fw.w.sink);
+    o.observations = fw.log->str();
+    o.tasks_executed = fw.w.browser.sim().tasks_executed();
+    o.faults_injected = fw.inj.injected();
+    return o;
+}
+
+void expect_oracles_equal(const run_oracles& resumed, const run_oracles& base,
+                          const std::string& label)
+{
+    EXPECT_EQ(resumed.decisions, base.decisions) << label;
+    EXPECT_EQ(resumed.journal, base.journal) << label;
+    EXPECT_EQ(resumed.trace, base.trace) << label;
+    EXPECT_EQ(resumed.observations, base.observations) << label;
+    EXPECT_EQ(resumed.tasks_executed, base.tasks_executed) << label;
+    EXPECT_EQ(resumed.faults_injected, base.faults_injected) << label;
+}
+
+struct fuzz_case {
+    std::uint64_t program_seed;
+    bool boot_kernel;
+    std::uint64_t plan_index;
+    std::uint64_t walk_seed;
+    std::uint64_t split_permille;  // snapshot point as a fraction of the horizon
+};
+
+TEST(snapshot_fuzz, mid_run_snapshots_resume_identically)
+{
+    if (!core::arena::supported()) {
+        GTEST_SKIP() << "no arena address-space support on this host";
+    }
+
+    const std::vector<fuzz_case> cases = {
+        {11, false, 0, 0xA11CEu, 137},
+        {11, true, 1, 0xA11CEu, 137},
+        {22, false, 2, 0xB0B0u, 500},
+        {22, true, 3, 0xB0B0u, 643},
+        {33, true, 4, 0xC0FFEEu, 881},
+        {44, false, 5, 0xDEAD5EEDu, 29},
+    };
+
+    for (const auto& c : cases) {
+        const std::string label = "seed=" + std::to_string(c.program_seed) +
+                                  (c.boot_kernel ? " kernel" : " plain") +
+                                  " plan=" + std::to_string(c.plan_index) +
+                                  " split=" + std::to_string(c.split_permille);
+        const faults::plan p = faults::plan::sample(c.plan_index);
+        const core::world_recipe recipe = fuzz_recipe(c.boot_kernel);
+
+        // (1) Uninterrupted baseline: random tail records the schedule.
+        run_oracles base;
+        {
+            fuzz_world fw(recipe, {}, sim::explore::controller::tail_policy::random,
+                          c.walk_seed, c.program_seed, p);
+            fw.w.browser.run_until(k_horizon);
+            base = harvest(fw);
+        }
+        ASSERT_FALSE(base.trace.empty()) << label;
+
+        // (2) Same world rebuilt in an arena, replaying the recorded
+        // schedule as a prefix, sealed at the randomized split point. The
+        // seal point only requires in_task()==false — pending tasks and
+        // half-consumed RNG/fault streams are part of the image.
+        const sim::time_ns t_mid = (k_horizon / 1000) * c.split_permille;
+        (void)p.str();  // field-table static must initialize off-arena
+        const auto prefix = sim::explore::schedule::parse(base.decisions);
+        ASSERT_TRUE(prefix.has_value()) << label;
+        core::world_snapshot snap;
+        bool quiescent_at_seal = false;
+        snap.capture([&]() -> void* {
+            auto* fw = new fuzz_world(recipe, *prefix,
+                                      sim::explore::controller::tail_policy::first,
+                                      0, c.program_seed, p);
+            fw->w.browser.run_until(t_mid);
+            quiescent_at_seal = !fw->w.browser.sim().in_task();
+            return fw;
+        });
+        EXPECT_TRUE(quiescent_at_seal) << label;
+        auto& fw = *static_cast<fuzz_world*>(snap.anchor());
+
+        // (3) Two forks resume to the horizon; both must match the
+        // uninterrupted run, and the second fork re-proves the restore.
+        for (int round = 0; round < 2; ++round) {
+            run_oracles resumed;
+            bool diverged = true;
+            {
+                core::fork fk(snap);
+                fk.step([&] { fw.w.browser.run_until(k_horizon); });
+                resumed = harvest(fw);  // scope off, pre-restore
+                diverged = fw.ctl.replay_diverged();
+            }
+            expect_oracles_equal(resumed, base,
+                                 label + " round=" + std::to_string(round));
+            EXPECT_FALSE(diverged) << label << " round=" << round;
+        }
+    }
+}
+
+}  // namespace
