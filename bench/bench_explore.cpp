@@ -1,0 +1,179 @@
+// bench_explore — schedule-search cost of the DPOR + coverage explorer
+// (sim/explore.cpp, sim/por.h), recorded per CVE row and on the search-hard
+// needle family.
+//
+//   bench_explore [--json <dir>] [--strict-reduction]
+//
+// Two very different questions, reported side by side:
+//
+//  * CVE rows: schedules to the first witness, DPOR off/on x snapshot-backed
+//    program off/on. The scripted exploits win their race under the natural
+//    schedule, so every cell is 1 — the value of the table is that it stays
+//    1 (reduction never delays or loses a CVE witness) and that the
+//    snapshot-backed program agrees with the fresh-world one.
+//
+//  * Needle family (attacks::needle_search_program): a two-flip witness
+//    buried under N commuting noise tasks — here search is real. The table
+//    records schedules-to-witness for the unreduced DFS vs sleep-set DPOR,
+//    the pruned count, and the reduction ratio per noise size, plus
+//    coverage-guided vs blind random walks on the same program. The
+//    acceptance bar (median DFS ratio >= 10x) is evaluated into
+//    `meets_reduction_target`; it gates the exit code only under
+//    --strict-reduction so CI tracks it through the artifact instead of
+//    failing unrelated PRs.
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attacks/explore_sweep.h"
+#include "bench/bench_util.h"
+#include "core/world.h"
+#include "sim/explore.h"
+
+namespace {
+
+namespace explore = jsk::sim::explore;
+
+std::string json_key(std::string cve)
+{
+    for (char& c : cve) {
+        if (c == '-') c = '_';
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return cve;
+}
+
+struct dfs_cell {
+    std::uint64_t to_witness = 0;  // 0 = not found within the budget
+    std::uint64_t pruned = 0;
+};
+
+dfs_cell run_dfs(const explore::program& p, bool dpor, std::uint64_t budget)
+{
+    explore::options opt;
+    opt.max_schedules = budget;
+    opt.dpor = dpor;
+    const auto res = explore::explore_dfs(p, opt);
+    dfs_cell cell;
+    cell.to_witness = res.failing.has_value() ? res.schedules_run : 0;
+    cell.pruned = res.pruned;
+    return cell;
+}
+
+std::uint64_t run_random(const explore::program& p, bool coverage,
+                         std::uint64_t budget)
+{
+    explore::options opt;
+    opt.max_schedules = budget;
+    opt.seed = 29;
+    opt.coverage = coverage;
+    const auto res = explore::explore_random(p, opt);
+    return res.failing.has_value() ? res.schedules_run : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    bool strict_reduction = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--strict-reduction") == 0) strict_reduction = true;
+    }
+
+    jsk::bench::json_report report("explore");
+    const bool snapshots = jsk::core::arena::supported();
+    report.set("snapshots_available", static_cast<std::uint64_t>(snapshots ? 1 : 0));
+
+    // --- CVE rows: witness preservation, fresh and snapshot-backed ----------
+    jsk::bench::print_row({"cve", "dfs", "dfs+dpor", "snap", "snap+dpor"});
+    jsk::bench::print_rule(5);
+    bool cve_all_found = true;
+    bool snap_agrees = true;
+    for (const std::string& cve : jsk::attacks::cve_ids()) {
+        const auto fresh = jsk::attacks::cve_trigger_program(cve, false);
+        const dfs_cell plain = run_dfs(fresh, /*dpor=*/false, 64);
+        const dfs_cell reduced = run_dfs(fresh, /*dpor=*/true, 64);
+        dfs_cell snap_plain = plain;
+        dfs_cell snap_reduced = reduced;
+        if (snapshots) {
+            const auto snap = jsk::attacks::cve_trigger_program_snap(cve, false);
+            snap_plain = run_dfs(snap, /*dpor=*/false, 64);
+            snap_reduced = run_dfs(snap, /*dpor=*/true, 64);
+        }
+        cve_all_found = cve_all_found && plain.to_witness > 0 &&
+                        reduced.to_witness > 0;
+        snap_agrees = snap_agrees && snap_plain.to_witness == plain.to_witness &&
+                      snap_reduced.to_witness == reduced.to_witness;
+        const std::string key = json_key(cve);
+        report.set(key + "_to_witness", plain.to_witness);
+        report.set(key + "_to_witness_dpor", reduced.to_witness);
+        report.set(key + "_to_witness_snap", snap_plain.to_witness);
+        report.set(key + "_to_witness_snap_dpor", snap_reduced.to_witness);
+        jsk::bench::print_row({cve, std::to_string(plain.to_witness),
+                               std::to_string(reduced.to_witness),
+                               std::to_string(snap_plain.to_witness),
+                               std::to_string(snap_reduced.to_witness)});
+    }
+    report.set("cve_all_witnesses_found",
+               static_cast<std::uint64_t>(cve_all_found ? 1 : 0));
+    report.set("cve_snapshot_agrees", static_cast<std::uint64_t>(snap_agrees ? 1 : 0));
+
+    // --- needle family: where search is real --------------------------------
+    std::printf("\n");
+    jsk::bench::print_row({"noise", "dfs", "dfs+dpor", "pruned", "ratio"});
+    jsk::bench::print_rule(5);
+    std::vector<double> ratios;
+    bool needle_all_found = true;
+    for (const int noise : {4, 6, 8, 10, 12}) {
+        const auto program = jsk::attacks::needle_search_program(noise);
+        const dfs_cell plain = run_dfs(program, /*dpor=*/false, 100'000);
+        const dfs_cell reduced = run_dfs(program, /*dpor=*/true, 100'000);
+        needle_all_found = needle_all_found && plain.to_witness > 0 &&
+                           reduced.to_witness > 0;
+        const double ratio = reduced.to_witness > 0
+                                 ? static_cast<double>(plain.to_witness) /
+                                       static_cast<double>(reduced.to_witness)
+                                 : 0.0;
+        ratios.push_back(ratio);
+        const std::string key = "needle" + std::to_string(noise);
+        report.set(key + "_to_witness", plain.to_witness);
+        report.set(key + "_to_witness_dpor", reduced.to_witness);
+        report.set(key + "_pruned_dpor", reduced.pruned);
+        report.set(key + "_ratio", ratio);
+        jsk::bench::print_row({std::to_string(noise), std::to_string(plain.to_witness),
+                               std::to_string(reduced.to_witness),
+                               std::to_string(reduced.pruned),
+                               jsk::bench::fmt(ratio, 1)});
+    }
+    std::sort(ratios.begin(), ratios.end());
+    const double median_ratio = ratios[ratios.size() / 2];
+    report.set("needle_median_ratio", median_ratio);
+    report.set("needle_all_witnesses_found",
+               static_cast<std::uint64_t>(needle_all_found ? 1 : 0));
+
+    // Coverage-guided vs blind random walks on the buried witness.
+    const auto needle8 = jsk::attacks::needle_search_program(8);
+    const std::uint64_t blind = run_random(needle8, /*coverage=*/false, 4'000);
+    const std::uint64_t guided = run_random(needle8, /*coverage=*/true, 4'000);
+    report.set("needle8_random_to_witness", blind);
+    report.set("needle8_random_to_witness_coverage", guided);
+    std::printf("\nneedle8 random walks to witness: blind=%llu coverage=%llu "
+                "(0 = not found in 4000)\n",
+                static_cast<unsigned long long>(blind),
+                static_cast<unsigned long long>(guided));
+
+    const bool meets = cve_all_found && needle_all_found && median_ratio >= 10.0;
+    report.set("meets_reduction_target", static_cast<std::uint64_t>(meets ? 1 : 0));
+    std::printf("median DFS reduction ratio: %.1fx (target >= 10x: %s)\n",
+                median_ratio, meets ? "met" : "NOT met");
+
+    const std::string dir = jsk::bench::json_out_dir(argc, argv);
+    if (!dir.empty()) report.write(dir);
+
+    if (!cve_all_found || !snap_agrees) return 1;  // trust before speed
+    if (strict_reduction && !meets) return 1;
+    return 0;
+}

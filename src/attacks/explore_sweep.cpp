@@ -1,5 +1,6 @@
 #include "attacks/explore_sweep.h"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "par/sweep.h"
 #include "par/worker_local.h"
 #include "runtime/vuln.h"
+#include "sim/por.h"
 #include "sim/rng.h"
 
 namespace jsk::attacks {
@@ -159,7 +161,7 @@ sim::explore::program cve_trigger_program_snap(std::string cve_id, bool with_jsk
     return [cve_id = std::move(cve_id), with_jskernel,
             browser_seed](sim::explore::controller& ctl) {
         sim::explore::run_outcome out;
-        if (ctl.records_metadata() || !core::arena::supported()) {
+        if (!core::arena::supported()) {
             out.violated = run_cve_trial(cve_id, with_jskernel, ctl, browser_seed);
             if (out.violated) out.detail = cve_id + " triggered";
             return out;
@@ -179,8 +181,8 @@ sim::explore::program cve_trigger_program_snap(std::string cve_id, bool with_jsk
                 triggered = drive_cve_trial(w, exploit, cve_id, spec.defense,
                                             browser_seed, ctl);
             });
-            if (core::arena::contains(ctl.decisions().choices.data()) ||
-                core::arena::contains(ctl.trace().data())) {
+            if (ctl.storage_within(
+                    [](const void* p) { return core::arena::contains(p); })) {
                 throw std::runtime_error(
                     "cve_trigger_program_snap: controller recording outgrew its "
                     "reservation inside a fork — raise the reserve");
@@ -189,6 +191,58 @@ sim::explore::program cve_trigger_program_snap(std::string cve_id, bool with_jsk
         out.violated = triggered;
         if (out.violated) out.detail = cve_id + " triggered";
         return out;
+    };
+}
+
+sim::explore::program needle_search_program(int noise)
+{
+    return [noise](sim::explore::controller& ctl) {
+        sim::simulation s;
+        const auto ta = s.create_thread("a");
+        const auto tb = s.create_thread("b");
+        std::vector<sim::thread_id> nt;
+        nt.reserve(static_cast<std::size_t>(noise));
+        for (int i = 0; i < noise; ++i) {
+            nt.push_back(s.create_thread("n" + std::to_string(i)));
+        }
+        ctl.attach(s);
+        auto order = std::make_shared<std::string>();
+        constexpr std::uint64_t w1 = sim::por::sab_key(1, 0);
+        constexpr std::uint64_t w2 = sim::por::sab_key(2, 0);
+        constexpr sim::time_ns ms = 1'000'000;
+        // The needle: two dependent pairs at the *shallow* decision points.
+        // Both must run reversed (Y before X, V before U) to violate.
+        s.post(ta, 1 * ms, [&s, order] {
+            s.note_access(w1, /*write=*/true);
+            order->push_back('X');
+        }, "X");
+        s.post(tb, 1 * ms, [&s, order] {
+            s.note_access(w1, /*write=*/true);
+            order->push_back('Y');
+        }, "Y");
+        s.post(ta, 2 * ms, [&s, order] {
+            s.note_access(w2, /*write=*/true);
+            order->push_back('U');
+        }, "U");
+        s.post(tb, 2 * ms, [&s, order] {
+            s.note_access(w2, /*write=*/true);
+            order->push_back('V');
+        }, "V");
+        // The haystack: later, deeper decision points whose alternatives all
+        // commute (one task per thread, disjoint keys). Depth-first search
+        // explores deepest children first, so these bury the needle flips at
+        // the bottom of the unreduced work list.
+        for (int i = 0; i < noise; ++i) {
+            const std::uint64_t k =
+                sim::por::sab_key(20 + static_cast<std::uint64_t>(i), 0);
+            s.post(nt[static_cast<std::size_t>(i)], 5 * ms,
+                   [&s, k] { s.note_access(k, /*write=*/true); },
+                   "noise" + std::to_string(i));
+        }
+        s.run();
+        const bool bad = order->find("YX") != std::string::npos &&
+                         order->find("VU") != std::string::npos;
+        return sim::explore::run_outcome{bad, "both pairs reversed"};
     };
 }
 

@@ -120,12 +120,26 @@ struct matrix_options {
 
 /// Snapshot-backed sibling of cve_trigger_program: same witness contract,
 /// but each run forks a thread-local sealed snapshot instead of building a
-/// browser. Falls back to a fresh world when the controller records DPOR
-/// metadata (node-based storage cannot be pre-reserved) or the platform has
-/// no arena support — so it is safe to hand to any explore driver,
+/// browser. DPOR metadata recording works through forks too — the
+/// controller's logs are flat and pre-reserved (controller::reserve), with
+/// controller::storage_within guarding against reservation overflow inside
+/// the (rolled-back-on-exit) arena. Falls back to a fresh world only when
+/// the platform has no arena support — safe to hand to any explore driver,
 /// including par::explore_dfs's wave workers.
 sim::explore::program cve_trigger_program_snap(std::string cve_id, bool with_jskernel,
                                                std::uint64_t browser_seed = 17);
+
+/// Synthetic search-hard fixture for the DPOR differential and bench: a
+/// "needle" witness needing two specific order flips (two dependent write
+/// pairs on threads a/b, violation only when both pairs run reversed) hidden
+/// behind `noise` later single-task threads touching disjoint keys. The
+/// scripted CVE exploits win their race under the very first schedule, so
+/// they exercise witness *preservation* but not search; this family is where
+/// reduction is measurable. The noise tasks commute with everything, so
+/// sleep-set DPOR reaches the needle in a constant number of runs while the
+/// unreduced DFS wades through the noise interleavings first — the gap grows
+/// with `noise`.
+sim::explore::program needle_search_program(int noise);
 
 /// Random-walk schedule sweep over every CVE row, plain and under JSKernel,
 /// sharded over (CVE x defense x walk) on the jsk::par driver and merged in

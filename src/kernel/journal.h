@@ -62,6 +62,13 @@ public:
     /// harness surfaces this next to a failing decision string.
     [[nodiscard]] std::string diff_description(const journal& other) const;
 
+    /// Order-sensitive FNV-1a fingerprint of the timeline (type, predicted
+    /// slot, label per entry; event_id excluded, like operator==). The
+    /// harness-layer analogue of por::analysis::class_hash(): equal journals
+    /// hash equal, so coverage tooling can bucket runs by kernel-visible
+    /// interleaving class without keeping whole journals around.
+    [[nodiscard]] std::uint64_t class_hash() const;
+
 private:
     std::vector<journal_entry> entries_;
     std::uint64_t next_seq_ = 0;

@@ -5,6 +5,7 @@
 #include "kernel/kernel.h"
 #include "runtime/browser.h"
 #include "runtime/vuln.h"
+#include "sim/explore.h"
 #include "sim/simulation.h"
 
 namespace jsk::obs {
@@ -99,6 +100,16 @@ void collect_core(registry& reg, const core::fork_stats& st)
     reg.get_counter("core.bytes_restored").set(st.bytes_restored);
     reg.get_counter("core.cow_faults").set(st.cow_faults);
     reg.get_counter("core.image_bytes").set(st.image_bytes);
+}
+
+void collect_explore(registry& reg, const sim::explore::result& r)
+{
+    reg.get_counter("explore.schedules_run").set(r.schedules_run);
+    reg.get_counter("explore.pruned").set(r.pruned);
+    reg.get_counter("explore.witness_found").set(r.failing.has_value() ? 1 : 0);
+    reg.get_counter("explore.exhausted").set(r.exhausted ? 1 : 0);
+    reg.get_counter("explore.coverage_classes").set(r.coverage_classes);
+    reg.get_counter("explore.coverage_novel").set(r.coverage_novel);
 }
 
 namespace {

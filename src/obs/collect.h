@@ -28,6 +28,9 @@ class injector;
 namespace jsk::core {
 struct fork_stats;
 }
+namespace jsk::sim::explore {
+struct result;
+}
 
 namespace jsk::obs {
 
@@ -57,6 +60,11 @@ void collect_faults(registry& reg, const faults::injector& inj);
 /// so they go into bench/diagnostic registries only — never into a
 /// per-trial registry that feeds a byte-compared matrix artifact.
 void collect_core(registry& reg, const core::fork_stats& st);
+
+/// Schedule-exploration outcome: schedules run, subtrees pruned by DPOR,
+/// witness found/exhausted flags, and (coverage-guided mode) distinct
+/// interleaving classes seen plus walks that reached novel behaviour.
+void collect_explore(registry& reg, const sim::explore::result& r);
 
 /// Subscribe a bridge on the browser's event bus that forwards every runtime
 /// announcement (postMessage send/recv, fetch issue/complete/abort, worker

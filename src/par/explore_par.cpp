@@ -1,6 +1,7 @@
 #include "par/explore_par.h"
 
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -18,7 +19,7 @@ struct wave_run {
     bool violated = false;
     std::string detail;
     explore::schedule failing;            // recorded + trimmed, violated only
-    std::vector<explore::schedule> children;
+    std::vector<explore::work_item> children;
     std::uint64_t pruned = 0;
 };
 
@@ -30,7 +31,13 @@ explore::result explore_dfs(const explore::program& p, const explore_options& op
 
     explore::result res;
     worker_pool pool(opt.jobs);
-    std::vector<explore::schedule> work{explore::schedule{}};
+    std::vector<explore::work_item> work{explore::work_item{}};
+    // Same duplicate-prefix filter as the serial driver: sound DPOR can
+    // re-derive a backtrack at an ancestor decision from several runs, and
+    // each subtree must be scheduled exactly once. Applied at merge time in
+    // canonical batch order, so the surviving set is jobs-invariant.
+    std::unordered_set<std::string> seen;
+    seen.insert(std::string{});
     while (!work.empty()) {
         const std::size_t budget = opt.base.max_schedules > res.schedules_run
                                        ? opt.base.max_schedules - res.schedules_run
@@ -44,8 +51,9 @@ explore::result explore_dfs(const explore::program& p, const explore_options& op
         const std::size_t base_index = work.size() - batch;
         auto runs = sweep_on<wave_run>(pool, batch, [&](std::size_t i,
                                                         const worker_context&) {
-            const explore::schedule& prefix = work[work.size() - 1 - i];
-            explore::controller ctl(prefix, explore::controller::tail_policy::first);
+            const explore::work_item& item = work[work.size() - 1 - i];
+            explore::controller ctl(item.prefix,
+                                    explore::controller::tail_policy::first);
             ctl.set_window(opt.base.window);
             if (opt.base.dpor) ctl.set_record_metadata(true);
             const explore::run_outcome out = p(ctl);
@@ -56,25 +64,33 @@ explore::result explore_dfs(const explore::program& p, const explore_options& op
                 r.failing = ctl.decisions();
                 r.failing.trim();
             } else {
-                r.children = explore::expand_run(ctl, prefix, opt.base, r.pruned);
+                r.children = explore::expand_run(ctl, item, opt.base, r.pruned);
             }
             return r;
         });
         work.resize(base_index);
-        res.schedules_run += batch;
 
-        // Canonical-order merge: first violation in batch order wins; the
-        // whole wave already ran, so these numbers are jobs-invariant.
+        // Canonical-order merge, counting exactly as the serial driver does:
+        // runs are folded one by one in batch order, and the first violation
+        // stops the fold — runs after it in the batch did execute (the wave
+        // had already been dispatched) but are not charged to schedules_run
+        // and contribute no pruned counts, so every number matches a serial
+        // walk that stopped at the same run. Runs *before* the violation keep
+        // their pruned counts: they completed and their subtrees were cut.
         for (const wave_run& r : runs) {
+            ++res.schedules_run;
             if (r.violated) {
                 res.failing = r.failing;
                 res.failure_detail = r.detail;
                 return res;
             }
+            res.pruned += r.pruned;
         }
         for (auto& r : runs) {
-            res.pruned += r.pruned;
-            for (auto& child : r.children) work.push_back(std::move(child));
+            for (auto& child : r.children) {
+                if (!seen.insert(child.prefix.str()).second) continue;
+                work.push_back(std::move(child));
+            }
         }
     }
     res.exhausted = true;

@@ -1,22 +1,20 @@
 // jsk::par — parallel frontier expansion for the schedule-exploration DFS.
 //
-// The serial explore_dfs pops one prefix at a time off a LIFO work list.
-// Here the whole frontier is run as one *wave* on the worker pool, and the
-// wave's outcomes are folded in canonical batch order:
+// The serial explore_dfs walks the same wave frontier this module
+// distributes: batch off the work-list tail (batch[i] = work[size-1-i]),
+// children appended after the whole batch. Here the batch runs on the
+// worker pool and the wave's outcomes are folded in canonical batch order:
 //
-//  * every prefix in the wave is simulated (even the ones "after" a
-//    violation), so schedules_run, pruned, the failing schedule, and
-//    `exhausted` are pure functions of the program and options — identical
-//    at --jobs 2 and --jobs 128;
-//  * the first violation *in canonical order* wins, which for a fully-run
-//    wave is also jobs-invariant;
-//  * child prefixes are appended frontier-order, so each wave's batch is
-//    deterministic too.
-//
-// Wave order visits the bounded tree breadth-first-ish rather than the
-// serial LIFO order, so against `explore_dfs` (the --jobs 1 path) only the
-// *set* of runs within max_schedules is guaranteed equal when the tree is
-// explored to exhaustion — which is the regime DFS is for.
+//  * runs are charged to schedules_run one by one, and the first violation
+//    in canonical order stops the fold — later batch members did execute
+//    (the wave was already dispatched) but are not counted, so
+//    schedules_run, pruned, the failing schedule, and `exhausted` equal
+//    the serial driver's numbers exactly: identical at --jobs 1, 2, 128;
+//  * a run that precedes the violation keeps its pruned count (its subtree
+//    was genuinely cut); the violating run contributes none, just as the
+//    serial driver returns before expanding it;
+//  * child work items (prefix + DPOR sleep set) are appended frontier-order,
+//    so each wave's batch is deterministic too.
 //
 // The program must tolerate concurrent invocation: each call builds a fresh
 // world and touches nothing shared (every program in this repo does).

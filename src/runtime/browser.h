@@ -6,6 +6,7 @@
 // interposed per-context through the api_table instead.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -20,7 +21,9 @@
 #include "runtime/profile.h"
 #include "runtime/rendering.h"
 #include "runtime/storage.h"
+#include "runtime/vuln.h"
 #include "runtime/worker.h"
+#include "sim/por.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
 
@@ -152,8 +155,23 @@ public:
     void emit(rt_event event)
     {
         event.at = sim_.now();
+        // Every event is a write into the state machine of each monitor
+        // watching its kind: announce those sink touches to the schedule
+        // explorer *before* the bus fans out, so two tasks feeding the same
+        // CVE monitor are never judged independent (DESIGN.md §12). No-op
+        // (one branch per watcher bit) outside controlled exploration.
+        for (std::uint32_t sinks = monitor_watch_mask(event.kind); sinks != 0;
+             sinks &= sinks - 1) {
+            sim_.note_access(sim::por::sink_key(
+                                 static_cast<std::size_t>(std::countr_zero(sinks))),
+                             /*write=*/true);
+        }
         bus_.emit(event);
     }
+
+    /// World-unique id for a SharedArrayBuffer: keys its slots in the
+    /// explorer's SAB access namespace (por::sab_key).
+    [[nodiscard]] std::uint64_t take_sab_id() { return next_sab_id_++; }
 
 private:
     void import_worker_script(const std::shared_ptr<worker_link>& link);
@@ -181,6 +199,7 @@ private:
     std::unordered_map<std::string, worker_script> scripts_;
     std::vector<std::shared_ptr<worker_link>> links_;
     std::uint64_t next_worker_id_ = 1;
+    std::uint64_t next_sab_id_ = 1;
     std::int64_t messages_in_flight_ = 0;
 
     task_delay_hook delay_hook_;

@@ -543,6 +543,7 @@ shared_buffer_ptr context::native_create_shared_buffer(std::size_t slots)
     consume(owner_->profile().api_call_cost);
     auto buf = std::make_shared<shared_buffer>();
     buf->slots.assign(slots, 0.0);
+    buf->sab_id = owner_->take_sab_id();
     return buf;
 }
 
@@ -552,6 +553,7 @@ double context::native_sab_load(const shared_buffer_ptr& buf, std::size_t index)
     if (!buf || index >= buf->slots.size()) {
         throw std::out_of_range("SharedArrayBuffer read out of range");
     }
+    owner_->sim().note_access(sim::por::sab_key(buf->sab_id, index), /*write=*/false);
     return buf->slots[index];
 }
 
@@ -561,6 +563,7 @@ void context::native_sab_store(const shared_buffer_ptr& buf, std::size_t index, 
     if (!buf || index >= buf->slots.size()) {
         throw std::out_of_range("SharedArrayBuffer write out of range");
     }
+    owner_->sim().note_access(sim::por::sab_key(buf->sab_id, index), /*write=*/true);
     buf->slots[index] = value;
 }
 

@@ -41,6 +41,7 @@ struct array_buffer {
 /// mediate every access (§III-E2).
 struct shared_buffer {
     std::vector<double> slots;
+    std::uint64_t sab_id = 0;  // world-unique; keys slots for the explorer
 };
 
 using array_buffer_ptr = std::shared_ptr<array_buffer>;

@@ -110,6 +110,45 @@ private:
 
 }  // namespace
 
+std::uint32_t monitor_watch_mask(rt_event_kind kind)
+{
+    // Slot numbers mirror the push order in the vuln_registry constructor
+    // below; the static_assert-style cross-check lives in tests/explore.
+    switch (kind) {
+        case rt_event_kind::fetch_freed:
+        case rt_event_kind::fetch_aborted:
+            return 1u << 0;  // CVE-2018-5092
+        case rt_event_kind::indexeddb_access:
+        case rt_event_kind::indexeddb_persisted_private:
+            return 1u << 1;  // CVE-2017-7843
+        case rt_event_kind::import_scripts_error:
+            return 1u << 2;  // CVE-2015-7215
+        case rt_event_kind::message_after_termination:
+            return 1u << 3;  // CVE-2014-3194
+        case rt_event_kind::terminate_during_dispatch:
+            return 1u << 4;  // CVE-2014-1719
+        case rt_event_kind::transferable_received:
+            return 1u << 5;  // CVE-2014-1488
+        case rt_event_kind::worker_error_event:
+            return 1u << 6;  // CVE-2014-1487
+        case rt_event_kind::worker_created:
+        case rt_event_kind::worker_terminated:
+        case rt_event_kind::worker_self_closed:
+        case rt_event_kind::page_reload:
+            return 1u << 7;  // CVE-2013-6646 (worker lifecycle vs reload)
+        case rt_event_kind::worker_onmessage_assigned:
+            return 1u << 8;  // CVE-2013-5602
+        case rt_event_kind::xhr_request:
+            return 1u << 9;  // CVE-2013-1714
+        case rt_event_kind::cross_origin_script_imported:
+            return 1u << 10;  // CVE-2011-1190
+        case rt_event_kind::worker_double_termination:
+            return 1u << 11;  // CVE-2010-4576
+        default:
+            return 0;  // no monitor consumes this kind
+    }
+}
+
 vuln_registry::vuln_registry(event_bus& bus)
 {
     monitors_.push_back(std::make_unique<cve_2018_5092>());

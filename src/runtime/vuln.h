@@ -13,6 +13,7 @@
 // each one is a worker-lifecycle race, which is what we model.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,6 +49,15 @@ private:
     std::string description_;
     bool triggered_ = false;
 };
+
+/// Bitmask of vuln_registry monitor slots whose state machine reads events of
+/// `kind` (bit i = monitors()[i]). The schedule explorer uses this to record
+/// a por::sink_key touch per watching monitor when an event is emitted: tasks
+/// feeding the *same* monitor are order-dependent even when the runtime
+/// objects they touch are disjoint. Kinds no monitor consumes (plain message
+/// traffic, fetch lifecycle, fault-injection noise) map to 0 — they add no
+/// dependence beyond the inbox/channel keys already recorded.
+[[nodiscard]] std::uint32_t monitor_watch_mask(rt_event_kind kind);
 
 /// Owns one monitor per modelled CVE and subscribes them all to a bus.
 class vuln_registry {

@@ -1,7 +1,11 @@
 #include "sim/explore.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
+
+#include "sim/por.h"
+#include "sim/rng.h"
 
 namespace jsk::sim::explore {
 
@@ -87,107 +91,331 @@ std::size_t controller::choose(const std::vector<sched_candidate>& candidates)
     d.chosen = static_cast<std::uint32_t>(pick);
     d.count = static_cast<std::uint32_t>(candidates.size());
     d.offset = static_cast<std::uint32_t>(cand_threads_.size());
+    d.step = static_cast<std::uint32_t>(exec_log_.size());  // chosen runs next
     if (record_metadata_) {
         for (const auto& candidate : candidates) {
             cand_threads_.push_back(candidate.thread);
             cand_tasks_.push_back(candidate.id);
+            cand_starts_.push_back(candidate.start);
         }
     }
     trace_.push_back(d);
     return pick;
 }
 
-void controller::on_post(task_id posted, thread_id target, task_id poster)
+void controller::on_post(task_id posted, thread_id target, task_id poster,
+                         thread_id source)
 {
-    (void)posted;
-    if (!record_metadata_ || poster == 0) return;
-    auto& footprint = posts_[poster];
-    if (std::find(footprint.begin(), footprint.end(), target) == footprint.end()) {
-        footprint.push_back(target);
-    }
+    if (!record_metadata_ || poster == 0 || exec_log_.empty()) return;
+    // A post writes the target thread's inbox (every task executing there
+    // implicitly reads it — see on_execute) and the source->target channel.
+    on_access(poster, por::inbox_key(target), /*write=*/true);
+    on_access(poster, por::channel_key(source, target), /*write=*/true);
+    post_log_.push_back(
+        post_rec{posted, static_cast<std::uint32_t>(exec_log_.size() - 1)});
 }
 
-const std::vector<thread_id>* controller::footprint(task_id task) const
+void controller::on_execute(task_id task, thread_id thread, time_ns ready_at)
 {
-    const auto it = posts_.find(task);
-    return it == posts_.end() ? nullptr : &it->second;
+    if (!record_metadata_) return;
+    const auto mark = static_cast<std::uint32_t>(access_log_.size());
+    exec_log_.push_back(exec_rec{task, thread, ready_at, mark, mark});
+    if (task >= task_step_.size()) task_step_.resize(task + 1, 0);
+    task_step_[task] = static_cast<std::uint32_t>(exec_log_.size());
+    // The implicit inbox read: executing on a thread observes what was
+    // posted there, so it conflicts with every post targeting the thread.
+    on_access(task, por::inbox_key(thread), /*write=*/false);
+}
+
+void controller::on_access(task_id task, std::uint64_t resource, bool write)
+{
+    (void)task;  // attribution is positional: accesses land on the open step
+    if (!record_metadata_ || exec_log_.empty()) return;
+    access_log_.push_back(access_rec{resource, write});
+    exec_log_.back().access_end = static_cast<std::uint32_t>(access_log_.size());
+}
+
+std::size_t controller::poster_step_of(task_id task) const
+{
+    const auto it = std::lower_bound(
+        post_log_.begin(), post_log_.end(), task,
+        [](const post_rec& rec, task_id id) { return rec.posted < id; });
+    if (it == post_log_.end() || it->posted != task) return no_step;
+    return it->poster_step;
+}
+
+bool controller::storage_within(
+    const std::function<bool(const void*)>& contains) const
+{
+    const auto in = [&](const auto& v) { return !v.empty() && contains(v.data()); };
+    return in(recorded_.choices) || in(trace_) || in(cand_threads_) ||
+           in(cand_tasks_) || in(cand_starts_) || in(exec_log_) ||
+           in(access_log_) || in(post_log_) || in(task_step_);
 }
 
 // --- drivers -------------------------------------------------------------------
 
-result explore_random(const program& p, const options& opt)
-{
-    result res;
-    for (std::uint64_t walk = 0; walk < opt.max_schedules; ++walk) {
-        // Walk 0 is the default schedule (all-first); the rest are seeded.
-        controller ctl({}, walk == 0 ? controller::tail_policy::first
-                                     : controller::tail_policy::random,
-                       opt.seed + walk);
-        ctl.set_window(opt.window);
-        const run_outcome out = p(ctl);
-        ++res.schedules_run;
-        if (out.violated) {
-            schedule failing = ctl.decisions();
-            failing.trim();
-            res.failing = std::move(failing);
-            res.failure_detail = out.detail;
-            return res;
-        }
-    }
-    return res;
-}
-
 namespace {
 
-/// DPOR-lite independence: two co-enabled tasks commute when they run on
-/// different threads and, per the footprints observed in this run, neither
-/// posted to the other's thread. (Each thread's busy window is unaffected by
-/// the order of same-start tasks on *other* threads, so swapping them yields
-/// an equivalent simulator trace.) Unknown footprints (task never ran) are
-/// treated as dependent — no pruning.
-bool independent(const controller& ctl, const decision& d, std::size_t a, std::size_t b)
+/// The pre-fix posts-only independence heuristic, preserved verbatim behind
+/// options::legacy_footprint so the soundness regression suite can
+/// demonstrate the witness it loses: it only asks whether either task
+/// posted to the other's *thread*, so same-target posters, SAB racers and
+/// monitor-sink racers all read as independent. It even treats a task that
+/// never ran as having an empty footprint (no conflict), despite claiming
+/// otherwise. Do not use outside that suite.
+bool legacy_independent(const controller& ctl, const decision& d, std::size_t a,
+                        std::size_t b)
 {
     const thread_id ta = ctl.decision_thread(d, a);
     const thread_id tb = ctl.decision_thread(d, b);
     if (ta == tb) return false;
-    const auto* fa = ctl.footprint(ctl.decision_task(d, a));
-    const auto* fb = ctl.footprint(ctl.decision_task(d, b));
-    const auto posts_to = [](const std::vector<thread_id>* fp, thread_id t) {
-        return fp != nullptr && std::find(fp->begin(), fp->end(), t) != fp->end();
+    const auto posts_to = [&](std::size_t cand, thread_id t) {
+        const std::size_t step = ctl.step_of(ctl.decision_task(d, cand));
+        if (step == controller::no_step) return false;  // the historical quirk
+        const exec_rec& rec = ctl.exec_log()[step];
+        const std::uint64_t key = por::inbox_key(t);
+        for (std::uint32_t i = rec.access_begin; i < rec.access_end; ++i) {
+            const access_rec& acc = ctl.access_log()[i];
+            if (acc.key == key && acc.write) return true;
+        }
+        return false;
     };
-    if (posts_to(fa, tb) || posts_to(fb, ta)) return false;
+    if (posts_to(a, tb) || posts_to(b, ta)) return false;
     return true;
+}
+
+bool sleep_contains(const std::vector<task_id>& sleep, task_id task)
+{
+    return std::find(sleep.begin(), sleep.end(), task) != sleep.end();
+}
+
+/// Thread a task executed on in this run, or no_thread when it never ran
+/// (in which case por::dependent is conservative regardless of the thread).
+thread_id thread_of(const controller& ctl, task_id task)
+{
+    const std::size_t step = ctl.step_of(task);
+    return step == controller::no_step ? no_thread : ctl.exec_log()[step].thread;
+}
+
+/// Propagate a sleep set across the executed step at exec index `step`:
+/// sleepers dependent with it wake up (their claimed coverage assumed the
+/// step could be commuted past them — no longer true). Returns true when
+/// the executed task *itself* was asleep, i.e. the rest of this run is
+/// redundant with an already-covered ordering.
+bool wake_step(const controller& ctl, std::vector<task_id>& sleep, std::size_t step)
+{
+    const task_id ran = ctl.exec_log()[step].task;
+    bool redundant = false;
+    std::erase_if(sleep, [&](task_id t) {
+        if (t == ran) {
+            redundant = true;
+            return true;
+        }
+        return por::dependent_step(ctl, t, step);
+    });
+    return redundant;
+}
+
+/// Causal ancestry of the task that executed step `s`: the task itself, its
+/// poster, the poster's poster, … back to a root task with no recorded
+/// poster. Post edges are the only inter-task ordering the scheduler
+/// enforces, so this chain is exactly the set of tasks that must run before
+/// step `s` can.
+std::vector<task_id> causal_chain(const controller& ctl, std::size_t s)
+{
+    std::vector<task_id> chain;
+    task_id t = ctl.exec_log()[s].task;
+    for (;;) {
+        chain.push_back(t);
+        const std::size_t ps = ctl.poster_step_of(t);
+        if (ps == controller::no_step) break;
+        t = ctl.exec_log()[ps].task;
+    }
+    return chain;
+}
+
+bool chain_contains(const std::vector<task_id>& chain, task_id t)
+{
+    return std::find(chain.begin(), chain.end(), t) != chain.end();
 }
 
 }  // namespace
 
-std::vector<schedule> expand_run(const controller& ctl, const schedule& prefix,
-                                 const options& opt, std::uint64_t& pruned)
+std::vector<work_item> expand_run(const controller& ctl, const work_item& item,
+                                  const options& opt, std::uint64_t& pruned)
 {
-    // Expand alternatives at every branching point this run reached beyond
-    // its prescribed prefix. Each child prefix is generated exactly once
-    // across the whole tree.
-    std::vector<schedule> children;
+    // Expand alternatives at branching points of this run. Plain and
+    // legacy modes visit only points beyond the prescribed prefix (each
+    // child prefix is then generated exactly once across the tree). Sound
+    // DPOR also re-examines the in-prefix ancestor decisions: this run's
+    // continuation differs from the one each ancestor was expanded
+    // against, so it can expose races at those earlier states that the
+    // ancestor's own scan could not see — classic DPOR accumulates
+    // backtrack points across *every* execution passing through a state.
+    // Re-derived duplicates are dropped by the drivers' seen-prefix set.
+    std::vector<work_item> children;
     const auto& trace = ctl.trace();
     const auto& taken = ctl.decisions().choices;
-    std::size_t preemptions_before = prefix.preemptions();
-    for (std::size_t point = prefix.choices.size(); point < trace.size(); ++point) {
+    const schedule& prefix = item.prefix;
+    if (prefix.choices.size() > trace.size()) return children;  // diverged short
+
+    const bool sound_dpor = opt.dpor && !opt.legacy_footprint;
+    const bool sleep_sets = sound_dpor;
+    const std::size_t first_point = sound_dpor ? 0 : prefix.choices.size();
+    std::size_t preemptions_before = sound_dpor ? 0 : prefix.preemptions();
+    std::vector<task_id> sleep = sleep_sets ? item.sleep : std::vector<task_id>{};
+    // Exec step right after the prefix's last prescribed choice ran.
+    std::size_t step = prefix.choices.empty()
+                           ? 0
+                           : trace[prefix.choices.size() - 1].step + 1;
+
+    for (std::size_t point = first_point; point < trace.size(); ++point) {
         const decision& d = trace[point];
+        // Inside the prefix the sleep-set state of the ancestor decisions is
+        // unknown (it lived in their work items), so no sleep tracking there
+        // — only race-driven child generation, which is sound with an empty
+        // sleep set.
+        const bool in_prefix = point < prefix.choices.size();
+        if (sleep_sets && !in_prefix) {
+            // Forced (non-branching) steps between decisions still wake
+            // sleepers; a forced step that was itself asleep makes the rest
+            // of the run redundant with an already-covered ordering.
+            for (; step < d.step; ++step) {
+                if (wake_step(ctl, sleep, step)) return children;
+            }
+        }
+        // Candidate metadata exists only when the controller records it
+        // (opt.dpor) — don't touch it on the plain exhaustive path.
+        const task_id chosen_task = opt.dpor ? ctl.decision_task(d, d.chosen) : 0;
+        // Race-driven generation (the Flanagan–Godefroid backtrack rule):
+        // a sibling needs its own subtree only when reversing it against the
+        // chosen step can express a new ordering. Scan every later step e
+        // that conflicts with the chosen step and is causally concurrent
+        // with it (the chosen task is not in e's poster chain); the
+        // alternative to wake at this decision is whichever candidate sits
+        // in e's causal past — the earliest divergence that can float e
+        // above the chosen step. It is NOT enough to test each candidate's
+        // own footprint against the chosen: the conflicting step may be a
+        // descendant the candidate merely posts (candidate Z independent of
+        // chosen a, Z posts W, W conflicts with a — only Z-first reaches
+        // the W-before-a class). When no candidate is in e's past, fall
+        // back to waking every sibling.
+        const bool race_scan = sound_dpor && d.count > 1;
+        bool mark_all = false;
+        std::vector<char> marked;
+        if (race_scan) {
+            marked.assign(d.count, 0);
+            // May-be-co-enabled filter: candidates are offered within a
+            // `window` of the earliest pending effective start, and while the
+            // chosen task pends that anchor never exceeds its start. A
+            // setup-posted task (immutable ready time) beyond
+            // chosen_start + window therefore can never be co-enabled with
+            // the chosen here — its reversal is unreachable from this state
+            // and needs no backtrack. Dynamically-posted tasks keep the
+            // conservative treatment (their ready times move with the
+            // schedule), as does the whole point when a sibling candidate
+            // shares the chosen's thread (running it would push the chosen's
+            // effective start, dragging the window with it).
+            const time_ns chosen_start = ctl.decision_start(d, d.chosen);
+            const thread_id chosen_thread = ctl.decision_thread(d, d.chosen);
+            bool sibling_same_thread = false;
+            for (std::uint32_t i = 0; i < d.count; ++i) {
+                if (i != d.chosen && ctl.decision_thread(d, i) == chosen_thread) {
+                    sibling_same_thread = true;
+                }
+            }
+            const std::size_t steps = ctl.exec_log().size();
+            for (std::size_t e = d.step + 1; e < steps && !mark_all; ++e) {
+                const exec_rec& er = ctl.exec_log()[e];
+                if (!por::dependent_step(ctl, er.task, d.step)) continue;
+                if (!sibling_same_thread &&
+                    er.ready > chosen_start + ctl.window() &&
+                    ctl.poster_step_of(er.task) == controller::no_step) {
+                    continue;  // never co-enabled with the chosen: no race
+                }
+                const std::vector<task_id> chain = causal_chain(ctl, e);
+                if (chain_contains(chain, chosen_task)) continue;  // ordered
+                bool found = false;
+                for (std::uint32_t i = 0; i < d.count && !found; ++i) {
+                    if (i == d.chosen) continue;
+                    if (chain_contains(chain, ctl.decision_task(d, i))) {
+                        marked[i] = 1;
+                        found = true;
+                    }
+                }
+                if (!found) mark_all = true;
+            }
+        }
+        // Tasks whose subtrees this state's expansion covers: the chosen
+        // task first, then each sibling a child was actually generated for.
+        std::vector<task_id> covered;
+        if (sleep_sets) covered.push_back(chosen_task);
         for (std::uint32_t alt = 1; alt < d.count; ++alt) {
             if (alt == d.chosen) continue;
+            const task_id alt_task =
+                opt.dpor ? ctl.decision_task(d, alt) : task_id{0};
+            if (sleep_sets && !in_prefix && sleep_contains(sleep, alt_task)) {
+                ++pruned;  // asleep: covered by an explored sibling ordering
+                continue;
+            }
             if (preemptions_before + 1 > opt.preemption_budget) {
                 ++pruned;
                 continue;
             }
-            if (opt.dpor && independent(ctl, d, d.chosen, alt)) {
-                ++pruned;
-                continue;
+            if (opt.dpor) {
+                if (opt.legacy_footprint) {
+                    if (legacy_independent(ctl, d, d.chosen, alt)) {
+                        ++pruned;
+                        continue;
+                    }
+                } else {
+                    // A candidate that never executed in this run was either
+                    // cut off by the horizon or disabled by something that
+                    // conflicts with it — both mean its ordering is
+                    // unexplored here, so keep it conservatively.
+                    const bool never_ran =
+                        ctl.step_of(alt_task) == controller::no_step;
+                    if (!never_ran && !mark_all && !marked[alt]) {
+                        ++pruned;
+                        continue;
+                    }
+                }
             }
-            schedule child;
-            child.choices.assign(taken.begin(),
-                                 taken.begin() + static_cast<std::ptrdiff_t>(point));
-            child.choices.push_back(alt);
+            work_item child;
+            child.prefix.choices.assign(
+                taken.begin(), taken.begin() + static_cast<std::ptrdiff_t>(point));
+            child.prefix.choices.push_back(alt);
+            if (sleep_sets) {
+                // The child starts where this state's earlier explorations
+                // already cover the inherited sleepers and `covered` — minus
+                // anything dependent with the transition the child takes.
+                // (In-prefix children inherit nothing: the ancestor's sleep
+                // state is unknown, and `covered` holds only its chosen.)
+                const thread_id alt_thread = ctl.decision_thread(d, alt);
+                if (!in_prefix) {
+                    for (const task_id t : sleep) {
+                        if (t != alt_task &&
+                            !por::dependent(ctl, t, thread_of(ctl, t), alt_task,
+                                            alt_thread)) {
+                            child.sleep.push_back(t);
+                        }
+                    }
+                }
+                for (const task_id t : covered) {
+                    if (t != alt_task && !sleep_contains(child.sleep, t) &&
+                        !por::dependent(ctl, t, thread_of(ctl, t), alt_task,
+                                        alt_thread)) {
+                        child.sleep.push_back(t);
+                    }
+                }
+                covered.push_back(alt_task);
+            }
             children.push_back(std::move(child));
+        }
+        if (sleep_sets && !in_prefix) {
+            if (wake_step(ctl, sleep, d.step)) return children;
+            step = d.step + 1;
         }
         if (d.chosen != 0) ++preemptions_before;
     }
@@ -196,16 +424,88 @@ std::vector<schedule> expand_run(const controller& ctl, const schedule& prefix,
 
 result explore_dfs(const program& p, const options& opt)
 {
+    // Wave-order traversal: run the whole frontier tail (deepest first) as
+    // one batch, then append every batch member's children. This is exactly
+    // the canonical order par::explore_dfs distributes over its worker
+    // pool, so witness, schedules_run and pruned are identical at every
+    // --jobs count; serial simply stops at the first violation instead of
+    // finishing the wave.
     result res;
-    std::vector<schedule> work{schedule{}};
+    std::vector<work_item> work{work_item{}};
+    // Sound DPOR re-derives backtracks at ancestor decisions from every run
+    // passing through them, so the same child prefix can surface more than
+    // once; each subtree is still explored exactly once. Keyed by the
+    // decision string, seeded with the root.
+    std::unordered_set<std::string> seen;
+    seen.insert(std::string{});
     while (!work.empty()) {
-        if (res.schedules_run >= opt.max_schedules) return res;  // not exhausted
-        schedule prefix = std::move(work.back());
-        work.pop_back();
+        const std::uint64_t budget = opt.max_schedules > res.schedules_run
+                                         ? opt.max_schedules - res.schedules_run
+                                         : 0;
+        if (budget == 0) return res;  // bound hit: not exhausted
+        const std::size_t batch =
+            work.size() < budget ? work.size() : static_cast<std::size_t>(budget);
+        const std::size_t base_index = work.size() - batch;
+        std::vector<work_item> children;
+        for (std::size_t i = 0; i < batch; ++i) {
+            const work_item& item = work[work.size() - 1 - i];
+            controller ctl(item.prefix, controller::tail_policy::first);
+            ctl.set_window(opt.window);
+            if (opt.dpor) ctl.set_record_metadata(true);
+            const run_outcome out = p(ctl);
+            ++res.schedules_run;
+            if (out.violated) {
+                schedule failing = ctl.decisions();
+                failing.trim();
+                res.failing = std::move(failing);
+                res.failure_detail = out.detail;
+                return res;
+            }
+            for (auto& child : expand_run(ctl, item, opt, res.pruned)) {
+                if (!seen.insert(child.prefix.str()).second) continue;
+                children.push_back(std::move(child));
+            }
+        }
+        work.resize(base_index);
+        for (auto& child : children) work.push_back(std::move(child));
+    }
+    res.exhausted = true;
+    return res;
+}
 
-        controller ctl(prefix, controller::tail_policy::first);
+result explore_random(const program& p, const options& opt)
+{
+    result res;
+    // Coverage mode: fingerprint every completed walk and keep a pool of
+    // schedules that reached novel behaviour; later walks replay a random
+    // prefix of a pool member and walk randomly from there, steering the
+    // search toward unseen interleaving classes / monitor prefixes instead
+    // of re-rolling the same hot paths. Fully deterministic for a fixed
+    // seed. The non-coverage path is byte-identical to the historical one.
+    std::unordered_set<std::uint64_t> seen_classes;
+    std::unordered_set<std::uint64_t> seen_prints;
+    std::vector<schedule> pool;
+    constexpr std::size_t k_pool_cap = 64;
+    rng steer(split(opt.seed, 0x636f76657261ULL));
+    for (std::uint64_t walk = 0; walk < opt.max_schedules; ++walk) {
+        // Walk 0 is the default schedule (all-first); the rest are seeded.
+        schedule prefix;
+        if (opt.coverage && walk > 0 && !pool.empty()) {
+            const auto& base =
+                pool[static_cast<std::size_t>(steer.uniform(
+                    0, static_cast<std::int64_t>(pool.size()) - 1))];
+            const auto cut = static_cast<std::size_t>(steer.uniform(
+                0, static_cast<std::int64_t>(base.choices.size())));
+            prefix.choices.assign(base.choices.begin(),
+                                  base.choices.begin() +
+                                      static_cast<std::ptrdiff_t>(cut));
+        }
+        controller ctl(std::move(prefix), walk == 0
+                                              ? controller::tail_policy::first
+                                              : controller::tail_policy::random,
+                       opt.seed + walk);
         ctl.set_window(opt.window);
-        if (opt.dpor) ctl.set_record_metadata(true);
+        if (opt.coverage) ctl.set_record_metadata(true);
         const run_outcome out = p(ctl);
         ++res.schedules_run;
         if (out.violated) {
@@ -215,12 +515,25 @@ result explore_dfs(const program& p, const options& opt)
             res.failure_detail = out.detail;
             return res;
         }
-
-        for (auto& child : expand_run(ctl, prefix, opt, res.pruned)) {
-            work.push_back(std::move(child));
+        if (!opt.coverage) continue;
+        const por::analysis an(ctl);
+        bool novel = seen_classes.insert(an.class_hash()).second;
+        for (const std::uint64_t h : an.sink_prefix_hashes()) {
+            novel = seen_prints.insert(h).second || novel;
+        }
+        res.coverage_classes = seen_classes.size();
+        if (!novel) continue;
+        ++res.coverage_novel;
+        schedule interesting = ctl.decisions();
+        interesting.trim();
+        if (pool.size() < k_pool_cap) {
+            pool.push_back(std::move(interesting));
+        } else {
+            pool[static_cast<std::size_t>(steer.uniform(
+                0, static_cast<std::int64_t>(k_pool_cap) - 1))] =
+                std::move(interesting);
         }
     }
-    res.exhausted = true;
     return res;
 }
 

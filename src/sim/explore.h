@@ -29,7 +29,6 @@
 #include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/rng.h"
@@ -68,6 +67,24 @@ struct decision {
     std::uint32_t chosen = 0;
     std::uint32_t count = 0;
     std::uint32_t offset = 0;  // into the controller's flat candidate arrays
+    std::uint32_t step = 0;    // exec-log index the chosen task executes at
+                               // (meaningful only with metadata recording)
+};
+
+/// One recorded resource touch (see sim/por.h for the key namespaces).
+struct access_rec {
+    std::uint64_t key = 0;
+    bool write = false;
+};
+
+/// One executed task: identity, thread, its immutable ready time, and its
+/// span in the access log.
+struct exec_rec {
+    task_id task = 0;
+    thread_id thread = no_thread;
+    time_ns ready = 0;
+    std::uint32_t access_begin = 0;
+    std::uint32_t access_end = 0;
 };
 
 /// Drives one run: replays a prescribed prefix of decisions, then follows a
@@ -93,7 +110,10 @@ public:
 
     // schedule_hook
     std::size_t choose(const std::vector<sched_candidate>& candidates) override;
-    void on_post(task_id posted, thread_id target, task_id poster) override;
+    void on_post(task_id posted, thread_id target, task_id poster,
+                 thread_id source) override;
+    void on_execute(task_id task, thread_id thread, time_ns ready_at) override;
+    void on_access(task_id task, std::uint64_t resource, bool write) override;
 
     /// The complete decision string this run actually took.
     [[nodiscard]] const schedule& decisions() const { return recorded_; }
@@ -116,6 +136,10 @@ public:
     {
         return cand_tasks_[d.offset + i];
     }
+    [[nodiscard]] time_ns decision_start(const decision& d, std::size_t i) const
+    {
+        return cand_starts_[d.offset + i];
+    }
 
     /// True once the run has consumed the whole prescribed prefix.
     [[nodiscard]] bool prefix_exhausted() const
@@ -127,36 +151,69 @@ public:
     /// actually offered — the replayed program diverged from the recording.
     [[nodiscard]] bool replay_diverged() const { return diverged_; }
 
-    /// Pre-size the recording buffers (decision string + trace) so taking a
-    /// decision never reallocates. Snapshot-backed programs (jsk::core
+    /// Pre-size every recording buffer (decision string, trace, and — when
+    /// metadata recording is on — the candidate arrays and footprint logs)
+    /// so recording never reallocates. Snapshot-backed programs (jsk::core
     /// forks) rely on this: a controller that lives outside the world's
     /// arena must not grow its buffers while the arena scope is active, or
-    /// the storage would be rolled back with the world on restore.
+    /// the storage would be rolled back with the world on restore. Call
+    /// *after* set_record_metadata.
     void reserve(std::size_t decisions)
     {
         recorded_.choices.reserve(decisions);
         trace_.reserve(decisions);
+        if (record_metadata_) {
+            cand_threads_.reserve(decisions * 4);
+            cand_tasks_.reserve(decisions * 4);
+            cand_starts_.reserve(decisions * 4);
+            exec_log_.reserve(decisions * 4);
+            access_log_.reserve(decisions * 16);
+            post_log_.reserve(decisions * 4);
+            task_step_.reserve(decisions * 8);
+        }
     }
 
-    /// Whether set_record_metadata(true) is in effect. Snapshot-backed
-    /// programs check this and fall back to fresh worlds: metadata lands in
-    /// node-based containers that cannot be pre-reserved.
+    /// True when any recording buffer's current storage satisfies
+    /// `contains` — the snapshot overflow check: a fork-serving program
+    /// passes core::arena::contains after the run to verify recording never
+    /// outgrew its reservation into the (about to be rolled back) arena.
+    [[nodiscard]] bool storage_within(
+        const std::function<bool(const void*)>& contains) const;
+
+    /// Whether set_record_metadata(true) is in effect.
     [[nodiscard]] bool records_metadata() const { return record_metadata_; }
 
-    /// Opt into DPOR metadata recording: per-decision candidate arrays
-    /// (decision_thread / decision_task) and per-task footprints (threads
-    /// each task posted to). Off by default: only DPOR-lite independence
-    /// checks consume either, and the bookkeeping — a hash insert per post
-    /// plus a copy of every offered candidate per branching point — sits on
-    /// the exploration hot path. explore_dfs enables it when opt.dpor is
-    /// set. Decision strings, counts, and chosen indices are always
-    /// recorded.
+    /// Opt into dependence-metadata recording: per-decision candidate
+    /// arrays (decision_thread / decision_task) and the flat footprint logs
+    /// (exec_log / access_log / post_log) that sim/por.h derives dependence,
+    /// happens-before, and coverage hashes from. Off by default — the
+    /// bookkeeping sits on the exploration hot path and only DPOR /
+    /// coverage consume it. explore_dfs enables it when opt.dpor is set;
+    /// explore_random when opt.coverage is. Decision strings, counts, and
+    /// chosen indices are always recorded.
     void set_record_metadata(bool on) { record_metadata_ = on; }
 
-    /// Threads that `task`'s callback posted to; nullptr when the task never
-    /// posted (or never ran, or recording was off — both read as "unknown",
-    /// which independence checks treat as dependent).
-    [[nodiscard]] const std::vector<thread_id>* footprint(task_id task) const;
+    /// Footprint logs (metadata recording only; empty otherwise). All flat
+    /// and pre-reservable — snapshot-backed programs record through forks.
+    [[nodiscard]] const std::vector<exec_rec>& exec_log() const { return exec_log_; }
+    [[nodiscard]] const std::vector<access_rec>& access_log() const
+    {
+        return access_log_;
+    }
+
+    static constexpr std::size_t no_step = static_cast<std::size_t>(-1);
+
+    /// Exec-log index at which `task` ran; no_step when it never did (or
+    /// recording was off) — dependence checks treat that as "unknown".
+    [[nodiscard]] std::size_t step_of(task_id task) const
+    {
+        if (task >= task_step_.size() || task_step_[task] == 0) return no_step;
+        return task_step_[task] - 1;
+    }
+
+    /// Exec-log index of the step that posted `task`; no_step when it was
+    /// posted from outside a task (world setup) or recording was off.
+    [[nodiscard]] std::size_t poster_step_of(task_id task) const;
 
 private:
     schedule prefix_;
@@ -169,7 +226,18 @@ private:
     std::vector<decision> trace_;
     std::vector<thread_id> cand_threads_;  // flat per-decision candidate metadata
     std::vector<task_id> cand_tasks_;
-    std::unordered_map<task_id, std::vector<thread_id>> posts_;
+    std::vector<time_ns> cand_starts_;  // effective start when offered
+    // Flat footprint logs (metadata recording only): what ran where, what it
+    // touched, and who posted what. post_log_ is posted-id ascending (task
+    // ids are handed out in post order), so poster lookups binary-search.
+    struct post_rec {
+        task_id posted;
+        std::uint32_t poster_step;
+    };
+    std::vector<exec_rec> exec_log_;
+    std::vector<access_rec> access_log_;
+    std::vector<post_rec> post_log_;
+    std::vector<std::uint32_t> task_step_;  // task id -> exec index + 1; 0 = none
 };
 
 /// Verdict of one complete controlled run.
@@ -187,11 +255,21 @@ struct options {
     std::uint64_t seed = 1;             // random-walk seed
     std::uint64_t max_schedules = 256;  // walk count / DFS run bound
     std::uint32_t preemption_budget = 4;  // DFS: max non-default choices
-    bool dpor = false;  // DFS: prune swaps of independent thread pairs.
-                        // Independence is judged from observed task
-                        // footprints (threads posted to) — sound for pure
-                        // DES programs, heuristic when tasks share state
-                        // outside the simulator (e.g. the browser bus).
+    bool dpor = false;  // DFS: sleep-set DPOR over the sound dependence
+                        // relation (sim/por.h): prune an alternative when it
+                        // commutes with the chosen task, or when a sleep set
+                        // already claims its subtree is covered elsewhere.
+    bool coverage = false;  // explore_random: record footprints, fingerprint
+                            // each walk (interleaving class + vuln-sink
+                            // prefixes), and mutate prefixes of walks that
+                            // reached novel behaviour instead of walking
+                            // blind. Deterministic for a fixed seed.
+    bool legacy_footprint = false;  // pre-fix posts-only independence (blind
+                                    // to channels, SAB cells and monitor
+                                    // sinks — UNSOUND, prunes real
+                                    // witnesses). Kept only so the
+                                    // regression suite can demonstrate the
+                                    // miss; never set it otherwise.
 };
 
 struct result {
@@ -200,25 +278,45 @@ struct result {
     bool exhausted = false;      // DFS: whole bounded tree explored
     std::optional<schedule> failing;  // first violating schedule, if any
     std::string failure_detail;
+    std::uint64_t coverage_classes = 0;  // coverage mode: distinct
+                                         // interleaving-class hashes seen
+    std::uint64_t coverage_novel = 0;    // coverage mode: walks that reached
+                                         // any novel fingerprint
 };
 
-/// Child prefixes of one completed DFS run: for every branching point the
-/// run reached beyond its prescribed `prefix`, each untaken alternative
-/// within the preemption budget (and not DPOR-pruned) becomes a new prefix.
-/// Skipped alternatives are counted into `pruned`. Pure with respect to the
-/// finished controller, so frontier expansion can run per-job in a parallel
-/// wave (jsk::par) and still generate each child exactly once across the
-/// tree, in canonical order.
-std::vector<schedule> expand_run(const controller& ctl, const schedule& prefix,
-                                 const options& opt, std::uint64_t& pruned);
+/// One frontier node of the bounded DFS tree: a prescribed prefix plus the
+/// sleep set inherited along it — task ids whose subtrees are already
+/// covered by an explored sibling ordering. Task ids are deterministic
+/// along a shared prefix, so sleep sets survive re-execution (including
+/// through jsk::core forks and across jsk::par wave workers).
+struct work_item {
+    schedule prefix;
+    std::vector<task_id> sleep;
+};
+
+/// Children of one completed DFS run: for every branching point the run
+/// reached beyond its prescribed prefix, each untaken alternative within
+/// the preemption budget — minus the ones sleep-set DPOR proves redundant
+/// (asleep, or commuting with the chosen task) — becomes a new work item
+/// carrying its own sleep set. Skipped alternatives are counted into
+/// `pruned`. Pure with respect to the finished controller, so frontier
+/// expansion can run per-job in a parallel wave (jsk::par) and still
+/// generate each child exactly once across the tree, in canonical order.
+std::vector<work_item> expand_run(const controller& ctl, const work_item& item,
+                                  const options& opt, std::uint64_t& pruned);
 
 /// Seeded random walks through the schedule space; stops at the first
-/// violation or after max_schedules walks.
+/// violation or after max_schedules walks. With opt.coverage, walks after
+/// the first mutate prefixes drawn from a pool of fingerprint-novel
+/// schedules (see options::coverage).
 result explore_random(const program& p, const options& opt = {});
 
-/// Exhaustive DFS over branching points, bounded by the preemption budget;
-/// stops at the first violation. `exhausted` reports whether the bounded
-/// tree was fully covered within max_schedules runs.
+/// Bounded exhaustive search over branching points, within the preemption
+/// budget; stops at the first violation. `exhausted` reports whether the
+/// bounded tree was fully covered within max_schedules runs. Traversal is
+/// wave order — the whole frontier tail, deepest first, then its children —
+/// exactly the canonical order par::explore_dfs parallelizes, so results
+/// (witness, schedules_run, pruned) are identical at every --jobs count.
 result explore_dfs(const program& p, const options& opt = {});
 
 /// Re-run `p` under exactly `s` (tail defaults to the first candidate).

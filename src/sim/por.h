@@ -1,0 +1,145 @@
+// jsk::sim::por — partial-order reduction support: access keys, the sound
+// dependence relation, and happens-before / coverage analysis over one
+// finished controlled run.
+//
+// The explorer prunes an interleaving only when it is *equivalent* to one it
+// already covers — two adjacent tasks may be swapped iff they are
+// independent. Independence used to be judged from a posts-only footprint
+// ("neither task posted to the other's thread"), which is blind to every
+// other shared resource: two writers racing through the same channel, SAB
+// cell, or vuln-monitor sink were judged independent and the swap that
+// expresses the bug was pruned away (see DESIGN.md §12). This module defines
+// the footprint that closes that hole:
+//
+//  * Every dependency-relevant resource is a 64-bit key in one of four
+//    namespaces: thread inboxes (a post writes the target's inbox; every
+//    executed task reads its own), channels (source -> target post order),
+//    SAB cells (buffer id x slot), and vuln-monitor sinks (one key per
+//    monitor slot, so only tasks feeding the *same* state machine conflict).
+//  * The runtime announces SAB and sink touches through
+//    simulation::note_access; posts and executions are recorded by the
+//    simulator's own hook callbacks. The controller (sim/explore.h) stores
+//    it all in flat, pre-reservable logs.
+//  * Two tasks of a finished run are dependent iff they share a thread or
+//    their access sets overlap on a key at least one of them writes.
+//    Unknown footprints (a task that never ran) are dependent — no pruning.
+//
+// `analysis` additionally derives a happens-before relation (vector clocks
+// over threads, edges = program order + post edges) and the two coverage
+// fingerprints that steer explore_random: the interleaving-class hash
+// (per-resource access-order chains — a Mazurkiewicz trace invariant, equal
+// across equivalent schedules) and rolling prefix hashes of each
+// vuln-monitor sink's touch sequence (novel vuln-state-machine prefixes).
+// The kernel journal contributes the same kind of fingerprint at the
+// harness layer via kernel::journal::class_hash() — the kernel links
+// against sim, so the dependency arrow cannot point this way.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/explore.h"
+
+namespace jsk::sim::por {
+
+/// Resource namespaces, tagged into the top byte of the 64-bit access key.
+enum class resource : std::uint64_t {
+    inbox = 1,    // payload: target thread id
+    channel = 2,  // payload: (source thread, target thread)
+    sab = 3,      // payload: (buffer id, slot index)
+    sink = 4,     // payload: vuln-monitor slot
+};
+
+constexpr std::uint64_t key(resource ns, std::uint64_t payload)
+{
+    return (static_cast<std::uint64_t>(ns) << 56) | (payload & ((1ULL << 56) - 1));
+}
+
+/// The target thread's message inbox. Written by every post targeting the
+/// thread; read by every task that executes on it.
+constexpr std::uint64_t inbox_key(thread_id thread)
+{
+    return key(resource::inbox, static_cast<std::uint32_t>(thread));
+}
+
+/// One (source thread -> target thread) message channel.
+constexpr std::uint64_t channel_key(thread_id source, thread_id target)
+{
+    return key(resource::channel,
+               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source)) << 28) ^
+                   static_cast<std::uint32_t>(target));
+}
+
+/// One SharedArrayBuffer slot. `buffer` is the world-unique sab_id the
+/// browser assigns at creation.
+constexpr std::uint64_t sab_key(std::uint64_t buffer, std::uint64_t slot)
+{
+    return key(resource::sab, (buffer << 20) ^ (slot & ((1ULL << 20) - 1)));
+}
+
+/// One CVE monitor's state machine (slot = index into
+/// rt::vuln_registry::monitors()). Keying per *monitor* rather than per
+/// event kind is load-bearing: a monitor watching two kinds (e.g. fetch_freed
+/// then fetch_aborted) makes tasks emitting *different* kinds order-
+/// dependent, which per-kind keys would miss.
+constexpr std::uint64_t sink_key(std::size_t monitor_slot)
+{
+    return key(resource::sink, monitor_slot);
+}
+
+/// Sound dependence between two candidate tasks of one finished
+/// metadata-recording run: same thread, or overlapping access footprints
+/// with at least one write on the common key, or either footprint unknown
+/// (the task never executed in this run).
+bool dependent(const explore::controller& ctl, task_id a, thread_id ta, task_id b,
+               thread_id tb);
+
+/// Dependence between a (possibly not-yet-run) task and the executed step
+/// at exec-log index `step` — the sleep-set wake test. Unknown task
+/// footprints wake (return true): a sleeping claim must never outlive the
+/// evidence for it.
+bool dependent_step(const explore::controller& ctl, task_id task, std::size_t step);
+
+/// Happens-before + coverage analysis of one finished run. Build after the
+/// program returns (allocates on the caller's heap — never inside a fork).
+class analysis {
+public:
+    explicit analysis(const explore::controller& ctl);
+
+    [[nodiscard]] std::size_t steps() const { return thread_of_.size(); }
+
+    /// Strict happens-before between exec-log steps: program order on each
+    /// thread plus post edges (the posting step happens-before every step of
+    /// the posted task), transitively closed via vector clocks.
+    [[nodiscard]] bool happens_before(std::size_t i, std::size_t j) const;
+
+    /// True when neither step happens-before the other.
+    [[nodiscard]] bool concurrent(std::size_t i, std::size_t j) const
+    {
+        return i != j && !happens_before(i, j) && !happens_before(j, i);
+    }
+
+    /// Interleaving-class fingerprint: per-resource access-order hash chains
+    /// (thread + read/write per touch), combined in sorted key order. Equal
+    /// for schedules that differ only by swaps of independent tasks; the
+    /// coverage-guided walker treats a never-seen hash as novel behaviour.
+    [[nodiscard]] std::uint64_t class_hash() const { return class_hash_; }
+
+    /// Rolling prefix hashes of every vuln-monitor sink's touch sequence —
+    /// one hash per (sink, prefix length). A novel hash means some monitor's
+    /// state machine was driven through a prefix no earlier walk produced.
+    [[nodiscard]] const std::vector<std::uint64_t>& sink_prefix_hashes() const
+    {
+        return sink_prefixes_;
+    }
+
+private:
+    std::vector<thread_id> thread_of_;        // step -> thread
+    std::vector<std::uint32_t> clock_;        // steps x threads vector clocks
+    std::size_t thread_count_ = 0;
+    std::vector<std::uint32_t> thread_index_;  // thread id -> dense clock column
+    std::uint64_t class_hash_ = 0;
+    std::vector<std::uint64_t> sink_prefixes_;
+};
+
+}  // namespace jsk::sim::por

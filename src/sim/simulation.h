@@ -94,13 +94,40 @@ public:
     virtual std::size_t choose(const std::vector<sched_candidate>& candidates) = 0;
 
     /// Called for every accepted post. `poster` is the id of the task on the
-    /// stack at post time (0 when posted from outside the simulation) —
-    /// DPOR-lite independence tracking consumes this.
-    virtual void on_post(task_id posted, thread_id target, task_id poster)
+    /// stack at post time (0 when posted from outside the simulation) and
+    /// `source` its thread (no_thread for external posts) — dependence
+    /// tracking (sim/por.h) consumes both: a post is a write to the target
+    /// thread's inbox and to the (source -> target) channel.
+    virtual void on_post(task_id posted, thread_id target, task_id poster,
+                         thread_id source)
     {
         (void)posted;
         (void)target;
         (void)poster;
+        (void)source;
+    }
+
+    /// Called right before `task`'s callback runs on `thread`. Together with
+    /// on_access this lets a hook attribute every recorded access to the
+    /// task that performed it. `ready_at` is the task's immutable ready time
+    /// — DPOR's may-be-co-enabled check compares it against the co-enabling
+    /// window of earlier scheduling points.
+    virtual void on_execute(task_id task, thread_id thread, time_ns ready_at)
+    {
+        (void)task;
+        (void)thread;
+        (void)ready_at;
+    }
+
+    /// Called for every dependency-relevant resource access announced via
+    /// simulation::note_access while `task` is on the stack. `resource` is
+    /// an opaque key (sim/por.h defines the namespaces: thread inboxes,
+    /// channels, SAB cells, vuln-monitor sinks).
+    virtual void on_access(task_id task, std::uint64_t resource, bool write)
+    {
+        (void)task;
+        (void)resource;
+        (void)write;
     }
 };
 
@@ -230,6 +257,16 @@ public:
     /// clearing the hook mid-run is supported: the scheduling index for the
     /// new mode is rebuilt from the pending set.
     void set_schedule_hook(schedule_hook* hook, time_ns window = 0);
+
+    /// Announce a dependency-relevant access (SAB cell, monitor sink, ...)
+    /// by the currently running task. Free when no hook is installed; with a
+    /// hook, forwards to schedule_hook::on_access. Calls from outside a task
+    /// (world setup) are dropped — setup is not schedulable, so it cannot
+    /// race.
+    void note_access(std::uint64_t resource, bool write)
+    {
+        if (hook_ != nullptr && current_) hook_->on_access(current_->id, resource, write);
+    }
 
 private:
     /// Per-thread lazy min-heap entry: a pending task's immutable ready time.

@@ -157,6 +157,33 @@ TEST(par_determinism, wave_dfs_is_jobs_invariant)
     EXPECT_GT(a.schedules_run, 0u);
 }
 
+TEST(par_determinism, wave_dfs_counts_pinned_across_jobs_with_and_without_dpor)
+{
+    // The needle program violates mid-tree (run 94 plain, run 4 under DPOR),
+    // so these pins exercise both merge rules the wave driver must honor:
+    // schedules_run is charged only up to and including the canonical first
+    // violation, and pruned folds only the completed runs preceding it —
+    // runs after the winner in an already-dispatched wave contribute nothing.
+    const auto program = attacks::needle_search_program(10);
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+        par::explore_options opt;
+        opt.base.max_schedules = 100'000;
+        opt.jobs = jobs;
+        const auto plain = par::explore_dfs(program, opt);
+        ASSERT_TRUE(plain.failing.has_value()) << "jobs " << jobs;
+        EXPECT_EQ(plain.schedules_run, 94u) << "jobs " << jobs;
+        EXPECT_EQ(plain.pruned, 0u) << "jobs " << jobs;
+        EXPECT_EQ(plain.failing->str(), "11") << "jobs " << jobs;
+
+        opt.base.dpor = true;
+        const auto reduced = par::explore_dfs(program, opt);
+        ASSERT_TRUE(reduced.failing.has_value()) << "jobs " << jobs;
+        EXPECT_EQ(reduced.schedules_run, 4u) << "jobs " << jobs;
+        EXPECT_EQ(reduced.pruned, 135u) << "jobs " << jobs;
+        EXPECT_EQ(reduced.failing->str(), "11") << "jobs " << jobs;
+    }
+}
+
 TEST(par_determinism, wave_dfs_jobs_1_is_the_serial_path)
 {
     const auto program =
