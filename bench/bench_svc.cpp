@@ -1,0 +1,193 @@
+// bench_svc — wall-clock of the sweep service's cache tiers.
+//
+//   bench_svc [--cves N] [--jobs J] [--json <dir>] [--strict-warm]
+//
+// Three passes over the same (CVE x {plain,jskernel}) wave:
+//
+//   cold       fresh service, empty store — every witness simulated
+//   warm-mem   same service, same wave — served from the in-memory cache
+//   warm-disk  fresh service over the same store directory — recalled from
+//              the mmap-backed shard files, zero simulation
+//
+// Every warm pass is byte-compared against the cold merged JSON first — a
+// recall that changes the aggregate is a correctness bug, and a mismatch
+// always exits nonzero. On top of the pass rates, the store's single-key
+// recall latency is sampled per get() and reported as p50/p90/p99.
+//
+// BENCH_svc.json records the rates, the latency percentiles and the
+// warm-disk >= 10x cold bar as `meets_warm_target`; the bar only gates the
+// exit code under --strict-warm (shared CI runners are noisy — the artifact
+// tracks the trend instead of failing unrelated PRs).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "attacks/explore_sweep.h"
+#include "bench/bench_util.h"
+#include "par/cache.h"
+#include "svc/service.h"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point t0)
+{
+    return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+std::vector<jsk::svc::job> make_wave(std::size_t cves)
+{
+    const auto ids = jsk::attacks::cve_ids();
+    if (cves > ids.size()) cves = ids.size();
+    std::vector<jsk::svc::job> jobs;
+    std::uint64_t client_id = 1;
+    for (std::size_t c = 0; c < cves; ++c) {
+        for (const char* defense : {"plain", "jskernel"}) {
+            jsk::svc::job j;
+            j.client_id = client_id++;
+            j.key.seed = 17;
+            j.key.defense = defense;
+            j.key.program = ids[c];
+            jobs.push_back(std::move(j));
+        }
+    }
+    return jobs;
+}
+
+jsk::svc::wave_result run_wave(jsk::svc::service& s, const std::vector<jsk::svc::job>& jobs)
+{
+    auto& sess = s.connect("bench");
+    for (const auto& j : jobs) sess.submit(j);
+    return sess.flush();
+}
+
+double percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    std::size_t cves = 12;
+    std::size_t jobs = 1;
+    bool strict_warm = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cves") == 0 && i + 1 < argc) {
+            cves = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            jobs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--strict-warm") == 0) {
+            strict_warm = true;
+        }
+    }
+
+    namespace fs = std::filesystem;
+    const std::string store_dir =
+        (fs::temp_directory_path() / "jsk_bench_svc_store").string();
+    fs::remove_all(store_dir);
+
+    const auto wave_jobs = make_wave(cves);
+    const auto n = static_cast<double>(wave_jobs.size());
+    jsk::bench::json_report report("svc");
+    report.set("wave_jobs", static_cast<std::uint64_t>(wave_jobs.size()));
+    report.set("pool_jobs", static_cast<std::uint64_t>(jobs));
+
+    jsk::svc::service_options opt;
+    opt.store_dir = store_dir;
+    opt.jobs = jobs;
+
+    // --- cold: simulate everything, spill to the store ----------------------
+    std::string cold_json;
+    double cold_rate = 0;
+    {
+        jsk::svc::service s(opt);
+        const auto t0 = clock_type::now();
+        const auto cold = run_wave(s, wave_jobs);
+        const double elapsed = seconds_since(t0);
+        cold_json = cold.merged_json;
+        cold_rate = n / elapsed;
+        report.set("cold_seconds", elapsed);
+        report.set("cold_trials_per_sec", cold_rate);
+
+        // --- warm-mem: the same service serves the wave from memory ---------
+        const auto t1 = clock_type::now();
+        const auto warm = run_wave(s, wave_jobs);
+        const double mem_elapsed = seconds_since(t1);
+        report.set("warm_mem_seconds", mem_elapsed);
+        report.set("warm_mem_jobs_per_sec", n / mem_elapsed);
+        if (warm.merged_json != cold_json || warm.trials != 0) {
+            std::fprintf(stderr, "bench_svc: warm-mem pass diverged from cold\n");
+            return 1;
+        }
+    }
+
+    // --- warm-disk: a fresh process recalls from the shard files ------------
+    double disk_rate = 0;
+    {
+        jsk::svc::service s(opt);
+        const auto t0 = clock_type::now();
+        const auto warm = run_wave(s, wave_jobs);
+        const double elapsed = seconds_since(t0);
+        disk_rate = n / elapsed;
+        report.set("warm_disk_seconds", elapsed);
+        report.set("warm_disk_jobs_per_sec", disk_rate);
+        if (warm.merged_json != cold_json || warm.trials != 0) {
+            std::fprintf(stderr, "bench_svc: warm-disk pass diverged from cold\n");
+            return 1;
+        }
+    }
+
+    // --- single-key recall latency over the raw store -----------------------
+    {
+        jsk::svc::store_options sopt;
+        sopt.dir = store_dir;
+        jsk::svc::store st(sopt);
+        std::vector<std::string> keys;
+        for (const auto& j : wave_jobs) keys.push_back(jsk::par::serialize(j.key));
+        std::vector<double> lat_us;
+        constexpr int rounds = 200;
+        lat_us.reserve(keys.size() * rounds);
+        for (int r = 0; r < rounds; ++r) {
+            for (const auto& k : keys) {
+                const auto t0 = clock_type::now();
+                const auto hit = st.get(k);
+                const double us = seconds_since(t0) * 1e6;
+                if (!hit) {
+                    std::fprintf(stderr, "bench_svc: store lost a key\n");
+                    return 1;
+                }
+                lat_us.push_back(us);
+            }
+        }
+        std::sort(lat_us.begin(), lat_us.end());
+        report.set("recall_samples", static_cast<std::uint64_t>(lat_us.size()));
+        report.set("recall_p50_us", percentile(lat_us, 0.50));
+        report.set("recall_p90_us", percentile(lat_us, 0.90));
+        report.set("recall_p99_us", percentile(lat_us, 0.99));
+    }
+
+    const double ratio = cold_rate > 0 ? disk_rate / cold_rate : 0;
+    const bool meets = ratio >= 10.0;
+    report.set("warm_over_cold", ratio);
+    report.set("meets_warm_target", static_cast<std::uint64_t>(meets ? 1 : 0));
+    report.set_string("byte_identical", "yes");  // divergence exited above
+
+    std::printf("bench_svc: %zu jobs | cold %.1f trials/s | warm-mem served | "
+                "warm-disk %.1f jobs/s | warm/cold %.1fx%s\n",
+                wave_jobs.size(), cold_rate, disk_rate, ratio,
+                meets ? "" : "  (below 10x bar)");
+    report.write(jsk::bench::json_out_dir(argc, argv));
+    fs::remove_all(store_dir);
+    if (strict_warm && !meets) return 1;
+    return 0;
+}

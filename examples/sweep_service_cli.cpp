@@ -1,0 +1,186 @@
+// sweep_service_cli — the jsk::svc sweep service over stdin/stdout.
+//
+//   sweep_service_cli gen [--cves N] [--seed S] [--tenant T] [--program-seeds K]
+//       Emit a framed job stream (hello, one job per (CVE x {plain,jskernel})
+//       cell plus K chaos random-program jobs, end_wave) to stdout — the
+//       input of `serve`, or a file of pre-recorded frames.
+//
+//   sweep_service_cli serve [--store DIR] [--jobs N] [--no-snapshots]
+//                           [--json FILE] [--stats FILE]
+//       Read job frames from stdin, resolve each wave against the in-memory
+//       cache and the store (when --store is given), simulate only the
+//       genuinely new witnesses on the worker pool, and stream result +
+//       wave_done frames to stdout. --json writes the last wave's merged
+//       matrix JSON to FILE; --stats writes the service snapshot (per-tenant
+//       metrics, cache + store counters).
+//
+// Piping gen into serve twice against the same --store directory is the
+// warm-cache determinism check CI runs: the second pass must recall from
+// disk (>= 90% hits) and produce byte-identical merged JSON.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "attacks/explore_sweep.h"
+#include "svc/service.h"
+
+namespace {
+
+namespace jk = jsk;
+
+int usage()
+{
+    std::cerr << "usage: sweep_service_cli gen [--cves N] [--seed S] [--tenant T] "
+                 "[--program-seeds K]\n"
+                 "       sweep_service_cli serve [--store DIR] [--jobs N] "
+                 "[--no-snapshots] [--json FILE] [--stats FILE]\n";
+    return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out)
+{
+    char* end = nullptr;
+    out = std::strtoull(s, &end, 10);
+    return end != nullptr && *end == '\0' && end != s;
+}
+
+int run_gen(int argc, char** argv)
+{
+    std::uint64_t cves = 12;
+    std::uint64_t seed = 17;
+    std::uint64_t program_seeds = 0;
+    std::string tenant = "cli";
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_next = i + 1 < argc;
+        if (arg == "--cves" && has_next && parse_u64(argv[++i], cves)) continue;
+        if (arg == "--seed" && has_next && parse_u64(argv[++i], seed)) continue;
+        if (arg == "--program-seeds" && has_next && parse_u64(argv[++i], program_seeds))
+            continue;
+        if (arg == "--tenant" && has_next) {
+            tenant = argv[++i];
+            continue;
+        }
+        return usage();
+    }
+    const auto ids = jk::attacks::cve_ids();
+    if (cves > ids.size()) cves = ids.size();
+
+    jk::svc::file_sink out(stdout);
+    jk::svc::write_frame(out, jk::svc::frame_type::hello,
+                         jk::svc::encode_hello(tenant));
+    std::uint64_t client_id = 1;
+    for (std::uint64_t c = 0; c < cves; ++c) {
+        for (const char* defense : {"plain", "jskernel"}) {
+            jk::par::witness_key key;
+            key.seed = seed;
+            key.defense = defense;
+            key.program = ids[c];
+            jk::svc::write_frame(out, jk::svc::frame_type::job,
+                                 jk::svc::encode_job({client_id++, key}));
+        }
+    }
+    for (std::uint64_t p = 0; p < program_seeds; ++p) {
+        jk::par::witness_key key;
+        key.seed = seed;
+        key.defense = "jskernel";
+        key.program = "program:" + std::to_string(p + 1);
+        jk::svc::write_frame(out, jk::svc::frame_type::job,
+                             jk::svc::encode_job({client_id++, key}));
+    }
+    jk::svc::write_frame(out, jk::svc::frame_type::end_wave, "");
+    out.flush();
+    std::cerr << "gen: " << (client_id - 1) << " jobs, tenant '" << tenant << "'\n";
+    return 0;
+}
+
+int run_serve(int argc, char** argv)
+{
+    jk::svc::service_options opt;
+    std::string json_path;
+    std::string stats_path;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_next = i + 1 < argc;
+        std::uint64_t n = 0;
+        if (arg == "--store" && has_next) {
+            opt.store_dir = argv[++i];
+            continue;
+        }
+        if (arg == "--jobs" && has_next && parse_u64(argv[++i], n)) {
+            opt.jobs = static_cast<std::size_t>(n);
+            continue;
+        }
+        if (arg == "--no-snapshots") {
+            opt.snapshots = false;
+            continue;
+        }
+        if (arg == "--json" && has_next) {
+            json_path = argv[++i];
+            continue;
+        }
+        if (arg == "--stats" && has_next) {
+            stats_path = argv[++i];
+            continue;
+        }
+        return usage();
+    }
+
+    jk::svc::service service(opt);
+    jk::svc::file_source in(stdin);
+    jk::svc::file_sink out(stdout);
+    std::string last_merged;
+    std::uint64_t jobs = 0;
+    std::uint64_t hits_mem = 0;
+    std::uint64_t hits_disk = 0;
+    std::uint64_t trials = 0;
+    std::size_t waves = 0;
+    try {
+        waves = service.serve(in, out, [&](const jk::svc::wave_result& w) {
+            last_merged = w.merged_json;
+            jobs += w.jobs.size();
+            hits_mem += w.hits_mem;
+            hits_disk += w.hits_disk;
+            trials += w.trials;
+        });
+    } catch (const jk::svc::wire_error& e) {
+        std::cerr << "serve: " << e.what() << "\n";
+        return 1;
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream f(json_path, std::ios::trunc);
+        f << last_merged << "\n";
+        if (!f) {
+            std::cerr << "serve: cannot write " << json_path << "\n";
+            return 1;
+        }
+    }
+    if (!stats_path.empty()) {
+        std::ofstream f(stats_path, std::ios::trunc);
+        f << service.snapshot_json() << "\n";
+        if (!f) {
+            std::cerr << "serve: cannot write " << stats_path << "\n";
+            return 1;
+        }
+    }
+    std::cerr << "serve: " << waves << " waves, " << jobs << " jobs, " << trials
+              << " simulated, " << hits_mem << " mem hits, " << hits_disk
+              << " disk hits\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc < 2) return usage();
+    const std::string mode = argv[1];
+    if (mode == "gen") return run_gen(argc - 2, argv + 2);
+    if (mode == "serve") return run_serve(argc - 2, argv + 2);
+    return usage();
+}

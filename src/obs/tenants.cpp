@@ -1,0 +1,28 @@
+#include "obs/tenants.h"
+
+namespace jsk::obs {
+
+registry tenant_set::merged() const
+{
+    registry total;
+    for (const auto& [id, reg] : tenants_) total.merge(reg);
+    return total;
+}
+
+kernel::json::value tenant_set::snapshot() const
+{
+    namespace json = kernel::json;
+    json::object per_tenant;
+    for (const auto& [id, reg] : tenants_) per_tenant.emplace(id, reg.snapshot());
+    json::object root;
+    root.emplace("tenants", json::value{std::move(per_tenant)});
+    root.emplace("total", merged().snapshot());
+    return json::value{std::move(root)};
+}
+
+std::string tenant_set::to_json() const
+{
+    return kernel::json::dump(snapshot());
+}
+
+}  // namespace jsk::obs

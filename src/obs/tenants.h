@@ -1,0 +1,52 @@
+// jsk::obs — tenant-tagged metrics registries.
+//
+// The sweep service serves many tenants from one process; each connection
+// accounts its own jobs, cache hits and bytes served without contending on
+// (or leaking into) anyone else's instruments. `tenant_set` is the minimal
+// container for that: one lazily-created registry per tenant id, plus a
+// service-wide snapshot that folds every tenant in id order — std::map
+// keying makes both the per-tenant section and the fold deterministic, so
+// two services that did the same work snapshot to identical bytes.
+//
+// Thread-safety follows the rest of obs: registries are written by whoever
+// owns them (the service writes tenant metrics only between waves, on the
+// serving thread), and tenant_set itself is confined to that thread.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "kernel/json.h"
+#include "obs/metrics.h"
+
+namespace jsk::obs {
+
+class tenant_set {
+public:
+    /// The tenant's registry, created empty on first use.
+    registry& get(const std::string& tenant_id) { return tenants_[tenant_id]; }
+
+    [[nodiscard]] bool empty() const { return tenants_.empty(); }
+    [[nodiscard]] std::size_t size() const { return tenants_.size(); }
+
+    [[nodiscard]] const std::map<std::string, registry>& tenants() const
+    {
+        return tenants_;
+    }
+
+    /// Every tenant folded into one registry, in tenant-id order (counters
+    /// add, histograms merge, gauges last-tenant-wins — the same contract
+    /// as registry::merge across sweep shards).
+    [[nodiscard]] registry merged() const;
+
+    /// {"tenants":{id:registry-snapshot,...},"total":merged-snapshot}.
+    [[nodiscard]] kernel::json::value snapshot() const;
+
+    /// kernel::json::dump(snapshot()) — compact, key-ordered, deterministic.
+    [[nodiscard]] std::string to_json() const;
+
+private:
+    std::map<std::string, registry> tenants_;
+};
+
+}  // namespace jsk::obs

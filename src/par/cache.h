@@ -21,14 +21,19 @@
 // itself.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
+
+#include "sim/bytes.h"
 
 namespace jsk::par {
 
@@ -48,7 +53,57 @@ struct witness_key {
     std::string program;
 
     bool operator==(const witness_key&) const = default;
+
+    /// Canonical total order — (seed, plan, decisions, defense, program),
+    /// the same order the serialized form compares in. Spill files and
+    /// iteration hooks sort by this so on-disk bytes are deterministic.
+    friend bool operator<(const witness_key& a, const witness_key& b)
+    {
+        if (a.seed != b.seed) return a.seed < b.seed;
+        if (a.plan != b.plan) return a.plan < b.plan;
+        if (a.decisions != b.decisions) return a.decisions < b.decisions;
+        if (a.defense != b.defense) return a.defense < b.defense;
+        return a.program < b.program;
+    }
 };
+
+/// Canonical serialized form of a witness key — the *persistent* identity:
+/// little-endian u64 seed, then each string field u32-length-prefixed, in
+/// declaration order. This is what the svc store writes as the record key
+/// and what hash() digests, so on-disk keys survive recompilation, compiler
+/// upgrades and platform changes (std::hash guarantees none of that).
+inline std::string serialize(const witness_key& k)
+{
+    std::string out;
+    out.reserve(8 + 4 * 4 + k.plan.size() + k.decisions.size() + k.defense.size() +
+                k.program.size());
+    sim::bytes::put_u64(out, k.seed);
+    sim::bytes::put_str(out, k.plan);
+    sim::bytes::put_str(out, k.decisions);
+    sim::bytes::put_str(out, k.defense);
+    sim::bytes::put_str(out, k.program);
+    return out;
+}
+
+/// Inverse of serialize(); nullopt on truncated/trailing bytes.
+inline std::optional<witness_key> parse_witness(const std::string& bytes)
+{
+    sim::bytes::reader r(bytes);
+    witness_key k;
+    const auto seed = r.get_u64();
+    if (!seed) return std::nullopt;
+    k.seed = *seed;
+    auto plan = r.get_str();
+    auto decisions = r.get_str();
+    auto defense = r.get_str();
+    auto program = r.get_str();
+    if (!plan || !decisions || !defense || !program || !r.done()) return std::nullopt;
+    k.plan = std::move(*plan);
+    k.decisions = std::move(*decisions);
+    k.defense = std::move(*defense);
+    k.program = std::move(*program);
+    return k;
+}
 
 /// FNV-1a over a byte string — the digest the sweep drivers use to compare
 /// per-shard journals/traces without holding every oracle in memory.
@@ -63,8 +118,11 @@ inline std::uint64_t fnv1a(const std::string& bytes)
     return h;
 }
 
-/// FNV-1a over every field — stable across platforms (unlike std::hash), so
-/// cache statistics and shard assignment are reproducible too.
+/// FNV-1a over the canonical serialized form — byte-for-byte equal to
+/// fnv1a(serialize(k)) without materializing the string, so the in-memory
+/// hash, the on-disk shard assignment and any external tool digesting a
+/// record's key bytes all agree. (Length prefixes play the field-separator
+/// role: ("ab","c") and ("a","bc") serialize — and hash — differently.)
 inline std::uint64_t hash(const witness_key& k)
 {
     std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -72,11 +130,16 @@ inline std::uint64_t hash(const witness_key& k)
         h ^= b;
         h *= 0x100000001b3ULL;
     };
+    const auto mix_u32 = [&](std::uint32_t v) {
+        for (int shift = 0; shift < 32; shift += 8) {
+            mix_byte(static_cast<unsigned char>(v >> shift));
+        }
+    };
     for (int shift = 0; shift < 64; shift += 8) {
         mix_byte(static_cast<unsigned char>(k.seed >> shift));
     }
     const auto mix_str = [&](const std::string& s) {
-        mix_byte(0xff);  // field separator: ("ab","c") != ("a","bc")
+        mix_u32(static_cast<std::uint32_t>(s.size()));
         for (const char c : s) mix_byte(static_cast<unsigned char>(c));
     };
     mix_str(k.plan);
@@ -98,6 +161,7 @@ public:
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t entries = 0;
+        std::uint64_t bytes = 0;
     };
 
     /// nullptr on miss; the returned pointer never dangles.
@@ -115,13 +179,39 @@ public:
     }
 
     /// Store (or keep the existing) value; returns the resident one.
-    std::shared_ptr<const V> insert(const witness_key& key, V value)
+    /// `value_bytes` is the size this entry charges against bytes() — pass
+    /// the serialized payload size when one exists (the svc spill path
+    /// does); the default charges the in-memory struct, which is a floor,
+    /// not an exact heap accounting. First-insert-wins: a losing insert
+    /// charges nothing.
+    std::shared_ptr<const V> insert(const witness_key& key, V value,
+                                    std::size_t value_bytes = sizeof(V))
     {
         shard& sh = shard_for(key);
         std::lock_guard<std::mutex> lock(sh.mu);
         auto [it, inserted] =
             sh.map.try_emplace(key, std::make_shared<const V>(std::move(value)));
+        if (inserted) {
+            entries_.fetch_add(1, std::memory_order_relaxed);
+            const std::size_t key_bytes = 8 + 4 * 4 + key.plan.size() +
+                                          key.decisions.size() + key.defense.size() +
+                                          key.program.size();
+            bytes_.fetch_add(key_bytes + value_bytes, std::memory_order_relaxed);
+        }
         return it->second;
+    }
+
+    /// Resident entry count (monotonic between clear()s).
+    [[nodiscard]] std::uint64_t entries() const
+    {
+        return entries_.load(std::memory_order_relaxed);
+    }
+
+    /// Serialized-key bytes plus charged value bytes across all entries —
+    /// what a full spill to disk would write (modulo record framing).
+    [[nodiscard]] std::uint64_t bytes() const
+    {
+        return bytes_.load(std::memory_order_relaxed);
     }
 
     [[nodiscard]] stats snapshot() const
@@ -129,11 +219,27 @@ public:
         stats s;
         s.hits = hits_.load(std::memory_order_relaxed);
         s.misses = misses_.load(std::memory_order_relaxed);
+        s.entries = entries();
+        s.bytes = bytes();
+        return s;
+    }
+
+    /// Iteration hook for spill-to-disk: visit every (key, value) pair in
+    /// canonical key order — deterministic regardless of insertion order or
+    /// unordered_map internals, so a spilled file's bytes depend only on the
+    /// cache's contents. Snapshots the entries under the shard locks first;
+    /// `fn` runs lock-free (and may re-enter the cache).
+    template <typename Fn>
+    void for_each_sorted(Fn&& fn) const
+    {
+        std::vector<std::pair<witness_key, std::shared_ptr<const V>>> all;
         for (const shard& sh : shards_) {
             std::lock_guard<std::mutex> lock(sh.mu);
-            s.entries += sh.map.size();
+            for (const auto& [k, v] : sh.map) all.emplace_back(k, v);
         }
-        return s;
+        std::sort(all.begin(), all.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (const auto& [k, v] : all) fn(k, *v);
     }
 
     void clear()
@@ -142,6 +248,8 @@ public:
             std::lock_guard<std::mutex> lock(sh.mu);
             sh.map.clear();
         }
+        entries_.store(0, std::memory_order_relaxed);
+        bytes_.store(0, std::memory_order_relaxed);
     }
 
 private:
@@ -165,6 +273,8 @@ private:
     std::array<shard, shard_count> shards_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> entries_{0};
+    std::atomic<std::uint64_t> bytes_{0};
 };
 
 }  // namespace jsk::par

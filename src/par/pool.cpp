@@ -11,11 +11,21 @@ std::size_t default_jobs()
 }
 
 worker_pool::worker_pool(std::size_t workers, std::uint64_t root_seed)
+    : root_seed_(root_seed)
 {
-    const std::size_t n = workers == 0 ? default_jobs() : workers;
+    spawn(workers == 0 ? default_jobs() : workers);
+}
+
+worker_pool::~worker_pool()
+{
+    shutdown();
+}
+
+void worker_pool::spawn(std::size_t n)
+{
     contexts_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-        contexts_.push_back(worker_context{i, sim::split(root_seed, i)});
+        contexts_.push_back(worker_context{i, sim::split(root_seed_, i)});
     }
     // Worker 0 is the calling thread; only ids >= 1 get OS threads. With
     // n == 1 the pool is thread-free and run() is the plain serial loop.
@@ -25,7 +35,7 @@ worker_pool::worker_pool(std::size_t workers, std::uint64_t root_seed)
     }
 }
 
-worker_pool::~worker_pool()
+void worker_pool::shutdown()
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -33,6 +43,23 @@ worker_pool::~worker_pool()
     }
     work_cv_.notify_all();
     for (auto& t : threads_) t.join();
+    threads_.clear();
+    contexts_.clear();
+}
+
+void worker_pool::resize(std::size_t workers)
+{
+    const std::size_t n = workers == 0 ? default_jobs() : workers;
+    if (n == this->workers()) return;
+    shutdown();
+    // All old threads are joined: the per-run state is quiescent and no one
+    // is waiting on the condition variables, so resetting the generation
+    // counter is safe — and necessary, or a fresh thread (seen_generation
+    // 0) would treat a stale nonzero generation as a pending wave and drain
+    // a null queue.
+    stopping_ = false;
+    generation_ = 0;
+    spawn(n);
 }
 
 void worker_pool::run(std::size_t count, const job_fn& fn, std::size_t chunk)

@@ -91,6 +91,15 @@ public:
 
     [[nodiscard]] std::size_t workers() const { return contexts_.size(); }
 
+    /// Re-shard the pool to `workers` threads (0 = default_jobs()). Only
+    /// valid between run() calls — the current wave must have drained. The
+    /// old threads are joined and a fresh set spawned with seed streams
+    /// re-derived from the original root seed, so a pool resized to n is
+    /// indistinguishable from one constructed with n: long-lived services
+    /// can grow and shrink between waves without disturbing determinism.
+    /// No-op when the size already matches.
+    void resize(std::size_t workers);
+
     /// Run `fn(job, ctx)` for every job in [0, count), sharded `chunk` jobs
     /// at a time. Blocks until all jobs completed (or failed). Not
     /// reentrant: one run() at a time per pool.
@@ -99,7 +108,10 @@ public:
 private:
     void worker_main(std::size_t worker_id);
     void drain(const worker_context& ctx);
+    void spawn(std::size_t workers);
+    void shutdown();
 
+    std::uint64_t root_seed_;
     std::vector<worker_context> contexts_;
     std::vector<std::thread> threads_;
 

@@ -1,0 +1,156 @@
+// jsk::sim — canonical byte codec.
+//
+// Everything this repo persists or streams (witness keys, store records,
+// service wire frames) uses one canonical form: little-endian fixed-width
+// integers and u32-length-prefixed byte strings, appended to a std::string.
+// The encoding is explicitly platform-independent — the same logical value
+// serializes to the same bytes on every architecture and after every
+// recompilation — because on-disk cache keys and golden-bytes tests depend
+// on it. Decoders are bounds-checked and never read past `size`; a short
+// buffer is reported, not UB.
+//
+// CRC32 (IEEE 802.3, reflected, the zlib/PNG polynomial) lives here too:
+// it is the per-record integrity check of the svc store and must match the
+// standard check value ("123456789" -> 0xCBF43926) so external tools can
+// validate shard files.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace jsk::sim::bytes {
+
+// --- encoding ---------------------------------------------------------------
+
+inline void put_u8(std::string& out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8) {
+        out.push_back(static_cast<char>((v >> shift) & 0xff));
+    }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8) {
+        out.push_back(static_cast<char>((v >> shift) & 0xff));
+    }
+}
+
+/// u32 length prefix + raw bytes. Strings longer than 4 GiB do not occur in
+/// this codebase (decision strings and plan strings are kilobytes).
+inline void put_str(std::string& out, const std::string& s)
+{
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+// --- decoding ---------------------------------------------------------------
+
+/// Cursor over an immutable byte buffer. Every get_* advances the cursor on
+/// success and returns nullopt (cursor untouched) when fewer bytes remain
+/// than the field needs — callers distinguish "clean end" via done().
+class reader {
+public:
+    reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+    explicit reader(const std::string& s) : reader(s.data(), s.size()) {}
+
+    [[nodiscard]] std::size_t offset() const { return pos_; }
+    [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+    [[nodiscard]] bool done() const { return pos_ == size_; }
+
+    std::optional<std::uint8_t> get_u8()
+    {
+        if (remaining() < 1) return std::nullopt;
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    std::optional<std::uint32_t> get_u32()
+    {
+        if (remaining() < 4) return std::nullopt;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+                 << (8 * i);
+        }
+        pos_ += 4;
+        return v;
+    }
+
+    std::optional<std::uint64_t> get_u64()
+    {
+        if (remaining() < 8) return std::nullopt;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+                 << (8 * i);
+        }
+        pos_ += 8;
+        return v;
+    }
+
+    std::optional<std::string> get_str()
+    {
+        const std::size_t mark = pos_;
+        const auto len = get_u32();
+        if (!len || remaining() < *len) {
+            pos_ = mark;
+            return std::nullopt;
+        }
+        std::string s(data_ + pos_, *len);
+        pos_ += *len;
+        return s;
+    }
+
+private:
+    const char* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+// --- CRC32 (IEEE, reflected) ------------------------------------------------
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit) {
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            }
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace detail
+
+/// Incremental form: pass the previous return value as `seed` to continue a
+/// digest across buffers. The one-shot digest of `data` is crc32(data, n).
+inline std::uint32_t crc32(const char* data, std::size_t size, std::uint32_t seed = 0)
+{
+    const auto& table = detail::crc32_table();
+    std::uint32_t c = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i) {
+        c = table[(c ^ static_cast<unsigned char>(data[i])) & 0xff] ^ (c >> 8);
+    }
+    return c ^ 0xffffffffu;
+}
+
+inline std::uint32_t crc32(const std::string& s, std::uint32_t seed = 0)
+{
+    return crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace jsk::sim::bytes

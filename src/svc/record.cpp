@@ -1,0 +1,91 @@
+#include "svc/record.h"
+
+#include "sim/bytes.h"
+
+namespace jsk::svc {
+
+namespace bytes = sim::bytes;
+
+std::string serialize(const job_result& r)
+{
+    std::string out;
+    out.reserve(1 + 8 * 4 + 4 + r.decisions.size());
+    std::uint8_t flags = 0;
+    if (r.triggered) flags |= 1u;
+    if (r.hit_task_cap) flags |= 2u;
+    bytes::put_u8(out, flags);
+    bytes::put_u64(out, r.tasks_executed);
+    bytes::put_u64(out, r.faults_injected);
+    bytes::put_u64(out, r.journal_digest);
+    bytes::put_u64(out, r.trace_digest);
+    bytes::put_str(out, r.decisions);
+    return out;
+}
+
+std::optional<job_result> parse_result(const std::string& raw)
+{
+    bytes::reader rd(raw);
+    const auto flags = rd.get_u8();
+    if (!flags || (*flags & ~0x03u) != 0) return std::nullopt;
+    job_result r;
+    r.triggered = (*flags & 1u) != 0;
+    r.hit_task_cap = (*flags & 2u) != 0;
+    const auto tasks = rd.get_u64();
+    const auto faults = rd.get_u64();
+    const auto journal = rd.get_u64();
+    const auto trace = rd.get_u64();
+    auto decisions = rd.get_str();
+    if (!tasks || !faults || !journal || !trace || !decisions || !rd.done()) {
+        return std::nullopt;
+    }
+    r.tasks_executed = *tasks;
+    r.faults_injected = *faults;
+    r.journal_digest = *journal;
+    r.trace_digest = *trace;
+    r.decisions = std::move(*decisions);
+    return r;
+}
+
+void append_record(std::string& out, const std::string& key, const std::string& value)
+{
+    const std::size_t start = out.size();
+    bytes::put_u32(out, static_cast<std::uint32_t>(key.size()));
+    bytes::put_u32(out, static_cast<std::uint32_t>(value.size()));
+    out.append(key);
+    out.append(value);
+    const std::uint32_t crc = bytes::crc32(out.data() + start, out.size() - start);
+    bytes::put_u32(out, crc);
+}
+
+std::size_t parse_record(const char* data, std::size_t size, record& out,
+                         record_status& status)
+{
+    bytes::reader rd(data, size);
+    const auto key_len = rd.get_u32();
+    const auto value_len = rd.get_u32();
+    if (!key_len || !value_len) {
+        status = record_status::truncated;
+        return 0;
+    }
+    // Guard the sum against u32 overflow before comparing with the buffer.
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(*key_len) + static_cast<std::uint64_t>(*value_len);
+    if (rd.remaining() < payload + 4) {
+        status = record_status::truncated;
+        return 0;
+    }
+    const std::size_t body = 8 + static_cast<std::size_t>(payload);
+    const std::uint32_t want = bytes::crc32(data, body);
+    bytes::reader crc_rd(data + body, 4);
+    const std::uint32_t got = *crc_rd.get_u32();
+    if (want != got) {
+        status = record_status::bad_crc;
+        return 0;
+    }
+    out.key.assign(data + 8, *key_len);
+    out.value.assign(data + 8 + *key_len, *value_len);
+    status = record_status::ok;
+    return body + 4;
+}
+
+}  // namespace jsk::svc

@@ -1,0 +1,76 @@
+// jsk::svc — the persistent record format.
+//
+// Everything the sweep service writes to disk is a sequence of records in
+// one canonical little-endian framing:
+//
+//   record := u32 key_len | u32 value_len | key bytes | value bytes | u32 crc
+//
+// where `crc` is CRC32 (IEEE) over everything before it — both length
+// fields included, so a corrupted length cannot silently re-frame the
+// stream. `key` is a canonically-serialized par::witness_key
+// (par::serialize) and `value` an opaque payload (for the result store, a
+// serialized job_result). The format is self-delimiting and append-only:
+// a reader scans records front to back and stops at the first one that is
+// truncated or fails its CRC, which makes the valid prefix of a
+// crash-interrupted (or bit-flipped) shard file a correct partial cache.
+//
+// job_result is the outcome payload: what one (program, seed, plan,
+// decisions, defense) trial yields, compact enough to hold millions of and
+// rich enough to rebuild the service's merged matrix JSON without
+// re-simulating. Digests rather than full journals/traces — the full
+// oracles stay with the chaos/explore subsystems; the service serves
+// outcomes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace jsk::svc {
+
+/// Outcome of one service job — the value half of a store record.
+struct job_result {
+    bool triggered = false;      // the program's CVE monitor fired
+    bool hit_task_cap = false;   // liveness violation (chaos path only)
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t faults_injected = 0;
+    std::uint64_t journal_digest = 0;  // fnv1a(journal_json), 0 when no kernel
+    std::uint64_t trace_digest = 0;    // fnv1a(trace_json), 0 on the explore path
+    std::string decisions;             // harvested (trimmed) schedule, explore path
+
+    bool operator==(const job_result&) const = default;
+};
+
+/// Canonical serialization: u8 flags (bit0 triggered, bit1 hit_task_cap) |
+/// u64 tasks | u64 faults | u64 journal_digest | u64 trace_digest |
+/// u32-prefixed decisions. Little-endian throughout.
+std::string serialize(const job_result& r);
+
+/// Inverse of serialize(); nullopt on truncated/trailing/unknown-flag bytes.
+std::optional<job_result> parse_result(const std::string& bytes);
+
+/// One decoded record.
+struct record {
+    std::string key;
+    std::string value;
+};
+
+/// Fixed framing bytes per record (two length prefixes + CRC).
+inline constexpr std::size_t record_overhead = 12;
+
+/// Append the canonical encoding of (key, value) to `out`.
+void append_record(std::string& out, const std::string& key, const std::string& value);
+
+enum class record_status {
+    ok,         // a full record parsed and its CRC matched
+    truncated,  // buffer ended mid-record (crash tail)
+    bad_crc,    // framing complete but the CRC failed (corruption)
+};
+
+/// Parse one record from data[0, size). Returns the bytes consumed on
+/// `ok`, 0 otherwise (with `status` saying why). A zero-length buffer is
+/// `truncated` — callers treat it as a clean end of the valid prefix.
+std::size_t parse_record(const char* data, std::size_t size, record& out,
+                         record_status& status);
+
+}  // namespace jsk::svc

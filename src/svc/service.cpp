@@ -1,0 +1,455 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "attacks/explore_sweep.h"
+#include "core/arena.h"
+#include "core/world.h"
+#include "defenses/defense.h"
+#include "faults/plan.h"
+#include "kernel/json.h"
+#include "par/sweep.h"
+#include "sim/explore.h"
+
+namespace jsk::svc {
+
+namespace {
+
+constexpr const char* k_random_prefix = "program:";
+
+bool is_random_program(const std::string& program)
+{
+    return program.rfind(k_random_prefix, 0) == 0;
+}
+
+std::optional<std::uint64_t> random_program_seed(const std::string& program)
+{
+    const std::string digits = program.substr(std::string(k_random_prefix).size());
+    if (digits.empty()) return std::nullopt;
+    for (const char c : digits) {
+        if (c < '0' || c > '9') return std::nullopt;
+    }
+    return std::strtoull(digits.c_str(), nullptr, 10);
+}
+
+std::optional<defenses::defense_id> defense_from_name(const std::string& name)
+{
+    for (const defenses::defense_id id : defenses::all_defense_ids()) {
+        if (defenses::to_string(id) == name) return id;
+    }
+    return std::nullopt;
+}
+
+/// Chaos jobs (fault plan active, or a random program) replay by
+/// (seed, plan); explore jobs replay by (seed, decisions, defense).
+bool is_chaos_job(const par::witness_key& key)
+{
+    return !key.plan.empty() || is_random_program(key.program);
+}
+
+}  // namespace
+
+/// Thread-confined per-worker state: sealed world snapshots (rebuilt at
+/// most once per (worker, recipe)) and fork telemetry. Dropped wholesale on
+/// resize() — the new threads must not restore worlds another thread built.
+struct service::worker_state {
+    core::snapshot_cache snaps;
+    core::fork_stats stats;
+};
+
+service::service(service_options opt) : opt_(std::move(opt))
+{
+    if (opt_.jobs == 0) opt_.jobs = par::default_jobs();
+    if (!opt_.store_dir.empty()) {
+        store_options sopt;
+        sopt.dir = opt_.store_dir;
+        sopt.shards = opt_.store_shards;
+        store_ = std::make_unique<store>(std::move(sopt));
+    }
+    pool_ = std::make_unique<par::worker_pool>(opt_.jobs);
+    workers_ = std::make_unique<par::worker_local<worker_state>>(pool_->workers());
+    known_programs_ = attacks::cve_ids();
+}
+
+service::~service() = default;
+
+service::session& service::connect(const std::string& tenant_id)
+{
+    auto& slot = sessions_[tenant_id];
+    if (!slot) slot = std::unique_ptr<session>(new session(*this, tenant_id));
+    return *slot;
+}
+
+void service::resize(std::size_t jobs)
+{
+    pool_->resize(jobs);
+    workers_ = std::make_unique<par::worker_local<worker_state>>(pool_->workers());
+}
+
+std::size_t service::jobs() const
+{
+    return pool_->workers();
+}
+
+std::optional<std::string> service::validate(const par::witness_key& key) const
+{
+    if (is_random_program(key.program)) {
+        if (!random_program_seed(key.program)) {
+            return "malformed random-program id '" + key.program +
+                   "' (want program:<seed>)";
+        }
+    } else if (std::find(known_programs_.begin(), known_programs_.end(), key.program) ==
+               known_programs_.end()) {
+        return "unknown program '" + key.program + "'";
+    }
+    if (!key.plan.empty()) {
+        try {
+            (void)faults::plan::parse(key.plan);
+        } catch (const std::exception& e) {
+            return std::string("malformed plan: ") + e.what();
+        }
+    }
+    if (is_chaos_job(key)) {
+        if (!key.decisions.empty()) {
+            return "chaos jobs replay by (seed, plan); decisions must be empty";
+        }
+        if (key.defense != "plain" && key.defense != "jskernel") {
+            return "chaos jobs support defenses plain|jskernel, not '" + key.defense +
+                   "'";
+        }
+    } else {
+        if (key.defense != "plain" && !defense_from_name(key.defense)) {
+            return "unknown defense '" + key.defense + "'";
+        }
+        if (!sim::explore::schedule::parse(key.decisions)) {
+            return "malformed decisions string";
+        }
+    }
+    return std::nullopt;
+}
+
+void service::session::submit(job j)
+{
+    if (const auto why = svc_->validate(j.key)) throw std::invalid_argument(*why);
+    pending_.push_back(std::move(j));
+}
+
+wave_result service::session::flush()
+{
+    return svc_->run_wave(*this);
+}
+
+job_result service::execute(const par::witness_key& key, std::size_t worker_id)
+{
+    const bool use_snapshots = opt_.snapshots && core::arena::supported();
+    worker_state& ws = workers_->get(worker_id);
+    job_result r;
+    if (is_chaos_job(key)) {
+        const faults::plan p =
+            key.plan.empty() ? faults::plan{} : faults::plan::parse(key.plan);
+        const bool with_kernel = key.defense == "jskernel";
+        attacks::chaos_trial_result trial;
+        if (is_random_program(key.program)) {
+            const std::uint64_t program_seed = *random_program_seed(key.program);
+            if (use_snapshots) {
+                core::world_snapshot& snap = ws.snaps.get(
+                    attacks::chaos_world_recipe(with_kernel, key.seed, opt_.chaos),
+                    &ws.stats);
+                trial = attacks::run_chaos_program_forked(snap, program_seed, p,
+                                                          opt_.chaos, &ws.stats);
+            } else {
+                trial = attacks::run_chaos_program(program_seed, with_kernel, p,
+                                                   key.seed, opt_.chaos);
+            }
+        } else {
+            if (use_snapshots) {
+                core::world_snapshot& snap = ws.snaps.get(
+                    attacks::chaos_world_recipe(with_kernel, key.seed, opt_.chaos),
+                    &ws.stats);
+                trial = attacks::run_chaos_trial_forked(snap, key.program, p,
+                                                        opt_.chaos, &ws.stats);
+            } else {
+                trial = attacks::run_chaos_trial(key.program, with_kernel, p, key.seed,
+                                                 opt_.chaos);
+            }
+        }
+        r.triggered = trial.triggered;
+        r.hit_task_cap = trial.hit_task_cap;
+        r.tasks_executed = trial.tasks_executed;
+        r.faults_injected = trial.faults_injected;
+        r.journal_digest = par::fnv1a(trial.journal_json);
+        r.trace_digest = par::fnv1a(trial.trace_json);
+    } else {
+        attacks::cve_trial_spec spec;
+        spec.cve = key.program;
+        spec.browser_seed = key.seed;
+        if (key.defense != "plain") spec.defense = defense_from_name(key.defense);
+        attacks::cve_walk_spec walk;
+        walk.prefix = *sim::explore::schedule::parse(key.decisions);
+        attacks::cve_trial_outcome out;
+        if (use_snapshots) {
+            core::world_snapshot& snap =
+                ws.snaps.get(attacks::cve_world_recipe(spec), &ws.stats);
+            out = attacks::run_cve_trial_forked(snap, spec, walk, &ws.stats);
+        } else {
+            out = attacks::run_cve_trial_fresh(spec, walk);
+        }
+        r.triggered = out.triggered;
+        r.decisions = out.decisions;
+    }
+    return r;
+}
+
+wave_result service::run_wave(session& sess)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    wave_result w;
+    w.jobs = std::move(sess.pending_);
+    sess.pending_.clear();
+    const std::size_t n = w.jobs.size();
+
+    // Canonical order: serialized witness bytes, ties by client id. From
+    // here on, nothing downstream can see the arrival order.
+    {
+        std::vector<std::pair<std::string, job>> tagged;
+        tagged.reserve(n);
+        for (job& j : w.jobs) tagged.emplace_back(par::serialize(j.key), std::move(j));
+        std::sort(tagged.begin(), tagged.end(), [](const auto& a, const auto& b) {
+            if (a.first != b.first) return a.first < b.first;
+            return a.second.client_id < b.second.client_id;
+        });
+        w.jobs.clear();
+        for (auto& [bytes, j] : tagged) w.jobs.push_back(std::move(j));
+    }
+
+    // Phase A (serial): resolve against the in-memory cache, then the
+    // store. Disk hits are promoted into the memory cache, so a duplicate
+    // later in the wave resolves as a memory hit. What remains is the map
+    // of genuinely new witnesses -> the job slots waiting on each.
+    std::vector<std::shared_ptr<const job_result>> resolved(n);
+    std::map<std::string, std::vector<std::size_t>> need;  // canonical order
+    for (std::size_t i = 0; i < n; ++i) {
+        if (const auto hit = cache_.lookup(w.jobs[i].key)) {
+            resolved[i] = hit;
+            ++w.hits_mem;
+            continue;
+        }
+        std::string kb = par::serialize(w.jobs[i].key);
+        const auto pending = need.find(kb);
+        if (pending == need.end() && store_ != nullptr) {
+            if (const auto raw = store_->get(kb)) {
+                if (auto parsed = parse_result(std::string(*raw))) {
+                    resolved[i] =
+                        cache_.insert(w.jobs[i].key, std::move(*parsed), raw->size());
+                    ++w.hits_disk;
+                    continue;
+                }
+                // Unparsable payload (version skew): fall through and
+                // re-simulate; the store keeps first-insert-wins, so the
+                // stale record stays until a compaction evicts it.
+            }
+        }
+        if (pending != need.end()) {
+            pending->second.push_back(i);
+        } else {
+            need.emplace(std::move(kb), std::vector<std::size_t>{i});
+        }
+    }
+
+    // Phase B (parallel): simulate the unique misses on the pool. The job
+    // list is canonically ordered (need is a sorted map), each trial is a
+    // pure function of its witness, and results land in per-job slots —
+    // the same contract every jsk::par sweep runs under.
+    if (!need.empty()) {
+        std::vector<const par::witness_key*> to_run;
+        std::vector<const std::vector<std::size_t>*> fills;
+        std::vector<const std::string*> key_bytes;
+        to_run.reserve(need.size());
+        for (const auto& [kb, indices] : need) {
+            key_bytes.push_back(&kb);
+            to_run.push_back(&w.jobs[indices.front()].key);
+            fills.push_back(&indices);
+        }
+        auto outcomes = par::sweep_on<job_result>(
+            *pool_, to_run.size(),
+            [&](std::size_t i, const par::worker_context& ctx) {
+                return execute(*to_run[i], ctx.worker_id);
+            });
+
+        // Phase C (serial): publish to the memory cache and spill to disk.
+        for (std::size_t i = 0; i < to_run.size(); ++i) {
+            const std::string value_bytes = serialize(outcomes[i]);
+            const auto resident =
+                cache_.insert(*to_run[i], std::move(outcomes[i]), value_bytes.size());
+            if (store_ != nullptr) store_->put(*key_bytes[i], value_bytes);
+            for (const std::size_t slot : *fills[i]) resolved[slot] = resident;
+        }
+        w.trials = need.size();
+    }
+
+    w.results.reserve(n);
+    std::uint64_t bytes_served = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        w.results.push_back(*resolved[i]);
+        bytes_served += 8 + serialize(w.results.back()).size();  // result frame payload
+    }
+    w.merged_json = merged_json(w.jobs, w.results);
+
+    obs::registry& reg = tenants_.get(sess.tenant_);
+    reg.get_counter("svc.jobs").inc(n);
+    reg.get_counter("svc.waves").inc();
+    reg.get_counter("svc.cache_hits_mem").inc(w.hits_mem);
+    reg.get_counter("svc.cache_hits_disk").inc(w.hits_disk);
+    reg.get_counter("svc.trials").inc(w.trials);
+    reg.get_counter("svc.bytes_served").inc(bytes_served);
+    reg.get_histogram("svc.wave_jobs").record(static_cast<double>(n));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (elapsed > 0.0 && w.trials > 0) {
+        reg.get_gauge("svc.trials_per_sec")
+            .set(static_cast<double>(w.trials) / elapsed);
+    }
+    ++waves_;
+    return w;
+}
+
+std::string service::merged_json(const std::vector<job>& jobs,
+                                 const std::vector<job_result>& results)
+{
+    namespace json = kernel::json;
+    json::array rows;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const par::witness_key& key = jobs[i].key;
+        const job_result& r = results[i];
+        json::object rec;
+        rec.emplace("client_id", json::value{std::to_string(jobs[i].client_id)});
+        rec.emplace("program", json::value{key.program});
+        rec.emplace("seed", json::value{std::to_string(key.seed)});
+        rec.emplace("plan", json::value{key.plan});
+        rec.emplace("decisions", json::value{key.decisions});
+        rec.emplace("defense", json::value{key.defense});
+        rec.emplace("triggered", json::value{r.triggered});
+        rec.emplace("hit_task_cap", json::value{r.hit_task_cap});
+        rec.emplace("tasks_executed",
+                    json::value{static_cast<double>(r.tasks_executed)});
+        rec.emplace("faults_injected",
+                    json::value{static_cast<double>(r.faults_injected)});
+        rec.emplace("journal_digest", json::value{std::to_string(r.journal_digest)});
+        rec.emplace("trace_digest", json::value{std::to_string(r.trace_digest)});
+        rec.emplace("decisions_out", json::value{r.decisions});
+        rows.push_back(json::value{std::move(rec)});
+    }
+    json::object root;
+    root.emplace("jobs", json::value{std::move(rows)});
+    return json::dump(json::value{std::move(root)});
+}
+
+std::size_t service::serve(byte_source& in, byte_sink& out,
+                           const std::function<void(const wave_result&)>& on_wave)
+{
+    session* sess = nullptr;
+    const auto current = [&]() -> session& {
+        if (sess == nullptr) sess = &connect("default");
+        return *sess;
+    };
+    const auto reject = [&](std::uint64_t client_id, const std::string& message) {
+        write_frame(out, frame_type::error, encode_reject({client_id, message}));
+    };
+    std::size_t waves = 0;
+    const auto flush_wave = [&] {
+        const wave_result w = current().flush();
+        for (std::size_t i = 0; i < w.jobs.size(); ++i) {
+            write_frame(out, frame_type::result,
+                        encode_result({w.jobs[i].client_id, w.results[i]}));
+        }
+        write_frame(out, frame_type::wave_done, w.merged_json);
+        out.flush();
+        if (on_wave) on_wave(w);
+        ++waves;
+    };
+
+    frame f;
+    while (read_frame(in, f)) {
+        switch (f.type) {
+            case frame_type::hello: {
+                const auto tenant = decode_hello(f.payload);
+                if (!tenant) {
+                    reject(0, "malformed hello frame");
+                } else if (sess != nullptr && sess->pending() > 0) {
+                    reject(0, "hello mid-wave: flush before switching tenants");
+                } else {
+                    sess = &connect(*tenant);
+                }
+                break;
+            }
+            case frame_type::job: {
+                const auto j = decode_job(f.payload);
+                if (!j) {
+                    reject(0, "malformed job frame");
+                    break;
+                }
+                try {
+                    current().submit(job{j->client_id, j->key});
+                } catch (const std::invalid_argument& e) {
+                    reject(j->client_id, e.what());
+                }
+                break;
+            }
+            case frame_type::end_wave:
+                flush_wave();
+                break;
+            default:
+                reject(0, "unexpected frame type from client");
+                break;
+        }
+    }
+    // A stream that ends with buffered jobs still gets its wave: piping a
+    // job file into the service without a trailing end_wave serves it.
+    if (sess != nullptr && sess->pending() > 0) flush_wave();
+    return waves;
+}
+
+std::string service::snapshot_json() const
+{
+    namespace json = kernel::json;
+    json::object root;
+    const auto cache_stats = cache_.snapshot();
+    json::object cache;
+    cache.emplace("hits", json::value{static_cast<double>(cache_stats.hits)});
+    cache.emplace("misses", json::value{static_cast<double>(cache_stats.misses)});
+    cache.emplace("entries", json::value{static_cast<double>(cache_stats.entries)});
+    cache.emplace("bytes", json::value{static_cast<double>(cache_stats.bytes)});
+    root.emplace("cache", json::value{std::move(cache)});
+    json::object pool;
+    pool.emplace("workers", json::value{static_cast<double>(pool_->workers())});
+    root.emplace("pool", json::value{std::move(pool)});
+    if (store_ != nullptr) {
+        const store_stats& st = store_->stats();
+        json::object disk;
+        disk.emplace("generation", json::value{static_cast<double>(st.generation)});
+        disk.emplace("entries", json::value{static_cast<double>(st.entries)});
+        disk.emplace("bytes", json::value{static_cast<double>(st.bytes)});
+        disk.emplace("loaded_records",
+                     json::value{static_cast<double>(st.loaded_records)});
+        disk.emplace("appended_records",
+                     json::value{static_cast<double>(st.appended_records)});
+        disk.emplace("dropped_records",
+                     json::value{static_cast<double>(st.dropped_records)});
+        disk.emplace("truncated_bytes",
+                     json::value{static_cast<double>(st.truncated_bytes)});
+        disk.emplace("recalls", json::value{static_cast<double>(st.recalls)});
+        disk.emplace("compactions", json::value{static_cast<double>(st.compactions)});
+        root.emplace("store", json::value{std::move(disk)});
+    } else {
+        root.emplace("store", json::value{nullptr});
+    }
+    root.emplace("metrics", tenants_.snapshot());
+    root.emplace("waves", json::value{static_cast<double>(waves_)});
+    return json::dump(json::value{std::move(root)});
+}
+
+}  // namespace jsk::svc

@@ -1,0 +1,330 @@
+#include "svc/store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "par/cache.h"
+#include "svc/record.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define JSK_SVC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace jsk::svc {
+
+namespace fs = std::filesystem;
+
+// --- mapping ----------------------------------------------------------------
+
+/// Read-only view of one shard file. On POSIX platforms the file is mmap'd
+/// MAP_PRIVATE, so recall never copies it into the heap and untouched pages
+/// never become resident; elsewhere the file is read into a heap buffer
+/// (same interface, weaker economics). shrink() narrows the *logical* size
+/// after tail truncation — the trailing pages stay mapped but are never
+/// read again, which keeps truncate-after-mmap free of SIGBUS hazards.
+class store::mapping {
+public:
+    static std::unique_ptr<mapping> open(const std::string& path)
+    {
+        std::error_code ec;
+        if (!fs::exists(path, ec)) return nullptr;
+        auto m = std::unique_ptr<mapping>(new mapping());
+#if JSK_SVC_HAVE_MMAP
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0) throw std::runtime_error("svc::store: cannot open " + path);
+        struct stat st{};
+        if (::fstat(fd, &st) != 0) {
+            ::close(fd);
+            throw std::runtime_error("svc::store: cannot stat " + path);
+        }
+        m->size_ = static_cast<std::size_t>(st.st_size);
+        if (m->size_ > 0) {
+            void* addr = ::mmap(nullptr, m->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+            if (addr == MAP_FAILED) {
+                ::close(fd);
+                throw std::runtime_error("svc::store: mmap failed for " + path);
+            }
+            m->addr_ = addr;
+            m->mapped_ = m->size_;
+            m->data_ = static_cast<const char*>(addr);
+        }
+        ::close(fd);
+#else
+        std::ifstream in(path, std::ios::binary);
+        if (!in) throw std::runtime_error("svc::store: cannot open " + path);
+        m->heap_.assign(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+        m->data_ = m->heap_.data();
+        m->size_ = m->heap_.size();
+#endif
+        return m;
+    }
+
+    ~mapping()
+    {
+#if JSK_SVC_HAVE_MMAP
+        if (addr_ != nullptr) ::munmap(addr_, mapped_);
+#endif
+    }
+
+    mapping(const mapping&) = delete;
+    mapping& operator=(const mapping&) = delete;
+
+    [[nodiscard]] const char* data() const { return data_; }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    void shrink(std::size_t new_size) { size_ = new_size; }
+
+private:
+    mapping() = default;
+
+#if JSK_SVC_HAVE_MMAP
+    void* addr_ = nullptr;
+    std::size_t mapped_ = 0;
+#else
+    std::string heap_;
+#endif
+    const char* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+// --- CURRENT ----------------------------------------------------------------
+
+namespace {
+
+std::string current_path(const std::string& dir)
+{
+    return (fs::path(dir) / "CURRENT").string();
+}
+
+std::optional<std::uint64_t> read_current(const std::string& dir)
+{
+    std::ifstream in(current_path(dir));
+    if (!in) return std::nullopt;
+    std::uint64_t generation = 0;
+    in >> generation;
+    if (in.fail()) return std::nullopt;
+    return generation;
+}
+
+/// Write-then-rename so CURRENT is never observed half-written: a crash
+/// mid-flip leaves the old generation live and complete.
+void write_current(const std::string& dir, std::uint64_t generation)
+{
+    const std::string tmp = current_path(dir) + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) throw std::runtime_error("svc::store: cannot write " + tmp);
+        out << generation << "\n";
+    }
+    fs::rename(tmp, current_path(dir));
+}
+
+}  // namespace
+
+// --- store ------------------------------------------------------------------
+
+store::store(store_options opt) : opt_(std::move(opt))
+{
+    if (opt_.dir.empty()) throw std::invalid_argument("svc::store: empty dir");
+    if (opt_.shards == 0) opt_.shards = 1;
+    fs::create_directories(opt_.dir);
+    auto generation = read_current(opt_.dir);
+    if (!generation) {
+        write_current(opt_.dir, 0);
+        generation = 0;
+    }
+    load_generation(*generation);
+}
+
+store::~store()
+{
+    for (std::FILE* f : appenders_) {
+        if (f != nullptr) std::fclose(f);
+    }
+}
+
+std::string store::shard_path(std::uint64_t generation, std::size_t shard_index) const
+{
+    return (fs::path(opt_.dir) / ("gen-" + std::to_string(generation) + "-shard-" +
+                                  std::to_string(shard_index) + ".jsk"))
+        .string();
+}
+
+std::size_t store::shard_of(const std::string& key) const
+{
+    return static_cast<std::size_t>(par::fnv1a(key) % opt_.shards);
+}
+
+void store::load_generation(std::uint64_t generation)
+{
+    for (std::FILE* f : appenders_) {
+        if (f != nullptr) std::fclose(f);
+    }
+    appenders_.assign(opt_.shards, nullptr);
+    index_.clear();
+    maps_.clear();
+    session_values_.clear();
+    stats_.generation = generation;
+    stats_.entries = 0;
+    stats_.bytes = 0;
+    stats_.loaded_records = 0;
+    stats_.dropped_records = 0;
+    stats_.truncated_bytes = 0;
+
+    maps_.reserve(opt_.shards);
+    for (std::size_t s = 0; s < opt_.shards; ++s) {
+        maps_.push_back(mapping::open(shard_path(generation, s)));
+        scan_shard(s);
+    }
+}
+
+void store::scan_shard(std::size_t shard_index)
+{
+    mapping* m = maps_[shard_index].get();
+    if (m == nullptr || m->size() == 0) return;
+    const char* data = m->data();
+    const std::size_t size = m->size();
+    std::size_t pos = 0;
+    while (pos < size) {
+        record rec;
+        record_status status = record_status::ok;
+        const std::size_t used = parse_record(data + pos, size - pos, rec, status);
+        if (status != record_status::ok) {
+            // Torn tail or corrupted record: the valid prefix is the cache.
+            // Everything from here on is untrusted (lengths may lie about
+            // where the next record starts), so cut it — on disk too, which
+            // is what makes the *next* open clean.
+            if (status == record_status::bad_crc) ++stats_.dropped_records;
+            stats_.truncated_bytes += size - pos;
+            std::error_code ec;
+            fs::resize_file(shard_path(stats_.generation, shard_index), pos, ec);
+            m->shrink(pos);
+            return;
+        }
+        // The slot aliases the mapping: value bytes start after the two
+        // length prefixes and the key.
+        slot sl;
+        sl.data = data + pos + 8 + rec.key.size();
+        sl.size = static_cast<std::uint32_t>(rec.value.size());
+        const auto it = index_.find(rec.key);
+        if (it == index_.end()) {
+            ++stats_.entries;
+            stats_.bytes += rec.key.size() + sl.size;
+            index_.emplace(std::move(rec.key), sl);
+        } else {
+            // Duplicate key across appends (possible only via histories that
+            // interleave erase + reopen without compaction): last wins.
+            stats_.bytes += sl.size;
+            stats_.bytes -= it->second.size;
+            it->second = sl;
+        }
+        ++stats_.loaded_records;
+        pos += used;
+    }
+}
+
+std::optional<std::string_view> store::get(const std::string& key)
+{
+    const auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    ++stats_.recalls;
+    return std::string_view(it->second.data, it->second.size);
+}
+
+bool store::contains(const std::string& key) const
+{
+    return index_.find(key) != index_.end();
+}
+
+bool store::put(const std::string& key, const std::string& value)
+{
+    if (contains(key)) return false;
+    std::string encoded;
+    encoded.reserve(record_overhead + key.size() + value.size());
+    append_record(encoded, key, value);
+    append_to_shard(shard_of(key), encoded);
+
+    session_values_.push_back(value);
+    slot sl;
+    sl.data = session_values_.back().data();
+    sl.size = static_cast<std::uint32_t>(value.size());
+    index_.emplace(key, sl);
+    ++stats_.entries;
+    stats_.bytes += key.size() + value.size();
+    ++stats_.appended_records;
+    return true;
+}
+
+void store::erase(const std::string& key)
+{
+    const auto it = index_.find(key);
+    if (it == index_.end()) return;
+    --stats_.entries;
+    stats_.bytes -= it->first.size() + it->second.size;
+    index_.erase(it);
+}
+
+void store::append_to_shard(std::size_t shard_index, const std::string& encoded)
+{
+    std::FILE*& f = appenders_[shard_index];
+    if (f == nullptr) {
+        f = std::fopen(shard_path(stats_.generation, shard_index).c_str(), "ab");
+        if (f == nullptr) {
+            throw std::runtime_error("svc::store: cannot append to shard " +
+                                     std::to_string(shard_index));
+        }
+    }
+    if (std::fwrite(encoded.data(), 1, encoded.size(), f) != encoded.size()) {
+        throw std::runtime_error("svc::store: short write to shard " +
+                                 std::to_string(shard_index));
+    }
+    // One flush per record: a crash loses at most the in-flight record, and
+    // the loader's truncate-to-valid handles even that half-written tail.
+    std::fflush(f);
+}
+
+void store::compact()
+{
+    const std::uint64_t old_generation = stats_.generation;
+    const std::uint64_t next = old_generation + 1;
+
+    // Stage the new generation fully before flipping CURRENT. index_ is a
+    // sorted map, so each shard's bytes are a pure function of the live
+    // contents — two stores holding the same entries compact to identical
+    // files.
+    std::vector<std::string> buffers(opt_.shards);
+    for (const auto& [key, sl] : index_) {
+        append_record(buffers[shard_of(key)], key, std::string(sl.data, sl.size));
+    }
+    for (std::size_t s = 0; s < opt_.shards; ++s) {
+        if (buffers[s].empty()) continue;
+        const std::string path = shard_path(next, s);
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("svc::store: cannot write " + path);
+        out.write(buffers[s].data(),
+                  static_cast<std::streamsize>(buffers[s].size()));
+        if (!out) throw std::runtime_error("svc::store: short write to " + path);
+    }
+    write_current(opt_.dir, next);
+
+    // The flip is durable; the old generation is dead weight now.
+    for (std::size_t s = 0; s < opt_.shards; ++s) {
+        std::error_code ec;
+        fs::remove(shard_path(old_generation, s), ec);
+    }
+    const std::uint64_t appended = stats_.appended_records;
+    const std::uint64_t recalls = stats_.recalls;
+    const std::uint64_t compactions = stats_.compactions + 1;
+    load_generation(next);
+    stats_.appended_records = appended;
+    stats_.recalls = recalls;
+    stats_.compactions = compactions;
+}
+
+}  // namespace jsk::svc

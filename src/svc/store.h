@@ -1,0 +1,142 @@
+// jsk::svc — the disk-persistent witness-keyed result store.
+//
+// A store is a directory of append-only shard files holding canonical
+// records (svc/record.h), plus a CURRENT file naming the live generation:
+//
+//   CURRENT                     "G\n" — the generation whose files are live
+//   gen-G-shard-S.jsk           records whose fnv1a(key) % shards == S
+//
+// Writes append one CRC-framed record and flush; reads are served from an
+// index built at open over mmap-backed file contents, so a warm process
+// recalls millions of cached outcomes at memory speed without heap-copying
+// the shard files. Crash safety is structural: on open, each shard is
+// scanned front to back and the file is truncated to its last valid record
+// — a torn tail (power cut mid-append) or a bit-flipped record costs the
+// corrupted suffix, never the store (the surviving prefix is a correct
+// partial cache, because records are self-contained and keys content-
+// addressed).
+//
+// Eviction is epoch-based: erase()/evict_if() drop entries from the live
+// index, and compact() rewrites exactly the live entries — in canonical
+// key order, so compacted shard bytes are a pure function of the contents
+// — into generation G+1, flips CURRENT, and deletes the old files. A crash
+// anywhere before the CURRENT flip leaves generation G intact.
+//
+// The store is single-threaded by design (the service serializes store
+// access around its parallel waves); `put` is first-insert-wins, matching
+// the in-memory cache: every writer of a key computed the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsk::svc {
+
+struct store_options {
+    std::string dir;          // created if missing
+    std::size_t shards = 8;   // files per generation
+};
+
+struct store_stats {
+    std::uint64_t generation = 0;
+    std::uint64_t entries = 0;           // live (indexed) records
+    std::uint64_t bytes = 0;             // key+value payload bytes of live records
+    std::uint64_t loaded_records = 0;    // valid records recalled at open
+    std::uint64_t appended_records = 0;  // put()s that hit disk this session
+    std::uint64_t dropped_records = 0;   // bad-CRC records hit at open
+    std::uint64_t truncated_bytes = 0;   // corrupt/torn suffix bytes cut at open
+    std::uint64_t recalls = 0;           // get() hits
+    std::uint64_t compactions = 0;
+};
+
+class store {
+public:
+    /// Open (creating the directory and CURRENT on first use) and build the
+    /// index. Throws std::runtime_error on I/O failure — but never on
+    /// corrupt record *contents*, which are truncated away instead.
+    explicit store(store_options opt);
+    ~store();
+
+    store(const store&) = delete;
+    store& operator=(const store&) = delete;
+
+    /// The stored value, or nullopt. The view is valid until compact() or
+    /// destruction (it aliases the mmap or the session append log).
+    std::optional<std::string_view> get(const std::string& key);
+
+    [[nodiscard]] bool contains(const std::string& key) const;
+
+    /// Append (key, value) if the key is not live. Returns whether a record
+    /// was written; a duplicate put is a no-op (first-insert-wins).
+    bool put(const std::string& key, const std::string& value);
+
+    /// Drop a key from the live index. In-memory until the next compact()
+    /// persists the eviction — a reopen without compacting resurrects it
+    /// (the record is still on disk, and it is still a true outcome).
+    void erase(const std::string& key);
+
+    /// erase() every live key `pred` selects. Returns how many.
+    template <typename Pred>
+    std::size_t evict_if(Pred&& pred)
+    {
+        std::vector<std::string> doomed;
+        for (const auto& [key, slot] : index_) {
+            if (pred(key)) doomed.push_back(key);
+        }
+        for (const auto& key : doomed) erase(key);
+        return doomed.size();
+    }
+
+    /// Rewrite the live entries into generation+1 (canonical key order,
+    /// deterministic bytes), flip CURRENT, delete the old generation's
+    /// files, and re-open on the new one.
+    void compact();
+
+    /// Visit every live (key, value) in canonical key order.
+    template <typename Fn>
+    void for_each(Fn&& fn) const
+    {
+        for (const auto& [key, slot] : index_) {
+            fn(key, std::string_view(slot.data, slot.size));
+        }
+    }
+
+    [[nodiscard]] const store_stats& stats() const { return stats_; }
+    [[nodiscard]] std::size_t shard_count() const { return opt_.shards; }
+    [[nodiscard]] const std::string& dir() const { return opt_.dir; }
+
+    /// Shard index a key maps to: stable fnv1a over the key bytes.
+    [[nodiscard]] std::size_t shard_of(const std::string& key) const;
+
+private:
+    struct slot {
+        const char* data = nullptr;
+        std::uint32_t size = 0;
+    };
+
+    /// One shard file's read-only contents, mmap-backed where the platform
+    /// allows (heap-read fallback elsewhere); empty files map to nothing.
+    class mapping;
+
+    void load_generation(std::uint64_t generation);
+    void scan_shard(std::size_t shard_index);
+    void append_to_shard(std::size_t shard_index, const std::string& encoded);
+    [[nodiscard]] std::string shard_path(std::uint64_t generation,
+                                         std::size_t shard_index) const;
+
+    store_options opt_;
+    store_stats stats_;
+    std::map<std::string, slot> index_;         // canonical key order
+    std::vector<std::unique_ptr<mapping>> maps_;  // one per shard (may be null)
+    std::deque<std::string> session_values_;    // values put() this session
+    std::vector<std::FILE*> appenders_;         // lazily-opened append streams
+};
+
+}  // namespace jsk::svc

@@ -1,0 +1,143 @@
+#include "svc/wire.h"
+
+#include "sim/bytes.h"
+
+namespace jsk::svc {
+
+namespace bytes = sim::bytes;
+
+void write_frame(byte_sink& sink, frame_type type, const std::string& payload)
+{
+    std::string header;
+    bytes::put_u8(header, static_cast<std::uint8_t>(type));
+    bytes::put_u32(header, static_cast<std::uint32_t>(payload.size()));
+    sink.write(header.data(), header.size());
+    if (!payload.empty()) sink.write(payload.data(), payload.size());
+}
+
+namespace {
+
+/// Exactly `n` bytes or bust: 0 < got < n is a torn frame.
+bool read_exact(byte_source& source, char* buf, std::size_t n, bool& clean_eof)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const std::size_t r = source.read(buf + got, n - got);
+        if (r == 0) {
+            clean_eof = got == 0;
+            return false;
+        }
+        got += r;
+    }
+    clean_eof = false;
+    return true;
+}
+
+}  // namespace
+
+bool read_frame(byte_source& source, frame& out)
+{
+    char header[5];
+    bool clean_eof = false;
+    if (!read_exact(source, header, sizeof(header), clean_eof)) {
+        if (clean_eof) return false;
+        throw wire_error("svc::wire: stream ended mid-header");
+    }
+    bytes::reader rd(header, sizeof(header));
+    const std::uint8_t type = *rd.get_u8();
+    const std::uint32_t len = *rd.get_u32();
+    if (type < static_cast<std::uint8_t>(frame_type::hello) ||
+        type > static_cast<std::uint8_t>(frame_type::error)) {
+        throw wire_error("svc::wire: unknown frame type " + std::to_string(type));
+    }
+    if (len > max_frame_payload) {
+        throw wire_error("svc::wire: oversized frame (" + std::to_string(len) +
+                         " bytes)");
+    }
+    out.type = static_cast<frame_type>(type);
+    out.payload.resize(len);
+    if (len > 0 && !read_exact(source, out.payload.data(), len, clean_eof)) {
+        throw wire_error("svc::wire: stream ended mid-payload");
+    }
+    return true;
+}
+
+std::string encode_hello(const std::string& tenant)
+{
+    std::string out;
+    bytes::put_str(out, tenant);
+    return out;
+}
+
+std::optional<std::string> decode_hello(const std::string& payload)
+{
+    bytes::reader rd(payload);
+    auto tenant = rd.get_str();
+    if (!tenant || !rd.done()) return std::nullopt;
+    return std::move(*tenant);
+}
+
+std::string encode_job(const wire_job& j)
+{
+    std::string out;
+    bytes::put_u64(out, j.client_id);
+    out += par::serialize(j.key);
+    return out;
+}
+
+std::optional<wire_job> decode_job(const std::string& payload)
+{
+    bytes::reader rd(payload);
+    const auto client_id = rd.get_u64();
+    if (!client_id) return std::nullopt;
+    const auto key =
+        par::parse_witness(payload.substr(rd.offset()));
+    if (!key) return std::nullopt;
+    wire_job j;
+    j.client_id = *client_id;
+    j.key = *key;
+    return j;
+}
+
+std::string encode_result(const wire_result& r)
+{
+    std::string out;
+    bytes::put_u64(out, r.client_id);
+    out += serialize(r.result);
+    return out;
+}
+
+std::optional<wire_result> decode_result(const std::string& payload)
+{
+    bytes::reader rd(payload);
+    const auto client_id = rd.get_u64();
+    if (!client_id) return std::nullopt;
+    const auto result = parse_result(payload.substr(rd.offset()));
+    if (!result) return std::nullopt;
+    wire_result r;
+    r.client_id = *client_id;
+    r.result = *result;
+    return r;
+}
+
+std::string encode_reject(const wire_reject& e)
+{
+    std::string out;
+    bytes::put_u64(out, e.client_id);
+    bytes::put_str(out, e.message);
+    return out;
+}
+
+std::optional<wire_reject> decode_reject(const std::string& payload)
+{
+    bytes::reader rd(payload);
+    const auto client_id = rd.get_u64();
+    auto message = rd.get_str();
+    if (!client_id || !message || !rd.done()) return std::nullopt;
+    wire_reject e;
+    e.client_id = *client_id;
+    e.message = std::move(*message);
+    return e;
+}
+
+}  // namespace jsk::svc

@@ -1,0 +1,179 @@
+// jsk::svc — the streaming job-intake wire format.
+//
+// The service talks to clients over any byte stream — a pipe, a local
+// socket, a file of pre-recorded frames, or an in-memory buffer in tests —
+// through one length-prefixed frame format:
+//
+//   frame := u8 type | u32 payload_len (LE) | payload bytes
+//
+// Client -> service frames:
+//   hello     payload = u32-prefixed tenant id (optional; default tenant
+//             otherwise; must precede any job)
+//   job       payload = u64 client_job_id | canonical witness key
+//             (par::serialize: seed, plan, decisions, defense, program)
+//   end_wave  payload empty — close the current wave: the service runs the
+//             buffered jobs and streams the wave's frames back
+//
+// Service -> client frames:
+//   result    payload = u64 client_job_id | serialized job_result — one per
+//             accepted job, emitted in *canonical job order* (sorted by
+//             witness-key bytes), never arrival order: the concatenation of
+//             result frames is a pure function of the wave's job set
+//   wave_done payload = the wave's merged matrix JSON (same canonical
+//             order), closing the wave
+//   error     payload = u64 client_job_id (0 when not job-specific) |
+//             u32-prefixed message — a rejected job or malformed frame; the
+//             stream stays usable
+//
+// Determinism contract: because responses are canonically ordered and each
+// job's outcome is a pure function of its witness key, streaming the same
+// job set in any arrival order yields byte-identical result streams and
+// merged JSON — the property tests/svc/test_service.cpp pins.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "par/cache.h"
+#include "svc/record.h"
+
+namespace jsk::svc {
+
+// --- byte streams -----------------------------------------------------------
+
+class byte_source {
+public:
+    virtual ~byte_source() = default;
+    /// Up to `n` bytes into `buf`; 0 means end of stream.
+    virtual std::size_t read(char* buf, std::size_t n) = 0;
+};
+
+class byte_sink {
+public:
+    virtual ~byte_sink() = default;
+    virtual void write(const char* data, std::size_t n) = 0;
+    virtual void flush() {}
+};
+
+/// Single-threaded in-memory pipe: what tests (and the in-process client)
+/// connect the service's source/sink to.
+class mem_pipe final : public byte_source, public byte_sink {
+public:
+    std::size_t read(char* buf, std::size_t n) override
+    {
+        std::size_t got = 0;
+        while (got < n && !buf_.empty()) {
+            buf[got++] = buf_.front();
+            buf_.pop_front();
+        }
+        return got;
+    }
+
+    void write(const char* data, std::size_t n) override
+    {
+        buf_.insert(buf_.end(), data, data + n);
+    }
+
+    [[nodiscard]] std::size_t size() const { return buf_.size(); }
+    [[nodiscard]] bool empty() const { return buf_.empty(); }
+
+private:
+    std::deque<char> buf_;
+};
+
+/// Non-owning wrappers over C stdio streams (stdin/stdout in the CLI's
+/// serve mode, or any fdopen'd pipe/socket).
+class file_source final : public byte_source {
+public:
+    explicit file_source(std::FILE* f) : f_(f) {}
+    std::size_t read(char* buf, std::size_t n) override
+    {
+        return std::fread(buf, 1, n, f_);
+    }
+
+private:
+    std::FILE* f_;
+};
+
+class file_sink final : public byte_sink {
+public:
+    explicit file_sink(std::FILE* f) : f_(f) {}
+    void write(const char* data, std::size_t n) override
+    {
+        if (std::fwrite(data, 1, n, f_) != n) {
+            throw std::runtime_error("svc::wire: short write");
+        }
+    }
+    void flush() override { std::fflush(f_); }
+
+private:
+    std::FILE* f_;
+};
+
+// --- frames -----------------------------------------------------------------
+
+enum class frame_type : std::uint8_t {
+    hello = 1,
+    job = 2,
+    end_wave = 3,
+    result = 4,
+    wave_done = 5,
+    error = 6,
+};
+
+struct frame {
+    frame_type type = frame_type::error;
+    std::string payload;
+};
+
+/// Torn or malformed framing (as opposed to clean EOF).
+class wire_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Frames larger than this are rejected as malformed rather than allocated
+/// — a corrupt length prefix must not look like a 4 GiB message.
+inline constexpr std::uint32_t max_frame_payload = 64u << 20;
+
+void write_frame(byte_sink& sink, frame_type type, const std::string& payload);
+
+/// Read one frame. Returns false on clean end-of-stream (EOF at a frame
+/// boundary); throws wire_error on EOF mid-frame, an unknown type byte, or
+/// an oversized payload.
+bool read_frame(byte_source& source, frame& out);
+
+// --- typed payloads ---------------------------------------------------------
+
+struct wire_job {
+    std::uint64_t client_id = 0;
+    par::witness_key key;
+};
+
+struct wire_result {
+    std::uint64_t client_id = 0;
+    job_result result;
+};
+
+struct wire_reject {
+    std::uint64_t client_id = 0;  // 0 when not job-specific
+    std::string message;
+};
+
+std::string encode_hello(const std::string& tenant);
+std::optional<std::string> decode_hello(const std::string& payload);
+
+std::string encode_job(const wire_job& j);
+std::optional<wire_job> decode_job(const std::string& payload);
+
+std::string encode_result(const wire_result& r);
+std::optional<wire_result> decode_result(const std::string& payload);
+
+std::string encode_reject(const wire_reject& e);
+std::optional<wire_reject> decode_reject(const std::string& payload);
+
+}  // namespace jsk::svc

@@ -348,4 +348,66 @@ TEST(cached_program, random_walks_seed_the_cache_for_replays)
     EXPECT_GE(cache.snapshot().hits, 1u);
 }
 
+// --- cache stats + iteration hook -------------------------------------------
+
+TEST(result_cache, stats_pin_across_insert_and_recall)
+{
+    par::result_cache<int> cache;
+    par::witness_key a{1, "", "", "plain", "cve-a"};
+    par::witness_key b{2, "", "", "jskernel", "cve-b"};
+
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.bytes(), 0u);
+    cache.insert(a, 10, 100);
+    // Key bytes are the serialized-form size: 8 (seed) + 4*4 (length
+    // prefixes) + string contents. For `a` that is 24 + 5 + 5 = 34.
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.bytes(), 134u);
+    EXPECT_EQ(par::serialize(a).size() + 100, 134u);
+
+    // First-insert-wins: the losing insert charges nothing.
+    cache.insert(a, 99, 5000);
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.bytes(), 134u);
+    EXPECT_EQ(*cache.lookup(a), 10);
+
+    cache.insert(b, 20, 6);
+    EXPECT_EQ(cache.entries(), 2u);
+    EXPECT_EQ(cache.bytes(), 134u + par::serialize(b).size() + 6);
+
+    cache.lookup(a);
+    cache.lookup(b);
+    cache.lookup(par::witness_key{3, "", "", "plain", "miss"});
+    const auto snap = cache.snapshot();
+    EXPECT_EQ(snap.hits, 3u);  // one from the winner check above
+    EXPECT_EQ(snap.misses, 1u);
+    EXPECT_EQ(snap.entries, cache.entries());
+    EXPECT_EQ(snap.bytes, cache.bytes());
+
+    cache.clear();
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.bytes(), 0u);
+    EXPECT_EQ(cache.lookup(a), nullptr);
+}
+
+TEST(result_cache, for_each_sorted_visits_in_canonical_key_order)
+{
+    par::result_cache<int> cache;
+    // Inserted out of canonical order on purpose.
+    cache.insert(par::witness_key{9, "", "", "plain", "z"}, 3);
+    cache.insert(par::witness_key{1, "", "", "plain", "b"}, 2);
+    cache.insert(par::witness_key{1, "", "", "plain", "a"}, 1);
+
+    std::vector<int> seen;
+    std::string prev;
+    cache.for_each_sorted([&](const par::witness_key& k, const int& v) {
+        seen.push_back(v);
+        const std::string bytes = par::serialize(k);
+        EXPECT_LT(prev, bytes);  // strictly increasing serialized keys
+        prev = bytes;
+    });
+    const std::vector<int> expected = {1, 2, 3};
+    EXPECT_EQ(seen, expected);
+}
+
 }  // namespace

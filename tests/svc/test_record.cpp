@@ -1,0 +1,282 @@
+// jsk::svc — record format, witness serialization and codec tests.
+//
+// The bytes pinned here are a compatibility contract: the store's on-disk
+// records, the wire format's job payloads, and the cache's shard assignment
+// all digest par::serialize(witness_key). If any golden test in this file
+// needs updating, every existing store directory becomes unreadable — that
+// is a format break and must ship as a new generation format, not a silent
+// re-pin.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "par/cache.h"
+#include "sim/bytes.h"
+#include "svc/record.h"
+#include "svc/wire.h"
+
+namespace {
+
+using namespace jsk;
+
+par::witness_key sample_key()
+{
+    par::witness_key k;
+    k.seed = 0x0123456789abcdefULL;
+    k.plan = "p";
+    k.decisions = "d";
+    k.defense = "plain";
+    k.program = "cve";
+    return k;
+}
+
+// --- witness serialization --------------------------------------------------
+
+TEST(witness_bytes, golden_serialization)
+{
+    const std::string bytes = par::serialize(sample_key());
+    const unsigned char expected[] = {
+        0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01,  // seed, LE
+        0x01, 0x00, 0x00, 0x00, 'p',                     // plan
+        0x01, 0x00, 0x00, 0x00, 'd',                     // decisions
+        0x05, 0x00, 0x00, 0x00, 'p', 'l', 'a', 'i', 'n', // defense
+        0x03, 0x00, 0x00, 0x00, 'c', 'v', 'e',           // program
+    };
+    ASSERT_EQ(bytes.size(), sizeof(expected));
+    for (std::size_t i = 0; i < sizeof(expected); ++i) {
+        EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected[i]) << "byte " << i;
+    }
+}
+
+TEST(witness_bytes, round_trip)
+{
+    const par::witness_key k = sample_key();
+    const auto back = par::parse_witness(par::serialize(k));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, k);
+
+    const par::witness_key empty{};
+    const auto back_empty = par::parse_witness(par::serialize(empty));
+    ASSERT_TRUE(back_empty.has_value());
+    EXPECT_EQ(*back_empty, empty);
+}
+
+TEST(witness_bytes, parse_rejects_truncation_and_trailing_bytes)
+{
+    const std::string bytes = par::serialize(sample_key());
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        EXPECT_FALSE(par::parse_witness(bytes.substr(0, cut)).has_value())
+            << "accepted a " << cut << "-byte prefix";
+    }
+    EXPECT_FALSE(par::parse_witness(bytes + "x").has_value());
+}
+
+TEST(witness_bytes, length_prefixes_separate_fields)
+{
+    // ("ab","c") and ("a","bc") must not serialize (or hash) alike.
+    par::witness_key a = sample_key();
+    a.plan = "ab";
+    a.decisions = "c";
+    par::witness_key b = sample_key();
+    b.plan = "a";
+    b.decisions = "bc";
+    EXPECT_NE(par::serialize(a), par::serialize(b));
+    EXPECT_NE(par::hash(a), par::hash(b));
+}
+
+TEST(witness_bytes, hash_equals_fnv1a_of_serialized_form)
+{
+    const par::witness_key keys[] = {
+        par::witness_key{},
+        sample_key(),
+        {42, "", "0,1,2", "jskernel", "cve-2018-0497"},
+        {~0ULL, "seed=9;", "", "plain", "program:7"},
+    };
+    for (const auto& k : keys) {
+        EXPECT_EQ(par::hash(k), par::fnv1a(par::serialize(k)));
+    }
+}
+
+TEST(witness_bytes, hash_golden_pin)
+{
+    // fnv1a of the empty-key serialization (8 zero bytes + four zero u32
+    // length prefixes): recomputable with any external FNV-1a tool.
+    EXPECT_EQ(par::hash(par::witness_key{}),
+              par::fnv1a(std::string(8 + 4 * 4, '\0')));
+}
+
+// --- CRC32 ------------------------------------------------------------------
+
+TEST(crc32, ieee_check_value)
+{
+    // The canonical CRC-32/IEEE check value.
+    EXPECT_EQ(sim::bytes::crc32(std::string("123456789")), 0xCBF43926u);
+    EXPECT_EQ(sim::bytes::crc32(std::string()), 0u);
+}
+
+TEST(crc32, seed_chains_incremental_computation)
+{
+    const std::string data = "the quick brown fox";
+    const std::uint32_t whole = sim::bytes::crc32(data);
+    const std::uint32_t first = sim::bytes::crc32(data.data(), 9);
+    const std::uint32_t chained = sim::bytes::crc32(data.data() + 9, data.size() - 9, first);
+    EXPECT_EQ(chained, whole);
+}
+
+// --- job_result codec -------------------------------------------------------
+
+TEST(job_result_codec, round_trip)
+{
+    svc::job_result r;
+    r.triggered = true;
+    r.hit_task_cap = true;
+    r.tasks_executed = 123456;
+    r.faults_injected = 17;
+    r.journal_digest = 0xdeadbeefcafef00dULL;
+    r.trace_digest = 0x0123456789abcdefULL;
+    r.decisions = "0,1,1,0";
+    const auto back = svc::parse_result(svc::serialize(r));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, r);
+}
+
+TEST(job_result_codec, rejects_unknown_flags_truncation_and_trailers)
+{
+    std::string bytes = svc::serialize(svc::job_result{});
+    std::string bad_flags = bytes;
+    bad_flags[0] = static_cast<char>(0x04);  // undefined flag bit
+    EXPECT_FALSE(svc::parse_result(bad_flags).has_value());
+    EXPECT_FALSE(svc::parse_result(bytes.substr(0, bytes.size() - 1)).has_value());
+    EXPECT_FALSE(svc::parse_result(bytes + "z").has_value());
+}
+
+// --- record framing ---------------------------------------------------------
+
+TEST(record_framing, append_then_parse)
+{
+    std::string buf;
+    svc::append_record(buf, "key-bytes", "value-bytes");
+    EXPECT_EQ(buf.size(), svc::record_overhead + 9 + 11);
+
+    svc::record rec;
+    svc::record_status status = svc::record_status::bad_crc;
+    const std::size_t used = svc::parse_record(buf.data(), buf.size(), rec, status);
+    EXPECT_EQ(status, svc::record_status::ok);
+    EXPECT_EQ(used, buf.size());
+    EXPECT_EQ(rec.key, "key-bytes");
+    EXPECT_EQ(rec.value, "value-bytes");
+}
+
+TEST(record_framing, every_truncation_point_is_truncated_not_ok)
+{
+    std::string buf;
+    svc::append_record(buf, "k", "v");
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+        svc::record rec;
+        svc::record_status status = svc::record_status::ok;
+        const std::size_t used = svc::parse_record(buf.data(), cut, rec, status);
+        EXPECT_EQ(used, 0u);
+        EXPECT_EQ(status, svc::record_status::truncated) << "cut at " << cut;
+    }
+}
+
+TEST(record_framing, any_flipped_byte_fails_the_crc)
+{
+    std::string pristine;
+    svc::append_record(pristine, "key", "value");
+    for (std::size_t i = 0; i < pristine.size(); ++i) {
+        std::string buf = pristine;
+        buf[i] = static_cast<char>(buf[i] ^ 0x40);
+        svc::record rec;
+        svc::record_status status = svc::record_status::ok;
+        const std::size_t used = svc::parse_record(buf.data(), buf.size(), rec, status);
+        // A flipped length byte may re-frame the record as truncated; any
+        // flip that leaves the framing plausible must be caught by the CRC.
+        EXPECT_EQ(used, 0u) << "flip at " << i;
+        EXPECT_NE(status, svc::record_status::ok) << "flip at " << i;
+    }
+}
+
+TEST(record_framing, consecutive_records_self_delimit)
+{
+    std::string buf;
+    svc::append_record(buf, "a", "1");
+    svc::append_record(buf, "bb", "22");
+    svc::record rec;
+    svc::record_status status = svc::record_status::bad_crc;
+    const std::size_t first = svc::parse_record(buf.data(), buf.size(), rec, status);
+    ASSERT_EQ(status, svc::record_status::ok);
+    EXPECT_EQ(rec.key, "a");
+    const std::size_t second =
+        svc::parse_record(buf.data() + first, buf.size() - first, rec, status);
+    ASSERT_EQ(status, svc::record_status::ok);
+    EXPECT_EQ(first + second, buf.size());
+    EXPECT_EQ(rec.key, "bb");
+    EXPECT_EQ(rec.value, "22");
+}
+
+// --- wire frames ------------------------------------------------------------
+
+TEST(wire_frames, frame_round_trip_over_mem_pipe)
+{
+    svc::mem_pipe pipe;
+    svc::write_frame(pipe, svc::frame_type::hello, svc::encode_hello("tenant-a"));
+    svc::write_frame(pipe, svc::frame_type::end_wave, "");
+
+    svc::frame f;
+    ASSERT_TRUE(svc::read_frame(pipe, f));
+    EXPECT_EQ(f.type, svc::frame_type::hello);
+    EXPECT_EQ(svc::decode_hello(f.payload).value_or(""), "tenant-a");
+    ASSERT_TRUE(svc::read_frame(pipe, f));
+    EXPECT_EQ(f.type, svc::frame_type::end_wave);
+    EXPECT_TRUE(f.payload.empty());
+    EXPECT_FALSE(svc::read_frame(pipe, f));  // clean EOF
+}
+
+TEST(wire_frames, torn_streams_throw_clean_eof_does_not)
+{
+    svc::mem_pipe pipe;
+    svc::write_frame(pipe, svc::frame_type::job,
+                     svc::encode_job({7, sample_key()}));
+    // Replay only a prefix: mid-payload EOF is a wire error, not a clean end.
+    std::string bytes(pipe.size(), '\0');
+    pipe.read(bytes.data(), bytes.size());
+    svc::mem_pipe torn;
+    torn.write(bytes.data(), bytes.size() - 3);
+    svc::frame f;
+    EXPECT_THROW(svc::read_frame(torn, f), svc::wire_error);
+
+    svc::mem_pipe header_only;
+    header_only.write(bytes.data(), 3);
+    EXPECT_THROW(svc::read_frame(header_only, f), svc::wire_error);
+}
+
+TEST(wire_frames, typed_payload_round_trips)
+{
+    const auto job = svc::decode_job(svc::encode_job({9, sample_key()}));
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->client_id, 9u);
+    EXPECT_EQ(job->key, sample_key());
+
+    svc::job_result res;
+    res.triggered = true;
+    res.decisions = "1,0";
+    const auto result = svc::decode_result(svc::encode_result({3, res}));
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->client_id, 3u);
+    EXPECT_EQ(result->result, res);
+
+    const auto reject =
+        svc::decode_reject(svc::encode_reject({0, "unknown program"}));
+    ASSERT_TRUE(reject.has_value());
+    EXPECT_EQ(reject->client_id, 0u);
+    EXPECT_EQ(reject->message, "unknown program");
+
+    EXPECT_FALSE(svc::decode_job("short").has_value());
+    EXPECT_FALSE(svc::decode_result("short").has_value());
+    EXPECT_FALSE(svc::decode_hello("\xff").has_value());
+}
+
+}  // namespace

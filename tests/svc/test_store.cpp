@@ -1,0 +1,286 @@
+// jsk::svc — persistent store tests: reopen recall, crash recovery
+// (truncated tails, bit flips, empty shards), eviction and compaction
+// determinism. Runs under ASan/UBSan in CI (`ctest -L svc`), which is what
+// keeps the mmap-aliasing index honest.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/record.h"
+#include "svc/store.h"
+
+namespace {
+
+using namespace jsk;
+namespace fs = std::filesystem;
+
+class store_test : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = (fs::path(::testing::TempDir()) /
+                (std::string("jsk_svc_") + info->test_suite_name() + "_" +
+                 info->name()))
+                   .string();
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::unique_ptr<svc::store> open(std::size_t shards = 1)
+    {
+        svc::store_options opt;
+        opt.dir = dir_;
+        opt.shards = shards;
+        return std::make_unique<svc::store>(opt);
+    }
+
+    [[nodiscard]] std::string shard_file(std::uint64_t generation = 0,
+                                         std::size_t shard = 0) const
+    {
+        return (fs::path(dir_) / ("gen-" + std::to_string(generation) + "-shard-" +
+                                  std::to_string(shard) + ".jsk"))
+            .string();
+    }
+
+    static std::string read_file(const std::string& path)
+    {
+        std::ifstream in(path, std::ios::binary);
+        return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+    }
+
+    static void write_file(const std::string& path, const std::string& bytes)
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+
+    std::string dir_;
+};
+
+TEST_F(store_test, persists_and_recalls_across_reopen)
+{
+    {
+        auto s = open(4);
+        EXPECT_TRUE(s->put("alpha", "one"));
+        EXPECT_TRUE(s->put("beta", "two"));
+        EXPECT_TRUE(s->put("gamma", "three"));
+        EXPECT_EQ(s->stats().entries, 3u);
+        EXPECT_EQ(s->stats().appended_records, 3u);
+        ASSERT_TRUE(s->get("beta").has_value());
+        EXPECT_EQ(*s->get("beta"), "two");
+    }
+    auto s = open(4);
+    EXPECT_EQ(s->stats().entries, 3u);
+    EXPECT_EQ(s->stats().loaded_records, 3u);
+    EXPECT_EQ(s->stats().truncated_bytes, 0u);
+    const auto alpha = s->get("alpha");
+    ASSERT_TRUE(alpha.has_value());
+    EXPECT_EQ(*alpha, "one");
+    const auto gamma = s->get("gamma");
+    ASSERT_TRUE(gamma.has_value());
+    EXPECT_EQ(*gamma, "three");
+    EXPECT_FALSE(s->get("delta").has_value());
+    EXPECT_EQ(s->stats().recalls, 2u);
+}
+
+TEST_F(store_test, put_is_first_insert_wins)
+{
+    auto s = open();
+    EXPECT_TRUE(s->put("k", "original"));
+    EXPECT_FALSE(s->put("k", "usurper"));
+    EXPECT_EQ(s->stats().appended_records, 1u);
+    EXPECT_EQ(s->stats().entries, 1u);
+    EXPECT_EQ(*s->get("k"), "original");
+}
+
+TEST_F(store_test, truncated_tail_loads_as_valid_prefix_and_heals_the_file)
+{
+    {
+        auto s = open();
+        s->put("a", "1");
+        s->put("b", "2");
+        s->put("c", "3");
+    }
+    // Simulate a crash mid-append: a torn partial record at the tail.
+    const std::string intact = read_file(shard_file());
+    const std::string torn("\x05\x00\x00\x00torn", 8);  // half a record
+    write_file(shard_file(), intact + torn);
+    {
+        auto s = open();
+        EXPECT_EQ(s->stats().entries, 3u);
+        EXPECT_EQ(s->stats().loaded_records, 3u);
+        EXPECT_EQ(s->stats().truncated_bytes, 8u);
+        EXPECT_EQ(s->stats().dropped_records, 0u);
+        EXPECT_EQ(*s->get("c"), "3");
+    }
+    // The scan truncated the file on disk, so the next open is clean...
+    EXPECT_EQ(read_file(shard_file()), intact);
+    auto s = open();
+    EXPECT_EQ(s->stats().truncated_bytes, 0u);
+    EXPECT_EQ(s->stats().entries, 3u);
+    // ...and the healed store still accepts appends after the cut.
+    EXPECT_TRUE(s->put("d", "4"));
+    EXPECT_EQ(*s->get("d"), "4");
+}
+
+TEST_F(store_test, bad_crc_mid_file_keeps_the_prefix_drops_the_rest)
+{
+    std::string rec_a;
+    std::string rec_b;
+    std::string rec_c;
+    svc::append_record(rec_a, "a", "1");
+    svc::append_record(rec_b, "b", "2");
+    svc::append_record(rec_c, "c", "3");
+    {
+        auto s = open();
+        s->put("a", "1");
+        s->put("b", "2");
+        s->put("c", "3");
+    }
+    // Flip one bit inside record b's value byte. Everything from b on is
+    // untrusted: a lying length could mis-frame c, so the loader cuts there.
+    std::string bytes = read_file(shard_file());
+    ASSERT_EQ(bytes.size(), rec_a.size() + rec_b.size() + rec_c.size());
+    const std::size_t value_byte = rec_a.size() + 8 + 1;  // lengths + key "b"
+    bytes[value_byte] = static_cast<char>(bytes[value_byte] ^ 0x01);
+    write_file(shard_file(), bytes);
+
+    auto s = open();
+    EXPECT_EQ(s->stats().entries, 1u);
+    EXPECT_EQ(s->stats().loaded_records, 1u);
+    EXPECT_EQ(s->stats().dropped_records, 1u);
+    EXPECT_EQ(s->stats().truncated_bytes, rec_b.size() + rec_c.size());
+    EXPECT_EQ(*s->get("a"), "1");
+    EXPECT_FALSE(s->get("b").has_value());
+    EXPECT_FALSE(s->get("c").has_value());
+    // The surviving prefix is a correct partial cache: dropped outcomes are
+    // recomputable, so a re-put must append cleanly.
+    EXPECT_TRUE(s->put("b", "2"));
+    EXPECT_EQ(*s->get("b"), "2");
+}
+
+TEST_F(store_test, empty_and_missing_shards_load_as_empty_caches)
+{
+    {
+        auto s = open(2);  // no puts: CURRENT exists, no shard files
+    }
+    write_file(shard_file(0, 0), "");  // zero-length shard file
+    auto s = open(2);
+    EXPECT_EQ(s->stats().entries, 0u);
+    EXPECT_EQ(s->stats().loaded_records, 0u);
+    EXPECT_EQ(s->stats().truncated_bytes, 0u);
+    EXPECT_FALSE(s->get("anything").has_value());
+    EXPECT_TRUE(s->put("k", "v"));
+}
+
+TEST_F(store_test, erase_is_in_memory_until_compact_persists_it)
+{
+    {
+        auto s = open();
+        s->put("keep", "1");
+        s->put("doomed", "2");
+        s->erase("doomed");
+        EXPECT_EQ(s->stats().entries, 1u);
+        EXPECT_FALSE(s->get("doomed").has_value());
+    }
+    {
+        // Reopen without compacting: the record is still on disk (and it is
+        // still a true outcome), so it resurrects — documented behaviour.
+        auto s = open();
+        EXPECT_TRUE(s->get("doomed").has_value());
+        s->erase("doomed");
+        s->compact();
+        EXPECT_EQ(s->stats().generation, 1u);
+        EXPECT_EQ(s->stats().compactions, 1u);
+        EXPECT_FALSE(s->get("doomed").has_value());
+        EXPECT_EQ(*s->get("keep"), "1");
+    }
+    auto s = open();
+    EXPECT_EQ(s->stats().generation, 1u);
+    EXPECT_EQ(s->stats().entries, 1u);
+    EXPECT_FALSE(s->get("doomed").has_value());
+    EXPECT_FALSE(fs::exists(shard_file(0, 0)));  // old generation deleted
+}
+
+TEST_F(store_test, evict_if_selects_by_key)
+{
+    auto s = open();
+    s->put("keep-1", "a");
+    s->put("drop-1", "b");
+    s->put("drop-2", "c");
+    const std::size_t evicted =
+        s->evict_if([](const std::string& key) { return key.rfind("drop-", 0) == 0; });
+    EXPECT_EQ(evicted, 2u);
+    EXPECT_EQ(s->stats().entries, 1u);
+    EXPECT_TRUE(s->contains("keep-1"));
+}
+
+TEST_F(store_test, compacted_bytes_are_a_pure_function_of_the_contents)
+{
+    const std::vector<std::pair<std::string, std::string>> entries = {
+        {"cherry", "3"}, {"apple", "1"}, {"banana", "2"}, {"date", "4"}};
+    const std::string other = dir_ + "_mirror";
+    fs::remove_all(other);
+    {
+        auto s = open(2);
+        for (const auto& [k, v] : entries) s->put(k, v);
+        s->compact();
+    }
+    {
+        svc::store_options opt;
+        opt.dir = other;
+        opt.shards = 2;
+        svc::store s(opt);
+        // Same contents, reversed insertion order.
+        for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+            s.put(it->first, it->second);
+        }
+        s.compact();
+    }
+    for (std::size_t shard = 0; shard < 2; ++shard) {
+        const std::string mine = read_file(shard_file(1, shard));
+        const std::string theirs = read_file(
+            (fs::path(other) / ("gen-1-shard-" + std::to_string(shard) + ".jsk"))
+                .string());
+        EXPECT_EQ(mine, theirs) << "shard " << shard;
+    }
+    fs::remove_all(other);
+}
+
+TEST_F(store_test, for_each_visits_in_canonical_key_order)
+{
+    auto s = open(4);
+    s->put("zeta", "z");
+    s->put("alpha", "a");
+    s->put("mu", "m");
+    std::vector<std::string> seen;
+    s->for_each([&](const std::string& key, std::string_view) { seen.push_back(key); });
+    const std::vector<std::string> expected = {"alpha", "mu", "zeta"};
+    EXPECT_EQ(seen, expected);
+}
+
+TEST_F(store_test, appends_after_reopen_coexist_with_mapped_records)
+{
+    {
+        auto s = open();
+        s->put("old", "mapped");
+    }
+    auto s = open();
+    EXPECT_TRUE(s->put("new", "session"));
+    EXPECT_EQ(*s->get("old"), "mapped");
+    EXPECT_EQ(*s->get("new"), "session");
+    EXPECT_EQ(s->stats().entries, 2u);
+    // And both survive another reopen.
+    s = open();
+    EXPECT_EQ(s->stats().loaded_records, 2u);
+    EXPECT_EQ(*s->get("new"), "session");
+}
+
+}  // namespace
