@@ -18,6 +18,12 @@
 // warm-disk >= 10x cold bar as `meets_warm_target`; the bar only gates the
 // exit code under --strict-warm (shared CI runners are noisy — the artifact
 // tracks the trend instead of failing unrelated PRs).
+//
+// A durability tier A/Bs what crash safety costs: store append throughput
+// with the per-wave fsync barrier on vs off, the same A/B at wave level,
+// recovery-reopen latency over the populated store, and the null-plan vfs
+// seam against the bare default path (the one-branch passthrough claim,
+// recorded as `nullplan_overhead`). All non-gating.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -29,8 +35,11 @@
 
 #include "attacks/explore_sweep.h"
 #include "bench/bench_util.h"
+#include "faults/io.h"
 #include "par/cache.h"
 #include "svc/service.h"
+#include "svc/store.h"
+#include "svc/vfs.h"
 
 namespace {
 
@@ -174,6 +183,84 @@ int main(int argc, char** argv)
         report.set("recall_p50_us", percentile(lat_us, 0.50));
         report.set("recall_p90_us", percentile(lat_us, 0.90));
         report.set("recall_p99_us", percentile(lat_us, 0.99));
+    }
+
+    // --- durability tier -----------------------------------------------------
+    // What the crash-safety machinery costs: append throughput with the
+    // per-wave fsync barrier on vs off, the same A/B at wave level, the
+    // latency of reopening (index rebuild + intent scan) over a populated
+    // store, and the null-plan vfs seam against the bare default path. All
+    // recorded, none gating — the numbers track the trend.
+    {
+        const std::string dur_dir =
+            (fs::temp_directory_path() / "jsk_bench_svc_durability").string();
+        constexpr int batches = 32;
+        constexpr int batch = 64;
+        const auto append_rate = [&](bool fsync, jsk::svc::vfs* fs) {
+            fs::remove_all(dur_dir);
+            jsk::svc::store_options sopt;
+            sopt.dir = dur_dir;
+            sopt.fsync = fsync;
+            sopt.fs = fs;
+            jsk::svc::store st(sopt);
+            const std::string value(256, 'v');
+            const auto t0 = clock_type::now();
+            for (int b = 0; b < batches; ++b) {
+                for (int i = 0; i < batch; ++i) {
+                    st.put("key-" + std::to_string(b) + "-" + std::to_string(i),
+                           value);
+                }
+                if (!st.sync()) {
+                    std::fprintf(stderr, "bench_svc: durable append failed\n");
+                    std::exit(1);
+                }
+            }
+            return static_cast<double>(batches * batch) / seconds_since(t0);
+        };
+        const double fsync_rate = append_rate(true, nullptr);
+        const double nofsync_rate = append_rate(false, nullptr);
+        report.set("append_fsync_per_sec", fsync_rate);
+        report.set("append_nofsync_per_sec", nofsync_rate);
+        report.set("fsync_cost_ratio",
+                   fsync_rate > 0 ? nofsync_rate / fsync_rate : 0);
+
+        // The fault seam's null-plan passthrough vs the bare default vfs:
+        // one branch per op, so the ratio should sit at ~1.0.
+        jsk::faults::io_plan null_plan;
+        jsk::faults::io_injector inj(null_plan);
+        jsk::svc::vfs seam(&inj);
+        const double seam_rate = append_rate(false, &seam);
+        report.set("append_nullplan_per_sec", seam_rate);
+        report.set("nullplan_overhead",
+                   seam_rate > 0 ? nofsync_rate / seam_rate : 0);
+        fs::remove_all(dur_dir);
+
+        // Wave throughput with the ack-barrier fsync off.
+        fs::remove_all(store_dir);
+        jsk::svc::service_options nofsync_opt = opt;
+        nofsync_opt.fsync = false;
+        jsk::svc::service s(nofsync_opt);
+        const auto t0 = clock_type::now();
+        const auto wave = run_wave(s, wave_jobs);
+        const double elapsed = seconds_since(t0);
+        report.set("cold_nofsync_seconds", elapsed);
+        report.set("cold_nofsync_trials_per_sec", n / elapsed);
+        if (wave.merged_json != cold_json) {
+            std::fprintf(stderr, "bench_svc: nofsync pass diverged from cold\n");
+            return 1;
+        }
+
+        // Recovery-reopen latency: service construction over the populated
+        // store (shard scan + mmap index + intent-log scan + epoch claim).
+        std::vector<double> reopen_ms;
+        for (int r = 0; r < 10; ++r) {
+            const auto r0 = clock_type::now();
+            jsk::svc::service reopened(opt);
+            reopen_ms.push_back(seconds_since(r0) * 1e3);
+        }
+        std::sort(reopen_ms.begin(), reopen_ms.end());
+        report.set("reopen_p50_ms", percentile(reopen_ms, 0.50));
+        report.set("reopen_p90_ms", percentile(reopen_ms, 0.90));
     }
 
     const double ratio = cold_rate > 0 ? disk_rate / cold_rate : 0;

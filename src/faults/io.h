@@ -1,0 +1,165 @@
+// jsk::faults — the deterministic I/O fault domain.
+//
+// PR 4's injector answers "does this *runtime* interposition point fault?"
+// for the simulated browser; this file asks the same question for the
+// *service's own* disk and wire I/O. An `io_plan` is a serializable
+// description of the adversities a file-operation stream is exposed to —
+// short writes, EINTR, ENOSPC, flush/fsync failure, rename failure — plus
+// seeded process crash points; an `io_injector` turns the plan into
+// decisions that are a pure function of (plan.seed, site tag, per-site
+// sequence number), the splitmix64-per-site scheme the runtime injector
+// established. A null plan costs one branch per operation (the obs
+// null-sink discipline), and the svc::vfs seam is the only consumer, so
+// the real-filesystem path is untouched when no plan is armed.
+//
+// Crash points are the exception to the basis-point model: every durable
+// boundary (around each write, flush, fsync, rename, directory sync)
+// increments a global operation counter, and `crash_at = k` makes the k-th
+// boundary throw `crash_error` — the in-process equivalent of SIGKILL at
+// exactly that instruction. Because the counter is deterministic, a harness
+// can run once with an unreachable crash_at to *count* the boundaries, then
+// enumerate k = 1..N to kill the process at every one of them — the
+// exhaustive crash matrix svc::run_crash_matrix sweeps.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace jsk::faults {
+
+/// Serializable I/O fault configuration. All-zero rates and crash_at == 0
+/// make `null_plan()` true, which the vfs treats as "faults compiled out".
+struct io_plan {
+    /// Seed for the per-site decision streams.
+    std::uint64_t seed = 1;
+
+    // --- transient faults (retried by the vfs; latency only, never bytes) --
+    std::uint32_t write_eintr_bp = 0;  // write fails once with EINTR
+    std::uint32_t write_short_bp = 0;  // write makes partial progress
+
+    // --- persistent faults (surface as io_error; stores degrade) -----------
+    std::uint32_t write_enospc_bp = 0;  // write fails with ENOSPC
+    std::uint32_t flush_fail_bp = 0;    // fflush fails with EIO
+    std::uint32_t fsync_fail_bp = 0;    // fsync fails with EIO
+    std::uint32_t rename_fail_bp = 0;   // rename fails with EIO
+
+    // --- crash points -------------------------------------------------------
+    /// 0 = off; k = the k-th crash-point boundary throws crash_error. Use
+    /// crash_count_only (never reached) to count boundaries without dying.
+    std::uint64_t crash_at = 0;
+
+    bool operator==(const io_plan&) const = default;
+
+    /// True when no rate is armed and no crash point is set — the vfs takes
+    /// the one-branch passthrough on every operation.
+    [[nodiscard]] bool null_plan() const;
+
+    /// True when the plan can surface persistent errors (as opposed to
+    /// transparently-retried transients and crash points).
+    [[nodiscard]] bool persistent() const;
+
+    /// Exact `key=value;` serialization (every field, fixed order).
+    [[nodiscard]] std::string str() const;
+
+    /// Inverse of str(). Throws std::invalid_argument on unknown keys or
+    /// malformed input.
+    static io_plan parse(const std::string& text);
+
+    // Deterministic plan families, mirroring faults::plan's factories.
+    static io_plan transient_only(std::uint64_t seed);  // EINTR + short writes
+    static io_plan disk_pressure(std::uint64_t seed);   // + ENOSPC
+    static io_plan sync_failures(std::uint64_t seed);   // + flush/fsync EIO
+    static io_plan full_io_chaos(std::uint64_t seed);   // everything at once
+
+    /// Deterministic family walk over the factories above, distinct seeds
+    /// per index — the io-plan axis of the crash matrix.
+    static io_plan sample(std::uint64_t index);
+};
+
+/// A crash_at value no real run reaches: arms the injector (so crash-point
+/// boundaries are counted) without ever firing.
+inline constexpr std::uint64_t crash_count_only = ~0ULL;
+
+/// Thrown by a crash point: the in-process stand-in for SIGKILL. This is
+/// NOT an I/O error — nothing on the durability path may catch it; it must
+/// unwind through store/service/serve so the harness can "reopen the
+/// process". Deliberately not derived from io related errors.
+class crash_error : public std::runtime_error {
+public:
+    explicit crash_error(const std::string& site)
+        : std::runtime_error("faults::crash_point: process died at " + site)
+    {
+    }
+};
+
+/// The deterministic oracle for one process incarnation's file operations.
+/// Single-threaded by design (the svc store/wire layers serialize their I/O
+/// around parallel waves, so one injector sees one well-ordered op stream).
+class io_injector {
+public:
+    explicit io_injector(io_plan p) : plan_(p), enabled_(!plan_.null_plan()) {}
+
+    [[nodiscard]] const io_plan& spec() const { return plan_; }
+
+    /// Null-plan fast path: when false the vfs performs the real operation
+    /// with zero extra work beyond this one branch.
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    // --- writes ------------------------------------------------------------
+    enum class write_fault : std::uint8_t { none, eintr, short_write, enospc };
+    struct write_decision {
+        write_fault kind = write_fault::none;
+        std::size_t progress = 0;  // short_write: bytes that do land
+    };
+    /// Consulted once per fwrite of `n` bytes.
+    write_decision on_write(std::size_t n);
+
+    /// Consulted once per fflush / per fsync / per rename; true = it fails.
+    [[nodiscard]] bool on_flush();
+    [[nodiscard]] bool on_fsync();
+    [[nodiscard]] bool on_rename();
+
+    // --- crash points -------------------------------------------------------
+    /// One durable boundary. Increments the op counter; throws crash_error
+    /// when the counter reaches plan.crash_at.
+    void crash_point(const char* site);
+    [[nodiscard]] std::uint64_t crash_points_seen() const { return crash_ops_; }
+
+    // --- telemetry ----------------------------------------------------------
+    [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
+    [[nodiscard]] std::uint64_t injected() const { return injected_; }
+    [[nodiscard]] std::uint64_t eintrs() const { return eintrs_; }
+    [[nodiscard]] std::uint64_t short_writes() const { return short_writes_; }
+    [[nodiscard]] std::uint64_t enospcs() const { return enospcs_; }
+    [[nodiscard]] std::uint64_t flush_failures() const { return flush_failures_; }
+    [[nodiscard]] std::uint64_t fsync_failures() const { return fsync_failures_; }
+    [[nodiscard]] std::uint64_t rename_failures() const { return rename_failures_; }
+
+private:
+    /// Uniform roll in [0, 10'000) for (site tag, sequence, salt) — the same
+    /// pure splitmix64 scheme as the runtime injector.
+    [[nodiscard]] std::uint32_t roll(std::uint32_t tag, std::uint64_t seq,
+                                     std::uint32_t salt) const;
+
+    io_plan plan_;
+    bool enabled_;
+
+    // Per-site sequence counters — each site consumes its own stream.
+    std::uint64_t write_seq_ = 0;
+    std::uint64_t flush_seq_ = 0;
+    std::uint64_t fsync_seq_ = 0;
+    std::uint64_t rename_seq_ = 0;
+    std::uint64_t crash_ops_ = 0;
+
+    std::uint64_t decisions_ = 0;
+    std::uint64_t injected_ = 0;
+    std::uint64_t eintrs_ = 0;
+    std::uint64_t short_writes_ = 0;
+    std::uint64_t enospcs_ = 0;
+    std::uint64_t flush_failures_ = 0;
+    std::uint64_t fsync_failures_ = 0;
+    std::uint64_t rename_failures_ = 0;
+};
+
+}  // namespace jsk::faults

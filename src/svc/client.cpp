@@ -1,0 +1,142 @@
+#include "svc/client.h"
+
+namespace jsk::svc {
+
+session_client::wave_outcome session_client::run_wave(
+    const std::vector<wire_job>& jobs)
+{
+    wave_outcome out;
+    // seq -> raw (type, payload) as received; replay must never contradict.
+    std::map<std::uint64_t, frame> held;
+    std::uint64_t epoch = 0;
+    bool have_epoch = false;
+    bool fresh_submit = true;
+
+    for (unsigned attempt = 0; attempt < opt_.max_attempts && !out.complete;
+         ++attempt) {
+        if (attempt > 0 && opt_.sleep) opt_.sleep(backoff_ns(attempt));
+        ++out.attempts;
+
+        // Compose this connection's request.
+        mem_pipe req;
+        if (fresh_submit) {
+            if (attempt > 0) ++out.resubmits;
+            held.clear();
+            out.rejects.clear();
+            write_frame(req, frame_type::hello,
+                        encode_hello(opt_.tenant, /*resumable=*/true));
+            for (const wire_job& j : jobs) {
+                write_frame(req, frame_type::job, encode_job(j));
+            }
+            write_frame(req, frame_type::end_wave, std::string());
+        } else {
+            ++out.resumes;
+            const std::uint64_t last_seq = held.empty() ? 0 : held.rbegin()->first;
+            wire_resume r;
+            r.tenant = opt_.tenant;
+            r.epoch = epoch;
+            r.last_seq = last_seq;
+            write_frame(req, frame_type::resume, encode_resume(r));
+        }
+        std::string request;
+        request.resize(req.size());
+        req.read(request.data(), request.size());
+
+        const std::string response = transport_(request);
+
+        // Parse whatever made it back. A torn tail is expected — it just
+        // means the next attempt resumes; everything before the tear is
+        // real, acknowledged data and is kept.
+        string_source src(response);
+        bool resume_rejected = false;
+        try {
+            frame f;
+            while (read_frame(src, f)) {
+                switch (f.type) {
+                    case frame_type::session: {
+                        const auto s = decode_session(f.payload);
+                        if (s) {
+                            epoch = s->epoch;
+                            have_epoch = true;
+                        }
+                        break;
+                    }
+                    case frame_type::result:
+                    case frame_type::wave_done: {
+                        std::uint64_t seq = 0;
+                        if (f.type == frame_type::result) {
+                            const auto r = decode_result(f.payload);
+                            if (!r) throw wire_error("svc::client: bad result frame");
+                            seq = r->seq;
+                        } else {
+                            const auto w = decode_wave_done(f.payload);
+                            if (!w) {
+                                throw wire_error("svc::client: bad wave_done frame");
+                            }
+                            seq = w->seq;
+                        }
+                        const auto it = held.find(seq);
+                        if (it != held.end()) {
+                            if (it->second.payload != f.payload ||
+                                it->second.type != f.type) {
+                                throw wire_error(
+                                    "svc::client: replay contradicts seq " +
+                                    std::to_string(seq));
+                            }
+                        } else {
+                            held.emplace(seq, f);
+                        }
+                        if (f.type == frame_type::wave_done) out.complete = true;
+                        break;
+                    }
+                    case frame_type::error: {
+                        const auto e = decode_reject(f.payload);
+                        if (!e) throw wire_error("svc::client: bad error frame");
+                        if (e->seq == 0) {
+                            if (e->message == "nothing to resume") {
+                                resume_rejected = true;
+                            } else {
+                                out.rejects.push_back(*e);
+                            }
+                        } else {
+                            const auto it = held.find(e->seq);
+                            if (it == held.end()) held.emplace(e->seq, f);
+                        }
+                        break;
+                    }
+                    default:
+                        throw wire_error("svc::client: unexpected frame type " +
+                                         std::to_string(static_cast<int>(f.type)));
+                }
+            }
+        } catch (const wire_error& e) {
+            const std::string what = e.what();
+            if (what.find("svc::client:") == 0) throw;  // protocol violation
+            // Torn framing: the connection died mid-frame. Fall through to
+            // the resume path with everything received so far.
+        }
+
+        if (out.complete) break;
+        if (resume_rejected || !have_epoch) {
+            // Either the service disowned our resume, or the connection
+            // died before even the session frame arrived — in both cases
+            // there is nothing to resume against: submit from scratch.
+            fresh_submit = true;
+            have_epoch = false;
+        } else {
+            fresh_submit = false;
+        }
+    }
+
+    // Assemble the outcome in seq order.
+    for (const auto& [seq, f] : held) {
+        if (f.type == frame_type::result) {
+            out.results.push_back(*decode_result(f.payload));
+        } else if (f.type == frame_type::wave_done) {
+            out.merged_json = decode_wave_done(f.payload)->merged_json;
+        }
+    }
+    return out;
+}
+
+}  // namespace jsk::svc

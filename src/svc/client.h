@@ -1,0 +1,89 @@
+// jsk::svc — the resumable sweep client.
+//
+// `session_client` drives one wave to completion across torn connections.
+// The transport is deliberately tiny: a callable that takes one request
+// byte-string (a full framed conversation) and returns whatever response
+// bytes came back before the connection died — possibly all of them,
+// possibly a torn prefix, possibly nothing. Each invocation is one
+// connection; in tests it wraps an in-process service::serve() call that a
+// crash point may kill halfway, in a CLI it would wrap a pipe or socket.
+//
+// Protocol per attempt:
+//   1. First attempt: hello(tenant, resumable) + every job + end_wave.
+//   2. Parse the response: session frames update the epoch; data frames
+//      (result / wave_done / error with seq > 0) accumulate keyed by seq —
+//      an already-held seq must carry byte-identical payload (replay is
+//      idempotent; a contradiction is a protocol violation and throws).
+//      wave_done completes the wave.
+//   3. Torn response (wire_error, or EOF before wave_done): back off
+//      deterministically and send resume(tenant, epoch, last_seq).
+//   4. A "nothing to resume" error answers a resume the service cannot
+//      honor: clear everything and resubmit from scratch (step 1).
+//
+// Backoff is a pure function of the attempt index — no wall clock, no
+// randomness — so a crash-matrix run that kills the connection at every
+// possible byte offset still replays deterministically. The sleep itself
+// is injected (tests pass a counter; real callers pass a real sleeper).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "svc/wire.h"
+
+namespace jsk::svc {
+
+/// Deterministic exponential backoff: 1ms doubling per attempt, capped at
+/// 1s. Pure — same attempt index, same delay, every process, every run.
+[[nodiscard]] constexpr std::uint64_t backoff_ns(unsigned attempt)
+{
+    constexpr std::uint64_t base = 1'000'000;    // 1ms
+    constexpr std::uint64_t cap = 1'000'000'000; // 1s
+    const std::uint64_t shifted =
+        attempt >= 10 ? cap : base << attempt;
+    return shifted > cap ? cap : shifted;
+}
+
+class session_client {
+public:
+    /// One connection: request bytes in, response bytes out (possibly a
+    /// torn prefix of what the service intended to send).
+    using transport = std::function<std::string(const std::string&)>;
+
+    struct options {
+        std::string tenant = "default";
+        unsigned max_attempts = 10;
+        /// Called with backoff_ns(attempt) before each retry; null = no-op.
+        std::function<void(std::uint64_t)> sleep;
+    };
+
+    session_client(transport t, options o)
+        : transport_(std::move(t)), opt_(std::move(o))
+    {
+    }
+
+    struct wave_outcome {
+        /// Data frames in seq order, deduplicated across attempts.
+        std::vector<wire_result> results;
+        std::vector<wire_reject> rejects;  // advisory seq-0 errors, last submission
+        std::string merged_json;           // from wave_done
+        bool complete = false;             // wave_done received
+        unsigned attempts = 0;             // connections consumed
+        unsigned resumes = 0;              // resume frames honored
+        unsigned resubmits = 0;            // full restarts after failed resume
+    };
+
+    /// Drive `jobs` to a completed wave or run out of attempts. Throws
+    /// wire_error if the service contradicts itself (same seq, different
+    /// bytes) — that is a durability bug, not a connectivity problem.
+    wave_outcome run_wave(const std::vector<wire_job>& jobs);
+
+private:
+    transport transport_;
+    options opt_;
+};
+
+}  // namespace jsk::svc

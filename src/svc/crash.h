@@ -1,0 +1,75 @@
+// jsk::svc — the exhaustive crash-recovery matrix.
+//
+// The durability claim this module proves: kill the sweep service at ANY
+// durable boundary — mid shard append, between the store fsync and the
+// first response frame, halfway through emitting frame bytes, during the
+// CURRENT flip, inside the intent journal — reopen it over the same
+// directory, resume the client, and the completed wave's result frames and
+// merged JSON are byte-identical to a run that never crashed, with no
+// acknowledged result lost and no sequence served twice.
+//
+// Enumeration is deterministic, not sampled: the vfs (and the harness's
+// frame sink) routes every such boundary through io_injector::crash_point,
+// so one fault-free run with crash_at = crash_count_only *counts* the N
+// reachable boundaries, and the matrix then replays the whole
+// client/server conversation N times with crash_at = 1..N — every possible
+// process death, each in a fresh store directory, each driven to
+// completion by session_client's resume protocol. Fault plans (short
+// writes, ENOSPC, fsync failures) stack on top: the per-incarnation plan
+// seed is salted so a deterministic fault cannot re-fire identically
+// forever and wedge recovery, and the assertion stays bytes-for-bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/io.h"
+#include "svc/wire.h"
+
+namespace jsk::svc {
+
+struct crash_matrix_options {
+    /// The wave under test, arrival order (all jobs must be valid).
+    std::vector<wire_job> jobs;
+    /// Working root; per-run store directories are created (and removed)
+    /// beneath it.
+    std::string dir;
+    std::size_t shards = 4;
+    /// Worker-pool size for the service under test (1 = serial, the cheap
+    /// and sanitizer-friendly default).
+    std::size_t workers = 1;
+    bool snapshots = true;
+    /// Fault rates layered on every incarnation (crash_at is overridden by
+    /// the matrix; the seed is salted per incarnation).
+    faults::io_plan base_plan;
+    /// Connection attempts session_client may spend per matrix run.
+    unsigned max_attempts = 12;
+};
+
+struct crash_matrix_report {
+    std::uint64_t crash_points = 0;  // N: boundaries counted fault-free
+    std::uint64_t runs = 0;          // matrix runs executed (one per k)
+    std::uint64_t crashes = 0;       // crash_error firings observed
+    std::uint64_t incarnations = 0;  // server (re)opens across all runs
+    std::uint64_t resumes = 0;       // resume requests the service honored
+    std::uint64_t resubmits = 0;     // waves restarted from scratch
+    std::uint64_t io_failures = 0;   // incarnations lost to injected io_error
+    /// crash_at values whose final bytes diverged from the reference, or
+    /// whose wave never completed within max_attempts. Empty = proven.
+    std::vector<std::uint64_t> mismatches;
+    std::string reference_json;    // fault-free merged JSON
+    std::string reference_frames;  // fault-free result frames, concatenated
+
+    [[nodiscard]] bool ok() const
+    {
+        return crash_points > 0 && mismatches.empty();
+    }
+};
+
+/// Run the matrix. Throws std::invalid_argument on an unusable setup
+/// (empty job list / dir); never throws for injected faults or crashes —
+/// those are the subject matter, and they land in the report.
+crash_matrix_report run_crash_matrix(const crash_matrix_options& opt);
+
+}  // namespace jsk::svc

@@ -1,0 +1,173 @@
+#include "svc/intent.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "sim/bytes.h"
+#include "svc/record.h"
+
+namespace jsk::svc {
+
+namespace bytes = sim::bytes;
+
+namespace {
+
+// Record keys: kind byte + wave id (epoch claims use the epoch as the id).
+// The payload codec rides on svc::record so the log inherits CRC framing
+// and truncate-to-valid recovery verbatim.
+constexpr char kind_begin = 'B';
+constexpr char kind_commit = 'C';
+constexpr char kind_epoch = 'E';
+
+std::string intent_key(char kind, std::uint64_t id)
+{
+    std::string out;
+    bytes::put_u8(out, static_cast<std::uint8_t>(kind));
+    bytes::put_u64(out, id);
+    return out;
+}
+
+std::string encode_begin(std::uint64_t epoch, std::uint64_t first_seq,
+                         const std::string& tenant,
+                         const std::vector<wire_job>& jobs)
+{
+    std::string out;
+    bytes::put_u64(out, epoch);
+    bytes::put_u64(out, first_seq);
+    bytes::put_str(out, tenant);
+    bytes::put_u32(out, static_cast<std::uint32_t>(jobs.size()));
+    for (const wire_job& j : jobs) {
+        bytes::put_u64(out, j.client_id);
+        bytes::put_str(out, par::serialize(j.key));
+    }
+    return out;
+}
+
+bool decode_begin(const std::string& value, intent_log::pending_wave& out)
+{
+    bytes::reader rd(value);
+    const auto epoch = rd.get_u64();
+    const auto first_seq = rd.get_u64();
+    auto tenant = rd.get_str();
+    const auto count = rd.get_u32();
+    if (!epoch || !first_seq || !tenant || !count) return false;
+    std::vector<wire_job> jobs;
+    jobs.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+        const auto client_id = rd.get_u64();
+        const auto key_bytes = rd.get_str();
+        if (!client_id || !key_bytes) return false;
+        const auto key = par::parse_witness(*key_bytes);
+        if (!key) return false;
+        wire_job j;
+        j.client_id = *client_id;
+        j.key = *key;
+        jobs.push_back(std::move(j));
+    }
+    if (!rd.done()) return false;
+    out.epoch = *epoch;
+    out.first_seq = *first_seq;
+    out.tenant = std::move(*tenant);
+    out.jobs = std::move(jobs);
+    return true;
+}
+
+}  // namespace
+
+intent_log::intent_log(std::string path, vfs* fs)
+    : path_(std::move(path)), fs_(fs != nullptr ? fs : &default_vfs())
+{
+    // Scan whatever survives on disk. The read path is plain ifstream — the
+    // fault domain covers writes; reads either see the bytes or the CRC
+    // scan cuts them.
+    std::string contents;
+    {
+        std::ifstream in(path_, std::ios::binary);
+        if (in) {
+            contents.assign(std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>());
+        }
+    }
+    std::size_t pos = 0;
+    std::size_t valid = 0;
+    while (pos < contents.size()) {
+        record rec;
+        record_status status = record_status::ok;
+        const std::size_t used =
+            parse_record(contents.data() + pos, contents.size() - pos, rec, status);
+        if (status != record_status::ok) break;
+        pos += used;
+        valid = pos;
+        bytes::reader rd(rec.key);
+        const auto kind = rd.get_u8();
+        const auto id = rd.get_u64();
+        if (!kind || !id || !rd.done()) continue;  // foreign record: skip
+        if (static_cast<char>(*kind) == kind_begin) {
+            if (*id >= next_wave_id_) next_wave_id_ = *id + 1;
+            pending_wave w;
+            if (!decode_begin(rec.value, w)) continue;
+            w.wave_id = *id;
+            if (w.epoch >= epoch_) epoch_ = w.epoch + 1;
+            pending_ = std::move(w);
+        } else if (static_cast<char>(*kind) == kind_commit) {
+            if (*id >= next_wave_id_) next_wave_id_ = *id + 1;
+            if (pending_ && pending_->wave_id == *id) pending_.reset();
+        } else if (static_cast<char>(*kind) == kind_epoch) {
+            if (*id >= epoch_) epoch_ = *id + 1;
+        }
+    }
+    if (!pending_) {
+        // Nothing outstanding: restart the log from zero bytes so it never
+        // grows across sessions. (With a pending wave the history stays —
+        // the replay path must survive yet another crash.)
+        if (valid != 0 && fs_->exists(path_)) fs_->resize(path_, 0);
+    } else if (valid != contents.size()) {
+        // Torn tail after a valid pending begin: heal the file like a shard.
+        fs_->resize(path_, valid);
+    }
+    // Claim this incarnation's epoch durably before anyone can see it in a
+    // session frame — a client must never hold an epoch a later opener
+    // could reuse.
+    append(intent_key(kind_epoch, epoch_), std::string(), /*durable=*/true);
+}
+
+void intent_log::append(const std::string& key, const std::string& value,
+                        bool durable)
+{
+    if (appender_ == nullptr) appender_ = fs_->open_append(path_);
+    std::string encoded;
+    append_record(encoded, key, value);
+    appender_->write(encoded);
+    if (durable) {
+        appender_->sync();
+    } else {
+        appender_->flush();
+    }
+}
+
+void intent_log::begin(const std::string& tenant, const std::vector<wire_job>& jobs,
+                       std::uint64_t first_seq)
+{
+    const std::uint64_t wave_id = next_wave_id_++;
+    append(intent_key(kind_begin, wave_id),
+           encode_begin(epoch_, first_seq, tenant, jobs),
+           /*durable=*/true);
+    pending_wave w;
+    w.wave_id = wave_id;
+    w.epoch = epoch_;
+    w.first_seq = first_seq;
+    w.tenant = tenant;
+    w.jobs = jobs;
+    pending_ = std::move(w);
+}
+
+void intent_log::commit()
+{
+    if (!pending_) return;
+    const std::uint64_t wave_id = pending_->wave_id;
+    pending_.reset();
+    append(intent_key(kind_commit, wave_id), std::string(), /*durable=*/false);
+}
+
+}  // namespace jsk::svc

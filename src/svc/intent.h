@@ -1,0 +1,90 @@
+// jsk::svc — the wave intent log.
+//
+// A wave has a dangerous window: after the service resolves its jobs
+// (simulation done, outcomes fsync'd into the store) but before the client
+// holds every response frame. A crash inside that window must not strand
+// the wave half-acknowledged, so the service journals its intent:
+//
+//   begin(wave)   appended + fsync'd BEFORE any response frame is emitted —
+//                 records the tenant and the full job list (client ids +
+//                 witness keys), which is everything needed to re-emit the
+//                 wave's frames byte-identically (outcomes are pure
+//                 functions of the keys, and the store already holds them)
+//   commit(wave)  appended once the wave's frames are fully flushed —
+//                 the wave no longer needs replay
+//
+// On reopen the log is scanned with the same CRC-framed truncate-to-valid
+// discipline as the store shards; a trailing begin without its commit is
+// the pending wave. A resuming client replays it (minus the frames it
+// already has, by sequence number); any other traffic discards it — both
+// paths then commit, so the window closes exactly once. commit is flushed
+// but not fsync'd: losing a commit to a crash merely replays a wave the
+// client fully holds, and idempotent replay is free where an extra fsync
+// per wave is not.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/vfs.h"
+#include "svc/wire.h"
+
+namespace jsk::svc {
+
+class intent_log {
+public:
+    struct pending_wave {
+        std::uint64_t wave_id = 0;
+        std::uint64_t epoch = 0;      // incarnation that journaled the wave
+        std::uint64_t first_seq = 0;  // seq of the wave's first result frame
+        std::string tenant;
+        std::vector<wire_job> jobs;  // arrival order, exactly as submitted
+    };
+
+    /// Open (creating if missing) and scan `path`, healing any torn tail.
+    /// A trailing uncommitted begin becomes pending(); otherwise the log is
+    /// truncated back to empty. Claims the next epoch (max recorded + 1)
+    /// and makes the claim durable. Throws io_error on structural failure.
+    intent_log(std::string path, vfs* fs);
+
+    intent_log(const intent_log&) = delete;
+    intent_log& operator=(const intent_log&) = delete;
+
+    [[nodiscard]] const std::optional<pending_wave>& pending() const
+    {
+        return pending_;
+    }
+
+    /// This incarnation's epoch: strictly greater than any epoch a client
+    /// ever saw from this log's previous openers.
+    [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+    /// Journal a wave about to be acknowledged. Appends + fsyncs; throws
+    /// io_error when the journal cannot be made durable (the service then
+    /// runs the wave unjournaled rather than failing it). The wave becomes
+    /// pending() until committed.
+    void begin(const std::string& tenant, const std::vector<wire_job>& jobs,
+               std::uint64_t first_seq);
+
+    /// Close the pending wave (fully acknowledged or explicitly discarded).
+    /// Append + flush only — a lost commit replays an idempotent wave.
+    void commit();
+
+    /// Wave ids are monotone across incarnations: max seen at open + 1.
+    [[nodiscard]] std::uint64_t next_wave_id() const { return next_wave_id_; }
+
+private:
+    void append(const std::string& key, const std::string& value, bool durable);
+
+    std::string path_;
+    vfs* fs_;
+    std::unique_ptr<vfs::file> appender_;
+    std::optional<pending_wave> pending_;
+    std::uint64_t next_wave_id_ = 1;
+    std::uint64_t epoch_ = 1;
+};
+
+}  // namespace jsk::svc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
@@ -68,7 +69,11 @@ service::service(service_options opt) : opt_(std::move(opt))
         store_options sopt;
         sopt.dir = opt_.store_dir;
         sopt.shards = opt_.store_shards;
+        sopt.fs = opt_.fs;
+        sopt.fsync = opt_.fsync;
         store_ = std::make_unique<store>(std::move(sopt));
+        intent_ = std::make_unique<intent_log>(
+            (std::filesystem::path(opt_.store_dir) / "INTENT").string(), opt_.fs);
     }
     pool_ = std::make_unique<par::worker_pool>(opt_.jobs);
     workers_ = std::make_unique<par::worker_local<worker_state>>(pool_->workers());
@@ -295,7 +300,7 @@ wave_result service::run_wave(session& sess)
     std::uint64_t bytes_served = 0;
     for (std::size_t i = 0; i < n; ++i) {
         w.results.push_back(*resolved[i]);
-        bytes_served += 8 + serialize(w.results.back()).size();  // result frame payload
+        bytes_served += 16 + serialize(w.results.back()).size();  // result frame payload
     }
     w.merged_json = merged_json(w.jobs, w.results);
 
@@ -352,22 +357,62 @@ std::size_t service::serve(byte_source& in, byte_sink& out,
                            const std::function<void(const wave_result&)>& on_wave)
 {
     session* sess = nullptr;
+    std::uint64_t next_seq = 1;  // per connection; deterministic by design
     const auto current = [&]() -> session& {
         if (sess == nullptr) sess = &connect("default");
         return *sess;
     };
+    // Intake rejects are advisory and carry seq 0 — they are not journaled,
+    // so they must not consume positions in the replayable data stream.
     const auto reject = [&](std::uint64_t client_id, const std::string& message) {
-        write_frame(out, frame_type::error, encode_reject({client_id, message}));
+        write_frame(out, frame_type::error, encode_reject({0, client_id, message}));
     };
     std::size_t waves = 0;
-    const auto flush_wave = [&] {
-        const wave_result w = current().flush();
-        for (std::size_t i = 0; i < w.jobs.size(); ++i) {
-            write_frame(out, frame_type::result,
-                        encode_result({w.jobs[i].client_id, w.results[i]}));
+
+    // Resolve + acknowledge one wave. `first_seq` numbers its first result
+    // frame; frames with seq <= skip_through are suppressed (resume replay
+    // of what the client already holds). The durable-commit order is the
+    // contract: journal intent -> resolve -> fsync the store -> emit and
+    // flush frames -> commit intent. A crash before the first emit leaves a
+    // client with nothing acknowledged and a journaled (or absent) wave; a
+    // crash after any emit leaves a journaled wave whose replay regenerates
+    // the remaining frames byte-identically.
+    const auto flush_wave = [&](std::uint64_t first_seq, std::uint64_t skip_through) {
+        session& s = current();
+        if (intent_ != nullptr) {
+            try {
+                if (intent_->pending()) intent_->commit();  // stale: superseded
+                std::vector<wire_job> journal;
+                journal.reserve(s.pending_.size());
+                for (const job& j : s.pending_) journal.push_back({j.client_id, j.key});
+                intent_->begin(s.tenant(), journal, first_seq);
+            } catch (const io_error&) {
+                // The journal is part of the durability story, not the
+                // correctness story: with a failing disk the wave still
+                // resolves and streams — it just cannot be replayed.
+            }
         }
-        write_frame(out, frame_type::wave_done, w.merged_json);
+        const wave_result w = s.flush();
+        if (store_ != nullptr) store_->sync();
+        std::uint64_t seq = first_seq;
+        for (std::size_t i = 0; i < w.jobs.size(); ++i, ++seq) {
+            if (seq <= skip_through) continue;
+            write_frame(out, frame_type::result,
+                        encode_result({seq, w.jobs[i].client_id, w.results[i]}));
+        }
+        if (seq > skip_through) {
+            write_frame(out, frame_type::wave_done,
+                        encode_wave_done({seq, w.merged_json}));
+        }
+        ++seq;
+        next_seq = seq;
         out.flush();
+        if (intent_ != nullptr) {
+            try {
+                intent_->commit();
+            } catch (const io_error&) {
+            }
+        }
         if (on_wave) on_wave(w);
         ++waves;
     };
@@ -376,13 +421,17 @@ std::size_t service::serve(byte_source& in, byte_sink& out,
     while (read_frame(in, f)) {
         switch (f.type) {
             case frame_type::hello: {
-                const auto tenant = decode_hello(f.payload);
-                if (!tenant) {
+                const auto hello = decode_hello(f.payload);
+                if (!hello) {
                     reject(0, "malformed hello frame");
                 } else if (sess != nullptr && sess->pending() > 0) {
                     reject(0, "hello mid-wave: flush before switching tenants");
                 } else {
-                    sess = &connect(*tenant);
+                    sess = &connect(hello->tenant);
+                    if (hello->resumable) {
+                        write_frame(out, frame_type::session,
+                                    encode_session({epoch(), next_seq}));
+                    }
                 }
                 break;
             }
@@ -400,8 +449,53 @@ std::size_t service::serve(byte_source& in, byte_sink& out,
                 break;
             }
             case frame_type::end_wave:
-                flush_wave();
+                flush_wave(next_seq, 0);
                 break;
+            case frame_type::resume: {
+                const auto r = decode_resume(f.payload);
+                if (!r) {
+                    reject(0, "malformed resume frame");
+                    break;
+                }
+                const bool match = intent_ != nullptr && intent_->pending() &&
+                                   intent_->pending()->tenant == r->tenant &&
+                                   intent_->pending()->epoch == r->epoch;
+                if (!match) {
+                    // Nothing journaled for that (tenant, epoch). If a
+                    // pending wave for the same tenant survives from some
+                    // other epoch the client cannot account for it either —
+                    // discard it; the resubmission recomputes from cache.
+                    if (intent_ != nullptr && intent_->pending() &&
+                        intent_->pending()->tenant == r->tenant) {
+                        try {
+                            intent_->commit();
+                        } catch (const io_error&) {
+                        }
+                    }
+                    reject(0, "nothing to resume");
+                    break;
+                }
+                const intent_log::pending_wave replay = *intent_->pending();
+                sess = &connect(r->tenant);
+                write_frame(out, frame_type::session,
+                            encode_session({epoch(), r->last_seq + 1}));
+                bool ok = true;
+                for (const wire_job& wj : replay.jobs) {
+                    try {
+                        sess->submit(job{wj.client_id, wj.key});
+                    } catch (const std::invalid_argument&) {
+                        ok = false;  // journaled jobs were validated once;
+                                     // skew here means an incompatible build
+                    }
+                }
+                if (!ok) {
+                    sess->pending_.clear();
+                    reject(0, "nothing to resume");
+                    break;
+                }
+                flush_wave(replay.first_seq, r->last_seq);
+                break;
+            }
             default:
                 reject(0, "unexpected frame type from client");
                 break;
@@ -409,7 +503,7 @@ std::size_t service::serve(byte_source& in, byte_sink& out,
     }
     // A stream that ends with buffered jobs still gets its wave: piping a
     // job file into the service without a trailing end_wave serves it.
-    if (sess != nullptr && sess->pending() > 0) flush_wave();
+    if (sess != nullptr && sess->pending() > 0) flush_wave(next_seq, 0);
     return waves;
 }
 
@@ -443,10 +537,22 @@ std::string service::snapshot_json() const
                      json::value{static_cast<double>(st.truncated_bytes)});
         disk.emplace("recalls", json::value{static_cast<double>(st.recalls)});
         disk.emplace("compactions", json::value{static_cast<double>(st.compactions)});
+        disk.emplace("fsyncs", json::value{static_cast<double>(st.fsyncs)});
+        disk.emplace("sync_failures",
+                     json::value{static_cast<double>(st.sync_failures)});
+        disk.emplace("queued_promotions",
+                     json::value{static_cast<double>(st.queued_promotions)});
+        disk.emplace("degraded", json::value{store_->degraded()});
+        json::array journal;
+        for (const std::string& reason : store_->degraded_log()) {
+            journal.push_back(json::value{reason});
+        }
+        disk.emplace("degraded_log", json::value{std::move(journal)});
         root.emplace("store", json::value{std::move(disk)});
     } else {
         root.emplace("store", json::value{nullptr});
     }
+    root.emplace("epoch", json::value{static_cast<double>(epoch())});
     root.emplace("metrics", tenants_.snapshot());
     root.emplace("waves", json::value{static_cast<double>(waves_)});
     return json::dump(json::value{std::move(root)});

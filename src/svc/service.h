@@ -37,8 +37,10 @@
 #include "par/cache.h"
 #include "par/pool.h"
 #include "par/worker_local.h"
+#include "svc/intent.h"
 #include "svc/record.h"
 #include "svc/store.h"
+#include "svc/vfs.h"
 #include "svc/wire.h"
 
 namespace jsk::core {
@@ -58,6 +60,12 @@ struct service_options {
     bool snapshots = true;
     /// Chaos-path trial knobs (jobs whose plan is non-empty).
     attacks::chaos_options chaos;
+    /// File-operation seam for the store, intent log, and every other
+    /// durable byte; nullptr = the passthrough default_vfs(). Not owned.
+    vfs* fs = nullptr;
+    /// Forwarded to store_options::fsync: whether the per-wave ack barrier
+    /// reaches the platter or stops at the OS (the bench durability knob).
+    bool fsync = true;
 };
 
 /// One buffered work unit: the client's correlation id plus the witness.
@@ -119,15 +127,42 @@ public:
     /// Drive a full framed conversation (svc/wire.h): hello picks the
     /// tenant, job frames buffer, end_wave flushes — results + wave_done
     /// stream back; invalid jobs and malformed frame payloads produce error
-    /// frames without killing the stream. A trailing unflushed wave is
-    /// flushed at EOF. Returns the number of waves served; `on_wave` (when
-    /// set) observes each wave_result as it completes.
+    /// frames (seq 0: advisory, outside the replayable stream) without
+    /// killing the stream. A trailing unflushed wave is flushed at EOF.
+    ///
+    /// Durable commit per wave: the wave's intent (tenant + full job list +
+    /// first response seq) is journaled and fsync'd, then the wave resolves
+    /// and the store sync()s, and only then do the seq-numbered response
+    /// frames go out — a result frame is an acknowledgement that survives
+    /// any crash. The intent commits once the frames are flushed.
+    ///
+    /// Resumable clients send hello with the capability flag and receive a
+    /// session frame {epoch, next seq}; after a torn connection they send
+    /// resume {tenant, epoch, last_seq}, and the service replays the
+    /// pending journaled wave's frames with their original seqs, skipping
+    /// everything at or below last_seq. A resume with no matching pending
+    /// wave (wrong tenant, wrong epoch, nothing journaled) is answered
+    /// with an error frame whose message is exactly "nothing to resume" —
+    /// the client's cue to clear its accumulator and resubmit from scratch.
+    ///
+    /// Returns the number of waves served; `on_wave` (when set) observes
+    /// each wave_result as it completes.
     std::size_t serve(byte_source& in, byte_sink& out,
                       const std::function<void(const wave_result&)>& on_wave = {});
 
     [[nodiscard]] par::result_cache<job_result>& cache() { return cache_; }
     /// nullptr when the service is memory-only.
     [[nodiscard]] store* disk() { return store_.get(); }
+    /// nullptr when the service is memory-only (no durable state to
+    /// journal, so nothing is resumable either).
+    [[nodiscard]] intent_log* intent() { return intent_.get(); }
+    /// This incarnation's session epoch (0 when memory-only): bumped every
+    /// time the service reopens its durable state, which is what lets a
+    /// resume name the incarnation its last_seq was counted against.
+    [[nodiscard]] std::uint64_t epoch() const
+    {
+        return intent_ != nullptr ? intent_->epoch() : 0;
+    }
     [[nodiscard]] obs::tenant_set& tenants() { return tenants_; }
 
     /// Service-wide stats: per-tenant + folded metrics, cache counters,
@@ -150,6 +185,7 @@ private:
 
     service_options opt_;
     std::unique_ptr<store> store_;
+    std::unique_ptr<intent_log> intent_;
     par::result_cache<job_result> cache_;
     obs::tenant_set tenants_;
     std::unique_ptr<par::worker_pool> pool_;

@@ -1,5 +1,7 @@
 #include "svc/store.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -112,17 +114,30 @@ std::optional<std::uint64_t> read_current(const std::string& dir)
     return generation;
 }
 
-/// Write-then-rename so CURRENT is never observed half-written: a crash
-/// mid-flip leaves the old generation live and complete.
-void write_current(const std::string& dir, std::uint64_t generation)
+/// Durable CURRENT flip: write tmp, fsync it, rename over CURRENT, fsync
+/// the directory — a crash at any boundary leaves either the old value live
+/// or the new value fully durable, never a half-written CURRENT. Any step
+/// failing surfaces as store_error with errno context, with the orphaned
+/// tmp cleaned up; a *crash* (crash_error is not an io_error) skips the
+/// cleanup by design, and the next open removes the orphan instead.
+void write_current(vfs& v, const std::string& dir, std::uint64_t generation)
 {
-    const std::string tmp = current_path(dir) + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out) throw std::runtime_error("svc::store: cannot write " + tmp);
-        out << generation << "\n";
+    const std::string current = current_path(dir);
+    const std::string tmp = current + ".tmp";
+    try {
+        auto out = v.open_trunc(tmp);
+        out->write(std::to_string(generation) + "\n");
+        out->sync();
+        out->close();
+        v.rename(tmp, current);
+        v.sync_dir(dir);
+    } catch (const io_error& e) {
+        v.remove(tmp);
+        throw store_error("svc::store: CURRENT flip to generation " +
+                              std::to_string(generation) + " failed in " + dir +
+                              ": " + e.what(),
+                          e.code());
     }
-    fs::rename(tmp, current_path(dir));
 }
 
 }  // namespace
@@ -133,21 +148,21 @@ store::store(store_options opt) : opt_(std::move(opt))
 {
     if (opt_.dir.empty()) throw std::invalid_argument("svc::store: empty dir");
     if (opt_.shards == 0) opt_.shards = 1;
+    fs_ = opt_.fs != nullptr ? opt_.fs : &default_vfs();
     fs::create_directories(opt_.dir);
+    // A crash mid-flip can orphan CURRENT.tmp; it is dead bytes — the flip
+    // either renamed it (gone) or never happened (old CURRENT still live).
+    fs().remove(current_path(opt_.dir) + ".tmp");
     auto generation = read_current(opt_.dir);
     if (!generation) {
-        write_current(opt_.dir, 0);
+        write_current(fs(), opt_.dir, 0);
         generation = 0;
     }
     load_generation(*generation);
+    remove_stale_files(*generation);
 }
 
-store::~store()
-{
-    for (std::FILE* f : appenders_) {
-        if (f != nullptr) std::fclose(f);
-    }
-}
+store::~store() = default;
 
 std::string store::shard_path(std::uint64_t generation, std::size_t shard_index) const
 {
@@ -163,10 +178,12 @@ std::size_t store::shard_of(const std::string& key) const
 
 void store::load_generation(std::uint64_t generation)
 {
-    for (std::FILE* f : appenders_) {
-        if (f != nullptr) std::fclose(f);
-    }
-    appenders_.assign(opt_.shards, nullptr);
+    appenders_.clear();
+    appenders_.resize(opt_.shards);
+    good_size_.assign(opt_.shards, 0);
+    dirty_.assign(opt_.shards, false);
+    torn_.assign(opt_.shards, false);
+    queued_.clear();
     index_.clear();
     maps_.clear();
     session_values_.clear();
@@ -181,6 +198,26 @@ void store::load_generation(std::uint64_t generation)
     for (std::size_t s = 0; s < opt_.shards; ++s) {
         maps_.push_back(mapping::open(shard_path(generation, s)));
         scan_shard(s);
+        good_size_[s] = maps_[s] != nullptr ? maps_[s]->size() : 0;
+    }
+}
+
+/// Delete files of any generation other than the live one. A crash during
+/// compaction can strand either staged next-generation shards (died before
+/// the flip) or the previous generation's shards (died after the flip,
+/// before the deletes) — both are unreferenced by CURRENT and safe to drop.
+void store::remove_stale_files(std::uint64_t live_generation)
+{
+    std::error_code ec;
+    fs::directory_iterator it(opt_.dir, ec);
+    if (ec) return;
+    for (const auto& entry : it) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("gen-", 0) != 0) continue;
+        char* end = nullptr;
+        const unsigned long long generation = std::strtoull(name.c_str() + 4, &end, 10);
+        if (end == name.c_str() + 4 || *end != '-') continue;
+        if (generation != live_generation) fs().remove(entry.path().string());
     }
 }
 
@@ -199,11 +236,15 @@ void store::scan_shard(std::size_t shard_index)
             // Torn tail or corrupted record: the valid prefix is the cache.
             // Everything from here on is untrusted (lengths may lie about
             // where the next record starts), so cut it — on disk too, which
-            // is what makes the *next* open clean.
+            // is what makes the *next* open clean. Disk-cut failure is
+            // tolerable (the logical shrink governs this process), but a
+            // crash point firing here must still propagate.
             if (status == record_status::bad_crc) ++stats_.dropped_records;
             stats_.truncated_bytes += size - pos;
-            std::error_code ec;
-            fs::resize_file(shard_path(stats_.generation, shard_index), pos, ec);
+            try {
+                fs().resize(shard_path(stats_.generation, shard_index), pos);
+            } catch (const io_error&) {
+            }
             m->shrink(pos);
             return;
         }
@@ -245,11 +286,9 @@ bool store::contains(const std::string& key) const
 bool store::put(const std::string& key, const std::string& value)
 {
     if (contains(key)) return false;
-    std::string encoded;
-    encoded.reserve(record_overhead + key.size() + value.size());
-    append_record(encoded, key, value);
-    append_to_shard(shard_of(key), encoded);
 
+    // Index into memory first: correctness never waits on the disk. The
+    // deque gives the slot a stable address for the store's lifetime.
     session_values_.push_back(value);
     slot sl;
     sl.data = session_values_.back().data();
@@ -257,7 +296,33 @@ bool store::put(const std::string& key, const std::string& value)
     index_.emplace(key, sl);
     ++stats_.entries;
     stats_.bytes += key.size() + value.size();
-    ++stats_.appended_records;
+
+    if (degraded_) {
+        queued_.push_back(key);
+        ++stats_.queued_promotions;
+        return true;
+    }
+
+    std::string encoded;
+    encoded.reserve(record_overhead + key.size() + value.size());
+    append_record(encoded, key, value);
+    const std::size_t shard = shard_of(key);
+    try {
+        append_to_shard(shard, encoded);
+        ++stats_.appended_records;
+    } catch (const io_error& e) {
+        // Persistent write failure: the shard's tail may hold a partial
+        // record and the stream state is suspect. Drop the appender, mark
+        // the tail torn (retry_writes truncates back to the last good byte
+        // before re-appending), and go read-only. crash_error — a simulated
+        // process death — is deliberately NOT caught here.
+        appenders_[shard].reset();
+        torn_[shard] = true;
+        enter_degraded("put(" + std::to_string(key.size()) + "-byte key) on shard " +
+                       std::to_string(shard) + ": " + e.what());
+        queued_.push_back(key);
+        ++stats_.queued_promotions;
+    }
     return true;
 }
 
@@ -272,25 +337,91 @@ void store::erase(const std::string& key)
 
 void store::append_to_shard(std::size_t shard_index, const std::string& encoded)
 {
-    std::FILE*& f = appenders_[shard_index];
+    std::unique_ptr<vfs::file>& f = appenders_[shard_index];
     if (f == nullptr) {
-        f = std::fopen(shard_path(stats_.generation, shard_index).c_str(), "ab");
-        if (f == nullptr) {
-            throw std::runtime_error("svc::store: cannot append to shard " +
-                                     std::to_string(shard_index));
-        }
+        f = fs().open_append(shard_path(stats_.generation, shard_index));
     }
-    if (std::fwrite(encoded.data(), 1, encoded.size(), f) != encoded.size()) {
-        throw std::runtime_error("svc::store: short write to shard " +
-                                 std::to_string(shard_index));
-    }
+    f->write(encoded);
     // One flush per record: a crash loses at most the in-flight record, and
     // the loader's truncate-to-valid handles even that half-written tail.
-    std::fflush(f);
+    // Durability (fsync) is batched in sync(), the service's ack barrier.
+    f->flush();
+    good_size_[shard_index] += encoded.size();
+    dirty_[shard_index] = true;
+}
+
+bool store::sync()
+{
+    if (degraded_) return false;
+    if (!opt_.fsync) return true;
+    for (std::size_t s = 0; s < opt_.shards; ++s) {
+        if (!dirty_[s] || appenders_[s] == nullptr) continue;
+        try {
+            appenders_[s]->sync();
+            ++stats_.fsyncs;
+            dirty_[s] = false;
+        } catch (const io_error& e) {
+            // The records are in the file (flush succeeded at append time);
+            // only their *durability* is in doubt. Content is not torn, so
+            // nothing queues — retry_writes() simply re-syncs.
+            ++stats_.sync_failures;
+            enter_degraded("sync on shard " + std::to_string(s) + ": " + e.what());
+            return false;
+        }
+    }
+    return true;
+}
+
+void store::enter_degraded(const std::string& reason)
+{
+    if (!degraded_) {
+        degraded_ = true;
+        ++stats_.degraded_entries;
+    }
+    degraded_log_.push_back(reason);
+}
+
+bool store::retry_writes()
+{
+    if (!degraded_ && queued_.empty()) return true;
+    try {
+        // First heal any torn tails: drop the suspect stream, cut the file
+        // back to its last known-good byte, and let append reopen it.
+        for (std::size_t s = 0; s < opt_.shards; ++s) {
+            if (!torn_[s]) continue;
+            appenders_[s].reset();
+            fs().resize(shard_path(stats_.generation, s), good_size_[s]);
+            torn_[s] = false;
+        }
+        while (!queued_.empty()) {
+            const std::string& key = queued_.front();
+            const auto it = index_.find(key);
+            if (it != index_.end()) {
+                std::string encoded;
+                append_record(encoded, key,
+                              std::string(it->second.data, it->second.size));
+                append_to_shard(shard_of(key), encoded);
+                ++stats_.appended_records;
+            }
+            queued_.pop_front();
+        }
+        degraded_ = false;
+        return sync();
+    } catch (const io_error& e) {
+        enter_degraded("retry_writes: " + std::string(e.what()));
+        return false;
+    }
 }
 
 void store::compact()
 {
+    if (degraded_) {
+        throw store_error(
+            "svc::store: compact refused while degraded (" +
+                (degraded_log_.empty() ? std::string("no journal") : degraded_log_.back()) +
+                ")",
+            EROFS);
+    }
     const std::uint64_t old_generation = stats_.generation;
     const std::uint64_t next = old_generation + 1;
 
@@ -302,29 +433,46 @@ void store::compact()
     for (const auto& [key, sl] : index_) {
         append_record(buffers[shard_of(key)], key, std::string(sl.data, sl.size));
     }
-    for (std::size_t s = 0; s < opt_.shards; ++s) {
-        if (buffers[s].empty()) continue;
-        const std::string path = shard_path(next, s);
-        std::ofstream out(path, std::ios::binary | std::ios::trunc);
-        if (!out) throw std::runtime_error("svc::store: cannot write " + path);
-        out.write(buffers[s].data(),
-                  static_cast<std::streamsize>(buffers[s].size()));
-        if (!out) throw std::runtime_error("svc::store: short write to " + path);
+    try {
+        for (std::size_t s = 0; s < opt_.shards; ++s) {
+            if (buffers[s].empty()) continue;
+            auto out = fs().open_trunc(shard_path(next, s));
+            out->write(buffers[s]);
+            out->sync();
+            out->close();
+        }
+        write_current(fs(), opt_.dir, next);
+    } catch (const store_error&) {
+        for (std::size_t s = 0; s < opt_.shards; ++s) fs().remove(shard_path(next, s));
+        throw;
+    } catch (const io_error& e) {
+        for (std::size_t s = 0; s < opt_.shards; ++s) fs().remove(shard_path(next, s));
+        throw store_error("svc::store: compaction staging for generation " +
+                              std::to_string(next) + " failed: " + e.what(),
+                          e.code());
     }
-    write_current(opt_.dir, next);
 
-    // The flip is durable; the old generation is dead weight now.
+    // The flip is durable; the old generation is dead weight now. (A crash
+    // between the flip and these deletes strands the old files — harmless,
+    // remove_stale_files reaps them at the next open.)
     for (std::size_t s = 0; s < opt_.shards; ++s) {
-        std::error_code ec;
-        fs::remove(shard_path(old_generation, s), ec);
+        fs().remove(shard_path(old_generation, s));
     }
     const std::uint64_t appended = stats_.appended_records;
     const std::uint64_t recalls = stats_.recalls;
     const std::uint64_t compactions = stats_.compactions + 1;
+    const std::uint64_t fsyncs = stats_.fsyncs;
+    const std::uint64_t sync_failures = stats_.sync_failures;
+    const std::uint64_t queued_promotions = stats_.queued_promotions;
+    const std::uint64_t degraded_entries = stats_.degraded_entries;
     load_generation(next);
     stats_.appended_records = appended;
     stats_.recalls = recalls;
     stats_.compactions = compactions;
+    stats_.fsyncs = fsyncs;
+    stats_.sync_failures = sync_failures;
+    stats_.queued_promotions = queued_promotions;
+    stats_.degraded_entries = degraded_entries;
 }
 
 }  // namespace jsk::svc

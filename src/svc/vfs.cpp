@@ -1,0 +1,193 @@
+#include "svc/vfs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define JSK_SVC_HAVE_FSYNC 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace jsk::svc {
+
+namespace fs = std::filesystem;
+
+// --- vfs::file --------------------------------------------------------------
+
+vfs::file::~file()
+{
+    if (f_ != nullptr) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+}
+
+void vfs::file::write(const char* data, std::size_t n)
+{
+    faults::io_injector* inj = owner_->inj_;
+    std::size_t done = 0;
+    while (done < n) {
+        std::size_t attempt = n - done;
+        if (inj != nullptr && inj->enabled()) {
+            inj->crash_point("file.write.before");
+            const auto d = inj->on_write(attempt);
+            switch (d.kind) {
+                case faults::io_injector::write_fault::enospc:
+                    throw io_error("svc::vfs: write failed on " + path_, ENOSPC);
+                case faults::io_injector::write_fault::eintr:
+                    // The syscall landed nothing; retry the same span. One
+                    // extra loop turn is the whole cost — latency, not bytes.
+                    inj->crash_point("file.write.eintr");
+                    continue;
+                case faults::io_injector::write_fault::short_write:
+                    attempt = d.progress;
+                    break;
+                case faults::io_injector::write_fault::none:
+                    break;
+            }
+        }
+        const std::size_t wrote = std::fwrite(data + done, 1, attempt, f_);
+        if (wrote != attempt) {
+            throw io_error("svc::vfs: short write to " + path_,
+                           errno != 0 ? errno : EIO);
+        }
+        done += wrote;
+        if (inj != nullptr && inj->enabled()) inj->crash_point("file.write.after");
+    }
+}
+
+void vfs::file::flush()
+{
+    faults::io_injector* inj = owner_->inj_;
+    if (inj != nullptr && inj->enabled()) {
+        inj->crash_point("file.flush.before");
+        if (inj->on_flush()) throw io_error("svc::vfs: flush failed on " + path_, EIO);
+    }
+    if (std::fflush(f_) != 0 || std::ferror(f_) != 0) {
+        throw io_error("svc::vfs: flush failed on " + path_, errno != 0 ? errno : EIO);
+    }
+    if (inj != nullptr && inj->enabled()) inj->crash_point("file.flush.after");
+}
+
+void vfs::file::sync()
+{
+    flush();
+    faults::io_injector* inj = owner_->inj_;
+    if (inj != nullptr && inj->enabled()) {
+        inj->crash_point("file.sync.before");
+        if (inj->on_fsync()) throw io_error("svc::vfs: fsync failed on " + path_, EIO);
+    }
+#if JSK_SVC_HAVE_FSYNC
+    if (::fsync(::fileno(f_)) != 0) {
+        throw io_error("svc::vfs: fsync failed on " + path_, errno != 0 ? errno : EIO);
+    }
+#endif
+    if (inj != nullptr && inj->enabled()) inj->crash_point("file.sync.after");
+}
+
+void vfs::file::close()
+{
+    if (f_ == nullptr) return;
+    std::FILE* f = f_;
+    f_ = nullptr;
+    if (std::fclose(f) != 0) {
+        throw io_error("svc::vfs: close failed on " + path_, errno != 0 ? errno : EIO);
+    }
+}
+
+// --- vfs --------------------------------------------------------------------
+
+std::unique_ptr<vfs::file> vfs::open_mode(const std::string& path, const char* mode)
+{
+    std::FILE* f = std::fopen(path.c_str(), mode);
+    if (f == nullptr) {
+        throw io_error("svc::vfs: cannot open " + path, errno != 0 ? errno : EIO);
+    }
+    return std::unique_ptr<file>(new file(f, path, this));
+}
+
+std::unique_ptr<vfs::file> vfs::open_append(const std::string& path)
+{
+    return open_mode(path, "ab");
+}
+
+std::unique_ptr<vfs::file> vfs::open_trunc(const std::string& path)
+{
+    return open_mode(path, "wb");
+}
+
+void vfs::rename(const std::string& from, const std::string& to)
+{
+    if (inj_ != nullptr && inj_->enabled()) {
+        inj_->crash_point("rename.before");
+        if (inj_->on_rename()) {
+            throw io_error("svc::vfs: rename " + from + " -> " + to + " failed", EIO);
+        }
+    }
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+        throw io_error("svc::vfs: rename " + from + " -> " + to + " failed", ec.value());
+    }
+    if (inj_ != nullptr && inj_->enabled()) inj_->crash_point("rename.after");
+}
+
+void vfs::remove(const std::string& path) noexcept
+{
+    std::error_code ec;
+    fs::remove(path, ec);
+}
+
+void vfs::resize(const std::string& path, std::uint64_t size)
+{
+    if (inj_ != nullptr && inj_->enabled()) inj_->crash_point("resize.before");
+    std::error_code ec;
+    fs::resize_file(path, size, ec);
+    if (ec) {
+        throw io_error("svc::vfs: cannot truncate " + path, ec.value());
+    }
+    if (inj_ != nullptr && inj_->enabled()) inj_->crash_point("resize.after");
+}
+
+void vfs::sync_dir(const std::string& dir)
+{
+    if (inj_ != nullptr && inj_->enabled()) {
+        inj_->crash_point("sync_dir.before");
+        if (inj_->on_fsync()) {
+            throw io_error("svc::vfs: fsync failed on directory " + dir, EIO);
+        }
+    }
+#if JSK_SVC_HAVE_FSYNC
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        const int rc = ::fsync(fd);
+        const int err = errno;
+        ::close(fd);
+        if (rc != 0) {
+            throw io_error("svc::vfs: fsync failed on directory " + dir,
+                           err != 0 ? err : EIO);
+        }
+    }
+    // Directories that cannot be opened read-only (exotic filesystems) are
+    // quietly skipped — the shard-level truncate-to-valid recovery covers
+    // whatever ordering the platform then provides.
+#endif
+    if (inj_ != nullptr && inj_->enabled()) inj_->crash_point("sync_dir.after");
+}
+
+bool vfs::exists(const std::string& path) const
+{
+    std::error_code ec;
+    return fs::exists(path, ec);
+}
+
+vfs& default_vfs()
+{
+    static vfs instance;
+    return instance;
+}
+
+}  // namespace jsk::svc

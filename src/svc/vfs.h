@@ -1,0 +1,141 @@
+// jsk::svc — the fault-injectable filesystem seam.
+//
+// Every byte the sweep service makes durable — store shard appends, CURRENT
+// generation flips, wave intent records — and every response byte it emits
+// through a stdio sink routes through this one abstraction, so
+// faults::io_injector can interpose on open/write/flush/fsync/rename/close
+// with deterministic faults and seeded crash points. With no injector (or a
+// null plan) every operation is the real libc call plus exactly one branch,
+// the same zero-overhead discipline as the obs null sink and the runtime
+// fault injector.
+//
+// Fault semantics, chosen so faults may change *latency* but never *bytes*:
+//
+//   transient  (EINTR, short write)   retried inside the vfs until the full
+//                                     buffer lands — callers never see them
+//   persistent (ENOSPC, flush/fsync/  surface as io_error with errno
+//               rename failure)       context — the store catches these and
+//                                     enters degraded mode; nothing above
+//                                     it throws mid-wave
+//   crash      (crash_at boundaries)  throw faults::crash_error — the
+//                                     in-process SIGKILL; *nothing* on the
+//                                     durability path may catch it
+//
+// Crash points bracket every durable boundary (before/after each write,
+// flush, fsync, rename, directory sync), which is what makes the crash
+// matrix exhaustive: counting one fault-free run enumerates every
+// instruction boundary at which the process can die.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "faults/io.h"
+
+namespace jsk::svc {
+
+/// A failed file operation, with errno context. Persistent injected faults
+/// and real filesystem failures both surface as this one type.
+class io_error : public std::runtime_error {
+public:
+    io_error(const std::string& what, int err)
+        : std::runtime_error(what + " (errno " + std::to_string(err) + ")"),
+          errno_(err)
+    {
+    }
+
+    [[nodiscard]] int code() const { return errno_; }
+
+private:
+    int errno_;
+};
+
+class vfs {
+public:
+    /// Passthrough: every operation is the real call plus one null check.
+    vfs() = default;
+
+    /// Fault-injected: decisions and crash points come from `inj` (not
+    /// owned; must outlive the vfs).
+    explicit vfs(faults::io_injector* inj) : inj_(inj) {}
+
+    vfs(const vfs&) = delete;
+    vfs& operator=(const vfs&) = delete;
+
+    [[nodiscard]] faults::io_injector* injector() const { return inj_; }
+
+    // --- buffered writable file --------------------------------------------
+
+    /// One writable stream (append or truncate mode). write() retries
+    /// transient faults internally and throws io_error on persistent ones;
+    /// flush()/sync() surface flush/fsync failures the same way. close() is
+    /// idempotent and checked; the destructor closes silently (crash-path
+    /// unwind must not throw again).
+    class file {
+    public:
+        ~file();
+        file(const file&) = delete;
+        file& operator=(const file&) = delete;
+
+        void write(const char* data, std::size_t n);
+        void write(const std::string& s) { write(s.data(), s.size()); }
+        /// Push stdio buffers to the OS (fflush, ferror-checked).
+        void flush();
+        /// flush() then fsync the descriptor: the record is on the platter
+        /// (or the platter lied — that failure surfaces too).
+        void sync();
+        void close();
+
+        [[nodiscard]] const std::string& path() const { return path_; }
+
+    private:
+        friend class vfs;
+        file(std::FILE* f, std::string path, vfs* owner)
+            : f_(f), path_(std::move(path)), owner_(owner)
+        {
+        }
+
+        std::FILE* f_;
+        std::string path_;
+        vfs* owner_;
+    };
+
+    /// Open for appending (created if missing). Throws io_error on failure.
+    std::unique_ptr<file> open_append(const std::string& path);
+    /// Open truncated for writing. Throws io_error on failure.
+    std::unique_ptr<file> open_trunc(const std::string& path);
+
+    // --- whole-path operations ---------------------------------------------
+
+    /// POSIX rename(2): atomic replace. Throws io_error (injected or real).
+    void rename(const std::string& from, const std::string& to);
+
+    /// Best-effort unlink — failure to remove dead bytes is never fatal.
+    void remove(const std::string& path) noexcept;
+
+    /// Truncate `path` to `size` bytes. Best-effort (open-time healing
+    /// tolerates a read-only disk); crash points still apply.
+    void resize(const std::string& path, std::uint64_t size) noexcept(false);
+
+    /// fsync the directory itself, making renames/creates inside it
+    /// durable. Throws io_error on (injected or real) failure; a no-op on
+    /// platforms without directory descriptors.
+    void sync_dir(const std::string& dir);
+
+    [[nodiscard]] bool exists(const std::string& path) const;
+
+private:
+    friend class file;
+    std::unique_ptr<file> open_mode(const std::string& path, const char* mode);
+
+    faults::io_injector* inj_ = nullptr;
+};
+
+/// The shared passthrough instance used when a caller does not thread its
+/// own vfs (store/service default). Never fault-injected.
+vfs& default_vfs();
+
+}  // namespace jsk::svc

@@ -47,7 +47,7 @@ bool read_frame(byte_source& source, frame& out)
     const std::uint8_t type = *rd.get_u8();
     const std::uint32_t len = *rd.get_u32();
     if (type < static_cast<std::uint8_t>(frame_type::hello) ||
-        type > static_cast<std::uint8_t>(frame_type::error)) {
+        type > static_cast<std::uint8_t>(frame_type::session)) {
         throw wire_error("svc::wire: unknown frame type " + std::to_string(type));
     }
     if (len > max_frame_payload) {
@@ -62,19 +62,28 @@ bool read_frame(byte_source& source, frame& out)
     return true;
 }
 
-std::string encode_hello(const std::string& tenant)
+std::string encode_hello(const std::string& tenant, bool resumable)
 {
     std::string out;
     bytes::put_str(out, tenant);
+    // The legacy hello is exactly the tenant string; the capability byte is
+    // appended only when set, so pre-resume encoders and decoders interop.
+    if (resumable) bytes::put_u8(out, 1);
     return out;
 }
 
-std::optional<std::string> decode_hello(const std::string& payload)
+std::optional<wire_hello> decode_hello(const std::string& payload)
 {
     bytes::reader rd(payload);
     auto tenant = rd.get_str();
-    if (!tenant || !rd.done()) return std::nullopt;
-    return std::move(*tenant);
+    if (!tenant) return std::nullopt;
+    wire_hello h;
+    h.tenant = std::move(*tenant);
+    if (rd.done()) return h;
+    const auto flag = rd.get_u8();
+    if (!flag || !rd.done() || *flag > 1) return std::nullopt;
+    h.resumable = *flag == 1;
+    return h;
 }
 
 std::string encode_job(const wire_job& j)
@@ -102,6 +111,7 @@ std::optional<wire_job> decode_job(const std::string& payload)
 std::string encode_result(const wire_result& r)
 {
     std::string out;
+    bytes::put_u64(out, r.seq);
     bytes::put_u64(out, r.client_id);
     out += serialize(r.result);
     return out;
@@ -110,11 +120,13 @@ std::string encode_result(const wire_result& r)
 std::optional<wire_result> decode_result(const std::string& payload)
 {
     bytes::reader rd(payload);
+    const auto seq = rd.get_u64();
     const auto client_id = rd.get_u64();
-    if (!client_id) return std::nullopt;
+    if (!seq || !client_id) return std::nullopt;
     const auto result = parse_result(payload.substr(rd.offset()));
     if (!result) return std::nullopt;
     wire_result r;
+    r.seq = *seq;
     r.client_id = *client_id;
     r.result = *result;
     return r;
@@ -123,6 +135,7 @@ std::optional<wire_result> decode_result(const std::string& payload)
 std::string encode_reject(const wire_reject& e)
 {
     std::string out;
+    bytes::put_u64(out, e.seq);
     bytes::put_u64(out, e.client_id);
     bytes::put_str(out, e.message);
     return out;
@@ -131,13 +144,77 @@ std::string encode_reject(const wire_reject& e)
 std::optional<wire_reject> decode_reject(const std::string& payload)
 {
     bytes::reader rd(payload);
+    const auto seq = rd.get_u64();
     const auto client_id = rd.get_u64();
     auto message = rd.get_str();
-    if (!client_id || !message || !rd.done()) return std::nullopt;
+    if (!seq || !client_id || !message || !rd.done()) return std::nullopt;
     wire_reject e;
+    e.seq = *seq;
     e.client_id = *client_id;
     e.message = std::move(*message);
     return e;
+}
+
+std::string encode_wave_done(const wire_wave_done& w)
+{
+    std::string out;
+    bytes::put_u64(out, w.seq);
+    out += w.merged_json;
+    return out;
+}
+
+std::optional<wire_wave_done> decode_wave_done(const std::string& payload)
+{
+    bytes::reader rd(payload);
+    const auto seq = rd.get_u64();
+    if (!seq) return std::nullopt;
+    wire_wave_done w;
+    w.seq = *seq;
+    w.merged_json = payload.substr(rd.offset());
+    return w;
+}
+
+std::string encode_resume(const wire_resume& r)
+{
+    std::string out;
+    bytes::put_str(out, r.tenant);
+    bytes::put_u64(out, r.epoch);
+    bytes::put_u64(out, r.last_seq);
+    return out;
+}
+
+std::optional<wire_resume> decode_resume(const std::string& payload)
+{
+    bytes::reader rd(payload);
+    auto tenant = rd.get_str();
+    const auto epoch = rd.get_u64();
+    const auto last_seq = rd.get_u64();
+    if (!tenant || !epoch || !last_seq || !rd.done()) return std::nullopt;
+    wire_resume r;
+    r.tenant = std::move(*tenant);
+    r.epoch = *epoch;
+    r.last_seq = *last_seq;
+    return r;
+}
+
+std::string encode_session(const wire_session& s)
+{
+    std::string out;
+    bytes::put_u64(out, s.epoch);
+    bytes::put_u64(out, s.resume_from);
+    return out;
+}
+
+std::optional<wire_session> decode_session(const std::string& payload)
+{
+    bytes::reader rd(payload);
+    const auto epoch = rd.get_u64();
+    const auto resume_from = rd.get_u64();
+    if (!epoch || !resume_from || !rd.done()) return std::nullopt;
+    wire_session s;
+    s.epoch = *epoch;
+    s.resume_from = *resume_from;
+    return s;
 }
 
 }  // namespace jsk::svc

@@ -7,30 +7,55 @@
 //   frame := u8 type | u32 payload_len (LE) | payload bytes
 //
 // Client -> service frames:
-//   hello     payload = u32-prefixed tenant id (optional; default tenant
-//             otherwise; must precede any job)
+//   hello     payload = u32-prefixed tenant id, optionally followed by one
+//             resumable-capability byte (0/1; absent = 0, the legacy
+//             encoding). Must precede any job.
 //   job       payload = u64 client_job_id | canonical witness key
 //             (par::serialize: seed, plan, decisions, defense, program)
 //   end_wave  payload empty — close the current wave: the service runs the
 //             buffered jobs and streams the wave's frames back
+//   resume    payload = u32-prefixed tenant | u64 epoch | u64 last_seq —
+//             re-attach after a torn connection: replay every pending wave
+//             frame with seq > last_seq, from the store epoch the client
+//             last saw. A mismatched epoch or no pending wave is answered
+//             with an error frame; the client then resubmits from scratch.
 //
-// Service -> client frames:
-//   result    payload = u64 client_job_id | serialized job_result — one per
-//             accepted job, emitted in *canonical job order* (sorted by
-//             witness-key bytes), never arrival order: the concatenation of
-//             result frames is a pure function of the wave's job set
-//   wave_done payload = the wave's merged matrix JSON (same canonical
-//             order), closing the wave
-//   error     payload = u64 client_job_id (0 when not job-specific) |
-//             u32-prefixed message — a rejected job or malformed frame; the
-//             stream stays usable
+// Service -> client frames (every payload leads with a u64 sequence
+// number; seq starts at 1 per connection and increments per data frame, so
+// a reconnecting client can name exactly how far it got):
+//   session   payload = u64 epoch | u64 resume_from (no seq — session
+//             frames describe the connection rather than belonging to the
+//             replayable data stream): the store incarnation serving this
+//             connection, and the first data seq the service is about to
+//             send. Sent once after a resumable hello or a resume; epoch
+//             changes whenever the store reopens, which is what makes
+//             stale resumes detectable.
+//   result    payload = u64 seq | u64 client_job_id | serialized
+//             job_result — one per accepted job, emitted in *canonical job
+//             order* (sorted by witness-key bytes), never arrival order:
+//             the concatenation of result frames is a pure function of the
+//             wave's job set
+//   wave_done payload = u64 seq | the wave's merged matrix JSON (same
+//             canonical order), closing the wave
+//   error     payload = u64 seq | u64 client_job_id (0 when not
+//             job-specific) | u32-prefixed message — a rejected job or
+//             malformed frame; the stream stays usable
 //
-// Determinism contract: because responses are canonically ordered and each
-// job's outcome is a pure function of its witness key, streaming the same
-// job set in any arrival order yields byte-identical result streams and
-// merged JSON — the property tests/svc/test_service.cpp pins.
+// Determinism contract: because responses are canonically ordered, each
+// job's outcome is a pure function of its witness key, and seq numbering
+// restarts at 1 for every wave conversation, streaming the same job set in
+// any arrival order yields byte-identical result streams and merged JSON —
+// the property tests/svc/test_service.cpp pins. session frames are the one
+// exception (epochs name process incarnations), which is why they carry no
+// seq and sit outside the replayable data stream.
+//
+// Durability contract: the service emits a wave's frames only after the
+// wave's new outcomes are fsync'd (store::sync) and its intent record
+// committed — a result frame IS the acknowledgement, and an acknowledged
+// result survives any crash.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
@@ -42,6 +67,21 @@
 #include "svc/record.h"
 
 namespace jsk::svc {
+
+/// Torn or malformed framing (as opposed to clean EOF).
+class wire_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// The outbound side of a torn connection: the sink could not take or
+/// drain bytes. Distinct from plain wire_error so serve() can tell "client
+/// sent garbage" (stream stays usable) from "client is gone" (stop
+/// writing).
+class wire_sink_error : public wire_error {
+public:
+    using wire_error::wire_error;
+};
 
 // --- byte streams -----------------------------------------------------------
 
@@ -85,6 +125,24 @@ private:
     std::deque<char> buf_;
 };
 
+/// byte_source over a borrowed string — a captured response, possibly a
+/// torn prefix of what the peer intended to send.
+class string_source final : public byte_source {
+public:
+    explicit string_source(const std::string& s) : data_(&s) {}
+    std::size_t read(char* buf, std::size_t n) override
+    {
+        const std::size_t take = std::min(n, data_->size() - pos_);
+        for (std::size_t i = 0; i < take; ++i) buf[i] = (*data_)[pos_ + i];
+        pos_ += take;
+        return take;
+    }
+
+private:
+    const std::string* data_;
+    std::size_t pos_ = 0;
+};
+
 /// Non-owning wrappers over C stdio streams (stdin/stdout in the CLI's
 /// serve mode, or any fdopen'd pipe/socket).
 class file_source final : public byte_source {
@@ -104,11 +162,19 @@ public:
     explicit file_sink(std::FILE* f) : f_(f) {}
     void write(const char* data, std::size_t n) override
     {
-        if (std::fwrite(data, 1, n, f_) != n) {
-            throw std::runtime_error("svc::wire: short write");
+        if (std::fwrite(data, 1, n, f_) != n || std::ferror(f_) != 0) {
+            throw wire_sink_error("svc::wire: torn sink (short write)");
         }
     }
-    void flush() override { std::fflush(f_); }
+    /// A sink that cannot drain is a torn connection, not a shrug: an
+    /// unchecked fflush here would let the service believe it acknowledged
+    /// frames the client never received.
+    void flush() override
+    {
+        if (std::fflush(f_) != 0 || std::ferror(f_) != 0) {
+            throw wire_sink_error("svc::wire: torn sink (flush failed)");
+        }
+    }
 
 private:
     std::FILE* f_;
@@ -123,17 +189,13 @@ enum class frame_type : std::uint8_t {
     result = 4,
     wave_done = 5,
     error = 6,
+    resume = 7,
+    session = 8,
 };
 
 struct frame {
     frame_type type = frame_type::error;
     std::string payload;
-};
-
-/// Torn or malformed framing (as opposed to clean EOF).
-class wire_error : public std::runtime_error {
-public:
-    using std::runtime_error::runtime_error;
 };
 
 /// Frames larger than this are rejected as malformed rather than allocated
@@ -149,23 +211,46 @@ bool read_frame(byte_source& source, frame& out);
 
 // --- typed payloads ---------------------------------------------------------
 
+struct wire_hello {
+    std::string tenant;
+    bool resumable = false;  // client understands session/seq replay
+};
+
 struct wire_job {
     std::uint64_t client_id = 0;
     par::witness_key key;
 };
 
 struct wire_result {
+    std::uint64_t seq = 0;
     std::uint64_t client_id = 0;
     job_result result;
 };
 
 struct wire_reject {
+    std::uint64_t seq = 0;
     std::uint64_t client_id = 0;  // 0 when not job-specific
     std::string message;
 };
 
-std::string encode_hello(const std::string& tenant);
-std::optional<std::string> decode_hello(const std::string& payload);
+struct wire_wave_done {
+    std::uint64_t seq = 0;
+    std::string merged_json;
+};
+
+struct wire_resume {
+    std::string tenant;
+    std::uint64_t epoch = 0;
+    std::uint64_t last_seq = 0;  // highest data seq received; 0 = none
+};
+
+struct wire_session {
+    std::uint64_t epoch = 0;
+    std::uint64_t resume_from = 0;  // first data seq the service will send
+};
+
+std::string encode_hello(const std::string& tenant, bool resumable = false);
+std::optional<wire_hello> decode_hello(const std::string& payload);
 
 std::string encode_job(const wire_job& j);
 std::optional<wire_job> decode_job(const std::string& payload);
@@ -175,5 +260,14 @@ std::optional<wire_result> decode_result(const std::string& payload);
 
 std::string encode_reject(const wire_reject& e);
 std::optional<wire_reject> decode_reject(const std::string& payload);
+
+std::string encode_wave_done(const wire_wave_done& w);
+std::optional<wire_wave_done> decode_wave_done(const std::string& payload);
+
+std::string encode_resume(const wire_resume& r);
+std::optional<wire_resume> decode_resume(const std::string& payload);
+
+std::string encode_session(const wire_session& s);
+std::optional<wire_session> decode_session(const std::string& payload);
 
 }  // namespace jsk::svc

@@ -1,0 +1,147 @@
+// jsk::faults — the deterministic I/O fault domain: plan serialization,
+// the family factories, injector determinism, and crash-point semantics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "faults/io.h"
+
+namespace {
+
+using namespace jsk;
+
+// --- plan serialization -------------------------------------------------------
+
+TEST(io_plan, str_parse_round_trips_every_family)
+{
+    const std::vector<faults::io_plan> plans = {
+        faults::io_plan{},
+        faults::io_plan::transient_only(7),
+        faults::io_plan::disk_pressure(8),
+        faults::io_plan::sync_failures(9),
+        faults::io_plan::full_io_chaos(10),
+    };
+    for (const auto& p : plans) {
+        EXPECT_EQ(faults::io_plan::parse(p.str()), p) << p.str();
+    }
+}
+
+TEST(io_plan, parse_rejects_malformed_input)
+{
+    EXPECT_THROW(faults::io_plan::parse("bogus_key=1;"), std::invalid_argument);
+    EXPECT_THROW(faults::io_plan::parse("seed"), std::invalid_argument);
+    EXPECT_THROW(faults::io_plan::parse("seed=x;"), std::invalid_argument);
+}
+
+TEST(io_plan, null_plan_and_persistence_classification)
+{
+    EXPECT_TRUE(faults::io_plan{}.null_plan());
+    EXPECT_FALSE(faults::io_plan::transient_only(1).null_plan());
+    EXPECT_FALSE(faults::io_plan::transient_only(1).persistent());
+    EXPECT_TRUE(faults::io_plan::disk_pressure(1).persistent());
+    EXPECT_TRUE(faults::io_plan::sync_failures(1).persistent());
+    EXPECT_TRUE(faults::io_plan::full_io_chaos(1).persistent());
+
+    faults::io_plan crash_only;
+    crash_only.crash_at = 3;
+    EXPECT_FALSE(crash_only.null_plan());
+    EXPECT_FALSE(crash_only.persistent());
+}
+
+TEST(io_plan, sample_walks_distinct_plans)
+{
+    std::vector<std::string> seen;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const std::string s = faults::io_plan::sample(i).str();
+        for (const auto& prev : seen) EXPECT_NE(s, prev) << "index " << i;
+        seen.push_back(s);
+    }
+}
+
+// --- injector determinism -----------------------------------------------------
+
+TEST(io_injector, same_plan_same_decision_stream)
+{
+    const auto plan = faults::io_plan::full_io_chaos(42);
+    faults::io_injector a(plan);
+    faults::io_injector b(plan);
+    for (int i = 0; i < 256; ++i) {
+        const auto da = a.on_write(100);
+        const auto db = b.on_write(100);
+        EXPECT_EQ(da.kind, db.kind) << i;
+        EXPECT_EQ(da.progress, db.progress) << i;
+        EXPECT_EQ(a.on_flush(), b.on_flush()) << i;
+        EXPECT_EQ(a.on_fsync(), b.on_fsync()) << i;
+        EXPECT_EQ(a.on_rename(), b.on_rename()) << i;
+    }
+    EXPECT_EQ(a.injected(), b.injected());
+    EXPECT_GT(a.injected(), 0u) << "chaos plan must actually fire";
+}
+
+TEST(io_injector, seeds_decorrelate_sites)
+{
+    faults::io_injector a(faults::io_plan::full_io_chaos(1));
+    faults::io_injector b(faults::io_plan::full_io_chaos(2));
+    int differing = 0;
+    for (int i = 0; i < 256; ++i) {
+        if (a.on_write(100).kind != b.on_write(100).kind) ++differing;
+    }
+    EXPECT_GT(differing, 0) << "distinct seeds must yield distinct streams";
+}
+
+TEST(io_injector, null_plan_is_disabled_and_never_fires)
+{
+    faults::io_injector inj(faults::io_plan{});
+    EXPECT_FALSE(inj.enabled());
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(inj.on_write(10).kind, faults::io_injector::write_fault::none);
+        EXPECT_FALSE(inj.on_flush());
+        EXPECT_FALSE(inj.on_fsync());
+        EXPECT_FALSE(inj.on_rename());
+    }
+    EXPECT_EQ(inj.injected(), 0u);
+}
+
+// --- crash points -------------------------------------------------------------
+
+TEST(io_injector, crash_at_kills_exactly_the_kth_boundary)
+{
+    faults::io_plan plan;
+    plan.crash_at = 3;
+    faults::io_injector inj(plan);
+    EXPECT_NO_THROW(inj.crash_point("a"));
+    EXPECT_NO_THROW(inj.crash_point("b"));
+    EXPECT_THROW(inj.crash_point("c"), faults::crash_error);
+    EXPECT_EQ(inj.crash_points_seen(), 3u);
+    // The counter keeps advancing but never fires twice.
+    EXPECT_NO_THROW(inj.crash_point("d"));
+}
+
+TEST(io_injector, crash_count_only_counts_without_dying)
+{
+    faults::io_plan plan;
+    plan.crash_at = faults::crash_count_only;
+    faults::io_injector inj(plan);
+    EXPECT_TRUE(inj.enabled());
+    for (int i = 0; i < 1000; ++i) EXPECT_NO_THROW(inj.crash_point("x"));
+    EXPECT_EQ(inj.crash_points_seen(), 1000u);
+}
+
+TEST(io_injector, crash_error_is_not_an_io_error)
+{
+    // The durability path catches io_error to degrade gracefully; it must
+    // never be able to swallow a simulated process death.
+    faults::io_plan plan;
+    plan.crash_at = 1;
+    faults::io_injector inj(plan);
+    try {
+        inj.crash_point("site");
+        FAIL() << "must throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_EQ(dynamic_cast<const faults::crash_error*>(&e) != nullptr, true);
+        EXPECT_NE(std::string(e.what()).find("site"), std::string::npos);
+    }
+}
+
+}  // namespace

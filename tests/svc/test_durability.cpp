@@ -1,0 +1,465 @@
+// jsk::svc — durability-layer tests: the vfs fault seam, the store's
+// degraded mode and generation-flip error surface, the wave intent log,
+// and the resumable session client against a real (restarted-per-
+// connection) service.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/explore_sweep.h"
+#include "faults/io.h"
+#include "svc/client.h"
+#include "svc/intent.h"
+#include "svc/service.h"
+#include "svc/store.h"
+#include "svc/vfs.h"
+
+namespace {
+
+using namespace jsk;
+namespace fs = std::filesystem;
+
+class durability_test : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = (fs::path(::testing::TempDir()) /
+                (std::string("jsk_svc_durability_") + info->name()))
+                   .string();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string path(const std::string& name) const
+    {
+        return (fs::path(dir_) / name).string();
+    }
+
+    std::string read_file(const std::string& p) const
+    {
+        std::ifstream in(p, std::ios::binary);
+        return {std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>()};
+    }
+
+    std::string dir_;
+};
+
+// --- vfs: transient faults change latency, never bytes ----------------------
+
+TEST_F(durability_test, vfs_retries_transients_to_full_content)
+{
+    faults::io_plan plan = faults::io_plan::transient_only(99);
+    faults::io_injector inj(plan);
+    svc::vfs v(&inj);
+
+    const std::string payload(4096, 'x');
+    {
+        auto f = v.open_trunc(path("blob"));
+        for (int i = 0; i < 8; ++i) f->write(payload);
+        f->sync();
+        f->close();
+    }
+    EXPECT_GT(inj.injected(), 0u) << "plan must actually fire to test anything";
+    EXPECT_EQ(read_file(path("blob")).size(), payload.size() * 8);
+    EXPECT_EQ(read_file(path("blob")), std::string(4096 * 8, 'x'));
+}
+
+TEST_F(durability_test, vfs_surfaces_persistent_faults_with_errno)
+{
+    faults::io_plan plan;
+    plan.seed = 5;
+    plan.write_enospc_bp = 10'000;  // every write fails
+    faults::io_injector inj(plan);
+    svc::vfs v(&inj);
+
+    auto f = v.open_trunc(path("blob"));
+    try {
+        f->write("doomed");
+        FAIL() << "write must throw io_error";
+    } catch (const svc::io_error& e) {
+        EXPECT_EQ(e.code(), ENOSPC);
+        EXPECT_NE(std::string(e.what()).find("errno"), std::string::npos);
+    }
+}
+
+// --- store: generation flip failure is a typed, clean error -----------------
+
+TEST_F(durability_test, failed_current_flip_throws_store_error_and_cleans_tmp)
+{
+    faults::io_plan plan;
+    plan.seed = 3;
+    plan.rename_fail_bp = 10'000;  // every rename fails
+    faults::io_injector inj(plan);
+    svc::vfs v(&inj);
+
+    svc::store_options opt;
+    opt.dir = path("store");
+    opt.fs = &v;
+    try {
+        svc::store s(opt);  // first open must flip CURRENT into place
+        FAIL() << "construction must throw store_error";
+    } catch (const svc::store_error& e) {
+        EXPECT_NE(std::string(e.what()).find("errno"), std::string::npos);
+    }
+    EXPECT_FALSE(fs::exists(fs::path(opt.dir) / "CURRENT.tmp"))
+        << "the orphaned tmp file must be cleaned up";
+    EXPECT_FALSE(fs::exists(fs::path(opt.dir) / "CURRENT"));
+
+    // The same directory opens fine once the fault clears.
+    svc::store_options clean;
+    clean.dir = opt.dir;
+    svc::store s(clean);
+    EXPECT_TRUE(s.put("k", "v"));
+}
+
+// --- store: degraded mode ----------------------------------------------------
+
+TEST_F(durability_test, permanent_write_failure_degrades_but_keeps_serving)
+{
+    svc::store_options seed_opt;
+    seed_opt.dir = path("store");
+    {
+        svc::store seeded(seed_opt);
+        ASSERT_TRUE(seeded.put("old", "disk-value"));
+        ASSERT_TRUE(seeded.sync());
+    }
+
+    faults::io_plan plan;
+    plan.seed = 5;
+    plan.write_enospc_bp = 10'000;  // disk is full, forever
+    faults::io_injector inj(plan);
+    svc::vfs v(&inj);
+
+    svc::store_options opt;
+    opt.dir = path("store");
+    opt.fs = &v;
+    svc::store s(opt);
+    EXPECT_FALSE(s.degraded());
+
+    // The put fails on disk but MUST be served from session memory.
+    EXPECT_TRUE(s.put("new", "mem-value"));
+    EXPECT_TRUE(s.degraded());
+    ASSERT_TRUE(s.get("new").has_value());
+    EXPECT_EQ(*s.get("new"), "mem-value");
+    ASSERT_TRUE(s.get("old").has_value());
+    EXPECT_EQ(*s.get("old"), "disk-value");
+
+    // Degradation is journaled and counted; sync reports the truth.
+    EXPECT_FALSE(s.degraded_log().empty());
+    EXPECT_GE(s.stats().queued_promotions, 1u);
+    EXPECT_GE(s.stats().degraded_entries, 1u);
+    EXPECT_FALSE(s.sync()) << "a degraded store must not claim durability";
+
+    // Compaction refuses while degraded: it would persist a lie.
+    EXPECT_THROW(s.compact(), svc::store_error);
+
+    // The disk never recovers, so retries keep failing — and keep queueing.
+    EXPECT_FALSE(s.retry_writes());
+    EXPECT_TRUE(s.degraded());
+}
+
+TEST_F(durability_test, retry_writes_heals_once_the_disk_recovers)
+{
+    // 50% ENOSPC: deterministic for the seed, guaranteed to both fail and
+    // (eventually) succeed. Bounded loops keep the test honest.
+    faults::io_plan plan;
+    plan.seed = 21;
+    plan.write_enospc_bp = 5'000;
+    faults::io_injector inj(plan);
+    svc::vfs v(&inj);
+
+    svc::store_options opt;
+    opt.dir = path("store");
+    opt.fs = &v;
+    svc::store s(opt);
+
+    // Push puts until one fails.
+    int added = 0;
+    for (int i = 0; i < 64 && !s.degraded(); ++i) {
+        s.put("key-" + std::to_string(i), "value-" + std::to_string(i));
+        ++added;
+    }
+    ASSERT_TRUE(s.degraded()) << "plan never fired within 64 puts";
+
+    bool healed = false;
+    for (int i = 0; i < 64 && !healed; ++i) healed = s.retry_writes();
+    ASSERT_TRUE(healed) << "50% fault rate never let the queue drain";
+    EXPECT_FALSE(s.degraded());
+
+    // Every put — queued or not — must now be durable: reopen cleanly and
+    // recall all of them from disk.
+    svc::store_options clean;
+    clean.dir = opt.dir;
+    svc::store reopened(clean);
+    for (int i = 0; i < added; ++i) {
+        const std::string key = "key-" + std::to_string(i);
+        ASSERT_TRUE(reopened.get(key).has_value()) << key;
+        EXPECT_EQ(*reopened.get(key), "value-" + std::to_string(i));
+    }
+}
+
+// --- intent log --------------------------------------------------------------
+
+std::vector<svc::wire_job> intent_jobs()
+{
+    std::vector<svc::wire_job> jobs;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        svc::wire_job j;
+        j.client_id = 10 + i;
+        j.key.seed = 17;
+        j.key.defense = "jskernel";
+        j.key.program = "prog-" + std::to_string(i);
+        jobs.push_back(j);
+    }
+    return jobs;
+}
+
+TEST_F(durability_test, intent_epoch_is_monotone_across_reopens)
+{
+    std::uint64_t last = 0;
+    for (int i = 0; i < 4; ++i) {
+        svc::intent_log log(path("INTENT"), nullptr);
+        EXPECT_GT(log.epoch(), last);
+        last = log.epoch();
+        EXPECT_FALSE(log.pending().has_value());
+    }
+}
+
+TEST_F(durability_test, uncommitted_begin_survives_reopen_as_pending)
+{
+    const auto jobs = intent_jobs();
+    std::uint64_t epoch = 0;
+    {
+        svc::intent_log log(path("INTENT"), nullptr);
+        epoch = log.epoch();
+        log.begin("tenant-a", jobs, /*first_seq=*/5);
+        // Crash: destroyed without commit.
+    }
+    svc::intent_log reopened(path("INTENT"), nullptr);
+    ASSERT_TRUE(reopened.pending().has_value());
+    const auto& p = *reopened.pending();
+    EXPECT_EQ(p.tenant, "tenant-a");
+    EXPECT_EQ(p.epoch, epoch);
+    EXPECT_EQ(p.first_seq, 5u);
+    ASSERT_EQ(p.jobs.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(p.jobs[i].client_id, jobs[i].client_id);
+        EXPECT_EQ(p.jobs[i].key.program, jobs[i].key.program);
+    }
+    EXPECT_GT(reopened.epoch(), epoch);
+}
+
+TEST_F(durability_test, committed_wave_leaves_nothing_pending)
+{
+    {
+        svc::intent_log log(path("INTENT"), nullptr);
+        log.begin("tenant-a", intent_jobs(), 1);
+        log.commit();
+    }
+    svc::intent_log reopened(path("INTENT"), nullptr);
+    EXPECT_FALSE(reopened.pending().has_value());
+}
+
+TEST_F(durability_test, intent_log_heals_a_torn_tail)
+{
+    {
+        svc::intent_log log(path("INTENT"), nullptr);
+        log.begin("tenant-a", intent_jobs(), 1);
+    }
+    // Power cut mid-append: garbage after the valid records.
+    {
+        std::ofstream out(path("INTENT"), std::ios::binary | std::ios::app);
+        out << "\x01\x02garbage";
+    }
+    svc::intent_log reopened(path("INTENT"), nullptr);
+    ASSERT_TRUE(reopened.pending().has_value());
+    EXPECT_EQ(reopened.pending()->tenant, "tenant-a");
+}
+
+// --- session client ----------------------------------------------------------
+
+std::vector<svc::wire_job> wave_jobs()
+{
+    const auto cves = attacks::cve_ids();
+    std::vector<svc::wire_job> jobs;
+    for (std::uint64_t i = 0; i < 2; ++i) {
+        for (const char* defense : {"plain", "jskernel"}) {
+            svc::wire_job j;
+            j.client_id = jobs.size() + 1;
+            j.key.seed = 17;
+            j.key.defense = defense;
+            j.key.program = cves[i];
+            jobs.push_back(j);
+        }
+    }
+    return jobs;
+}
+
+/// One service process incarnation per connection, over a shared store
+/// directory — the "server restarted between dials" transport.
+svc::session_client::transport restarting_transport(const std::string& dir)
+{
+    return [dir](const std::string& request) {
+        svc::service_options so;
+        so.store_dir = dir;
+        svc::service s(so);
+        svc::string_source in(request);
+        svc::mem_pipe out;
+        s.serve(in, out);
+        std::string response;
+        response.resize(out.size());
+        out.read(response.data(), response.size());
+        return response;
+    };
+}
+
+TEST_F(durability_test, client_completes_a_wave_over_a_clean_transport)
+{
+    std::uint64_t slept = 0;
+    svc::session_client::options copt;
+    copt.tenant = "t";
+    copt.sleep = [&](std::uint64_t ns) { slept += ns; };
+    svc::session_client client(restarting_transport(path("store")), copt);
+    const auto outcome = client.run_wave(wave_jobs());
+    EXPECT_TRUE(outcome.complete);
+    EXPECT_EQ(outcome.attempts, 1u);
+    EXPECT_EQ(outcome.resumes, 0u);
+    EXPECT_EQ(outcome.resubmits, 0u);
+    EXPECT_EQ(slept, 0u) << "no retry, no backoff";
+    EXPECT_EQ(outcome.results.size(), wave_jobs().size());
+    EXPECT_FALSE(outcome.merged_json.empty());
+}
+
+TEST_F(durability_test, client_resumes_after_a_torn_response)
+{
+    // Reference: the same wave over a clean transport.
+    svc::session_client::options ref_opt;
+    ref_opt.tenant = "t";
+    svc::session_client ref(restarting_transport(path("ref-store")), ref_opt);
+    const auto want = ref.run_wave(wave_jobs());
+    ASSERT_TRUE(want.complete);
+
+    // Tear every first response at each of several cut points; the client
+    // must resume and converge on byte-identical results.
+    const auto inner = restarting_transport(path("store"));
+    for (const std::size_t cut : {1u, 9u, 40u, 120u}) {
+        fs::remove_all(path("store"));
+        unsigned calls = 0;
+        std::uint64_t slept = 0;
+        svc::session_client::options copt;
+        copt.tenant = "t";
+        copt.sleep = [&](std::uint64_t ns) { slept += ns; };
+        svc::session_client client(
+            [&](const std::string& request) {
+                const std::string full = inner(request);
+                return calls++ == 0 ? full.substr(0, std::min(cut, full.size()))
+                                    : full;
+            },
+            copt);
+        const auto outcome = client.run_wave(wave_jobs());
+        EXPECT_TRUE(outcome.complete) << "cut=" << cut;
+        EXPECT_GE(outcome.attempts, 2u) << "cut=" << cut;
+        EXPECT_EQ(outcome.resumes + outcome.resubmits, outcome.attempts - 1)
+            << "cut=" << cut;
+        EXPECT_GT(slept, 0u) << "retries must back off";
+        EXPECT_EQ(outcome.merged_json, want.merged_json) << "cut=" << cut;
+        ASSERT_EQ(outcome.results.size(), want.results.size()) << "cut=" << cut;
+        for (std::size_t i = 0; i < want.results.size(); ++i) {
+            EXPECT_EQ(svc::encode_result(outcome.results[i]),
+                      svc::encode_result(want.results[i]))
+                << "cut=" << cut << " result " << i;
+        }
+    }
+}
+
+TEST_F(durability_test, client_throws_when_a_replay_contradicts_a_held_seq)
+{
+    svc::wire_result first;
+    first.seq = 1;
+    first.client_id = 1;
+    first.result.tasks_executed = 1;
+    svc::wire_result lie = first;
+    lie.result.tasks_executed = 2;  // same seq, different bytes
+
+    unsigned calls = 0;
+    svc::session_client::options copt;
+    copt.tenant = "t";
+    svc::session_client client(
+        [&](const std::string&) {
+            svc::mem_pipe out;
+            svc::write_frame(out, svc::frame_type::session,
+                             svc::encode_session({1, 1}));
+            svc::write_frame(out, svc::frame_type::result,
+                             svc::encode_result(calls++ == 0 ? first : lie));
+            // No wave_done: force a resume, which then contradicts.
+            std::string response;
+            response.resize(out.size());
+            out.read(response.data(), response.size());
+            return response;
+        },
+        copt);
+    EXPECT_THROW(client.run_wave(wave_jobs()), svc::wire_error);
+}
+
+TEST_F(durability_test, client_resubmits_when_there_is_nothing_to_resume)
+{
+    const auto inner = restarting_transport(path("store"));
+    unsigned calls = 0;
+    svc::session_client::options copt;
+    copt.tenant = "t";
+    svc::session_client client(
+        [&](const std::string& request) {
+            const unsigned call = calls++;
+            if (call == 0) {
+                // Session frame only, then the connection dies.
+                svc::mem_pipe out;
+                svc::write_frame(out, svc::frame_type::session,
+                                 svc::encode_session({1, 1}));
+                std::string response;
+                response.resize(out.size());
+                out.read(response.data(), response.size());
+                return response;
+            }
+            if (call == 1) {
+                // The resume is disowned.
+                svc::mem_pipe out;
+                svc::write_frame(out, svc::frame_type::error,
+                                 svc::encode_reject({0, 0, "nothing to resume"}));
+                std::string response;
+                response.resize(out.size());
+                out.read(response.data(), response.size());
+                return response;
+            }
+            return inner(request);
+        },
+        copt);
+    const auto outcome = client.run_wave(wave_jobs());
+    EXPECT_TRUE(outcome.complete);
+    EXPECT_EQ(outcome.resumes, 1u);
+    EXPECT_EQ(outcome.resubmits, 1u);
+    EXPECT_EQ(outcome.results.size(), wave_jobs().size());
+}
+
+TEST_F(durability_test, backoff_is_pure_exponential_and_capped)
+{
+    static_assert(svc::backoff_ns(0) == 1'000'000);
+    static_assert(svc::backoff_ns(1) == 2'000'000);
+    static_assert(svc::backoff_ns(5) == 32'000'000);
+    static_assert(svc::backoff_ns(10) == 1'000'000'000);
+    static_assert(svc::backoff_ns(63) == 1'000'000'000);
+    for (unsigned a = 1; a < 20; ++a) {
+        EXPECT_GE(svc::backoff_ns(a), svc::backoff_ns(a - 1));
+        EXPECT_LE(svc::backoff_ns(a), 1'000'000'000u);
+    }
+}
+
+}  // namespace

@@ -228,7 +228,10 @@ TEST(wire_frames, frame_round_trip_over_mem_pipe)
     svc::frame f;
     ASSERT_TRUE(svc::read_frame(pipe, f));
     EXPECT_EQ(f.type, svc::frame_type::hello);
-    EXPECT_EQ(svc::decode_hello(f.payload).value_or(""), "tenant-a");
+    const auto hello = svc::decode_hello(f.payload);
+    ASSERT_TRUE(hello.has_value());
+    EXPECT_EQ(hello->tenant, "tenant-a");
+    EXPECT_FALSE(hello->resumable);
     ASSERT_TRUE(svc::read_frame(pipe, f));
     EXPECT_EQ(f.type, svc::frame_type::end_wave);
     EXPECT_TRUE(f.payload.empty());
@@ -263,16 +266,39 @@ TEST(wire_frames, typed_payload_round_trips)
     svc::job_result res;
     res.triggered = true;
     res.decisions = "1,0";
-    const auto result = svc::decode_result(svc::encode_result({3, res}));
+    const auto result = svc::decode_result(svc::encode_result({11, 3, res}));
     ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->seq, 11u);
     EXPECT_EQ(result->client_id, 3u);
     EXPECT_EQ(result->result, res);
 
     const auto reject =
-        svc::decode_reject(svc::encode_reject({0, "unknown program"}));
+        svc::decode_reject(svc::encode_reject({0, 0, "unknown program"}));
     ASSERT_TRUE(reject.has_value());
+    EXPECT_EQ(reject->seq, 0u);
     EXPECT_EQ(reject->client_id, 0u);
     EXPECT_EQ(reject->message, "unknown program");
+
+    const auto resumable_hello =
+        svc::decode_hello(svc::encode_hello("t", /*resumable=*/true));
+    ASSERT_TRUE(resumable_hello.has_value());
+    EXPECT_TRUE(resumable_hello->resumable);
+
+    const auto session = svc::decode_session(svc::encode_session({5, 9}));
+    ASSERT_TRUE(session.has_value());
+    EXPECT_EQ(session->epoch, 5u);
+    EXPECT_EQ(session->resume_from, 9u);
+
+    const auto resume = svc::decode_resume(svc::encode_resume({"t", 5, 2}));
+    ASSERT_TRUE(resume.has_value());
+    EXPECT_EQ(resume->tenant, "t");
+    EXPECT_EQ(resume->epoch, 5u);
+    EXPECT_EQ(resume->last_seq, 2u);
+
+    const auto done = svc::decode_wave_done(svc::encode_wave_done({4, "{}"}));
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->seq, 4u);
+    EXPECT_EQ(done->merged_json, "{}");
 
     EXPECT_FALSE(svc::decode_job("short").has_value());
     EXPECT_FALSE(svc::decode_result("short").has_value());

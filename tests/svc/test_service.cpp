@@ -316,18 +316,25 @@ TEST_F(service_test, serve_streams_canonical_frames_and_survives_bad_jobs)
     EXPECT_NE(reject->message.find("unknown program"), std::string::npos);
 
     // Then one result frame per accepted job, in canonical (not arrival)
-    // order, then wave_done carrying the merged JSON.
+    // order and consecutively sequence-numbered from 1 (the reject carries
+    // seq 0: advisory, outside the replayable stream), then wave_done
+    // carrying the merged JSON.
+    EXPECT_EQ(reject->seq, 0u);
     for (std::size_t i = 0; i < 4; ++i) {
         ASSERT_TRUE(svc::read_frame(out, f));
         ASSERT_EQ(f.type, svc::frame_type::result) << "frame " << i;
         const auto res = svc::decode_result(f.payload);
         ASSERT_TRUE(res.has_value());
+        EXPECT_EQ(res->seq, i + 1);
         EXPECT_EQ(res->client_id, seen.jobs[i].client_id);
         EXPECT_EQ(res->result, seen.results[i]);
     }
     ASSERT_TRUE(svc::read_frame(out, f));
     EXPECT_EQ(f.type, svc::frame_type::wave_done);
-    EXPECT_EQ(f.payload, seen.merged_json);
+    const auto done = svc::decode_wave_done(f.payload);
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->seq, 5u);
+    EXPECT_EQ(done->merged_json, seen.merged_json);
     EXPECT_FALSE(svc::read_frame(out, f));
 
     // The wave's bytes equal a direct in-process run of the same set.

@@ -1,0 +1,221 @@
+// jsk::svc — wire-framing robustness: the torn-frame fuzz.
+//
+// The resume protocol hinges on one classification being exact: a response
+// cut at a frame boundary is a clean EOF (the conversation simply ended),
+// and a response cut anywhere *inside* a frame is a torn connection
+// (wire_error — resume and replay). This suite truncates a stream holding
+// every frame type at every byte offset and asserts the classification
+// never misfires in either direction, then fuzzes every typed payload
+// decoder with every prefix of its canonical encoding.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/wire.h"
+
+namespace {
+
+using namespace jsk;
+
+svc::job_result sample_result()
+{
+    svc::job_result r;
+    r.triggered = true;
+    r.tasks_executed = 41;
+    r.faults_injected = 3;
+    r.journal_digest = 0xDEADBEEFCAFEF00DULL;
+    r.trace_digest = 0x1234;
+    r.decisions = "0,1,0,2";
+    return r;
+}
+
+svc::wire_job sample_job()
+{
+    svc::wire_job j;
+    j.client_id = 7;
+    j.key.seed = 17;
+    j.key.plan = "p";
+    j.key.decisions = "";
+    j.key.defense = "jskernel";
+    j.key.program = "cve-2017-5753";
+    return j;
+}
+
+/// One of every frame type, in a plausible conversation order.
+std::vector<std::pair<svc::frame_type, std::string>> all_frames()
+{
+    svc::wire_result res;
+    res.seq = 3;
+    res.client_id = 9;
+    res.result = sample_result();
+    return {
+        {svc::frame_type::hello, svc::encode_hello("tenant-a", true)},
+        {svc::frame_type::job, svc::encode_job(sample_job())},
+        {svc::frame_type::end_wave, std::string()},
+        {svc::frame_type::session, svc::encode_session({6, 4})},
+        {svc::frame_type::result, svc::encode_result(res)},
+        {svc::frame_type::error, svc::encode_reject({2, 5, "bad job"})},
+        {svc::frame_type::wave_done, svc::encode_wave_done({4, "{\"m\":1}"})},
+        {svc::frame_type::resume, svc::encode_resume({"tenant-a", 6, 2})},
+    };
+}
+
+std::string frame_bytes(svc::frame_type t, const std::string& payload)
+{
+    svc::mem_pipe p;
+    svc::write_frame(p, t, payload);
+    std::string out;
+    out.resize(p.size());
+    p.read(out.data(), out.size());
+    return out;
+}
+
+// --- torn-frame classification ----------------------------------------------
+
+TEST(wire_torn, every_truncation_of_every_frame_type_classifies_exactly)
+{
+    // Stream layout: remember where each frame ends.
+    std::string stream;
+    std::vector<std::size_t> boundaries = {0};
+    for (const auto& [type, payload] : all_frames()) {
+        stream += frame_bytes(type, payload);
+        boundaries.push_back(stream.size());
+    }
+
+    for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+        const std::string torn = stream.substr(0, cut);
+        svc::string_source src(torn);
+        svc::frame f;
+        std::size_t parsed = 0;
+        bool tore = false;
+        try {
+            while (svc::read_frame(src, f)) ++parsed;
+        } catch (const svc::wire_error&) {
+            tore = true;
+        }
+
+        // Every frame wholly inside the cut must have parsed.
+        std::size_t whole = 0;
+        while (whole + 1 < boundaries.size() && boundaries[whole + 1] <= cut) {
+            ++whole;
+        }
+        EXPECT_EQ(parsed, whole) << "cut=" << cut;
+
+        const bool at_boundary = boundaries[whole] == cut;
+        EXPECT_EQ(tore, !at_boundary)
+            << "cut=" << cut << ": a cut " << (at_boundary ? "at" : "inside")
+            << " a frame boundary must " << (at_boundary ? "not " : "")
+            << "classify as torn";
+    }
+}
+
+TEST(wire_torn, unknown_type_byte_is_torn_not_eof)
+{
+    std::string bytes;
+    bytes.push_back(static_cast<char>(0x2A));  // no such frame type
+    bytes.append(4, '\0');                     // zero-length payload
+    svc::string_source src(bytes);
+    svc::frame f;
+    EXPECT_THROW(svc::read_frame(src, f), svc::wire_error);
+}
+
+TEST(wire_torn, oversized_length_prefix_is_rejected_before_allocation)
+{
+    const std::uint32_t huge = svc::max_frame_payload + 1;
+    std::string bytes;
+    bytes.push_back(static_cast<char>(svc::frame_type::result));
+    for (int i = 0; i < 4; ++i) {
+        bytes.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+    }
+    svc::string_source src(bytes);
+    svc::frame f;
+    EXPECT_THROW(svc::read_frame(src, f), svc::wire_error);
+}
+
+// --- payload-decoder prefix fuzz --------------------------------------------
+
+/// Every prefix of a canonical payload must decode to nullopt or a valid
+/// value — never crash, never throw. The full payload must round-trip.
+template <typename Decode>
+void fuzz_prefixes(const std::string& payload, Decode&& decode)
+{
+    for (std::size_t n = 0; n < payload.size(); ++n) {
+        EXPECT_NO_THROW((void)decode(payload.substr(0, n))) << "prefix " << n;
+    }
+    EXPECT_TRUE(decode(payload).has_value());
+}
+
+TEST(wire_fuzz, hello_prefixes)
+{
+    fuzz_prefixes(svc::encode_hello("tenant-a", true),
+                  [](const std::string& p) { return svc::decode_hello(p); });
+    // The legacy encoding (no capability byte) stays decodable...
+    const auto legacy = svc::decode_hello(svc::encode_hello("t", false));
+    ASSERT_TRUE(legacy.has_value());
+    EXPECT_FALSE(legacy->resumable);
+    // ...an out-of-range flag byte and trailing garbage are not.
+    EXPECT_FALSE(svc::decode_hello(svc::encode_hello("t", false) + '\x02'));
+    EXPECT_FALSE(svc::decode_hello(svc::encode_hello("t", true) + '\x00'));
+}
+
+TEST(wire_fuzz, job_prefixes)
+{
+    const std::string payload = svc::encode_job(sample_job());
+    fuzz_prefixes(payload,
+                  [](const std::string& p) { return svc::decode_job(p); });
+    EXPECT_FALSE(svc::decode_job(payload + 'x'));
+}
+
+TEST(wire_fuzz, result_prefixes)
+{
+    svc::wire_result r;
+    r.seq = 11;
+    r.client_id = 3;
+    r.result = sample_result();
+    const std::string payload = svc::encode_result(r);
+    fuzz_prefixes(payload,
+                  [](const std::string& p) { return svc::decode_result(p); });
+    EXPECT_FALSE(svc::decode_result(payload + 'x'));
+}
+
+TEST(wire_fuzz, reject_prefixes)
+{
+    const std::string payload = svc::encode_reject({2, 5, "no"});
+    fuzz_prefixes(payload,
+                  [](const std::string& p) { return svc::decode_reject(p); });
+    EXPECT_FALSE(svc::decode_reject(payload + 'x'));
+}
+
+TEST(wire_fuzz, wave_done_prefixes)
+{
+    const std::string payload = svc::encode_wave_done({4, "{\"rows\":[]}"});
+    fuzz_prefixes(payload, [](const std::string& p) {
+        return svc::decode_wave_done(p);
+    });
+    // The JSON is the unprefixed tail, so extra bytes extend it rather than
+    // invalidating the frame — only a truncated seq can fail.
+    const auto extended = svc::decode_wave_done(payload + 'x');
+    ASSERT_TRUE(extended.has_value());
+    EXPECT_EQ(extended->merged_json, "{\"rows\":[]}x");
+}
+
+TEST(wire_fuzz, resume_prefixes)
+{
+    const std::string payload = svc::encode_resume({"tenant-a", 6, 2});
+    fuzz_prefixes(payload,
+                  [](const std::string& p) { return svc::decode_resume(p); });
+    EXPECT_FALSE(svc::decode_resume(payload + 'x'));
+}
+
+TEST(wire_fuzz, session_prefixes)
+{
+    const std::string payload = svc::encode_session({7, 8});
+    fuzz_prefixes(payload,
+                  [](const std::string& p) { return svc::decode_session(p); });
+    EXPECT_FALSE(svc::decode_session(payload + 'x'));
+}
+
+}  // namespace
