@@ -25,13 +25,17 @@
 #include <cctype>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attacks/explore_sweep.h"
+#include "attacks/wm_litmus.h"
 #include "bench/bench_util.h"
 #include "core/world.h"
 #include "sim/explore.h"
+#include "wm/model.h"
 
 namespace {
 
@@ -169,6 +173,43 @@ int main(int argc, char** argv)
     report.set("meets_reduction_target", static_cast<std::uint64_t>(meets ? 1 : 0));
     std::printf("median DFS reduction ratio: %.1fx (target >= 10x: %s)\n",
                 median_ratio, meets ? "met" : "NOT met");
+
+    // --- relaxed vs seqcst: the second search axis --------------------------
+    // Per litmus program: schedules to exhaust the seqcst tree (the cost of
+    // the "provably unreachable" half) vs schedules to the relaxed witness,
+    // plain and under DPOR. Non-gating — tracked through the artifact.
+    std::printf("\n");
+    jsk::bench::print_row(
+        {"litmus", "seqcst-exhaust", "relaxed", "relaxed+dpor"});
+    jsk::bench::print_rule(4);
+    bool wm_all_found = true;
+    const std::vector<
+        std::pair<std::string, std::function<explore::program(jsk::wm::mode)>>>
+        litmus = {
+            {"sb", [](jsk::wm::mode m) { return jsk::attacks::sb_litmus_program(m); }},
+            {"mp", [](jsk::wm::mode m) { return jsk::attacks::mp_litmus_program(m); }},
+            {"torn",
+             [](jsk::wm::mode m) { return jsk::attacks::torn_counter_program(m); }},
+        };
+    for (const auto& [name, make] : litmus) {
+        explore::options sc_opt;
+        sc_opt.max_schedules = 100'000;
+        const auto sc = explore::explore_dfs(make(jsk::wm::mode::seqcst), sc_opt);
+        const dfs_cell relaxed =
+            run_dfs(make(jsk::wm::mode::relaxed), /*dpor=*/false, 100'000);
+        const dfs_cell relaxed_dpor =
+            run_dfs(make(jsk::wm::mode::relaxed), /*dpor=*/true, 100'000);
+        wm_all_found = wm_all_found && !sc.failing.has_value() && sc.exhausted &&
+                       relaxed.to_witness > 0 && relaxed_dpor.to_witness > 0;
+        report.set(name + "_seqcst_exhaust_schedules", sc.schedules_run);
+        report.set(name + "_relaxed_to_witness", relaxed.to_witness);
+        report.set(name + "_relaxed_to_witness_dpor", relaxed_dpor.to_witness);
+        jsk::bench::print_row({name, std::to_string(sc.schedules_run),
+                               std::to_string(relaxed.to_witness),
+                               std::to_string(relaxed_dpor.to_witness)});
+    }
+    report.set("wm_relaxed_witnesses_found",
+               static_cast<std::uint64_t>(wm_all_found ? 1 : 0));
 
     const std::string dir = jsk::bench::json_out_dir(argc, argv);
     if (!dir.empty()) report.write(dir);

@@ -17,6 +17,10 @@
 // canonical cell order, so the table — and the --json aggregate — is
 // byte-identical for every jobs count. Cache stats print to stderr at exit.
 //
+// Both forms accept `--memory-model seqcst|relaxed` (default seqcst); the
+// model is applied to every trial world, stamped into witness-cache keys
+// ("+relaxed" program tag) and recorded in `--json` aggregates.
+//
 // The run is deterministic: same arguments, byte-identical trace. The
 // summary line reports what the kernel had to absorb (injected faults,
 // watchdog cancellations, fetch retries) and whether the monitor fired.
@@ -32,24 +36,27 @@
 #include "attacks/chaos_sweep.h"
 #include "faults/plan.h"
 #include "par/cache.h"
+#include "wm/model.h"
 
 namespace {
 
 namespace jk = jsk;
 
-int run_matrix(std::size_t cves, std::size_t plans, std::size_t jobs, bool as_json)
+int run_matrix(std::size_t cves, std::size_t plans, std::size_t jobs, bool as_json,
+               jk::wm::mode model)
 {
     const auto cells = jk::attacks::default_chaos_cells(cves, plans);
     jk::par::result_cache<jk::attacks::chaos_cell_result> cache;
     jk::attacks::chaos_matrix_options opt;
     opt.jobs = jobs;
     opt.cache = &cache;
+    opt.trial.model = model;
     const auto m = jk::attacks::run_chaos_matrix(cells, opt);
     const auto stats = cache.snapshot();
     std::cerr << "cache: " << stats.hits << " hits, " << stats.misses
               << " misses, " << stats.entries << " entries\n";
     if (as_json) {
-        std::cout << jk::attacks::chaos_matrix_json(m) << "\n";
+        std::cout << jk::attacks::chaos_matrix_json(m, model) << "\n";
         return 0;
     }
     std::cout << "cve             defense   plan#  trig  tasks    faults  wdog  retries\n";
@@ -92,6 +99,33 @@ jk::faults::plan parse_plan_arg(const std::string& arg)
     return jk::faults::plan::sample(std::strtoull(arg.c_str(), nullptr, 10));
 }
 
+/// Strip --memory-model from (argc, argv)-style args; returns false (after
+/// printing) on an unknown model name.
+bool strip_memory_model(std::vector<std::string>& args, jk::wm::mode& model)
+{
+    std::vector<std::string> kept;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        std::string name;
+        if (arg == "--memory-model" && i + 1 < args.size()) {
+            name = args[++i];
+        } else if (arg.rfind("--memory-model=", 0) == 0) {
+            name = arg.substr(15);
+        } else {
+            kept.push_back(arg);
+            continue;
+        }
+        const auto parsed = jk::wm::parse_mode(name);
+        if (!parsed) {
+            std::cerr << "unknown memory model '" << name << "' (want seqcst|relaxed)\n";
+            return false;
+        }
+        model = *parsed;
+    }
+    args = std::move(kept);
+    return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -100,6 +134,7 @@ int main(int argc, char** argv)
     if (argc > 1 && std::string(argv[1]) == "matrix") {
         std::size_t jobs = 0;
         bool as_json = false;
+        jk::wm::mode model = jk::wm::mode::seqcst;
         std::vector<std::string> args;
         for (int i = 2; i < argc; ++i) {
             const std::string arg = argv[i];
@@ -113,33 +148,38 @@ int main(int argc, char** argv)
                 args.push_back(arg);
             }
         }
+        if (!strip_memory_model(args, model)) return 2;
         const std::size_t cves =
             !args.empty() ? std::strtoull(args[0].c_str(), nullptr, 10) : 3;
         const std::size_t plans =
             args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 3;
         try {
-            return run_matrix(cves, plans, jobs, as_json);
+            return run_matrix(cves, plans, jobs, as_json, model);
         } catch (const std::exception& e) {
             std::cerr << "matrix failed: " << e.what() << "\n";
             return 2;
         }
     }
-    if (argc > 1 && std::string(argv[1]).rfind("--", 0) == 0) {
+    jk::wm::mode model = jk::wm::mode::seqcst;
+    std::vector<std::string> rest;
+    for (int i = 1; i < argc; ++i) rest.push_back(argv[i]);
+    if (!strip_memory_model(rest, model)) return 2;
+    if (!rest.empty() && rest[0].rfind("--", 0) == 0) {
         std::cerr << "usage: chaos_cli [cve|program:<seed>] [plan] [out.trace.json]"
-                     " [browser_seed]\n"
+                     " [browser_seed] [--memory-model seqcst|relaxed]\n"
                      "       chaos_cli matrix [cves] [plans] [--jobs N] [--json]\n"
                      "       chaos_cli --list\n";
         return 2;
     }
 
-    const std::string target = argc > 1 ? argv[1] : "CVE-2018-5092";
-    const std::string plan_arg = argc > 2 ? argv[2] : "1";
-    std::string out_path = argc > 3 ? argv[3] : target + ".chaos.trace.json";
+    const std::string target = !rest.empty() ? rest[0] : "CVE-2018-5092";
+    const std::string plan_arg = rest.size() > 1 ? rest[1] : "1";
+    std::string out_path = rest.size() > 2 ? rest[2] : target + ".chaos.trace.json";
     for (char& c : out_path) {
         if (c == ':') c = '_';  // "program:3" -> filesystem-safe default name
     }
     const std::uint64_t browser_seed =
-        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 17;
+        rest.size() > 3 ? std::strtoull(rest[3].c_str(), nullptr, 10) : 17;
 
     jk::faults::plan plan;
     try {
@@ -149,16 +189,18 @@ int main(int argc, char** argv)
         return 2;
     }
 
+    jk::attacks::chaos_options copt;
+    copt.model = model;
     jk::attacks::chaos_trial_result result;
     try {
         if (target.rfind("program:", 0) == 0) {
             const std::uint64_t program_seed =
                 std::strtoull(target.c_str() + 8, nullptr, 10);
             result = jk::attacks::run_chaos_program(program_seed, /*with_jskernel=*/true,
-                                                    plan, browser_seed);
+                                                    plan, browser_seed, copt);
         } else {
             result = jk::attacks::run_chaos_trial(target, /*with_jskernel=*/true, plan,
-                                                  browser_seed);
+                                                  browser_seed, copt);
         }
     } catch (const std::exception& e) {
         std::cerr << "trial failed: " << e.what() << " (try --list)\n";

@@ -13,6 +13,11 @@
 // table). Output is byte-identical for every jobs count. Cache hit/miss
 // stats print to stderr at exit.
 //
+// Every mode accepts `--memory-model seqcst|relaxed` (default seqcst — the
+// historical strongly-consistent behaviour; relaxed turns unordered SAB
+// reads into explorer-steered reads-from choices). The model is recorded in
+// `--json` output and in witness-cache keys ("+relaxed" program tag).
+//
 // Decision strings are the compact base-36 form printed by the other modes
 // ("021…", "{n}" for indices >= 36); an empty string replays the default
 // schedule.
@@ -26,6 +31,7 @@
 #include "defenses/schedule_audit.h"
 #include "par/cache.h"
 #include "sim/explore.h"
+#include "wm/model.h"
 
 namespace {
 
@@ -36,23 +42,25 @@ int usage()
     std::cerr << "usage: explore_cli matrix [walks] [--jobs N] [--json]\n"
                  "       explore_cli find <cve> [walks] [seed]\n"
                  "       explore_cli replay <cve> <decisions>\n"
-                 "       explore_cli audit <program-seed> [schedules]\n";
+                 "       explore_cli audit <program-seed> [schedules]\n"
+                 "flags: --memory-model seqcst|relaxed (default seqcst)\n";
     return 2;
 }
 
-int run_matrix(std::uint64_t walks, std::size_t jobs, bool as_json)
+int run_matrix(std::uint64_t walks, std::size_t jobs, bool as_json, jsk::wm::mode model)
 {
     jsk::par::result_cache<jsk::attacks::cve_trial_outcome> cache;
     jsk::attacks::matrix_options opt;
     opt.explore.seed = 101;
     opt.jobs = jobs;
     opt.cache = &cache;
+    opt.model = model;
     const auto rows = jsk::attacks::explore_cve_matrix(walks, opt);
     const auto stats = cache.snapshot();
     std::cerr << "cache: " << stats.hits << " hits, " << stats.misses
               << " misses, " << stats.entries << " entries\n";
     if (as_json) {
-        std::cout << jsk::attacks::cve_matrix_json(rows) << "\n";
+        std::cout << jsk::attacks::cve_matrix_json(rows, model) << "\n";
         return 0;
     }
     std::cout << "cve             plain(trig/run)  jskernel(trig/run)  witness\n";
@@ -71,12 +79,14 @@ int run_matrix(std::uint64_t walks, std::size_t jobs, bool as_json)
     return table_holds ? 0 : 1;
 }
 
-int run_find(const std::string& cve, std::uint64_t walks, std::uint64_t seed)
+int run_find(const std::string& cve, std::uint64_t walks, std::uint64_t seed,
+             jsk::wm::mode model)
 {
     explore::options opt;
     opt.max_schedules = walks;
     opt.seed = seed;
-    const auto program = jsk::attacks::cve_trigger_program(cve, /*with_jskernel=*/false);
+    const auto program =
+        jsk::attacks::cve_trigger_program(cve, /*with_jskernel=*/false, 17, model);
     const auto found = explore::explore_random(program, opt);
     if (!found.failing) {
         std::cout << cve << ": no triggering schedule in " << found.schedules_run
@@ -98,14 +108,16 @@ int run_find(const std::string& cve, std::uint64_t walks, std::uint64_t seed)
     return replayed.violated ? 0 : 1;
 }
 
-int run_replay(const std::string& cve, const std::string& decisions)
+int run_replay(const std::string& cve, const std::string& decisions,
+               jsk::wm::mode model)
 {
     const auto parsed = explore::schedule::parse(decisions);
     if (!parsed) {
         std::cerr << "malformed decision string: \"" << decisions << "\"\n";
         return 2;
     }
-    const auto program = jsk::attacks::cve_trigger_program(cve, /*with_jskernel=*/false);
+    const auto program =
+        jsk::attacks::cve_trigger_program(cve, /*with_jskernel=*/false, 17, model);
     const auto out = explore::replay(*parsed, program);
     std::cout << cve << " under \"" << parsed->str() << "\": "
               << (out.violated ? "TRIGGERED" : "not triggered") << "\n";
@@ -135,6 +147,7 @@ int main(int argc, char** argv)
     // arguments keep their historical indices.
     std::size_t jobs = 0;  // 0 = hardware concurrency
     bool as_json = false;
+    jsk::wm::mode model = jsk::wm::mode::seqcst;
     std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -144,6 +157,18 @@ int main(int argc, char** argv)
             jobs = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg.rfind("--jobs=", 0) == 0) {
             jobs = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        } else if ((arg == "--memory-model" && i + 1 < argc) ||
+                   arg.rfind("--memory-model=", 0) == 0) {
+            const std::string name = arg.rfind("--memory-model=", 0) == 0
+                                         ? arg.substr(15)
+                                         : std::string(argv[++i]);
+            const auto parsed = jsk::wm::parse_mode(name);
+            if (!parsed) {
+                std::cerr << "unknown memory model '" << name
+                          << "' (want seqcst|relaxed)\n";
+                return 2;
+            }
+            model = *parsed;
         } else {
             args.push_back(arg);
         }
@@ -154,14 +179,17 @@ int main(int argc, char** argv)
         if (mode == "matrix") {
             return run_matrix(
                 args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 16,
-                jobs, as_json);
+                jobs, as_json, model);
         }
         if (mode == "find" && args.size() >= 2) {
             return run_find(args[1],
                             args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 32,
-                            args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 11);
+                            args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 11,
+                            model);
         }
-        if (mode == "replay" && args.size() >= 3) return run_replay(args[1], args[2]);
+        if (mode == "replay" && args.size() >= 3) {
+            return run_replay(args[1], args[2], model);
+        }
         if (mode == "audit" && args.size() >= 2) {
             return run_audit(std::strtoull(args[1].c_str(), nullptr, 10),
                              args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 100);

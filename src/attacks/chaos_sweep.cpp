@@ -59,6 +59,10 @@ trial_refs drive_chaos_trial(core::world& w, cve_exploit_fn exploit,
     trial_refs refs;
     refs.inj = new faults::injector(p);
     w.browser.set_fault_injector(refs.inj);
+    // Memory model is per-trial world state, like the injector: set inside
+    // the (rolled-back) fork on the snapshot path, so one snapshot serves
+    // both models.
+    w.browser.set_memory_model(opt.model);
     if (random_program) {
         refs.log = std::make_shared<workloads::observation_log>();
         workloads::install_random_program(w.browser, program_seed, refs.log);
@@ -226,7 +230,7 @@ chaos_matrix_result run_chaos_matrix(const std::vector<chaos_cell>& cells,
             key.seed = cell.browser_seed;
             key.plan = cell.fault_plan.str();
             key.defense = cell.with_jskernel ? "jskernel" : "plain";
-            key.program = cell.cve;
+            key.program = cell.cve + wm::program_tag(opt.trial.model);
             if (const auto hit = opt.cache->lookup(key)) return *hit;
         }
 
@@ -269,7 +273,7 @@ chaos_matrix_result run_chaos_matrix(const std::vector<chaos_cell>& cells,
     return m;
 }
 
-std::string chaos_matrix_json(const chaos_matrix_result& m)
+std::string chaos_matrix_json(const chaos_matrix_result& m, wm::mode model)
 {
     namespace json = kernel::json;
     json::array rows;
@@ -294,6 +298,9 @@ std::string chaos_matrix_json(const chaos_matrix_result& m)
     }
     json::object root;
     root.emplace("cells", json::value{std::move(rows)});
+    if (model == wm::mode::relaxed) {
+        root.emplace("memory_model", json::value{std::string(wm::to_string(model))});
+    }
     root.emplace("metrics", m.merged_metrics.snapshot());
     return json::dump(json::value{std::move(root)});
 }

@@ -27,6 +27,7 @@
 #include "obs/metrics.h"
 #include "par/cache.h"
 #include "sim/time.h"
+#include "wm/model.h"
 
 namespace jsk::attacks {
 
@@ -38,6 +39,12 @@ struct chaos_options {
     double fetch_retry_base_ms = 25.0;
     sim::time_ns deadline = 60 * sim::sec;
     std::uint64_t task_cap = 400'000;  // liveness backstop, never legitimately hit
+    /// SAB memory model the trial world runs under (applied per trial, like
+    /// the injector — never part of the snapshot recipe). Chaos trials run
+    /// uncontrolled, so `relaxed` here exercises the default rf choice
+    /// (candidate 0 = committed memory) plus the event-recording overhead;
+    /// weak-memory *search* lives in the explore sweep.
+    wm::mode model = wm::mode::seqcst;
 };
 
 /// Everything a chaos trial yields: the oracle strings (byte-compared across
@@ -157,7 +164,9 @@ chaos_matrix_result run_chaos_matrix(const std::vector<chaos_cell>& cells,
                                      const chaos_matrix_options& opt = {});
 
 /// Canonical aggregate serialization (kernel::json dump): per-cell rows in
-/// order plus the merged metrics snapshot.
-std::string chaos_matrix_json(const chaos_matrix_result& m);
+/// order plus the merged metrics snapshot. A root "memory_model" field is
+/// emitted only when `model` is relaxed, keeping seqcst goldens byte-stable.
+std::string chaos_matrix_json(const chaos_matrix_result& m,
+                              wm::mode model = wm::mode::seqcst);
 
 }  // namespace jsk::attacks

@@ -35,11 +35,16 @@ cve_exploit_fn find_exploit(const std::string& cve_id)
 bool drive_cve_trial(core::world& w, const cve_exploit_fn& exploit,
                      const std::string& cve_id,
                      const std::optional<defenses::defense_id>& defense,
-                     std::uint64_t browser_seed, sim::explore::controller& ctl)
+                     std::uint64_t browser_seed, sim::explore::controller& ctl,
+                     wm::mode model = wm::mode::seqcst)
 {
     // Attach before the defense installs so every task — including kernel
     // bookkeeping — runs under the controlled schedule.
     ctl.attach(w.browser.sim());
+    // Memory model is per-world state like the defense install: set after the
+    // controller attaches (rf choices must be steered) and restored by the
+    // fork rollback on the snapshot path.
+    w.browser.set_memory_model(model);
     std::unique_ptr<defenses::defense> def;
     if (defense) {
         def = defenses::make_defense(*defense, browser_seed);
@@ -77,7 +82,8 @@ core::world_recipe cve_world_recipe(const cve_trial_spec& spec)
 }
 
 bool run_cve_trial(const std::string& cve_id, bool with_jskernel,
-                   sim::explore::controller& ctl, std::uint64_t browser_seed)
+                   sim::explore::controller& ctl, std::uint64_t browser_seed,
+                   wm::mode model)
 {
     const cve_exploit_fn exploit = find_exploit(cve_id);
     core::world_recipe recipe;
@@ -85,7 +91,7 @@ bool run_cve_trial(const std::string& cve_id, bool with_jskernel,
     core::world w(recipe);
     const std::optional<defenses::defense_id> defense =
         with_jskernel ? std::optional(defenses::defense_id::jskernel) : std::nullopt;
-    return drive_cve_trial(w, exploit, cve_id, defense, browser_seed, ctl);
+    return drive_cve_trial(w, exploit, cve_id, defense, browser_seed, ctl, model);
 }
 
 cve_trial_outcome run_cve_trial_fresh(const cve_trial_spec& spec,
@@ -97,7 +103,7 @@ cve_trial_outcome run_cve_trial_fresh(const cve_trial_spec& spec,
     ctl.set_window(walk.window);
     cve_trial_outcome out;
     out.triggered = drive_cve_trial(w, exploit, spec.cve, spec.defense,
-                                    spec.browser_seed, ctl);
+                                    spec.browser_seed, ctl, spec.model);
     out.decisions = harvested_decisions(ctl);
     return out;
 }
@@ -119,7 +125,7 @@ cve_trial_outcome run_cve_trial_forked(core::world_snapshot& snap,
         ctl = new sim::explore::controller(walk.prefix, walk.tail, walk.walk_seed);
         ctl->set_window(walk.window);
         triggered = drive_cve_trial(w, exploit, spec.cve, spec.defense,
-                                    spec.browser_seed, *ctl);
+                                    spec.browser_seed, *ctl, spec.model);
     });
     // Harvest with the scope off (allocations go to the caller's heap) but
     // before ~fork restores (the controller's arena storage is still live).
@@ -129,12 +135,12 @@ cve_trial_outcome run_cve_trial_forked(core::world_snapshot& snap,
 }
 
 sim::explore::program cve_trigger_program(std::string cve_id, bool with_jskernel,
-                                          std::uint64_t browser_seed)
+                                          std::uint64_t browser_seed, wm::mode model)
 {
-    return [cve_id = std::move(cve_id), with_jskernel,
-            browser_seed](sim::explore::controller& ctl) {
+    return [cve_id = std::move(cve_id), with_jskernel, browser_seed,
+            model](sim::explore::controller& ctl) {
         sim::explore::run_outcome out;
-        out.violated = run_cve_trial(cve_id, with_jskernel, ctl, browser_seed);
+        out.violated = run_cve_trial(cve_id, with_jskernel, ctl, browser_seed, model);
         if (out.violated) out.detail = cve_id + " triggered";
         return out;
     };
@@ -156,13 +162,13 @@ constexpr std::size_t k_reserve_decisions = 1 << 16;
 }  // namespace
 
 sim::explore::program cve_trigger_program_snap(std::string cve_id, bool with_jskernel,
-                                               std::uint64_t browser_seed)
+                                               std::uint64_t browser_seed, wm::mode model)
 {
-    return [cve_id = std::move(cve_id), with_jskernel,
-            browser_seed](sim::explore::controller& ctl) {
+    return [cve_id = std::move(cve_id), with_jskernel, browser_seed,
+            model](sim::explore::controller& ctl) {
         sim::explore::run_outcome out;
         if (!core::arena::supported()) {
-            out.violated = run_cve_trial(cve_id, with_jskernel, ctl, browser_seed);
+            out.violated = run_cve_trial(cve_id, with_jskernel, ctl, browser_seed, model);
             if (out.violated) out.detail = cve_id + " triggered";
             return out;
         }
@@ -171,6 +177,7 @@ sim::explore::program cve_trigger_program_snap(std::string cve_id, bool with_jsk
         spec.cve = cve_id;
         if (with_jskernel) spec.defense = defenses::defense_id::jskernel;
         spec.browser_seed = browser_seed;
+        spec.model = model;
         core::world_snapshot& snap = tl_program_snaps.get(cve_world_recipe(spec));
         ctl.reserve(k_reserve_decisions);
         bool triggered = false;
@@ -179,7 +186,7 @@ sim::explore::program cve_trigger_program_snap(std::string cve_id, bool with_jsk
             core::world& w = core::snapshot_anchor(snap);
             fk.step([&] {
                 triggered = drive_cve_trial(w, exploit, cve_id, spec.defense,
-                                            browser_seed, ctl);
+                                            browser_seed, ctl, spec.model);
             });
             if (ctl.storage_within(
                     [](const void* p) { return core::arena::contains(p); })) {
@@ -279,7 +286,7 @@ std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
             key.seed = walk == 0 ? opt.browser_seed
                                  : sim::split(opt.browser_seed, walk_seed);
             key.defense = with_kernel ? "jskernel" : "plain";
-            key.program = id;
+            key.program = id + wm::program_tag(opt.model);
             if (const auto hit = opt.cache->lookup(key)) return *hit;
         }
 
@@ -289,6 +296,7 @@ std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
         spec.browser_seed = opt.browser_seed;
         spec.site_ranks = opt.site_ranks;
         spec.site_seed = opt.site_seed;
+        spec.model = opt.model;
         cve_walk_spec wspec;
         wspec.tail = walk == 0 ? sim::explore::controller::tail_policy::first
                                : sim::explore::controller::tail_policy::random;
@@ -312,7 +320,7 @@ std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
             replay_key.seed = opt.browser_seed;
             replay_key.decisions = out.decisions;
             replay_key.defense = key.defense;
-            replay_key.program = id;
+            replay_key.program = id + wm::program_tag(opt.model);
             opt.cache->insert(replay_key, out);
         }
         return out;
@@ -364,13 +372,16 @@ std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
     return explore_cve_matrix(walks_per_cell, mopt);
 }
 
-std::string cve_matrix_json(const std::vector<cve_schedule_row>& rows)
+std::string cve_matrix_json(const std::vector<cve_schedule_row>& rows, wm::mode model)
 {
     namespace json = kernel::json;
     json::array out;
     for (const auto& row : rows) {
         json::object rec;
         rec.emplace("cve", json::value{row.cve});
+        if (model == wm::mode::relaxed) {
+            rec.emplace("memory_model", json::value{std::string(wm::to_string(model))});
+        }
         rec.emplace("plain_schedules", json::value{static_cast<double>(row.plain_schedules)});
         rec.emplace("plain_triggered", json::value{static_cast<double>(row.plain_triggered)});
         rec.emplace("kernel_schedules",

@@ -16,6 +16,7 @@
 #include "defenses/defense.h"
 #include "par/cache.h"
 #include "sim/explore.h"
+#include "wm/model.h"
 
 namespace jsk::attacks {
 
@@ -26,7 +27,8 @@ std::vector<std::string> cve_ids();
 /// booted), monitors attached, the documented exploit, run to quiescence.
 /// Returns whether `cve_id`'s state machine fired. Throws on unknown ids.
 bool run_cve_trial(const std::string& cve_id, bool with_jskernel,
-                   sim::explore::controller& ctl, std::uint64_t browser_seed = 17);
+                   sim::explore::controller& ctl, std::uint64_t browser_seed = 17,
+                   wm::mode model = wm::mode::seqcst);
 
 /// One matrix cell-walk outcome — the unit the sweep shards and the witness
 /// cache stores. `decisions` is the recorded (trimmed) schedule, replayable
@@ -48,6 +50,10 @@ struct cve_trial_spec {
     std::uint64_t browser_seed = 17;
     std::vector<std::uint64_t> site_ranks;
     std::uint64_t site_seed = 101;
+    /// SAB memory model the trial world runs under. Applied per fork, right
+    /// after the controller attaches (like the defense install) — never part
+    /// of the snapshot recipe, so one snapshot serves both models.
+    wm::mode model = wm::mode::seqcst;
 };
 
 /// Schedule-drive shape of one trial: the controller run_cve_trial_fresh /
@@ -85,7 +91,8 @@ cve_trial_outcome run_cve_trial_forked(core::world_snapshot& snap,
 /// firing — explore_random/explore_dfs/shrink then search for (or minimize)
 /// a triggering schedule.
 sim::explore::program cve_trigger_program(std::string cve_id, bool with_jskernel,
-                                          std::uint64_t browser_seed = 17);
+                                          std::uint64_t browser_seed = 17,
+                                          wm::mode model = wm::mode::seqcst);
 
 struct cve_schedule_row {
     std::string cve;
@@ -116,6 +123,11 @@ struct matrix_options {
     /// join). Telemetry only: counts depend on worker claim order, so they
     /// never enter the matrix JSON.
     core::fork_stats* fork_stats = nullptr;
+    /// SAB memory model every trial runs under. `relaxed` turns unordered SAB
+    /// reads into explorer-steered reads-from choices; witness keys gain a
+    /// "+relaxed" program tag so cached seqcst results are never recalled for
+    /// relaxed trials (or vice versa).
+    wm::mode model = wm::mode::seqcst;
 };
 
 /// Snapshot-backed sibling of cve_trigger_program: same witness contract,
@@ -127,7 +139,8 @@ struct matrix_options {
 /// the platform has no arena support — safe to hand to any explore driver,
 /// including par::explore_dfs's wave workers.
 sim::explore::program cve_trigger_program_snap(std::string cve_id, bool with_jskernel,
-                                               std::uint64_t browser_seed = 17);
+                                               std::uint64_t browser_seed = 17,
+                                               wm::mode model = wm::mode::seqcst);
 
 /// Synthetic search-hard fixture for the DPOR differential and bench: a
 /// "needle" witness needing two specific order flips (two dependent write
@@ -154,7 +167,10 @@ std::vector<cve_schedule_row> explore_cve_matrix(std::uint64_t walks_per_cell,
 
 /// Canonical aggregate serialization of matrix rows (kernel::json dump —
 /// compact, key-ordered): the byte-comparison oracle for the --jobs
-/// determinism suite and the CLI's --json output.
-std::string cve_matrix_json(const std::vector<cve_schedule_row>& rows);
+/// determinism suite and the CLI's --json output. `model` records the memory
+/// model the sweep ran under; rows gain a "memory_model" field only when it
+/// is relaxed, so historical seqcst goldens are byte-identical.
+std::string cve_matrix_json(const std::vector<cve_schedule_row>& rows,
+                            wm::mode model = wm::mode::seqcst);
 
 }  // namespace jsk::attacks

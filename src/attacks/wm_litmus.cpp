@@ -1,0 +1,118 @@
+#include "attacks/wm_litmus.h"
+
+#include <memory>
+
+#include "defenses/defense.h"
+#include "runtime/browser.h"
+#include "sim/time.h"
+
+namespace jsk::attacks {
+
+namespace {
+
+namespace explore = sim::explore;
+
+constexpr sim::time_ns k_step = 5 * sim::ms;
+
+/// Shared world assembly: attach the controller first (every task runs under
+/// the controlled schedule), switch the memory model, then optionally boot
+/// JSKernel — the same order drive_cve_trial uses.
+std::unique_ptr<defenses::defense> arm_world(rt::browser& b,
+                                             explore::controller& ctl,
+                                             wm::mode model, bool with_jskernel,
+                                             std::uint64_t browser_seed)
+{
+    ctl.attach(b.sim());
+    b.set_memory_model(model);
+    std::unique_ptr<defenses::defense> def;
+    if (with_jskernel) {
+        def = defenses::make_defense(defenses::defense_id::jskernel, browser_seed);
+        def->install(b);
+    }
+    return def;
+}
+
+}  // namespace
+
+explore::program sb_litmus_program(wm::mode model, std::uint64_t browser_seed)
+{
+    return [model, browser_seed](explore::controller& ctl) {
+        rt::browser b{rt::chrome_profile(), browser_seed};
+        rt::context& wa = b.create_context("wa", rt::context_kind::worker);
+        rt::context& wb = b.create_context("wb", rt::context_kind::worker);
+        const auto def = arm_world(b, ctl, model, /*with_jskernel=*/false,
+                                   browser_seed);
+        auto buf = b.main().apis().create_shared_buffer(2);
+        double ra = -1.0;
+        double rb = -1.0;
+        wa.post_task(k_step, [&] {
+            wa.apis().sab_store(buf, 0, 1.0, {});
+            ra = wa.apis().sab_load(buf, 1, {});
+        });
+        wb.post_task(k_step, [&] {
+            wb.apis().sab_store(buf, 1, 1.0, {});
+            rb = wb.apis().sab_load(buf, 0, {});
+        });
+        b.run();
+        const bool weak = ra == 0.0 && rb == 0.0;
+        return explore::run_outcome{weak, "SB: both loads observed 0"};
+    };
+}
+
+explore::program mp_litmus_program(wm::mode model, bool with_jskernel,
+                                   std::uint64_t browser_seed)
+{
+    return [model, with_jskernel, browser_seed](explore::controller& ctl) {
+        rt::browser b{rt::chrome_profile(), browser_seed};
+        rt::context& writer = b.create_context("writer", rt::context_kind::worker);
+        const auto def = arm_world(b, ctl, model, with_jskernel, browser_seed);
+        auto buf = b.main().apis().create_shared_buffer(2);  // [data, flag]
+        writer.post_task(k_step, [&] {
+            writer.apis().sab_store(buf, 0, 42.0, {});  // data
+            writer.apis().sab_store(buf, 1, 1.0, {});   // flag announcement
+        });
+        double flag = -1.0;
+        double data = -1.0;
+        b.main().post_task(k_step, [&] {
+            flag = b.main().apis().sab_load(buf, 1, {});
+            data = b.main().apis().sab_load(buf, 0, {});
+        });
+        b.run();
+        const bool weak = flag == 1.0 && data == 0.0;
+        return explore::run_outcome{weak, "MP: flag seen, data stale"};
+    };
+}
+
+explore::program torn_counter_program(wm::mode model, bool with_jskernel,
+                                      std::uint64_t browser_seed)
+{
+    return [model, with_jskernel, browser_seed](explore::controller& ctl) {
+        rt::browser b{rt::chrome_profile(), browser_seed};
+        rt::context& ticker = b.create_context("ticker", rt::context_kind::worker);
+        const auto def = arm_world(b, ctl, model, with_jskernel, browser_seed);
+        auto buf = b.main().apis().create_shared_buffer(1);
+        // Two ticks of the 64-bit counter, each as a mixed-size lo/hi half
+        // pair — the access shape that makes tearing candidates legal.
+        ticker.post_task(k_step, [&] {
+            for (double tick = 1.0; tick <= 2.0; tick += 1.0) {
+                ticker.apis().sab_store(
+                    buf, 0, tick, {wm::ordering::unordered, wm::part::lo});
+                ticker.apis().sab_store(
+                    buf, 0, tick, {wm::ordering::unordered, wm::part::hi});
+            }
+        });
+        double lo = -1.0;
+        double hi = -1.0;
+        b.main().post_task(k_step, [&] {
+            lo = b.main().apis().sab_load(buf, 0,
+                                          {wm::ordering::unordered, wm::part::lo});
+            hi = b.main().apis().sab_load(buf, 0,
+                                          {wm::ordering::unordered, wm::part::hi});
+        });
+        b.run();
+        const bool torn = lo != hi;
+        return explore::run_outcome{torn, "torn counter sample"};
+    };
+}
+
+}  // namespace jsk::attacks

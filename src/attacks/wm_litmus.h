@@ -1,0 +1,54 @@
+// Weak-memory litmus and attack workloads for the jsk::wm relaxed SAB model.
+//
+// Each factory returns a sim::explore::program whose "violation" is an
+// outcome the *repaired ECMAScript relaxed model* allows but sequential
+// consistency provably forbids. Tasks are atomic in the DES, so under
+// mode::seqcst schedule exploration alone exhausts every observable outcome
+// — explore_dfs terminating with no violation on the seqcst variant, while
+// the relaxed variant yields a witness, is the machine-checked statement
+// that the outcome is relaxed-only (tests/wm/test_wm.cpp pins both halves).
+//
+// The kernel-mediated variants model §III-E2: JSKernel redirects every SAB
+// access on the protected context to a kernel-private shadow, so the
+// enumerator's reads-from candidates never reach the protected reader and
+// the weak outcome is structurally unreachable even under mode::relaxed.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/explore.h"
+#include "wm/model.h"
+
+namespace jsk::attacks {
+
+/// Store buffering (SB): two workers each store their own flag (unordered)
+/// then load the other's, all in one task per worker. Violation: both loads
+/// observe 0 — forbidden under seq-cst (the second task always sees the
+/// first's store), reachable under relaxed (the later load may read-from
+/// the initial write because no happens-before edge obscures it).
+sim::explore::program sb_litmus_program(wm::mode model,
+                                        std::uint64_t browser_seed = 23);
+
+/// Message passing (MP): a worker stores data then a flag (both unordered,
+/// one task); the protected reader — the main context — loads flag then
+/// data. Violation: flag == 1 with data == 0, i.e. the reader saw the
+/// announcement but stale data. Forbidden under seq-cst; reachable under
+/// relaxed (no synchronizes-with edge orders the two unordered stores for
+/// the reader). With `with_jskernel` the main context's loads go through
+/// the kernel SAB shadow, so the flag read returns 0 on every schedule and
+/// rf choice — the violation is unreachable under *either* model.
+sim::explore::program mp_litmus_program(wm::mode model, bool with_jskernel = false,
+                                        std::uint64_t browser_seed = 23);
+
+/// Tearing-amplified counter timer: a worker ticks a 64-bit SAB counter
+/// with two unordered 32-bit half stores per tick (the mixed-size accesses
+/// that make tearing candidates legal); the main context samples both
+/// halves. Violation: a torn sample (lo half != hi half) — the signal a
+/// web concurrency attacker amplifies a SAB clock with. Forbidden under
+/// seq-cst (tasks are atomic, halves always advance together); reachable
+/// under relaxed. With `with_jskernel` the sampler reads the kernel shadow
+/// and never observes the worker's counter at all.
+sim::explore::program torn_counter_program(wm::mode model, bool with_jskernel = false,
+                                           std::uint64_t browser_seed = 23);
+
+}  // namespace jsk::attacks

@@ -192,11 +192,24 @@ void kernel::install()
     apis.indexeddb_get = [this](const std::string& db, const std::string& key) {
         return k_indexeddb_get(db, key);
     };
-    apis.sab_load = [this](const rt::shared_buffer_ptr& buf, std::size_t index) {
-        return k_sab_load(buf, index);
-    };
+    apis.sab_load = [this](const rt::shared_buffer_ptr& buf, std::size_t index,
+                           wm::access acc) { return k_sab_load(buf, index, acc); };
     apis.sab_store = [this](const rt::shared_buffer_ptr& buf, std::size_t index,
-                            double value) { k_sab_store(buf, index, value); };
+                            double value, wm::access acc) {
+        k_sab_store(buf, index, value, acc);
+    };
+    apis.atomics_load = [this](const rt::shared_buffer_ptr& buf, std::size_t index) {
+        return k_atomics_load(buf, index);
+    };
+    apis.atomics_store = [this](const rt::shared_buffer_ptr& buf, std::size_t index,
+                                double value) { k_atomics_store(buf, index, value); };
+    apis.atomics_add = [this](const rt::shared_buffer_ptr& buf, std::size_t index,
+                              double delta) { return k_atomics_add(buf, index, delta); };
+    apis.atomics_compare_exchange = [this](const rt::shared_buffer_ptr& buf,
+                                           std::size_t index, double expected,
+                                           double desired) {
+        return k_atomics_compare_exchange(buf, index, expected, desired);
+    };
 
     if (role_ == role::main) {
         apis.request_animation_frame = [this](rt::frame_cb cb) {
@@ -724,7 +737,7 @@ std::vector<double>& kernel::sab_shadow(const rt::shared_buffer_ptr& buf)
     return it->second;
 }
 
-double kernel::k_sab_load(const rt::shared_buffer_ptr& buf, std::size_t index)
+double kernel::k_sab_load(const rt::shared_buffer_ptr& buf, std::size_t index, wm::access acc)
 {
     ++api_calls_;
     clock_.tick();  // every access is a kernel-mediated, clock-ticking event
@@ -732,17 +745,72 @@ double kernel::k_sab_load(const rt::shared_buffer_ptr& buf, std::size_t index)
     if (!buf || index >= buf->slots.size()) {
         throw std::out_of_range("SharedArrayBuffer read out of range");
     }
-    return sab_shadow(buf)[index];
+    // Reads never touch the native path, so under a relaxed memory model the
+    // candidate-execution enumerator has nothing to enumerate here: the shadow
+    // is kernel-private per-thread state, not shared memory.
+    return wm::read_part(wm::slot_bits(sab_shadow(buf)[index]), acc.p);
 }
 
-void kernel::k_sab_store(const rt::shared_buffer_ptr& buf, std::size_t index, double value)
+void kernel::k_sab_store(const rt::shared_buffer_ptr& buf, std::size_t index, double value,
+                         wm::access acc)
 {
     ++api_calls_;
     clock_.tick();
     charge_interpose();
-    if (buf && index < buf->slots.size()) sab_shadow(buf)[index] = value;
+    if (buf && index < buf->slots.size()) {
+        double& cell = sab_shadow(buf)[index];
+        cell = wm::slot_value(wm::apply_write(wm::slot_bits(cell), value, acc.p));
+    }
     // Mirror into the real buffer so non-kernel observers keep working.
-    natives_.sab_store(buf, index, value);
+    natives_.sab_store(buf, index, value, acc);
+}
+
+// Atomics.* under the kernel keep the same shadow semantics: seq-cst ordering
+// within the thread's own view, mirrored to the native buffer for non-kernel
+// observers. Read-modify-write operates on the shadow so a worker's counter
+// still increments locally while staying invisible cross-thread.
+
+double kernel::k_atomics_load(const rt::shared_buffer_ptr& buf, std::size_t index)
+{
+    return k_sab_load(buf, index, wm::seqcst_access);
+}
+
+void kernel::k_atomics_store(const rt::shared_buffer_ptr& buf, std::size_t index, double value)
+{
+    k_sab_store(buf, index, value, wm::seqcst_access);
+}
+
+double kernel::k_atomics_add(const rt::shared_buffer_ptr& buf, std::size_t index, double delta)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    if (!buf || index >= buf->slots.size()) {
+        throw std::out_of_range("SharedArrayBuffer write out of range");
+    }
+    double& cell = sab_shadow(buf)[index];
+    const double old = cell;
+    cell = old + delta;
+    natives_.sab_store(buf, index, cell, wm::seqcst_access);
+    return old;
+}
+
+double kernel::k_atomics_compare_exchange(const rt::shared_buffer_ptr& buf, std::size_t index,
+                                          double expected, double desired)
+{
+    ++api_calls_;
+    clock_.tick();
+    charge_interpose();
+    if (!buf || index >= buf->slots.size()) {
+        throw std::out_of_range("SharedArrayBuffer write out of range");
+    }
+    double& cell = sab_shadow(buf)[index];
+    const double old = cell;
+    if (old == expected) {
+        cell = desired;
+        natives_.sab_store(buf, index, desired, wm::seqcst_access);
+    }
+    return old;
 }
 
 // --- storage ------------------------------------------------------------------------------

@@ -191,8 +191,14 @@ private:
     void k_set_attribute(const rt::element_ptr& el, const std::string& name,
                          const std::string& value);
     void k_set_cue_callback(const rt::element_ptr& el, rt::timer_cb cb);
-    double k_sab_load(const rt::shared_buffer_ptr& buf, std::size_t index);
-    void k_sab_store(const rt::shared_buffer_ptr& buf, std::size_t index, double value);
+    double k_sab_load(const rt::shared_buffer_ptr& buf, std::size_t index, wm::access acc);
+    void k_sab_store(const rt::shared_buffer_ptr& buf, std::size_t index, double value,
+                     wm::access acc);
+    double k_atomics_load(const rt::shared_buffer_ptr& buf, std::size_t index);
+    void k_atomics_store(const rt::shared_buffer_ptr& buf, std::size_t index, double value);
+    double k_atomics_add(const rt::shared_buffer_ptr& buf, std::size_t index, double delta);
+    double k_atomics_compare_exchange(const rt::shared_buffer_ptr& buf, std::size_t index,
+                                      double expected, double desired);
     bool k_indexeddb_put(const std::string& db, const std::string& key, rt::js_value value);
     rt::js_value k_indexeddb_get(const std::string& db, const std::string& key);
 

@@ -19,6 +19,7 @@
 #include "runtime/js_value.h"
 #include "runtime/network.h"
 #include "sim/time.h"
+#include "wm/model.h"
 
 namespace jsk::rt {
 
@@ -126,9 +127,24 @@ struct api_table {
     std::function<void(const element_ptr&, timer_cb)> set_cue_callback;  // trapable
 
     // --- shared memory ---
+    // Plain typed-array accesses carry a wm::access descriptor (ordering +
+    // tear granularity); default-constructed it means what every historic
+    // call meant: unordered, full-width. The Atomics.* entries are the
+    // seq-cst surface — no descriptor, they are seq-cst full-width by
+    // definition (add/compareExchange return the old value).
     std::function<shared_buffer_ptr(std::size_t slots)> create_shared_buffer;
-    std::function<double(const shared_buffer_ptr&, std::size_t index)> sab_load;
-    std::function<void(const shared_buffer_ptr&, std::size_t index, double value)> sab_store;
+    std::function<double(const shared_buffer_ptr&, std::size_t index, wm::access)> sab_load;
+    std::function<void(const shared_buffer_ptr&, std::size_t index, double value,
+                       wm::access)>
+        sab_store;
+    std::function<double(const shared_buffer_ptr&, std::size_t index)> atomics_load;
+    std::function<void(const shared_buffer_ptr&, std::size_t index, double value)>
+        atomics_store;
+    std::function<double(const shared_buffer_ptr&, std::size_t index, double delta)>
+        atomics_add;
+    std::function<double(const shared_buffer_ptr&, std::size_t index, double expected,
+                         double desired)>
+        atomics_compare_exchange;
 
     // --- storage ---
     std::function<bool(const std::string& db, const std::string& key, js_value value)>

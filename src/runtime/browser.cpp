@@ -10,6 +10,7 @@ namespace jsk::rt {
 browser::browser(browser_profile profile, std::uint64_t seed)
     : profile_(std::move(profile)), rng_(seed), net_(profile_)
 {
+    wmem_.bind(&sim_);
     main_ = &create_context("main", context_kind::main);
     renderer_ = std::make_unique<renderer>(*this, *main_);
 }

@@ -26,6 +26,7 @@
 #include "sim/por.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
+#include "wm/memory.h"
 
 namespace jsk::faults {
 class injector;
@@ -173,6 +174,23 @@ public:
     /// explorer's SAB access namespace (por::sab_key).
     [[nodiscard]] std::uint64_t take_sab_id() { return next_sab_id_++; }
 
+    // --- weak memory (jsk::wm) ---
+    /// Switch the SAB memory model. `seqcst` (default) is the historical
+    /// strongly-consistent behaviour; `relaxed` activates the candidate-
+    /// execution enumerator — unordered reads may return any reads-from
+    /// choice the repaired ECMAScript model allows, steered through the
+    /// explorer's decision string. Switching resets recorded events, so set
+    /// it before (or right after attaching a controller to) a trial; like a
+    /// defense install it is per-world state, never part of a snapshot
+    /// recipe.
+    void set_memory_model(wm::mode m)
+    {
+        wmem_.set_mode(m);
+        sim_.set_wm_listener(m == wm::mode::relaxed ? &wmem_ : nullptr);
+    }
+    [[nodiscard]] wm::mode memory_model() const { return wmem_.model(); }
+    [[nodiscard]] wm::memory& wmem() { return wmem_; }
+
 private:
     void import_worker_script(const std::shared_ptr<worker_link>& link);
     void terminate_worker_now(worker_link& link);
@@ -206,6 +224,7 @@ private:
     error_sanitizer sanitizer_;
     bool polyfill_workers_ = false;
     faults::injector* faults_ = nullptr;
+    wm::memory wmem_;  // by value: fork rollback restores the model's events
 };
 
 }  // namespace jsk::rt

@@ -80,11 +80,25 @@ void context::install_natives()
     apis_.create_shared_buffer = [this](std::size_t slots) {
         return native_create_shared_buffer(slots);
     };
-    apis_.sab_load = [this](const shared_buffer_ptr& buf, std::size_t index) {
-        return native_sab_load(buf, index);
+    apis_.sab_load = [this](const shared_buffer_ptr& buf, std::size_t index,
+                            wm::access acc) { return native_sab_load(buf, index, acc); };
+    apis_.sab_store = [this](const shared_buffer_ptr& buf, std::size_t index,
+                             double value, wm::access acc) {
+        native_sab_store(buf, index, value, acc);
     };
-    apis_.sab_store = [this](const shared_buffer_ptr& buf, std::size_t index, double value) {
-        native_sab_store(buf, index, value);
+    apis_.atomics_load = [this](const shared_buffer_ptr& buf, std::size_t index) {
+        return native_atomics_load(buf, index);
+    };
+    apis_.atomics_store = [this](const shared_buffer_ptr& buf, std::size_t index,
+                                 double value) { native_atomics_store(buf, index, value); };
+    apis_.atomics_add = [this](const shared_buffer_ptr& buf, std::size_t index,
+                               double delta) {
+        return native_atomics_add(buf, index, delta);
+    };
+    apis_.atomics_compare_exchange = [this](const shared_buffer_ptr& buf,
+                                            std::size_t index, double expected,
+                                            double desired) {
+        return native_atomics_compare_exchange(buf, index, expected, desired);
     };
     apis_.indexeddb_put = [this](const std::string& db, const std::string& key,
                                  js_value value) {
@@ -547,24 +561,84 @@ shared_buffer_ptr context::native_create_shared_buffer(std::size_t slots)
     return buf;
 }
 
-double context::native_sab_load(const shared_buffer_ptr& buf, std::size_t index)
+namespace {
+
+std::uint8_t access_order_of(wm::access acc)
+{
+    return acc.ord == wm::ordering::seqcst ? sim::por::order_seqcst
+                                           : sim::por::order_unordered;
+}
+
+}  // namespace
+
+double context::native_sab_load(const shared_buffer_ptr& buf, std::size_t index,
+                                wm::access acc)
 {
     consume(owner_->profile().api_call_cost);
     if (!buf || index >= buf->slots.size()) {
         throw std::out_of_range("SharedArrayBuffer read out of range");
     }
-    owner_->sim().note_access(sim::por::sab_key(buf->sab_id, index), /*write=*/false);
-    return buf->slots[index];
+    owner_->sim().note_access(sim::por::sab_key(buf->sab_id, index), /*write=*/false,
+                              access_order_of(acc));
+    // Committed memory lives in the slot; under the relaxed model the
+    // enumerator may answer an unordered read with any consistent
+    // reads-from candidate instead (wm/memory.h). Seq-cst mode short-
+    // circuits inside wm::memory to exactly the committed value.
+    return owner_->wmem().load(buf->sab_id, static_cast<std::uint32_t>(index),
+                               buf->slots[index], acc);
 }
 
-void context::native_sab_store(const shared_buffer_ptr& buf, std::size_t index, double value)
+void context::native_sab_store(const shared_buffer_ptr& buf, std::size_t index,
+                               double value, wm::access acc)
 {
     consume(owner_->profile().api_call_cost);
     if (!buf || index >= buf->slots.size()) {
         throw std::out_of_range("SharedArrayBuffer write out of range");
     }
-    owner_->sim().note_access(sim::por::sab_key(buf->sab_id, index), /*write=*/true);
-    buf->slots[index] = value;
+    owner_->sim().note_access(sim::por::sab_key(buf->sab_id, index), /*write=*/true,
+                              access_order_of(acc));
+    buf->slots[index] = owner_->wmem().store(buf->sab_id,
+                                             static_cast<std::uint32_t>(index),
+                                             buf->slots[index], value, acc);
+}
+
+double context::native_atomics_load(const shared_buffer_ptr& buf, std::size_t index)
+{
+    return native_sab_load(buf, index, wm::seqcst_access);
+}
+
+void context::native_atomics_store(const shared_buffer_ptr& buf, std::size_t index,
+                                   double value)
+{
+    native_sab_store(buf, index, value, wm::seqcst_access);
+}
+
+double context::native_atomics_add(const shared_buffer_ptr& buf, std::size_t index,
+                                   double delta)
+{
+    consume(owner_->profile().api_call_cost);
+    if (!buf || index >= buf->slots.size()) {
+        throw std::out_of_range("SharedArrayBuffer write out of range");
+    }
+    owner_->sim().note_access(sim::por::sab_key(buf->sab_id, index), /*write=*/true,
+                              sim::por::order_seqcst);
+    return owner_->wmem().add(buf->sab_id, static_cast<std::uint32_t>(index),
+                              buf->slots[index], delta);
+}
+
+double context::native_atomics_compare_exchange(const shared_buffer_ptr& buf,
+                                                std::size_t index, double expected,
+                                                double desired)
+{
+    consume(owner_->profile().api_call_cost);
+    if (!buf || index >= buf->slots.size()) {
+        throw std::out_of_range("SharedArrayBuffer write out of range");
+    }
+    owner_->sim().note_access(sim::por::sab_key(buf->sab_id, index), /*write=*/true,
+                              sim::por::order_seqcst);
+    return owner_->wmem().compare_exchange(buf->sab_id,
+                                           static_cast<std::uint32_t>(index),
+                                           buf->slots[index], expected, desired);
 }
 
 // --- storage --------------------------------------------------------------------------

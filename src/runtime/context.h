@@ -111,8 +111,18 @@ public:
                               const std::string& value);
 
     shared_buffer_ptr native_create_shared_buffer(std::size_t slots);
-    double native_sab_load(const shared_buffer_ptr& buf, std::size_t index);
-    void native_sab_store(const shared_buffer_ptr& buf, std::size_t index, double value);
+    double native_sab_load(const shared_buffer_ptr& buf, std::size_t index,
+                           wm::access acc = {});
+    void native_sab_store(const shared_buffer_ptr& buf, std::size_t index, double value,
+                          wm::access acc = {});
+    double native_atomics_load(const shared_buffer_ptr& buf, std::size_t index);
+    void native_atomics_store(const shared_buffer_ptr& buf, std::size_t index,
+                              double value);
+    double native_atomics_add(const shared_buffer_ptr& buf, std::size_t index,
+                              double delta);
+    double native_atomics_compare_exchange(const shared_buffer_ptr& buf,
+                                           std::size_t index, double expected,
+                                           double desired);
 
     bool native_indexeddb_put(const std::string& db, const std::string& key, js_value value);
     js_value native_indexeddb_get(const std::string& db, const std::string& key);

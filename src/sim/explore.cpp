@@ -103,14 +103,45 @@ std::size_t controller::choose(const std::vector<sched_candidate>& candidates)
     return pick;
 }
 
+std::size_t controller::choose_value(std::size_t count)
+{
+    // A weak-memory reads-from choice shares the decision string with
+    // schedule choices: replay, shrinking and witness keys see one opaque
+    // digit sequence. Index 0 is always the committed (seq-cst) value, so
+    // the default/zeroed tail reproduces strongly-consistent behaviour.
+    const std::size_t point = recorded_.choices.size();
+    std::size_t pick = 0;
+    if (point < prefix_.choices.size()) {
+        pick = prefix_.choices[point];
+        if (pick >= count) {
+            diverged_ = true;
+            pick = 0;
+        }
+    } else if (tail_ == tail_policy::random) {
+        pick = static_cast<std::size_t>(
+            walk_.uniform(0, static_cast<std::int64_t>(count) - 1));
+    }
+
+    recorded_.choices.push_back(static_cast<std::uint32_t>(pick));
+    decision d;
+    d.kind = 1;
+    d.chosen = static_cast<std::uint32_t>(pick);
+    d.count = static_cast<std::uint32_t>(count);
+    d.offset = static_cast<std::uint32_t>(cand_threads_.size());  // width 0
+    d.step = exec_log_.empty() ? 0
+                               : static_cast<std::uint32_t>(exec_log_.size() - 1);
+    trace_.push_back(d);
+    return pick;
+}
+
 void controller::on_post(task_id posted, thread_id target, task_id poster,
                          thread_id source)
 {
     if (!record_metadata_ || poster == 0 || exec_log_.empty()) return;
     // A post writes the target thread's inbox (every task executing there
     // implicitly reads it — see on_execute) and the source->target channel.
-    on_access(poster, por::inbox_key(target), /*write=*/true);
-    on_access(poster, por::channel_key(source, target), /*write=*/true);
+    on_access(poster, por::inbox_key(target), /*write=*/true, 0);
+    on_access(poster, por::channel_key(source, target), /*write=*/true, 0);
     post_log_.push_back(
         post_rec{posted, static_cast<std::uint32_t>(exec_log_.size() - 1)});
 }
@@ -124,14 +155,15 @@ void controller::on_execute(task_id task, thread_id thread, time_ns ready_at)
     task_step_[task] = static_cast<std::uint32_t>(exec_log_.size());
     // The implicit inbox read: executing on a thread observes what was
     // posted there, so it conflicts with every post targeting the thread.
-    on_access(task, por::inbox_key(thread), /*write=*/false);
+    on_access(task, por::inbox_key(thread), /*write=*/false, 0);
 }
 
-void controller::on_access(task_id task, std::uint64_t resource, bool write)
+void controller::on_access(task_id task, std::uint64_t resource, bool write,
+                           std::uint8_t ord)
 {
     (void)task;  // attribution is positional: accesses land on the open step
     if (!record_metadata_ || exec_log_.empty()) return;
-    access_log_.push_back(access_rec{resource, write});
+    access_log_.push_back(access_rec{resource, write, ord});
     exec_log_.back().access_end = static_cast<std::uint32_t>(access_log_.size());
 }
 
@@ -284,6 +316,38 @@ std::vector<work_item> expand_run(const controller& ctl, const work_item& item,
             for (; step < d.step; ++step) {
                 if (wake_step(ctl, sleep, step)) return children;
             }
+        }
+        if (d.kind != 0) {
+            // Weak-memory value point (jsk::wm reads-from choice): the
+            // alternatives are sibling rf candidates, not tasks — there is
+            // no race scan, no candidate metadata, and no sleep-set
+            // machinery (reversing a value choice reorders nothing). A
+            // non-zero choice spends preemption budget exactly like a
+            // schedule preemption: it steps away from the seq-cst default,
+            // which is what bounds rf-enumeration depth. In-prefix value
+            // points regenerate nothing — the candidate count is a pure
+            // function of the shared prefix, so every alternative was
+            // already generated when the point was first reached.
+            if (!in_prefix) {
+                for (std::uint32_t alt = 1; alt < d.count; ++alt) {
+                    if (alt == d.chosen) continue;
+                    if (preemptions_before + 1 > opt.preemption_budget) {
+                        ++pruned;
+                        continue;
+                    }
+                    work_item child;
+                    child.prefix.choices.assign(
+                        taken.begin(),
+                        taken.begin() + static_cast<std::ptrdiff_t>(point));
+                    child.prefix.choices.push_back(alt);
+                    // Empty sleep set: a different reads-from value can
+                    // change the program's control flow, so no sibling
+                    // coverage claim survives the substitution.
+                    children.push_back(std::move(child));
+                }
+            }
+            if (d.chosen != 0) ++preemptions_before;
+            continue;
         }
         // Candidate metadata exists only when the controller records it
         // (opt.dpor) — don't touch it on the plain exhaustive path.

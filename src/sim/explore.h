@@ -67,14 +67,24 @@ struct decision {
     std::uint32_t chosen = 0;
     std::uint32_t count = 0;
     std::uint32_t offset = 0;  // into the controller's flat candidate arrays
-    std::uint32_t step = 0;    // exec-log index the chosen task executes at
-                               // (meaningful only with metadata recording)
+    std::uint32_t step = 0;    // schedule points: exec-log index the chosen
+                               // task executes at; value points: index of the
+                               // enclosing task (meaningful only with
+                               // metadata recording)
+    std::uint8_t kind = 0;     // 0 = schedule choice, 1 = weak-memory
+                               // reads-from (value) choice. Both share the
+                               // decision string; value points carry no
+                               // candidate metadata (offset is the array
+                               // high-water mark, width 0).
 };
 
 /// One recorded resource touch (see sim/por.h for the key namespaces).
+/// `ord` is the weak-memory ordering of SAB touches (por::access_order);
+/// 0 for everything that is not a memory access.
 struct access_rec {
     std::uint64_t key = 0;
     bool write = false;
+    std::uint8_t ord = 0;
 };
 
 /// One executed task: identity, thread, its immutable ready time, and its
@@ -110,10 +120,12 @@ public:
 
     // schedule_hook
     std::size_t choose(const std::vector<sched_candidate>& candidates) override;
+    std::size_t choose_value(std::size_t count) override;
     void on_post(task_id posted, thread_id target, task_id poster,
                  thread_id source) override;
     void on_execute(task_id task, thread_id thread, time_ns ready_at) override;
-    void on_access(task_id task, std::uint64_t resource, bool write) override;
+    void on_access(task_id task, std::uint64_t resource, bool write,
+                   std::uint8_t ord) override;
 
     /// The complete decision string this run actually took.
     [[nodiscard]] const schedule& decisions() const { return recorded_; }

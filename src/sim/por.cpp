@@ -77,6 +77,15 @@ analysis::analysis(const explore::controller& ctl)
     // each thread, plus poster-step -> posted-task edges.
     clock_.assign(steps * thread_count_, 0);
     std::vector<std::uint32_t> last_on_thread(thread_count_, UINT32_MAX);
+    // Synchronizes-with: the last step that touched each SAB key seq-cst.
+    // Runs without seq-cst accesses (every pre-weak-memory run) never
+    // populate this, so their clocks are bit-identical to the historical
+    // relation.
+    struct sc_last {
+        std::uint64_t key;
+        std::uint32_t step;
+    };
+    std::vector<sc_last> sc;  // sorted by key
     for (std::size_t j = 0; j < steps; ++j) {
         std::uint32_t* vc = clock_.data() + j * thread_count_;
         const std::uint32_t tj =
@@ -90,6 +99,27 @@ analysis::analysis(const explore::controller& ctl)
             const std::uint32_t* pvc = clock_.data() + poster * thread_count_;
             for (std::size_t t = 0; t < thread_count_; ++t) {
                 vc[t] = std::max(vc[t], pvc[t]);
+            }
+        }
+        for (std::uint32_t i = exec[j].access_begin; i < exec[j].access_end; ++i) {
+            if (accesses[i].ord != order_seqcst) continue;
+            const std::uint64_t k = accesses[i].key;
+            const auto it = std::lower_bound(
+                sc.begin(), sc.end(), k,
+                [](const sc_last& c, std::uint64_t key) { return c.key < key; });
+            if (it != sc.end() && it->key == k) {
+                if (it->step != j) {
+                    const std::uint32_t* svc = clock_.data() + it->step * thread_count_;
+                    for (std::size_t t = 0; t < thread_count_; ++t) {
+                        vc[t] = std::max(vc[t], svc[t]);
+                    }
+                    const std::uint32_t st =
+                        thread_index_[static_cast<std::size_t>(thread_of_[it->step])];
+                    vc[st] = std::max(vc[st], it->step + 1);
+                }
+                it->step = static_cast<std::uint32_t>(j);
+            } else {
+                sc.insert(it, sc_last{k, static_cast<std::uint32_t>(j)});
             }
         }
         vc[tj] = static_cast<std::uint32_t>(j) + 1;
@@ -134,6 +164,31 @@ bool analysis::happens_before(std::size_t i, std::size_t j) const
     if (i == j || j >= steps() || i >= steps()) return false;
     const std::uint32_t ti = thread_index_[static_cast<std::size_t>(thread_of_[i])];
     return clock_[j * thread_count_ + ti] >= static_cast<std::uint32_t>(i) + 1;
+}
+
+std::uint64_t race_count(const explore::controller& ctl, const analysis& an)
+{
+    const auto& exec = ctl.exec_log();
+    const auto& log = ctl.access_log();
+    std::uint64_t races = 0;
+    for (std::size_t i = 0; i + 1 < exec.size(); ++i) {
+        for (std::size_t j = i + 1; j < exec.size(); ++j) {
+            if (!an.concurrent(i, j)) continue;
+            bool racy = false;
+            for (std::uint32_t a = exec[i].access_begin;
+                 a < exec[i].access_end && !racy; ++a) {
+                if (log[a].ord == order_none) continue;  // not a memory access
+                for (std::uint32_t b = exec[j].access_begin;
+                     b < exec[j].access_end && !racy; ++b) {
+                    racy = log[b].ord != order_none && log[a].key == log[b].key &&
+                           (log[a].write || log[b].write) &&
+                           !(log[a].ord == order_seqcst && log[b].ord == order_seqcst);
+                }
+            }
+            if (racy) ++races;
+        }
+    }
+    return races;
 }
 
 }  // namespace jsk::sim::por

@@ -87,10 +87,25 @@ constexpr std::uint64_t sink_key(std::size_t monitor_slot)
     return key(resource::sink, monitor_slot);
 }
 
+/// Weak-memory access orderings, as recorded on access_rec::ord and passed
+/// through simulation::note_access. `none` marks accesses that are not
+/// memory operations at all (inboxes, channels, monitor sinks).
+inline constexpr std::uint8_t order_none = 0;
+inline constexpr std::uint8_t order_unordered = 1;
+inline constexpr std::uint8_t order_seqcst = 2;
+
 /// Sound dependence between two candidate tasks of one finished
 /// metadata-recording run: same thread, or overlapping access footprints
 /// with at least one write on the common key, or either footprint unknown
 /// (the task never executed in this run).
+///
+/// Access ordering deliberately does NOT weaken this relation. Under the
+/// relaxed model the schedule order of two conflicting unordered accesses
+/// still determines the *committed* value (reads-from candidate 0) and the
+/// result of every seq-cst access that follows, so the tasks do not
+/// commute; ordering feeds the orthogonal machinery instead — analysis
+/// adds synchronizes-with edges for seq-cst pairs, and race_count reports
+/// the unordered conflicting pairs the rf enumerator branches on.
 bool dependent(const explore::controller& ctl, task_id a, thread_id ta, task_id b,
                thread_id tb);
 
@@ -109,8 +124,12 @@ public:
     [[nodiscard]] std::size_t steps() const { return thread_of_.size(); }
 
     /// Strict happens-before between exec-log steps: program order on each
-    /// thread plus post edges (the posting step happens-before every step of
-    /// the posted task), transitively closed via vector clocks.
+    /// thread, post edges (the posting step happens-before every step of
+    /// the posted task), and synchronizes-with edges between seq-cst
+    /// accesses to the same SAB cell (the earlier seq-cst access
+    /// happens-before the later one — the seq-cst total order is the
+    /// commit order), transitively closed via vector clocks. Runs without
+    /// seq-cst accesses derive exactly the historical relation.
     [[nodiscard]] bool happens_before(std::size_t i, std::size_t j) const;
 
     /// True when neither step happens-before the other.
@@ -141,5 +160,14 @@ private:
     std::uint64_t class_hash_ = 0;
     std::vector<std::uint64_t> sink_prefixes_;
 };
+
+/// Data races of one finished run: pairs of happens-before-concurrent steps
+/// whose footprints conflict on a SAB cell with at least one write, where
+/// the pair is not ordered by the seq-cst total order (i.e. not both
+/// accesses seq-cst). Each step pair counts once. This is the set of
+/// conflicts the relaxed model's rf enumerator branches on — a seqcst-mode
+/// run with a nonzero race_count is exactly a run worth re-sweeping under
+/// --memory-model relaxed.
+std::uint64_t race_count(const explore::controller& ctl, const analysis& an);
 
 }  // namespace jsk::sim::por

@@ -140,6 +140,7 @@ task_id simulation::post(thread_id thread, time_ns when, std::function<void()> f
         heap_push(thread_order_, order_ref{std::max(state.busy_until, when), thread});
         hook_->on_post(id, thread, current_ ? current_->id : 0, source);
     }
+    if (wm_ != nullptr) wm_->on_post(id, thread, source);
     return id;
 }
 
@@ -508,6 +509,7 @@ void simulation::execute(const queue_entry& entry)
     }
 
     current_ = running_task{entry.id, task.thread, entry.key, 0};
+    if (wm_ != nullptr) wm_->on_execute(entry.id, task.thread);
     if (hook_) hook_->on_execute(entry.id, task.thread, task.ready_at);
     try {
         task.fn();

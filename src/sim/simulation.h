@@ -122,12 +122,52 @@ public:
     /// Called for every dependency-relevant resource access announced via
     /// simulation::note_access while `task` is on the stack. `resource` is
     /// an opaque key (sim/por.h defines the namespaces: thread inboxes,
-    /// channels, SAB cells, vuln-monitor sinks).
-    virtual void on_access(task_id task, std::uint64_t resource, bool write)
+    /// channels, SAB cells, vuln-monitor sinks). `ord` is the weak-memory
+    /// access ordering (sim/por.h access_order: 0 = not a memory access,
+    /// 1 = unordered, 2 = seq-cst) — por analysis consults it for
+    /// synchronizes-with edges and data-race reporting.
+    virtual void on_access(task_id task, std::uint64_t resource, bool write,
+                           std::uint8_t ord)
     {
         (void)task;
         (void)resource;
         (void)write;
+        (void)ord;
+    }
+
+    /// Pick one of `count` enumerated value candidates — the weak-memory
+    /// reads-from choice (jsk::wm) routed through the same decision string
+    /// as schedule choices. Only called with count >= 2; out-of-range
+    /// returns are clamped to 0 (the committed, seq-cst value).
+    virtual std::size_t choose_value(std::size_t count)
+    {
+        (void)count;
+        return 0;
+    }
+};
+
+/// Weak-memory listener (jsk::wm::memory): notified of every accepted post
+/// and of every task execution, on both the hooked and the unhooked
+/// scheduling path. The relaxed SAB memory model derives its postMessage
+/// synchronizes-with edges from these callbacks — unlike schedule_hook
+/// (installed only during exploration), a wm_listener is active on plain
+/// production runs too, so relaxed-mode worlds behave identically whether
+/// or not a controller is attached.
+class wm_listener {
+public:
+    virtual ~wm_listener() = default;
+
+    virtual void on_post(task_id posted, thread_id target, thread_id source)
+    {
+        (void)posted;
+        (void)target;
+        (void)source;
+    }
+
+    virtual void on_execute(task_id task, thread_id thread)
+    {
+        (void)task;
+        (void)thread;
     }
 };
 
@@ -262,11 +302,30 @@ public:
     /// by the currently running task. Free when no hook is installed; with a
     /// hook, forwards to schedule_hook::on_access. Calls from outside a task
     /// (world setup) are dropped — setup is not schedulable, so it cannot
-    /// race.
-    void note_access(std::uint64_t resource, bool write)
+    /// race. `ord` carries the weak-memory access ordering for SAB touches
+    /// (see schedule_hook::on_access); non-memory accesses pass 0.
+    void note_access(std::uint64_t resource, bool write, std::uint8_t ord = 0)
     {
-        if (hook_ != nullptr && current_) hook_->on_access(current_->id, resource, write);
+        if (hook_ != nullptr && current_) {
+            hook_->on_access(current_->id, resource, write, ord);
+        }
     }
+
+    /// Ask the schedule hook to pick one of `count` enumerated weak-memory
+    /// value candidates (jsk::wm reads-from choice). Without a hook — plain
+    /// runs, replay tails past the recorded string — the answer is 0, the
+    /// committed value, so un-steered execution is seq-cst by construction.
+    std::size_t choose_value(std::size_t count)
+    {
+        if (hook_ == nullptr || count <= 1) return 0;
+        const std::size_t pick = hook_->choose_value(count);
+        return pick < count ? pick : 0;
+    }
+
+    /// Install (or clear, with nullptr) the weak-memory listener. Not
+    /// owned; must outlive the run. Fires on both scheduling paths.
+    void set_wm_listener(wm_listener* listener) { wm_ = listener; }
+    [[nodiscard]] wm_listener* get_wm_listener() const { return wm_; }
 
 private:
     /// Per-thread lazy min-heap entry: a pending task's immutable ready time.
@@ -412,6 +471,7 @@ private:
     std::vector<std::pair<observer_handle, std::function<void(const task_info&)>>>
         observers_;
     schedule_hook* hook_ = nullptr;
+    wm_listener* wm_ = nullptr;
     time_ns window_ = 0;
     obs::sink* tsink_ = nullptr;
     std::uint64_t hooked_steps_ = 0;

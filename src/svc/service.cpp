@@ -15,6 +15,7 @@
 #include "kernel/json.h"
 #include "par/sweep.h"
 #include "sim/explore.h"
+#include "wm/model.h"
 
 namespace jsk::svc {
 
@@ -102,12 +103,16 @@ std::size_t service::jobs() const
 
 std::optional<std::string> service::validate(const par::witness_key& key) const
 {
-    if (is_random_program(key.program)) {
-        if (!random_program_seed(key.program)) {
+    // A "+relaxed" suffix selects the weak SAB memory model for the job; the
+    // stem is validated exactly like an untagged program id.
+    const auto [program, model] = wm::split_program_tag(key.program);
+    (void)model;
+    if (is_random_program(program)) {
+        if (!random_program_seed(program)) {
             return "malformed random-program id '" + key.program +
                    "' (want program:<seed>)";
         }
-    } else if (std::find(known_programs_.begin(), known_programs_.end(), key.program) ==
+    } else if (std::find(known_programs_.begin(), known_programs_.end(), program) ==
                known_programs_.end()) {
         return "unknown program '" + key.program + "'";
     }
@@ -152,34 +157,37 @@ job_result service::execute(const par::witness_key& key, std::size_t worker_id)
 {
     const bool use_snapshots = opt_.snapshots && core::arena::supported();
     worker_state& ws = workers_->get(worker_id);
+    const auto [program, model] = wm::split_program_tag(key.program);
     job_result r;
     if (is_chaos_job(key)) {
         const faults::plan p =
             key.plan.empty() ? faults::plan{} : faults::plan::parse(key.plan);
         const bool with_kernel = key.defense == "jskernel";
+        attacks::chaos_options copt = opt_.chaos;
+        copt.model = model;
         attacks::chaos_trial_result trial;
-        if (is_random_program(key.program)) {
-            const std::uint64_t program_seed = *random_program_seed(key.program);
+        if (is_random_program(program)) {
+            const std::uint64_t program_seed = *random_program_seed(program);
             if (use_snapshots) {
                 core::world_snapshot& snap = ws.snaps.get(
-                    attacks::chaos_world_recipe(with_kernel, key.seed, opt_.chaos),
+                    attacks::chaos_world_recipe(with_kernel, key.seed, copt),
                     &ws.stats);
                 trial = attacks::run_chaos_program_forked(snap, program_seed, p,
-                                                          opt_.chaos, &ws.stats);
+                                                          copt, &ws.stats);
             } else {
                 trial = attacks::run_chaos_program(program_seed, with_kernel, p,
-                                                   key.seed, opt_.chaos);
+                                                   key.seed, copt);
             }
         } else {
             if (use_snapshots) {
                 core::world_snapshot& snap = ws.snaps.get(
-                    attacks::chaos_world_recipe(with_kernel, key.seed, opt_.chaos),
+                    attacks::chaos_world_recipe(with_kernel, key.seed, copt),
                     &ws.stats);
-                trial = attacks::run_chaos_trial_forked(snap, key.program, p,
-                                                        opt_.chaos, &ws.stats);
+                trial = attacks::run_chaos_trial_forked(snap, program, p,
+                                                        copt, &ws.stats);
             } else {
-                trial = attacks::run_chaos_trial(key.program, with_kernel, p, key.seed,
-                                                 opt_.chaos);
+                trial = attacks::run_chaos_trial(program, with_kernel, p, key.seed,
+                                                 copt);
             }
         }
         r.triggered = trial.triggered;
@@ -190,7 +198,8 @@ job_result service::execute(const par::witness_key& key, std::size_t worker_id)
         r.trace_digest = par::fnv1a(trial.trace_json);
     } else {
         attacks::cve_trial_spec spec;
-        spec.cve = key.program;
+        spec.cve = program;
+        spec.model = model;
         spec.browser_seed = key.seed;
         if (key.defense != "plain") spec.defense = defense_from_name(key.defense);
         attacks::cve_walk_spec walk;

@@ -1,0 +1,233 @@
+#include "wm/memory.h"
+
+#include <algorithm>
+
+namespace jsk::wm {
+
+namespace {
+
+void join(std::vector<std::uint32_t>& dst, const std::vector<std::uint32_t>& src)
+{
+    if (src.size() > dst.size()) dst.resize(src.size(), 0);
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = std::max(dst[i], src[i]);
+}
+
+}  // namespace
+
+void memory::set_mode(mode m)
+{
+    mode_ = m;
+    reset();
+}
+
+void memory::reset()
+{
+    cells_.clear();
+    clocks_.clear();
+    pending_.clear();
+    enumerated_reads_ = 0;
+}
+
+void memory::on_post(sim::task_id posted, sim::thread_id target, sim::thread_id source)
+{
+    (void)target;
+    if (!relaxed() || source == sim::no_thread) return;
+    pending_[posted] = clock_of(source);
+}
+
+void memory::on_execute(sim::task_id task, sim::thread_id thread)
+{
+    if (!relaxed()) return;
+    const auto it = pending_.find(task);
+    if (it == pending_.end()) return;
+    join(clock_of(thread), it->second);
+    pending_.erase(it);
+}
+
+std::vector<std::uint32_t>& memory::clock_of(sim::thread_id thread)
+{
+    const auto t = static_cast<std::size_t>(thread);
+    if (clocks_.size() <= t) clocks_.resize(t + 1);
+    if (clocks_[t].size() <= t) clocks_[t].resize(t + 1, 0);
+    return clocks_[t];
+}
+
+bool memory::hb_reader(const write_event& w,
+                       const std::vector<std::uint32_t>& reader) const
+{
+    if (w.thread == sim::no_thread) return true;  // init: before everything
+    const auto t = static_cast<std::size_t>(w.thread);
+    return t < reader.size() && reader[t] >= w.epoch;
+}
+
+bool memory::hb_write(const write_event& a, const write_event& b)
+{
+    if (a.thread == sim::no_thread) return true;
+    if (b.thread == sim::no_thread) return false;
+    const auto t = static_cast<std::size_t>(a.thread);
+    return t < b.clock.size() && b.clock[t] >= a.epoch;
+}
+
+bool memory::covers(const write_event& w, part h)
+{
+    return w.p == part::full || w.p == h;
+}
+
+memory::cell& memory::touch(std::uint64_t sab, std::uint32_t slot, double committed)
+{
+    const auto [it, inserted] = cells_.try_emplace(cell_key(sab, slot));
+    if (inserted) {
+        write_event init;  // thread == no_thread: happens-before everything
+        init.bits = slot_bits(committed);
+        it->second.history.push_back(std::move(init));
+    }
+    return it->second;
+}
+
+void memory::readable(const cell& c, part h, const std::vector<std::uint32_t>& reader,
+                      std::vector<const write_event*>& out) const
+{
+    out.clear();
+    const auto& hist = c.history;
+    for (std::size_t i = hist.size(); i-- > 0;) {  // newest first
+        const write_event& w = hist[i];
+        if (!covers(w, h)) continue;
+        bool obscured = false;
+        // A later (in commit order — hb respects it) covering write that
+        // both happens-after w and happens-before the reader hides w.
+        for (std::size_t j = i + 1; j < hist.size() && !obscured; ++j) {
+            const write_event& w2 = hist[j];
+            obscured = covers(w2, h) && hb_write(w, w2) && hb_reader(w2, reader);
+        }
+        if (!obscured) out.push_back(&w);
+    }
+}
+
+void memory::acquire_newest(const cell& c, std::vector<std::uint32_t>& reader)
+{
+    if (c.history.empty()) return;
+    const write_event& w = c.history.back();
+    if (w.thread == sim::no_thread) return;
+    join(reader, w.clock);
+}
+
+void memory::record_write(std::uint64_t sab, std::uint32_t slot, double committed_before,
+                          double value, access acc, std::uint64_t new_bits)
+{
+    cell& c = touch(sab, slot, committed_before);
+    write_event w;
+    const sim::thread_id t = sim_ != nullptr ? sim_->current_thread() : sim::no_thread;
+    if (t == sim::no_thread) {
+        // Harness write from outside any task: it precedes every task that
+        // could read the cell, so it behaves like (re)initialisation —
+        // collapse the history to it alone.
+        c.history.clear();
+    } else {
+        auto& clk = clock_of(t);
+        clk[static_cast<std::size_t>(t)] += 1;
+        w.thread = t;
+        w.epoch = clk[static_cast<std::size_t>(t)];
+        w.clock = clk;
+    }
+    w.p = acc.p;
+    w.ord = acc.ord;
+    w.bits = acc.p == part::full ? new_bits : static_cast<std::uint64_t>(to_half(value));
+    if (c.history.size() >= k_history) c.history.erase(c.history.begin());
+    c.history.push_back(std::move(w));
+}
+
+double memory::store(std::uint64_t sab, std::uint32_t slot, double committed,
+                     double value, access acc)
+{
+    const std::uint64_t old_bits = slot_bits(committed);
+    const std::uint64_t new_bits = apply_write(old_bits, value, acc.p);
+    if (relaxed()) record_write(sab, slot, committed, value, acc, new_bits);
+    return slot_value(new_bits);
+}
+
+double memory::load(std::uint64_t sab, std::uint32_t slot, double committed, access acc)
+{
+    const std::uint64_t committed_bits = slot_bits(committed);
+    if (!relaxed()) return read_part(committed_bits, acc.p);
+
+    cell& c = touch(sab, slot, committed);
+    const sim::thread_id t = sim_ != nullptr ? sim_->current_thread() : sim::no_thread;
+    if (acc.ord == ordering::seqcst || t == sim::no_thread) {
+        // Seq-cst (or out-of-task harness) read: the commit order is the
+        // seq-cst total order, so the committed value is the unique
+        // consistent result; acquire the newest write's clock (the sw
+        // edge that lets Atomics-synchronised code see no weak behaviour).
+        if (t != sim::no_thread) acquire_newest(c, clock_of(t));
+        return read_part(committed_bits, acc.p);
+    }
+
+    auto& reader = clock_of(t);
+    cand_bits_.clear();
+    const auto push_candidate = [this](std::uint64_t bits) {
+        if (cand_bits_.size() >= k_candidates) return;
+        if (std::find(cand_bits_.begin(), cand_bits_.end(), bits) == cand_bits_.end()) {
+            cand_bits_.push_back(bits);
+        }
+    };
+    if (acc.p == part::full) {
+        readable(c, part::lo, reader, lo_src_);
+        readable(c, part::hi, reader, hi_src_);
+        cand_bits_.push_back(committed_bits);  // candidate 0 == seq-cst result
+        for (const write_event* wl : lo_src_) {
+            for (const write_event* wh : hi_src_) {
+                // No-tear: two *distinct* full-width (same-size aligned)
+                // writes never mix; tearing needs a mixed-size half write.
+                if (wl->p == part::full && wh->p == part::full && wl != wh) continue;
+                const std::uint64_t lo =
+                    wl->p == part::full ? (wl->bits & 0xFFFFFFFFULL) : wl->bits;
+                const std::uint64_t hi =
+                    wh->p == part::full ? (wh->bits >> 32) : wh->bits;
+                push_candidate((hi << 32) | lo);
+            }
+        }
+    } else {
+        readable(c, acc.p, reader, lo_src_);
+        const std::uint64_t committed_half = acc.p == part::lo
+                                                 ? (committed_bits & 0xFFFFFFFFULL)
+                                                 : (committed_bits >> 32);
+        cand_bits_.push_back(committed_half);
+        for (const write_event* w : lo_src_) {
+            const std::uint64_t half =
+                w->p == part::full
+                    ? (acc.p == part::lo ? (w->bits & 0xFFFFFFFFULL) : (w->bits >> 32))
+                    : w->bits;
+            push_candidate(half);
+        }
+    }
+
+    std::size_t pick = 0;
+    if (cand_bits_.size() > 1) {
+        ++enumerated_reads_;
+        pick = sim_->choose_value(cand_bits_.size());
+    }
+    const std::uint64_t bits = cand_bits_[pick];
+    return acc.p == part::full ? slot_value(bits) : static_cast<double>(bits);
+}
+
+double memory::add(std::uint64_t sab, std::uint32_t slot, double& committed, double delta)
+{
+    const double old = committed;
+    if (relaxed() && sim_ != nullptr && sim_->current_thread() != sim::no_thread) {
+        acquire_newest(touch(sab, slot, old), clock_of(sim_->current_thread()));
+    }
+    committed = store(sab, slot, old, old + delta, seqcst_access);
+    return old;
+}
+
+double memory::compare_exchange(std::uint64_t sab, std::uint32_t slot, double& committed,
+                                double expected, double desired)
+{
+    const double old = committed;
+    if (relaxed() && sim_ != nullptr && sim_->current_thread() != sim::no_thread) {
+        acquire_newest(touch(sab, slot, old), clock_of(sim_->current_thread()));
+    }
+    if (old == expected) committed = store(sab, slot, old, desired, seqcst_access);
+    return old;
+}
+
+}  // namespace jsk::wm

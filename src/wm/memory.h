@@ -1,0 +1,152 @@
+// jsk::wm::memory — the axiomatic candidate-execution enumerator.
+//
+// Under mode::relaxed every SAB access is recorded as an event of a growing
+// candidate execution: writes keep (thread, epoch, vector-clock snapshot,
+// granularity, payload); happens-before is program order within a task
+// chain plus synchronizes-with edges from postMessage (the simulator's
+// wm_listener callbacks) and from seq-cst reads-from. An *unordered* read
+// then enumerates every consistent reads-from choice the repaired
+// ECMAScript model allows:
+//
+//  * a write is readable unless it is hb-obscured — some covering write
+//    both happens-after it and happens-before the reader;
+//  * full-width reads pick a (lo-source, hi-source) pair; no-tear forbids
+//    mixing two *distinct full-width* writes (same-size aligned accesses
+//    never tear), while a half write composed with anything is a legal
+//    mixed-size tearing candidate;
+//  * candidate 0 is always the committed (newest) value, so the all-zero
+//    choice string reproduces seq-cst behaviour exactly — and ddmin
+//    shrinking naturally drives witnesses toward it;
+//  * seq-cst accesses never enumerate: a seq-cst read returns the committed
+//    value (the commit order *is* the seq-cst total order here) and
+//    acquires the newest covering write's clock, creating the sw edge.
+//
+// The chosen candidate index goes through simulation::choose_value — the
+// same decision string as schedule choices — so record/replay, shrinking,
+// witness keys and the svc store need no new machinery. Enumeration is
+// bounded: per-cell history keeps the newest k_history writes and a read
+// offers at most k_candidates distinct values (newest first); dropped
+// tails under-approximate the model but never break replay determinism.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "wm/model.h"
+
+namespace jsk::wm {
+
+class memory final : public sim::wm_listener {
+public:
+    /// Per-cell write-history bound and per-read candidate bound. Small on
+    /// purpose: the decision string records a candidate *index*, so replay
+    /// only needs the enumeration order to be deterministic, and the
+    /// explorer's preemption budget already bounds how many non-zero
+    /// choices a run may take.
+    static constexpr std::size_t k_history = 8;
+    static constexpr std::size_t k_candidates = 6;
+
+    /// Bind the simulation used for choose_value and current-thread
+    /// queries. Does not register the listener — the browser does that
+    /// when the model switches to relaxed.
+    void bind(sim::simulation* sim) { sim_ = sim; }
+
+    void set_mode(mode m);
+    [[nodiscard]] mode model() const { return mode_; }
+    [[nodiscard]] bool relaxed() const { return mode_ == mode::relaxed; }
+
+    /// Drop all recorded events and clocks (model switch, world reuse).
+    void reset();
+
+    // --- sim::wm_listener (postMessage synchronizes-with edges) ---
+    void on_post(sim::task_id posted, sim::thread_id target,
+                 sim::thread_id source) override;
+    void on_execute(sim::task_id task, sim::thread_id thread) override;
+
+    // --- the SAB access surface (called by the context natives) ---
+
+    /// Observe a read of cell (sab, slot) whose committed value is
+    /// `committed`. Seq-cst (or seqcst-mode) reads return the committed
+    /// value; relaxed unordered reads enumerate candidates and route the
+    /// choice through simulation::choose_value.
+    double load(std::uint64_t sab, std::uint32_t slot, double committed, access acc);
+
+    /// Apply a write of `value` at granularity `acc.p` to a cell whose
+    /// committed value is `committed`; returns the new committed value.
+    /// Under relaxed the write is also recorded as a candidate source.
+    double store(std::uint64_t sab, std::uint32_t slot, double committed, double value,
+                 access acc);
+
+    /// Seq-cst read-modify-write: returns the old committed value and
+    /// commits old + delta. (Atomics.add)
+    double add(std::uint64_t sab, std::uint32_t slot, double& committed, double delta);
+
+    /// Seq-cst compare-exchange: returns the old committed value and
+    /// commits `desired` iff old == expected. (Atomics.compareExchange)
+    double compare_exchange(std::uint64_t sab, std::uint32_t slot, double& committed,
+                            double expected, double desired);
+
+    /// Reads that were offered more than one candidate (telemetry/tests).
+    [[nodiscard]] std::uint64_t enumerated_reads() const { return enumerated_reads_; }
+
+private:
+    /// One recorded write event. `thread == sim::no_thread` marks the
+    /// implicit initialisation write (and harness writes from outside any
+    /// task): it happens-before everything.
+    struct write_event {
+        sim::thread_id thread = sim::no_thread;
+        std::uint32_t epoch = 0;        // writer's own clock after the write
+        part p = part::full;
+        ordering ord = ordering::unordered;
+        std::uint64_t bits = 0;         // full: slot bits; half: value in low 32
+        std::vector<std::uint32_t> clock;  // writer clock snapshot at the write
+    };
+
+    struct cell {
+        std::vector<write_event> history;  // commit order, oldest first
+    };
+
+    [[nodiscard]] static std::uint64_t cell_key(std::uint64_t sab, std::uint32_t slot)
+    {
+        return (sab << 20) ^ (slot & 0xFFFFF);
+    }
+
+    /// The cell record, lazily created with the implicit init write seeded
+    /// from the current committed bits.
+    cell& touch(std::uint64_t sab, std::uint32_t slot, double committed);
+
+    [[nodiscard]] std::vector<std::uint32_t>& clock_of(sim::thread_id thread);
+
+    /// True when `w` happens-before the current state of `thread`'s clock.
+    [[nodiscard]] bool hb_reader(const write_event& w,
+                                 const std::vector<std::uint32_t>& reader) const;
+    /// True when `a` happens-before write `b` (a is in b's snapshot).
+    [[nodiscard]] static bool hb_write(const write_event& a, const write_event& b);
+    /// True when `w` covers half `h` (h is lo or hi).
+    [[nodiscard]] static bool covers(const write_event& w, part h);
+
+    /// Readable (visible, not hb-obscured) covering writes for half `h`,
+    /// newest first. `reader` is the reading thread's clock.
+    void readable(const cell& c, part h, const std::vector<std::uint32_t>& reader,
+                  std::vector<const write_event*>& out) const;
+
+    void record_write(std::uint64_t sab, std::uint32_t slot, double committed_before,
+                      double value, access acc, std::uint64_t new_bits);
+    void acquire_newest(const cell& c, std::vector<std::uint32_t>& reader);
+
+    sim::simulation* sim_ = nullptr;
+    mode mode_ = mode::seqcst;
+    std::unordered_map<std::uint64_t, cell> cells_;
+    std::vector<std::vector<std::uint32_t>> clocks_;  // per-thread vector clocks
+    std::unordered_map<sim::task_id, std::vector<std::uint32_t>> pending_;
+    std::uint64_t enumerated_reads_ = 0;
+
+    // scratch (reused per read; the enumerator allocates nothing steady-state)
+    std::vector<const write_event*> lo_src_;
+    std::vector<const write_event*> hi_src_;
+    std::vector<std::uint64_t> cand_bits_;
+};
+
+}  // namespace jsk::wm

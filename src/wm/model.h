@@ -1,0 +1,132 @@
+// jsk::wm — the repaired ECMAScript SharedArrayBuffer memory model
+// (Watt et al., PAPERS.md): access orderings, tear granularity, and the
+// browser-level memory-model switch.
+//
+// The runtime's SAB surface is sequentially consistent by construction —
+// tasks are atomic in the DES, so schedule exploration alone can only ever
+// see interleaving-order nondeterminism. This module adds the second axis:
+// every SAB access carries an `access` descriptor (unordered vs seq-cst,
+// full-width vs 32-bit half), and under `mode::relaxed` the unordered reads
+// stop returning committed memory and instead enumerate the reads-from
+// candidates the axiomatic model allows (wm/memory.h). Under the default
+// `mode::seqcst` nothing changes — every existing golden is byte-identical.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace jsk::wm {
+
+/// Access ordering, per the repaired ECMAScript memory model: `unordered`
+/// is a plain typed-array read/write (tearable, freely reorderable);
+/// `seqcst` is an Atomics.* access (no-tear, totally ordered, and a
+/// synchronizes-with edge when a seq-cst read reads a seq-cst write).
+enum class ordering : std::uint8_t { unordered = 0, seqcst = 1 };
+
+/// Tear granularity of one access against the 64-bit slot. `full` touches
+/// the whole slot; `lo`/`hi` touch one 32-bit half (the mixed-size accesses
+/// that make tearing candidates legal — same-size aligned accesses never
+/// tear).
+enum class part : std::uint8_t { full = 0, lo = 1, hi = 2 };
+
+/// One SAB access descriptor, threaded through the api_table and the
+/// context natives. Default-constructed it is a plain unordered full-width
+/// access — exactly what every pre-existing call site meant.
+struct access {
+    ordering ord = ordering::unordered;
+    part p = part::full;
+
+    bool operator==(const access&) const = default;
+};
+
+inline constexpr access seqcst_access{ordering::seqcst, part::full};
+
+/// The browser-wide memory-model switch. `seqcst` (default) keeps the
+/// historical strongly-consistent behaviour; `relaxed` routes unordered
+/// reads through the candidate-execution enumerator.
+enum class mode : std::uint8_t { seqcst = 0, relaxed = 1 };
+
+inline const char* to_string(mode m)
+{
+    return m == mode::relaxed ? "relaxed" : "seqcst";
+}
+
+inline std::optional<mode> parse_mode(std::string_view text)
+{
+    if (text == "seqcst") return mode::seqcst;
+    if (text == "relaxed") return mode::relaxed;
+    return std::nullopt;
+}
+
+/// Witness-key program tag: the memory model is part of a trial's identity
+/// (the same CVE under relaxed is a different experiment), and the tag
+/// rides inside the free-form `program` string so the par cache, the svc
+/// store and the wire format all work unchanged. Empty for seqcst — every
+/// pre-existing key byte is preserved.
+inline std::string program_tag(mode m)
+{
+    return m == mode::relaxed ? "+relaxed" : "";
+}
+
+/// Inverse of program_tag over a suffixed program id: "cve-2013-6646+relaxed"
+/// -> ("cve-2013-6646", relaxed); ids without the suffix parse as seqcst.
+inline std::pair<std::string, mode> split_program_tag(const std::string& program)
+{
+    constexpr std::string_view tag = "+relaxed";
+    if (program.size() >= tag.size() &&
+        std::string_view(program).substr(program.size() - tag.size()) == tag) {
+        return {program.substr(0, program.size() - tag.size()), mode::relaxed};
+    }
+    return {program, mode::seqcst};
+}
+
+// --- slot bit manipulation ------------------------------------------------------
+// The 64-bit slot is modelled as the bit pattern of its double. Half
+// accesses traffic in 32-bit unsigned integers carried as doubles (the way
+// a Uint32Array view over the SAB would), so torn values compose and
+// decompose deterministically.
+
+inline std::uint64_t slot_bits(double value) { return std::bit_cast<std::uint64_t>(value); }
+inline double slot_value(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+/// Clamp a half-access operand to u32 (out-of-range and non-finite store 0,
+/// like a JS ToUint32 on garbage — the exact value matters less than
+/// determinism).
+inline std::uint32_t to_half(double value)
+{
+    if (!(value >= 0.0) || value >= 4294967296.0) return 0;
+    return static_cast<std::uint32_t>(value);
+}
+
+/// The slot bits after applying a write of `value` at granularity `p` to a
+/// slot currently holding `old_bits`.
+inline std::uint64_t apply_write(std::uint64_t old_bits, double value, part p)
+{
+    switch (p) {
+        case part::full: return slot_bits(value);
+        case part::lo:
+            return (old_bits & 0xFFFFFFFF00000000ULL) |
+                   static_cast<std::uint64_t>(to_half(value));
+        case part::hi:
+            return (old_bits & 0x00000000FFFFFFFFULL) |
+                   (static_cast<std::uint64_t>(to_half(value)) << 32);
+    }
+    return old_bits;
+}
+
+/// The value a read at granularity `p` observes out of slot bits.
+inline double read_part(std::uint64_t bits, part p)
+{
+    switch (p) {
+        case part::full: return slot_value(bits);
+        case part::lo: return static_cast<double>(bits & 0xFFFFFFFFULL);
+        case part::hi: return static_cast<double>(bits >> 32);
+    }
+    return slot_value(bits);
+}
+
+}  // namespace jsk::wm

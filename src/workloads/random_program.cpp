@@ -12,6 +12,10 @@ namespace {
 struct program_env {
     rt::browser* b;
     std::shared_ptr<observation_log> log;
+    /// Shared counter buffer for the sab_mix action family; null when the
+    /// option is off (the action never rolls, so the rng stream — and every
+    /// historical observation golden — is untouched).
+    rt::shared_buffer_ptr sab;
 };
 
 void random_action(sim::rng& rng, const program_env& env, int depth);
@@ -28,15 +32,16 @@ void random_action(sim::rng& rng, const program_env& env, int depth)
 {
     rt::browser& b = *env.b;
     auto log = env.log;
-    const auto pick = rng.uniform(0, 9);
+    const auto pick = rng.uniform(0, env.sab ? 10 : 9);
     const std::uint64_t sub_seed = rng.next_u64();
     switch (pick) {
         case 0: {  // timer
             const auto delay = rng.uniform(0, 40) * sim::ms;
             b.main().apis().set_timeout(
-                [log, sub_seed, &b, depth] {
+                [log, sub_seed, &b, depth, sab = env.sab] {
                     log->note("timer@" + std::to_string(b.main().apis().performance_now()));
-                    random_actions_in_callback(sub_seed, program_env{&b, log}, depth + 1);
+                    random_actions_in_callback(sub_seed, program_env{&b, log, sab},
+                                               depth + 1);
                 },
                 delay);
             log->note("set_timeout", static_cast<double>(delay / sim::ms));
@@ -105,6 +110,46 @@ void random_action(sim::rng& rng, const program_env& env, int depth)
             log->note("date", b.main().apis().date_now());
             break;
         }
+        case 10: {  // SAB traffic (sab_mix only — env.sab gates the roll)
+            const auto& buf = env.sab;
+            const auto op = rng.uniform(0, 4);
+            const double v = static_cast<double>(rng.uniform(0, 1'000));
+            switch (op) {
+                case 0: {  // unordered full-width store + load
+                    b.main().apis().sab_store(buf, 0, v, {});
+                    log->note("sab", b.main().apis().sab_load(buf, 0, {}));
+                    break;
+                }
+                case 1: {  // mixed-size: half stores, half loads (tearable)
+                    b.main().apis().sab_store(
+                        buf, 1, v, {wm::ordering::unordered, wm::part::lo});
+                    b.main().apis().sab_store(
+                        buf, 1, v + 1.0, {wm::ordering::unordered, wm::part::hi});
+                    log->note("sab.lo", b.main().apis().sab_load(
+                                            buf, 1,
+                                            {wm::ordering::unordered, wm::part::lo}));
+                    log->note("sab.hi", b.main().apis().sab_load(
+                                            buf, 1,
+                                            {wm::ordering::unordered, wm::part::hi}));
+                    break;
+                }
+                case 2: {  // Atomics.add counter bump
+                    log->note("sab.add", b.main().apis().atomics_add(buf, 2, 1.0));
+                    break;
+                }
+                case 3: {  // Atomics.store / Atomics.load
+                    b.main().apis().atomics_store(buf, 3, v);
+                    log->note("sab.sc", b.main().apis().atomics_load(buf, 3));
+                    break;
+                }
+                default: {  // Atomics.compareExchange against the last add
+                    log->note("sab.cas", b.main().apis().atomics_compare_exchange(
+                                             buf, 2, v, v + 1.0));
+                    break;
+                }
+            }
+            break;
+        }
         default: {  // cancelled timer (must never fire)
             const auto t = b.main().apis().set_timeout(
                 [log] { log->note("CANCELLED_TIMER_FIRED"); }, 15 * sim::ms);
@@ -118,7 +163,8 @@ void random_action(sim::rng& rng, const program_env& env, int depth)
 }  // namespace
 
 void install_random_program(rt::browser& b, std::uint64_t program_seed,
-                            std::shared_ptr<observation_log> log)
+                            std::shared_ptr<observation_log> log,
+                            random_program_options opt)
 {
     for (int i = 0; i < 5; ++i) {
         b.net().serve(rt::resource{"https://site.example/r" + std::to_string(i),
@@ -132,11 +178,33 @@ void install_random_program(rt::browser& b, std::uint64_t program_seed,
         });
     });
 
-    b.main().post_task(0, [&b, log, program_seed] {
+    rt::shared_buffer_ptr sab;
+    if (opt.sab_mix) {
+        sab = b.main().apis().create_shared_buffer(4);
+        // A second thread touching the buffer: the echo worker doubles as a
+        // counter bumper, so unordered reads on the main thread have genuine
+        // cross-thread reads-from candidates under the relaxed model.
+        b.register_worker_script("sab.js", [sab](rt::context& ctx) {
+            ctx.apis().set_self_onmessage([&ctx, sab](const rt::message_event& e) {
+                const double seen = ctx.apis().sab_load(sab, 0, {});
+                ctx.apis().sab_store(sab, 0, seen + 1.0, {});
+                (void)ctx.apis().atomics_add(sab, 2, 1.0);
+                ctx.apis().post_message_to_parent(rt::js_value{seen}, {});
+                (void)e;
+            });
+        });
+        auto w = b.main().apis().create_worker("sab.js");
+        w->set_onmessage([log](const rt::message_event& e) {
+            log->note("sab.worker", e.data.as_number());
+        });
+        w->post_message(rt::js_value{1.0});
+    }
+
+    b.main().post_task(0, [&b, log, program_seed, sab] {
         sim::rng rng(program_seed);
         const auto actions = 4 + rng.uniform(0, 8);
         for (std::int64_t i = 0; i < actions; ++i) {
-            random_action(rng, program_env{&b, log}, 0);
+            random_action(rng, program_env{&b, log, sab}, 0);
         }
     });
 }

@@ -26,11 +26,24 @@ struct observation_log {
     [[nodiscard]] std::string str() const { return out.str(); }
 };
 
+/// Generator knobs. Defaults reproduce the historical action mix exactly —
+/// every pre-existing (seed -> observations) golden is byte-identical.
+struct random_program_options {
+    /// Mix SharedArrayBuffer traffic into the action set: unordered full and
+    /// 32-bit half accesses, Atomics.{load,store,add,compareExchange}, and a
+    /// worker that bumps a shared counter. Off by default; when on, the
+    /// observation stream additionally becomes a function of the browser's
+    /// memory model (under `relaxed` with a controller attached, rf choices
+    /// steer what the unordered reads log).
+    bool sab_mix = false;
+};
+
 /// Serve the fixture resources (r0..r4), register the echo worker script and
 /// post the seeded random program onto the main context. The caller decides
 /// what to install first (a defense, a schedule controller) and then runs
 /// the simulation to quiescence.
 void install_random_program(rt::browser& b, std::uint64_t program_seed,
-                            std::shared_ptr<observation_log> log);
+                            std::shared_ptr<observation_log> log,
+                            random_program_options opt = {});
 
 }  // namespace jsk::workloads

@@ -96,8 +96,8 @@ TEST(por_regression, browser_sab_race_is_dependent_under_the_sound_footprint)
         ctl.attach(b.sim());
         auto buf = b.main().apis().create_shared_buffer(1);
         bool raced = false;
-        b.main().post_task(5 * ms, [&] { b.main().apis().sab_store(buf, 0, 7.0); });
-        w.post_task(5 * ms, [&] { raced = (w.apis().sab_load(buf, 0) == 0.0); });
+        b.main().post_task(5 * ms, [&] { b.main().apis().sab_store(buf, 0, 7.0, {}); });
+        w.post_task(5 * ms, [&] { raced = (w.apis().sab_load(buf, 0, {}) == 0.0); });
         b.run();
         return explore::run_outcome{raced, "read saw the pre-write slot"};
     };

@@ -114,7 +114,7 @@ TEST_F(adversary_fixture, sab_reads_tick_the_kernel_clock)
     const auto ticks_before = k->clock().ticks();
     b.main().post_task(0, [&] {
         auto buf = b.main().apis().create_shared_buffer(1);
-        for (int i = 0; i < 1000; ++i) (void)b.main().apis().sab_load(buf, 0);
+        for (int i = 0; i < 1000; ++i) (void)b.main().apis().sab_load(buf, 0, {});
     });
     b.run();
     EXPECT_GE(k->clock().ticks() - ticks_before, 1000u);

@@ -24,8 +24,8 @@ double sab_measure(rt::browser& b, sim::time_ns secret)
             auto buf = e.data.as_shared_buffer();
             ctx.apis().set_interval(
                 [&ctx, buf] {
-                    const double v = ctx.apis().sab_load(buf, 0);
-                    ctx.apis().sab_store(buf, 0, v + 1.0);
+                    const double v = ctx.apis().sab_load(buf, 0, {});
+                    ctx.apis().sab_store(buf, 0, v + 1.0, {});
                 },
                 1 * sim::ms);
         });
@@ -38,11 +38,11 @@ double sab_measure(rt::browser& b, sim::time_ns secret)
         // Give the ticker a head start, then measure the secret.
         apis.set_timeout(
             [&b, buf, delta, w] {
-                const double before = b.main().apis().sab_load(buf, 0);
+                const double before = b.main().apis().sab_load(buf, 0, {});
                 b.main().apis().fetch(
                     "https://x/secret", {},
                     [&b, buf, delta, before, w](const rt::fetch_result&) {
-                        *delta = b.main().apis().sab_load(buf, 0) - before;
+                        *delta = b.main().apis().sab_load(buf, 0, {}) - before;
                         w->terminate();
                     },
                     nullptr);
@@ -85,8 +85,8 @@ TEST(sab_clock, kernel_keeps_same_thread_sab_working)
     double local = -1.0;
     b.main().post_task(0, [&] {
         auto buf = b.main().apis().create_shared_buffer(2);
-        b.main().apis().sab_store(buf, 1, 42.0);
-        local = b.main().apis().sab_load(buf, 1);
+        b.main().apis().sab_store(buf, 1, 42.0, {});
+        local = b.main().apis().sab_load(buf, 1, {});
     });
     b.run();
     EXPECT_DOUBLE_EQ(local, 42.0);
@@ -101,7 +101,7 @@ TEST(sab_clock, cross_thread_values_travel_via_messages)
     b.register_worker_script("sab-writer.js", [](rt::context& ctx) {
         ctx.apis().set_self_onmessage([&ctx](const rt::message_event& e) {
             auto buf = e.data.as_shared_buffer();
-            ctx.apis().sab_store(buf, 0, 42.0);
+            ctx.apis().sab_store(buf, 0, 42.0, {});
             // Kernel-compatible sync: communicate the value explicitly.
             ctx.apis().post_message_to_parent(rt::js_value{42.0}, {});
         });
@@ -111,7 +111,7 @@ TEST(sab_clock, cross_thread_values_travel_via_messages)
         auto w = b.main().apis().create_worker("sab-writer.js");
         w->set_onmessage([&, buf](const rt::message_event& e) {
             via_message = e.data.as_number();
-            via_raw_sab = b.main().apis().sab_load(buf, 0);
+            via_raw_sab = b.main().apis().sab_load(buf, 0, {});
         });
         w->post_message(rt::js_value{buf});
     });

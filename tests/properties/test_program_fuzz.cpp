@@ -43,14 +43,15 @@ struct fuzz_run {
     jsk::kernel::journal kernel_journal;
 };
 
-fuzz_run run_program(std::uint64_t program_seed, double physical_factor, bool with_kernel)
+fuzz_run run_program(std::uint64_t program_seed, double physical_factor, bool with_kernel,
+                     workloads::random_program_options opt = {})
 {
     rt::browser b(perturbed_profile(physical_factor));
     std::unique_ptr<kernel::kernel> k;
     if (with_kernel) k = kernel::kernel::boot(b);
 
     auto log = std::make_shared<workloads::observation_log>();
-    workloads::install_random_program(b, program_seed, log);
+    workloads::install_random_program(b, program_seed, log, opt);
     b.run_until(60 * sim::sec, 5'000'000);
 
     fuzz_run out;
@@ -98,6 +99,44 @@ TEST_P(program_fuzz, kernel_runs_are_reproducible)
     const fuzz_run b = run_program(GetParam(), 1.0, true);
     EXPECT_EQ(a.observations, b.observations);
     EXPECT_TRUE(a.kernel_journal == b.kernel_journal);
+}
+
+TEST_P(program_fuzz, sab_mix_kernel_observations_invariant_under_perturbation)
+{
+    // With the SAB action family mixed in (unordered full/half accesses,
+    // Atomics ops, a counter-bumping worker), the kernel's observable
+    // timeline must still be a pure function of the program seed.
+    workloads::random_program_options opt;
+    opt.sab_mix = true;
+    const fuzz_run slow = run_program(GetParam(), 3.0, true, opt);
+    const fuzz_run fast = run_program(GetParam(), 0.5, true, opt);
+    EXPECT_EQ(slow.observations, fast.observations);
+    EXPECT_TRUE(slow.kernel_journal == fast.kernel_journal)
+        << "journals diverge at index "
+        << slow.kernel_journal.first_divergence(fast.kernel_journal);
+
+    const fuzz_run again = run_program(GetParam(), 3.0, true, opt);
+    EXPECT_EQ(again.observations, slow.observations);
+}
+
+TEST(program_fuzz_control, sab_mix_actually_changes_the_program_space)
+{
+    // Aggregate control: with the option on, the SAB action family rolls in
+    // most programs (individual seeds can legitimately never draw it), and
+    // the worker's counter round-trip is part of the observation stream.
+    // With the option off, no SAB note can ever appear — the historical
+    // goldens are untouched.
+    const std::vector<std::uint64_t> seeds{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233};
+    int with_sab = 0;
+    for (const auto seed : seeds) {
+        workloads::random_program_options opt;
+        opt.sab_mix = true;
+        const fuzz_run mixed = run_program(seed, 1.0, true, opt);
+        if (mixed.observations.find("sab") != std::string::npos) ++with_sab;
+        const fuzz_run plain = run_program(seed, 1.0, true);
+        EXPECT_EQ(plain.observations.find("sab"), std::string::npos) << seed;
+    }
+    EXPECT_GE(with_sab, static_cast<int>(seeds.size() / 2));
 }
 
 INSTANTIATE_TEST_SUITE_P(seeds, program_fuzz,

@@ -28,6 +28,7 @@
 #include "faults/plan.h"
 #include "obs/chrome_export.h"
 #include "sim/explore.h"
+#include "wm/model.h"
 #include "workloads/random_program.h"
 
 namespace {
@@ -64,15 +65,20 @@ struct fuzz_world {
 
     fuzz_world(const core::world_recipe& recipe, sim::explore::schedule prefix,
                sim::explore::controller::tail_policy tail, std::uint64_t walk_seed,
-               std::uint64_t program_seed, const faults::plan& p)
+               std::uint64_t program_seed, const faults::plan& p,
+               wm::mode model = wm::mode::seqcst,
+               workloads::random_program_options popt = {})
         : w(recipe), ctl(std::move(prefix), tail, walk_seed), inj(p),
           log(std::make_shared<workloads::observation_log>())
     {
         // Assembly order is part of the determinism contract: controller
-        // first (every task records), then the injector, then the program.
+        // first (every task records), then the memory model (its reads-from
+        // choices record into the same decision string), then the injector,
+        // then the program.
         ctl.attach(w.browser.sim());
+        w.browser.set_memory_model(model);
         w.browser.set_fault_injector(&inj);
-        workloads::install_random_program(w.browser, program_seed, log);
+        workloads::install_random_program(w.browser, program_seed, log, popt);
     }
 };
 
@@ -107,6 +113,8 @@ struct fuzz_case {
     std::uint64_t plan_index;
     std::uint64_t walk_seed;
     std::uint64_t split_permille;  // snapshot point as a fraction of the horizon
+    bool sab_mix = false;          // mix SAB traffic into the action set
+    bool relaxed = false;          // run under the relaxed SAB memory model
 };
 
 TEST(snapshot_fuzz, mid_run_snapshots_resume_identically)
@@ -122,21 +130,33 @@ TEST(snapshot_fuzz, mid_run_snapshots_resume_identically)
         {22, true, 3, 0xB0B0u, 643},
         {33, true, 4, 0xC0FFEEu, 881},
         {44, false, 5, 0xDEAD5EEDu, 29},
+        // SAB traffic mixed in, under both memory models: the relaxed rows
+        // prove a mid-run snapshot preserves the reads-from decision stream
+        // (the recorded prefix replays value choices bit-for-bit too).
+        {55, false, 0, 0x5AB5ABu, 401, /*sab_mix=*/true, /*relaxed=*/false},
+        {55, true, 2, 0x5AB5ABu, 760, /*sab_mix=*/true, /*relaxed=*/false},
+        {66, false, 1, 0x0DDBA11u, 233, /*sab_mix=*/true, /*relaxed=*/true},
+        {66, true, 5, 0x0DDBA11u, 572, /*sab_mix=*/true, /*relaxed=*/true},
     };
 
     for (const auto& c : cases) {
         const std::string label = "seed=" + std::to_string(c.program_seed) +
                                   (c.boot_kernel ? " kernel" : " plain") +
                                   " plan=" + std::to_string(c.plan_index) +
-                                  " split=" + std::to_string(c.split_permille);
+                                  " split=" + std::to_string(c.split_permille) +
+                                  (c.sab_mix ? " sab_mix" : "") +
+                                  (c.relaxed ? " relaxed" : "");
         const faults::plan p = faults::plan::sample(c.plan_index);
         const core::world_recipe recipe = fuzz_recipe(c.boot_kernel);
+        const wm::mode model = c.relaxed ? wm::mode::relaxed : wm::mode::seqcst;
+        workloads::random_program_options popt;
+        popt.sab_mix = c.sab_mix;
 
         // (1) Uninterrupted baseline: random tail records the schedule.
         run_oracles base;
         {
             fuzz_world fw(recipe, {}, sim::explore::controller::tail_policy::random,
-                          c.walk_seed, c.program_seed, p);
+                          c.walk_seed, c.program_seed, p, model, popt);
             fw.w.browser.run_until(k_horizon);
             base = harvest(fw);
         }
@@ -155,7 +175,7 @@ TEST(snapshot_fuzz, mid_run_snapshots_resume_identically)
         snap.capture([&]() -> void* {
             auto* fw = new fuzz_world(recipe, *prefix,
                                       sim::explore::controller::tail_policy::first,
-                                      0, c.program_seed, p);
+                                      0, c.program_seed, p, model, popt);
             fw->w.browser.run_until(t_mid);
             quiescent_at_seal = !fw->w.browser.sim().in_task();
             return fw;

@@ -241,12 +241,12 @@ TEST(context_sab, shared_buffer_load_store)
     double value = 0.0;
     b.main().post_task(0, [&] {
         buf = b.main().apis().create_shared_buffer(4);
-        b.main().apis().sab_store(buf, 2, 1.5);
-        value = b.main().apis().sab_load(buf, 2);
+        b.main().apis().sab_store(buf, 2, 1.5, {});
+        value = b.main().apis().sab_load(buf, 2, {});
     });
     b.run();
     EXPECT_DOUBLE_EQ(value, 1.5);
-    b.main().post_task(0, [&] { b.main().apis().sab_load(buf, 99); });
+    b.main().post_task(0, [&] { b.main().apis().sab_load(buf, 99, {}); });
     EXPECT_THROW(b.run(), std::out_of_range);
 }
 

@@ -1,0 +1,200 @@
+// SharedArrayBuffer native surface: bounds validation, zero-slot buffers,
+// cross-worker buffer identity, mixed-size half accesses and the
+// Atomics-style seq-cst operations — plain and under the JSKernel shadow.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "defenses/defense.h"
+#include "runtime/browser.h"
+#include "wm/model.h"
+
+namespace {
+
+using namespace jsk::rt;
+namespace sim = jsk::sim;
+namespace wm = jsk::wm;
+
+// --- bounds validation ------------------------------------------------------
+
+TEST(sab_bounds, load_out_of_range_throws)
+{
+    browser b(chrome_profile());
+    shared_buffer_ptr buf;
+    b.main().post_task(0, [&] { buf = b.main().apis().create_shared_buffer(2); });
+    b.run();
+    b.main().post_task(0, [&] { (void)b.main().apis().sab_load(buf, 2, {}); });
+    EXPECT_THROW(b.run(), std::out_of_range);
+}
+
+TEST(sab_bounds, store_out_of_range_throws)
+{
+    browser b(chrome_profile());
+    shared_buffer_ptr buf;
+    b.main().post_task(0, [&] { buf = b.main().apis().create_shared_buffer(2); });
+    b.run();
+    b.main().post_task(0, [&] { b.main().apis().sab_store(buf, 7, 1.0, {}); });
+    EXPECT_THROW(b.run(), std::out_of_range);
+}
+
+TEST(sab_bounds, null_buffer_throws)
+{
+    browser b(chrome_profile());
+    b.main().post_task(0, [&] { (void)b.main().apis().sab_load(nullptr, 0, {}); });
+    EXPECT_THROW(b.run(), std::out_of_range);
+}
+
+TEST(sab_bounds, zero_slot_buffer_rejects_every_index)
+{
+    browser b(chrome_profile());
+    shared_buffer_ptr buf;
+    b.main().post_task(0, [&] { buf = b.main().apis().create_shared_buffer(0); });
+    b.run();
+    ASSERT_NE(buf, nullptr);
+    EXPECT_EQ(buf->slots.size(), 0u);
+    b.main().post_task(0, [&] { (void)b.main().apis().sab_load(buf, 0, {}); });
+    EXPECT_THROW(b.run(), std::out_of_range);
+}
+
+TEST(sab_bounds, atomics_validate_like_plain_accesses)
+{
+    {
+        browser b(chrome_profile());
+        shared_buffer_ptr buf;
+        b.main().post_task(0, [&] { buf = b.main().apis().create_shared_buffer(1); });
+        b.run();
+        b.main().post_task(0, [&] { (void)b.main().apis().atomics_add(buf, 1, 1.0); });
+        EXPECT_THROW(b.run(), std::out_of_range);
+    }
+    {
+        browser b(chrome_profile());
+        b.main().post_task(0, [&] {
+            (void)b.main().apis().atomics_compare_exchange(nullptr, 0, 0.0, 1.0);
+        });
+        EXPECT_THROW(b.run(), std::out_of_range);
+    }
+}
+
+// --- cross-worker identity --------------------------------------------------
+
+TEST(sab_identity, one_buffer_is_shared_across_worker_and_main)
+{
+    // The same shared_buffer object captured by a worker script is the same
+    // memory the main context reads — a store on the worker thread is
+    // visible to a (later, message-ordered) main-thread load.
+    browser b(chrome_profile());
+    shared_buffer_ptr buf;
+    b.main().post_task(0, [&] { buf = b.main().apis().create_shared_buffer(1); });
+    b.run();
+
+    b.register_worker_script("writer.js", [buf2 = &buf](context& ctx) {
+        ctx.apis().set_self_onmessage([&ctx, buf2](const message_event& e) {
+            ctx.apis().sab_store(*buf2, 0, e.data.as_number(), {});
+            ctx.apis().post_message_to_parent(js_value{1.0}, {});
+        });
+    });
+
+    double seen = -1.0;
+    b.main().post_task(0, [&] {
+        auto w = b.main().apis().create_worker("writer.js");
+        w->set_onmessage([&](const message_event&) {
+            seen = b.main().apis().sab_load(buf, 0, {});
+        });
+        w->post_message(js_value{42.0});
+    });
+    b.run();
+    EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+// --- mixed-size half accesses ----------------------------------------------
+
+TEST(sab_halves, half_stores_compose_and_read_back_through_the_api)
+{
+    browser b(chrome_profile());
+    double lo = -1.0;
+    double hi = -1.0;
+    b.main().post_task(0, [&] {
+        auto buf = b.main().apis().create_shared_buffer(1);
+        b.main().apis().sab_store(buf, 0, 7.0,
+                                  {wm::ordering::unordered, wm::part::lo});
+        b.main().apis().sab_store(buf, 0, 9.0,
+                                  {wm::ordering::unordered, wm::part::hi});
+        lo = b.main().apis().sab_load(buf, 0,
+                                      {wm::ordering::unordered, wm::part::lo});
+        hi = b.main().apis().sab_load(buf, 0,
+                                      {wm::ordering::unordered, wm::part::hi});
+    });
+    b.run();
+    EXPECT_DOUBLE_EQ(lo, 7.0);
+    EXPECT_DOUBLE_EQ(hi, 9.0);
+}
+
+// --- Atomics-style seq-cst operations ---------------------------------------
+
+TEST(sab_atomics, load_store_add_and_cas_semantics)
+{
+    browser b(chrome_profile());
+    double old_add = -1.0, after_add = -1.0;
+    double cas_miss = -1.0, cas_hit = -1.0, final_value = -1.0;
+    b.main().post_task(0, [&] {
+        auto buf = b.main().apis().create_shared_buffer(1);
+        b.main().apis().atomics_store(buf, 0, 5.0);
+        old_add = b.main().apis().atomics_add(buf, 0, 2.0);  // returns old
+        after_add = b.main().apis().atomics_load(buf, 0);
+        cas_miss = b.main().apis().atomics_compare_exchange(buf, 0, 99.0, 0.0);
+        cas_hit = b.main().apis().atomics_compare_exchange(buf, 0, 7.0, 11.0);
+        final_value = b.main().apis().atomics_load(buf, 0);
+    });
+    b.run();
+    EXPECT_DOUBLE_EQ(old_add, 5.0);
+    EXPECT_DOUBLE_EQ(after_add, 7.0);
+    EXPECT_DOUBLE_EQ(cas_miss, 7.0);  // expected 99 -> no exchange, returns old
+    EXPECT_DOUBLE_EQ(cas_hit, 7.0);   // expected 7 -> exchanged, returns old
+    EXPECT_DOUBLE_EQ(final_value, 11.0);
+}
+
+// --- under the JSKernel shadow ----------------------------------------------
+
+TEST(sab_kernel, shadow_round_trips_and_validates_bounds)
+{
+    browser b(chrome_profile());
+    auto def = jsk::defenses::make_defense(jsk::defenses::defense_id::jskernel, 17);
+    def->install(b);
+
+    double value = -1.0, old_add = -1.0, after = -1.0;
+    b.main().post_task(0, [&] {
+        auto buf = b.main().apis().create_shared_buffer(2);
+        b.main().apis().sab_store(buf, 0, 3.5, {});
+        value = b.main().apis().sab_load(buf, 0, {});
+        b.main().apis().atomics_store(buf, 1, 1.0);
+        old_add = b.main().apis().atomics_add(buf, 1, 4.0);
+        after = b.main().apis().atomics_load(buf, 1);
+    });
+    b.run();
+    EXPECT_DOUBLE_EQ(value, 3.5);
+    EXPECT_DOUBLE_EQ(old_add, 1.0);
+    EXPECT_DOUBLE_EQ(after, 5.0);
+}
+
+TEST(sab_kernel, shadow_path_validates_bounds)
+{
+    for (const bool use_atomics : {false, true}) {
+        browser b(chrome_profile());
+        auto def =
+            jsk::defenses::make_defense(jsk::defenses::defense_id::jskernel, 17);
+        def->install(b);
+        shared_buffer_ptr buf;
+        b.main().post_task(0, [&] { buf = b.main().apis().create_shared_buffer(1); });
+        b.run();
+        b.main().post_task(0, [&] {
+            if (use_atomics) {
+                (void)b.main().apis().atomics_add(buf, 5, 1.0);
+            } else {
+                (void)b.main().apis().sab_load(buf, 5, {});
+            }
+        });
+        EXPECT_THROW(b.run(), std::out_of_range);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,401 @@
+// jsk::wm — relaxed SAB memory model tests (the `wm` ctest label).
+//
+// The two-sided litmus claims are the heart of this suite: for SB, MP and
+// the tearing-amplified counter, explore_dfs must EXHAUST the bounded
+// schedule tree with no violation under mode::seqcst (tasks are atomic in
+// the DES, so schedules alone cover every seq-cst outcome — that run is the
+// machine-checked "provably unreachable" half), while the identical program
+// under mode::relaxed must yield a witness whose decision string replays
+// byte-for-byte, survives ddmin shrinking, and degenerates to the seq-cst
+// outcome when every reads-from choice is zeroed (candidate 0 is always the
+// committed value).
+//
+// The matrix/service half pins the defense claim end-to-end: all 12 CVE
+// rows stay kernel-blocked under --memory-model relaxed, the relaxed matrix
+// JSON is byte-identical at any --jobs and under snapshot-served worlds,
+// and "+relaxed"-tagged witness keys round-trip through the sweep service
+// and its disk store unchanged.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "attacks/explore_sweep.h"
+#include "attacks/wm_litmus.h"
+#include "runtime/browser.h"
+#include "sim/explore.h"
+#include "sim/por.h"
+#include "sim/time.h"
+#include "svc/service.h"
+#include "wm/model.h"
+
+namespace {
+
+using namespace jsk;
+namespace explore = sim::explore;
+namespace fs = std::filesystem;
+
+explore::options plain_dfs()
+{
+    explore::options opt;
+    opt.max_schedules = 4096;  // litmus trees are tiny; never trip the bound
+    return opt;
+}
+
+/// Assert the DFS proved the outcome unreachable: the whole bounded tree
+/// explored, no violating schedule anywhere in it.
+void expect_unreachable(const explore::program& p, const char* what)
+{
+    const auto r = explore::explore_dfs(p, plain_dfs());
+    EXPECT_TRUE(r.exhausted) << what;
+    EXPECT_FALSE(r.failing.has_value())
+        << what << ": unexpected witness " << r.failing->str() << " ("
+        << r.failure_detail << ")";
+}
+
+/// Assert the DFS found a witness, and return it.
+explore::schedule expect_witness(const explore::program& p, const char* what)
+{
+    const auto r = explore::explore_dfs(p, plain_dfs());
+    EXPECT_TRUE(r.failing.has_value()) << what << ": no witness found";
+    if (!r.failing.has_value()) return {};
+    return *r.failing;
+}
+
+// --- model unit tests -------------------------------------------------------
+
+TEST(wm_model, mode_names_parse_and_round_trip)
+{
+    EXPECT_EQ(wm::parse_mode("seqcst"), wm::mode::seqcst);
+    EXPECT_EQ(wm::parse_mode("relaxed"), wm::mode::relaxed);
+    EXPECT_EQ(wm::parse_mode("tso"), std::nullopt);
+    EXPECT_STREQ(wm::to_string(wm::mode::seqcst), "seqcst");
+    EXPECT_STREQ(wm::to_string(wm::mode::relaxed), "relaxed");
+}
+
+TEST(wm_model, program_tag_round_trips_through_witness_program_strings)
+{
+    EXPECT_EQ(wm::program_tag(wm::mode::seqcst), "");
+    EXPECT_EQ(wm::program_tag(wm::mode::relaxed), "+relaxed");
+
+    const auto [plain, m0] = wm::split_program_tag("CVE-2018-8174");
+    EXPECT_EQ(plain, "CVE-2018-8174");
+    EXPECT_EQ(m0, wm::mode::seqcst);
+
+    const auto [stem, m1] = wm::split_program_tag("CVE-2018-8174+relaxed");
+    EXPECT_EQ(stem, "CVE-2018-8174");
+    EXPECT_EQ(m1, wm::mode::relaxed);
+}
+
+TEST(wm_model, half_writes_compose_and_read_back)
+{
+    // Build a slot from two 32-bit halves and read each part back.
+    std::uint64_t bits = wm::slot_bits(0.0);
+    bits = wm::apply_write(bits, 7.0, wm::part::lo);
+    bits = wm::apply_write(bits, 9.0, wm::part::hi);
+    EXPECT_EQ(wm::read_part(bits, wm::part::lo), 7.0);
+    EXPECT_EQ(wm::read_part(bits, wm::part::hi), 9.0);
+
+    // A full write replaces both halves.
+    bits = wm::apply_write(bits, 1.5, wm::part::full);
+    EXPECT_EQ(wm::read_part(bits, wm::part::full), 1.5);
+
+    // Non-finite and out-of-range half values clamp to 0 rather than UB.
+    EXPECT_EQ(wm::to_half(std::numeric_limits<double>::quiet_NaN()), 0u);
+    EXPECT_EQ(wm::to_half(1e300), 0u);
+}
+
+// --- litmus: relaxed-only outcomes ------------------------------------------
+
+TEST(wm_litmus, store_buffering_is_seqcst_unreachable)
+{
+    expect_unreachable(attacks::sb_litmus_program(wm::mode::seqcst), "SB/seqcst");
+}
+
+TEST(wm_litmus, store_buffering_is_relaxed_reachable_and_replays)
+{
+    const auto p = attacks::sb_litmus_program(wm::mode::relaxed);
+    const auto witness = expect_witness(p, "SB/relaxed");
+
+    // The witness must actually use the second search axis: at least one
+    // nonzero digit is a reads-from (or schedule) deviation from default.
+    auto trimmed = witness;
+    trimmed.trim();
+    EXPECT_FALSE(trimmed.choices.empty());
+
+    // Byte-stable replay, twice (fresh worlds each time).
+    EXPECT_TRUE(explore::replay(witness, p).violated);
+    EXPECT_TRUE(explore::replay(witness, p).violated);
+
+    // ddmin keeps the violation; the shrunk string replays too.
+    auto small = explore::shrink(witness, p, plain_dfs());
+    EXPECT_TRUE(explore::replay(small, p).violated);
+    small.trim();
+    EXPECT_LE(small.choices.size(), trimmed.choices.size());
+}
+
+TEST(wm_litmus, empty_decision_string_is_the_seqcst_outcome)
+{
+    // Candidate 0 of every reads-from choice is the committed value, so an
+    // all-default run of the *relaxed* program observes exactly what seq-cst
+    // would — the weak outcome needs explicit nonzero choices.
+    const auto p = attacks::sb_litmus_program(wm::mode::relaxed);
+    EXPECT_FALSE(explore::replay(explore::schedule{}, p).violated);
+}
+
+TEST(wm_litmus, message_passing_is_relaxed_only)
+{
+    expect_unreachable(attacks::mp_litmus_program(wm::mode::seqcst), "MP/seqcst");
+    const auto p = attacks::mp_litmus_program(wm::mode::relaxed);
+    const auto witness = expect_witness(p, "MP/relaxed");
+    EXPECT_TRUE(explore::replay(witness, p).violated);
+}
+
+TEST(wm_litmus, kernel_shadow_blocks_message_passing_under_both_models)
+{
+    expect_unreachable(
+        attacks::mp_litmus_program(wm::mode::seqcst, /*with_jskernel=*/true),
+        "MP/seqcst+kernel");
+    expect_unreachable(
+        attacks::mp_litmus_program(wm::mode::relaxed, /*with_jskernel=*/true),
+        "MP/relaxed+kernel");
+}
+
+TEST(wm_litmus, torn_counter_sample_is_relaxed_only)
+{
+    expect_unreachable(attacks::torn_counter_program(wm::mode::seqcst),
+                       "torn/seqcst");
+    const auto p = attacks::torn_counter_program(wm::mode::relaxed);
+    const auto witness = expect_witness(p, "torn/relaxed");
+    const auto out = explore::replay(witness, p);
+    EXPECT_TRUE(out.violated);
+    EXPECT_EQ(out.detail, "torn counter sample");
+}
+
+TEST(wm_litmus, kernel_shadow_blocks_torn_samples_under_both_models)
+{
+    expect_unreachable(
+        attacks::torn_counter_program(wm::mode::seqcst, /*with_jskernel=*/true),
+        "torn/seqcst+kernel");
+    expect_unreachable(
+        attacks::torn_counter_program(wm::mode::relaxed, /*with_jskernel=*/true),
+        "torn/relaxed+kernel");
+}
+
+TEST(wm_litmus, dpor_preserves_the_relaxed_witness)
+{
+    // Sleep-set DPOR prunes schedule alternatives, never value alternatives;
+    // the weak outcome must survive reduction.
+    auto opt = plain_dfs();
+    opt.dpor = true;
+    const auto r =
+        explore::explore_dfs(attacks::sb_litmus_program(wm::mode::relaxed), opt);
+    ASSERT_TRUE(r.failing.has_value());
+    EXPECT_TRUE(explore::replay(*r.failing,
+                                attacks::sb_litmus_program(wm::mode::relaxed))
+                    .violated);
+}
+
+// --- por: ordering-aware analysis -------------------------------------------
+
+TEST(wm_por, race_count_reports_unordered_conflicts)
+{
+    // The SB litmus under seq-cst *mode* still performs unordered accesses —
+    // a default-schedule run of it has racing unordered pairs, which is
+    // exactly the signal that the program is worth re-sweeping under
+    // --memory-model relaxed.
+    explore::controller ctl;
+    ctl.set_record_metadata(true);
+    const auto p = attacks::sb_litmus_program(wm::mode::seqcst);
+    (void)p(ctl);
+    const sim::por::analysis an(ctl);
+    EXPECT_GT(sim::por::race_count(ctl, an), 0u);
+}
+
+TEST(wm_por, seqcst_accesses_synchronize_instead_of_racing)
+{
+    // The same communication shape through Atomics: the seq-cst total order
+    // contributes synchronizes-with edges, so no pair is a race.
+    const explore::program p = [](explore::controller& ctl) {
+        rt::browser b{rt::chrome_profile(), 23};
+        rt::context& wa = b.create_context("wa", rt::context_kind::worker);
+        rt::context& wb = b.create_context("wb", rt::context_kind::worker);
+        ctl.attach(b.sim());
+        b.set_memory_model(wm::mode::relaxed);
+        auto buf = b.main().apis().create_shared_buffer(2);
+        wa.post_task(5 * sim::ms, [&] {
+            wa.apis().atomics_store(buf, 0, 1.0);
+            (void)wa.apis().atomics_load(buf, 1);
+        });
+        wb.post_task(5 * sim::ms, [&] {
+            wb.apis().atomics_store(buf, 1, 1.0);
+            (void)wb.apis().atomics_load(buf, 0);
+        });
+        b.run();
+        return explore::run_outcome{};
+    };
+    explore::controller ctl;
+    ctl.set_record_metadata(true);
+    (void)p(ctl);
+    const sim::por::analysis an(ctl);
+    EXPECT_EQ(sim::por::race_count(ctl, an), 0u);
+}
+
+// --- the 12-CVE matrix under the relaxed model ------------------------------
+
+TEST(wm_matrix, all_cves_stay_kernel_blocked_under_relaxed)
+{
+    attacks::matrix_options opt;
+    opt.model = wm::mode::relaxed;
+    opt.jobs = 2;
+    const auto rows = attacks::explore_cve_matrix(/*walks_per_cell=*/2, opt);
+    ASSERT_EQ(rows.size(), attacks::cve_ids().size());
+    for (const auto& row : rows) {
+        EXPECT_GT(row.plain_triggered, 0u) << row.cve << " under relaxed";
+        EXPECT_EQ(row.kernel_triggered, 0u) << row.cve << " under relaxed";
+        EXPECT_TRUE(row.witness.has_value()) << row.cve;
+    }
+}
+
+TEST(wm_matrix, relaxed_json_is_invariant_across_jobs_and_snapshots)
+{
+    auto run = [](std::size_t jobs, bool snapshots) {
+        attacks::matrix_options opt;
+        opt.model = wm::mode::relaxed;
+        opt.jobs = jobs;
+        opt.snapshots = snapshots;
+        return attacks::cve_matrix_json(attacks::explore_cve_matrix(1, opt),
+                                        wm::mode::relaxed);
+    };
+    const std::string baseline = run(1, true);
+    EXPECT_NE(baseline.find("\"memory_model\":\"relaxed\""), std::string::npos);
+    EXPECT_EQ(run(2, true), baseline);
+    EXPECT_EQ(run(8, true), baseline);
+    EXPECT_EQ(run(2, false), baseline);
+
+    // And the model is part of the sweep's identity: the seqcst aggregate
+    // serializes differently (no memory_model field).
+    attacks::matrix_options sc;
+    sc.jobs = 2;
+    const auto sc_json =
+        attacks::cve_matrix_json(attacks::explore_cve_matrix(1, sc));
+    EXPECT_EQ(sc_json.find("memory_model"), std::string::npos);
+    EXPECT_NE(sc_json, baseline);
+}
+
+// --- svc: "+relaxed" witness keys round-trip --------------------------------
+
+namespace {
+
+svc::job relaxed_job(std::uint64_t client_id, const std::string& program,
+                     const std::string& defense, const std::string& decisions = "")
+{
+    svc::job j;
+    j.client_id = client_id;
+    j.key.seed = 17;
+    j.key.defense = defense;
+    j.key.program = program;
+    j.key.decisions = decisions;
+    return j;
+}
+
+}  // namespace
+
+TEST(wm_svc, relaxed_program_tags_validate_and_execute)
+{
+    const auto cves = attacks::cve_ids();
+    svc::service s({});
+    auto& sess = s.connect("wm");
+    sess.submit(relaxed_job(1, cves[0] + "+relaxed", "plain"));
+    sess.submit(relaxed_job(2, cves[0] + "+relaxed", "jskernel"));
+    sess.submit(relaxed_job(3, cves[0], "plain"));
+    const auto wave = sess.flush();
+    ASSERT_EQ(wave.results.size(), 3u);
+
+    bool saw_plain_relaxed = false;
+    bool saw_kernel_relaxed = false;
+    for (std::size_t i = 0; i < wave.jobs.size(); ++i) {
+        const auto& key = wave.jobs[i].key;
+        if (key.program == cves[0] + "+relaxed") {
+            if (key.defense == "plain") {
+                EXPECT_TRUE(wave.results[i].triggered);
+                saw_plain_relaxed = true;
+            } else {
+                EXPECT_FALSE(wave.results[i].triggered);
+                saw_kernel_relaxed = true;
+            }
+        }
+    }
+    EXPECT_TRUE(saw_plain_relaxed);
+    EXPECT_TRUE(saw_kernel_relaxed);
+    EXPECT_NE(wave.merged_json.find("+relaxed"), std::string::npos);
+
+    // The tag is validated against the stem: an unknown program stays
+    // unknown with the tag attached.
+    EXPECT_THROW(sess.submit(relaxed_job(9, "CVE-0000-0000+relaxed", "plain")),
+                 std::invalid_argument);
+}
+
+TEST(wm_svc, relaxed_witnesses_replay_through_the_disk_store)
+{
+    const auto cves = attacks::cve_ids();
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    const auto dir = (fs::path(::testing::TempDir()) /
+                      (std::string("jsk_wm_svc_") + info->name()))
+                         .string();
+    fs::remove_all(dir);
+
+    std::vector<svc::job> jobs = {relaxed_job(1, cves[0] + "+relaxed", "plain"),
+                                  relaxed_job(2, cves[1] + "+relaxed", "jskernel")};
+
+    std::string first_json;
+    std::string decisions;
+    {
+        svc::service_options opt;
+        opt.store_dir = dir;
+        svc::service s(opt);
+        auto& sess = s.connect("wm");
+        for (const auto& j : jobs) sess.submit(j);
+        const auto wave = sess.flush();
+        EXPECT_EQ(wave.trials, 2u);
+        first_json = wave.merged_json;
+        for (std::size_t i = 0; i < wave.jobs.size(); ++i) {
+            if (wave.jobs[i].key.defense == "plain") {
+                decisions = wave.results[i].decisions;
+            }
+        }
+    }
+    {
+        // A new incarnation over the same store recalls — byte-identical
+        // aggregate, zero fresh simulation (the cross-process replay claim).
+        svc::service_options opt;
+        opt.store_dir = dir;
+        svc::service s(opt);
+        auto& sess = s.connect("wm");
+        for (const auto& j : jobs) sess.submit(j);
+        const auto wave = sess.flush();
+        EXPECT_EQ(wave.trials, 0u);
+        EXPECT_EQ(wave.hits_disk, 2u);
+        EXPECT_EQ(wave.merged_json, first_json);
+    }
+    {
+        // Replaying the harvested decision string (schedule + rf choices) as
+        // a prescribed prefix reproduces the same outcome and harvest.
+        svc::service s({});
+        auto& sess = s.connect("wm");
+        sess.submit(relaxed_job(1, cves[0] + "+relaxed", "plain", decisions));
+        const auto wave = sess.flush();
+        ASSERT_EQ(wave.results.size(), 1u);
+        EXPECT_TRUE(wave.results[0].triggered);
+        EXPECT_EQ(wave.results[0].decisions, decisions);
+    }
+    fs::remove_all(dir);
+}
+
+}  // namespace
